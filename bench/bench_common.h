@@ -1,0 +1,84 @@
+#ifndef TFB_BENCH_BENCH_COMMON_H_
+#define TFB_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the table/figure reproduction benches. Every bench
+// prints the paper-shaped rows plus a SCALING note documenting how the
+// workload was shrunk to single-core CPU budgets (the *shape* of each
+// result — who wins, where crossovers fall — is the reproduction target,
+// not absolute values; see EXPERIMENTS.md).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tfb/tfb.h"
+
+namespace tfb::bench {
+
+/// CPU-scaled copy of a Table 5 profile: bounded length/width so a full
+/// 25-dataset sweep stays in minutes on one core.
+inline datagen::DatasetProfile ScaledProfile(const std::string& name,
+                                             std::size_t max_length = 900,
+                                             std::size_t max_dim = 6) {
+  auto profile = datagen::FindProfile(name);
+  TFB_CHECK_MSG(profile.has_value(), "unknown dataset profile");
+  profile->length = std::min(profile->length, max_length);
+  profile->dim = std::min(profile->dim, max_dim);
+  profile->spec.factor_spec.length = profile->length;
+  profile->spec.num_variables = profile->dim;
+  profile->spec.num_factors =
+      std::max<std::size_t>(2, profile->dim / 3);
+  // Long-period profiles need a few cycles inside the scaled length.
+  if (profile->spec.factor_spec.period * 6 > profile->length) {
+    profile->spec.factor_spec.period =
+        std::max<std::size_t>(4, profile->length / 12);
+  }
+  return profile.value();
+}
+
+/// Fast method parameters for bench runs: few epochs, small window caps.
+inline pipeline::MethodParams FastParams(std::size_t horizon,
+                                         std::uint64_t seed = 7) {
+  pipeline::MethodParams params;
+  params.horizon = horizon;
+  params.seed = seed;
+  params.train_epochs = 10;
+  return params;
+}
+
+/// Rolling options used across MTSF benches: z-score normalization fit on
+/// train, a handful of test windows, fair (no drop-last) batching.
+inline eval::RollingOptions FastRolling(const ts::SplitRatio& split,
+                                        std::size_t max_windows = 4) {
+  eval::RollingOptions options;
+  options.split = split;
+  options.max_windows = max_windows;
+  options.metrics = {eval::Metric::kMae, eval::Metric::kMse};
+  return options;
+}
+
+/// Prints a dataset x method MAE grid with per-row winners marked.
+inline void PrintGrid(const std::vector<std::string>& row_names,
+                      const std::vector<std::string>& col_names,
+                      const std::vector<std::vector<double>>& mae,
+                      const char* value_label = "MAE") {
+  std::printf("%-16s", "dataset");
+  for (const auto& c : col_names) std::printf("%-16s", c.c_str());
+  std::printf("  best(%s)\n", value_label);
+  for (std::size_t r = 0; r < row_names.size(); ++r) {
+    std::printf("%-16s", row_names[r].c_str());
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < col_names.size(); ++c) {
+      if (mae[r][c] < mae[r][best]) best = c;
+    }
+    for (std::size_t c = 0; c < col_names.size(); ++c) {
+      std::printf("%-16.4f", mae[r][c]);
+    }
+    std::printf("  %s\n", col_names[best].c_str());
+  }
+}
+
+}  // namespace tfb::bench
+
+#endif  // TFB_BENCH_BENCH_COMMON_H_

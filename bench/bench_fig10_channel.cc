@@ -1,0 +1,82 @@
+// Reproduces Figure 10: channel independence (PatchTST class) versus
+// channel dependence (Crossformer class) as a function of dataset
+// correlation. Ten synthetic datasets sweep the common-factor share from
+// nearly independent channels to nearly identical ones.
+//
+// Paper shape: as within-dataset correlation rises, the channel-dependent
+// model's MAE catches up with and overtakes the channel-independent one;
+// on weakly correlated data channel independence wins.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace tfb;
+  std::printf("=== Figure 10: channel independence vs dependence ===\n");
+  std::printf(
+      "SCALING: 10 synthetic datasets (700 x 6), horizon 12 (paper: 96),\n"
+      "4 rolling windows, 12 training epochs.\n\n");
+  std::printf("%-8s %-12s %-18s %-18s %s\n", "share", "correlation",
+              "PatchAttention", "CrossAttention", "winner");
+
+  pipeline::BenchmarkRunner runner;
+  int cross_wins_high = 0;
+  int patch_wins_low = 0;
+  for (int step = 0; step < 10; ++step) {
+    const double share = 0.05 + 0.1 * step;
+    datagen::MultivariateSpec spec;
+    // A slowly mixing AR factor read by each channel at its own delay:
+    // leading channels carry information about lagging channels' futures
+    // that the lagging channel's own past does not contain — exploitable
+    // only by channel-dependent models, and only when the common factor
+    // dominates (high share / high correlation).
+    spec.factor_spec.length = 700;
+    spec.factor_spec.period = 24;
+    spec.factor_spec.season_amplitude = 0.8;
+    spec.factor_spec.noise_std = 1.0;
+    spec.factor_spec.ar_coeff = 0.9;
+    spec.num_variables = 6;
+    spec.num_factors = 1;
+    spec.factor_share = share;
+    spec.idiosyncratic_std = 1.2 - share;
+    spec.max_channel_lag = 8;
+    stats::Rng rng(1000 + step);
+    ts::TimeSeries series = datagen::GenerateMultivariate(spec, rng);
+    series.set_name("corr_sweep");
+    series.set_seasonal_period(24);
+    const double correlation = characterization::CorrelationValue(series, 6);
+
+    double mae_patch = 0.0;
+    double mae_cross = 0.0;
+    for (const char* method : {"PatchAttention", "CrossAttention"}) {
+      pipeline::BenchmarkTask task;
+      task.dataset = "corr_sweep";
+      task.series = series;
+      task.method = method;
+      task.horizon = 6;
+      pipeline::MethodParams params = bench::FastParams(6);
+      params.train_epochs = 15;
+      params.lookback = 24;
+      task.params = params;
+      task.rolling = bench::FastRolling(ts::SplitRatio::Ratio712());
+      const pipeline::ResultRow result = runner.RunOne(task);
+      const double mae = result.metrics.at(eval::Metric::kMae);
+      if (std::string(method) == "PatchAttention") {
+        mae_patch = mae;
+      } else {
+        mae_cross = mae;
+      }
+    }
+    const bool cross_wins = mae_cross < mae_patch;
+    std::printf("%-8.2f %-12.3f %-18.4f %-18.4f %s\n", share, correlation,
+                mae_patch, mae_cross,
+                cross_wins ? "CrossAttention" : "PatchAttention");
+    if (step >= 7 && cross_wins) ++cross_wins_high;
+    if (step <= 2 && !cross_wins) ++patch_wins_low;
+  }
+  std::printf(
+      "\nShape check: channel dependence wins %d/3 of the most correlated\n"
+      "datasets; channel independence wins %d/3 of the least correlated\n"
+      "(paper: crossover as correlation rises).\n",
+      cross_wins_high, patch_wins_low);
+  return 0;
+}

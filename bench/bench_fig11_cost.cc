@@ -1,0 +1,88 @@
+// Reproduces Figure 11: parameter counts versus per-window inference time
+// of the deep miniatures on three dataset scales — Traffic (large), Weather
+// (medium), ILI (small). Inference timing uses google-benchmark.
+//
+// Paper shape: inference time grows with parameter count; the linear family
+// is cheapest; among attention models the patch-based one is faster than
+// the cross-channel one.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace tfb;
+
+struct Prepared {
+  std::unique_ptr<methods::Forecaster> forecaster;
+  ts::TimeSeries history;
+  std::size_t horizon = 12;
+  std::size_t num_parameters = 0;
+};
+
+Prepared Prepare(const std::string& dataset, const std::string& method) {
+  const auto profile = bench::ScaledProfile(dataset);
+  const ts::TimeSeries series = datagen::GenerateDataset(profile);
+  const ts::Split split = ChronologicalSplit(series, profile.split);
+  Prepared p;
+  const auto config = pipeline::MakeMethod(method, bench::FastParams(12));
+  p.forecaster = config->factory();
+  p.forecaster->Fit(series.Slice(0, split.val_end));
+  p.history = series.Slice(0, split.val_end);
+  if (const auto* neural =
+          dynamic_cast<const methods::NeuralForecaster*>(p.forecaster.get())) {
+    p.num_parameters = neural->NumParameters();
+  }
+  return p;
+}
+
+const std::vector<std::string> kMethods = {
+    "NLinear", "DLinear", "MLP",           "N-BEATS",
+    "RNN",     "TCN",     "PatchAttention", "CrossAttention",
+    "FrequencyLinear"};
+const std::vector<std::string> kDatasets = {"Traffic", "Weather", "ILI"};
+
+std::map<std::string, Prepared>& PreparedModels() {
+  static auto* models = new std::map<std::string, Prepared>();
+  return *models;
+}
+
+void BM_Inference(benchmark::State& state, const std::string& key) {
+  Prepared& p = PreparedModels().at(key);
+  for (auto _ : state) {
+    const ts::TimeSeries f = p.forecaster->Forecast(p.history, p.horizon);
+    benchmark::DoNotOptimize(f.values().data());
+  }
+  state.counters["params"] =
+      static_cast<double>(p.num_parameters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Figure 11: parameter count vs inference time ===\n");
+  std::printf(
+      "SCALING: datasets <=900 x <=6 (paper: full Traffic/Weather/ILI);\n"
+      "one forecast window per iteration, horizon 12.\n\n");
+  std::printf("%-10s %-18s %s\n", "dataset", "method", "parameters");
+  for (const auto& dataset : kDatasets) {
+    for (const auto& method : kMethods) {
+      const std::string key = dataset + "/" + method;
+      PreparedModels().emplace(key, Prepare(dataset, method));
+      std::printf("%-10s %-18s %zu\n", dataset.c_str(), method.c_str(),
+                  PreparedModels().at(key).num_parameters);
+      benchmark::RegisterBenchmark(key.c_str(),
+                                   [key](benchmark::State& state) {
+                                     BM_Inference(state, key);
+                                   });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Micro-benchmarks of the computational substrates that every experiment
+// runs on: metrics, FFT/ACF, loess, STL, characterization, matmul, and the
+// CART split scan. Not a paper table — the engineering baseline for the
+// pipeline's own cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "tfb/characterization/adf.h"
+#include "tfb/characterization/catch22.h"
+#include "tfb/characterization/features.h"
+#include "tfb/eval/metrics.h"
+#include "tfb/fft/fft.h"
+#include "tfb/linalg/solve.h"
+#include "tfb/stats/rng.h"
+#include "tfb/stl/loess.h"
+#include "tfb/stl/stl.h"
+
+namespace {
+
+using namespace tfb;
+
+std::vector<double> Signal(std::size_t n, std::uint64_t seed = 1) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::sin(2.0 * M_PI * t / 24.0) + 0.01 * t +
+           rng.Gaussian(0.0, 0.3);
+  }
+  return x;
+}
+
+void BM_MetricsAllEight(benchmark::State& state) {
+  const auto f = Signal(state.range(0), 1);
+  const auto y = Signal(state.range(0), 2);
+  eval::MetricContext ctx;
+  ctx.train = {Signal(256, 3)};
+  ctx.seasonality = 24;
+  for (auto _ : state) {
+    double total = 0.0;
+    for (eval::Metric m : eval::AllMetrics()) {
+      total += eval::ComputeMetric(m, f, y, ctx);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_MetricsAllEight)->Arg(96)->Arg(720);
+
+void BM_AutocorrelationFft(benchmark::State& state) {
+  const auto x = Signal(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::AutocorrelationFft(x).data());
+  }
+}
+BENCHMARK(BM_AutocorrelationFft)->Arg(1024)->Arg(8192);
+
+void BM_Loess(benchmark::State& state) {
+  const auto x = Signal(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stl::LoessSmooth(x, 25, 1).data());
+  }
+}
+BENCHMARK(BM_Loess)->Arg(512)->Arg(2048);
+
+void BM_StlDecompose(benchmark::State& state) {
+  const auto x = Signal(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stl::StlDecompose(x, 24).trend.data());
+  }
+}
+BENCHMARK(BM_StlDecompose)->Arg(512)->Arg(2048);
+
+void BM_AdfTest(benchmark::State& state) {
+  const auto x = Signal(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(characterization::AdfTest(x).statistic);
+  }
+}
+BENCHMARK(BM_AdfTest)->Arg(512)->Arg(2048);
+
+void BM_Catch22(benchmark::State& state) {
+  const auto x = Signal(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(characterization::Catch22(x)[0]);
+  }
+}
+BENCHMARK(BM_Catch22)->Arg(512)->Arg(2048);
+
+void BM_ShiftingValue(benchmark::State& state) {
+  const auto x = Signal(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(characterization::ShiftingValue(x));
+  }
+}
+BENCHMARK(BM_ShiftingValue)->Arg(1024);
+
+void BM_MatMul(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  stats::Rng rng(4);
+  linalg::Matrix a(n, n);
+  linalg::Matrix b(n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.Gaussian();
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatMul(a, b).data());
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
+
+void BM_LeastSquares(benchmark::State& state) {
+  const std::size_t n = 2048;
+  const std::size_t k = state.range(0);
+  stats::Rng rng(5);
+  linalg::Matrix x(n, k);
+  linalg::Vector y(n);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  for (std::size_t i = 0; i < n; ++i) y[i] = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::LeastSquares(x, y, 1e-6)->data());
+  }
+}
+BENCHMARK(BM_LeastSquares)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Reproduces Table 5: statistics of the 25 multivariate datasets — the
+// paper's published length/dimension/frequency/split per dataset, alongside
+// the scaled sizes this reproduction generates and each dataset's measured
+// six-characteristic profile.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace tfb;
+  std::printf("=== Table 5: multivariate dataset statistics ===\n");
+  std::printf(
+      "SCALING: generated copies capped at 900 x 6; characteristics are\n"
+      "measured on up to 3 variables per dataset.\n\n");
+  std::printf("%-12s %-12s %-9s %-8s %-5s %-6s %-7s %-7s %-7s %-7s %-7s %s\n",
+              "Dataset", "Domain", "Freq", "Len", "Dim", "Split", "trend",
+              "season", "shift", "trans", "corr", "stationary");
+  for (const auto& base : datagen::MultivariateProfiles()) {
+    const auto profile = bench::ScaledProfile(base.name);
+    const ts::TimeSeries series = datagen::GenerateDataset(profile);
+    const auto c = characterization::Characterize(series, 0, 3);
+    const char* split =
+        base.split.val > 0.15 ? "6:2:2" : "7:1:2";
+    std::printf(
+        "%-12s %-12s %-9s %-8zu %-5zu %-6s %-7.3f %-7.3f %-7.3f %-7.4f "
+        "%-7.3f %s\n",
+        base.name.c_str(), ts::DomainName(base.domain).c_str(),
+        ts::FrequencyName(base.frequency).c_str(), base.paper_length,
+        base.paper_dim, split, c.trend, c.seasonality, c.shifting,
+        c.transition, c.correlation, c.stationary ? "yes" : "no");
+  }
+  std::printf(
+      "\nShape check: 25 datasets across 10 domains; frequencies span\n"
+      "5 mins..1 month; dims span 5..2000; FRED-MD/Covid-19 most trending,\n"
+      "traffic/electricity most seasonal, stock profiles most shifted.\n");
+  return 0;
+}

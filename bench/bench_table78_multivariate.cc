@@ -1,0 +1,125 @@
+// Reproduces Tables 7-8: the multivariate study — rolling-strategy MAE/MSE
+// of the method zoo on all 25 datasets, reported on normalized data, with
+// datasets ordered by trend strength (weak-trend first, as in the paper).
+//
+// Paper shape to reproduce: no single winner; attention miniatures lead on
+// weak-trend/seasonal datasets (Table 7); linear miniatures and the
+// traditional LR/VAR lead on strong-trend datasets (Table 8); VAR produces
+// extreme errors on some hard datasets (the paper's huge VAR cells).
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace tfb;
+  std::printf("=== Tables 7-8: multivariate forecasting results ===\n");
+  std::printf(
+      "SCALING: 25 datasets at <=900 x <=6, one scaled horizon per dataset\n"
+      "(12 for short-horizon datasets, 24 for long), 3 rolling windows,\n"
+      "12 method miniatures (one per paper family), 8 training epochs.\n\n");
+
+  // One miniature per paper column family (see DESIGN.md mapping).
+  const std::vector<std::string> methods = {
+      "PatchAttention",   // PatchTST
+      "CrossAttention",   // Crossformer / Triformer
+      "FrequencyLinear",  // FEDformer / FiLM
+      "NLinear", "DLinear",
+      "MLP",              // TiDE family
+      "N-BEATS",
+      "StationaryMLP",    // Non-stationary Transformer idea
+      "TCN",              // TCN / MICN / TimesNet (CNN family)
+      "RNN",
+      "LinearRegression", "VAR"};
+
+  struct Row {
+    std::string dataset;
+    double trend = 0.0;
+    std::size_t horizon = 0;
+    std::vector<double> mae;
+    std::vector<double> mse;
+  };
+  std::vector<Row> rows;
+
+  pipeline::BenchmarkRunner runner;
+  for (const auto& base : datagen::MultivariateProfiles()) {
+    const auto profile = bench::ScaledProfile(base.name);
+    const ts::TimeSeries series = datagen::GenerateDataset(profile);
+    Row row;
+    row.dataset = base.name;
+    row.horizon = base.long_horizon ? 24 : 12;
+    row.trend = characterization::Characterize(series, 0, 2).trend;
+    for (const auto& method : methods) {
+      pipeline::BenchmarkTask task;
+      task.dataset = base.name;
+      task.series = series;
+      task.method = method;
+      task.horizon = row.horizon;
+      pipeline::MethodParams params = bench::FastParams(row.horizon);
+      params.train_epochs = 8;
+      task.params = params;
+      task.rolling = bench::FastRolling(profile.split, 3);
+      const pipeline::ResultRow result = runner.RunOne(task);
+      row.mae.push_back(result.ok ? result.metrics.at(eval::Metric::kMae)
+                                  : 1e18);
+      row.mse.push_back(result.ok ? result.metrics.at(eval::Metric::kMse)
+                                  : 1e18);
+    }
+    rows.push_back(std::move(row));
+    std::fprintf(stderr, "[table78] %s done\n", base.name.c_str());
+  }
+
+  // Order by trend strength, weak first (Table 7 -> Table 8 ordering).
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.trend < b.trend; });
+
+  std::printf("%-12s %-4s %-6s", "dataset", "h", "trend");
+  for (const auto& m : methods) std::printf("%-16s", m.c_str());
+  std::printf("best\n");
+  std::map<std::string, std::size_t> wins;
+  std::map<std::string, std::size_t> weak_trend_wins;
+  std::map<std::string, std::size_t> strong_trend_wins;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Row& row = rows[r];
+    std::printf("%-12s %-4zu %-6.2f", row.dataset.c_str(), row.horizon,
+                row.trend);
+    std::size_t best = 0;
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      if (row.mae[m] < row.mae[best]) best = m;
+      std::printf("%-16.3f", row.mae[m]);
+    }
+    std::printf("%s\n", methods[best].c_str());
+    ++wins[methods[best]];
+    if (r < rows.size() / 2) {
+      ++weak_trend_wins[methods[best]];
+    } else {
+      ++strong_trend_wins[methods[best]];
+    }
+  }
+
+  std::printf("\nWins per method (MAE):\n");
+  for (const auto& [m, w] : wins) std::printf("  %-18s %zu\n", m.c_str(), w);
+
+  auto family_wins = [&](const std::map<std::string, std::size_t>& tally,
+                         pipeline::Family family) {
+    std::size_t total = 0;
+    for (const auto& [m, w] : tally) {
+      if (pipeline::MethodFamily(m) == family) total += w;
+    }
+    return total;
+  };
+  std::printf(
+      "\nShape check (paper: transformers lead on weak trend, linear-class "
+      "on strong trend):\n");
+  std::printf("  weak-trend half : transformer wins=%zu linear wins=%zu\n",
+              family_wins(weak_trend_wins, pipeline::Family::kTransformer),
+              family_wins(weak_trend_wins, pipeline::Family::kLinear) +
+                  family_wins(weak_trend_wins, pipeline::Family::kMl));
+  std::printf("  strong-trend half: transformer wins=%zu linear wins=%zu\n",
+              family_wins(strong_trend_wins, pipeline::Family::kTransformer),
+              family_wins(strong_trend_wins, pipeline::Family::kLinear) +
+                  family_wins(strong_trend_wins, pipeline::Family::kMl));
+  std::printf("  no single method wins everywhere: %s\n",
+              wins.size() > 1 ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#ifndef TFB_BASE_CHECK_H_
+#define TFB_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight invariant-checking macros used throughout tfb.
+///
+/// The library does not use exceptions (Google style); programming errors
+/// abort with a location message, while recoverable conditions are
+/// represented with std::optional return values at API boundaries.
+
+/// Aborts the process with a diagnostic if `cond` is false. Enabled in all
+/// build types: benchmark correctness depends on these invariants.
+#define TFB_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "TFB_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// TFB_CHECK with an extra human-readable message.
+#define TFB_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "TFB_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // TFB_BASE_CHECK_H_

@@ -1,0 +1,135 @@
+#include "tfb/characterization/adf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tfb/base/check.h"
+#include "tfb/linalg/matrix.h"
+#include "tfb/linalg/solve.h"
+
+namespace tfb::characterization {
+
+namespace {
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// MacKinnon (1994) approximate p-value for the constant-only ADF statistic.
+// Coefficients match statsmodels' `mackinnonp` for regression="c", N=1.
+double MacKinnonPValue(double tau) {
+  constexpr double kTauMax = 2.74;
+  constexpr double kTauMin = -18.83;
+  constexpr double kTauStar = -1.61;
+  if (tau > kTauMax) return 1.0;
+  if (tau < kTauMin) return 0.0;
+  double poly;
+  if (tau <= kTauStar) {
+    // small-p branch: 2.1659 + 1.4412*tau + 0.038269*tau^2
+    poly = 2.1659 + 1.4412 * tau + 0.038269 * tau * tau;
+  } else {
+    // large-p branch: 1.7339 + 0.93202*tau - 0.12745*tau^2 - 0.010368*tau^3
+    poly = 1.7339 + tau * (0.93202 + tau * (-0.12745 + tau * -0.010368));
+  }
+  return NormalCdf(poly);
+}
+
+struct OlsFit {
+  std::vector<double> beta;
+  double sigma2 = 0.0;     // residual variance (ML, divide by n)
+  double se_first = 0.0;   // standard error of beta[0]
+  double loglike = 0.0;
+  std::size_t nobs = 0;
+  bool ok = false;
+};
+
+// OLS of y on X where column 0 is the lagged level; returns the standard
+// error of that coefficient for the ADF t-statistic.
+OlsFit FitAdfRegression(const linalg::Matrix& x, const linalg::Vector& y) {
+  OlsFit fit;
+  fit.nobs = y.size();
+  linalg::Matrix xtx = linalg::MatTMul(x, x);
+  auto inv = linalg::Inverse(xtx);
+  if (!inv) return fit;
+  linalg::Vector xty(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) xty[c] += x(r, c) * y[r];
+  }
+  fit.beta = linalg::MatVec(*inv, xty);
+  double rss = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double pred = 0.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) pred += x(r, c) * fit.beta[c];
+    const double e = y[r] - pred;
+    rss += e * e;
+  }
+  const std::size_t n = y.size();
+  const std::size_t k = x.cols();
+  if (n <= k) return fit;
+  const double sigma2_ols = rss / static_cast<double>(n - k);
+  fit.sigma2 = rss / static_cast<double>(n);
+  fit.se_first = std::sqrt(std::max(0.0, sigma2_ols * (*inv)(0, 0)));
+  // Gaussian log-likelihood for AIC-based lag selection.
+  fit.loglike = -0.5 * static_cast<double>(n) *
+                (std::log(2.0 * M_PI * std::max(fit.sigma2, 1e-300)) + 1.0);
+  fit.ok = fit.se_first > 0.0;
+  return fit;
+}
+
+}  // namespace
+
+AdfResult AdfTest(std::span<const double> y, int max_lags) {
+  AdfResult result;
+  const std::size_t t = y.size();
+  if (t < 10) return result;
+
+  if (max_lags < 0) {
+    max_lags = static_cast<int>(
+        std::floor(12.0 * std::pow(static_cast<double>(t) / 100.0, 0.25)));
+  }
+  max_lags = std::clamp(max_lags, 0, static_cast<int>(t) / 2 - 2);
+
+  std::vector<double> diff(t - 1);
+  for (std::size_t i = 0; i + 1 < t; ++i) diff[i] = y[i + 1] - y[i];
+
+  // All candidate lag orders share the same effective sample (aligned to the
+  // largest lag) so AIC values are comparable.
+  const std::size_t start = static_cast<std::size_t>(max_lags);
+  const std::size_t nobs = diff.size() - start;
+  if (nobs < 8) return result;
+
+  double best_aic = std::numeric_limits<double>::infinity();
+  AdfResult best;
+  for (int p = 0; p <= max_lags; ++p) {
+    const std::size_t k = 2 + static_cast<std::size_t>(p);
+    linalg::Matrix x(nobs, k);
+    linalg::Vector target(nobs);
+    for (std::size_t i = 0; i < nobs; ++i) {
+      const std::size_t idx = start + i;  // index into diff
+      target[i] = diff[idx];
+      x(i, 0) = y[idx];  // lagged level y_{t-1}
+      x(i, 1) = 1.0;     // constant
+      for (int j = 0; j < p; ++j) {
+        x(i, 2 + j) = diff[idx - 1 - j];
+      }
+    }
+    const OlsFit fit = FitAdfRegression(x, target);
+    if (!fit.ok) continue;
+    const double aic =
+        -2.0 * fit.loglike + 2.0 * static_cast<double>(k);
+    if (aic < best_aic) {
+      best_aic = aic;
+      best.statistic = fit.beta[0] / fit.se_first;
+      best.lags = p;
+    }
+  }
+  if (!std::isfinite(best_aic)) return result;
+  best.p_value = MacKinnonPValue(best.statistic);
+  return best;
+}
+
+bool IsStationary(std::span<const double> y) {
+  return AdfTest(y).p_value <= 0.05;
+}
+
+}  // namespace tfb::characterization

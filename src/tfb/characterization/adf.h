@@ -1,0 +1,29 @@
+#ifndef TFB_CHARACTERIZATION_ADF_H_
+#define TFB_CHARACTERIZATION_ADF_H_
+
+#include <span>
+
+namespace tfb::characterization {
+
+/// Result of an Augmented Dickey–Fuller unit-root test.
+struct AdfResult {
+  double statistic = 0.0;  ///< t-statistic on the lagged-level coefficient.
+  double p_value = 1.0;    ///< MacKinnon (1994) approximate p-value.
+  int lags = 0;            ///< Number of lagged differences included.
+};
+
+/// Augmented Dickey–Fuller test with a constant term:
+///   dy_t = alpha + gamma * y_{t-1} + sum_i delta_i * dy_{t-i} + e_t.
+/// The lag order is chosen by AIC over 0..max_lags, with max_lags defaulting
+/// to Schwert's rule 12*(T/100)^{1/4} when negative. The p-value uses the
+/// MacKinnon regression-surface approximation (same as statsmodels), so the
+/// paper's "stationary iff p <= 0.05" rule (Equation 3) carries over exactly.
+AdfResult AdfTest(std::span<const double> y, int max_lags = -1);
+
+/// The paper's stationarity characteristic (Definition 5):
+/// true iff the ADF p-value is <= 0.05.
+bool IsStationary(std::span<const double> y);
+
+}  // namespace tfb::characterization
+
+#endif  // TFB_CHARACTERIZATION_ADF_H_

@@ -1,0 +1,394 @@
+#include "tfb/characterization/catch22.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "tfb/fft/fft.h"
+#include "tfb/stats/descriptive.h"
+
+namespace tfb::characterization {
+
+namespace {
+
+// Mode of a histogram with `bins` equal-width bins over [min, max].
+double HistogramMode(std::span<const double> z, int bins) {
+  const double lo = stats::Min(z);
+  const double hi = stats::Max(z);
+  if (hi - lo < 1e-12) return lo;
+  std::vector<int> counts(bins, 0);
+  for (double v : z) {
+    int b = static_cast<int>((v - lo) / (hi - lo) * bins);
+    b = std::clamp(b, 0, bins - 1);
+    ++counts[b];
+  }
+  const int best =
+      static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                       counts.begin());
+  const double width = (hi - lo) / bins;
+  return lo + (best + 0.5) * width;
+}
+
+// First lag where the ACF drops below 1/e.
+double FirstAcBelow1OverE(const std::vector<double>& acf) {
+  const double threshold = 1.0 / M_E;
+  for (std::size_t k = 1; k < acf.size(); ++k) {
+    if (acf[k] < threshold) return static_cast<double>(k);
+  }
+  return static_cast<double>(acf.size());
+}
+
+// First local minimum of the ACF.
+double FirstAcMinimum(const std::vector<double>& acf) {
+  for (std::size_t k = 1; k + 1 < acf.size(); ++k) {
+    if (acf[k] < acf[k - 1] && acf[k] < acf[k + 1]) {
+      return static_cast<double>(k);
+    }
+  }
+  return static_cast<double>(acf.size());
+}
+
+// Longest run of consecutive `true` values.
+double LongestStretch(const std::vector<bool>& b) {
+  std::size_t best = 0;
+  std::size_t run = 0;
+  for (bool v : b) {
+    run = v ? run + 1 : 0;
+    best = std::max(best, run);
+  }
+  return static_cast<double>(best);
+}
+
+// Histogram-based mutual information between x_t and x_{t+lag} with `bins`
+// equal-width bins (CO_HistogramAMI analogue).
+double HistogramAmi(std::span<const double> z, std::size_t lag, int bins) {
+  if (z.size() <= lag + 1) return 0.0;
+  const double lo = stats::Min(z);
+  const double hi = stats::Max(z);
+  if (hi - lo < 1e-12) return 0.0;
+  const std::size_t n = z.size() - lag;
+  std::vector<std::vector<double>> joint(bins, std::vector<double>(bins, 0.0));
+  std::vector<double> px(bins, 0.0);
+  std::vector<double> py(bins, 0.0);
+  auto bin_of = [&](double v) {
+    int b = static_cast<int>((v - lo) / (hi - lo) * bins);
+    return std::clamp(b, 0, bins - 1);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const int bx = bin_of(z[i]);
+    const int by = bin_of(z[i + lag]);
+    joint[bx][by] += 1.0;
+    px[bx] += 1.0;
+    py[by] += 1.0;
+  }
+  double mi = 0.0;
+  for (int a = 0; a < bins; ++a) {
+    for (int b = 0; b < bins; ++b) {
+      if (joint[a][b] <= 0.0) continue;
+      const double pj = joint[a][b] / n;
+      mi += pj * std::log(pj / ((px[a] / n) * (py[b] / n)));
+    }
+  }
+  return mi;
+}
+
+// Three-symbol quantile coarse-graining (SB_MotifThree / transition-matrix).
+std::vector<int> QuantileSymbols3(std::span<const double> z) {
+  const std::size_t n = z.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return z[a] < z[b]; });
+  std::vector<int> symbol(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    symbol[order[rank]] =
+        std::min(2, static_cast<int>(3 * rank / std::max<std::size_t>(n, 1)));
+  }
+  return symbol;
+}
+
+// Shannon entropy of two-letter motifs on the 3-letter quantile alphabet.
+double MotifThreeEntropy(std::span<const double> z) {
+  if (z.size() < 2) return 0.0;
+  const std::vector<int> s = QuantileSymbols3(z);
+  double counts[9] = {};
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    counts[s[i] * 3 + s[i + 1]] += 1.0;
+  }
+  const double total = static_cast<double>(s.size() - 1);
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0.0) continue;
+    const double p = c / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+// Trace of the covariance of the 3-symbol transition matrix built on the
+// tau-downsampled series (SB_TransitionMatrix_3ac_sumdiagcov). Also the
+// paper's Transition characteristic (Algorithm 2).
+double TransitionMatrixTrace(std::span<const double> z) {
+  if (z.size() < 6) return 0.0;
+  const std::size_t tau =
+      std::max<std::size_t>(1, fft::FirstZeroAutocorrelation(z));
+  std::vector<double> down;
+  for (std::size_t i = 0; i < z.size(); i += tau) down.push_back(z[i]);
+  if (down.size() < 4) return 0.0;
+  const std::vector<int> s = QuantileSymbols3(down);
+  double m[3][3] = {};
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) m[s[i]][s[i + 1]] += 1.0;
+  const double total = static_cast<double>(s.size() - 1);
+  for (auto& row : m)
+    for (double& v : row) v /= total;
+  // Sample covariance between the three columns; trace = sum of column
+  // variances.
+  double trace = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    const double mean = (m[0][c] + m[1][c] + m[2][c]) / 3.0;
+    double var = 0.0;
+    for (int r = 0; r < 3; ++r) var += (m[r][c] - mean) * (m[r][c] - mean);
+    trace += var / 2.0;  // n-1 = 2
+  }
+  return trace;
+}
+
+// Median timing of threshold-exceeding events as the threshold grows
+// (DN_OutlierInclude analogue). `positive` selects the tail.
+double OutlierTiming(std::span<const double> z, bool positive) {
+  const std::size_t n = z.size();
+  if (n < 4) return 0.0;
+  std::vector<double> medians;
+  for (int step = 1; step <= 10; ++step) {
+    const double threshold = 0.2 * step;
+    std::vector<double> times;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = positive ? z[i] : -z[i];
+      if (v >= threshold) times.push_back(static_cast<double>(i) / n);
+    }
+    if (times.size() < 2) break;
+    medians.push_back(stats::Median(times));
+  }
+  if (medians.empty()) return 0.0;
+  return stats::Median(medians) - 0.5;
+}
+
+// Power concentrated in the lowest fifth of the spectrum
+// (SP_Summaries_welch_rect_area_5_1 analogue).
+double LowFrequencyPowerFraction(std::span<const double> z) {
+  const std::vector<double> power = fft::Periodogram(z);
+  if (power.size() < 5) return 0.0;
+  double total = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) total += power[k];
+  if (total < 1e-15) return 0.0;
+  double low = 0.0;
+  for (std::size_t k = 1; k < power.size() / 5 + 1 && k < power.size(); ++k) {
+    low += power[k];
+  }
+  return low / total;
+}
+
+// Spectral centroid (SP_Summaries_welch_rect_centroid analogue).
+double SpectralCentroid(std::span<const double> z) {
+  const std::vector<double> power = fft::Periodogram(z);
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    total += power[k];
+    weighted += power[k] * static_cast<double>(k) / power.size();
+  }
+  return total > 1e-15 ? weighted / total : 0.0;
+}
+
+// Residual std of forecasting each point by the mean of the `w` previous
+// points (FC_LocalSimple_mean analogue).
+double LocalSimpleMeanStderr(std::span<const double> z, std::size_t w) {
+  if (z.size() <= w) return 0.0;
+  std::vector<double> res;
+  res.reserve(z.size() - w);
+  for (std::size_t i = w; i < z.size(); ++i) {
+    double mean = 0.0;
+    for (std::size_t j = 1; j <= w; ++j) mean += z[i - j];
+    mean /= static_cast<double>(w);
+    res.push_back(z[i] - mean);
+  }
+  return stats::StdDev(res);
+}
+
+// First-zero ACF of local-mean forecast residuals over first-zero ACF of
+// the series (FC_LocalSimple_mean1_tauresrat).
+double LocalSimpleTauResRat(std::span<const double> z) {
+  if (z.size() < 4) return 1.0;
+  std::vector<double> res(z.size() - 1);
+  for (std::size_t i = 1; i < z.size(); ++i) res[i - 1] = z[i] - z[i - 1];
+  const double tau_res =
+      static_cast<double>(fft::FirstZeroAutocorrelation(res));
+  const double tau =
+      static_cast<double>(fft::FirstZeroAutocorrelation(z));
+  return tau > 0.0 ? tau_res / tau : 1.0;
+}
+
+// First minimum of the Gaussian auto-mutual-information
+// (IN_AutoMutualInfoStats_40_gaussian_fmmi): ami(k) = -0.5*log(1 - acf_k^2).
+double FirstMinGaussianAmi(const std::vector<double>& acf) {
+  std::vector<double> ami;
+  const std::size_t kmax = std::min<std::size_t>(acf.size(), 41);
+  for (std::size_t k = 1; k < kmax; ++k) {
+    const double r2 = std::min(acf[k] * acf[k], 1.0 - 1e-12);
+    ami.push_back(-0.5 * std::log(1.0 - r2));
+  }
+  for (std::size_t k = 1; k + 1 < ami.size(); ++k) {
+    if (ami[k] < ami[k - 1] && ami[k] < ami[k + 1]) {
+      return static_cast<double>(k + 1);
+    }
+  }
+  return static_cast<double>(ami.size());
+}
+
+// Periodicity detector (PD_PeriodicityWang analogue): dominant period.
+double PeriodicityWang(std::span<const double> z) {
+  return static_cast<double>(fft::EstimatePeriod(z));
+}
+
+// Fluctuation-analysis scaling proxy (SC_FluctAnal analogue): slope of
+// log(fluctuation) vs log(window) for detrended cumulative sums.
+double FluctuationScaling(std::span<const double> z) {
+  const std::size_t n = z.size();
+  if (n < 16) return 0.0;
+  std::vector<double> cumsum(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += z[i];
+    cumsum[i] = acc;
+  }
+  std::vector<double> log_w;
+  std::vector<double> log_f;
+  for (std::size_t w = 4; w <= n / 4; w = static_cast<std::size_t>(w * 1.5) + 1) {
+    double fluct = 0.0;
+    std::size_t count = 0;
+    for (std::size_t start = 0; start + w <= n; start += w) {
+      // Linear detrend of the window, RMS residual.
+      double sx = 0, sy = 0, sxx = 0, sxy = 0;
+      for (std::size_t i = 0; i < w; ++i) {
+        sx += i;
+        sy += cumsum[start + i];
+        sxx += static_cast<double>(i) * i;
+        sxy += i * cumsum[start + i];
+      }
+      const double denom = w * sxx - sx * sx;
+      const double slope = denom > 1e-12 ? (w * sxy - sx * sy) / denom : 0.0;
+      const double intercept = (sy - slope * sx) / w;
+      double rss = 0.0;
+      for (std::size_t i = 0; i < w; ++i) {
+        const double e = cumsum[start + i] - (intercept + slope * i);
+        rss += e * e;
+      }
+      fluct += std::sqrt(rss / w);
+      ++count;
+    }
+    if (count == 0) continue;
+    log_w.push_back(std::log(static_cast<double>(w)));
+    log_f.push_back(std::log(std::max(fluct / count, 1e-12)));
+  }
+  if (log_w.size() < 2) return 0.0;
+  // OLS slope.
+  const double mx = stats::Mean(log_w);
+  const double my = stats::Mean(log_f);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < log_w.size(); ++i) {
+    sxx += (log_w[i] - mx) * (log_w[i] - mx);
+    sxy += (log_w[i] - mx) * (log_f[i] - my);
+  }
+  return sxx > 1e-12 ? sxy / sxx : 0.0;
+}
+
+}  // namespace
+
+const std::array<std::string, kNumCatch22Features>& Catch22FeatureNames() {
+  static const std::array<std::string, kNumCatch22Features> kNames = {
+      "DN_HistogramMode_5",
+      "DN_HistogramMode_10",
+      "CO_f1ecac",
+      "CO_FirstMin_ac",
+      "CO_HistogramAMI_even_2_5",
+      "CO_trev_1_num",
+      "MD_hrv_classic_pnn40",
+      "SB_BinaryStats_mean_longstretch1",
+      "SB_BinaryStats_diff_longstretch0",
+      "SB_MotifThree_quantile_hh",
+      "SB_TransitionMatrix_3ac_sumdiagcov",
+      "DN_OutlierInclude_p_001_mdrmd",
+      "DN_OutlierInclude_n_001_mdrmd",
+      "SP_Summaries_welch_rect_area_5_1",
+      "SP_Summaries_welch_rect_centroid",
+      "FC_LocalSimple_mean1_tauresrat",
+      "FC_LocalSimple_mean3_stderr",
+      "IN_AutoMutualInfoStats_40_gaussian_fmmi",
+      "PD_PeriodicityWang_th0_01",
+      "SC_FluctAnal_scaling",
+      "DN_Moments_skewness",
+      "DN_Moments_kurtosis",
+  };
+  return kNames;
+}
+
+std::array<double, kNumCatch22Features> Catch22(std::span<const double> x) {
+  std::array<double, kNumCatch22Features> f{};
+  if (x.size() < 8) return f;
+  const std::vector<double> z = stats::ZScore(x);
+  if (stats::Variance(z) < 1e-15) return f;
+  const std::vector<double> acf = fft::AutocorrelationFft(z);
+
+  f[0] = HistogramMode(z, 5);
+  f[1] = HistogramMode(z, 10);
+  f[2] = FirstAcBelow1OverE(acf);
+  f[3] = FirstAcMinimum(acf);
+  f[4] = HistogramAmi(z, /*lag=*/2, /*bins=*/5);
+  // CO_trev_1_num: mean cubed successive difference (time reversibility).
+  {
+    double sum = 0.0;
+    for (std::size_t i = 0; i + 1 < z.size(); ++i) {
+      const double d = z[i + 1] - z[i];
+      sum += d * d * d;
+    }
+    f[5] = sum / static_cast<double>(z.size() - 1);
+  }
+  // pnn40: fraction of successive differences exceeding 0.04 (z-units).
+  {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i + 1 < z.size(); ++i) {
+      if (std::fabs(z[i + 1] - z[i]) > 0.04) ++count;
+    }
+    f[6] = static_cast<double>(count) / static_cast<double>(z.size() - 1);
+  }
+  // Longest stretch above the mean (mean of z-scored series is 0).
+  {
+    std::vector<bool> above(z.size());
+    for (std::size_t i = 0; i < z.size(); ++i) above[i] = z[i] > 0.0;
+    f[7] = LongestStretch(above);
+  }
+  // Longest stretch of consecutive decreases.
+  {
+    std::vector<bool> dec(z.size() > 0 ? z.size() - 1 : 0);
+    for (std::size_t i = 0; i + 1 < z.size(); ++i) dec[i] = z[i + 1] < z[i];
+    f[8] = LongestStretch(dec);
+  }
+  f[9] = MotifThreeEntropy(z);
+  f[10] = TransitionMatrixTrace(z);
+  f[11] = OutlierTiming(z, /*positive=*/true);
+  f[12] = OutlierTiming(z, /*positive=*/false);
+  f[13] = LowFrequencyPowerFraction(z);
+  f[14] = SpectralCentroid(z);
+  f[15] = LocalSimpleTauResRat(z);
+  f[16] = LocalSimpleMeanStderr(z, 3);
+  f[17] = FirstMinGaussianAmi(acf);
+  f[18] = PeriodicityWang(z);
+  f[19] = FluctuationScaling(z);
+  f[20] = stats::Skewness(z);
+  f[21] = stats::Kurtosis(z);
+  return f;
+}
+
+}  // namespace tfb::characterization

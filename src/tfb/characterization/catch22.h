@@ -1,0 +1,29 @@
+#ifndef TFB_CHARACTERIZATION_CATCH22_H_
+#define TFB_CHARACTERIZATION_CATCH22_H_
+
+#include <array>
+#include <span>
+#include <string>
+
+namespace tfb::characterization {
+
+/// Number of canonical features (catch22, Lubba et al. 2019).
+inline constexpr std::size_t kNumCatch22Features = 22;
+
+/// Names of the 22 features, in the order Catch22() returns them. Several
+/// features are faithful reimplementations of the published catch22 set
+/// (histogram modes, ACF timescales, binary-stats stretches, transition-
+/// matrix trace, outlier timing, spectral summaries); a few replace
+/// expensive originals with close, documented analogues (see DESIGN.md).
+/// The vector is used only as a fixed rich per-variable embedding for the
+/// correlation characteristic (Definition 8).
+const std::array<std::string, kNumCatch22Features>& Catch22FeatureNames();
+
+/// Computes the 22-feature embedding of a univariate series. The series is
+/// z-scored first (catch22 convention). Short (<8 points) or constant
+/// series yield all-zero vectors.
+std::array<double, kNumCatch22Features> Catch22(std::span<const double> x);
+
+}  // namespace tfb::characterization
+
+#endif  // TFB_CHARACTERIZATION_CATCH22_H_

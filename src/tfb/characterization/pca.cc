@@ -1,0 +1,200 @@
+#include "tfb/characterization/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "tfb/base/check.h"
+#include "tfb/linalg/solve.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::characterization {
+
+Pca Pca::Fit(const linalg::Matrix& data) {
+  Pca pca;
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  TFB_CHECK(n >= 2 && d >= 1);
+  pca.mean_.assign(d, 0.0);
+  pca.scale_.assign(d, 1.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) sum += data(r, c);
+    pca.mean_[c] = sum / n;
+    double var = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double dv = data(r, c) - pca.mean_[c];
+      var += dv * dv;
+    }
+    var /= n;
+    pca.scale_[c] = var > 1e-15 ? std::sqrt(var) : 1.0;
+  }
+  linalg::Matrix standardized(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      standardized(r, c) = (data(r, c) - pca.mean_[c]) / pca.scale_[c];
+    }
+  }
+  linalg::Matrix cov = linalg::MatTMul(standardized, standardized);
+  cov *= 1.0 / static_cast<double>(n);
+  linalg::EigenResult eig = linalg::SymmetricEigen(cov);
+  pca.components_ = std::move(eig.vectors);
+  double total = 0.0;
+  for (double v : eig.values) total += std::max(v, 0.0);
+  pca.explained_ratio_.resize(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    pca.explained_ratio_[i] =
+        total > 1e-15 ? std::max(eig.values[i], 0.0) / total : 0.0;
+  }
+  return pca;
+}
+
+linalg::Matrix Pca::Transform(const linalg::Matrix& data,
+                              std::size_t k) const {
+  TFB_CHECK(data.cols() == mean_.size());
+  k = std::min(k, components_.cols());
+  linalg::Matrix out(data.rows(), k);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < data.cols(); ++c) {
+        sum += (data(r, c) - mean_[c]) / scale_[c] * components_(c, j);
+      }
+      out(r, j) = sum;
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> PrincipalFeatureSelect(const linalg::Matrix& data,
+                                                std::size_t num_features,
+                                                std::uint64_t seed) {
+  const std::size_t n = data.rows();
+  num_features = std::min(num_features, n);
+  if (num_features == 0) return {};
+  if (num_features == n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  const Pca pca = Pca::Fit(data);
+  // Keep enough components for 90% variance (PFA's q parameter).
+  std::size_t q = 0;
+  double cum = 0.0;
+  while (q < pca.explained_variance_ratio().size() && cum < 0.9) {
+    cum += pca.explained_variance_ratio()[q];
+    ++q;
+  }
+  q = std::max<std::size_t>(q, 1);
+  const linalg::Matrix proj = pca.Transform(data, q);
+
+  // k-means on the projected rows.
+  stats::Rng rng(seed);
+  std::vector<std::size_t> centers_idx;
+  // k-means++ style seeding: first uniform, then farthest-point.
+  centers_idx.push_back(rng.UniformInt(n));
+  auto dist2 = [&](std::size_t row, const std::vector<double>& center) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < q; ++c) {
+      const double d = proj(row, c) - center[c];
+      sum += d * d;
+    }
+    return sum;
+  };
+  std::vector<std::vector<double>> centers;
+  centers.push_back(proj.RowVector(centers_idx[0]));
+  while (centers.size() < num_features) {
+    double best_d = -1.0;
+    std::size_t best_row = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (const auto& c : centers) nearest = std::min(nearest, dist2(r, c));
+      if (nearest > best_d) {
+        best_d = nearest;
+        best_row = r;
+      }
+    }
+    centers.push_back(proj.RowVector(best_row));
+  }
+  std::vector<std::size_t> assignment(n, 0);
+  for (int iter = 0; iter < 25; ++iter) {
+    bool changed = false;
+    for (std::size_t r = 0; r < n; ++r) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t k = 0; k < centers.size(); ++k) {
+        const double d = dist2(r, centers[k]);
+        if (d < best_d) {
+          best_d = d;
+          best = k;
+        }
+      }
+      if (assignment[r] != best) {
+        assignment[r] = best;
+        changed = true;
+      }
+    }
+    for (std::size_t k = 0; k < centers.size(); ++k) {
+      std::vector<double> mean(q, 0.0);
+      std::size_t count = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (assignment[r] != k) continue;
+        for (std::size_t c = 0; c < q; ++c) mean[c] += proj(r, c);
+        ++count;
+      }
+      if (count > 0) {
+        for (double& m : mean) m /= static_cast<double>(count);
+        centers[k] = std::move(mean);
+      }
+    }
+    if (!changed) break;
+  }
+  // Representative = row nearest to each cluster centre.
+  std::vector<std::size_t> selected;
+  selected.reserve(centers.size());
+  for (std::size_t k = 0; k < centers.size(); ++k) {
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t best_row = 0;
+    bool any = false;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (assignment[r] != k) continue;
+      const double d = dist2(r, centers[k]);
+      if (d < best_d) {
+        best_d = d;
+        best_row = r;
+        any = true;
+      }
+    }
+    if (any) selected.push_back(best_row);
+  }
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  return selected;
+}
+
+std::vector<std::size_t> SelectByExplainedVariance(
+    const std::vector<double>& row_variances, double threshold) {
+  TFB_CHECK(threshold > 0.0 && threshold <= 1.0);
+  const std::size_t n = row_variances.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return row_variances[a] > row_variances[b];
+  });
+  double total = 0.0;
+  for (double v : row_variances) total += std::max(v, 0.0);
+  std::vector<std::size_t> selected;
+  if (total <= 0.0) return selected;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    selected.push_back(order[i]);
+    cum += std::max(row_variances[order[i]], 0.0);
+    if (cum >= threshold * total) break;
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace tfb::characterization

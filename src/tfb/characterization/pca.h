@@ -1,0 +1,56 @@
+#ifndef TFB_CHARACTERIZATION_PCA_H_
+#define TFB_CHARACTERIZATION_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tfb/linalg/matrix.h"
+
+namespace tfb::characterization {
+
+/// Principal component analysis of a (samples x features) matrix, used to
+/// project the 5-D characteristic vectors of univariate series to 2-D for
+/// the Figure 5 coverage maps, and as the first stage of PFA.
+class Pca {
+ public:
+  /// Fits on `data` (rows = samples). Columns are centered and scaled to
+  /// unit variance before the eigen-decomposition (correlation PCA), which
+  /// is the right choice for mixed-unit characteristic vectors.
+  static Pca Fit(const linalg::Matrix& data);
+
+  /// Projects `data` (same feature count) onto the first `k` components.
+  linalg::Matrix Transform(const linalg::Matrix& data, std::size_t k) const;
+
+  /// Explained-variance ratio per component, descending.
+  const std::vector<double>& explained_variance_ratio() const {
+    return explained_ratio_;
+  }
+
+  /// Principal axes: column i is component i in feature space.
+  const linalg::Matrix& components() const { return components_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  std::vector<double> explained_ratio_;
+  linalg::Matrix components_;
+};
+
+/// Principal Feature Analysis (Lu et al. 2007): picks `num_features`
+/// representative rows of `data` by clustering the rows' loadings in the
+/// leading principal subspace (k-means) and returning the row closest to
+/// each cluster centre. TFB uses this to curate a heterogeneous univariate
+/// collection from a larger pool (Section 4.1.1).
+std::vector<std::size_t> PrincipalFeatureSelect(const linalg::Matrix& data,
+                                                std::size_t num_features,
+                                                std::uint64_t seed = 42);
+
+/// TFB's explained-variance curation rule: returns the smallest set of row
+/// indices (by descending variance contribution) whose summed variance
+/// reaches `threshold` (default 0.9) of the total variance across rows.
+std::vector<std::size_t> SelectByExplainedVariance(
+    const std::vector<double>& row_variances, double threshold = 0.9);
+
+}  // namespace tfb::characterization
+
+#endif  // TFB_CHARACTERIZATION_PCA_H_

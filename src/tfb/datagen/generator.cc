@@ -1,0 +1,115 @@
+#include "tfb/datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfb/base/check.h"
+
+namespace tfb::datagen {
+
+std::vector<double> GenerateSeries(const SeriesSpec& spec, stats::Rng& rng) {
+  const std::size_t n = spec.length;
+  std::vector<double> x(n, spec.base_level);
+
+  // Deterministic components.
+  for (std::size_t t = 0; t < n; ++t) {
+    const double td = static_cast<double>(t);
+    x[t] += spec.trend_slope * td + spec.trend_curvature * td * td;
+  }
+  if (spec.period > 1 && spec.season_amplitude != 0.0) {
+    const int harmonics = std::max(1, spec.season_harmonics);
+    for (std::size_t t = 0; t < n; ++t) {
+      double s = 0.0;
+      for (int h = 1; h <= harmonics; ++h) {
+        const double omega =
+            2.0 * M_PI * h * static_cast<double>(t) / spec.period;
+        s += std::sin(omega + spec.season_phase * h) / h;
+      }
+      x[t] += spec.season_amplitude * s;
+    }
+  }
+
+  // Structural break.
+  const std::size_t break_at = static_cast<std::size_t>(
+      spec.shift_position * static_cast<double>(n));
+  if (spec.shift_magnitude != 0.0 && break_at < n) {
+    for (std::size_t t = break_at; t < n; ++t) x[t] += spec.shift_magnitude;
+  }
+
+  // Stochastic components: AR(1) noise with optional variance break and
+  // heavy tails, plus an optional random-walk (unit-root) term.
+  double ar_state = 0.0;
+  double rw_state = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    double std_t = spec.noise_std;
+    if (t >= break_at && spec.shift_position > 0.0) {
+      std_t *= spec.variance_shift;
+    }
+    const double innovation =
+        spec.heavy_tail_dof > 0.0
+            ? rng.StudentT(spec.heavy_tail_dof) * std_t
+            : rng.Gaussian(0.0, std_t);
+    ar_state = spec.ar_coeff * ar_state + innovation;
+    x[t] += ar_state;
+    if (spec.random_walk_std > 0.0) {
+      rw_state += rng.Gaussian(0.0, spec.random_walk_std);
+      x[t] += rw_state;
+    }
+  }
+  return x;
+}
+
+ts::TimeSeries GenerateMultivariate(const MultivariateSpec& spec,
+                                    stats::Rng& rng) {
+  TFB_CHECK(spec.num_variables >= 1);
+  const std::size_t k = std::max<std::size_t>(spec.num_factors, 1);
+  const std::size_t n = spec.factor_spec.length;
+
+  std::vector<std::vector<double>> factors(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    SeriesSpec fs = spec.factor_spec;
+    fs.season_phase += spec.phase_jitter * rng.Gaussian();
+    // Small per-factor perturbation keeps factors related but distinct.
+    fs.trend_slope *= 1.0 + 0.2 * rng.Gaussian();
+    fs.season_amplitude *= 1.0 + 0.1 * rng.Gaussian();
+    factors[f] = GenerateSeries(fs, rng);
+  }
+
+  linalg::Matrix values(n, spec.num_variables);
+  const double share = std::clamp(spec.factor_share, 0.0, 1.0);
+  for (std::size_t v = 0; v < spec.num_variables; ++v) {
+    // Random nonnegative loading over factors, normalized to unit L1.
+    std::vector<double> loading(k);
+    double total = 0.0;
+    for (std::size_t f = 0; f < k; ++f) {
+      loading[f] = 0.1 + rng.Uniform();
+      total += loading[f];
+    }
+    for (double& l : loading) l /= total;
+    // Channel-specific idiosyncratic component.
+    SeriesSpec noise_spec;
+    noise_spec.length = n;
+    noise_spec.noise_std = spec.idiosyncratic_std;
+    noise_spec.ar_coeff = spec.factor_spec.ar_coeff * 0.5;
+    const std::vector<double> idio = GenerateSeries(noise_spec, rng);
+    const double scale = 1.0 + 0.3 * rng.Gaussian();
+    const double offset = 2.0 * rng.Gaussian();
+    const std::size_t lag =
+        spec.max_channel_lag > 0 ? rng.UniformInt(spec.max_channel_lag + 1)
+                                 : 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::size_t src = t >= lag ? t - lag : 0;
+      double common = 0.0;
+      for (std::size_t f = 0; f < k; ++f) {
+        common += loading[f] * factors[f][src];
+      }
+      values(t, v) =
+          offset + scale * (share * common + (1.0 - share) * idio[t]);
+    }
+  }
+  ts::TimeSeries out{std::move(values)};
+  out.set_seasonal_period(spec.factor_spec.period);
+  return out;
+}
+
+}  // namespace tfb::datagen

@@ -1,0 +1,69 @@
+#ifndef TFB_DATAGEN_GENERATOR_H_
+#define TFB_DATAGEN_GENERATOR_H_
+
+#include <vector>
+
+#include "tfb/stats/rng.h"
+#include "tfb/ts/time_series.h"
+
+namespace tfb::datagen {
+
+/// Recipe for one synthetic univariate series. Components are additive:
+///   x_t = trend(t) + season(t) + level_shift(t) + AR-noise(t) + RW(t)
+/// with every knob mapping to one of the paper's six characteristics:
+/// `trend_slope`/`trend_curvature` -> Trend strength, `season_amplitude` ->
+/// Seasonality strength, `shift_magnitude`/`variance_shift` -> Shifting,
+/// strong season+trend regularity -> Transition, `random_walk_std` ->
+/// non-Stationarity, heavy tails -> stock-like irregularity.
+struct SeriesSpec {
+  std::size_t length = 1000;
+  double base_level = 0.0;
+
+  double trend_slope = 0.0;      ///< Linear drift per step.
+  double trend_curvature = 0.0;  ///< Quadratic drift (per step^2).
+
+  std::size_t period = 0;         ///< Seasonal period; 0 disables.
+  double season_amplitude = 0.0;  ///< Amplitude of the fundamental.
+  int season_harmonics = 2;       ///< Number of harmonics (>=1).
+  double season_phase = 0.0;      ///< Phase offset in radians.
+
+  double noise_std = 1.0;   ///< Innovation standard deviation.
+  double ar_coeff = 0.0;    ///< AR(1) coefficient of the noise, |.| < 1.
+  double heavy_tail_dof = 0.0;  ///< >0: Student-t innovations (stock data).
+
+  double shift_position = 0.0;   ///< Fraction of length where a break occurs.
+  double shift_magnitude = 0.0;  ///< Level jump at the break.
+  double variance_shift = 1.0;   ///< Noise-std multiplier after the break.
+
+  double random_walk_std = 0.0;  ///< Integrated-noise component (unit root).
+};
+
+/// Generates one series from `spec` using `rng`.
+std::vector<double> GenerateSeries(const SeriesSpec& spec, stats::Rng& rng);
+
+/// Recipe for a synthetic multivariate dataset: `num_factors` latent series
+/// (each drawn from `factor_spec` with per-factor jitter) mixed into
+/// `num_variables` channels. `factor_share` in [0,1] controls how much of
+/// each channel is common factors vs. idiosyncratic noise, which directly
+/// tunes the Correlation characteristic (Definition 8).
+struct MultivariateSpec {
+  SeriesSpec factor_spec;
+  std::size_t num_variables = 8;
+  std::size_t num_factors = 3;
+  double factor_share = 0.6;
+  double idiosyncratic_std = 1.0;
+  double phase_jitter = 0.5;  ///< Random per-factor phase (decorrelates).
+  /// Each channel reads the common factors with its own random delay in
+  /// [0, max_channel_lag]. Non-zero lags create lead–lag structure that
+  /// only channel-dependent models can exploit — the mechanism behind the
+  /// paper's Figure 10 channel-dependence study.
+  std::size_t max_channel_lag = 0;
+};
+
+/// Generates a (T x N) multivariate series from `spec`.
+ts::TimeSeries GenerateMultivariate(const MultivariateSpec& spec,
+                                    stats::Rng& rng);
+
+}  // namespace tfb::datagen
+
+#endif  // TFB_DATAGEN_GENERATOR_H_

@@ -1,0 +1,83 @@
+#ifndef TFB_DATAGEN_REGISTRY_H_
+#define TFB_DATAGEN_REGISTRY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tfb/datagen/generator.h"
+#include "tfb/ts/split.h"
+#include "tfb/ts/time_series.h"
+
+namespace tfb::datagen {
+
+/// Profile of one of the paper's 25 multivariate datasets (Table 5).
+/// `paper_length`/`paper_dim` are the published statistics; `length`/`dim`
+/// are the CPU-scaled sizes this reproduction generates. The SeriesSpec and
+/// factor parameters are tuned so the generated data matches the dataset's
+/// characteristic profile (trend/seasonality/shifting/transition/
+/// correlation/stationarity) — the property the paper's analysis keys on.
+struct DatasetProfile {
+  std::string name;
+  ts::Domain domain = ts::Domain::kWeb;
+  ts::Frequency frequency = ts::Frequency::kOther;
+  std::size_t paper_length = 0;
+  std::size_t paper_dim = 0;
+  std::size_t length = 0;
+  std::size_t dim = 0;
+  ts::SplitRatio split;
+  bool long_horizon = true;  ///< Uses {96,192,336,720}-class horizons.
+
+  MultivariateSpec spec;
+};
+
+/// The 25 multivariate profiles mirroring Table 5, in table order.
+const std::vector<DatasetProfile>& MultivariateProfiles();
+
+/// Looks up a profile by dataset name (e.g. "ETTh2"); nullopt if unknown.
+std::optional<DatasetProfile> FindProfile(const std::string& name);
+
+/// Generates the synthetic dataset for a profile. Deterministic in
+/// (profile.name, seed).
+ts::TimeSeries GenerateDataset(const DatasetProfile& profile,
+                               std::uint64_t seed = 7);
+
+/// The paper's evaluation horizons for a profile (Section 5.1.2), scaled by
+/// `scale` and rounded down to at least 1: long-horizon datasets use
+/// {96,192,336,720}, short ones {24,36,48,60}.
+std::vector<std::size_t> EvaluationHorizons(const DatasetProfile& profile,
+                                            double scale = 1.0);
+
+/// One entry of the synthetic univariate collection (Table 4).
+struct UnivariateEntry {
+  ts::TimeSeries series;
+  std::size_t horizon = 8;  ///< Forecasting horizon F for this frequency.
+};
+
+/// Options for generating the univariate collection. The default generates
+/// a 10% scale model of the paper's 8,068 series with Table 4's frequency
+/// proportions and per-frequency characteristic mixes.
+struct UnivariateCollectionOptions {
+  double scale = 0.1;        ///< Fraction of the paper's 8,068 series.
+  std::uint64_t seed = 99;
+  bool apply_pfa = false;    ///< Over-generate 25% then PFA-select.
+};
+
+/// Generates the univariate collection.
+std::vector<UnivariateEntry> GenerateUnivariateCollection(
+    const UnivariateCollectionOptions& options = {});
+
+/// Per-frequency Table 4 metadata: paper series count and horizon F.
+struct UnivariateFrequencyInfo {
+  ts::Frequency frequency;
+  std::size_t paper_count;
+  std::size_t horizon;
+};
+
+/// Table 4 rows (yearly..other).
+const std::vector<UnivariateFrequencyInfo>& UnivariateFrequencyTable();
+
+}  // namespace tfb::datagen
+
+#endif  // TFB_DATAGEN_REGISTRY_H_

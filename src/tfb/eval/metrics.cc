@@ -1,0 +1,151 @@
+#include "tfb/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tfb/base/check.h"
+
+namespace tfb::eval {
+
+const std::vector<Metric>& AllMetrics() {
+  static const std::vector<Metric>& all = *new std::vector<Metric>{
+      Metric::kMae,  Metric::kMape,   Metric::kMse,  Metric::kSmape,
+      Metric::kRmse, Metric::kWape,   Metric::kMsmape, Metric::kMase,
+  };
+  return all;
+}
+
+std::string MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kMae: return "mae";
+    case Metric::kMape: return "mape";
+    case Metric::kMse: return "mse";
+    case Metric::kSmape: return "smape";
+    case Metric::kRmse: return "rmse";
+    case Metric::kWape: return "wape";
+    case Metric::kMsmape: return "msmape";
+    case Metric::kMase: return "mase";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double ChannelMetric(Metric metric, const std::vector<double>& f,
+                     const std::vector<double>& y,
+                     const std::vector<double>* train,
+                     std::size_t seasonality, double epsilon) {
+  const std::size_t h = f.size();
+  TFB_CHECK(h == y.size() && h > 0);
+  switch (metric) {
+    case Metric::kMae: {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < h; ++k) sum += std::fabs(f[k] - y[k]);
+      return sum / h;
+    }
+    case Metric::kMse: {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < h; ++k) {
+        sum += (f[k] - y[k]) * (f[k] - y[k]);
+      }
+      return sum / h;
+    }
+    case Metric::kRmse: {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < h; ++k) {
+        sum += (f[k] - y[k]) * (f[k] - y[k]);
+      }
+      return std::sqrt(sum / h);
+    }
+    case Metric::kMape: {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < h; ++k) {
+        if (y[k] == 0.0) return kInf;
+        sum += std::fabs((y[k] - f[k]) / y[k]);
+      }
+      return sum / h * 100.0;
+    }
+    case Metric::kSmape: {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < h; ++k) {
+        const double denom = (std::fabs(y[k]) + std::fabs(f[k])) / 2.0;
+        if (denom == 0.0) return kInf;
+        sum += std::fabs(f[k] - y[k]) / denom;
+      }
+      return sum / h * 100.0;
+    }
+    case Metric::kWape: {
+      double num = 0.0;
+      double denom = 0.0;
+      for (std::size_t k = 0; k < h; ++k) {
+        num += std::fabs(y[k] - f[k]);
+        denom += std::fabs(y[k]);
+      }
+      if (denom == 0.0) return kInf;
+      return num / denom;
+    }
+    case Metric::kMsmape: {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < h; ++k) {
+        const double denom = std::max(std::fabs(y[k]) + std::fabs(f[k]) +
+                                          epsilon,
+                                      0.5 + epsilon) /
+                             2.0;
+        sum += std::fabs(f[k] - y[k]) / denom;
+      }
+      return sum / h * 100.0;
+    }
+    case Metric::kMase: {
+      TFB_CHECK_MSG(train != nullptr && !train->empty(),
+                    "MASE requires the training series in MetricContext");
+      const std::vector<double>& tr = *train;
+      const std::size_t m = tr.size();
+      const std::size_t s = std::max<std::size_t>(1, seasonality);
+      if (m <= s) return kInf;
+      double denom = 0.0;
+      for (std::size_t k = s; k < m; ++k) {
+        denom += std::fabs(tr[k] - tr[k - s]);
+      }
+      denom /= static_cast<double>(m - s);
+      if (denom == 0.0) return kInf;
+      double num = 0.0;
+      for (std::size_t k = 0; k < h; ++k) num += std::fabs(f[k] - y[k]);
+      return num / (h * denom);
+    }
+  }
+  return kInf;
+}
+
+}  // namespace
+
+double ComputeMetric(Metric metric, const ts::TimeSeries& forecast,
+                     const ts::TimeSeries& actual,
+                     const MetricContext& context) {
+  TFB_CHECK(forecast.length() == actual.length());
+  TFB_CHECK(forecast.num_variables() == actual.num_variables());
+  const std::size_t n = forecast.num_variables();
+  double total = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::vector<double> f = forecast.Column(v);
+    const std::vector<double> y = actual.Column(v);
+    const std::vector<double>* train =
+        v < context.train.size() ? &context.train[v] : nullptr;
+    total += ChannelMetric(metric, f, y, train, context.seasonality,
+                           context.epsilon);
+  }
+  return total / static_cast<double>(n);
+}
+
+double ComputeMetric(Metric metric, const std::vector<double>& forecast,
+                     const std::vector<double>& actual,
+                     const MetricContext& context) {
+  const std::vector<double>* train =
+      context.train.empty() ? nullptr : &context.train[0];
+  return ChannelMetric(metric, forecast, actual, train, context.seasonality,
+                       context.epsilon);
+}
+
+}  // namespace tfb::eval

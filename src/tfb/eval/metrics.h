@@ -1,0 +1,57 @@
+#ifndef TFB_EVAL_METRICS_H_
+#define TFB_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "tfb/ts/time_series.h"
+
+namespace tfb::eval {
+
+/// The eight error metrics of Section 4.3.2 (Equations 7–14).
+enum class Metric {
+  kMae,
+  kMape,
+  kMse,
+  kSmape,
+  kRmse,
+  kWape,
+  kMsmape,
+  kMase,
+};
+
+/// All metrics, in equation order.
+const std::vector<Metric>& AllMetrics();
+
+/// Canonical lowercase name ("mae", "msmape", ...).
+std::string MetricName(Metric metric);
+
+/// Extra inputs needed by scale-aware metrics (currently MASE).
+struct MetricContext {
+  /// In-sample (training) series used for the MASE denominator, one vector
+  /// per variable. May be empty when MASE is not requested.
+  std::vector<std::vector<double>> train;
+  /// Seasonal period S of Equation 14 (>= 1).
+  std::size_t seasonality = 1;
+  /// Epsilon of Equation 13 (MSMAPE); the paper uses the proposed 0.1.
+  double epsilon = 0.1;
+};
+
+/// Computes `metric` between `forecast` and `actual` (same shape).
+/// Multivariate input is scored per variable and averaged, matching the
+/// per-dataset numbers in Tables 7–8. Percentage metrics return values on
+/// the 0–100 scale. Division-by-zero terms follow the conventions of the
+/// reference implementation (MAPE/WAPE may return inf on zero actuals —
+/// the "inf" entries of Table 8 are genuine behaviour, not failures).
+double ComputeMetric(Metric metric, const ts::TimeSeries& forecast,
+                     const ts::TimeSeries& actual,
+                     const MetricContext& context = {});
+
+/// Convenience single-variable overload.
+double ComputeMetric(Metric metric, const std::vector<double>& forecast,
+                     const std::vector<double>& actual,
+                     const MetricContext& context = {});
+
+}  // namespace tfb::eval
+
+#endif  // TFB_EVAL_METRICS_H_

@@ -1,0 +1,150 @@
+#include "tfb/eval/strategy.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "tfb/base/check.h"
+
+namespace tfb::eval {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::size_t ResolveSeasonality(const ts::TimeSeries& series,
+                               std::size_t requested) {
+  if (requested > 0) return requested;
+  if (series.seasonal_period() > 0) return series.seasonal_period();
+  return ts::DefaultSeasonalPeriod(series.frequency());
+}
+
+MetricContext MakeContext(const ts::TimeSeries& train,
+                          std::size_t seasonality, bool need_train) {
+  MetricContext ctx;
+  ctx.seasonality = std::max<std::size_t>(1, seasonality);
+  if (need_train) {
+    ctx.train.reserve(train.num_variables());
+    for (std::size_t v = 0; v < train.num_variables(); ++v) {
+      ctx.train.push_back(train.Column(v));
+    }
+  }
+  return ctx;
+}
+
+bool NeedsTrainContext(const std::vector<Metric>& metrics) {
+  return std::find(metrics.begin(), metrics.end(), Metric::kMase) !=
+         metrics.end();
+}
+
+}  // namespace
+
+EvalResult FixedForecastEvaluate(methods::Forecaster& forecaster,
+                                 const ts::TimeSeries& series,
+                                 std::size_t horizon,
+                                 const FixedOptions& options) {
+  TFB_CHECK(series.length() > horizon + 2);
+  EvalResult result;
+  const ts::TimeSeries history = series.Slice(0, series.length() - horizon);
+  const ts::TimeSeries actual =
+      series.Slice(series.length() - horizon, series.length());
+
+  const auto fit_start = Clock::now();
+  forecaster.Fit(history);
+  result.fit_seconds = SecondsSince(fit_start);
+
+  const auto infer_start = Clock::now();
+  const ts::TimeSeries forecast = forecaster.Forecast(history, horizon);
+  result.inference_seconds = SecondsSince(infer_start);
+
+  const std::size_t seasonality =
+      ResolveSeasonality(series, options.seasonality);
+  const MetricContext ctx =
+      MakeContext(history, seasonality, NeedsTrainContext(options.metrics));
+  for (Metric m : options.metrics) {
+    result.metrics[m] = ComputeMetric(m, forecast, actual, ctx);
+  }
+  result.num_windows = 1;
+  return result;
+}
+
+EvalResult RollingForecastEvaluate(const methods::ForecasterFactory& factory,
+                                   const ts::TimeSeries& series,
+                                   std::size_t horizon,
+                                   const RollingOptions& options) {
+  EvalResult result;
+  TFB_CHECK(series.length() > horizon + 8);
+
+  // Standardized handling: split chronologically, fit the scaler on train
+  // only, evaluate on the normalized series (the paper's protocol).
+  const ts::Split raw_split = ChronologicalSplit(series, options.split);
+  const ts::Scaler scaler = ts::Scaler::Fit(raw_split.train, options.scaler);
+  const ts::TimeSeries normalized = scaler.Transform(series);
+  const std::size_t test_start = raw_split.val_end;
+  TFB_CHECK(test_start + horizon <= normalized.length());
+
+  // Forecast origins: every `stride` steps across the test region.
+  const std::size_t stride = options.stride > 0 ? options.stride : horizon;
+  std::vector<std::size_t> origins;
+  for (std::size_t t = test_start; t + horizon <= normalized.length();
+       t += stride) {
+    origins.push_back(t);
+  }
+  if (options.max_windows > 0 && origins.size() > options.max_windows) {
+    origins.resize(options.max_windows);
+  }
+  if (options.drop_last && options.batch_size > 0) {
+    // The Table 2 bias: discard the final incomplete batch of test samples.
+    const std::size_t kept =
+        origins.size() / options.batch_size * options.batch_size;
+    origins.resize(kept);
+  }
+  TFB_CHECK_MSG(!origins.empty(), "no rolling windows fit the test region");
+
+  std::unique_ptr<methods::Forecaster> forecaster = factory();
+  TFB_CHECK(forecaster != nullptr);
+  const bool refit = forecaster->RefitPerWindow();
+
+  if (!refit) {
+    // Fit once on train+val (the model may hold out its own validation
+    // tail internally for early stopping).
+    const auto fit_start = Clock::now();
+    forecaster->Fit(normalized.Slice(0, test_start));
+    result.fit_seconds = SecondsSince(fit_start);
+  }
+
+  const std::size_t seasonality =
+      ResolveSeasonality(series, options.seasonality);
+  const MetricContext ctx =
+      MakeContext(normalized.Slice(0, raw_split.train_end), seasonality,
+                  NeedsTrainContext(options.metrics));
+
+  std::map<Metric, double> sums;
+  for (Metric m : options.metrics) sums[m] = 0.0;
+  for (const std::size_t origin : origins) {
+    const ts::TimeSeries history = normalized.Slice(0, origin);
+    if (refit) {
+      const auto fit_start = Clock::now();
+      forecaster->Fit(history);
+      result.fit_seconds += SecondsSince(fit_start);
+    }
+    const auto infer_start = Clock::now();
+    const ts::TimeSeries forecast = forecaster->Forecast(history, horizon);
+    result.inference_seconds += SecondsSince(infer_start);
+    const ts::TimeSeries actual =
+        normalized.Slice(origin, origin + horizon);
+    for (Metric m : options.metrics) {
+      sums[m] += ComputeMetric(m, forecast, actual, ctx);
+    }
+  }
+  result.num_windows = origins.size();
+  for (Metric m : options.metrics) {
+    result.metrics[m] = sums[m] / static_cast<double>(origins.size());
+  }
+  return result;
+}
+
+}  // namespace tfb::eval

@@ -1,0 +1,66 @@
+#ifndef TFB_EVAL_STRATEGY_H_
+#define TFB_EVAL_STRATEGY_H_
+
+#include <map>
+
+#include "tfb/eval/metrics.h"
+#include "tfb/methods/forecaster.h"
+#include "tfb/ts/scaler.h"
+#include "tfb/ts/split.h"
+
+namespace tfb::eval {
+
+/// Outcome of evaluating one method on one series at one horizon: window-
+/// averaged metric values plus timing for the efficiency study (Figure 11).
+struct EvalResult {
+  std::map<Metric, double> metrics;
+  std::size_t num_windows = 0;
+  double fit_seconds = 0.0;
+  double inference_seconds = 0.0;   ///< Total across windows.
+  double inference_ms_per_window() const {
+    return num_windows > 0 ? inference_seconds / num_windows * 1e3 : 0.0;
+  }
+};
+
+/// Options for the fixed strategy (Figure 6a): one split, the last
+/// `horizon` points are forecast from everything before them. Used for the
+/// univariate study, matching the M4 protocol.
+struct FixedOptions {
+  std::vector<Metric> metrics = {Metric::kMase, Metric::kMsmape};
+  std::size_t seasonality = 0;  ///< 0 = series default (for MASE).
+};
+
+/// Evaluates `forecaster` on `series` with the fixed strategy.
+EvalResult FixedForecastEvaluate(methods::Forecaster& forecaster,
+                                 const ts::TimeSeries& series,
+                                 std::size_t horizon,
+                                 const FixedOptions& options = {});
+
+/// Options for the rolling strategy (Figure 6b), the protocol of the
+/// multivariate study.
+struct RollingOptions {
+  std::vector<Metric> metrics = {Metric::kMae, Metric::kMse};
+  std::size_t stride = 0;        ///< 0 = horizon (non-overlapping windows).
+  ts::SplitRatio split;          ///< Chronological train/val/test split.
+  ts::ScalerKind scaler = ts::ScalerKind::kZScore;  ///< Fit on train only.
+  std::size_t max_windows = 0;   ///< Cap on evaluated test windows; 0 = all.
+  std::size_t batch_size = 64;   ///< Test batching granularity.
+  /// Reproduces the "Drop Last" bias of Table 2 / Figure 4: discard the
+  /// final incomplete test batch. TFB's fair default is OFF.
+  bool drop_last = false;
+  std::size_t seasonality = 0;   ///< 0 = series default (for MASE).
+};
+
+/// Evaluates a method on `series` with the rolling strategy. The factory
+/// is invoked once; methods with RefitPerWindow() retrain on the expanding
+/// history at each iteration (the statistical protocol of Section 4.3.1),
+/// others fit once on train(+val) and re-infer per window. Metrics are
+/// computed on the scaler-normalized series, as the paper reports.
+EvalResult RollingForecastEvaluate(const methods::ForecasterFactory& factory,
+                                   const ts::TimeSeries& series,
+                                   std::size_t horizon,
+                                   const RollingOptions& options = {});
+
+}  // namespace tfb::eval
+
+#endif  // TFB_EVAL_STRATEGY_H_

@@ -1,0 +1,140 @@
+#include "tfb/fft/fft.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfb/base/check.h"
+#include "tfb/stats/descriptive.h"
+
+namespace tfb::fft {
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  TFB_CHECK((n & (n - 1)) == 0);
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& c : x) c *= inv;
+  }
+}
+
+std::vector<Complex> RealFft(std::span<const double> x) {
+  const std::size_t n = NextPowerOfTwo(std::max<std::size_t>(x.size(), 1));
+  std::vector<Complex> buf(n, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = Complex(x[i], 0.0);
+  Fft(buf, /*inverse=*/false);
+  return buf;
+}
+
+std::vector<double> AutocorrelationFft(std::span<const double> x) {
+  const std::size_t n = x.size();
+  std::vector<double> acf(n, 0.0);
+  if (n == 0) return acf;
+  const double mean = stats::Mean(x);
+  // Zero-pad to 2n to avoid circular wrap-around.
+  const std::size_t padded = NextPowerOfTwo(2 * n);
+  std::vector<Complex> buf(padded, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) buf[i] = Complex(x[i] - mean, 0.0);
+  Fft(buf, /*inverse=*/false);
+  for (auto& c : buf) c = Complex(std::norm(c), 0.0);
+  Fft(buf, /*inverse=*/true);
+  const double denom = buf[0].real();
+  if (denom < 1e-15) return acf;
+  for (std::size_t k = 0; k < n; ++k) acf[k] = buf[k].real() / denom;
+  return acf;
+}
+
+std::size_t FirstZeroAutocorrelation(std::span<const double> x) {
+  const std::vector<double> acf = AutocorrelationFft(x);
+  for (std::size_t k = 1; k < acf.size(); ++k) {
+    if (acf[k] <= 0.0) return k;
+  }
+  return x.size();
+}
+
+std::vector<double> Periodogram(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n == 0) return {};
+  const double mean = stats::Mean(x);
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = x[i] - mean;
+  std::vector<Complex> spec = RealFft(centered);
+  const std::size_t half = spec.size() / 2;
+  std::vector<double> power(half + 1);
+  for (std::size_t k = 0; k <= half; ++k) {
+    power[k] = std::norm(spec[k]) / static_cast<double>(spec.size());
+  }
+  return power;
+}
+
+std::size_t EstimatePeriod(std::span<const double> x, std::size_t min_period,
+                           std::size_t max_period) {
+  if (x.size() < 2 * min_period) return 1;
+  const std::vector<double> power = Periodogram(x);
+  const std::size_t padded = NextPowerOfTwo(x.size());
+  // Skip the DC bin; find the strongest bin whose implied period is in range.
+  double best_power = 0.0;
+  std::size_t best_period = 1;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    const double period = static_cast<double>(padded) / static_cast<double>(k);
+    if (period < static_cast<double>(min_period) ||
+        period > static_cast<double>(std::min(max_period, x.size() / 2))) {
+      continue;
+    }
+    if (power[k] > best_power) {
+      best_power = power[k];
+      best_period = static_cast<std::size_t>(std::lround(period));
+    }
+  }
+  // Require the peak to dominate the mean spectral power; otherwise the
+  // series is treated as non-seasonal.
+  const double mean_power = stats::Mean(power);
+  if (best_power < 4.0 * mean_power) return 1;
+  // Refine against the ACF: pick the candidate (or a small neighbourhood)
+  // with maximal autocorrelation, which resists spectral leakage.
+  const std::vector<double> acf = AutocorrelationFft(x);
+  std::size_t refined = best_period;
+  double best_acf = -2.0;
+  const std::size_t lo = best_period > 2 ? best_period - 2 : 2;
+  const std::size_t hi = std::min(best_period + 2, acf.size() - 1);
+  for (std::size_t p = lo; p <= hi; ++p) {
+    if (acf[p] > best_acf) {
+      best_acf = acf[p];
+      refined = p;
+    }
+  }
+  // White noise can still produce a dominant periodogram bin (the max of
+  // ~n exponential variables); genuine seasonality must also show positive
+  // autocorrelation at the candidate period.
+  if (best_acf < 0.15) return 1;
+  return refined;
+}
+
+}  // namespace tfb::fft

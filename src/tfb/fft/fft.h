@@ -1,0 +1,45 @@
+#ifndef TFB_FFT_FFT_H_
+#define TFB_FFT_FFT_H_
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace tfb::fft {
+
+using Complex = std::complex<double>;
+
+/// Smallest power of two >= n.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `x.size()` must be a power
+/// of two. `inverse` applies the conjugate transform and 1/n scaling.
+void Fft(std::vector<Complex>& x, bool inverse);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum of the padded signal.
+std::vector<Complex> RealFft(std::span<const double> x);
+
+/// Full (biased) autocorrelation function computed via FFT:
+/// acf[k] = sum_i (x_i - mean)(x_{i+k} - mean) / sum_i (x_i - mean)^2.
+/// Returned vector has x.size() entries, acf[0] == 1 (or 0 for a constant
+/// series).
+std::vector<double> AutocorrelationFft(std::span<const double> x);
+
+/// First lag k >= 1 at which the ACF crosses zero (catch22's firstzero_ac).
+/// Returns x.size() when the ACF never crosses zero.
+std::size_t FirstZeroAutocorrelation(std::span<const double> x);
+
+/// Periodogram power spectrum (mean-removed, Hann-free raw periodogram):
+/// entry k is |X_k|^2 / n for k in [0, n_padded/2].
+std::vector<double> Periodogram(std::span<const double> x);
+
+/// Estimates the dominant seasonal period from the periodogram peak,
+/// restricted to periods in [min_period, max_period]. Returns 1 when the
+/// spectrum is flat (no meaningful seasonality).
+std::size_t EstimatePeriod(std::span<const double> x, std::size_t min_period = 2,
+                           std::size_t max_period = 512);
+
+}  // namespace tfb::fft
+
+#endif  // TFB_FFT_FFT_H_

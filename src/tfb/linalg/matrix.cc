@@ -1,0 +1,168 @@
+#include "tfb/linalg/matrix.h"
+
+#include <cmath>
+#include <utility>
+
+namespace tfb::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    TFB_CHECK(r.size() == cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRowMajor(std::size_t rows, std::size_t cols,
+                            std::vector<double> data) {
+  TFB_CHECK(data.size() == rows * cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Vector Matrix::RowVector(std::size_t r) const {
+  TFB_CHECK(r < rows_);
+  return Vector(row(r), row(r) + cols_);
+}
+
+Vector Matrix::ColVector(std::size_t c) const {
+  TFB_CHECK(c < cols_);
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::SetRow(std::size_t r, const Vector& v) {
+  TFB_CHECK(r < rows_ && v.size() == cols_);
+  std::copy(v.begin(), v.end(), row(r));
+}
+
+void Matrix::SetCol(std::size_t c, const Vector& v) {
+  TFB_CHECK(c < cols_ && v.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  TFB_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  TFB_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  TFB_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order keeps inner accesses contiguous for row-major storage.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* orow = out.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatTMul(const Matrix& a, const Matrix& b) {
+  TFB_CHECK(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row(k);
+    const double* brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulT(const Matrix& a, const Matrix& b) {
+  TFB_CHECK(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Vector MatVec(const Matrix& m, const Vector& v) {
+  TFB_CHECK(m.cols() == v.size());
+  Vector out(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* mrow = m.row(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) sum += mrow[c] * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+
+Matrix operator*(Matrix a, double s) {
+  a *= s;
+  return a;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  TFB_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace tfb::linalg

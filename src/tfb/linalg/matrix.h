@@ -1,0 +1,117 @@
+#ifndef TFB_LINALG_MATRIX_H_
+#define TFB_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "tfb/base/check.h"
+
+namespace tfb::linalg {
+
+/// Dense column vector of doubles.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the numeric workhorse for the whole library: OLS solvers for
+/// VAR/ARIMA/LinearRegression, PCA covariance eigen-decompositions, and the
+/// tfb::nn mini neural-network engine all operate on Matrix. The class is a
+/// plain value type: copyable, movable, cheap default construction.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a `rows x cols` matrix initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates a matrix from nested initializer lists; all rows must have the
+  /// same length. Intended for tests and small literals.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds an `n x n` identity matrix.
+  static Matrix Identity(std::size_t n);
+
+  /// Builds a matrix from `data` laid out row-major.
+  static Matrix FromRowMajor(std::size_t rows, std::size_t cols,
+                             std::vector<double> data);
+
+  /// Number of rows.
+  std::size_t rows() const { return rows_; }
+  /// Number of columns.
+  std::size_t cols() const { return cols_; }
+  /// Total number of elements.
+  std::size_t size() const { return data_.size(); }
+  /// True if the matrix holds no elements.
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access (row `r`, column `c`).
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row-major storage.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Pointer to the start of row `r`.
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row `r` into a Vector.
+  Vector RowVector(std::size_t r) const;
+  /// Copies column `c` into a Vector.
+  Vector ColVector(std::size_t c) const;
+  /// Overwrites row `r` with `v` (v.size() must equal cols()).
+  void SetRow(std::size_t r, const Vector& v);
+  /// Overwrites column `c` with `v` (v.size() must equal rows()).
+  void SetCol(std::size_t c, const Vector& v);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Element-wise addition; shapes must match.
+  Matrix& operator+=(const Matrix& other);
+  /// Element-wise subtraction; shapes must match.
+  Matrix& operator-=(const Matrix& other);
+  /// Scales all elements by `s`.
+  Matrix& operator*=(double s);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Matrix product `a * b`; a.cols() must equal b.rows().
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// `a^T * b` without materializing the transpose.
+Matrix MatTMul(const Matrix& a, const Matrix& b);
+
+/// `a * b^T` without materializing the transpose.
+Matrix MatMulT(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product; v.size() must equal m.cols().
+Vector MatVec(const Matrix& m, const Vector& v);
+
+/// Element-wise sum.
+Matrix operator+(Matrix a, const Matrix& b);
+/// Element-wise difference.
+Matrix operator-(Matrix a, const Matrix& b);
+/// Scalar product.
+Matrix operator*(Matrix a, double s);
+
+/// Dot product of equal-length vectors.
+double Dot(const Vector& a, const Vector& b);
+
+}  // namespace tfb::linalg
+
+#endif  // TFB_LINALG_MATRIX_H_

@@ -1,0 +1,211 @@
+#include "tfb/linalg/solve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tfb::linalg {
+
+namespace {
+
+// In-place LU with partial pivoting. Returns false when singular.
+// `perm[i]` records the pivot row chosen at step i.
+bool LuFactor(Matrix& a, std::vector<std::size_t>& perm) {
+  const std::size_t n = a.rows();
+  TFB_CHECK(a.cols() == n);
+  perm.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::fabs(a(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-13) return false;
+    perm[k] = pivot;
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(k, c), a(pivot, c));
+    }
+    const double inv = 1.0 / a(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = a(r, k) * inv;
+      a(r, k) = f;
+      if (f == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) a(r, c) -= f * a(k, c);
+    }
+  }
+  return true;
+}
+
+void LuSolveInPlace(const Matrix& lu, const std::vector<std::size_t>& perm,
+                    Vector& b) {
+  const std::size_t n = lu.rows();
+  // The stored multipliers are the fully row-swapped L (LAPACK layout), so
+  // the whole pivot sequence must be applied to b before forward
+  // substitution.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (perm[k] != k) std::swap(b[k], b[perm[k]]);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t r = k + 1; r < n; ++r) b[r] -= lu(r, k) * b[k];
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t c = k + 1; c < n; ++c) b[k] -= lu(k, c) * b[c];
+    b[k] /= lu(k, k);
+  }
+}
+
+}  // namespace
+
+std::optional<Vector> SolveLu(Matrix a, Vector b) {
+  TFB_CHECK(a.rows() == b.size());
+  std::vector<std::size_t> perm;
+  if (!LuFactor(a, perm)) return std::nullopt;
+  LuSolveInPlace(a, perm, b);
+  return b;
+}
+
+std::optional<Matrix> SolveLuMatrix(Matrix a, Matrix b) {
+  TFB_CHECK(a.rows() == b.rows());
+  std::vector<std::size_t> perm;
+  if (!LuFactor(a, perm)) return std::nullopt;
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    Vector col = b.ColVector(c);
+    LuSolveInPlace(a, perm, col);
+    b.SetCol(c, col);
+  }
+  return b;
+}
+
+std::optional<Matrix> Cholesky(const Matrix& a) {
+  const std::size_t n = a.rows();
+  TFB_CHECK(a.cols() == n);
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return std::nullopt;
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::optional<Vector> SolveCholesky(const Matrix& a, const Vector& b) {
+  auto l = Cholesky(a);
+  if (!l) return std::nullopt;
+  const std::size_t n = b.size();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= (*l)(i, k) * y[k];
+    y[i] = sum / (*l)(i, i);
+  }
+  Vector x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= (*l)(k, i) * x[k];
+    x[i] = sum / (*l)(i, i);
+  }
+  return x;
+}
+
+std::optional<Vector> LeastSquares(const Matrix& x, const Vector& y,
+                                   double ridge) {
+  TFB_CHECK(x.rows() == y.size());
+  Matrix xtx = MatTMul(x, x);
+  for (std::size_t i = 0; i < xtx.rows(); ++i) xtx(i, i) += ridge;
+  Vector xty(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) xty[c] += row[c] * y[r];
+  }
+  auto beta = SolveCholesky(xtx, xty);
+  if (beta) return beta;
+  // Fall back to a jittered solve for rank-deficient designs.
+  for (std::size_t i = 0; i < xtx.rows(); ++i) xtx(i, i) += 1e-8 + ridge;
+  return SolveCholesky(xtx, xty);
+}
+
+std::optional<Matrix> LeastSquaresMulti(const Matrix& x, const Matrix& y,
+                                        double ridge) {
+  TFB_CHECK(x.rows() == y.rows());
+  Matrix xtx = MatTMul(x, x);
+  for (std::size_t i = 0; i < xtx.rows(); ++i) xtx(i, i) += ridge;
+  Matrix xty = MatTMul(x, y);
+  auto sol = SolveLuMatrix(xtx, xty);
+  if (sol) return sol;
+  for (std::size_t i = 0; i < xtx.rows(); ++i) xtx(i, i) += 1e-8 + ridge;
+  return SolveLuMatrix(xtx, std::move(xty));
+}
+
+EigenResult SymmetricEigen(Matrix a, int max_sweeps) {
+  const std::size_t n = a.rows();
+  TFB_CHECK(a.cols() == n);
+  Matrix v = Matrix::Identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (off < 1e-22) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-18) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Vector diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return diag[i] > diag[j]; });
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.values[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i)
+      result.vectors(i, j) = v(i, order[j]);
+  }
+  return result;
+}
+
+std::optional<Matrix> Inverse(const Matrix& a) {
+  return SolveLuMatrix(a, Matrix::Identity(a.rows()));
+}
+
+}  // namespace tfb::linalg

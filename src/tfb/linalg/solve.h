@@ -1,0 +1,53 @@
+#ifndef TFB_LINALG_SOLVE_H_
+#define TFB_LINALG_SOLVE_H_
+
+#include <optional>
+
+#include "tfb/linalg/matrix.h"
+
+namespace tfb::linalg {
+
+/// Solves `a * x = b` for square `a` via partially pivoted LU.
+/// Returns std::nullopt when `a` is (numerically) singular.
+std::optional<Vector> SolveLu(Matrix a, Vector b);
+
+/// Solves `a * X = B` for square `a` and matrix right-hand side.
+std::optional<Matrix> SolveLuMatrix(Matrix a, Matrix b);
+
+/// Cholesky factorization of a symmetric positive-definite matrix;
+/// returns the lower-triangular factor L with `a = L L^T`, or nullopt if
+/// the matrix is not positive definite.
+std::optional<Matrix> Cholesky(const Matrix& a);
+
+/// Solves the SPD system `a * x = b` using Cholesky.
+std::optional<Vector> SolveCholesky(const Matrix& a, const Vector& b);
+
+/// Ordinary least squares: returns beta minimizing ||x * beta - y||^2.
+/// `ridge` adds L2 regularization (lambda * I on the normal equations,
+/// intercept not excluded); a tiny default keeps near-collinear designs
+/// solvable, matching the behaviour benchmark pipelines rely on.
+std::optional<Vector> LeastSquares(const Matrix& x, const Vector& y,
+                                   double ridge = 0.0);
+
+/// Multi-output least squares: solves for B in `x * B ≈ Y` column-wise with
+/// one factorization. Returns a `x.cols() x y.cols()` coefficient matrix.
+std::optional<Matrix> LeastSquaresMulti(const Matrix& x, const Matrix& y,
+                                        double ridge = 0.0);
+
+/// Result of a symmetric eigen-decomposition.
+struct EigenResult {
+  Vector values;   ///< Eigenvalues in descending order.
+  Matrix vectors;  ///< Column i is the eigenvector for values[i].
+};
+
+/// Cyclic Jacobi eigen-decomposition of a symmetric matrix. Accurate and
+/// simple; O(n^3) per sweep, fine for the <=2000-dim covariance matrices the
+/// characterization layer produces.
+EigenResult SymmetricEigen(Matrix a, int max_sweeps = 64);
+
+/// Inverse of a square matrix via LU; nullopt when singular.
+std::optional<Matrix> Inverse(const Matrix& a);
+
+}  // namespace tfb::linalg
+
+#endif  // TFB_LINALG_SOLVE_H_

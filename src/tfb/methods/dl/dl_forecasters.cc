@@ -1,0 +1,190 @@
+#include "tfb/methods/dl/dl_forecasters.h"
+
+#include <algorithm>
+
+#include "tfb/nn/conv.h"
+#include "tfb/nn/gru.h"
+#include "tfb/nn/nets.h"
+
+namespace tfb::methods {
+
+namespace {
+
+// Applies the method's preferred per-window normalization unless the caller
+// explicitly chose a non-default mode (kLastValue is the NeuralOptions
+// default, so an explicit kNone/kStandardize request always wins — used by
+// the normalization ablation in bench_ablation_design).
+NeuralOptions WithNorm(NeuralOptions options, WindowNorm preferred) {
+  if (options.norm == WindowNorm::kLastValue) options.norm = preferred;
+  return options;
+}
+
+}  // namespace
+
+NLinearForecaster::NLinearForecaster(NeuralOptions options)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kLastValue)) {}
+
+std::unique_ptr<nn::Module> NLinearForecaster::BuildNetwork(
+    std::size_t in, std::size_t out, std::size_t, stats::Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::Dense>(in, out, rng));
+  return net;
+}
+
+DLinearForecaster::DLinearForecaster(NeuralOptions options,
+                                     std::size_t ma_kernel)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kLastValue)),
+      ma_kernel_(ma_kernel) {}
+
+std::unique_ptr<nn::Module> DLinearForecaster::BuildNetwork(
+    std::size_t in, std::size_t out, std::size_t, stats::Rng& rng) {
+  const std::size_t kernel = std::min(ma_kernel_, in);
+  return std::make_unique<nn::DLinearNet>(in, out, kernel, rng);
+}
+
+MlpForecaster::MlpForecaster(NeuralOptions options, std::size_t hidden)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kLastValue)),
+      hidden_(hidden) {}
+
+std::unique_ptr<nn::Module> MlpForecaster::BuildNetwork(std::size_t in,
+                                                        std::size_t out,
+                                                        std::size_t,
+                                                        stats::Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::Dense>(in, hidden_, rng));
+  net->Add(std::make_unique<nn::Gelu>());
+  net->Add(std::make_unique<nn::Dense>(hidden_, hidden_, rng));
+  net->Add(std::make_unique<nn::Gelu>());
+  net->Add(std::make_unique<nn::Dense>(hidden_, out, rng));
+  return net;
+}
+
+NBeatsForecaster::NBeatsForecaster(NeuralOptions options, int blocks,
+                                   std::size_t hidden)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kLastValue)),
+      blocks_(blocks),
+      hidden_(hidden) {}
+
+std::unique_ptr<nn::Module> NBeatsForecaster::BuildNetwork(std::size_t in,
+                                                           std::size_t out,
+                                                           std::size_t,
+                                                           stats::Rng& rng) {
+  return std::make_unique<nn::NBeatsNet>(in, out, blocks_, hidden_, rng);
+}
+
+RnnForecaster::RnnForecaster(NeuralOptions options, std::size_t hidden)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kStandardize)),
+      hidden_(hidden) {}
+
+std::unique_ptr<nn::Module> RnnForecaster::BuildNetwork(std::size_t in,
+                                                        std::size_t out,
+                                                        std::size_t,
+                                                        stats::Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::GruLayer>(in, hidden_, rng));
+  net->Add(std::make_unique<nn::Dense>(hidden_, out, rng));
+  return net;
+}
+
+TcnForecaster::TcnForecaster(NeuralOptions options, std::size_t channels)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kStandardize)),
+      conv_channels_(channels) {}
+
+std::unique_ptr<nn::Module> TcnForecaster::BuildNetwork(std::size_t in,
+                                                        std::size_t out,
+                                                        std::size_t,
+                                                        stats::Rng& rng) {
+  // Dilations sized to cover the look-back with a kernel of 3.
+  std::vector<std::size_t> dilations;
+  std::size_t receptive = 1;
+  std::size_t d = 1;
+  while (receptive < in && dilations.size() < 6) {
+    dilations.push_back(d);
+    receptive += 2 * d;
+    d *= 2;
+  }
+  if (dilations.empty()) dilations.push_back(1);
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::CausalConvStack>(in, conv_channels_,
+                                                 dilations, 3, rng));
+  net->Add(std::make_unique<nn::Dense>(conv_channels_, out, rng));
+  return net;
+}
+
+PatchAttentionForecaster::PatchAttentionForecaster(NeuralOptions options,
+                                                   std::size_t num_patches,
+                                                   std::size_t model_dim)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kStandardize)),
+      num_patches_(num_patches),
+      model_dim_(model_dim) {}
+
+std::size_t PatchAttentionForecaster::AdjustLookback(
+    std::size_t lookback) const {
+  // Round down to a multiple of the patch count (at least one element per
+  // patch).
+  const std::size_t rounded = (lookback / num_patches_) * num_patches_;
+  return std::max(rounded, num_patches_);
+}
+
+std::unique_ptr<nn::Module> PatchAttentionForecaster::BuildNetwork(
+    std::size_t in, std::size_t out, std::size_t, stats::Rng& rng) {
+  return std::make_unique<nn::PatchAttentionNet>(in, out, num_patches_,
+                                                 model_dim_, rng);
+}
+
+CrossAttentionForecaster::CrossAttentionForecaster(NeuralOptions options,
+                                                   std::size_t model_dim)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kStandardize)),
+      model_dim_(model_dim) {}
+
+std::unique_ptr<nn::Module> CrossAttentionForecaster::BuildNetwork(
+    std::size_t in, std::size_t out, std::size_t channels, stats::Rng& rng) {
+  const std::size_t seq_len = in / channels;
+  const std::size_t horizon = out / channels;
+  return std::make_unique<nn::CrossAttentionNet>(seq_len, horizon, channels,
+                                                 model_dim_, rng);
+}
+
+FrequencyLinearForecaster::FrequencyLinearForecaster(NeuralOptions options,
+                                                     std::size_t num_freqs)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kStandardize)),
+      num_freqs_(num_freqs) {}
+
+std::unique_ptr<nn::Module> FrequencyLinearForecaster::BuildNetwork(
+    std::size_t in, std::size_t out, std::size_t, stats::Rng& rng) {
+  const std::size_t k = std::min(num_freqs_, in / 2 + 1);
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::FixedLinear>(nn::DftFeatureMatrix(in, k)));
+  net->Add(std::make_unique<nn::Dense>(2 * k, out, rng));
+  return net;
+}
+
+LegendreLinearForecaster::LegendreLinearForecaster(NeuralOptions options,
+                                                   std::size_t degree)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kStandardize)),
+      degree_(degree) {}
+
+std::unique_ptr<nn::Module> LegendreLinearForecaster::BuildNetwork(
+    std::size_t in, std::size_t out, std::size_t, stats::Rng& rng) {
+  const std::size_t k = std::min(degree_, in);
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::FixedLinear>(nn::LegendreFeatureMatrix(in, k)));
+  net->Add(std::make_unique<nn::Dense>(k, out, rng));
+  return net;
+}
+
+StationaryMlpForecaster::StationaryMlpForecaster(NeuralOptions options,
+                                                 std::size_t hidden)
+    : NeuralForecaster(WithNorm(options, WindowNorm::kStandardize)),
+      hidden_(hidden) {}
+
+std::unique_ptr<nn::Module> StationaryMlpForecaster::BuildNetwork(
+    std::size_t in, std::size_t out, std::size_t, stats::Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->Add(std::make_unique<nn::Dense>(in, hidden_, rng));
+  net->Add(std::make_unique<nn::Relu>());
+  net->Add(std::make_unique<nn::Dense>(hidden_, out, rng));
+  return net;
+}
+
+}  // namespace tfb::methods

@@ -1,0 +1,196 @@
+#ifndef TFB_METHODS_DL_DL_FORECASTERS_H_
+#define TFB_METHODS_DL_DL_FORECASTERS_H_
+
+#include "tfb/methods/dl/neural_forecaster.h"
+
+namespace tfb::methods {
+
+/// NLinear (Zeng et al. 2023): a single linear layer on the last-value-
+/// normalized window. The paper finds it excels on strong-trend / strong-
+/// shift datasets (FRED-MD, NYSE in Figure 8).
+class NLinearForecaster : public NeuralForecaster {
+ public:
+  explicit NLinearForecaster(NeuralOptions options = {});
+  std::string name() const override { return "NLinear"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+};
+
+/// DLinear (Zeng et al. 2023): moving-average trend/seasonal decomposition
+/// with one linear head per component.
+class DLinearForecaster : public NeuralForecaster {
+ public:
+  explicit DLinearForecaster(NeuralOptions options = {},
+                             std::size_t ma_kernel = 25);
+  std::string name() const override { return "DLinear"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+
+ private:
+  std::size_t ma_kernel_;
+};
+
+/// Two-hidden-layer GELU MLP — the miniature of the MLP family
+/// (TiDE / N-HiTS).
+class MlpForecaster : public NeuralForecaster {
+ public:
+  explicit MlpForecaster(NeuralOptions options = {}, std::size_t hidden = 64);
+  std::string name() const override { return "MLP"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+
+ private:
+  std::size_t hidden_;
+};
+
+/// N-BEATS-mini: stacked backcast/forecast blocks.
+class NBeatsForecaster : public NeuralForecaster {
+ public:
+  explicit NBeatsForecaster(NeuralOptions options = {}, int blocks = 3,
+                            std::size_t hidden = 64);
+  std::string name() const override { return "N-BEATS"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+
+ private:
+  int blocks_;
+  std::size_t hidden_;
+};
+
+/// GRU recurrent forecaster — the RNN family.
+class RnnForecaster : public NeuralForecaster {
+ public:
+  explicit RnnForecaster(NeuralOptions options = {}, std::size_t hidden = 32);
+  std::string name() const override { return "RNN"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+
+ private:
+  std::size_t hidden_;
+};
+
+/// Dilated causal convolution stack — the CNN family (TCN / MICN /
+/// TimesNet stand-in).
+class TcnForecaster : public NeuralForecaster {
+ public:
+  explicit TcnForecaster(NeuralOptions options = {}, std::size_t channels = 16);
+  std::string name() const override { return "TCN"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+
+ private:
+  std::size_t conv_channels_;
+};
+
+/// PatchTST-mini: patching + channel independence + self-attention over
+/// temporal patches.
+class PatchAttentionForecaster : public NeuralForecaster {
+ public:
+  explicit PatchAttentionForecaster(NeuralOptions options = {},
+                                    std::size_t num_patches = 8,
+                                    std::size_t model_dim = 32);
+  std::string name() const override { return "PatchAttention"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+  std::size_t AdjustLookback(std::size_t lookback) const override;
+
+ private:
+  std::size_t num_patches_;
+  std::size_t model_dim_;
+};
+
+/// Crossformer-mini: self-attention across channel tokens (explicit channel
+/// dependence), the counterpart of PatchAttention in the Figure 10 study.
+class CrossAttentionForecaster : public NeuralForecaster {
+ public:
+  explicit CrossAttentionForecaster(NeuralOptions options = {},
+                                    std::size_t model_dim = 32);
+  std::string name() const override { return "CrossAttention"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+  bool channel_dependent() const override { return true; }
+
+ private:
+  std::size_t model_dim_;
+};
+
+/// FEDformer/FiLM-mini: a fixed low-frequency DFT front-end feeding a
+/// learned linear map — frequency-domain filtering as a forecaster.
+class FrequencyLinearForecaster : public NeuralForecaster {
+ public:
+  explicit FrequencyLinearForecaster(NeuralOptions options = {},
+                                     std::size_t num_freqs = 16);
+  std::string name() const override { return "FrequencyLinear"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+
+ private:
+  std::size_t num_freqs_;
+};
+
+/// FiLM-mini (Zhou et al. 2022): projects each window onto a fixed Legendre
+/// polynomial basis (the LMU memory representation) and learns a linear map
+/// from the Legendre coefficients to the forecast — the "frequency improved
+/// Legendre memory" idea at miniature scale.
+class LegendreLinearForecaster : public NeuralForecaster {
+ public:
+  explicit LegendreLinearForecaster(NeuralOptions options = {},
+                                    std::size_t degree = 12);
+  std::string name() const override { return "LegendreLinear"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+
+ private:
+  std::size_t degree_;
+};
+
+/// Non-stationary-Transformer-mini: per-window standardization (RevIN)
+/// around an MLP core, isolating the de/re-normalization idea.
+class StationaryMlpForecaster : public NeuralForecaster {
+ public:
+  explicit StationaryMlpForecaster(NeuralOptions options = {},
+                                   std::size_t hidden = 64);
+  std::string name() const override { return "StationaryMLP"; }
+
+ protected:
+  std::unique_ptr<nn::Module> BuildNetwork(std::size_t in, std::size_t out,
+                                           std::size_t channels,
+                                           stats::Rng& rng) override;
+
+ private:
+  std::size_t hidden_;
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_DL_DL_FORECASTERS_H_

@@ -1,0 +1,179 @@
+#include "tfb/methods/dl/neural_forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfb/base/check.h"
+#include "tfb/stats/descriptive.h"
+
+namespace tfb::methods {
+
+NeuralForecaster::NormStats NeuralForecaster::ComputeNorm(
+    const double* window, std::size_t len) const {
+  NormStats s;
+  switch (options_.norm) {
+    case WindowNorm::kNone:
+      break;
+    case WindowNorm::kLastValue:
+      s.offset = window[len - 1];
+      break;
+    case WindowNorm::kStandardize: {
+      const std::span<const double> view(window, len);
+      s.offset = stats::Mean(view);
+      const double sd = stats::StdDev(view);
+      s.scale = sd > 1e-8 ? sd : 1.0;
+      break;
+    }
+  }
+  return s;
+}
+
+void NeuralForecaster::Fit(const ts::TimeSeries& train) {
+  num_channels_ = train.num_variables();
+  if (options_.lookback == 0) {
+    options_.lookback = std::max<std::size_t>(2 * options_.horizon, 16);
+  }
+  while (options_.lookback > 4 &&
+         train.length() < options_.lookback + options_.horizon + 8) {
+    options_.lookback /= 2;
+  }
+  options_.lookback = AdjustLookback(options_.lookback);
+  TFB_CHECK_MSG(train.length() >= options_.lookback + options_.horizon,
+                "training series too short for the window configuration");
+
+  const std::size_t l = options_.lookback;
+  const std::size_t h = options_.horizon;
+  const std::size_t per_channel = train.length() - l - h + 1;
+
+  linalg::Matrix x;
+  linalg::Matrix y;
+  if (channel_dependent()) {
+    const std::size_t total = per_channel;
+    const std::size_t stride =
+        std::max<std::size_t>(1, total / options_.max_train_windows);
+    const std::size_t rows = (total + stride - 1) / stride;
+    x = linalg::Matrix(rows, num_channels_ * l);
+    y = linalg::Matrix(rows, num_channels_ * h);
+    std::size_t r = 0;
+    for (std::size_t start = 0; start < total; start += stride, ++r) {
+      for (std::size_t v = 0; v < num_channels_; ++v) {
+        std::vector<double> window(l);
+        for (std::size_t i = 0; i < l; ++i) window[i] = train.at(start + i, v);
+        const NormStats ns = ComputeNorm(window.data(), l);
+        for (std::size_t i = 0; i < l; ++i) {
+          x(r, v * l + i) = (window[i] - ns.offset) / ns.scale;
+        }
+        for (std::size_t j = 0; j < h; ++j) {
+          y(r, v * h + j) =
+              (train.at(start + l + j, v) - ns.offset) / ns.scale;
+        }
+      }
+    }
+  } else {
+    const std::size_t total = per_channel * num_channels_;
+    const std::size_t stride =
+        std::max<std::size_t>(1, total / options_.max_train_windows);
+    std::size_t rows = 0;
+    for (std::size_t i = 0; i < total; i += stride) ++rows;
+    x = linalg::Matrix(rows, l);
+    y = linalg::Matrix(rows, h);
+    std::size_t r = 0;
+    for (std::size_t idx = 0; idx < total; idx += stride, ++r) {
+      const std::size_t v = idx / per_channel;
+      const std::size_t start = idx % per_channel;
+      std::vector<double> window(l);
+      for (std::size_t i = 0; i < l; ++i) window[i] = train.at(start + i, v);
+      const NormStats ns = ComputeNorm(window.data(), l);
+      for (std::size_t i = 0; i < l; ++i) {
+        x(r, i) = (window[i] - ns.offset) / ns.scale;
+      }
+      for (std::size_t j = 0; j < h; ++j) {
+        y(r, j) = (train.at(start + l + j, v) - ns.offset) / ns.scale;
+      }
+    }
+  }
+
+  stats::Rng rng(options_.seed);
+  const std::size_t in_width = channel_dependent() ? num_channels_ * l : l;
+  const std::size_t out_width = channel_dependent() ? num_channels_ * h : h;
+  net_ = BuildNetwork(in_width, out_width, num_channels_, rng);
+  nn::TrainOptions train_options = options_.train;
+  train_options.seed = options_.seed ^ 0x5bd1e995ULL;
+  train_result_ = nn::TrainMse(*net_, x, y, train_options);
+}
+
+ts::TimeSeries NeuralForecaster::Forecast(const ts::TimeSeries& history,
+                                          std::size_t horizon) {
+  TFB_CHECK_MSG(net_ != nullptr, "Fit must be called before Forecast");
+  TFB_CHECK(history.num_variables() == num_channels_);
+  const std::size_t l = options_.lookback;
+  const std::size_t h = options_.horizon;
+  TFB_CHECK(history.length() >= l);
+
+  linalg::Matrix out(horizon, num_channels_);
+  if (channel_dependent()) {
+    // Extend the joint history block by block.
+    std::vector<std::vector<double>> channels(num_channels_);
+    for (std::size_t v = 0; v < num_channels_; ++v) {
+      channels[v] = history.Column(v);
+    }
+    std::size_t produced = 0;
+    while (produced < horizon) {
+      linalg::Matrix x(1, num_channels_ * l);
+      std::vector<NormStats> ns(num_channels_);
+      for (std::size_t v = 0; v < num_channels_; ++v) {
+        const std::size_t t = channels[v].size();
+        ns[v] = ComputeNorm(channels[v].data() + t - l, l);
+        for (std::size_t i = 0; i < l; ++i) {
+          x(0, v * l + i) =
+              (channels[v][t - l + i] - ns[v].offset) / ns[v].scale;
+        }
+      }
+      const linalg::Matrix pred = net_->Forward(x, /*training=*/false);
+      for (std::size_t j = 0; j < h && produced + j < horizon; ++j) {
+        for (std::size_t v = 0; v < num_channels_; ++v) {
+          out(produced + j, v) =
+              pred(0, v * h + j) * ns[v].scale + ns[v].offset;
+        }
+      }
+      const std::size_t take = std::min(h, horizon - produced);
+      for (std::size_t j = 0; j < take; ++j) {
+        for (std::size_t v = 0; v < num_channels_; ++v) {
+          channels[v].push_back(out(produced + j, v));
+        }
+      }
+      produced += take;
+    }
+  } else {
+    for (std::size_t v = 0; v < num_channels_; ++v) {
+      std::vector<double> channel = history.Column(v);
+      std::size_t produced = 0;
+      while (produced < horizon) {
+        const std::size_t t = channel.size();
+        const NormStats ns = ComputeNorm(channel.data() + t - l, l);
+        linalg::Matrix x(1, l);
+        for (std::size_t i = 0; i < l; ++i) {
+          x(0, i) = (channel[t - l + i] - ns.offset) / ns.scale;
+        }
+        const linalg::Matrix pred = net_->Forward(x, /*training=*/false);
+        const std::size_t take = std::min(h, horizon - produced);
+        for (std::size_t j = 0; j < take; ++j) {
+          const double value = pred(0, j) * ns.scale + ns.offset;
+          out(produced + j, v) = value;
+          channel.push_back(value);
+        }
+        produced += take;
+      }
+    }
+  }
+  return ts::TimeSeries(std::move(out));
+}
+
+std::size_t NeuralForecaster::NumParameters() const {
+  if (net_ == nullptr) return 0;
+  std::vector<nn::Parameter*> params;
+  net_->CollectParameters(&params);
+  return nn::CountParameters(params);
+}
+
+}  // namespace tfb::methods

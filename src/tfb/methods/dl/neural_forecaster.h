@@ -1,0 +1,89 @@
+#ifndef TFB_METHODS_DL_NEURAL_FORECASTER_H_
+#define TFB_METHODS_DL_NEURAL_FORECASTER_H_
+
+#include <memory>
+#include <string>
+
+#include "tfb/methods/forecaster.h"
+#include "tfb/nn/module.h"
+#include "tfb/nn/trainer.h"
+
+namespace tfb::methods {
+
+/// Per-window normalization mode of a neural forecaster.
+enum class WindowNorm {
+  kNone,
+  kLastValue,    ///< Subtract the window's final value (NLinear trick).
+  kStandardize,  ///< Per-window z-score (RevIN / Non-stationary trick).
+};
+
+/// Shared configuration of all neural forecasters.
+struct NeuralOptions {
+  std::size_t lookback = 0;   ///< 0 = derive from horizon at Fit time.
+  std::size_t horizon = 8;    ///< Direct multi-step output width.
+  WindowNorm norm = WindowNorm::kLastValue;
+  nn::TrainOptions train;
+  std::uint64_t seed = 7;
+  /// Caps the number of training windows (windows are strided when the
+  /// series yields more); bounds CPU cost on long series.
+  std::size_t max_train_windows = 3000;
+};
+
+/// Base class for all deep-learning forecasters: owns the window
+/// construction, per-window normalization, mini-batch Adam training with
+/// early stopping, and DMS forecasting with IMS extension beyond the
+/// trained horizon. Subclasses supply the network via BuildNetwork and
+/// whether they model channels jointly (CrossAttention) or independently
+/// (everything else — the "channel independence" axis of Figure 10).
+class NeuralForecaster : public Forecaster {
+ public:
+  explicit NeuralForecaster(const NeuralOptions& options)
+      : options_(options) {}
+
+  void Fit(const ts::TimeSeries& train) final;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) final;
+  std::size_t lookback() const final { return options_.lookback; }
+
+  /// Total trainable scalar parameters (Figure 11's x-axis).
+  std::size_t NumParameters() const;
+
+  /// Training diagnostics from the last Fit.
+  const nn::TrainResult& train_result() const { return train_result_; }
+
+ protected:
+  /// Builds the network mapping (input_width) -> (output_width) rows.
+  /// For channel-independent models input_width = lookback and
+  /// output_width = horizon; for channel-dependent models they are
+  /// multiplied by the channel count.
+  virtual std::unique_ptr<nn::Module> BuildNetwork(std::size_t input_width,
+                                                   std::size_t output_width,
+                                                   std::size_t num_channels,
+                                                   stats::Rng& rng) = 0;
+
+  /// True when the model consumes all channels jointly.
+  virtual bool channel_dependent() const { return false; }
+
+  /// Allows subclasses to round the lookback (e.g. to a patch multiple).
+  virtual std::size_t AdjustLookback(std::size_t lookback) const {
+    return lookback;
+  }
+
+  const NeuralOptions& options() const { return options_; }
+
+ private:
+  struct NormStats {
+    double offset = 0.0;
+    double scale = 1.0;
+  };
+  NormStats ComputeNorm(const double* window, std::size_t len) const;
+
+  NeuralOptions options_;
+  std::unique_ptr<nn::Module> net_;
+  std::size_t num_channels_ = 0;
+  nn::TrainResult train_result_;
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_DL_NEURAL_FORECASTER_H_

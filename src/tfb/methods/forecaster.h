@@ -1,0 +1,61 @@
+#ifndef TFB_METHODS_FORECASTER_H_
+#define TFB_METHODS_FORECASTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "tfb/ts/time_series.h"
+
+namespace tfb::methods {
+
+/// The universal interface of TFB's method layer (Section 4.4). Every
+/// forecaster — statistical, machine-learning, or deep-learning — plugs into
+/// the pipeline through this interface, which is what makes simultaneous,
+/// bias-free evaluation of all three paradigms possible (Issue 2/3 in the
+/// paper). Third-party models are integrated by writing a thin adapter
+/// implementing this class, exactly like TFB's "Universal Interface".
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Canonical method name used in reports ("ARIMA", "PatchAttention", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains the model on `train` (T x N). Called once per series by the
+  /// fixed strategy; per-iteration for methods with RefitPerWindow() under
+  /// the rolling strategy (Section 4.3.1: statistical methods retrain,
+  /// ML/DL methods re-infer).
+  virtual void Fit(const ts::TimeSeries& train) = 0;
+
+  /// Predicts the `horizon` points following `history`. `history` always
+  /// ends where the forecast should begin; models with a finite look-back
+  /// use only its tail. Returns a (horizon x N) series. Implementations may
+  /// internally be direct multi-step (DMS) or iterative (IMS).
+  virtual ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                                  std::size_t horizon) = 0;
+
+  /// True for methods that retrain on the extended history at each rolling
+  /// iteration (cheap statistical models); false for methods that fit once
+  /// and re-infer (ML/DL).
+  virtual bool RefitPerWindow() const { return false; }
+
+  /// The look-back window length the model consumes at inference, or 0 when
+  /// it uses the entire history. Used by the evaluation layer to build
+  /// batched test samples.
+  virtual std::size_t lookback() const { return 0; }
+};
+
+/// Factory producing a fresh, unfitted forecaster; the unit the pipeline's
+/// hyper-parameter search and rolling evaluation operate on.
+using ForecasterFactory = std::function<std::unique_ptr<Forecaster>()>;
+
+/// A named factory, one hyper-parameter configuration of one method.
+struct MethodConfig {
+  std::string name;
+  ForecasterFactory factory;
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_FORECASTER_H_

@@ -1,0 +1,132 @@
+#include "tfb/methods/ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "tfb/base/check.h"
+
+namespace tfb::methods {
+
+namespace {
+
+double MeanOf(const std::vector<double>& y,
+              const std::vector<std::size_t>& indices, std::size_t begin,
+              std::size_t end) {
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += y[indices[i]];
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const linalg::Matrix& x, const std::vector<double>& y,
+                       const std::vector<std::size_t>& indices,
+                       const TreeOptions& options, stats::Rng* rng) {
+  TFB_CHECK(!indices.empty());
+  nodes_.clear();
+  nodes_.reserve(2 * indices.size() / options.min_samples_leaf + 1);
+  std::vector<std::size_t> work = indices;
+  Build(x, y, work, 0, work.size(), 0, options, rng);
+}
+
+std::int32_t DecisionTree::Build(const linalg::Matrix& x,
+                                 const std::vector<double>& y,
+                                 std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end, int depth,
+                                 const TreeOptions& options, stats::Rng* rng) {
+  const std::size_t count = end - begin;
+  const std::int32_t node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = MeanOf(y, indices, begin, end);
+
+  if (depth >= options.max_depth || count < options.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features, optionally a random subset (random-forest mode).
+  const std::size_t d = x.cols();
+  std::vector<std::size_t> features;
+  if (options.max_features == 0 || options.max_features >= d) {
+    features.resize(d);
+    std::iota(features.begin(), features.end(), 0);
+  } else {
+    TFB_CHECK(rng != nullptr);
+    std::vector<std::size_t> perm = rng->Permutation(d);
+    features.assign(perm.begin(), perm.begin() + options.max_features);
+  }
+
+  // Best split by variance reduction (equivalently, maximizing the sum of
+  // child squared-sums).
+  double parent_sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) parent_sum += y[indices[i]];
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> sorted(count);  // (feature, target)
+  for (std::size_t f : features) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t row = indices[begin + i];
+      sorted[i] = {x(row, f), y[row]};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    double left_sum = 0.0;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      left_sum += sorted[i].second;
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = count - left_n;
+      if (left_n < options.min_samples_leaf ||
+          right_n < options.min_samples_leaf) {
+        continue;
+      }
+      if (sorted[i].first >= sorted[i + 1].first - 1e-15) continue;
+      const double right_sum = parent_sum - left_sum;
+      const double score = left_sum * left_sum / left_n +
+                           right_sum * right_sum / right_n;
+      if (score > best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+  // Reject splits that do not actually reduce impurity.
+  const double parent_score = parent_sum * parent_sum / count;
+  if (best_score <= parent_score + 1e-12) return node_id;
+
+  // Partition indices in place.
+  const auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](std::size_t row) {
+        return x(row, static_cast<std::size_t>(best_feature)) <=
+               best_threshold;
+      });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const std::int32_t left =
+      Build(x, y, indices, begin, mid, depth + 1, options, rng);
+  const std::int32_t right =
+      Build(x, y, indices, mid, end, depth + 1, options, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::Predict(const double* features) const {
+  TFB_CHECK(!nodes_.empty());
+  std::int32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = features[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace tfb::methods

@@ -1,0 +1,61 @@
+#ifndef TFB_METHODS_ML_DECISION_TREE_H_
+#define TFB_METHODS_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tfb/linalg/matrix.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::methods {
+
+/// Options controlling CART regression-tree growth.
+struct TreeOptions {
+  int max_depth = 8;
+  std::size_t min_samples_leaf = 3;
+  std::size_t min_samples_split = 6;
+  /// Number of features examined per split; 0 = all (single trees / GBRT),
+  /// set to ~sqrt(d) or d/3 for random forests.
+  std::size_t max_features = 0;
+};
+
+/// CART regression tree fit by variance reduction: the shared weak learner
+/// under both RandomForest (bagged, feature-subsampled) and the
+/// XGBoost-style gradient booster. Stored as a flat node array for cache-
+/// friendly prediction.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Fits on rows `indices` of (x, y). `y` is a single output column.
+  /// `rng` drives feature subsampling (unused when max_features == 0).
+  void Fit(const linalg::Matrix& x, const std::vector<double>& y,
+           const std::vector<std::size_t>& indices, const TreeOptions& options,
+           stats::Rng* rng);
+
+  /// Predicts one feature row.
+  double Predict(const double* features) const;
+
+  /// Number of nodes (tests / introspection).
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 = leaf
+    double threshold = 0.0;
+    double value = 0.0;      // leaf mean
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::int32_t Build(const linalg::Matrix& x, const std::vector<double>& y,
+                     std::vector<std::size_t>& indices, std::size_t begin,
+                     std::size_t end, int depth, const TreeOptions& options,
+                     stats::Rng* rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_ML_DECISION_TREE_H_

@@ -1,0 +1,47 @@
+#ifndef TFB_METHODS_ML_GRADIENT_BOOSTING_H_
+#define TFB_METHODS_ML_GRADIENT_BOOSTING_H_
+
+#include <vector>
+
+#include "tfb/methods/forecaster.h"
+#include "tfb/methods/ml/decision_tree.h"
+
+namespace tfb::methods {
+
+/// Options for the gradient-boosting ("XGB") forecaster.
+struct GradientBoostingOptions {
+  std::size_t lookback = 0;  ///< 0 = derive at Fit time.
+  int num_rounds = 80;
+  double learning_rate = 0.1;
+  double subsample = 0.8;    ///< Row subsampling per round.
+  TreeOptions tree{.max_depth = 4, .min_samples_leaf = 5,
+                   .min_samples_split = 10, .max_features = 0};
+  bool subtract_last = true;
+  std::uint64_t seed = 4321;
+};
+
+/// XGBoost-style gradient-boosted regression trees on lag features (the
+/// paper's "XGB"): squared loss (for which the second-order Newton step
+/// coincides with plain residual fitting), shrinkage, and stochastic row
+/// subsampling. One-step model rolled forward (IMS) for longer horizons.
+class GradientBoostingForecaster : public Forecaster {
+ public:
+  explicit GradientBoostingForecaster(
+      const GradientBoostingOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "XGB"; }
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  std::size_t lookback() const override { return options_.lookback; }
+
+ private:
+  GradientBoostingOptions options_;
+  double base_prediction_ = 0.0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_ML_GRADIENT_BOOSTING_H_

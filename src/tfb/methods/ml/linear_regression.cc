@@ -1,0 +1,64 @@
+#include "tfb/methods/ml/linear_regression.h"
+
+#include <algorithm>
+
+#include "tfb/base/check.h"
+#include "tfb/linalg/solve.h"
+#include "tfb/methods/ml/window.h"
+
+namespace tfb::methods {
+
+void LinearRegressionForecaster::Fit(const ts::TimeSeries& train) {
+  if (options_.lookback == 0) {
+    options_.lookback = std::max<std::size_t>(2 * options_.horizon, 8);
+  }
+  // Shrink the window if the training series is short.
+  while (options_.lookback > 1 &&
+         train.length() < options_.lookback + options_.horizon + 4) {
+    options_.lookback /= 2;
+  }
+  const WindowedData data = MakeWindows(train, options_.lookback,
+                                        options_.horizon,
+                                        options_.subtract_last);
+  TFB_CHECK_MSG(data.x.rows() > 0, "training series too short");
+  // Augment with an intercept column.
+  linalg::Matrix x(data.x.rows(), options_.lookback + 1);
+  for (std::size_t r = 0; r < data.x.rows(); ++r) {
+    for (std::size_t c = 0; c < options_.lookback; ++c) x(r, c) = data.x(r, c);
+    x(r, options_.lookback) = 1.0;
+  }
+  auto beta = linalg::LeastSquaresMulti(x, data.y, options_.ridge);
+  TFB_CHECK_MSG(beta.has_value(), "ridge-regularized solve failed");
+  coeffs_ = std::move(*beta);
+}
+
+ts::TimeSeries LinearRegressionForecaster::Forecast(
+    const ts::TimeSeries& history, std::size_t horizon) {
+  TFB_CHECK(!coeffs_.empty());
+  const std::size_t n = history.num_variables();
+  linalg::Matrix out(horizon, n);
+  for (std::size_t v = 0; v < n; ++v) {
+    // Iterate the direct multi-step block until `horizon` is covered.
+    std::vector<double> channel = history.Column(v);
+    std::size_t produced = 0;
+    while (produced < horizon) {
+      ts::TimeSeries hist_ts = ts::TimeSeries::Univariate(channel);
+      const WindowFeatures wf =
+          TailWindow(hist_ts, 0, options_.lookback, options_.subtract_last);
+      for (std::size_t h = 0; h < options_.horizon && produced < horizon;
+           ++h) {
+        double pred = coeffs_(options_.lookback, h);  // intercept
+        for (std::size_t c = 0; c < options_.lookback; ++c) {
+          pred += coeffs_(c, h) * wf.features[c];
+        }
+        pred += wf.last_value;
+        out(produced, v) = pred;
+        channel.push_back(pred);
+        ++produced;
+      }
+    }
+  }
+  return ts::TimeSeries(std::move(out));
+}
+
+}  // namespace tfb::methods

@@ -1,0 +1,42 @@
+#ifndef TFB_METHODS_ML_LINEAR_REGRESSION_H_
+#define TFB_METHODS_ML_LINEAR_REGRESSION_H_
+
+#include "tfb/linalg/matrix.h"
+#include "tfb/methods/forecaster.h"
+
+namespace tfb::methods {
+
+/// Options for the LinearRegression forecaster.
+struct LinearRegressionOptions {
+  std::size_t lookback = 0;    ///< 0 = derive from horizon at Fit time.
+  std::size_t horizon = 8;     ///< Direct multi-step output width.
+  double ridge = 1e-3;         ///< L2 regularization.
+  bool subtract_last = true;   ///< NLinear-style window normalization.
+};
+
+/// Lag-feature linear regression (the paper's "LR", after Darts'
+/// RegressionModel): a single global linear map from the last `lookback`
+/// values to all `horizon` future values (direct multi-step), trained on
+/// windows pooled across channels with ridge-regularized least squares.
+/// Table 1 / Table 8 show this simple method beating recent deep models on
+/// trending data (Wind), which is reproduced by bench_table1.
+class LinearRegressionForecaster : public Forecaster {
+ public:
+  explicit LinearRegressionForecaster(
+      const LinearRegressionOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "LinearRegression"; }
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  std::size_t lookback() const override { return options_.lookback; }
+
+ private:
+  LinearRegressionOptions options_;
+  linalg::Matrix coeffs_;  // (lookback+1) x horizon, last row = intercept.
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_ML_LINEAR_REGRESSION_H_

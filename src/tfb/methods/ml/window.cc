@@ -1,0 +1,51 @@
+#include "tfb/methods/ml/window.h"
+
+#include "tfb/base/check.h"
+
+namespace tfb::methods {
+
+WindowedData MakeWindows(const ts::TimeSeries& series, std::size_t lookback,
+                         std::size_t horizon, bool subtract_last) {
+  TFB_CHECK(lookback >= 1 && horizon >= 1);
+  const std::size_t t = series.length();
+  const std::size_t n = series.num_variables();
+  WindowedData out;
+  if (t < lookback + horizon) {
+    out.x = linalg::Matrix(0, lookback);
+    out.y = linalg::Matrix(0, horizon);
+    return out;
+  }
+  const std::size_t per_channel = t - lookback - horizon + 1;
+  const std::size_t rows = per_channel * n;
+  out.x = linalg::Matrix(rows, lookback);
+  out.y = linalg::Matrix(rows, horizon);
+  std::size_t r = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t start = 0; start < per_channel; ++start, ++r) {
+      const double last =
+          subtract_last ? series.at(start + lookback - 1, v) : 0.0;
+      for (std::size_t i = 0; i < lookback; ++i) {
+        out.x(r, i) = series.at(start + i, v) - last;
+      }
+      for (std::size_t h = 0; h < horizon; ++h) {
+        out.y(r, h) = series.at(start + lookback + h, v) - last;
+      }
+    }
+  }
+  return out;
+}
+
+WindowFeatures TailWindow(const ts::TimeSeries& history, std::size_t var,
+                          std::size_t lookback, bool subtract_last) {
+  TFB_CHECK(history.length() >= lookback);
+  WindowFeatures out;
+  out.features.resize(lookback);
+  const std::size_t t = history.length();
+  out.last_value = subtract_last ? history.at(t - 1, var) : 0.0;
+  for (std::size_t i = 0; i < lookback; ++i) {
+    out.features[i] = history.at(t - lookback + i, var) - out.last_value;
+  }
+  return out;
+}
+
+}  // namespace tfb::methods

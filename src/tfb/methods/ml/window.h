@@ -1,0 +1,36 @@
+#ifndef TFB_METHODS_ML_WINDOW_H_
+#define TFB_METHODS_ML_WINDOW_H_
+
+#include "tfb/linalg/matrix.h"
+#include "tfb/ts/time_series.h"
+
+namespace tfb::methods {
+
+/// Sliding-window design matrices for lag-feature models. Windows are
+/// pooled across all channels (a channel-independent global model, the
+/// convention of Darts-style regression forecasters and of NLinear/DLinear).
+struct WindowedData {
+  linalg::Matrix x;  ///< rows = windows, cols = `lookback` lag features.
+  linalg::Matrix y;  ///< rows = windows, cols = `horizon` targets.
+};
+
+/// Builds all (look-back -> horizon) windows of `series` with stride 1.
+/// When `subtract_last` is set, the final value of each input window is
+/// subtracted from both the features and the targets (NLinear's trick),
+/// which makes linear/tree models robust to level shifts and trends; the
+/// caller adds it back after prediction.
+WindowedData MakeWindows(const ts::TimeSeries& series, std::size_t lookback,
+                         std::size_t horizon, bool subtract_last);
+
+/// Extracts the feature vector for forecasting from the tail of `history`
+/// for channel `var`. Returns the last value separately for un-shifting.
+struct WindowFeatures {
+  linalg::Vector features;
+  double last_value = 0.0;
+};
+WindowFeatures TailWindow(const ts::TimeSeries& history, std::size_t var,
+                          std::size_t lookback, bool subtract_last);
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_ML_WINDOW_H_

@@ -1,0 +1,89 @@
+#include "tfb/methods/naive.h"
+
+#include "tfb/base/check.h"
+#include "tfb/stats/descriptive.h"
+
+namespace tfb::methods {
+
+namespace {
+
+ts::TimeSeries EmptyForecastLike(const ts::TimeSeries& history,
+                                 std::size_t horizon) {
+  return ts::TimeSeries(
+      linalg::Matrix(horizon, history.num_variables()));
+}
+
+}  // namespace
+
+void NaiveForecaster::Fit(const ts::TimeSeries&) {}
+
+ts::TimeSeries NaiveForecaster::Forecast(const ts::TimeSeries& history,
+                                         std::size_t horizon) {
+  TFB_CHECK(history.length() > 0);
+  ts::TimeSeries out = EmptyForecastLike(history, horizon);
+  const std::size_t last = history.length() - 1;
+  for (std::size_t h = 0; h < horizon; ++h) {
+    for (std::size_t v = 0; v < history.num_variables(); ++v) {
+      out.at(h, v) = history.at(last, v);
+    }
+  }
+  return out;
+}
+
+void SeasonalNaiveForecaster::Fit(const ts::TimeSeries& train) {
+  if (period_ == 0) {
+    period_ = train.seasonal_period() > 0
+                  ? train.seasonal_period()
+                  : ts::DefaultSeasonalPeriod(train.frequency());
+  }
+}
+
+ts::TimeSeries SeasonalNaiveForecaster::Forecast(const ts::TimeSeries& history,
+                                                 std::size_t horizon) {
+  TFB_CHECK(history.length() > 0);
+  const std::size_t t = history.length();
+  const std::size_t period =
+      (period_ > 0 && period_ <= t) ? period_ : 1;
+  ts::TimeSeries out = EmptyForecastLike(history, horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    const std::size_t src = t - period + (h % period);
+    for (std::size_t v = 0; v < history.num_variables(); ++v) {
+      out.at(h, v) = history.at(src, v);
+    }
+  }
+  return out;
+}
+
+void DriftForecaster::Fit(const ts::TimeSeries&) {}
+
+ts::TimeSeries DriftForecaster::Forecast(const ts::TimeSeries& history,
+                                         std::size_t horizon) {
+  TFB_CHECK(history.length() > 0);
+  const std::size_t t = history.length();
+  ts::TimeSeries out = EmptyForecastLike(history, horizon);
+  for (std::size_t v = 0; v < history.num_variables(); ++v) {
+    const double last = history.at(t - 1, v);
+    const double drift =
+        t > 1 ? (last - history.at(0, v)) / static_cast<double>(t - 1) : 0.0;
+    for (std::size_t h = 0; h < horizon; ++h) {
+      out.at(h, v) = last + drift * static_cast<double>(h + 1);
+    }
+  }
+  return out;
+}
+
+void MeanForecaster::Fit(const ts::TimeSeries&) {}
+
+ts::TimeSeries MeanForecaster::Forecast(const ts::TimeSeries& history,
+                                        std::size_t horizon) {
+  TFB_CHECK(history.length() > 0);
+  ts::TimeSeries out = EmptyForecastLike(history, horizon);
+  for (std::size_t v = 0; v < history.num_variables(); ++v) {
+    const std::vector<double> col = history.Column(v);
+    const double mean = stats::Mean(col);
+    for (std::size_t h = 0; h < horizon; ++h) out.at(h, v) = mean;
+  }
+  return out;
+}
+
+}  // namespace tfb::methods

@@ -1,0 +1,58 @@
+#ifndef TFB_METHODS_NAIVE_H_
+#define TFB_METHODS_NAIVE_H_
+
+#include "tfb/methods/forecaster.h"
+
+namespace tfb::methods {
+
+/// Last-value (persistence) forecaster: every future point equals the final
+/// observation. The canonical sanity baseline and the denominator of MASE.
+class NaiveForecaster : public Forecaster {
+ public:
+  std::string name() const override { return "Naive"; }
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  bool RefitPerWindow() const override { return true; }
+};
+
+/// Seasonal persistence: forecast t+h equals the observation one seasonal
+/// period before. `period` 0 = use the series' declared period.
+class SeasonalNaiveForecaster : public Forecaster {
+ public:
+  explicit SeasonalNaiveForecaster(std::size_t period = 0)
+      : period_(period) {}
+  std::string name() const override { return "SeasonalNaive"; }
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  bool RefitPerWindow() const override { return true; }
+
+ private:
+  std::size_t period_;
+};
+
+/// Random-walk-with-drift forecaster: extrapolates the average first
+/// difference of the history.
+class DriftForecaster : public Forecaster {
+ public:
+  std::string name() const override { return "Drift"; }
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  bool RefitPerWindow() const override { return true; }
+};
+
+/// Historical-mean forecaster.
+class MeanForecaster : public Forecaster {
+ public:
+  std::string name() const override { return "Mean"; }
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  bool RefitPerWindow() const override { return true; }
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_NAIVE_H_

@@ -1,0 +1,231 @@
+#include "tfb/methods/statistical/arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tfb/base/check.h"
+#include "tfb/characterization/adf.h"
+#include "tfb/linalg/solve.h"
+#include "tfb/optimize/nelder_mead.h"
+#include "tfb/stats/descriptive.h"
+
+namespace tfb::methods {
+
+namespace {
+
+std::vector<double> Difference(const std::vector<double>& y) {
+  std::vector<double> d(y.size() > 0 ? y.size() - 1 : 0);
+  for (std::size_t i = 1; i < y.size(); ++i) d[i - 1] = y[i] - y[i - 1];
+  return d;
+}
+
+// Quick stability probe: iterate the homogeneous AR recursion from a unit
+// impulse; growth marks an explosive coefficient vector.
+bool ArStable(const std::vector<double>& ar) {
+  if (ar.empty()) return true;
+  std::vector<double> state(ar.size(), 0.0);
+  state[0] = 1.0;
+  double magnitude = 1.0;
+  for (int step = 0; step < 60; ++step) {
+    double next = 0.0;
+    for (std::size_t i = 0; i < ar.size(); ++i) next += ar[i] * state[i];
+    for (std::size_t i = ar.size(); i-- > 1;) state[i] = state[i - 1];
+    state[0] = next;
+    magnitude = std::fabs(next);
+    if (magnitude > 1e6) return false;
+  }
+  return magnitude < 10.0;
+}
+
+// Conditional sum of squares of an ARMA(p,q)+c model on (differenced) y.
+double Css(const std::vector<double>& y, double constant,
+           const std::vector<double>& ar, const std::vector<double>& ma) {
+  const std::size_t p = ar.size();
+  const std::size_t q = ma.size();
+  const std::size_t start = std::max(p, q);
+  if (y.size() <= start) return 1e18;
+  std::vector<double> errors(y.size(), 0.0);
+  double sse = 0.0;
+  for (std::size_t t = start; t < y.size(); ++t) {
+    double pred = constant;
+    for (std::size_t i = 0; i < p; ++i) pred += ar[i] * y[t - 1 - i];
+    for (std::size_t j = 0; j < q; ++j) pred += ma[j] * errors[t - 1 - j];
+    errors[t] = y[t] - pred;
+    sse += errors[t] * errors[t];
+    if (!std::isfinite(sse)) return 1e18;
+  }
+  return sse;
+}
+
+// OLS initialization of AR coefficients (conditional Yule–Walker).
+std::vector<double> InitArByOls(const std::vector<double>& y, int p) {
+  if (p == 0 || y.size() <= static_cast<std::size_t>(p) + 2) {
+    return std::vector<double>(p, 0.0);
+  }
+  const std::size_t n = y.size() - p;
+  linalg::Matrix x(n, p + 1);
+  linalg::Vector target(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    target[t] = y[t + p];
+    x(t, 0) = 1.0;
+    for (int i = 0; i < p; ++i) x(t, 1 + i) = y[t + p - 1 - i];
+  }
+  auto beta = linalg::LeastSquares(x, target, 1e-6);
+  std::vector<double> ar(p, 0.0);
+  if (beta) {
+    for (int i = 0; i < p; ++i) ar[i] = (*beta)[1 + i];
+  }
+  return ar;
+}
+
+}  // namespace
+
+ArimaForecaster::ChannelModel ArimaForecaster::FitChannel(
+    const std::vector<double>& y) const {
+  ChannelModel best;
+  if (y.size() < 10) {
+    best.constant = y.empty() ? 0.0 : y.back();
+    return best;
+  }
+
+  // Differencing order via repeated ADF (or fixed when auto_order is off).
+  std::vector<double> w = y;
+  int d = 0;
+  if (options_.auto_order) {
+    while (d < options_.max_d && w.size() > 20 &&
+           !characterization::IsStationary(w)) {
+      w = Difference(w);
+      ++d;
+    }
+  } else {
+    d = options_.d;
+    for (int i = 0; i < d && w.size() > 2; ++i) w = Difference(w);
+  }
+
+  const int grid_p = options_.auto_order ? options_.max_p : options_.p;
+  const int grid_q = options_.auto_order ? options_.max_q : options_.q;
+  double best_aic = std::numeric_limits<double>::infinity();
+
+  for (int p = options_.auto_order ? 0 : grid_p; p <= grid_p; ++p) {
+    for (int q = options_.auto_order ? 0 : grid_q; q <= grid_q; ++q) {
+      const int k = p + q + 1;
+      // Parameter vector: [constant, ar..., ma...].
+      std::vector<double> x0(k, 0.0);
+      x0[0] = stats::Mean(w);
+      const std::vector<double> ar0 = InitArByOls(w, p);
+      for (int i = 0; i < p; ++i) x0[1 + i] = ar0[i];
+
+      auto objective = [&](const std::vector<double>& x) {
+        const std::vector<double> ar(x.begin() + 1, x.begin() + 1 + p);
+        const std::vector<double> ma(x.begin() + 1 + p, x.end());
+        double penalty = 0.0;
+        if (!ArStable(ar)) penalty += 1e12;
+        for (double m : ma) {
+          if (std::fabs(m) > 1.0) penalty += 1e10 * (std::fabs(m) - 1.0);
+        }
+        return Css(w, x[0], ar, ma) + penalty;
+      };
+      optimize::NelderMeadOptions nm;
+      nm.max_iterations = 250;
+      nm.initial_step = 0.2;
+      const optimize::NelderMeadResult r = optimize::NelderMead(objective, x0, nm);
+      const double sse = r.value;
+      const double n = static_cast<double>(w.size());
+      if (sse <= 0.0 || !std::isfinite(sse)) continue;
+      const double aic = n * std::log(sse / n) + 2.0 * k;
+      if (aic < best_aic) {
+        best_aic = aic;
+        best.order = {p, d, q};
+        best.constant = r.x[0];
+        best.ar.assign(r.x.begin() + 1, r.x.begin() + 1 + p);
+        best.ma.assign(r.x.begin() + 1 + p, r.x.end());
+      }
+      if (!options_.auto_order) break;
+    }
+    if (!options_.auto_order) break;
+  }
+  if (!std::isfinite(best_aic)) {
+    best.order = {0, d, 0};
+    best.constant = stats::Mean(w);
+  }
+  return best;
+}
+
+std::vector<double> ArimaForecaster::ForecastChannel(
+    const ChannelModel& m, const std::vector<double>& y,
+    std::size_t horizon) {
+  std::vector<double> out(horizon, y.empty() ? 0.0 : y.back());
+  if (y.size() < 4) return out;
+
+  // Apply the fitted differencing, remembering the values needed to invert.
+  std::vector<std::vector<double>> levels;  // levels[i] = i-times-differenced
+  levels.push_back(y);
+  for (int i = 0; i < m.order.d; ++i) {
+    levels.push_back(Difference(levels.back()));
+  }
+  std::vector<double> w = levels.back();
+  const std::size_t p = m.ar.size();
+  const std::size_t q = m.ma.size();
+
+  // Reconstruct in-sample one-step errors for the MA terms.
+  std::vector<double> errors(w.size(), 0.0);
+  const std::size_t start = std::max(p, q);
+  for (std::size_t t = start; t < w.size(); ++t) {
+    double pred = m.constant;
+    for (std::size_t i = 0; i < p; ++i) pred += m.ar[i] * w[t - 1 - i];
+    for (std::size_t j = 0; j < q; ++j) pred += m.ma[j] * errors[t - 1 - j];
+    errors[t] = w[t] - pred;
+  }
+
+  // Iterate forward with future shocks at zero.
+  std::vector<double> w_ext = w;
+  std::vector<double> e_ext = errors;
+  for (std::size_t h = 0; h < horizon; ++h) {
+    double pred = m.constant;
+    const std::size_t t = w_ext.size();
+    for (std::size_t i = 0; i < p && i < t; ++i) {
+      pred += m.ar[i] * w_ext[t - 1 - i];
+    }
+    for (std::size_t j = 0; j < q && j < e_ext.size(); ++j) {
+      pred += m.ma[j] * e_ext[e_ext.size() - 1 - j];
+    }
+    w_ext.push_back(pred);
+    e_ext.push_back(0.0);
+  }
+
+  // Invert differencing: integrate d times from the stored last levels.
+  std::vector<double> forecast(w_ext.end() - horizon, w_ext.end());
+  for (int i = m.order.d - 1; i >= 0; --i) {
+    double last = levels[i].back();
+    for (std::size_t h = 0; h < horizon; ++h) {
+      last += forecast[h];
+      forecast[h] = last;
+    }
+  }
+  return forecast;
+}
+
+void ArimaForecaster::Fit(const ts::TimeSeries& train) {
+  TFB_CHECK(train.length() > 0);
+  models_.clear();
+  models_.reserve(train.num_variables());
+  for (std::size_t v = 0; v < train.num_variables(); ++v) {
+    models_.push_back(FitChannel(train.Column(v)));
+  }
+}
+
+ts::TimeSeries ArimaForecaster::Forecast(const ts::TimeSeries& history,
+                                         std::size_t horizon) {
+  TFB_CHECK(!models_.empty());
+  TFB_CHECK(history.num_variables() == models_.size());
+  linalg::Matrix values(horizon, history.num_variables());
+  for (std::size_t v = 0; v < history.num_variables(); ++v) {
+    const std::vector<double> forecast =
+        ForecastChannel(models_[v], history.Column(v), horizon);
+    for (std::size_t h = 0; h < horizon; ++h) values(h, v) = forecast[h];
+  }
+  return ts::TimeSeries(std::move(values));
+}
+
+}  // namespace tfb::methods

@@ -1,0 +1,66 @@
+#ifndef TFB_METHODS_STATISTICAL_ARIMA_H_
+#define TFB_METHODS_STATISTICAL_ARIMA_H_
+
+#include <vector>
+
+#include "tfb/methods/forecaster.h"
+
+namespace tfb::methods {
+
+/// Options for the ARIMA forecaster.
+struct ArimaOptions {
+  int max_p = 3;          ///< Largest AR order searched.
+  int max_q = 2;          ///< Largest MA order searched.
+  int max_d = 2;          ///< Largest differencing order (selected via ADF).
+  bool auto_order = true; ///< AIC order search; false = use (p, d, q) below.
+  int p = 1;
+  int d = 1;
+  int q = 1;
+};
+
+/// ARIMA(p,d,q) with drift (Box & Jenkins), fit by conditional sum of
+/// squares: the differencing order comes from repeated ADF tests, AR/MA
+/// coefficients are initialized by Hannan–Rissanen-style OLS and refined by
+/// Nelder–Mead on the CSS objective, and the order is selected by AIC over
+/// a small grid. Forecasts iterate the ARMA recursion with future shocks at
+/// zero and invert the differencing. Multivariate series are handled
+/// channel-independently.
+class ArimaForecaster : public Forecaster {
+ public:
+  explicit ArimaForecaster(const ArimaOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "ARIMA"; }
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  bool RefitPerWindow() const override { return true; }
+
+  /// Selected (p, d, q) for channel `v` after Fit (for tests/reports).
+  struct Order {
+    int p = 0;
+    int d = 0;
+    int q = 0;
+  };
+  Order order(std::size_t v) const { return models_.at(v).order; }
+
+ private:
+  struct ChannelModel {
+    Order order;
+    double constant = 0.0;
+    std::vector<double> ar;
+    std::vector<double> ma;
+  };
+
+  ChannelModel FitChannel(const std::vector<double>& y) const;
+  static std::vector<double> ForecastChannel(const ChannelModel& m,
+                                             const std::vector<double>& y,
+                                             std::size_t horizon);
+
+  ArimaOptions options_;
+  std::vector<ChannelModel> models_;
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_STATISTICAL_ARIMA_H_

@@ -1,0 +1,167 @@
+#include "tfb/methods/statistical/ets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfb/base/check.h"
+#include "tfb/optimize/nelder_mead.h"
+#include "tfb/stats/descriptive.h"
+
+namespace tfb::methods {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double Logit(double p) {
+  p = std::clamp(p, 1e-6, 1.0 - 1e-6);
+  return std::log(p / (1.0 - p));
+}
+
+struct EtsState {
+  double level = 0.0;
+  double trend = 0.0;
+  std::vector<double> seasonal;
+};
+
+// Initializes components from the first cycles of the data (classical
+// Holt–Winters initialization).
+EtsState InitializeState(const std::vector<double>& y, bool use_trend,
+                         bool use_seasonal, std::size_t period) {
+  EtsState s;
+  if (use_seasonal && y.size() >= 2 * period) {
+    // Level = mean of the first cycle; trend from cycle-mean difference.
+    double first = 0.0;
+    double second = 0.0;
+    for (std::size_t i = 0; i < period; ++i) {
+      first += y[i];
+      second += y[period + i];
+    }
+    first /= static_cast<double>(period);
+    second /= static_cast<double>(period);
+    s.level = first;
+    s.trend = use_trend ? (second - first) / static_cast<double>(period) : 0.0;
+    s.seasonal.resize(period);
+    for (std::size_t i = 0; i < period; ++i) s.seasonal[i] = y[i] - first;
+  } else {
+    s.level = y[0];
+    s.trend = (use_trend && y.size() > 1) ? y[1] - y[0] : 0.0;
+  }
+  return s;
+}
+
+// Runs the additive HW recursion, returning the one-step-ahead SSE.
+// On exit `state` holds the final components (used for forecasting).
+double RunRecursion(const std::vector<double>& y, double alpha, double beta,
+                    double gamma, double phi, bool use_trend,
+                    bool use_seasonal, std::size_t period, EtsState* state) {
+  EtsState s = InitializeState(y, use_trend, use_seasonal, period);
+  double sse = 0.0;
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    const double season =
+        use_seasonal && !s.seasonal.empty() ? s.seasonal[t % period] : 0.0;
+    const double forecast = s.level + phi * s.trend + season;
+    const double error = y[t] - forecast;
+    sse += error * error;
+    const double prev_level = s.level;
+    s.level = alpha * (y[t] - season) + (1.0 - alpha) * (s.level + phi * s.trend);
+    if (use_trend) {
+      s.trend = beta * (s.level - prev_level) + (1.0 - beta) * phi * s.trend;
+    }
+    if (use_seasonal && !s.seasonal.empty()) {
+      s.seasonal[t % period] =
+          gamma * (y[t] - s.level) + (1.0 - gamma) * season;
+    }
+  }
+  if (state != nullptr) *state = std::move(s);
+  return sse;
+}
+
+}  // namespace
+
+EtsForecaster::ChannelModel EtsForecaster::FitChannel(
+    const std::vector<double>& y) const {
+  ChannelModel m;
+  m.period = options_.period;
+  m.use_trend = options_.trend && y.size() >= 4;
+  m.use_seasonal =
+      options_.seasonal && m.period > 1 && y.size() >= 2 * m.period;
+  if (!m.use_seasonal) m.period = 1;
+  if (y.size() < 3) {
+    m.use_trend = false;
+    return m;
+  }
+
+  // Optimize logit-transformed smoothing parameters to keep them in (0,1).
+  std::vector<double> x0 = {Logit(0.3), Logit(0.1), Logit(0.1)};
+  if (options_.damped) x0.push_back(Logit(0.9));
+  auto objective = [&](const std::vector<double>& x) {
+    const double alpha = Sigmoid(x[0]);
+    const double beta = Sigmoid(x[1]);
+    const double gamma = Sigmoid(x[2]);
+    const double phi =
+        options_.damped ? 0.8 + 0.2 * Sigmoid(x[3]) : 1.0;
+    return RunRecursion(y, alpha, beta, gamma, phi, m.use_trend,
+                        m.use_seasonal, m.period, nullptr);
+  };
+  optimize::NelderMeadOptions nm;
+  nm.max_iterations = 200;
+  nm.initial_step = 0.5;
+  const optimize::NelderMeadResult result =
+      optimize::NelderMead(objective, x0, nm);
+  m.alpha = Sigmoid(result.x[0]);
+  m.beta = Sigmoid(result.x[1]);
+  m.gamma = Sigmoid(result.x[2]);
+  m.phi = options_.damped ? 0.8 + 0.2 * Sigmoid(result.x[3]) : 1.0;
+  return m;
+}
+
+std::vector<double> EtsForecaster::ForecastChannel(const ChannelModel& m,
+                                                   const std::vector<double>& y,
+                                                   std::size_t horizon) {
+  std::vector<double> out(horizon, y.empty() ? 0.0 : y.back());
+  if (y.size() < 3) return out;
+  EtsState state;
+  const bool seasonal_ok =
+      m.use_seasonal && m.period > 1 && y.size() >= 2 * m.period;
+  RunRecursion(y, m.alpha, m.beta, m.gamma, m.phi, m.use_trend, seasonal_ok,
+               m.period, &state);
+  double phi_sum = 0.0;
+  for (std::size_t h = 0; h < horizon; ++h) {
+    phi_sum += std::pow(m.phi, static_cast<double>(h + 1));
+    const double season =
+        seasonal_ok && !state.seasonal.empty()
+            ? state.seasonal[(y.size() + h) % m.period]
+            : 0.0;
+    out[h] = state.level + (m.use_trend ? phi_sum * state.trend : 0.0) + season;
+  }
+  return out;
+}
+
+void EtsForecaster::Fit(const ts::TimeSeries& train) {
+  TFB_CHECK(train.length() > 0);
+  if (options_.period == 0) {
+    options_.period = train.seasonal_period() > 0
+                          ? train.seasonal_period()
+                          : ts::DefaultSeasonalPeriod(train.frequency());
+  }
+  models_.clear();
+  models_.reserve(train.num_variables());
+  for (std::size_t v = 0; v < train.num_variables(); ++v) {
+    models_.push_back(FitChannel(train.Column(v)));
+  }
+}
+
+ts::TimeSeries EtsForecaster::Forecast(const ts::TimeSeries& history,
+                                       std::size_t horizon) {
+  TFB_CHECK(!models_.empty());
+  TFB_CHECK(history.num_variables() == models_.size());
+  linalg::Matrix values(horizon, history.num_variables());
+  for (std::size_t v = 0; v < history.num_variables(); ++v) {
+    const std::vector<double> forecast =
+        ForecastChannel(models_[v], history.Column(v), horizon);
+    for (std::size_t h = 0; h < horizon; ++h) values(h, v) = forecast[h];
+  }
+  return ts::TimeSeries(std::move(values));
+}
+
+}  // namespace tfb::methods

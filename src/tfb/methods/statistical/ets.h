@@ -1,0 +1,57 @@
+#ifndef TFB_METHODS_STATISTICAL_ETS_H_
+#define TFB_METHODS_STATISTICAL_ETS_H_
+
+#include <vector>
+
+#include "tfb/methods/forecaster.h"
+
+namespace tfb::methods {
+
+/// Options for the ETS (error/trend/seasonality exponential smoothing)
+/// forecaster.
+struct EtsOptions {
+  bool trend = true;       ///< Include an additive (Holt) trend component.
+  bool damped = false;     ///< Damped trend (phi optimized in [0.8, 1]).
+  bool seasonal = true;    ///< Additive seasonal component when period > 1.
+  std::size_t period = 0;  ///< Seasonal period; 0 = series default.
+};
+
+/// Additive exponential smoothing in the Holt–Winters family
+/// (Hyndman et al. 2008), one of the paper's statistical methods.
+/// Smoothing parameters (alpha, beta, gamma, phi) are fit per variable by
+/// Nelder–Mead on the one-step-ahead sum of squared errors. Multivariate
+/// series are handled channel-independently.
+class EtsForecaster : public Forecaster {
+ public:
+  explicit EtsForecaster(const EtsOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "ETS"; }
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  bool RefitPerWindow() const override { return true; }
+
+ private:
+  struct ChannelModel {
+    double alpha = 0.3;
+    double beta = 0.1;
+    double gamma = 0.1;
+    double phi = 1.0;
+    bool use_trend = false;
+    bool use_seasonal = false;
+    std::size_t period = 1;
+  };
+
+  ChannelModel FitChannel(const std::vector<double>& y) const;
+  static std::vector<double> ForecastChannel(const ChannelModel& m,
+                                             const std::vector<double>& y,
+                                             std::size_t horizon);
+
+  EtsOptions options_;
+  std::vector<ChannelModel> models_;
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_STATISTICAL_ETS_H_

@@ -1,0 +1,56 @@
+#ifndef TFB_METHODS_STATISTICAL_KALMAN_H_
+#define TFB_METHODS_STATISTICAL_KALMAN_H_
+
+#include <vector>
+
+#include "tfb/linalg/matrix.h"
+#include "tfb/methods/forecaster.h"
+
+namespace tfb::methods {
+
+/// Options for the Kalman-filter forecaster.
+struct KalmanOptions {
+  std::size_t period = 0;      ///< Seasonal period; 0 = series default.
+  int seasonal_harmonics = 2;  ///< Trigonometric seasonal harmonics (0=off).
+  bool optimize_noise = true;  ///< ML-fit noise variances by Nelder–Mead.
+};
+
+/// Structural state-space forecaster (Harvey 1990): local linear trend plus
+/// a trigonometric seasonal component, estimated with the Kalman filter.
+/// Noise variances (level, slope, seasonal, observation) are fit by
+/// maximizing the innovations likelihood with Nelder–Mead. Forecasting
+/// propagates the state without updates. Channel-independent for
+/// multivariate input.
+class KalmanForecaster : public Forecaster {
+ public:
+  explicit KalmanForecaster(const KalmanOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "KalmanFilter"; }
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  bool RefitPerWindow() const override { return true; }
+
+ private:
+  struct ChannelModel {
+    double q_level = 0.1;
+    double q_slope = 0.01;
+    double q_seasonal = 0.01;
+    double r_obs = 1.0;
+    std::size_t period = 1;
+    int harmonics = 0;
+  };
+
+  ChannelModel FitChannel(const std::vector<double>& y) const;
+  std::vector<double> ForecastChannel(const ChannelModel& m,
+                                      const std::vector<double>& y,
+                                      std::size_t horizon) const;
+
+  KalmanOptions options_;
+  std::vector<ChannelModel> models_;
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_STATISTICAL_KALMAN_H_

@@ -1,0 +1,132 @@
+#include "tfb/methods/statistical/theta.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfb/base/check.h"
+#include "tfb/optimize/nelder_mead.h"
+#include "tfb/stats/descriptive.h"
+
+namespace tfb::methods {
+
+namespace {
+
+// Classical-decomposition additive seasonal indices (centered moving
+// average detrending), returned per phase. Empty when not enough cycles.
+std::vector<double> SeasonalIndices(const std::vector<double>& y,
+                                    std::size_t period) {
+  if (period <= 1 || y.size() < 2 * period) return {};
+  std::vector<double> indices(period, 0.0);
+  std::vector<std::size_t> counts(period, 0);
+  // Centered MA of window `period` (even windows use the 2x(period) trick).
+  const std::size_t n = y.size();
+  for (std::size_t t = period / 2; t + (period + 1) / 2 < n; ++t) {
+    double ma = 0.0;
+    if (period % 2 == 0) {
+      ma += 0.5 * y[t - period / 2];
+      for (std::size_t i = 1; i < period; ++i) ma += y[t - period / 2 + i];
+      ma += 0.5 * y[t + period / 2];
+      ma /= static_cast<double>(period);
+    } else {
+      for (std::size_t i = 0; i < period; ++i) ma += y[t - period / 2 + i];
+      ma /= static_cast<double>(period);
+    }
+    indices[t % period] += y[t] - ma;
+    ++counts[t % period];
+  }
+  double mean_index = 0.0;
+  for (std::size_t p = 0; p < period; ++p) {
+    if (counts[p] > 0) indices[p] /= static_cast<double>(counts[p]);
+    mean_index += indices[p];
+  }
+  mean_index /= static_cast<double>(period);
+  for (double& v : indices) v -= mean_index;  // Indices sum to ~0.
+  return indices;
+}
+
+// Simple exponential smoothing level after processing y with parameter
+// alpha; also returns the SSE for optimization via the out-param.
+double SesLevel(const std::vector<double>& y, double alpha, double* sse) {
+  double level = y[0];
+  double err = 0.0;
+  for (std::size_t t = 1; t < y.size(); ++t) {
+    const double e = y[t] - level;
+    err += e * e;
+    level += alpha * e;
+  }
+  if (sse != nullptr) *sse = err;
+  return level;
+}
+
+}  // namespace
+
+void ThetaForecaster::Fit(const ts::TimeSeries& train) {
+  if (period_ == 0) {
+    period_ = train.seasonal_period() > 0
+                  ? train.seasonal_period()
+                  : ts::DefaultSeasonalPeriod(train.frequency());
+  }
+}
+
+std::vector<double> ThetaForecaster::ForecastChannel(
+    const std::vector<double>& y, std::size_t horizon) const {
+  const std::size_t n = y.size();
+  std::vector<double> out(horizon, y.empty() ? 0.0 : y.back());
+  if (n < 4) return out;
+
+  // Deseasonalize.
+  const std::vector<double> indices = SeasonalIndices(y, period_);
+  std::vector<double> deseason = y;
+  if (!indices.empty()) {
+    for (std::size_t t = 0; t < n; ++t) deseason[t] -= indices[t % period_];
+  }
+
+  // Theta = 0 line: OLS linear trend through the deseasonalized data.
+  double sx = 0, sy_ = 0, sxx = 0, sxy = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    sx += static_cast<double>(t);
+    sy_ += deseason[t];
+    sxx += static_cast<double>(t) * t;
+    sxy += static_cast<double>(t) * deseason[t];
+  }
+  const double denom = n * sxx - sx * sx;
+  const double slope = denom > 1e-12 ? (n * sxy - sx * sy_) / denom : 0.0;
+  const double intercept = (sy_ - slope * sx) / static_cast<double>(n);
+
+  // Theta = 2 line: 2*X - theta0, forecast by SES with optimized alpha.
+  std::vector<double> theta2(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    theta2[t] = 2.0 * deseason[t] - (intercept + slope * t);
+  }
+  const double alpha = optimize::GoldenSection(
+      [&](double a) {
+        double sse;
+        SesLevel(theta2, a, &sse);
+        return sse;
+      },
+      0.01, 0.99);
+  const double ses_level = SesLevel(theta2, alpha, nullptr);
+
+  // Combine with equal weights and reseasonalize.
+  for (std::size_t h = 0; h < horizon; ++h) {
+    const double theta0 = intercept + slope * static_cast<double>(n + h);
+    double forecast = 0.5 * (theta0 + ses_level);
+    if (!indices.empty()) forecast += indices[(n + h) % period_];
+    out[h] = forecast;
+  }
+  return out;
+}
+
+ts::TimeSeries ThetaForecaster::Forecast(const ts::TimeSeries& history,
+                                         std::size_t horizon) {
+  TFB_CHECK(history.length() > 0);
+  linalg::Matrix values(horizon, history.num_variables());
+  for (std::size_t v = 0; v < history.num_variables(); ++v) {
+    const std::vector<double> forecast =
+        ForecastChannel(history.Column(v), horizon);
+    for (std::size_t h = 0; h < horizon; ++h) values(h, v) = forecast[h];
+  }
+  return ts::TimeSeries(std::move(values));
+}
+
+}  // namespace tfb::methods

@@ -1,0 +1,36 @@
+#ifndef TFB_METHODS_STATISTICAL_THETA_H_
+#define TFB_METHODS_STATISTICAL_THETA_H_
+
+#include <vector>
+
+#include "tfb/methods/forecaster.h"
+
+namespace tfb::methods {
+
+/// The classical Theta method (Assimakopoulos & Nikolopoulos 2000), the
+/// M3-competition winner and one of the paper's statistical methods.
+/// The series is (additively) deseasonalized when a seasonal period is
+/// present, decomposed into the theta=0 line (linear regression on time)
+/// and the theta=2 line (forecast by simple exponential smoothing with an
+/// optimized alpha), and the two forecasts are averaged and reseasonalized.
+/// Multivariate input is handled channel-independently.
+class ThetaForecaster : public Forecaster {
+ public:
+  explicit ThetaForecaster(std::size_t period = 0) : period_(period) {}
+
+  std::string name() const override { return "Theta"; }
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  bool RefitPerWindow() const override { return true; }
+
+ private:
+  std::vector<double> ForecastChannel(const std::vector<double>& y,
+                                      std::size_t horizon) const;
+
+  std::size_t period_;
+};
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_STATISTICAL_THETA_H_

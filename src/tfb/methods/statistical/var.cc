@@ -1,0 +1,113 @@
+#include "tfb/methods/statistical/var.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tfb/base/check.h"
+#include "tfb/linalg/solve.h"
+
+namespace tfb::methods {
+
+double VarForecaster::FitOrder(const ts::TimeSeries& train, int p,
+                               linalg::Matrix* coeffs) const {
+  const std::size_t n = train.num_variables();
+  const std::size_t t = train.length();
+  const std::size_t rows = t - p;
+  const std::size_t k = 1 + p * n;
+  if (rows < k + 2) return std::numeric_limits<double>::infinity();
+
+  linalg::Matrix x(rows, k);
+  linalg::Matrix y(rows, n);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t time = r + p;
+    x(r, 0) = 1.0;
+    for (int lag = 1; lag <= p; ++lag) {
+      for (std::size_t v = 0; v < n; ++v) {
+        x(r, 1 + (lag - 1) * n + v) = train.at(time - lag, v);
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) y(r, v) = train.at(time, v);
+  }
+  auto beta = linalg::LeastSquaresMulti(x, y, options_.ridge);
+  if (!beta) return std::numeric_limits<double>::infinity();
+  if (coeffs != nullptr) *coeffs = *beta;
+
+  // AIC proxy: sum over equations of log residual variance (diagonal
+  // approximation of log|Sigma|), plus the parameter penalty.
+  double log_det = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    double sse = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      double pred = 0.0;
+      for (std::size_t c = 0; c < k; ++c) pred += x(r, c) * (*beta)(c, v);
+      const double e = y(r, v) - pred;
+      sse += e * e;
+    }
+    log_det += std::log(std::max(sse / rows, 1e-12));
+  }
+  return log_det + 2.0 * static_cast<double>(k * n) / rows;
+}
+
+void VarForecaster::Fit(const ts::TimeSeries& train) {
+  TFB_CHECK(train.length() > 2);
+  num_vars_ = train.num_variables();
+  int best_lag = options_.lag;
+  if (options_.auto_lag) {
+    double best_aic = std::numeric_limits<double>::infinity();
+    best_lag = 1;
+    const int max_lag = std::max(
+        1, std::min<int>(options_.max_lag,
+                         static_cast<int>(train.length()) / 4));
+    for (int p = 1; p <= max_lag; ++p) {
+      const double aic = FitOrder(train, p, nullptr);
+      if (aic < best_aic) {
+        best_aic = aic;
+        best_lag = p;
+      }
+    }
+  }
+  lag_ = best_lag;
+  const double aic = FitOrder(train, lag_, &coeffs_);
+  if (!std::isfinite(aic)) {
+    // Degenerate training set: fall back to a persistence-style VAR(1) with
+    // identity dynamics.
+    lag_ = 1;
+    coeffs_ = linalg::Matrix(1 + num_vars_, num_vars_);
+    for (std::size_t v = 0; v < num_vars_; ++v) coeffs_(1 + v, v) = 1.0;
+  }
+}
+
+ts::TimeSeries VarForecaster::Forecast(const ts::TimeSeries& history,
+                                       std::size_t horizon) {
+  TFB_CHECK(num_vars_ == history.num_variables());
+  TFB_CHECK(history.length() >= static_cast<std::size_t>(lag_));
+  const std::size_t n = num_vars_;
+
+  // Rolling state: most recent `lag_` observations, newest first.
+  std::vector<std::vector<double>> state(lag_);
+  for (int l = 0; l < lag_; ++l) {
+    state[l] = history.values().RowVector(history.length() - 1 - l);
+  }
+
+  linalg::Matrix out(horizon, n);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    std::vector<double> next(n, 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      double pred = coeffs_(0, v);
+      for (int l = 0; l < lag_; ++l) {
+        for (std::size_t u = 0; u < n; ++u) {
+          pred += coeffs_(1 + l * n + u, v) * state[l][u];
+        }
+      }
+      next[v] = pred;
+    }
+    for (std::size_t v = 0; v < n; ++v) out(h, v) = next[v];
+    // Shift the state window.
+    for (int l = lag_ - 1; l > 0; --l) state[l] = state[l - 1];
+    state[0] = next;
+  }
+  return ts::TimeSeries(std::move(out));
+}
+
+}  // namespace tfb::methods

@@ -1,0 +1,147 @@
+#include "tfb/nn/attention.h"
+
+#include <cmath>
+
+#include "tfb/base/check.h"
+
+namespace tfb::nn {
+
+namespace {
+
+linalg::Matrix ScaledInit(std::size_t in, std::size_t out, stats::Rng& rng) {
+  linalg::Matrix w(in, out);
+  const double limit = std::sqrt(6.0 / static_cast<double>(in + out));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w.data()[i] = rng.Uniform(-limit, limit);
+  }
+  return w;
+}
+
+}  // namespace
+
+SelfAttention::SelfAttention(std::size_t dim, std::size_t tokens,
+                             stats::Rng& rng)
+    : dim_(dim),
+      tokens_(tokens),
+      wq_(ScaledInit(dim, dim, rng)),
+      wk_(ScaledInit(dim, dim, rng)),
+      wv_(ScaledInit(dim, dim, rng)),
+      wo_(ScaledInit(dim, dim, rng)) {}
+
+linalg::Matrix SelfAttention::Forward(const linalg::Matrix& x, bool) {
+  TFB_CHECK(x.cols() == dim_);
+  TFB_CHECK(x.rows() % tokens_ == 0);
+  const std::size_t batch = x.rows() / tokens_;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+
+  x_cache_ = x;
+  q_cache_ = linalg::MatMul(x, wq_.value);
+  k_cache_ = linalg::MatMul(x, wk_.value);
+  v_cache_ = linalg::MatMul(x, wv_.value);
+  attn_cache_ = linalg::Matrix(x.rows(), tokens_);
+  context_cache_ = linalg::Matrix(x.rows(), dim_);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t base = b * tokens_;
+    // scores(i, j) = q_i . k_j * scale; softmax over j; context = A V.
+    for (std::size_t i = 0; i < tokens_; ++i) {
+      double max_score = -1e300;
+      for (std::size_t j = 0; j < tokens_; ++j) {
+        double s = 0.0;
+        const double* qi = q_cache_.row(base + i);
+        const double* kj = k_cache_.row(base + j);
+        for (std::size_t c = 0; c < dim_; ++c) s += qi[c] * kj[c];
+        s *= scale;
+        attn_cache_(base + i, j) = s;
+        max_score = std::max(max_score, s);
+      }
+      double denom = 0.0;
+      for (std::size_t j = 0; j < tokens_; ++j) {
+        const double e = std::exp(attn_cache_(base + i, j) - max_score);
+        attn_cache_(base + i, j) = e;
+        denom += e;
+      }
+      for (std::size_t j = 0; j < tokens_; ++j) {
+        attn_cache_(base + i, j) /= denom;
+      }
+      double* ctx = context_cache_.row(base + i);
+      for (std::size_t j = 0; j < tokens_; ++j) {
+        const double a = attn_cache_(base + i, j);
+        const double* vj = v_cache_.row(base + j);
+        for (std::size_t c = 0; c < dim_; ++c) ctx[c] += a * vj[c];
+      }
+    }
+  }
+  linalg::Matrix out = linalg::MatMul(context_cache_, wo_.value);
+  out += x;  // residual
+  return out;
+}
+
+linalg::Matrix SelfAttention::Backward(const linalg::Matrix& grad_output) {
+  const std::size_t batch = x_cache_.rows() / tokens_;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+
+  // Residual path.
+  linalg::Matrix grad_x = grad_output;
+
+  // Output projection.
+  wo_.grad += linalg::MatTMul(context_cache_, grad_output);
+  linalg::Matrix grad_context = linalg::MatMulT(grad_output, wo_.value);
+
+  linalg::Matrix grad_q(x_cache_.rows(), dim_);
+  linalg::Matrix grad_k(x_cache_.rows(), dim_);
+  linalg::Matrix grad_v(x_cache_.rows(), dim_);
+
+  std::vector<double> grad_attn(tokens_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t base = b * tokens_;
+    for (std::size_t i = 0; i < tokens_; ++i) {
+      // dA(i, j) = dContext_i . v_j ; dV_j += A(i,j) * dContext_i.
+      const double* gctx = grad_context.row(base + i);
+      for (std::size_t j = 0; j < tokens_; ++j) {
+        const double* vj = v_cache_.row(base + j);
+        double s = 0.0;
+        for (std::size_t c = 0; c < dim_; ++c) s += gctx[c] * vj[c];
+        grad_attn[j] = s;
+        double* gv = grad_v.row(base + j);
+        const double a = attn_cache_(base + i, j);
+        for (std::size_t c = 0; c < dim_; ++c) gv[c] += a * gctx[c];
+      }
+      // Softmax backward for row i.
+      double dot = 0.0;
+      for (std::size_t j = 0; j < tokens_; ++j) {
+        dot += grad_attn[j] * attn_cache_(base + i, j);
+      }
+      for (std::size_t j = 0; j < tokens_; ++j) {
+        const double a = attn_cache_(base + i, j);
+        const double gs = a * (grad_attn[j] - dot) * scale;
+        // dQ_i += gs * k_j ; dK_j += gs * q_i.
+        double* gq = grad_q.row(base + i);
+        double* gk = grad_k.row(base + j);
+        const double* kj = k_cache_.row(base + j);
+        const double* qi = q_cache_.row(base + i);
+        for (std::size_t c = 0; c < dim_; ++c) {
+          gq[c] += gs * kj[c];
+          gk[c] += gs * qi[c];
+        }
+      }
+    }
+  }
+
+  wq_.grad += linalg::MatTMul(x_cache_, grad_q);
+  wk_.grad += linalg::MatTMul(x_cache_, grad_k);
+  wv_.grad += linalg::MatTMul(x_cache_, grad_v);
+  grad_x += linalg::MatMulT(grad_q, wq_.value);
+  grad_x += linalg::MatMulT(grad_k, wk_.value);
+  grad_x += linalg::MatMulT(grad_v, wv_.value);
+  return grad_x;
+}
+
+void SelfAttention::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&wq_);
+  out->push_back(&wk_);
+  out->push_back(&wv_);
+  out->push_back(&wo_);
+}
+
+}  // namespace tfb::nn

@@ -1,0 +1,45 @@
+#ifndef TFB_NN_ATTENTION_H_
+#define TFB_NN_ATTENTION_H_
+
+#include "tfb/nn/module.h"
+
+namespace tfb::nn {
+
+/// Single-head scaled dot-product self-attention over fixed-length token
+/// groups. Input is (B*T x d) with each sample's T tokens stored in
+/// consecutive rows (which is the same buffer as a (B x T*d) matrix, so
+/// models reinterpret for free). A residual connection is built in:
+/// output = input + Attention(input).
+///
+/// This is the attention core of the PatchAttention (PatchTST-mini,
+/// tokens = temporal patches) and CrossAttention (Crossformer-mini,
+/// tokens = channels) forecasters.
+class SelfAttention : public Module {
+ public:
+  /// `dim` is the model width d; `tokens` the group size T.
+  SelfAttention(std::size_t dim, std::size_t tokens, stats::Rng& rng);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  std::size_t dim_;
+  std::size_t tokens_;
+  Parameter wq_;
+  Parameter wk_;
+  Parameter wv_;
+  Parameter wo_;
+
+  // Forward caches.
+  linalg::Matrix x_cache_;
+  linalg::Matrix q_cache_;
+  linalg::Matrix k_cache_;
+  linalg::Matrix v_cache_;
+  linalg::Matrix attn_cache_;  // (B*T x T) softmax weights per sample block
+  linalg::Matrix context_cache_;
+};
+
+}  // namespace tfb::nn
+
+#endif  // TFB_NN_ATTENTION_H_

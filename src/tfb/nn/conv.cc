@@ -1,0 +1,144 @@
+#include "tfb/nn/conv.h"
+
+#include <cmath>
+
+#include "tfb/base/check.h"
+
+namespace tfb::nn {
+
+CausalConvStack::CausalConvStack(std::size_t seq_len, std::size_t channels,
+                                 std::vector<std::size_t> dilations,
+                                 std::size_t kernel, stats::Rng& rng)
+    : seq_len_(seq_len), channels_(channels), kernel_(kernel) {
+  TFB_CHECK(!dilations.empty() && kernel >= 1);
+  std::size_t in_channels = 1;
+  for (std::size_t d : dilations) {
+    const double scale =
+        std::sqrt(2.0 / static_cast<double>(in_channels * kernel));
+    linalg::Matrix w(channels, in_channels * kernel);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w.data()[i] = rng.Gaussian(0.0, scale);
+    }
+    layers_.push_back(Layer{Parameter(std::move(w)),
+                            Parameter(linalg::Matrix(1, channels)),
+                            in_channels, d, in_channels == channels});
+    in_channels = channels;
+  }
+}
+
+linalg::Matrix CausalConvStack::Forward(const linalg::Matrix& x, bool) {
+  TFB_CHECK(x.cols() == seq_len_);
+  const std::size_t batch = x.rows();
+  inputs_cache_.clear();
+  preact_cache_.clear();
+
+  linalg::Matrix current = x;  // (B x in_channels*L), first layer Cin=1
+  for (const Layer& layer : layers_) {
+    inputs_cache_.push_back(current);
+    linalg::Matrix pre(batch, channels_ * seq_len_);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double* in = current.row(b);
+      double* out = pre.row(b);
+      for (std::size_t co = 0; co < channels_; ++co) {
+        const double* w = layer.weight.value.row(co);
+        const double bias = layer.bias.value(0, co);
+        for (std::size_t t = 0; t < seq_len_; ++t) {
+          double sum = bias;
+          for (std::size_t ci = 0; ci < layer.in_channels; ++ci) {
+            for (std::size_t j = 0; j < kernel_; ++j) {
+              const std::ptrdiff_t src =
+                  static_cast<std::ptrdiff_t>(t) -
+                  static_cast<std::ptrdiff_t>(j * layer.dilation);
+              if (src < 0) continue;
+              sum += w[ci * kernel_ + j] * in[ci * seq_len_ + src];
+            }
+          }
+          out[co * seq_len_ + t] = sum;
+        }
+      }
+    }
+    preact_cache_.push_back(pre);
+    // ReLU + residual.
+    linalg::Matrix activated = pre;
+    for (std::size_t i = 0; i < activated.size(); ++i) {
+      if (activated.data()[i] < 0.0) activated.data()[i] = 0.0;
+    }
+    if (layer.residual) activated += current;
+    current = std::move(activated);
+  }
+
+  // Final features: last time-step values of every channel.
+  linalg::Matrix out(batch, channels_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      out(b, c) = current(b, c * seq_len_ + seq_len_ - 1);
+    }
+  }
+  inputs_cache_.push_back(std::move(current));  // post-stack activations
+  return out;
+}
+
+linalg::Matrix CausalConvStack::Backward(const linalg::Matrix& grad_output) {
+  const std::size_t batch = grad_output.rows();
+  // Seed gradient at the last time step of the top activations.
+  linalg::Matrix grad(batch, channels_ * seq_len_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      grad(b, c * seq_len_ + seq_len_ - 1) = grad_output(b, c);
+    }
+  }
+
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const linalg::Matrix& pre = preact_cache_[li];
+    const linalg::Matrix& input = inputs_cache_[li];
+
+    // Residual passes gradient straight through to the layer input.
+    linalg::Matrix grad_input(batch, layer.in_channels * seq_len_);
+    if (layer.residual) grad_input = grad;
+
+    // ReLU mask on the conv path.
+    linalg::Matrix grad_pre = grad;
+    for (std::size_t i = 0; i < grad_pre.size(); ++i) {
+      if (pre.data()[i] <= 0.0) grad_pre.data()[i] = 0.0;
+    }
+
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double* in = input.row(b);
+      const double* gp = grad_pre.row(b);
+      double* gi = grad_input.row(b);
+      for (std::size_t co = 0; co < channels_; ++co) {
+        const double* w = layer.weight.value.row(co);
+        double* gw = layer.weight.grad.row(co);
+        double gb = 0.0;
+        for (std::size_t t = 0; t < seq_len_; ++t) {
+          const double g = gp[co * seq_len_ + t];
+          if (g == 0.0) continue;
+          gb += g;
+          for (std::size_t ci = 0; ci < layer.in_channels; ++ci) {
+            for (std::size_t j = 0; j < kernel_; ++j) {
+              const std::ptrdiff_t src =
+                  static_cast<std::ptrdiff_t>(t) -
+                  static_cast<std::ptrdiff_t>(j * layer.dilation);
+              if (src < 0) continue;
+              gw[ci * kernel_ + j] += g * in[ci * seq_len_ + src];
+              gi[ci * seq_len_ + src] += g * w[ci * kernel_ + j];
+            }
+          }
+        }
+        layer.bias.grad(0, co) += gb;
+      }
+    }
+    grad = std::move(grad_input);
+  }
+  return grad;  // (B x 1*L) = gradient w.r.t. the scalar input windows
+}
+
+void CausalConvStack::CollectParameters(std::vector<Parameter*>* out) {
+  for (Layer& layer : layers_) {
+    out->push_back(&layer.weight);
+    out->push_back(&layer.bias);
+  }
+}
+
+}  // namespace tfb::nn

@@ -1,0 +1,157 @@
+#include "tfb/nn/gru.h"
+
+#include <cmath>
+
+#include "tfb/base/check.h"
+
+namespace tfb::nn {
+
+namespace {
+
+double SigmoidScalar(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+linalg::Matrix SmallInit(std::size_t rows, std::size_t cols, stats::Rng& rng,
+                         double scale) {
+  linalg::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.Gaussian(0.0, scale);
+  }
+  return m;
+}
+
+}  // namespace
+
+GruLayer::GruLayer(std::size_t seq_len, std::size_t hidden, stats::Rng& rng)
+    : seq_len_(seq_len),
+      hidden_(hidden),
+      wz_(SmallInit(1, hidden, rng, 0.3)),
+      wr_(SmallInit(1, hidden, rng, 0.3)),
+      wc_(SmallInit(1, hidden, rng, 0.3)),
+      uz_(SmallInit(hidden, hidden, rng, 1.0 / std::sqrt(hidden))),
+      ur_(SmallInit(hidden, hidden, rng, 1.0 / std::sqrt(hidden))),
+      uc_(SmallInit(hidden, hidden, rng, 1.0 / std::sqrt(hidden))),
+      bz_(linalg::Matrix(1, hidden)),
+      br_(linalg::Matrix(1, hidden)),
+      bc_(linalg::Matrix(1, hidden)) {}
+
+linalg::Matrix GruLayer::Forward(const linalg::Matrix& x, bool) {
+  TFB_CHECK(x.cols() == seq_len_);
+  const std::size_t batch = x.rows();
+  x_cache_ = x;
+  h_cache_.assign(seq_len_ + 1, linalg::Matrix(batch, hidden_));
+  z_cache_.assign(seq_len_, linalg::Matrix(batch, hidden_));
+  r_cache_.assign(seq_len_, linalg::Matrix(batch, hidden_));
+  c_cache_.assign(seq_len_, linalg::Matrix(batch, hidden_));
+
+  for (std::size_t t = 0; t < seq_len_; ++t) {
+    const linalg::Matrix& h_prev = h_cache_[t];
+    // Recurrent contributions.
+    const linalg::Matrix hz = linalg::MatMul(h_prev, uz_.value);
+    const linalg::Matrix hr = linalg::MatMul(h_prev, ur_.value);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double xt = x(b, t);
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        z_cache_[t](b, j) = SigmoidScalar(
+            xt * wz_.value(0, j) + hz(b, j) + bz_.value(0, j));
+        r_cache_[t](b, j) = SigmoidScalar(
+            xt * wr_.value(0, j) + hr(b, j) + br_.value(0, j));
+      }
+    }
+    // Candidate uses the reset-gated previous state.
+    linalg::Matrix gated(batch, hidden_);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        gated(b, j) = r_cache_[t](b, j) * h_prev(b, j);
+      }
+    }
+    const linalg::Matrix hc = linalg::MatMul(gated, uc_.value);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double xt = x(b, t);
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const double c = std::tanh(xt * wc_.value(0, j) + hc(b, j) +
+                                   bc_.value(0, j));
+        c_cache_[t](b, j) = c;
+        const double z = z_cache_[t](b, j);
+        h_cache_[t + 1](b, j) = (1.0 - z) * h_prev(b, j) + z * c;
+      }
+    }
+  }
+  return h_cache_[seq_len_];
+}
+
+linalg::Matrix GruLayer::Backward(const linalg::Matrix& grad_output) {
+  const std::size_t batch = x_cache_.rows();
+  linalg::Matrix grad_x(batch, seq_len_);
+  linalg::Matrix dh = grad_output;
+
+  for (std::size_t t = seq_len_; t-- > 0;) {
+    const linalg::Matrix& h_prev = h_cache_[t];
+    const linalg::Matrix& z = z_cache_[t];
+    const linalg::Matrix& r = r_cache_[t];
+    const linalg::Matrix& c = c_cache_[t];
+
+    linalg::Matrix dz_pre(batch, hidden_);
+    linalg::Matrix dc_pre(batch, hidden_);
+    linalg::Matrix dh_prev(batch, hidden_);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const double g = dh(b, j);
+        const double zj = z(b, j);
+        const double cj = c(b, j);
+        dz_pre(b, j) = g * (cj - h_prev(b, j)) * zj * (1.0 - zj);
+        dc_pre(b, j) = g * zj * (1.0 - cj * cj);
+        dh_prev(b, j) = g * (1.0 - zj);
+      }
+    }
+    // Candidate path: a_c = x*wc + (r .* h_prev) Uc + bc.
+    linalg::Matrix gated(batch, hidden_);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        gated(b, j) = r(b, j) * h_prev(b, j);
+      }
+    }
+    uc_.grad += linalg::MatTMul(gated, dc_pre);
+    const linalg::Matrix dgated = linalg::MatMulT(dc_pre, uc_.value);
+    linalg::Matrix dr_pre(batch, hidden_);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const double rj = r(b, j);
+        dh_prev(b, j) += dgated(b, j) * rj;
+        dr_pre(b, j) = dgated(b, j) * h_prev(b, j) * rj * (1.0 - rj);
+      }
+    }
+    // Gate paths through the recurrent weights.
+    uz_.grad += linalg::MatTMul(h_prev, dz_pre);
+    ur_.grad += linalg::MatTMul(h_prev, dr_pre);
+    dh_prev += linalg::MatMulT(dz_pre, uz_.value);
+    dh_prev += linalg::MatMulT(dr_pre, ur_.value);
+
+    // Input weights, biases, and the scalar input gradient.
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double xt = x_cache_(b, t);
+      double gx = 0.0;
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        wz_.grad(0, j) += xt * dz_pre(b, j);
+        wr_.grad(0, j) += xt * dr_pre(b, j);
+        wc_.grad(0, j) += xt * dc_pre(b, j);
+        bz_.grad(0, j) += dz_pre(b, j);
+        br_.grad(0, j) += dr_pre(b, j);
+        bc_.grad(0, j) += dc_pre(b, j);
+        gx += dz_pre(b, j) * wz_.value(0, j) +
+              dr_pre(b, j) * wr_.value(0, j) +
+              dc_pre(b, j) * wc_.value(0, j);
+      }
+      grad_x(b, t) = gx;
+    }
+    dh = std::move(dh_prev);
+  }
+  return grad_x;
+}
+
+void GruLayer::CollectParameters(std::vector<Parameter*>* out) {
+  for (Parameter* p : {&wz_, &wr_, &wc_, &uz_, &ur_, &uc_, &bz_, &br_, &bc_}) {
+    out->push_back(p);
+  }
+}
+
+}  // namespace tfb::nn

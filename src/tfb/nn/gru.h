@@ -1,0 +1,40 @@
+#ifndef TFB_NN_GRU_H_
+#define TFB_NN_GRU_H_
+
+#include "tfb/nn/module.h"
+
+namespace tfb::nn {
+
+/// Gated recurrent unit over scalar input sequences: maps a batch of
+/// length-L windows (B x L) to the final hidden state (B x hidden) via the
+/// standard GRU recursion with full backpropagation through time. The
+/// recurrent core of the RNN-family forecaster.
+class GruLayer : public Module {
+ public:
+  GruLayer(std::size_t seq_len, std::size_t hidden, stats::Rng& rng);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  std::size_t seq_len_;
+  std::size_t hidden_;
+  // Input weights (1 x hidden), recurrent weights (hidden x hidden),
+  // biases (1 x hidden), for the update (z), reset (r) and candidate (c)
+  // gates.
+  Parameter wz_, wr_, wc_;
+  Parameter uz_, ur_, uc_;
+  Parameter bz_, br_, bc_;
+
+  // Per-timestep caches, each (B x hidden); inputs cached as (B x L).
+  linalg::Matrix x_cache_;
+  std::vector<linalg::Matrix> h_cache_;  // h_{-1}..h_{L-1} (L+1 entries)
+  std::vector<linalg::Matrix> z_cache_;
+  std::vector<linalg::Matrix> r_cache_;
+  std::vector<linalg::Matrix> c_cache_;
+};
+
+}  // namespace tfb::nn
+
+#endif  // TFB_NN_GRU_H_

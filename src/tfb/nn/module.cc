@@ -1,0 +1,231 @@
+#include "tfb/nn/module.h"
+
+#include <cmath>
+
+#include "tfb/base/check.h"
+
+namespace tfb::nn {
+
+void Module::CollectParameters(std::vector<Parameter*>*) {}
+
+namespace {
+
+linalg::Matrix GlorotUniform(std::size_t in, std::size_t out,
+                             stats::Rng& rng) {
+  linalg::Matrix w(in, out);
+  const double limit = std::sqrt(6.0 / static_cast<double>(in + out));
+  for (std::size_t i = 0; i < in; ++i) {
+    for (std::size_t j = 0; j < out; ++j) {
+      w(i, j) = rng.Uniform(-limit, limit);
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+Dense::Dense(std::size_t in, std::size_t out, stats::Rng& rng)
+    : weight_(GlorotUniform(in, out, rng)), bias_(linalg::Matrix(1, out)) {}
+
+linalg::Matrix Dense::Forward(const linalg::Matrix& x, bool) {
+  input_cache_ = x;
+  linalg::Matrix out = linalg::MatMul(x, weight_.value);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) += bias_.value(0, c);
+    }
+  }
+  return out;
+}
+
+linalg::Matrix Dense::Backward(const linalg::Matrix& grad_output) {
+  weight_.grad += linalg::MatTMul(input_cache_, grad_output);
+  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+    for (std::size_t c = 0; c < grad_output.cols(); ++c) {
+      bias_.grad(0, c) += grad_output(r, c);
+    }
+  }
+  return linalg::MatMulT(grad_output, weight_.value);
+}
+
+void Dense::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&weight_);
+  out->push_back(&bias_);
+}
+
+linalg::Matrix Relu::Forward(const linalg::Matrix& x, bool) {
+  input_cache_ = x;
+  linalg::Matrix out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0) out.data()[i] = 0.0;
+  }
+  return out;
+}
+
+linalg::Matrix Relu::Backward(const linalg::Matrix& grad_output) {
+  linalg::Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (input_cache_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  }
+  return grad;
+}
+
+namespace {
+constexpr double kGeluC = 0.7978845608028654;  // sqrt(2/pi)
+}
+
+linalg::Matrix Gelu::Forward(const linalg::Matrix& x, bool) {
+  input_cache_ = x;
+  linalg::Matrix out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double v = out.data()[i];
+    out.data()[i] =
+        0.5 * v * (1.0 + std::tanh(kGeluC * (v + 0.044715 * v * v * v)));
+  }
+  return out;
+}
+
+linalg::Matrix Gelu::Backward(const linalg::Matrix& grad_output) {
+  linalg::Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const double v = input_cache_.data()[i];
+    const double inner = kGeluC * (v + 0.044715 * v * v * v);
+    const double t = std::tanh(inner);
+    const double dinner = kGeluC * (1.0 + 3.0 * 0.044715 * v * v);
+    const double d = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner;
+    grad.data()[i] *= d;
+  }
+  return grad;
+}
+
+linalg::Matrix Tanh::Forward(const linalg::Matrix& x, bool) {
+  linalg::Matrix out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  output_cache_ = out;
+  return out;
+}
+
+linalg::Matrix Tanh::Backward(const linalg::Matrix& grad_output) {
+  linalg::Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const double t = output_cache_.data()[i];
+    grad.data()[i] *= 1.0 - t * t;
+  }
+  return grad;
+}
+
+linalg::Matrix Dropout::Forward(const linalg::Matrix& x, bool training) {
+  active_ = training && rate_ > 0.0;
+  if (!active_) return x;
+  mask_ = linalg::Matrix(x.rows(), x.cols());
+  linalg::Matrix out = x;
+  const double scale = 1.0 / (1.0 - rate_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double keep = rng_.Bernoulli(1.0 - rate_) ? scale : 0.0;
+    mask_.data()[i] = keep;
+    out.data()[i] *= keep;
+  }
+  return out;
+}
+
+linalg::Matrix Dropout::Backward(const linalg::Matrix& grad_output) {
+  if (!active_) return grad_output;
+  linalg::Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad.data()[i] *= mask_.data()[i];
+  }
+  return grad;
+}
+
+LayerNorm::LayerNorm(std::size_t dim)
+    : gamma_(linalg::Matrix(1, dim, 1.0)), beta_(linalg::Matrix(1, dim)) {}
+
+linalg::Matrix LayerNorm::Forward(const linalg::Matrix& x, bool) {
+  const std::size_t rows = x.rows();
+  const std::size_t d = x.cols();
+  normalized_cache_ = linalg::Matrix(rows, d);
+  inv_std_cache_.assign(rows, 0.0);
+  linalg::Matrix out(rows, d);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < d; ++c) mean += x(r, c);
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dv = x(r, c) - mean;
+      var += dv * dv;
+    }
+    var /= static_cast<double>(d);
+    const double inv_std = 1.0 / std::sqrt(var + 1e-6);
+    inv_std_cache_[r] = inv_std;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double norm = (x(r, c) - mean) * inv_std;
+      normalized_cache_(r, c) = norm;
+      out(r, c) = norm * gamma_.value(0, c) + beta_.value(0, c);
+    }
+  }
+  return out;
+}
+
+linalg::Matrix LayerNorm::Backward(const linalg::Matrix& grad_output) {
+  const std::size_t rows = grad_output.rows();
+  const std::size_t d = grad_output.cols();
+  linalg::Matrix grad(rows, d);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double sum_g = 0.0;
+    double sum_gn = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double g = grad_output(r, c) * gamma_.value(0, c);
+      sum_g += g;
+      sum_gn += g * normalized_cache_(r, c);
+      gamma_.grad(0, c) += grad_output(r, c) * normalized_cache_(r, c);
+      beta_.grad(0, c) += grad_output(r, c);
+    }
+    const double inv_d = 1.0 / static_cast<double>(d);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double g = grad_output(r, c) * gamma_.value(0, c);
+      grad(r, c) = inv_std_cache_[r] *
+                   (g - inv_d * sum_g -
+                    normalized_cache_(r, c) * inv_d * sum_gn);
+    }
+  }
+  return grad;
+}
+
+void LayerNorm::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&gamma_);
+  out->push_back(&beta_);
+}
+
+Sequential& Sequential::Add(std::unique_ptr<Module> module) {
+  modules_.push_back(std::move(module));
+  return *this;
+}
+
+linalg::Matrix Sequential::Forward(const linalg::Matrix& x, bool training) {
+  linalg::Matrix out = x;
+  for (auto& m : modules_) out = m->Forward(out, training);
+  return out;
+}
+
+linalg::Matrix Sequential::Backward(const linalg::Matrix& grad_output) {
+  linalg::Matrix grad = grad_output;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    grad = (*it)->Backward(grad);
+  }
+  return grad;
+}
+
+void Sequential::CollectParameters(std::vector<Parameter*>* out) {
+  for (auto& m : modules_) m->CollectParameters(out);
+}
+
+std::size_t CountParameters(const std::vector<Parameter*>& params) {
+  std::size_t total = 0;
+  for (const Parameter* p : params) total += p->value.size();
+  return total;
+}
+
+}  // namespace tfb::nn

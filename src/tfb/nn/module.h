@@ -1,0 +1,143 @@
+#ifndef TFB_NN_MODULE_H_
+#define TFB_NN_MODULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tfb/linalg/matrix.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::nn {
+
+/// A trainable tensor with its accumulated gradient.
+struct Parameter {
+  linalg::Matrix value;
+  linalg::Matrix grad;
+
+  explicit Parameter(linalg::Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  /// Zeroes the gradient buffer.
+  void ZeroGrad() { grad = linalg::Matrix(value.rows(), value.cols()); }
+};
+
+/// Base class for feed-forward building blocks. A Module maps a batch
+/// (rows = samples or tokens) to an output batch and supports one
+/// Forward/Backward round trip per step: Forward caches whatever Backward
+/// needs; Backward consumes the cache, accumulates parameter gradients, and
+/// returns the gradient w.r.t. the input.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes outputs for `x`; `training` enables dropout-style behaviour.
+  virtual linalg::Matrix Forward(const linalg::Matrix& x, bool training) = 0;
+
+  /// Backpropagates `grad_output` (same shape as the last Forward output);
+  /// returns the gradient w.r.t. the last Forward input.
+  virtual linalg::Matrix Backward(const linalg::Matrix& grad_output) = 0;
+
+  /// Appends this module's parameters to `out`.
+  virtual void CollectParameters(std::vector<Parameter*>* out);
+};
+
+/// Fully connected layer: y = x W + b, with Glorot-uniform initialization.
+class Dense : public Module {
+ public:
+  Dense(std::size_t in, std::size_t out, stats::Rng& rng);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Parameter weight_;  // (in x out)
+  Parameter bias_;    // (1 x out)
+  linalg::Matrix input_cache_;
+};
+
+/// Element-wise ReLU.
+class Relu : public Module {
+ public:
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+
+ private:
+  linalg::Matrix input_cache_;
+};
+
+/// Element-wise GELU (tanh approximation).
+class Gelu : public Module {
+ public:
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+
+ private:
+  linalg::Matrix input_cache_;
+};
+
+/// Element-wise tanh.
+class Tanh : public Module {
+ public:
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+
+ private:
+  linalg::Matrix output_cache_;
+};
+
+/// Inverted dropout; identity when not training.
+class Dropout : public Module {
+ public:
+  Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {}
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+
+ private:
+  double rate_;
+  stats::Rng rng_;
+  linalg::Matrix mask_;
+  bool active_ = false;
+};
+
+/// Per-row layer normalization with learnable gain/offset.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::size_t dim);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  Parameter gamma_;  // (1 x dim)
+  Parameter beta_;   // (1 x dim)
+  linalg::Matrix normalized_cache_;
+  std::vector<double> inv_std_cache_;
+};
+
+/// Runs child modules in order.
+class Sequential : public Module {
+ public:
+  /// Appends a module; returns *this for chaining.
+  Sequential& Add(std::unique_ptr<Module> module);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+/// Total scalar parameter count of a parameter set.
+std::size_t CountParameters(const std::vector<Parameter*>& params);
+
+}  // namespace tfb::nn
+
+#endif  // TFB_NN_MODULE_H_

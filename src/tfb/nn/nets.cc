@@ -1,0 +1,285 @@
+#include "tfb/nn/nets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfb/base/check.h"
+
+namespace tfb::nn {
+
+linalg::Matrix Reshape(linalg::Matrix m, std::size_t rows, std::size_t cols) {
+  TFB_CHECK(m.size() == rows * cols);
+  std::vector<double> data(m.data(), m.data() + m.size());
+  return linalg::Matrix::FromRowMajor(rows, cols, std::move(data));
+}
+
+linalg::Matrix FixedLinear::Forward(const linalg::Matrix& x, bool) {
+  return linalg::MatMul(x, w_);
+}
+
+linalg::Matrix FixedLinear::Backward(const linalg::Matrix& grad_output) {
+  return linalg::MatMulT(grad_output, w_);
+}
+
+linalg::Matrix DftFeatureMatrix(std::size_t seq_len, std::size_t num_freqs) {
+  linalg::Matrix w(seq_len, 2 * num_freqs);
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    for (std::size_t k = 0; k < num_freqs; ++k) {
+      const double angle = 2.0 * M_PI * static_cast<double>(k) *
+                           static_cast<double>(t) /
+                           static_cast<double>(seq_len);
+      w(t, 2 * k) = std::cos(angle);
+      w(t, 2 * k + 1) = std::sin(angle);
+    }
+  }
+  // Scale for unit-ish variance of the features.
+  w *= 1.0 / std::sqrt(static_cast<double>(seq_len));
+  return w;
+}
+
+linalg::Matrix LegendreFeatureMatrix(std::size_t seq_len,
+                                     std::size_t degree) {
+  TFB_CHECK(degree >= 1);
+  linalg::Matrix w(seq_len, degree);
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    const double x =
+        seq_len > 1
+            ? 2.0 * static_cast<double>(t) / static_cast<double>(seq_len - 1) -
+                  1.0
+            : 0.0;
+    // Bonnet recursion: (k+1) P_{k+1} = (2k+1) x P_k - k P_{k-1}.
+    double p_prev = 1.0;
+    double p = x;
+    for (std::size_t k = 0; k < degree; ++k) {
+      if (k == 0) {
+        w(t, k) = 1.0;
+      } else if (k == 1) {
+        w(t, k) = x;
+      } else {
+        const double next =
+            ((2.0 * (k - 1) + 1.0) * x * p - (k - 1) * p_prev) /
+            static_cast<double>(k);
+        p_prev = p;
+        p = next;
+        w(t, k) = next;
+      }
+    }
+  }
+  // Scale each column to unit norm so all modes feed the linear head at
+  // comparable magnitude.
+  for (std::size_t k = 0; k < degree; ++k) {
+    double norm = 0.0;
+    for (std::size_t t = 0; t < seq_len; ++t) norm += w(t, k) * w(t, k);
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (std::size_t t = 0; t < seq_len; ++t) w(t, k) /= norm;
+  }
+  return w;
+}
+
+linalg::Matrix MovingAverageMatrix(std::size_t seq_len, std::size_t kernel) {
+  TFB_CHECK(kernel >= 1);
+  linalg::Matrix m(seq_len, seq_len);
+  const std::ptrdiff_t lo = -static_cast<std::ptrdiff_t>((kernel - 1) / 2);
+  const std::ptrdiff_t hi = static_cast<std::ptrdiff_t>(kernel / 2);
+  const double inv = 1.0 / static_cast<double>(kernel);
+  for (std::size_t j = 0; j < seq_len; ++j) {
+    for (std::ptrdiff_t o = lo; o <= hi; ++o) {
+      std::ptrdiff_t src = static_cast<std::ptrdiff_t>(j) + o;
+      src = std::clamp<std::ptrdiff_t>(src, 0,
+                                       static_cast<std::ptrdiff_t>(seq_len) - 1);
+      m(static_cast<std::size_t>(src), j) += inv;
+    }
+  }
+  return m;
+}
+
+DLinearNet::DLinearNet(std::size_t seq_len, std::size_t horizon,
+                       std::size_t ma_kernel, stats::Rng& rng)
+    : ma_(MovingAverageMatrix(seq_len, ma_kernel)),
+      trend_head_(seq_len, horizon, rng),
+      seasonal_head_(seq_len, horizon, rng) {}
+
+linalg::Matrix DLinearNet::Forward(const linalg::Matrix& x, bool training) {
+  linalg::Matrix trend = linalg::MatMul(x, ma_);
+  linalg::Matrix seasonal = x;
+  seasonal -= trend;
+  linalg::Matrix out = trend_head_.Forward(trend, training);
+  out += seasonal_head_.Forward(seasonal, training);
+  return out;
+}
+
+linalg::Matrix DLinearNet::Backward(const linalg::Matrix& grad_output) {
+  const linalg::Matrix dt = trend_head_.Backward(grad_output);
+  const linalg::Matrix ds = seasonal_head_.Backward(grad_output);
+  // x -> trend is x*M; x -> seasonal is x*(I - M).
+  linalg::Matrix diff = dt;
+  diff -= ds;
+  linalg::Matrix grad = linalg::MatMulT(diff, ma_);
+  grad += ds;
+  return grad;
+}
+
+void DLinearNet::CollectParameters(std::vector<Parameter*>* out) {
+  trend_head_.CollectParameters(out);
+  seasonal_head_.CollectParameters(out);
+}
+
+PatchAttentionNet::PatchAttentionNet(std::size_t seq_len, std::size_t horizon,
+                                     std::size_t num_patches,
+                                     std::size_t model_dim, stats::Rng& rng)
+    : seq_len_(seq_len),
+      num_patches_(num_patches),
+      patch_len_(seq_len / num_patches),
+      model_dim_(model_dim),
+      embed_(patch_len_, model_dim, rng),
+      norm1_(model_dim),
+      attention_(model_dim, num_patches, rng),
+      norm2_(model_dim),
+      ffn1_(model_dim, 2 * model_dim, rng),
+      ffn2_(2 * model_dim, model_dim, rng),
+      head_(num_patches * model_dim, horizon, rng) {
+  TFB_CHECK_MSG(seq_len % num_patches == 0,
+                "seq_len must be divisible by num_patches");
+}
+
+linalg::Matrix PatchAttentionNet::Forward(const linalg::Matrix& x,
+                                          bool training) {
+  const std::size_t batch = x.rows();
+  TFB_CHECK(x.cols() == seq_len_);
+  linalg::Matrix tokens =
+      Reshape(x, batch * num_patches_, patch_len_);
+  linalg::Matrix e = embed_.Forward(tokens, training);
+  linalg::Matrix n1 = norm1_.Forward(e, training);
+  linalg::Matrix a = attention_.Forward(n1, training);
+  linalg::Matrix n2 = norm2_.Forward(a, training);
+  ffn_input_cache_ = n2;
+  linalg::Matrix f = ffn2_.Forward(
+      ffn_act_.Forward(ffn1_.Forward(n2, training), training), training);
+  f += a;  // residual around the FFN
+  linalg::Matrix flat = Reshape(std::move(f), batch,
+                                num_patches_ * model_dim_);
+  return head_.Forward(flat, training);
+}
+
+linalg::Matrix PatchAttentionNet::Backward(const linalg::Matrix& grad_output) {
+  const std::size_t batch = grad_output.rows();
+  linalg::Matrix dflat = head_.Backward(grad_output);
+  linalg::Matrix dtok =
+      Reshape(std::move(dflat), batch * num_patches_, model_dim_);
+  // Residual split: gradient reaches both the FFN branch and `a` directly.
+  linalg::Matrix da = dtok;
+  linalg::Matrix dn2 = ffn1_.Backward(
+      ffn_act_.Backward(ffn2_.Backward(dtok)));
+  da += norm2_.Backward(dn2);
+  linalg::Matrix dn1 = attention_.Backward(da);
+  linalg::Matrix de = norm1_.Backward(dn1);
+  linalg::Matrix dpatch = embed_.Backward(de);
+  return Reshape(std::move(dpatch), batch, seq_len_);
+}
+
+void PatchAttentionNet::CollectParameters(std::vector<Parameter*>* out) {
+  embed_.CollectParameters(out);
+  norm1_.CollectParameters(out);
+  attention_.CollectParameters(out);
+  norm2_.CollectParameters(out);
+  ffn1_.CollectParameters(out);
+  ffn2_.CollectParameters(out);
+  head_.CollectParameters(out);
+}
+
+CrossAttentionNet::CrossAttentionNet(std::size_t seq_len, std::size_t horizon,
+                                     std::size_t num_channels,
+                                     std::size_t model_dim, stats::Rng& rng)
+    : seq_len_(seq_len),
+      horizon_(horizon),
+      num_channels_(num_channels),
+      model_dim_(model_dim),
+      embed_(seq_len, model_dim, rng),
+      norm_(model_dim),
+      attention_(model_dim, num_channels, rng),
+      head_(model_dim, horizon, rng) {}
+
+linalg::Matrix CrossAttentionNet::Forward(const linalg::Matrix& x,
+                                          bool training) {
+  const std::size_t batch = x.rows();
+  TFB_CHECK(x.cols() == num_channels_ * seq_len_);
+  linalg::Matrix tokens = Reshape(x, batch * num_channels_, seq_len_);
+  linalg::Matrix e = embed_.Forward(tokens, training);
+  linalg::Matrix n = norm_.Forward(e, training);
+  linalg::Matrix a = attention_.Forward(n, training);
+  linalg::Matrix h = head_.Forward(a, training);  // (B*N x H)
+  return Reshape(std::move(h), batch, num_channels_ * horizon_);
+}
+
+linalg::Matrix CrossAttentionNet::Backward(const linalg::Matrix& grad_output) {
+  const std::size_t batch = grad_output.rows();
+  linalg::Matrix dh =
+      Reshape(grad_output, batch * num_channels_, horizon_);
+  linalg::Matrix da = head_.Backward(dh);
+  linalg::Matrix dn = attention_.Backward(da);
+  linalg::Matrix de = norm_.Backward(dn);
+  linalg::Matrix dtok = embed_.Backward(de);
+  return Reshape(std::move(dtok), batch, num_channels_ * seq_len_);
+}
+
+void CrossAttentionNet::CollectParameters(std::vector<Parameter*>* out) {
+  embed_.CollectParameters(out);
+  norm_.CollectParameters(out);
+  attention_.CollectParameters(out);
+  head_.CollectParameters(out);
+}
+
+NBeatsNet::NBeatsNet(std::size_t seq_len, std::size_t horizon, int num_blocks,
+                     std::size_t hidden, stats::Rng& rng)
+    : seq_len_(seq_len), horizon_(horizon) {
+  for (int i = 0; i < num_blocks; ++i) {
+    auto block = std::make_unique<Block>(
+        Block{Sequential(), Dense(hidden, seq_len, rng),
+              Dense(hidden, horizon, rng), linalg::Matrix()});
+    block->body.Add(std::make_unique<Dense>(seq_len, hidden, rng));
+    block->body.Add(std::make_unique<Relu>());
+    block->body.Add(std::make_unique<Dense>(hidden, hidden, rng));
+    block->body.Add(std::make_unique<Relu>());
+    blocks_.push_back(std::move(block));
+  }
+}
+
+linalg::Matrix NBeatsNet::Forward(const linalg::Matrix& x, bool training) {
+  TFB_CHECK(x.cols() == seq_len_);
+  linalg::Matrix residual = x;
+  linalg::Matrix total(x.rows(), horizon_);
+  for (auto& block : blocks_) {
+    block->body_out_cache = block->body.Forward(residual, training);
+    const linalg::Matrix back =
+        block->backcast.Forward(block->body_out_cache, training);
+    total += block->forecast.Forward(block->body_out_cache, training);
+    residual -= back;
+  }
+  return total;
+}
+
+linalg::Matrix NBeatsNet::Backward(const linalg::Matrix& grad_output) {
+  // dr = gradient w.r.t. the residual leaving block i (initially the unused
+  // final residual, hence zero).
+  linalg::Matrix dr(grad_output.rows(), seq_len_);
+  for (std::size_t i = blocks_.size(); i-- > 0;) {
+    Block& block = *blocks_[i];
+    linalg::Matrix dbody = block.forecast.Backward(grad_output);
+    // r_{i+1} = r_i - back_i: backcast receives -dr.
+    linalg::Matrix neg_dr = dr;
+    neg_dr *= -1.0;
+    dbody += block.backcast.Backward(neg_dr);
+    dr += block.body.Backward(dbody);
+  }
+  return dr;
+}
+
+void NBeatsNet::CollectParameters(std::vector<Parameter*>* out) {
+  for (auto& block : blocks_) {
+    block->body.CollectParameters(out);
+    block->backcast.CollectParameters(out);
+    block->forecast.CollectParameters(out);
+  }
+}
+
+}  // namespace tfb::nn

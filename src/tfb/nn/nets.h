@@ -1,0 +1,145 @@
+#ifndef TFB_NN_NETS_H_
+#define TFB_NN_NETS_H_
+
+#include <memory>
+
+#include "tfb/nn/attention.h"
+#include "tfb/nn/module.h"
+
+namespace tfb::nn {
+
+/// Reinterprets a row-major matrix as a different shape over the same
+/// buffer (rows*cols must be preserved).
+linalg::Matrix Reshape(linalg::Matrix m, std::size_t rows, std::size_t cols);
+
+/// Linear map through a fixed (non-trainable) matrix W: y = x W. Used for
+/// the DFT front-end of the FrequencyLinear forecaster and the moving-
+/// average filter inside DLinear — transforms whose gradients flow through
+/// but whose weights never update.
+class FixedLinear : public Module {
+ public:
+  explicit FixedLinear(linalg::Matrix w) : w_(std::move(w)) {}
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+
+ private:
+  linalg::Matrix w_;
+};
+
+/// Builds the (L x 2K) real DFT feature matrix: column pairs are
+/// cos/sin(2*pi*k*t/L) for k = 0..K-1. x * W gives the low-frequency
+/// spectrum of each window.
+linalg::Matrix DftFeatureMatrix(std::size_t seq_len, std::size_t num_freqs);
+
+/// Builds the (L x K) Legendre feature matrix: column k is the Legendre
+/// polynomial P_k evaluated on the window's [-1, 1] time grid and scaled to
+/// unit norm. x * W projects each window onto the first K Legendre modes —
+/// the memory representation of FiLM (Zhou et al. 2022).
+linalg::Matrix LegendreFeatureMatrix(std::size_t seq_len, std::size_t degree);
+
+/// Builds the (L x L) replicate-padded centered moving-average matrix used
+/// by DLinear's trend/seasonal decomposition (AvgPool1d analogue).
+linalg::Matrix MovingAverageMatrix(std::size_t seq_len, std::size_t kernel);
+
+/// DLinear (Zeng et al. 2023): decomposes each window into trend (moving
+/// average) and seasonal (residual) parts and forecasts each with its own
+/// linear layer: y = Dense_t(MA x) + Dense_s(x - MA x).
+class DLinearNet : public Module {
+ public:
+  DLinearNet(std::size_t seq_len, std::size_t horizon, std::size_t ma_kernel,
+             stats::Rng& rng);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  linalg::Matrix ma_;  // (L x L) fixed filter
+  Dense trend_head_;
+  Dense seasonal_head_;
+};
+
+/// PatchTST-mini: splits each (channel-independent) window into
+/// `num_patches` contiguous patches, embeds each patch, applies single-head
+/// self-attention across patches plus a feed-forward sublayer (both with
+/// residuals and layer norm), then flattens to a linear forecast head.
+class PatchAttentionNet : public Module {
+ public:
+  PatchAttentionNet(std::size_t seq_len, std::size_t horizon,
+                    std::size_t num_patches, std::size_t model_dim,
+                    stats::Rng& rng);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  std::size_t seq_len_;
+  std::size_t num_patches_;
+  std::size_t patch_len_;
+  std::size_t model_dim_;
+  Dense embed_;
+  LayerNorm norm1_;
+  SelfAttention attention_;
+  LayerNorm norm2_;
+  Dense ffn1_;
+  Gelu ffn_act_;
+  Dense ffn2_;
+  Dense head_;
+  linalg::Matrix ffn_input_cache_;
+};
+
+/// Crossformer-mini: embeds each channel's whole window as one token and
+/// attends across channels (explicit channel dependence), then forecasts
+/// each channel from its attended embedding. Input (B x N*L) channel-major,
+/// output (B x N*H).
+class CrossAttentionNet : public Module {
+ public:
+  CrossAttentionNet(std::size_t seq_len, std::size_t horizon,
+                    std::size_t num_channels, std::size_t model_dim,
+                    stats::Rng& rng);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  std::size_t seq_len_;
+  std::size_t horizon_;
+  std::size_t num_channels_;
+  std::size_t model_dim_;
+  Dense embed_;
+  LayerNorm norm_;
+  SelfAttention attention_;
+  Dense head_;
+};
+
+/// N-BEATS-mini (Oreshkin et al. 2019): a stack of fully connected blocks,
+/// each emitting a backcast (subtracted from the running residual) and a
+/// forecast (accumulated into the output).
+class NBeatsNet : public Module {
+ public:
+  NBeatsNet(std::size_t seq_len, std::size_t horizon, int num_blocks,
+            std::size_t hidden, stats::Rng& rng);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool training) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  struct Block {
+    Sequential body;       // L -> hidden -> hidden
+    Dense backcast;        // hidden -> L
+    Dense forecast;        // hidden -> H
+    linalg::Matrix body_out_cache;
+  };
+
+  std::size_t seq_len_;
+  std::size_t horizon_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+};
+
+}  // namespace tfb::nn
+
+#endif  // TFB_NN_NETS_H_

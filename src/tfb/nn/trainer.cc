@@ -1,0 +1,179 @@
+#include "tfb/nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tfb/base/check.h"
+
+namespace tfb::nn {
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      double g = p.grad.data()[j];
+      if (weight_decay_ > 0.0) g += weight_decay_ * p.value.data()[j];
+      m_[i].data()[j] = beta1_ * m_[i].data()[j] + (1.0 - beta1_) * g;
+      v_[i].data()[j] = beta2_ * v_[i].data()[j] + (1.0 - beta2_) * g * g;
+      const double mhat = m_[i].data()[j] / bc1;
+      const double vhat = v_[i].data()[j] / bc2;
+      p.value.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + 1e-8);
+    }
+    p.ZeroGrad();
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+double MseLoss(const linalg::Matrix& pred, const linalg::Matrix& target) {
+  TFB_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    sum += d * d;
+  }
+  return pred.size() > 0 ? sum / static_cast<double>(pred.size()) : 0.0;
+}
+
+namespace {
+
+linalg::Matrix GatherRows(const linalg::Matrix& m,
+                          const std::vector<std::size_t>& rows,
+                          std::size_t begin, std::size_t end) {
+  linalg::Matrix out(end - begin, m.cols());
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out(i - begin, c) = m(rows[i], c);
+    }
+  }
+  return out;
+}
+
+void ClipGradients(const std::vector<Parameter*>& params, double max_norm) {
+  if (max_norm <= 0.0) return;
+  double total = 0.0;
+  for (const Parameter* p : params) {
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      total += p->grad.data()[i] * p->grad.data()[i];
+    }
+  }
+  total = std::sqrt(total);
+  if (total <= max_norm) return;
+  const double scale = max_norm / (total + 1e-12);
+  for (const Parameter* p : params) {
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      const_cast<Parameter*>(p)->grad.data()[i] *= scale;
+    }
+  }
+}
+
+}  // namespace
+
+TrainResult TrainMse(Module& model, const linalg::Matrix& x,
+                     const linalg::Matrix& y, const TrainOptions& options) {
+  TFB_CHECK(x.rows() == y.rows());
+  TFB_CHECK(x.rows() >= 2);
+  TrainResult result;
+
+  // Chronological validation tail (shuffling only the training portion
+  // keeps the protocol honest for time series).
+  const std::size_t n = x.rows();
+  std::size_t val_n = static_cast<std::size_t>(options.val_fraction * n);
+  val_n = std::min(val_n, n / 2);
+  const std::size_t train_n = n - val_n;
+
+  std::vector<Parameter*> params;
+  model.CollectParameters(&params);
+  Adam optimizer(params, options.learning_rate, 0.9, 0.999,
+                 options.weight_decay);
+  stats::Rng rng(options.seed);
+
+  std::vector<std::size_t> train_rows(train_n);
+  for (std::size_t i = 0; i < train_n; ++i) train_rows[i] = i;
+
+  // Best-checkpoint storage.
+  std::vector<linalg::Matrix> best_values;
+  double best_val = std::numeric_limits<double>::infinity();
+  int stale = 0;
+
+  linalg::Matrix val_x;
+  linalg::Matrix val_y;
+  if (val_n > 0) {
+    std::vector<std::size_t> val_rows(val_n);
+    for (std::size_t i = 0; i < val_n; ++i) val_rows[i] = train_n + i;
+    val_x = GatherRows(x, val_rows, 0, val_n);
+    val_y = GatherRows(y, val_rows, 0, val_n);
+  }
+
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    // Shuffle training rows.
+    for (std::size_t i = train_n; i > 1; --i) {
+      std::swap(train_rows[i - 1], train_rows[rng.UniformInt(i)]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < train_n;
+         begin += options.batch_size) {
+      const std::size_t end = std::min(begin + options.batch_size, train_n);
+      const linalg::Matrix bx = GatherRows(x, train_rows, begin, end);
+      const linalg::Matrix by = GatherRows(y, train_rows, begin, end);
+      const linalg::Matrix pred = model.Forward(bx, /*training=*/true);
+      epoch_loss += MseLoss(pred, by);
+      ++batches;
+      // dL/dpred = 2 (pred - y) / numel.
+      linalg::Matrix grad = pred;
+      grad -= by;
+      grad *= 2.0 / static_cast<double>(pred.size());
+      model.Backward(grad);
+      ClipGradients(params, options.grad_clip);
+      optimizer.Step();
+    }
+    result.final_train_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    result.epochs_run = epoch + 1;
+
+    double val_loss = result.final_train_loss;
+    if (val_n > 0) {
+      const linalg::Matrix val_pred = model.Forward(val_x, /*training=*/false);
+      val_loss = MseLoss(val_pred, val_y);
+    }
+    if (val_loss < best_val - 1e-10) {
+      best_val = val_loss;
+      stale = 0;
+      best_values.clear();
+      best_values.reserve(params.size());
+      for (const Parameter* p : params) best_values.push_back(p->value);
+    } else if (++stale >= options.patience) {
+      break;
+    }
+  }
+  if (!best_values.empty()) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = best_values[i];
+    }
+  }
+  result.best_val_loss = best_val;
+  return result;
+}
+
+}  // namespace tfb::nn

@@ -1,0 +1,68 @@
+#ifndef TFB_NN_TRAINER_H_
+#define TFB_NN_TRAINER_H_
+
+#include <vector>
+
+#include "tfb/nn/module.h"
+
+namespace tfb::nn {
+
+/// Adam optimizer (Kingma & Ba 2015) over a fixed parameter list.
+class Adam {
+ public:
+  explicit Adam(std::vector<Parameter*> params, double lr = 1e-3,
+                double beta1 = 0.9, double beta2 = 0.999,
+                double weight_decay = 0.0);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Zeroes all parameter gradients without updating.
+  void ZeroGrad();
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<linalg::Matrix> m_;
+  std::vector<linalg::Matrix> v_;
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double weight_decay_;
+  long step_ = 0;
+};
+
+/// Options for the mini-batch MSE training loop. Matches the paper's
+/// protocol: L2 loss, Adam, batch size 32, validation-based early stopping.
+struct TrainOptions {
+  int max_epochs = 60;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  double weight_decay = 0.0;
+  int patience = 6;          ///< Early-stopping patience (epochs).
+  double val_fraction = 0.2; ///< Trailing fraction of windows held out.
+  std::uint64_t seed = 2024;
+  double grad_clip = 5.0;    ///< Global-norm gradient clipping; 0 disables.
+};
+
+/// Result of a training run.
+struct TrainResult {
+  int epochs_run = 0;
+  double best_val_loss = 0.0;
+  double final_train_loss = 0.0;
+};
+
+/// Trains `model` to map X rows to Y rows under MSE with Adam and early
+/// stopping on a chronologically held-out validation tail. The model's
+/// parameter values at the best validation epoch are restored on exit.
+TrainResult TrainMse(Module& model, const linalg::Matrix& x,
+                     const linalg::Matrix& y, const TrainOptions& options);
+
+/// Mean squared error between predictions and targets (all elements).
+double MseLoss(const linalg::Matrix& pred, const linalg::Matrix& target);
+
+}  // namespace tfb::nn
+
+#endif  // TFB_NN_TRAINER_H_

@@ -1,0 +1,144 @@
+#include "tfb/optimize/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tfb/base/check.h"
+
+namespace tfb::optimize {
+
+NelderMeadResult NelderMead(const Objective& f, std::vector<double> x0,
+                            const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  TFB_CHECK(n > 0);
+  const double alpha = 1.0;   // reflection
+  const double gamma = 2.0;   // expansion
+  const double rho = 0.5;     // contraction
+  const double sigma = 0.5;   // shrink
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    simplex[i + 1][i] +=
+        (x0[i] != 0.0 ? options.initial_step * std::fabs(x0[i])
+                      : options.initial_step);
+  }
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) values[i] = f(simplex[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    // In 1-D the simplex has only two vertices, so the reflection
+    // acceptance threshold is the worst vertex itself.
+    const std::size_t second_worst = n >= 2 ? order[n - 1] : worst;
+    // Converge on BOTH function spread and simplex diameter: a simplex
+    // straddling a symmetric minimum has zero f-spread long before the
+    // points coincide.
+    const bool f_converged =
+        std::fabs(values[worst] - values[best]) <
+        options.tolerance * (std::fabs(values[best]) + options.tolerance);
+    double x_spread = 0.0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      for (std::size_t d = 0; d < n; ++d) {
+        x_spread = std::max(
+            x_spread, std::fabs(simplex[i][d] - simplex[best][d]));
+      }
+    }
+    const double x_tolerance =
+        std::sqrt(options.tolerance) * (1.0 + std::fabs(simplex[best][0]));
+    if (f_converged && x_spread < x_tolerance) break;
+    // Centroid of all points but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coef) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        p[d] = centroid[d] + coef * (centroid[d] - simplex[worst][d]);
+      }
+      return p;
+    };
+
+    std::vector<double> reflected = blend(alpha);
+    const double fr = f(reflected);
+    if (fr < values[best]) {
+      std::vector<double> expanded = blend(gamma);
+      const double fe = f(expanded);
+      if (fe < fr) {
+        simplex[worst] = std::move(expanded);
+        values[worst] = fe;
+      } else {
+        simplex[worst] = std::move(reflected);
+        values[worst] = fr;
+      }
+      continue;
+    }
+    if (fr < values[second_worst]) {
+      simplex[worst] = std::move(reflected);
+      values[worst] = fr;
+      continue;
+    }
+    std::vector<double> contracted = blend(-rho);
+    const double fc = f(contracted);
+    if (fc < values[worst]) {
+      simplex[worst] = std::move(contracted);
+      values[worst] = fc;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t d = 0; d < n; ++d) {
+        simplex[i][d] =
+            simplex[best][d] + sigma * (simplex[i][d] - simplex[best][d]);
+      }
+      values[i] = f(simplex[i]);
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  return {simplex[best], values[best], iter};
+}
+
+double GoldenSection(const std::function<double(double)>& f, double lo,
+                     double hi, double tolerance) {
+  TFB_CHECK(lo <= hi);
+  const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo;
+  double b = hi;
+  double c = b - inv_phi * (b - a);
+  double d = a + inv_phi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  while (b - a > tolerance) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - inv_phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + inv_phi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace tfb::optimize

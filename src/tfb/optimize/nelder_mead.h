@@ -1,0 +1,39 @@
+#ifndef TFB_OPTIMIZE_NELDER_MEAD_H_
+#define TFB_OPTIMIZE_NELDER_MEAD_H_
+
+#include <functional>
+#include <vector>
+
+namespace tfb::optimize {
+
+/// Objective mapping a parameter vector to a scalar loss.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Options for the Nelder–Mead simplex search.
+struct NelderMeadOptions {
+  int max_iterations = 500;     ///< Hard iteration cap.
+  double tolerance = 1e-8;      ///< Stop when simplex f-spread falls below.
+  double initial_step = 0.1;    ///< Per-dimension simplex initialization step.
+};
+
+/// Result of a Nelder–Mead run.
+struct NelderMeadResult {
+  std::vector<double> x;  ///< Best parameter vector found.
+  double value = 0.0;     ///< Objective at `x`.
+  int iterations = 0;     ///< Iterations actually executed.
+};
+
+/// Derivative-free minimization via the Nelder–Mead simplex method with the
+/// standard reflection/expansion/contraction/shrink coefficients. Used to fit
+/// ARIMA (CSS), ETS smoothing parameters, and Kalman noise variances, where
+/// gradients are awkward and dimensionality is small (<= ~8).
+NelderMeadResult NelderMead(const Objective& f, std::vector<double> x0,
+                            const NelderMeadOptions& options = {});
+
+/// Minimizes a 1-D unimodal function on [lo, hi] via golden-section search.
+double GoldenSection(const std::function<double(double)>& f, double lo,
+                     double hi, double tolerance = 1e-7);
+
+}  // namespace tfb::optimize
+
+#endif  // TFB_OPTIMIZE_NELDER_MEAD_H_

@@ -1,0 +1,242 @@
+#include "tfb/pipeline/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "tfb/datagen/registry.h"
+
+namespace tfb::pipeline {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitList(const std::string& value) {
+  std::vector<std::string> items;
+  std::istringstream is(value);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    item = Trim(item);
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+bool ParseBool(const std::string& value, bool* out) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on") {
+    *out = true;
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<eval::Metric> MetricFromName(const std::string& name) {
+  for (eval::Metric m : eval::AllMetrics()) {
+    if (eval::MetricName(m) == name) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<BenchmarkConfig> ParseConfig(const std::string& text,
+                                           std::string* error) {
+  BenchmarkConfig config;
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_number) + ": " + message;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected key = value");
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key == "datasets") {
+      config.datasets = SplitList(value);
+    } else if (key == "methods") {
+      config.methods = SplitList(value);
+    } else if (key == "horizons") {
+      config.horizons.clear();
+      for (const std::string& h : SplitList(value)) {
+        const long v = std::strtol(h.c_str(), nullptr, 10);
+        if (v <= 0) return fail("bad horizon: " + h);
+        config.horizons.push_back(static_cast<std::size_t>(v));
+      }
+    } else if (key == "metrics") {
+      config.metrics.clear();
+      for (const std::string& m : SplitList(value)) {
+        const auto metric = MetricFromName(m);
+        if (!metric) return fail("unknown metric: " + m);
+        config.metrics.push_back(*metric);
+      }
+    } else if (key == "strategy") {
+      if (value != "rolling" && value != "fixed") {
+        return fail("strategy must be rolling or fixed");
+      }
+      config.strategy = value;
+    } else if (key == "scaler") {
+      if (value == "zscore") {
+        config.scaler = ts::ScalerKind::kZScore;
+      } else if (value == "minmax") {
+        config.scaler = ts::ScalerKind::kMinMax;
+      } else if (value == "none") {
+        config.scaler = ts::ScalerKind::kNone;
+      } else {
+        return fail("unknown scaler: " + value);
+      }
+    } else if (key == "max_windows") {
+      config.max_windows = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "stride") {
+      config.stride = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "drop_last") {
+      if (!ParseBool(value, &config.drop_last)) return fail("bad bool");
+    } else if (key == "hyper_search") {
+      if (!ParseBool(value, &config.hyper_search)) return fail("bad bool");
+    } else if (key == "train_epochs") {
+      config.train_epochs = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (key == "seed") {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "num_threads") {
+      config.num_threads = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "max_length") {
+      config.max_length = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "max_dim") {
+      config.max_dim = std::strtoul(value.c_str(), nullptr, 10);
+    } else {
+      return fail("unknown key: " + key);
+    }
+  }
+  // Validate method and dataset names against the registries up front.
+  for (const std::string& method : config.methods) {
+    if (!MethodParadigm(method)) {
+      line_number = 0;
+      return fail("unknown method: " + method);
+    }
+  }
+  for (const std::string& dataset : config.datasets) {
+    if (!datagen::FindProfile(dataset)) {
+      line_number = 0;
+      return fail("unknown dataset: " + dataset);
+    }
+  }
+  return config;
+}
+
+std::optional<BenchmarkConfig> LoadConfigFile(const std::string& path,
+                                              std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return ParseConfig(buffer.str(), error);
+}
+
+std::string ConfigToString(const BenchmarkConfig& config) {
+  std::ostringstream os;
+  auto join = [](const auto& items, auto&& to_string) {
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += to_string(items[i]);
+    }
+    return out;
+  };
+  os << "datasets = "
+     << join(config.datasets, [](const std::string& s) { return s; }) << '\n';
+  os << "methods = "
+     << join(config.methods, [](const std::string& s) { return s; }) << '\n';
+  os << "horizons = "
+     << join(config.horizons,
+             [](std::size_t h) { return std::to_string(h); })
+     << '\n';
+  os << "metrics = "
+     << join(config.metrics,
+             [](eval::Metric m) { return eval::MetricName(m); })
+     << '\n';
+  os << "strategy = " << config.strategy << '\n';
+  os << "scaler = "
+     << (config.scaler == ts::ScalerKind::kZScore
+             ? "zscore"
+             : config.scaler == ts::ScalerKind::kMinMax ? "minmax" : "none")
+     << '\n';
+  os << "max_windows = " << config.max_windows << '\n';
+  os << "stride = " << config.stride << '\n';
+  os << "drop_last = " << (config.drop_last ? "true" : "false") << '\n';
+  os << "hyper_search = " << (config.hyper_search ? "true" : "false") << '\n';
+  os << "train_epochs = " << config.train_epochs << '\n';
+  os << "seed = " << config.seed << '\n';
+  os << "num_threads = " << config.num_threads << '\n';
+  os << "max_length = " << config.max_length << '\n';
+  os << "max_dim = " << config.max_dim << '\n';
+  return os.str();
+}
+
+std::vector<BenchmarkTask> BuildTasks(const BenchmarkConfig& config) {
+  std::vector<BenchmarkTask> tasks;
+  for (const std::string& dataset : config.datasets) {
+    auto profile = datagen::FindProfile(dataset);
+    if (!profile) continue;
+    profile->length = std::min(profile->length, config.max_length);
+    profile->dim = std::min(profile->dim, config.max_dim);
+    profile->spec.factor_spec.length = profile->length;
+    profile->spec.num_variables = profile->dim;
+    if (profile->spec.factor_spec.period * 6 > profile->length) {
+      profile->spec.factor_spec.period =
+          std::max<std::size_t>(4, profile->length / 12);
+    }
+    const ts::TimeSeries series =
+        datagen::GenerateDataset(*profile, config.seed);
+    for (const std::string& method : config.methods) {
+      for (const std::size_t horizon : config.horizons) {
+        BenchmarkTask task;
+        task.dataset = dataset;
+        task.series = series;
+        task.method = method;
+        task.horizon = horizon;
+        task.params.seed = config.seed;
+        task.params.train_epochs = config.train_epochs;
+        task.hyper_search = config.hyper_search;
+        task.rolling.split = profile->split;
+        task.rolling.scaler = config.scaler;
+        task.rolling.metrics = config.metrics;
+        task.rolling.max_windows = config.max_windows;
+        task.rolling.stride = config.stride;
+        task.rolling.drop_last = config.drop_last;
+        tasks.push_back(std::move(task));
+      }
+    }
+  }
+  return tasks;
+}
+
+}  // namespace tfb::pipeline

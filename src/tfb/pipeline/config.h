@@ -1,0 +1,73 @@
+#ifndef TFB_PIPELINE_CONFIG_H_
+#define TFB_PIPELINE_CONFIG_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tfb/eval/strategy.h"
+#include "tfb/pipeline/runner.h"
+
+namespace tfb::pipeline {
+
+/// A parsed benchmark configuration — the C++ analogue of TFB's per-run
+/// configuration files (Section 4.4: "it provides a standard configuration
+/// file that can be customized by users"). Text format: one `key = value`
+/// per line, `#` comments, with `datasets`, `methods`, `horizons` and
+/// `metrics` as comma-separated lists.
+///
+/// Example:
+///   # my_run.conf
+///   datasets = ETTh2, ILI
+///   methods  = VAR, NLinear, PatchAttention
+///   horizons = 12, 24
+///   metrics  = mae, mse, smape
+///   strategy = rolling
+///   scaler   = zscore
+///   max_windows = 4
+///   train_epochs = 10
+///   hyper_search = true
+///   seed = 7
+struct BenchmarkConfig {
+  std::vector<std::string> datasets;
+  std::vector<std::string> methods;
+  std::vector<std::size_t> horizons = {12};
+  std::vector<eval::Metric> metrics = {eval::Metric::kMae, eval::Metric::kMse};
+  std::string strategy = "rolling";  ///< "rolling" or "fixed".
+  ts::ScalerKind scaler = ts::ScalerKind::kZScore;
+  std::size_t max_windows = 4;
+  std::size_t stride = 0;
+  bool drop_last = false;
+  bool hyper_search = false;
+  int train_epochs = 10;
+  std::uint64_t seed = 7;
+  std::size_t num_threads = 1;
+  /// CPU scaling caps applied to registry datasets.
+  std::size_t max_length = 900;
+  std::size_t max_dim = 6;
+};
+
+/// Parses a configuration from text. Unknown keys are reported in `error`
+/// (typo protection); returns nullopt on malformed input.
+std::optional<BenchmarkConfig> ParseConfig(const std::string& text,
+                                           std::string* error = nullptr);
+
+/// Loads and parses a configuration file.
+std::optional<BenchmarkConfig> LoadConfigFile(const std::string& path,
+                                              std::string* error = nullptr);
+
+/// Serializes a configuration back to its text form.
+std::string ConfigToString(const BenchmarkConfig& config);
+
+/// Expands a configuration into the task list the runner executes:
+/// datasets x methods x horizons, with registry datasets generated at the
+/// configured scaling caps.
+std::vector<BenchmarkTask> BuildTasks(const BenchmarkConfig& config);
+
+/// Parses a metric name ("mae", "msmape", ...); nullopt when unknown.
+std::optional<eval::Metric> MetricFromName(const std::string& name);
+
+}  // namespace tfb::pipeline
+
+#endif  // TFB_PIPELINE_CONFIG_H_

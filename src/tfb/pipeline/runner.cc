@@ -1,0 +1,126 @@
+#include "tfb/pipeline/runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "tfb/base/check.h"
+
+namespace tfb::pipeline {
+
+namespace {
+
+// Validation-selection split for a series truncated at the end of the
+// validation region: the old train part stays training data, the old
+// validation part becomes the pseudo-test region.
+ts::SplitRatio ValidationSplit(const ts::SplitRatio& split) {
+  const double denom = split.train + split.val;
+  ts::SplitRatio out;
+  out.train = denom > 0.0 ? split.train / denom : 0.8;
+  out.val = 0.0;
+  out.test = denom > 0.0 ? split.val / denom : 0.2;
+  return out;
+}
+
+}  // namespace
+
+ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
+  ResultRow row;
+  row.dataset = task.dataset;
+  row.method = task.method;
+  row.horizon = task.horizon;
+
+  MethodParams params = task.params;
+  params.horizon = task.horizon;
+  if (params.period == 0) params.period = task.series.seasonal_period();
+
+  std::vector<methods::MethodConfig> candidates;
+  if (task.hyper_search) {
+    candidates = HyperSearchSpace(task.method, params, task.max_hyper_sets);
+  } else {
+    auto config = MakeMethod(task.method, params);
+    if (config) candidates.push_back(std::move(*config));
+  }
+  if (candidates.empty()) {
+    row.error = "unknown method: " + task.method;
+    return row;
+  }
+
+  // Hyper selection on the validation region (first configured metric).
+  std::size_t best = 0;
+  if (candidates.size() > 1) {
+    const ts::Split split = ChronologicalSplit(task.series, task.rolling.split);
+    const ts::TimeSeries train_val = task.series.Slice(0, split.val_end);
+    eval::RollingOptions val_options = task.rolling;
+    val_options.split = ValidationSplit(task.rolling.split);
+    val_options.max_windows = options_.hyper_val_windows;
+    val_options.drop_last = false;
+    const eval::Metric selection_metric = val_options.metrics.empty()
+                                              ? eval::Metric::kMae
+                                              : val_options.metrics[0];
+    val_options.metrics = {selection_metric};
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (train_val.length() < task.horizon + 16) break;
+      const eval::EvalResult r = eval::RollingForecastEvaluate(
+          candidates[i].factory, train_val, task.horizon, val_options);
+      const double score = r.metrics.at(selection_metric);
+      if (score < best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+  }
+  row.selected_config = candidates[best].name;
+
+  const eval::EvalResult result = eval::RollingForecastEvaluate(
+      candidates[best].factory, task.series, task.horizon, task.rolling);
+  row.metrics = result.metrics;
+  row.num_windows = result.num_windows;
+  row.fit_seconds = result.fit_seconds;
+  row.inference_ms_per_window = result.inference_ms_per_window();
+  row.ok = true;
+  return row;
+}
+
+std::vector<ResultRow> BenchmarkRunner::Run(
+    const std::vector<BenchmarkTask>& tasks) const {
+  std::vector<ResultRow> rows(tasks.size());
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min(options_.num_threads, tasks.size()));
+  if (threads == 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      rows[i] = RunOne(tasks[i]);
+      if (options_.verbose) {
+        std::fprintf(stderr, "[tfb] %s / %s / h=%zu done\n",
+                     rows[i].dataset.c_str(), rows[i].method.c_str(),
+                     rows[i].horizon);
+      }
+    }
+    return rows;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex log_mutex;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= tasks.size()) return;
+      rows[i] = RunOne(tasks[i]);
+      if (options_.verbose) {
+        const std::lock_guard<std::mutex> lock(log_mutex);
+        std::fprintf(stderr, "[tfb] %s / %s / h=%zu done\n",
+                     rows[i].dataset.c_str(), rows[i].method.c_str(),
+                     rows[i].horizon);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return rows;
+}
+
+}  // namespace tfb::pipeline

@@ -1,0 +1,71 @@
+#ifndef TFB_PIPELINE_RUNNER_H_
+#define TFB_PIPELINE_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "tfb/eval/strategy.h"
+#include "tfb/pipeline/method_registry.h"
+#include "tfb/ts/time_series.h"
+
+namespace tfb::pipeline {
+
+/// One unit of benchmark work: (dataset, method, horizon) under a rolling
+/// configuration — the row/column granularity of Tables 7–8.
+struct BenchmarkTask {
+  std::string dataset;
+  ts::TimeSeries series;
+  std::string method;
+  std::size_t horizon = 8;
+  MethodParams params;
+  eval::RollingOptions rolling;
+  /// Run the <=8-set hyper-parameter search, selecting on the validation
+  /// region before scoring on test (Section 5.1.2).
+  bool hyper_search = false;
+  std::size_t max_hyper_sets = 8;
+};
+
+/// One result row.
+struct ResultRow {
+  std::string dataset;
+  std::string method;
+  std::size_t horizon = 0;
+  std::map<eval::Metric, double> metrics;
+  std::size_t num_windows = 0;
+  double fit_seconds = 0.0;
+  double inference_ms_per_window = 0.0;
+  std::string selected_config;  ///< Winning hyper set (when searched).
+  bool ok = false;
+  std::string error;
+};
+
+/// Execution options of the runner.
+struct RunnerOptions {
+  std::size_t num_threads = 1;  ///< TFB supports sequential and parallel runs.
+  bool verbose = false;         ///< Log per-task progress to stderr.
+  /// Cap on validation windows during hyper selection (keeps search cheap).
+  std::size_t hyper_val_windows = 3;
+};
+
+/// The automated end-to-end evaluation engine (Section 4.4): executes
+/// tasks — optionally across threads — with standardized splitting,
+/// normalization, strategy, and metric computation, and returns one row per
+/// task in input order.
+class BenchmarkRunner {
+ public:
+  explicit BenchmarkRunner(const RunnerOptions& options = {})
+      : options_(options) {}
+
+  /// Runs all tasks; rows are returned in task order.
+  std::vector<ResultRow> Run(const std::vector<BenchmarkTask>& tasks) const;
+
+  /// Runs a single task (also used internally by Run).
+  ResultRow RunOne(const BenchmarkTask& task) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace tfb::pipeline
+
+#endif  // TFB_PIPELINE_RUNNER_H_

@@ -1,0 +1,143 @@
+#include "tfb/report/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "tfb/base/check.h"
+
+namespace tfb::report {
+
+namespace {
+
+// Resamples `series` to exactly `width` points by linear interpolation.
+std::vector<double> Resample(std::span<const double> series,
+                             std::size_t width) {
+  std::vector<double> out(width, 0.0);
+  if (series.empty()) return out;
+  if (series.size() == 1) {
+    std::fill(out.begin(), out.end(), series[0]);
+    return out;
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    const double pos = static_cast<double>(i) /
+                       static_cast<double>(width - 1) *
+                       static_cast<double>(series.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, series.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = series[lo] * (1.0 - frac) + series[hi] * frac;
+  }
+  return out;
+}
+
+struct Range {
+  double lo;
+  double hi;
+};
+
+Range FindRange(std::span<const double> a, std::span<const double> b) {
+  double lo = 1e300;
+  double hi = -1e300;
+  for (double v : a) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : b) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo > hi) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+  return {lo, hi};
+}
+
+std::string Render(std::span<const double> primary,
+                   std::span<const double> overlay,
+                   const PlotOptions& options) {
+  TFB_CHECK(options.width >= 8 && options.height >= 3);
+  const std::vector<double> p = Resample(primary, options.width);
+  const std::vector<double> o =
+      overlay.empty() ? std::vector<double>() : Resample(overlay, options.width);
+  const Range range = FindRange(p, o);
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  auto row_of = [&](double v) {
+    const double frac = (v - range.lo) / (range.hi - range.lo);
+    const long r = std::lround((1.0 - frac) * (options.height - 1));
+    return static_cast<std::size_t>(
+        std::clamp<long>(r, 0, static_cast<long>(options.height) - 1));
+  };
+  for (std::size_t c = 0; c < options.width; ++c) {
+    if (std::isfinite(p[c])) grid[row_of(p[c])][c] = options.mark;
+  }
+  for (std::size_t c = 0; c < o.size(); ++c) {
+    if (!std::isfinite(o[c])) continue;
+    char& cell = grid[row_of(o[c])][c];
+    cell = options.overlay_mark;
+  }
+
+  std::string out;
+  char label[32];
+  for (std::size_t r = 0; r < options.height; ++r) {
+    const double value =
+        range.hi - (range.hi - range.lo) * static_cast<double>(r) /
+                       static_cast<double>(options.height - 1);
+    std::snprintf(label, sizeof(label), "%9.3f |", value);
+    out += label;
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(10, ' ') + '+' + std::string(options.width, '-') + '\n';
+  return out;
+}
+
+}  // namespace
+
+std::string AsciiPlot(std::span<const double> series,
+                      const PlotOptions& options) {
+  return Render(series, {}, options);
+}
+
+std::string AsciiPlotOverlay(std::span<const double> primary,
+                             std::span<const double> overlay,
+                             const PlotOptions& options) {
+  return Render(primary, overlay, options);
+}
+
+std::string AsciiBarChart(std::span<const std::string> labels,
+                          std::span<const double> values,
+                          std::size_t width) {
+  TFB_CHECK(labels.size() == values.size());
+  double max_value = 1e-12;
+  std::size_t label_width = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (std::isfinite(values[i])) max_value = std::max(max_value, values[i]);
+    label_width = std::max(label_width, labels[i].size());
+  }
+  std::string out;
+  char buffer[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out += labels[i];
+    out += std::string(label_width - labels[i].size() + 1, ' ');
+    const std::size_t bars =
+        std::isfinite(values[i])
+            ? static_cast<std::size_t>(
+                  std::lround(values[i] / max_value * width))
+            : width;
+    out += std::string(bars, '#');
+    std::snprintf(buffer, sizeof(buffer), " %.4f", values[i]);
+    out += buffer;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tfb::report

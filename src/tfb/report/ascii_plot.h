@@ -1,0 +1,37 @@
+#ifndef TFB_REPORT_ASCII_PLOT_H_
+#define TFB_REPORT_ASCII_PLOT_H_
+
+#include <span>
+#include <string>
+
+namespace tfb::report {
+
+/// Options for the terminal plots of the reporting layer's visualization
+/// module.
+struct PlotOptions {
+  std::size_t width = 72;   ///< Plot columns (series are resampled to fit).
+  std::size_t height = 12;  ///< Plot rows.
+  char mark = '*';          ///< Glyph for the primary series.
+  char overlay_mark = 'o';  ///< Glyph for the overlay series.
+};
+
+/// Renders one series as an ASCII line chart with a y-axis scale — the
+/// reporting layer's lightweight visualization (the reference pipeline
+/// ships a plotting module; this is its terminal-native analogue).
+std::string AsciiPlot(std::span<const double> series,
+                      const PlotOptions& options = {});
+
+/// Renders two aligned series in one chart (typically actuals + forecast).
+/// Cells where both land show the overlay mark.
+std::string AsciiPlotOverlay(std::span<const double> primary,
+                             std::span<const double> overlay,
+                             const PlotOptions& options = {});
+
+/// Renders a labelled horizontal bar chart (e.g. per-method MAE).
+std::string AsciiBarChart(std::span<const std::string> labels,
+                          std::span<const double> values,
+                          std::size_t width = 48);
+
+}  // namespace tfb::report
+
+#endif  // TFB_REPORT_ASCII_PLOT_H_

@@ -1,0 +1,141 @@
+#include "tfb/report/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <set>
+
+namespace tfb::report {
+
+void PrintTable(std::ostream& os,
+                const std::vector<pipeline::ResultRow>& rows,
+                const std::vector<eval::Metric>& metrics) {
+  os << std::left << std::setw(14) << "dataset" << std::setw(18) << "method"
+     << std::setw(6) << "h";
+  for (eval::Metric m : metrics) {
+    os << std::setw(10) << eval::MetricName(m);
+  }
+  os << std::setw(8) << "windows" << '\n';
+  for (const pipeline::ResultRow& row : rows) {
+    os << std::left << std::setw(14) << row.dataset << std::setw(18)
+       << row.method << std::setw(6) << row.horizon;
+    for (eval::Metric m : metrics) {
+      const auto it = row.metrics.find(m);
+      if (it == row.metrics.end()) {
+        os << std::setw(10) << "-";
+      } else {
+        os << std::setw(10) << std::setprecision(4) << it->second;
+      }
+    }
+    os << std::setw(8) << row.num_windows;
+    if (!row.ok) os << "  ERROR: " << row.error;
+    os << '\n';
+  }
+}
+
+void PrintPivot(std::ostream& os,
+                const std::vector<pipeline::ResultRow>& rows,
+                eval::Metric metric) {
+  // Collect unique (dataset, horizon) rows and method columns in
+  // first-appearance order.
+  std::vector<std::pair<std::string, std::size_t>> cells;
+  std::vector<std::string> methods;
+  for (const auto& row : rows) {
+    const auto cell = std::make_pair(row.dataset, row.horizon);
+    if (std::find(cells.begin(), cells.end(), cell) == cells.end()) {
+      cells.push_back(cell);
+    }
+    if (std::find(methods.begin(), methods.end(), row.method) ==
+        methods.end()) {
+      methods.push_back(row.method);
+    }
+  }
+  os << std::left << std::setw(18) << "dataset/h";
+  for (const std::string& m : methods) os << std::setw(16) << m;
+  os << '\n';
+  for (const auto& cell : cells) {
+    os << std::left << std::setw(18)
+       << (cell.first + "/" + std::to_string(cell.second));
+    for (const std::string& m : methods) {
+      double value = std::numeric_limits<double>::quiet_NaN();
+      for (const auto& row : rows) {
+        if (row.dataset == cell.first && row.horizon == cell.second &&
+            row.method == m) {
+          const auto it = row.metrics.find(metric);
+          if (it != row.metrics.end()) value = it->second;
+          break;
+        }
+      }
+      std::ostringstream tmp;
+      tmp << std::setprecision(4) << value;
+      os << std::setw(16) << tmp.str();
+    }
+    os << '\n';
+  }
+}
+
+bool WriteCsv(const std::string& path,
+              const std::vector<pipeline::ResultRow>& rows,
+              const std::vector<eval::Metric>& metrics) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "dataset,method,horizon";
+  for (eval::Metric m : metrics) os << ',' << eval::MetricName(m);
+  os << ",windows,fit_seconds,inference_ms,selected_config\n";
+  os.precision(8);
+  for (const pipeline::ResultRow& row : rows) {
+    os << row.dataset << ',' << row.method << ',' << row.horizon;
+    for (eval::Metric m : metrics) {
+      const auto it = row.metrics.find(m);
+      os << ',';
+      if (it != row.metrics.end()) os << it->second;
+    }
+    os << ',' << row.num_windows << ',' << row.fit_seconds << ','
+       << row.inference_ms_per_window << ',' << row.selected_config << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+std::map<std::string, std::size_t> CountWins(
+    const std::vector<pipeline::ResultRow>& rows, eval::Metric metric) {
+  std::map<std::string, std::size_t> wins;
+  std::set<std::pair<std::string, std::size_t>> cells;
+  for (const auto& row : rows) cells.insert({row.dataset, row.horizon});
+  for (const auto& cell : cells) {
+    double best = std::numeric_limits<double>::infinity();
+    std::string best_method;
+    for (const auto& row : rows) {
+      if (row.dataset != cell.first || row.horizon != cell.second || !row.ok) {
+        continue;
+      }
+      const auto it = row.metrics.find(metric);
+      if (it == row.metrics.end()) continue;
+      if (it->second < best) {
+        best = it->second;
+        best_method = row.method;
+      }
+    }
+    if (!best_method.empty()) ++wins[best_method];
+  }
+  return wins;
+}
+
+void Logger::Log(Level level, const std::string& message) const {
+  if (level < min_level_) return;
+  const char* label = "INFO";
+  switch (level) {
+    case Level::kDebug: label = "DEBUG"; break;
+    case Level::kInfo: label = "INFO"; break;
+    case Level::kWarning: label = "WARN"; break;
+    case Level::kError: label = "ERROR"; break;
+  }
+  const std::time_t now = std::time(nullptr);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%H:%M:%S", std::localtime(&now));
+  std::fprintf(stderr, "[%s %s] %s\n", buffer, label, message.c_str());
+}
+
+}  // namespace tfb::report

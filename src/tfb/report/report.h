@@ -1,0 +1,55 @@
+#ifndef TFB_REPORT_REPORT_H_
+#define TFB_REPORT_REPORT_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tfb/pipeline/runner.h"
+
+namespace tfb::report {
+
+/// Prints rows as a fixed-width text table (one line per row, the metric
+/// columns in `metrics` order) — the reporting layer's console output.
+void PrintTable(std::ostream& os,
+                const std::vector<pipeline::ResultRow>& rows,
+                const std::vector<eval::Metric>& metrics);
+
+/// Prints a paper-style pivot: datasets x methods with one metric.
+/// Rows are (dataset, horizon) pairs in first-appearance order.
+void PrintPivot(std::ostream& os,
+                const std::vector<pipeline::ResultRow>& rows,
+                eval::Metric metric);
+
+/// Writes rows as CSV (dataset,method,horizon,<metric...>,windows,
+/// fit_seconds,inference_ms,selected_config).
+bool WriteCsv(const std::string& path,
+              const std::vector<pipeline::ResultRow>& rows,
+              const std::vector<eval::Metric>& metrics);
+
+/// Counts, per method, on how many (dataset, horizon) cells it achieves the
+/// best (minimal) value of `metric` — the "Ranks" statistic of Table 6.
+std::map<std::string, std::size_t> CountWins(
+    const std::vector<pipeline::ResultRow>& rows, eval::Metric metric);
+
+/// Minimal leveled logger for the reporting layer; writes to stderr.
+class Logger {
+ public:
+  enum class Level { kDebug, kInfo, kWarning, kError };
+
+  explicit Logger(Level min_level = Level::kInfo) : min_level_(min_level) {}
+
+  void Log(Level level, const std::string& message) const;
+  void Info(const std::string& message) const { Log(Level::kInfo, message); }
+  void Warning(const std::string& message) const {
+    Log(Level::kWarning, message);
+  }
+
+ private:
+  Level min_level_;
+};
+
+}  // namespace tfb::report
+
+#endif  // TFB_REPORT_REPORT_H_

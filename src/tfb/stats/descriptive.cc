@@ -1,0 +1,154 @@
+#include "tfb/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tfb/base/check.h"
+
+namespace tfb::stats {
+
+double Mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  return sum / static_cast<double>(x.size());
+}
+
+double Variance(std::span<const double> x) {
+  if (x.size() < 1) return 0.0;
+  const double m = Mean(x);
+  double sum = 0.0;
+  for (double v : x) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(x.size());
+}
+
+double SampleVariance(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = Mean(x);
+  double sum = 0.0;
+  for (double v : x) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(x.size() - 1);
+}
+
+double StdDev(std::span<const double> x) { return std::sqrt(Variance(x)); }
+
+double Median(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  std::vector<double> copy(x.begin(), x.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+  double hi = copy[mid];
+  if (copy.size() % 2 == 1) return hi;
+  std::nth_element(copy.begin(), copy.begin() + mid - 1, copy.begin() + mid);
+  return 0.5 * (copy[mid - 1] + hi);
+}
+
+double Quantile(std::span<const double> x, double q) {
+  TFB_CHECK(q >= 0.0 && q <= 1.0);
+  if (x.empty()) return 0.0;
+  std::vector<double> copy(x.begin(), x.end());
+  std::sort(copy.begin(), copy.end());
+  const double pos = q * static_cast<double>(copy.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return copy[lo] * (1.0 - frac) + copy[hi] * frac;
+}
+
+double Min(std::span<const double> x) {
+  double m = std::numeric_limits<double>::infinity();
+  for (double v : x) m = std::min(m, v);
+  return m;
+}
+
+double Max(std::span<const double> x) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double v : x) m = std::max(m, v);
+  return m;
+}
+
+double Skewness(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = Mean(x);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(x.size());
+  m3 /= static_cast<double>(x.size());
+  if (m2 < 1e-15) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+double Kurtosis(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = Mean(x);
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(x.size());
+  m4 /= static_cast<double>(x.size());
+  if (m2 < 1e-15) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b) {
+  TFB_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va < 1e-15 || vb < 1e-15) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<double> ZScore(std::span<const double> x) {
+  const double m = Mean(x);
+  const double sd = StdDev(x);
+  std::vector<double> out(x.size());
+  if (sd < 1e-12) return out;
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - m) / sd;
+  return out;
+}
+
+std::vector<double> MinMaxNormalize(std::span<const double> x) {
+  const double lo = Min(x);
+  const double hi = Max(x);
+  std::vector<double> out(x.size());
+  if (hi - lo < 1e-12) return out;
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - lo) / (hi - lo);
+  return out;
+}
+
+double Autocorrelation(std::span<const double> x, std::size_t lag) {
+  if (x.size() <= lag) return 0.0;
+  const double m = Mean(x);
+  double denom = 0.0;
+  for (double v : x) denom += (v - m) * (v - m);
+  if (denom < 1e-15) return 0.0;
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < x.size(); ++i) {
+    num += (x[i] - m) * (x[i + lag] - m);
+  }
+  return num / denom;
+}
+
+}  // namespace tfb::stats

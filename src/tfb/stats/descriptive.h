@@ -1,0 +1,56 @@
+#ifndef TFB_STATS_DESCRIPTIVE_H_
+#define TFB_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tfb::stats {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(std::span<const double> x);
+
+/// Population variance (divide by n); 0 for inputs shorter than 1.
+double Variance(std::span<const double> x);
+
+/// Sample variance (divide by n-1); 0 for inputs shorter than 2.
+double SampleVariance(std::span<const double> x);
+
+/// Population standard deviation.
+double StdDev(std::span<const double> x);
+
+/// Median (copies and partially sorts); 0 for empty input.
+double Median(std::span<const double> x);
+
+/// Linear-interpolation quantile, q in [0,1]; matches numpy's default.
+double Quantile(std::span<const double> x, double q);
+
+/// Minimum value; +inf for empty input.
+double Min(std::span<const double> x);
+
+/// Maximum value; -inf for empty input.
+double Max(std::span<const double> x);
+
+/// Skewness (biased, population). 0 when variance is ~0.
+double Skewness(std::span<const double> x);
+
+/// Excess kurtosis (population). 0 when variance is ~0.
+double Kurtosis(std::span<const double> x);
+
+/// Pearson correlation of equal-length vectors; 0 when either side has
+/// ~zero variance.
+double PearsonCorrelation(std::span<const double> a, std::span<const double> b);
+
+/// Z-score normalization: (x - mean) / std. A ~constant series maps to all
+/// zeros rather than dividing by zero.
+std::vector<double> ZScore(std::span<const double> x);
+
+/// Min-max normalization to [0,1]; a constant series maps to all zeros.
+std::vector<double> MinMaxNormalize(std::span<const double> x);
+
+/// Lag-k autocorrelation (mean-removed, biased denominator).
+double Autocorrelation(std::span<const double> x, std::size_t lag);
+
+}  // namespace tfb::stats
+
+#endif  // TFB_STATS_DESCRIPTIVE_H_

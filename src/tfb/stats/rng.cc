@@ -1,0 +1,101 @@
+#include "tfb/stats/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "tfb/base/check.h"
+
+namespace tfb::stats {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform();
+}
+
+std::size_t Rng::UniformInt(std::size_t n) {
+  TFB_CHECK(n > 0);
+  return static_cast<std::size_t>(NextU64() % n);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = Uniform();
+  double u2 = Uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::StudentT(double dof) {
+  TFB_CHECK(dof > 0);
+  // t = Z / sqrt(ChiSq(dof)/dof); chi-square built from gaussians is slow for
+  // large dof, so approximate with the sum of squares of ceil(dof) normals.
+  const int k = static_cast<int>(std::ceil(dof));
+  double chisq = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const double z = Gaussian();
+    chisq += z * z;
+  }
+  chisq *= dof / k;
+  return Gaussian() / std::sqrt(chisq / dof);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+std::vector<std::size_t> Rng::Permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(idx[i - 1], idx[UniformInt(i)]);
+  }
+  return idx;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace tfb::stats

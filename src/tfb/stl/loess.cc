@@ -1,0 +1,158 @@
+#include "tfb/stl/loess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfb/base/check.h"
+
+namespace tfb::stl {
+
+namespace {
+
+// Weighted polynomial fit of (xs, ys, ws) evaluated at x0. degree <= 2.
+// Falls back to the weighted mean when the local design is singular.
+double LocalFit(std::span<const double> xs, std::span<const double> ys,
+                std::span<const double> ws, int degree, double x0) {
+  const std::size_t n = xs.size();
+  double wsum = 0.0;
+  for (double w : ws) wsum += w;
+  if (wsum <= 0.0) {
+    // All weights vanished (can happen with robustness weights); plain mean.
+    double mean = 0.0;
+    for (double v : ys) mean += v;
+    return n > 0 ? mean / static_cast<double>(n) : 0.0;
+  }
+  if (degree == 0) {
+    double num = 0.0;
+    for (std::size_t i = 0; i < n; ++i) num += ws[i] * ys[i];
+    return num / wsum;
+  }
+  // Centered coordinates improve conditioning.
+  double mx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mx += ws[i] * xs[i];
+  mx /= wsum;
+  if (degree == 1) {
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double sy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = xs[i] - mx;
+      sxx += ws[i] * dx * dx;
+      sxy += ws[i] * dx * ys[i];
+      sy += ws[i] * ys[i];
+    }
+    const double mean_y = sy / wsum;
+    if (sxx < 1e-12) return mean_y;
+    const double slope = sxy / sxx;
+    return mean_y + slope * (x0 - mx);
+  }
+  // degree == 2: solve the 3x3 weighted normal equations directly.
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+  double t0 = 0, t1 = 0, t2 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double w = ws[i];
+    const double dx2 = dx * dx;
+    s0 += w;
+    s1 += w * dx;
+    s2 += w * dx2;
+    s3 += w * dx2 * dx;
+    s4 += w * dx2 * dx2;
+    t0 += w * ys[i];
+    t1 += w * dx * ys[i];
+    t2 += w * dx2 * ys[i];
+  }
+  // Cramer's rule on the symmetric system [[s0,s1,s2],[s1,s2,s3],[s2,s3,s4]].
+  const double det = s0 * (s2 * s4 - s3 * s3) - s1 * (s1 * s4 - s3 * s2) +
+                     s2 * (s1 * s3 - s2 * s2);
+  if (std::fabs(det) < 1e-12) {
+    return LocalFit(xs, ys, ws, 1, x0);
+  }
+  const double a = (t0 * (s2 * s4 - s3 * s3) - s1 * (t1 * s4 - s3 * t2) +
+                    s2 * (t1 * s3 - s2 * t2)) /
+                   det;
+  const double b = (s0 * (t1 * s4 - t2 * s3) - t0 * (s1 * s4 - s3 * s2) +
+                    s2 * (s1 * t2 - t1 * s2)) /
+                   det;
+  const double c = (s0 * (s2 * t2 - s3 * t1) - s1 * (s1 * t2 - s3 * t0) +
+                    t0 * (s1 * s3 - s2 * s2)) /
+                   det;
+  const double d = x0 - mx;
+  return a + b * d + c * d * d;
+}
+
+double Tricube(double u) {
+  const double a = 1.0 - u * u * u;
+  return a <= 0.0 ? 0.0 : a * a * a;
+}
+
+double EvaluateAt(std::span<const double> y, double pos, int window,
+                  int degree, std::span<const double> robustness_weights) {
+  const std::size_t n = y.size();
+  const int w = std::min<int>(window, static_cast<int>(n));
+  // Window of the w observations nearest to pos.
+  int lo = static_cast<int>(std::floor(pos)) - w / 2;
+  lo = std::clamp(lo, 0, static_cast<int>(n) - w);
+  const int hi = lo + w;  // exclusive
+  // Kernel half-width: distance to the farthest point in the window, but at
+  // least half the nominal window so extrapolated positions keep weight.
+  double hmax = std::max(pos - lo, hi - 1 - pos);
+  hmax = std::max(hmax, (window - 1) / 2.0);
+  if (hmax < 1.0) hmax = 1.0;
+  std::vector<double> xs(w);
+  std::vector<double> ys(w);
+  std::vector<double> ws(w);
+  for (int i = 0; i < w; ++i) {
+    const int idx = lo + i;
+    xs[i] = static_cast<double>(idx);
+    ys[i] = y[idx];
+    double weight = Tricube(std::fabs(idx - pos) / (hmax * 1.001));
+    if (!robustness_weights.empty()) weight *= robustness_weights[idx];
+    ws[i] = weight;
+  }
+  return LocalFit(xs, ys, ws, degree, pos);
+}
+
+}  // namespace
+
+std::vector<double> LoessSmooth(std::span<const double> y, int window,
+                                int degree,
+                                std::span<const double> robustness_weights) {
+  TFB_CHECK(window >= 2);
+  TFB_CHECK(robustness_weights.empty() ||
+            robustness_weights.size() == y.size());
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    out[i] = EvaluateAt(y, static_cast<double>(i), window, degree,
+                        robustness_weights);
+  }
+  return out;
+}
+
+std::vector<double> LoessAt(std::span<const double> y,
+                            std::span<const double> positions, int window,
+                            int degree,
+                            std::span<const double> robustness_weights) {
+  TFB_CHECK(window >= 2);
+  std::vector<double> out(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    out[i] = EvaluateAt(y, positions[i], window, degree, robustness_weights);
+  }
+  return out;
+}
+
+std::vector<double> MovingAverage(std::span<const double> y, int window) {
+  TFB_CHECK(window >= 1);
+  if (y.size() < static_cast<std::size_t>(window)) return {};
+  std::vector<double> out(y.size() - window + 1);
+  double sum = 0.0;
+  for (int i = 0; i < window; ++i) sum += y[i];
+  out[0] = sum / window;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    sum += y[i + window - 1] - y[i - 1];
+    out[i] = sum / window;
+  }
+  return out;
+}
+
+}  // namespace tfb::stl

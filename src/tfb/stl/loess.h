@@ -1,0 +1,37 @@
+#ifndef TFB_STL_LOESS_H_
+#define TFB_STL_LOESS_H_
+
+#include <span>
+#include <vector>
+
+namespace tfb::stl {
+
+/// Loess (locally weighted regression) smoothing of a series observed at
+/// integer positions 0..n-1, the smoothing primitive inside STL
+/// (Cleveland et al., 1990).
+///
+/// For each evaluation position, the `window` nearest observations are
+/// weighted with the tricube kernel and a local polynomial of the given
+/// `degree` (0 = local mean, 1 = local line, 2 = local parabola) is fit by
+/// weighted least squares; the fitted value at the position is returned.
+///
+/// `robustness_weights`, when non-empty, multiplies the kernel weights
+/// (bisquare weights from STL's outer loop). Must be empty or of size n.
+std::vector<double> LoessSmooth(std::span<const double> y, int window,
+                                int degree,
+                                std::span<const double> robustness_weights = {});
+
+/// Loess evaluated at arbitrary (possibly out-of-range) positions, used by
+/// STL's cycle-subseries extension one step beyond each end.
+std::vector<double> LoessAt(std::span<const double> y,
+                            std::span<const double> positions, int window,
+                            int degree,
+                            std::span<const double> robustness_weights = {});
+
+/// Centered moving average of length `window`; output has
+/// `y.size() - window + 1` entries.
+std::vector<double> MovingAverage(std::span<const double> y, int window);
+
+}  // namespace tfb::stl
+
+#endif  // TFB_STL_LOESS_H_

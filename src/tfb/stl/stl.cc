@@ -1,0 +1,151 @@
+#include "tfb/stl/stl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfb/base/check.h"
+#include "tfb/stats/descriptive.h"
+#include "tfb/stl/loess.h"
+
+namespace tfb::stl {
+
+namespace {
+
+int NextOdd(int v) { return v % 2 == 0 ? v + 1 : v; }
+
+// Cleveland's default trend span: smallest odd integer >=
+// 1.5 * np / (1 - 1.5 / ns).
+int DefaultTrendWindow(int np, int ns) {
+  const double v = 1.5 * np / (1.0 - 1.5 / static_cast<double>(ns));
+  return NextOdd(std::max(3, static_cast<int>(std::ceil(v))));
+}
+
+std::vector<double> BisquareWeights(std::span<const double> remainder) {
+  std::vector<double> abs_r(remainder.size());
+  for (std::size_t i = 0; i < remainder.size(); ++i) {
+    abs_r[i] = std::fabs(remainder[i]);
+  }
+  const double h = 6.0 * stats::Median(abs_r);
+  std::vector<double> w(remainder.size(), 1.0);
+  if (h < 1e-12) return w;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double u = abs_r[i] / h;
+    if (u >= 1.0) {
+      w[i] = 0.0;
+    } else {
+      const double a = 1.0 - u * u;
+      w[i] = a * a;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+StlResult StlDecompose(std::span<const double> y, std::size_t period,
+                       const StlOptions& options) {
+  const std::size_t n = y.size();
+  StlResult result;
+  result.trend.assign(n, 0.0);
+  result.seasonal.assign(n, 0.0);
+  result.remainder.assign(n, 0.0);
+  if (n == 0) return result;
+
+  const int np = static_cast<int>(period);
+  if (np <= 1 || n < 2 * period) {
+    // Non-seasonal series: trend = loess smooth, seasonal = 0.
+    const int window =
+        NextOdd(std::max(7, static_cast<int>(n) / 3));
+    result.trend = LoessSmooth(y, std::min<int>(window, static_cast<int>(n)),
+                               /*degree=*/1);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.remainder[i] = y[i] - result.trend[i];
+    }
+    return result;
+  }
+
+  const bool periodic = options.seasonal_window <= 0;
+  const int ns = periodic ? 7 : NextOdd(options.seasonal_window);
+  const int nl = options.lowpass_window > 0 ? NextOdd(options.lowpass_window)
+                                            : NextOdd(np);
+  const int nt = options.trend_window > 0 ? NextOdd(options.trend_window)
+                                          : DefaultTrendWindow(np, ns);
+
+  std::vector<double> rw;  // robustness weights; empty = all ones
+  std::vector<double> detrended(n);
+  std::vector<double> extended(n + 2 * period);
+  std::vector<double> deseason(n);
+
+  const int outer_total = std::max(0, options.robust_iterations) + 1;
+  for (int outer = 0; outer < outer_total; ++outer) {
+    for (int inner = 0; inner < std::max(1, options.inner_iterations);
+         ++inner) {
+      // Step 1: detrend.
+      for (std::size_t i = 0; i < n; ++i) detrended[i] = y[i] - result.trend[i];
+
+      // Step 2: cycle-subseries smoothing, extended one period both ways.
+      for (std::size_t phase = 0; phase < period; ++phase) {
+        std::vector<double> sub;
+        std::vector<double> sub_rw;
+        for (std::size_t t = phase; t < n; t += period) {
+          sub.push_back(detrended[t]);
+          if (!rw.empty()) sub_rw.push_back(rw[t]);
+        }
+        const std::size_t k = sub.size();
+        std::vector<double> fitted(k + 2);
+        if (periodic) {
+          double wsum = 0.0;
+          double vsum = 0.0;
+          for (std::size_t j = 0; j < k; ++j) {
+            const double w = sub_rw.empty() ? 1.0 : sub_rw[j];
+            wsum += w;
+            vsum += w * sub[j];
+          }
+          const double mean = wsum > 0.0 ? vsum / wsum
+                                         : stats::Mean(sub);
+          std::fill(fitted.begin(), fitted.end(), mean);
+        } else {
+          std::vector<double> positions(k + 2);
+          for (std::size_t j = 0; j < k + 2; ++j) {
+            positions[j] = static_cast<double>(j) - 1.0;
+          }
+          fitted = LoessAt(sub, positions, std::min<int>(ns, k), /*degree=*/1,
+                           sub_rw);
+        }
+        for (std::size_t j = 0; j < k + 2; ++j) {
+          const std::size_t pos = phase + period * j;
+          if (pos < extended.size()) extended[pos] = fitted[j];
+        }
+      }
+
+      // Step 3: low-pass filtering of the extended seasonal.
+      std::vector<double> l1 = MovingAverage(extended, np);
+      std::vector<double> l2 = MovingAverage(l1, np);
+      std::vector<double> l3 = MovingAverage(l2, 3);
+      TFB_CHECK(l3.size() == n);
+      std::vector<double> lowpass =
+          LoessSmooth(l3, std::min<int>(nl, static_cast<int>(n)), /*degree=*/1);
+
+      // Step 4: seasonal = smoothed subseries minus low-pass.
+      for (std::size_t i = 0; i < n; ++i) {
+        result.seasonal[i] = extended[i + period] - lowpass[i];
+      }
+
+      // Steps 5-6: deseasonalize then smooth for the trend.
+      for (std::size_t i = 0; i < n; ++i) {
+        deseason[i] = y[i] - result.seasonal[i];
+      }
+      result.trend = LoessSmooth(
+          deseason, std::min<int>(nt, static_cast<int>(n)), /*degree=*/1, rw);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      result.remainder[i] = y[i] - result.trend[i] - result.seasonal[i];
+    }
+    if (outer + 1 < outer_total) {
+      rw = BisquareWeights(result.remainder);
+    }
+  }
+  return result;
+}
+
+}  // namespace tfb::stl

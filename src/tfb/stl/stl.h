@@ -1,0 +1,38 @@
+#ifndef TFB_STL_STL_H_
+#define TFB_STL_STL_H_
+
+#include <span>
+#include <vector>
+
+namespace tfb::stl {
+
+/// Result of an STL decomposition: X = trend + seasonal + remainder
+/// (Definition 3/4 in the paper relies on this additive decomposition).
+struct StlResult {
+  std::vector<double> trend;
+  std::vector<double> seasonal;
+  std::vector<double> remainder;
+};
+
+/// Options for StlDecompose. Defaults follow Cleveland et al. (1990):
+/// seasonal smoother span 7 (or "periodic" averaging), trend span derived
+/// from the period, two inner iterations, optional robust outer iterations
+/// with bisquare weights.
+struct StlOptions {
+  int seasonal_window = 7;   ///< n_s; odd. <=0 means periodic (subseries mean).
+  int trend_window = 0;      ///< n_t; 0 = derive from period (Cleveland rule).
+  int lowpass_window = 0;    ///< n_l; 0 = next odd >= period.
+  int inner_iterations = 2;  ///< n_i.
+  int robust_iterations = 0; ///< n_o; 0 disables the robust outer loop.
+};
+
+/// Seasonal–trend decomposition using Loess. `period` is the seasonal
+/// period; when period <= 1 (or the series is shorter than two periods) the
+/// series is treated as non-seasonal: seasonal == 0 and trend is a loess
+/// smooth of the series.
+StlResult StlDecompose(std::span<const double> y, std::size_t period,
+                       const StlOptions& options = {});
+
+}  // namespace tfb::stl
+
+#endif  // TFB_STL_STL_H_

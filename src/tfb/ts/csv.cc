@@ -1,0 +1,85 @@
+#include "tfb/ts/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace tfb::ts {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+bool WriteCsv(const TimeSeries& series, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  for (std::size_t v = 0; v < series.num_variables(); ++v) {
+    if (v > 0) os << ',';
+    os << 'v' << v;
+  }
+  os << '\n';
+  os.precision(12);
+  for (std::size_t t = 0; t < series.length(); ++t) {
+    for (std::size_t v = 0; v < series.num_variables(); ++v) {
+      if (v > 0) os << ',';
+      os << series.at(t, v);
+    }
+    os << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<TimeSeries> ReadCsv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;
+  // Determine which columns are numeric by inspecting the first data row.
+  std::streampos data_start = is.tellg();
+  if (!std::getline(is, line)) return std::nullopt;
+  const std::vector<std::string> probe = SplitLine(line);
+  std::vector<bool> numeric(probe.size(), false);
+  std::size_t num_numeric = 0;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    double unused;
+    numeric[i] = ParseDouble(probe[i], &unused);
+    if (numeric[i]) ++num_numeric;
+  }
+  if (num_numeric == 0) return std::nullopt;
+  is.seekg(data_start);
+
+  std::vector<double> values;
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitLine(line);
+    if (fields.size() != numeric.size()) return std::nullopt;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!numeric[i]) continue;
+      double v;
+      if (!ParseDouble(fields[i], &v)) return std::nullopt;
+      values.push_back(v);
+    }
+    ++rows;
+  }
+  return TimeSeries(
+      linalg::Matrix::FromRowMajor(rows, num_numeric, std::move(values)));
+}
+
+}  // namespace tfb::ts

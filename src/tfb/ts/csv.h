@@ -1,0 +1,23 @@
+#ifndef TFB_TS_CSV_H_
+#define TFB_TS_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "tfb/ts/time_series.h"
+
+namespace tfb::ts {
+
+/// Writes `series` as a CSV file with a header row of variable names
+/// (`v0,v1,...`). The standardized on-disk format of the data layer; the
+/// inverse of ReadCsv.
+bool WriteCsv(const TimeSeries& series, const std::string& path);
+
+/// Reads a CSV file written by WriteCsv (or any numeric CSV with a header
+/// row). Non-numeric leading columns (timestamps) are skipped. Returns
+/// nullopt on I/O or parse failure.
+std::optional<TimeSeries> ReadCsv(const std::string& path);
+
+}  // namespace tfb::ts
+
+#endif  // TFB_TS_CSV_H_

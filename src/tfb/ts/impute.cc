@@ -1,0 +1,115 @@
+#include "tfb/ts/impute.h"
+
+#include <cmath>
+
+#include "tfb/stats/descriptive.h"
+
+namespace tfb::ts {
+
+namespace {
+
+bool Valid(double v) { return std::isfinite(v); }
+
+void ImputeColumn(TimeSeries& series, std::size_t var, ImputeKind kind) {
+  const std::size_t t = series.length();
+  // Collect valid statistics.
+  double mean = 0.0;
+  std::size_t valid_count = 0;
+  for (std::size_t i = 0; i < t; ++i) {
+    if (Valid(series.at(i, var))) {
+      mean += series.at(i, var);
+      ++valid_count;
+    }
+  }
+  if (valid_count == 0) {
+    for (std::size_t i = 0; i < t; ++i) series.at(i, var) = 0.0;
+    return;
+  }
+  mean /= static_cast<double>(valid_count);
+
+  switch (kind) {
+    case ImputeKind::kZero:
+      for (std::size_t i = 0; i < t; ++i) {
+        if (!Valid(series.at(i, var))) series.at(i, var) = 0.0;
+      }
+      return;
+    case ImputeKind::kMean:
+      for (std::size_t i = 0; i < t; ++i) {
+        if (!Valid(series.at(i, var))) series.at(i, var) = mean;
+      }
+      return;
+    case ImputeKind::kForwardFill: {
+      double last = mean;  // leading gap fallback: first valid value below
+      for (std::size_t i = 0; i < t; ++i) {
+        if (Valid(series.at(i, var))) {
+          last = series.at(i, var);
+          break;
+        }
+      }
+      for (std::size_t i = 0; i < t; ++i) {
+        if (Valid(series.at(i, var))) {
+          last = series.at(i, var);
+        } else {
+          series.at(i, var) = last;
+        }
+      }
+      return;
+    }
+    case ImputeKind::kLinear: {
+      std::size_t i = 0;
+      while (i < t) {
+        if (Valid(series.at(i, var))) {
+          ++i;
+          continue;
+        }
+        // Gap [gap_begin, gap_end).
+        const std::size_t gap_begin = i;
+        std::size_t gap_end = i;
+        while (gap_end < t && !Valid(series.at(gap_end, var))) ++gap_end;
+        const bool has_left = gap_begin > 0;
+        const bool has_right = gap_end < t;
+        if (has_left && has_right) {
+          const double left = series.at(gap_begin - 1, var);
+          const double right = series.at(gap_end, var);
+          const double span = static_cast<double>(gap_end - gap_begin + 1);
+          for (std::size_t j = gap_begin; j < gap_end; ++j) {
+            const double frac =
+                static_cast<double>(j - gap_begin + 1) / span;
+            series.at(j, var) = left + frac * (right - left);
+          }
+        } else {
+          const double fill = has_left ? series.at(gap_begin - 1, var)
+                              : has_right ? series.at(gap_end, var)
+                                          : mean;
+          for (std::size_t j = gap_begin; j < gap_end; ++j) {
+            series.at(j, var) = fill;
+          }
+        }
+        i = gap_end;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+TimeSeries Impute(const TimeSeries& series, ImputeKind kind) {
+  TimeSeries out = series;
+  for (std::size_t v = 0; v < out.num_variables(); ++v) {
+    ImputeColumn(out, v, kind);
+  }
+  return out;
+}
+
+std::size_t CountMissing(const TimeSeries& series) {
+  std::size_t count = 0;
+  for (std::size_t t = 0; t < series.length(); ++t) {
+    for (std::size_t v = 0; v < series.num_variables(); ++v) {
+      if (!Valid(series.at(t, v))) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace tfb::ts

@@ -1,0 +1,29 @@
+#ifndef TFB_TS_IMPUTE_H_
+#define TFB_TS_IMPUTE_H_
+
+#include "tfb/ts/time_series.h"
+
+namespace tfb::ts {
+
+/// Missing-value policy of the data layer's standardized handling. Real
+/// archives (AQShunyi, SAPFLUXNET, NN5, ...) contain gaps encoded as NaN;
+/// every series entering the pipeline is repaired with one of these
+/// policies first.
+enum class ImputeKind {
+  kLinear,       ///< Linear interpolation between valid neighbours.
+  kForwardFill,  ///< Carry the last valid observation forward.
+  kMean,         ///< Replace with the variable's mean of valid points.
+  kZero,         ///< Replace with zero.
+};
+
+/// Returns a copy of `series` with all NaN/inf entries repaired per-variable
+/// under the chosen policy. Leading gaps use the first valid value (kLinear,
+/// kForwardFill); an all-invalid variable becomes all zeros.
+TimeSeries Impute(const TimeSeries& series, ImputeKind kind);
+
+/// Count of NaN/inf entries in `series`.
+std::size_t CountMissing(const TimeSeries& series);
+
+}  // namespace tfb::ts
+
+#endif  // TFB_TS_IMPUTE_H_

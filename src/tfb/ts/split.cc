@@ -1,0 +1,24 @@
+#include "tfb/ts/split.h"
+
+#include <cmath>
+
+namespace tfb::ts {
+
+Split ChronologicalSplit(const TimeSeries& series, const SplitRatio& ratio) {
+  const double total = ratio.train + ratio.val + ratio.test;
+  TFB_CHECK(total > 0.0);
+  const std::size_t t = series.length();
+  const std::size_t train_end =
+      static_cast<std::size_t>(std::floor(t * ratio.train / total));
+  const std::size_t val_end = static_cast<std::size_t>(
+      std::floor(t * (ratio.train + ratio.val) / total));
+  Split split;
+  split.train = series.Slice(0, train_end);
+  split.val = series.Slice(train_end, val_end);
+  split.test = series.Slice(val_end, t);
+  split.train_end = train_end;
+  split.val_end = val_end;
+  return split;
+}
+
+}  // namespace tfb::ts

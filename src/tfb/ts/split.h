@@ -1,0 +1,37 @@
+#ifndef TFB_TS_SPLIT_H_
+#define TFB_TS_SPLIT_H_
+
+#include "tfb/ts/time_series.h"
+
+namespace tfb::ts {
+
+/// Chronological train/validation/test split ratios. The paper fixes either
+/// 7:1:2 or 6:2:2 per dataset (Table 5) so that every method sees identical
+/// data boundaries — one of TFB's fairness requirements.
+struct SplitRatio {
+  double train = 0.7;
+  double val = 0.1;
+  double test = 0.2;
+
+  /// The 7:1:2 split.
+  static SplitRatio Ratio712() { return {0.7, 0.1, 0.2}; }
+  /// The 6:2:2 split.
+  static SplitRatio Ratio622() { return {0.6, 0.2, 0.2}; }
+};
+
+/// A chronological three-way split of one series.
+struct Split {
+  TimeSeries train;
+  TimeSeries val;
+  TimeSeries test;
+  std::size_t train_end = 0;  ///< Index of first validation row.
+  std::size_t val_end = 0;    ///< Index of first test row.
+};
+
+/// Splits `series` chronologically by `ratio`. Boundaries are floor(T*r)
+/// for train and train+val, which matches the reference implementation.
+Split ChronologicalSplit(const TimeSeries& series, const SplitRatio& ratio);
+
+}  // namespace tfb::ts
+
+#endif  // TFB_TS_SPLIT_H_

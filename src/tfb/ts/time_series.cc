@@ -1,0 +1,108 @@
+#include "tfb/ts/time_series.h"
+
+#include <utility>
+
+namespace tfb::ts {
+
+std::string FrequencyName(Frequency f) {
+  switch (f) {
+    case Frequency::kYearly: return "yearly";
+    case Frequency::kQuarterly: return "quarterly";
+    case Frequency::kMonthly: return "monthly";
+    case Frequency::kWeekly: return "weekly";
+    case Frequency::kDaily: return "daily";
+    case Frequency::kHourly: return "hourly";
+    case Frequency::kMinutes30: return "30 mins";
+    case Frequency::kMinutes15: return "15 mins";
+    case Frequency::kMinutes10: return "10 mins";
+    case Frequency::kMinutes5: return "5 mins";
+    case Frequency::kOther: return "other";
+  }
+  return "unknown";
+}
+
+std::size_t DefaultSeasonalPeriod(Frequency f) {
+  switch (f) {
+    case Frequency::kYearly: return 1;
+    case Frequency::kQuarterly: return 4;
+    case Frequency::kMonthly: return 12;
+    case Frequency::kWeekly: return 52;
+    case Frequency::kDaily: return 7;
+    case Frequency::kHourly: return 24;
+    case Frequency::kMinutes30: return 48;
+    case Frequency::kMinutes15: return 96;
+    case Frequency::kMinutes10: return 144;
+    case Frequency::kMinutes5: return 288;
+    case Frequency::kOther: return 1;
+  }
+  return 1;
+}
+
+std::string DomainName(Domain d) {
+  switch (d) {
+    case Domain::kTraffic: return "traffic";
+    case Domain::kElectricity: return "electricity";
+    case Domain::kEnergy: return "energy";
+    case Domain::kEnvironment: return "environment";
+    case Domain::kNature: return "nature";
+    case Domain::kEconomic: return "economic";
+    case Domain::kStock: return "stock";
+    case Domain::kBanking: return "banking";
+    case Domain::kHealth: return "health";
+    case Domain::kWeb: return "web";
+  }
+  return "unknown";
+}
+
+TimeSeries TimeSeries::Univariate(std::vector<double> values) {
+  const std::size_t n = values.size();
+  return TimeSeries(linalg::Matrix::FromRowMajor(n, 1, std::move(values)));
+}
+
+TimeSeries TimeSeries::Variable(std::size_t var) const {
+  TFB_CHECK(var < num_variables());
+  TimeSeries out = Univariate(Column(var));
+  out.name_ = name_;
+  out.frequency_ = frequency_;
+  out.domain_ = domain_;
+  out.seasonal_period_ = seasonal_period_;
+  return out;
+}
+
+TimeSeries TimeSeries::Slice(std::size_t begin, std::size_t end) const {
+  TFB_CHECK(begin <= end && end <= length());
+  linalg::Matrix m(end - begin, num_variables());
+  for (std::size_t t = begin; t < end; ++t) {
+    for (std::size_t v = 0; v < num_variables(); ++v) {
+      m(t - begin, v) = values_(t, v);
+    }
+  }
+  TimeSeries out(std::move(m));
+  out.name_ = name_;
+  out.frequency_ = frequency_;
+  out.domain_ = domain_;
+  out.seasonal_period_ = seasonal_period_;
+  return out;
+}
+
+void TimeSeries::Append(const TimeSeries& other) {
+  if (values_.empty()) {
+    values_ = other.values_;
+    return;
+  }
+  TFB_CHECK(other.num_variables() == num_variables());
+  linalg::Matrix merged(length() + other.length(), num_variables());
+  for (std::size_t t = 0; t < length(); ++t) {
+    for (std::size_t v = 0; v < num_variables(); ++v) {
+      merged(t, v) = values_(t, v);
+    }
+  }
+  for (std::size_t t = 0; t < other.length(); ++t) {
+    for (std::size_t v = 0; v < num_variables(); ++v) {
+      merged(length() + t, v) = other.values_(t, v);
+    }
+  }
+  values_ = std::move(merged);
+}
+
+}  // namespace tfb::ts

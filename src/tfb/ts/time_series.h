@@ -1,0 +1,122 @@
+#ifndef TFB_TS_TIME_SERIES_H_
+#define TFB_TS_TIME_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "tfb/linalg/matrix.h"
+
+namespace tfb::ts {
+
+/// Sampling frequency taxonomy used by the benchmark (Tables 4–5).
+enum class Frequency {
+  kYearly,
+  kQuarterly,
+  kMonthly,
+  kWeekly,
+  kDaily,
+  kHourly,
+  kMinutes30,
+  kMinutes15,
+  kMinutes10,
+  kMinutes5,
+  kOther,
+};
+
+/// Human-readable frequency label ("hourly", "5 mins", ...).
+std::string FrequencyName(Frequency f);
+
+/// Canonical seasonal period for a frequency (e.g. monthly -> 12,
+/// hourly -> 24); used as the default seasonality S in MASE and as a hint
+/// to STL. Returns 1 when no natural period exists (yearly, other).
+std::size_t DefaultSeasonalPeriod(Frequency f);
+
+/// Application domain taxonomy (Issue 1 in the paper: 10 domains).
+enum class Domain {
+  kTraffic,
+  kElectricity,
+  kEnergy,
+  kEnvironment,
+  kNature,
+  kEconomic,
+  kStock,
+  kBanking,
+  kHealth,
+  kWeb,
+};
+
+/// Human-readable domain label.
+std::string DomainName(Domain d);
+
+/// A multivariate time series: T time points x N variables, stored
+/// row-major (row = time point). N == 1 represents a univariate series
+/// (Definition 1 in the paper). TimeSeries is the standardized in-memory
+/// format of the data layer: every dataset, synthetic or loaded from CSV,
+/// is converted to this representation before entering the pipeline.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Wraps a (T x N) matrix of observations.
+  explicit TimeSeries(linalg::Matrix values) : values_(std::move(values)) {}
+
+  /// Builds a univariate series from raw values.
+  static TimeSeries Univariate(std::vector<double> values);
+
+  /// Number of time points T.
+  std::size_t length() const { return values_.rows(); }
+  /// Number of variables N.
+  std::size_t num_variables() const { return values_.cols(); }
+  /// True for N == 1.
+  bool is_univariate() const { return values_.cols() == 1; }
+
+  /// Value of variable `var` at time `t`.
+  double at(std::size_t t, std::size_t var) const { return values_(t, var); }
+  double& at(std::size_t t, std::size_t var) { return values_(t, var); }
+
+  /// Underlying (T x N) observation matrix.
+  const linalg::Matrix& values() const { return values_; }
+  linalg::Matrix& values() { return values_; }
+
+  /// Copies variable `var` as a plain vector.
+  std::vector<double> Column(std::size_t var) const {
+    return values_.ColVector(var);
+  }
+
+  /// Extracts variable `var` as a univariate TimeSeries, keeping metadata.
+  TimeSeries Variable(std::size_t var) const;
+
+  /// Returns rows [begin, end) as a new TimeSeries, keeping metadata.
+  TimeSeries Slice(std::size_t begin, std::size_t end) const;
+
+  /// Appends the rows of `other` (same N) after this series.
+  void Append(const TimeSeries& other);
+
+  /// Dataset name, e.g. "ETTh2".
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Sampling frequency.
+  Frequency frequency() const { return frequency_; }
+  void set_frequency(Frequency f) { frequency_ = f; }
+
+  /// Application domain.
+  Domain domain() const { return domain_; }
+  void set_domain(Domain d) { domain_ = d; }
+
+  /// Known seasonal period (0 = unknown; use DefaultSeasonalPeriod or
+  /// detection).
+  std::size_t seasonal_period() const { return seasonal_period_; }
+  void set_seasonal_period(std::size_t p) { seasonal_period_ = p; }
+
+ private:
+  linalg::Matrix values_;
+  std::string name_;
+  Frequency frequency_ = Frequency::kOther;
+  Domain domain_ = Domain::kWeb;
+  std::size_t seasonal_period_ = 0;
+};
+
+}  // namespace tfb::ts
+
+#endif  // TFB_TS_TIME_SERIES_H_

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/characterization/adf.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::characterization {
+namespace {
+
+std::vector<double> WhiteNoise(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Gaussian();
+  return x;
+}
+
+std::vector<double> RandomWalk(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  double state = 0.0;
+  for (double& v : x) {
+    state += rng.Gaussian();
+    v = state;
+  }
+  return x;
+}
+
+std::vector<double> Ar1(std::size_t n, double phi, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  double state = 0.0;
+  for (double& v : x) {
+    state = phi * state + rng.Gaussian();
+    v = state;
+  }
+  return x;
+}
+
+TEST(Adf, WhiteNoiseIsStationary) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto x = WhiteNoise(500, seed);
+    const AdfResult r = AdfTest(x);
+    EXPECT_LT(r.p_value, 0.01) << "seed " << seed;
+    EXPECT_TRUE(IsStationary(x));
+  }
+}
+
+TEST(Adf, RandomWalkIsNotStationary) {
+  int rejected = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto x = RandomWalk(500, seed);
+    if (AdfTest(x).p_value > 0.05) ++rejected;
+  }
+  // A unit-root series should essentially never look stationary.
+  EXPECT_GE(rejected, 4);
+}
+
+TEST(Adf, StationaryAr1Detected) {
+  const auto x = Ar1(800, 0.7, 11);
+  EXPECT_TRUE(IsStationary(x));
+}
+
+TEST(Adf, NearUnitRootHasHigherPValueThanWhiteNoise) {
+  const auto wn = WhiteNoise(400, 21);
+  const auto near_unit = Ar1(400, 0.995, 21);
+  EXPECT_GT(AdfTest(near_unit).p_value, AdfTest(wn).p_value);
+}
+
+TEST(Adf, StatisticIsNegativeForStationarySeries) {
+  const auto x = WhiteNoise(300, 31);
+  const AdfResult r = AdfTest(x);
+  EXPECT_LT(r.statistic, -5.0);  // white noise: strongly negative tau
+}
+
+TEST(Adf, TooShortSeriesIsNonStationaryByConvention) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const AdfResult r = AdfTest(x);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_FALSE(IsStationary(x));
+}
+
+TEST(Adf, PValueMonotoneInStatistic) {
+  // The MacKinnon surface must be monotone across the branch boundary.
+  const auto x = WhiteNoise(300, 41);
+  AdfResult base = AdfTest(x);
+  EXPECT_GE(base.p_value, 0.0);
+  EXPECT_LE(base.p_value, 1.0);
+  // Trend-dominated series: p close to 1.
+  std::vector<double> trending(300);
+  for (std::size_t i = 0; i < trending.size(); ++i) {
+    trending[i] = static_cast<double>(i);
+  }
+  EXPECT_GT(AdfTest(trending).p_value, 0.5);
+}
+
+TEST(Adf, LagSelectionStaysInRange) {
+  const auto x = Ar1(400, 0.5, 51);
+  const AdfResult r = AdfTest(x, /*max_lags=*/6);
+  EXPECT_GE(r.lags, 0);
+  EXPECT_LE(r.lags, 6);
+}
+
+}  // namespace
+}  // namespace tfb::characterization

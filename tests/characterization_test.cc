@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/characterization/catch22.h"
+#include "tfb/characterization/features.h"
+#include "tfb/characterization/pca.h"
+#include "tfb/datagen/generator.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::characterization {
+namespace {
+
+std::vector<double> Seasonal(std::size_t n, std::size_t period,
+                             double amplitude, double noise,
+                             std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = amplitude * std::sin(2.0 * M_PI * t / period) +
+           rng.Gaussian(0.0, noise);
+  }
+  return x;
+}
+
+std::vector<double> Trending(std::size_t n, double slope, double noise,
+                             std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = slope * t + rng.Gaussian(0.0, noise);
+  }
+  return x;
+}
+
+TEST(TrendStrength, HighForTrendingSeries) {
+  const auto x = Trending(300, 0.1, 0.5, 1);
+  EXPECT_GT(TrendStrength(x), 0.9);
+}
+
+TEST(TrendStrength, LowForWhiteNoise) {
+  stats::Rng rng(2);
+  std::vector<double> x(300);
+  for (double& v : x) v = rng.Gaussian();
+  EXPECT_LT(TrendStrength(x), 0.4);
+}
+
+TEST(SeasonalityStrength, HighForSeasonalSeries) {
+  const auto x = Seasonal(480, 24, 3.0, 0.3, 3);
+  EXPECT_GT(SeasonalityStrength(x, 24), 0.85);
+}
+
+TEST(SeasonalityStrength, LowForNonSeasonal) {
+  const auto x = Trending(300, 0.05, 0.5, 4);
+  EXPECT_LT(SeasonalityStrength(x, 24), 0.4);
+}
+
+TEST(SeasonalityStrength, AutoDetectsPeriod) {
+  const auto x = Seasonal(600, 30, 3.0, 0.3, 5);
+  // period=0 triggers detection.
+  EXPECT_GT(SeasonalityStrength(x, 0), 0.7);
+}
+
+TEST(Shifting, UpShiftMovesValueAboveFlat) {
+  stats::Rng rng(6);
+  std::vector<double> shifted(400);
+  std::vector<double> flat(400);
+  std::vector<double> down(400);
+  for (std::size_t t = 0; t < 400; ++t) {
+    flat[t] = rng.Gaussian();
+    shifted[t] = rng.Gaussian() + (t >= 200 ? 5.0 : 0.0);
+    down[t] = rng.Gaussian() - (t >= 200 ? 5.0 : 0.0);
+  }
+  // Flat ~ 0.5; up-shift concentrates high values late (> 0.6); down-shift
+  // concentrates them early (< 0.4).
+  EXPECT_NEAR(ShiftingValue(flat), 0.5, 0.08);
+  EXPECT_GT(ShiftingValue(shifted), ShiftingValue(flat) + 0.15);
+  EXPECT_LT(ShiftingValue(down), ShiftingValue(flat) - 0.15);
+}
+
+TEST(Shifting, InUnitInterval) {
+  stats::Rng rng(7);
+  std::vector<double> x(200);
+  for (double& v : x) v = rng.Gaussian();
+  const double s = ShiftingValue(x);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(Shifting, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(ShiftingValue(std::vector<double>(100, 3.0)), 0.0);
+}
+
+TEST(Transition, HigherForRegularSeries) {
+  // A clean periodic signal has a very regular symbol-transition structure;
+  // white noise does not.
+  const auto regular = Seasonal(600, 24, 3.0, 0.05, 8);
+  stats::Rng rng(9);
+  std::vector<double> noise(600);
+  for (double& v : noise) v = rng.Gaussian();
+  EXPECT_GT(TransitionValue(regular), TransitionValue(noise));
+}
+
+TEST(Transition, BoundedByOneThird) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto x = Seasonal(500, 12, 2.0, 0.2, seed);
+    const double t = TransitionValue(x);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 1.0 / 3.0 + 1e-9);
+  }
+}
+
+TEST(Correlation, HigherForCorrelatedChannels) {
+  stats::Rng rng(10);
+  datagen::MultivariateSpec correlated;
+  correlated.factor_spec.length = 600;
+  correlated.factor_spec.period = 24;
+  correlated.factor_spec.season_amplitude = 2.0;
+  correlated.num_variables = 6;
+  correlated.factor_share = 0.95;
+  correlated.idiosyncratic_std = 0.3;
+  const ts::TimeSeries high = datagen::GenerateMultivariate(correlated, rng);
+
+  datagen::MultivariateSpec uncorrelated = correlated;
+  uncorrelated.factor_share = 0.05;
+  uncorrelated.idiosyncratic_std = 1.5;
+  const ts::TimeSeries low = datagen::GenerateMultivariate(uncorrelated, rng);
+
+  EXPECT_GT(CorrelationValue(high), CorrelationValue(low));
+}
+
+TEST(Correlation, UnivariateIsZero) {
+  const ts::TimeSeries s = ts::TimeSeries::Univariate(Trending(100, 0.1, 0.1, 11));
+  EXPECT_DOUBLE_EQ(CorrelationValue(s), 0.0);
+}
+
+TEST(Characterize, ProfilesMatchConstruction) {
+  stats::Rng rng(12);
+  datagen::SeriesSpec spec;
+  spec.length = 600;
+  spec.period = 24;
+  spec.season_amplitude = 3.0;
+  spec.trend_slope = 0.01;
+  spec.noise_std = 0.4;
+  ts::TimeSeries s = ts::TimeSeries::Univariate(
+      datagen::GenerateSeries(spec, rng));
+  s.set_seasonal_period(24);
+  const Characteristics c = Characterize(s);
+  EXPECT_GT(c.seasonality, 0.5);
+  EXPECT_GT(c.trend, 0.5);
+  EXPECT_FALSE(ToString(c).empty());
+  EXPECT_EQ(c.ToVector5().size(), 5u);
+}
+
+TEST(Catch22, FeatureCountAndNames) {
+  EXPECT_EQ(Catch22FeatureNames().size(), kNumCatch22Features);
+  const auto x = Seasonal(300, 12, 2.0, 0.2, 13);
+  const auto f = Catch22(x);
+  EXPECT_EQ(f.size(), kNumCatch22Features);
+  // At least most features should be non-zero for a rich series.
+  std::size_t nonzero = 0;
+  for (double v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+    if (v != 0.0) ++nonzero;
+  }
+  EXPECT_GE(nonzero, 15u);
+}
+
+TEST(Catch22, ConstantSeriesYieldsZeros) {
+  const auto f = Catch22(std::vector<double>(100, 1.0));
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Catch22, ScaleInvariance) {
+  // Features are computed on z-scored data, so scaling the input should not
+  // change them.
+  const auto x = Seasonal(400, 24, 2.0, 0.3, 14);
+  std::vector<double> scaled = x;
+  for (double& v : scaled) v = 100.0 + 42.0 * v;
+  const auto fa = Catch22(x);
+  const auto fb = Catch22(scaled);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_NEAR(fa[i], fb[i], 1e-6) << Catch22FeatureNames()[i];
+  }
+}
+
+TEST(Pca, ExplainedVarianceConcentratesOnDominantDirection) {
+  stats::Rng rng(15);
+  linalg::Matrix data(200, 3);
+  for (std::size_t r = 0; r < 200; ++r) {
+    const double latent = rng.Gaussian();
+    data(r, 0) = latent + rng.Gaussian(0.0, 0.05);
+    data(r, 1) = -latent + rng.Gaussian(0.0, 0.05);
+    data(r, 2) = latent + rng.Gaussian(0.0, 0.05);
+  }
+  const Pca pca = Pca::Fit(data);
+  EXPECT_GT(pca.explained_variance_ratio()[0], 0.9);
+  const linalg::Matrix projected = pca.Transform(data, 2);
+  EXPECT_EQ(projected.rows(), 200u);
+  EXPECT_EQ(projected.cols(), 2u);
+}
+
+TEST(Pfa, SelectsRequestedNumber) {
+  stats::Rng rng(16);
+  linalg::Matrix data(60, 4);
+  for (std::size_t i = 0; i < data.size(); ++i) data.data()[i] = rng.Gaussian();
+  const auto selected = PrincipalFeatureSelect(data, 10);
+  EXPECT_LE(selected.size(), 10u);
+  EXPECT_GE(selected.size(), 5u);
+  for (std::size_t idx : selected) EXPECT_LT(idx, 60u);
+}
+
+TEST(Pfa, ExplainedVarianceSelection) {
+  const std::vector<double> variances = {10.0, 5.0, 1.0, 0.5, 0.25};
+  const auto selected = SelectByExplainedVariance(variances, 0.9);
+  // 10+5 = 15 of 16.75 total = 89.5%, so the third is needed.
+  EXPECT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0], 0u);
+  EXPECT_EQ(selected[1], 1u);
+  EXPECT_EQ(selected[2], 2u);
+}
+
+}  // namespace
+}  // namespace tfb::characterization

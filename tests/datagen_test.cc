@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "tfb/characterization/adf.h"
+#include "tfb/characterization/features.h"
+#include "tfb/datagen/generator.h"
+#include "tfb/datagen/registry.h"
+#include "tfb/stats/descriptive.h"
+
+namespace tfb::datagen {
+namespace {
+
+TEST(Generator, LengthAndDeterminism) {
+  SeriesSpec spec;
+  spec.length = 100;
+  stats::Rng rng_a(1);
+  stats::Rng rng_b(1);
+  const auto a = GenerateSeries(spec, rng_a);
+  const auto b = GenerateSeries(spec, rng_b);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generator, TrendKnobProducesTrend) {
+  SeriesSpec spec;
+  spec.length = 400;
+  spec.trend_slope = 0.05;
+  spec.noise_std = 0.3;
+  stats::Rng rng(2);
+  const auto x = GenerateSeries(spec, rng);
+  EXPECT_GT(characterization::TrendStrength(x), 0.8);
+}
+
+TEST(Generator, SeasonKnobProducesSeasonality) {
+  SeriesSpec spec;
+  spec.length = 480;
+  spec.period = 24;
+  spec.season_amplitude = 3.0;
+  spec.noise_std = 0.3;
+  stats::Rng rng(3);
+  const auto x = GenerateSeries(spec, rng);
+  EXPECT_GT(characterization::SeasonalityStrength(x, 24), 0.8);
+}
+
+TEST(Generator, ShiftKnobProducesShift) {
+  SeriesSpec base;
+  base.length = 400;
+  base.noise_std = 1.0;
+  stats::Rng rng(4);
+  const auto flat = GenerateSeries(base, rng);
+
+  SeriesSpec shifted = base;
+  shifted.shift_position = 0.5;
+  shifted.shift_magnitude = 6.0;
+  stats::Rng rng2(4);
+  const auto jump = GenerateSeries(shifted, rng2);
+  EXPECT_GT(std::fabs(characterization::ShiftingValue(jump) - 0.5),
+            std::fabs(characterization::ShiftingValue(flat) - 0.5));
+}
+
+TEST(Generator, RandomWalkKnobBreaksStationarity) {
+  SeriesSpec spec;
+  spec.length = 500;
+  spec.noise_std = 0.1;
+  spec.random_walk_std = 1.0;
+  stats::Rng rng(5);
+  const auto x = GenerateSeries(spec, rng);
+  EXPECT_FALSE(characterization::IsStationary(x));
+}
+
+TEST(Generator, MultivariateShape) {
+  MultivariateSpec spec;
+  spec.factor_spec.length = 200;
+  spec.num_variables = 5;
+  stats::Rng rng(6);
+  const ts::TimeSeries s = GenerateMultivariate(spec, rng);
+  EXPECT_EQ(s.length(), 200u);
+  EXPECT_EQ(s.num_variables(), 5u);
+}
+
+TEST(Generator, FactorShareControlsCrossCorrelation) {
+  auto mean_abs_corr = [](const ts::TimeSeries& s) {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < s.num_variables(); ++i) {
+      for (std::size_t j = i + 1; j < s.num_variables(); ++j) {
+        const auto a = s.Column(i);
+        const auto b = s.Column(j);
+        total += std::fabs(stats::PearsonCorrelation(a, b));
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  MultivariateSpec high;
+  high.factor_spec.length = 600;
+  high.factor_spec.period = 24;
+  high.factor_spec.season_amplitude = 2.0;
+  high.num_variables = 6;
+  high.factor_share = 0.95;
+  high.idiosyncratic_std = 0.2;
+  MultivariateSpec low = high;
+  low.factor_share = 0.1;
+  low.idiosyncratic_std = 1.5;
+  stats::Rng rng(7);
+  const double c_high = mean_abs_corr(GenerateMultivariate(high, rng));
+  const double c_low = mean_abs_corr(GenerateMultivariate(low, rng));
+  EXPECT_GT(c_high, c_low + 0.2);
+}
+
+TEST(Registry, TwentyFiveProfilesMatchingTable5) {
+  const auto& profiles = MultivariateProfiles();
+  ASSERT_EQ(profiles.size(), 25u);
+  // Spot-check Table 5 metadata.
+  const auto etth2 = FindProfile("ETTh2");
+  ASSERT_TRUE(etth2.has_value());
+  EXPECT_EQ(etth2->paper_length, 14400u);
+  EXPECT_EQ(etth2->paper_dim, 7u);
+  EXPECT_EQ(etth2->domain, ts::Domain::kElectricity);
+  const auto wike = FindProfile("Wike2000");
+  ASSERT_TRUE(wike.has_value());
+  EXPECT_EQ(wike->paper_dim, 2000u);
+  EXPECT_EQ(wike->domain, ts::Domain::kWeb);
+  // All 10 domains are covered (Issue 1 / Figure 2).
+  std::set<ts::Domain> domains;
+  for (const auto& p : profiles) domains.insert(p.domain);
+  EXPECT_EQ(domains.size(), 10u);
+}
+
+TEST(Registry, GenerateDatasetIsDeterministicPerName) {
+  const auto profile = *FindProfile("NASDAQ");
+  const ts::TimeSeries a = GenerateDataset(profile, 7);
+  const ts::TimeSeries b = GenerateDataset(profile, 7);
+  ASSERT_EQ(a.length(), b.length());
+  for (std::size_t t = 0; t < a.length(); ++t) {
+    for (std::size_t v = 0; v < a.num_variables(); ++v) {
+      EXPECT_DOUBLE_EQ(a.at(t, v), b.at(t, v));
+    }
+  }
+  EXPECT_EQ(a.name(), "NASDAQ");
+  EXPECT_EQ(a.domain(), ts::Domain::kStock);
+}
+
+TEST(Registry, CharacteristicExtremesMatchFigure8) {
+  // FRED-MD should be the most trending; its generated series must show a
+  // clearly higher trend strength than a traffic profile.
+  const ts::TimeSeries fred = GenerateDataset(*FindProfile("FRED-MD"));
+  const ts::TimeSeries pems = GenerateDataset(*FindProfile("PEMS08"));
+  const auto c_fred =
+      characterization::Characterize(fred, 0, /*max_variables=*/4);
+  const auto c_pems =
+      characterization::Characterize(pems, 0, /*max_variables=*/4);
+  EXPECT_GT(c_fred.trend, c_pems.trend);
+  EXPECT_GT(c_pems.seasonality, c_fred.seasonality);
+}
+
+TEST(Registry, EvaluationHorizons) {
+  const auto etth1 = *FindProfile("ETTh1");
+  EXPECT_EQ(EvaluationHorizons(etth1),
+            (std::vector<std::size_t>{96, 192, 336, 720}));
+  const auto ili = *FindProfile("ILI");
+  EXPECT_EQ(EvaluationHorizons(ili),
+            (std::vector<std::size_t>{24, 36, 48, 60}));
+  EXPECT_EQ(EvaluationHorizons(etth1, 0.25),
+            (std::vector<std::size_t>{24, 48, 84, 180}));
+}
+
+TEST(Registry, UnivariateCollectionStratification) {
+  UnivariateCollectionOptions options;
+  options.scale = 0.02;  // small for test speed
+  const auto entries = GenerateUnivariateCollection(options);
+  EXPECT_GT(entries.size(), 100u);
+  // All frequencies of Table 4 present, horizons match the table.
+  std::map<ts::Frequency, std::size_t> horizon_by_freq;
+  for (const auto& e : entries) {
+    horizon_by_freq[e.series.frequency()] = e.horizon;
+    EXPECT_GT(e.series.length(), 0u);
+  }
+  EXPECT_EQ(horizon_by_freq[ts::Frequency::kYearly], 6u);
+  EXPECT_EQ(horizon_by_freq[ts::Frequency::kMonthly], 18u);
+  EXPECT_EQ(horizon_by_freq[ts::Frequency::kHourly], 48u);
+  EXPECT_EQ(horizon_by_freq.size(), 7u);
+}
+
+TEST(Registry, UnivariatePfaReducesPool) {
+  UnivariateCollectionOptions plain;
+  plain.scale = 0.02;
+  UnivariateCollectionOptions pfa = plain;
+  pfa.apply_pfa = true;
+  const auto a = GenerateUnivariateCollection(plain);
+  const auto b = GenerateUnivariateCollection(pfa);
+  EXPECT_EQ(a.size(), b.size());  // PFA selects down to the same count
+}
+
+TEST(Registry, FrequencyTableMatchesTable4) {
+  const auto& table = UnivariateFrequencyTable();
+  ASSERT_EQ(table.size(), 7u);
+  std::size_t total = 0;
+  for (const auto& row : table) total += row.paper_count;
+  EXPECT_EQ(total, 8068u);  // the paper's 8,068 univariate series
+}
+
+}  // namespace
+}  // namespace tfb::datagen

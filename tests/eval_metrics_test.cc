@@ -1,0 +1,190 @@
+// Tests of the eight evaluation metrics against hand-computed values of
+// Equations 7-14, including the parameterized property sweep.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tfb/eval/metrics.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::eval {
+namespace {
+
+const std::vector<double> kForecast = {2.0, 4.0, 6.0};
+const std::vector<double> kActual = {1.0, 5.0, 6.0};
+
+TEST(Metrics, MaeHandComputed) {
+  // |2-1| + |4-5| + |6-6| = 2; / 3.
+  EXPECT_NEAR(ComputeMetric(Metric::kMae, kForecast, kActual), 2.0 / 3.0,
+              1e-12);
+}
+
+TEST(Metrics, MseAndRmse) {
+  // (1 + 1 + 0)/3.
+  EXPECT_NEAR(ComputeMetric(Metric::kMse, kForecast, kActual), 2.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(ComputeMetric(Metric::kRmse, kForecast, kActual),
+              std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(Metrics, MapeHandComputed) {
+  // (1/1 + 1/5 + 0)/3 * 100 = 40%.
+  EXPECT_NEAR(ComputeMetric(Metric::kMape, kForecast, kActual), 40.0, 1e-9);
+}
+
+TEST(Metrics, MapeInfOnZeroActual) {
+  EXPECT_TRUE(std::isinf(
+      ComputeMetric(Metric::kMape, {1.0}, {0.0})));
+}
+
+TEST(Metrics, SmapeHandComputed) {
+  // 2*|f-y|/(|y|+|f|): 2/3, 2/9, 0; mean * 100.
+  const double expected = (2.0 / 3.0 + 2.0 / 9.0 + 0.0) / 3.0 * 100.0;
+  EXPECT_NEAR(ComputeMetric(Metric::kSmape, kForecast, kActual), expected,
+              1e-9);
+}
+
+TEST(Metrics, WapeHandComputed) {
+  // sum|err| / sum|y| = 2 / 12.
+  EXPECT_NEAR(ComputeMetric(Metric::kWape, kForecast, kActual), 2.0 / 12.0,
+              1e-12);
+}
+
+TEST(Metrics, MsmapeHandComputed) {
+  // denom_k = max(|y|+|f|+0.1, 0.6)/2.
+  const double d1 = std::max(3.0 + 0.1, 0.6) / 2.0;
+  const double d2 = std::max(9.0 + 0.1, 0.6) / 2.0;
+  const double d3 = std::max(12.0 + 0.1, 0.6) / 2.0;
+  const double expected = (1.0 / d1 + 1.0 / d2 + 0.0 / d3) / 3.0 * 100.0;
+  EXPECT_NEAR(ComputeMetric(Metric::kMsmape, kForecast, kActual), expected,
+              1e-9);
+}
+
+TEST(Metrics, MsmapeBoundedNearZeroActuals) {
+  // Unlike MAPE/SMAPE, MSMAPE stays finite at zero actuals (its purpose).
+  const double v = ComputeMetric(Metric::kMsmape, {0.5}, {0.0});
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Metrics, MaseHandComputed) {
+  MetricContext ctx;
+  ctx.train = {{1.0, 3.0, 2.0, 5.0}};
+  ctx.seasonality = 1;
+  // Denominator: mean |diff| = (2 + 1 + 3)/3 = 2.
+  // Numerator: mean |err| = 2/3. MASE = (2/3)/2 = 1/3.
+  EXPECT_NEAR(ComputeMetric(Metric::kMase, kForecast, kActual, ctx),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, MaseSeasonalDenominator) {
+  MetricContext ctx;
+  ctx.train = {{1.0, 2.0, 3.0, 4.0, 5.0, 6.0}};
+  ctx.seasonality = 2;
+  // |y_k - y_{k-2}| = 2,2,2,2 -> mean 2.
+  const double v = ComputeMetric(Metric::kMase, {7.0}, {9.0}, ctx);
+  EXPECT_NEAR(v, 2.0 / 2.0, 1e-12);
+}
+
+TEST(Metrics, MaseOfSeasonalNaiveIsAboutOne) {
+  // Forecasting with the seasonal naive on data like training data yields
+  // MASE near 1 by construction.
+  stats::Rng rng(1);
+  std::vector<double> train(200);
+  for (std::size_t t = 0; t < train.size(); ++t) {
+    train[t] = std::sin(2.0 * M_PI * t / 10.0) + rng.Gaussian(0.0, 0.5);
+  }
+  std::vector<double> actual(10);
+  std::vector<double> forecast(10);
+  for (std::size_t k = 0; k < 10; ++k) {
+    actual[k] = std::sin(2.0 * M_PI * (200 + k) / 10.0) +
+                rng.Gaussian(0.0, 0.5);
+    forecast[k] = train[190 + k];  // seasonal naive with S=10
+  }
+  MetricContext ctx;
+  ctx.train = {train};
+  ctx.seasonality = 10;
+  const double mase = ComputeMetric(Metric::kMase, forecast, actual, ctx);
+  EXPECT_GT(mase, 0.3);
+  EXPECT_LT(mase, 3.0);
+}
+
+TEST(Metrics, MultivariateAveragesChannels) {
+  linalg::Matrix f(2, 2);
+  linalg::Matrix y(2, 2);
+  // Channel 0: error 1 each step; channel 1: error 3 each step.
+  f(0, 0) = 1.0; y(0, 0) = 0.0;
+  f(1, 0) = 1.0; y(1, 0) = 0.0;
+  f(0, 1) = 3.0; y(0, 1) = 0.0;
+  f(1, 1) = 3.0; y(1, 1) = 0.0;
+  EXPECT_NEAR(ComputeMetric(Metric::kMae, ts::TimeSeries(std::move(f)),
+                            ts::TimeSeries(std::move(y))),
+              2.0, 1e-12);
+}
+
+TEST(Metrics, NamesAreCanonical) {
+  EXPECT_EQ(MetricName(Metric::kMae), "mae");
+  EXPECT_EQ(MetricName(Metric::kMsmape), "msmape");
+  EXPECT_EQ(AllMetrics().size(), 8u);
+}
+
+// Property sweep: every metric is non-negative and exactly zero for a
+// perfect forecast (MASE requires a training context).
+class MetricPropertyTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricPropertyTest, ZeroForPerfectForecast) {
+  const Metric metric = GetParam();
+  stats::Rng rng(7);
+  std::vector<double> y(20);
+  for (double& v : y) v = 1.0 + rng.Uniform();  // keep away from 0
+  MetricContext ctx;
+  ctx.train = {{1.0, 2.0, 1.5, 2.5, 1.8, 2.2}};
+  const double v = ComputeMetric(metric, y, y, ctx);
+  EXPECT_NEAR(v, 0.0, 1e-12) << MetricName(metric);
+}
+
+TEST_P(MetricPropertyTest, NonNegativeOnRandomData) {
+  const Metric metric = GetParam();
+  stats::Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> f(10);
+    std::vector<double> y(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+      f[i] = rng.Gaussian(5.0, 2.0);
+      y[i] = rng.Gaussian(5.0, 2.0);
+    }
+    MetricContext ctx;
+    ctx.train = {{1.0, 2.0, 3.0, 2.0, 1.0}};
+    EXPECT_GE(ComputeMetric(metric, f, y, ctx), 0.0) << MetricName(metric);
+  }
+}
+
+TEST_P(MetricPropertyTest, MonotoneInErrorScale) {
+  // Doubling the forecast error must not reduce any metric.
+  const Metric metric = GetParam();
+  stats::Rng rng(9);
+  std::vector<double> y(12);
+  for (double& v : y) v = 5.0 + rng.Uniform();
+  std::vector<double> f_small(12);
+  std::vector<double> f_large(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    const double err = rng.Gaussian(0.0, 0.1);
+    f_small[i] = y[i] + err;
+    f_large[i] = y[i] + 2.0 * err;
+  }
+  MetricContext ctx;
+  ctx.train = {{1.0, 2.0, 3.0, 2.0, 1.0, 2.5}};
+  EXPECT_LE(ComputeMetric(metric, f_small, y, ctx),
+            ComputeMetric(metric, f_large, y, ctx) + 1e-9)
+      << MetricName(metric);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEightMetrics, MetricPropertyTest,
+                         ::testing::ValuesIn(AllMetrics()),
+                         [](const ::testing::TestParamInfo<Metric>& info) {
+                           return MetricName(info.param);
+                         });
+
+}  // namespace
+}  // namespace tfb::eval

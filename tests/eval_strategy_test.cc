@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "tfb/eval/strategy.h"
+#include "tfb/methods/naive.h"
+#include "tfb/methods/ml/linear_regression.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::eval {
+namespace {
+
+ts::TimeSeries SeasonalSeries(std::size_t n, std::size_t period,
+                              std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = 10.0 + 3.0 * std::sin(2.0 * M_PI * t / period) +
+           rng.Gaussian(0.0, 0.3);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(period);
+  return s;
+}
+
+TEST(FixedStrategy, EvaluatesLastHorizon) {
+  const ts::TimeSeries s = SeasonalSeries(200, 12, 1);
+  methods::NaiveForecaster naive;
+  FixedOptions options;
+  options.metrics = {Metric::kMae, Metric::kMase, Metric::kMsmape};
+  const EvalResult r = FixedForecastEvaluate(naive, s, 12, options);
+  EXPECT_EQ(r.num_windows, 1u);
+  EXPECT_GT(r.metrics.at(Metric::kMae), 0.0);
+  EXPECT_TRUE(std::isfinite(r.metrics.at(Metric::kMase)));
+  EXPECT_TRUE(std::isfinite(r.metrics.at(Metric::kMsmape)));
+}
+
+TEST(RollingStrategy, WindowCountMatchesStride) {
+  const ts::TimeSeries s = SeasonalSeries(300, 12, 2);
+  RollingOptions options;
+  options.split = ts::SplitRatio::Ratio712();
+  options.stride = 10;
+  const methods::ForecasterFactory factory = [] {
+    return std::make_unique<methods::NaiveForecaster>();
+  };
+  const EvalResult r = RollingForecastEvaluate(factory, s, 10, options);
+  // Test region starts at 240 (0.8*300), origins at 240,250,...,290.
+  EXPECT_EQ(r.num_windows, 6u);
+}
+
+TEST(RollingStrategy, MaxWindowsCaps) {
+  const ts::TimeSeries s = SeasonalSeries(300, 12, 3);
+  RollingOptions options;
+  options.stride = 5;
+  options.max_windows = 4;
+  const methods::ForecasterFactory factory = [] {
+    return std::make_unique<methods::NaiveForecaster>();
+  };
+  const EvalResult r = RollingForecastEvaluate(factory, s, 10, options);
+  EXPECT_EQ(r.num_windows, 4u);
+}
+
+TEST(RollingStrategy, DropLastDiscardsIncompleteBatch) {
+  const ts::TimeSeries s = SeasonalSeries(400, 12, 4);
+  RollingOptions base;
+  base.stride = 5;
+  base.batch_size = 4;
+  const methods::ForecasterFactory factory = [] {
+    return std::make_unique<methods::NaiveForecaster>();
+  };
+  RollingOptions keep = base;
+  keep.drop_last = false;
+  RollingOptions drop = base;
+  drop.drop_last = true;
+  const EvalResult with_all = RollingForecastEvaluate(factory, s, 7, keep);
+  const EvalResult dropped = RollingForecastEvaluate(factory, s, 7, drop);
+  EXPECT_EQ(dropped.num_windows % 4, 0u);
+  EXPECT_LE(dropped.num_windows, with_all.num_windows);
+  // Unless the count was already a multiple of 4, results differ — the
+  // Table 2 unfairness.
+  if (with_all.num_windows % 4 != 0) {
+    EXPECT_NE(dropped.num_windows, with_all.num_windows);
+  }
+}
+
+TEST(RollingStrategy, NormalizationUsesTrainStatistics) {
+  // A series with a huge level: normalized evaluation must produce MAE on
+  // the z-scored scale (order of magnitude ~1, not ~1000).
+  stats::Rng rng(5);
+  std::vector<double> x(300);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 5000.0 + 100.0 * rng.Gaussian();
+  }
+  const ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  RollingOptions options;
+  const methods::ForecasterFactory factory = [] {
+    return std::make_unique<methods::NaiveForecaster>();
+  };
+  const EvalResult r = RollingForecastEvaluate(factory, s, 8, options);
+  EXPECT_LT(r.metrics.at(Metric::kMae), 10.0);
+}
+
+TEST(RollingStrategy, RefitMethodsSeeGrowingHistory) {
+  // A forecaster that records its training lengths: each refit must see a
+  // strictly longer history (the expanding-window protocol of Fig. 6b).
+  struct Recorder : methods::Forecaster {
+    std::vector<std::size_t>* lengths;
+    explicit Recorder(std::vector<std::size_t>* l) : lengths(l) {}
+    std::string name() const override { return "Recorder"; }
+    void Fit(const ts::TimeSeries& train) override {
+      lengths->push_back(train.length());
+    }
+    ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                            std::size_t horizon) override {
+      return ts::TimeSeries(
+          linalg::Matrix(horizon, history.num_variables()));
+    }
+    bool RefitPerWindow() const override { return true; }
+  };
+  auto lengths = std::make_shared<std::vector<std::size_t>>();
+  const ts::TimeSeries s = SeasonalSeries(200, 12, 6);
+  RollingOptions options;
+  options.stride = 10;
+  const methods::ForecasterFactory factory = [lengths] {
+    return std::make_unique<Recorder>(lengths.get());
+  };
+  RollingForecastEvaluate(factory, s, 10, options);
+  ASSERT_GE(lengths->size(), 2u);
+  for (std::size_t i = 1; i < lengths->size(); ++i) {
+    EXPECT_EQ((*lengths)[i], (*lengths)[i - 1] + 10);
+  }
+}
+
+TEST(RollingStrategy, NonRefitMethodsFitOnce) {
+  const ts::TimeSeries s = SeasonalSeries(400, 12, 7);
+  methods::LinearRegressionOptions lr_options;
+  lr_options.horizon = 10;
+  const methods::ForecasterFactory factory = [lr_options] {
+    return std::make_unique<methods::LinearRegressionForecaster>(lr_options);
+  };
+  const EvalResult r = RollingForecastEvaluate(factory, s, 10, {});
+  EXPECT_GT(r.num_windows, 1u);
+  EXPECT_GT(r.fit_seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(r.metrics.at(Metric::kMae)));
+}
+
+TEST(RollingStrategy, BetterModelScoresBetter) {
+  const ts::TimeSeries s = SeasonalSeries(500, 24, 8);
+  RollingOptions options;
+  const methods::ForecasterFactory naive = [] {
+    return std::make_unique<methods::NaiveForecaster>();
+  };
+  const methods::ForecasterFactory seasonal = [] {
+    return std::make_unique<methods::SeasonalNaiveForecaster>();
+  };
+  const double mae_naive =
+      RollingForecastEvaluate(naive, s, 24, options).metrics.at(Metric::kMae);
+  const double mae_seasonal =
+      RollingForecastEvaluate(seasonal, s, 24, options)
+          .metrics.at(Metric::kMae);
+  EXPECT_LT(mae_seasonal, mae_naive);
+}
+
+TEST(RollingStrategy, TimingFieldsPopulated) {
+  const ts::TimeSeries s = SeasonalSeries(300, 12, 9);
+  const methods::ForecasterFactory factory = [] {
+    return std::make_unique<methods::SeasonalNaiveForecaster>();
+  };
+  const EvalResult r = RollingForecastEvaluate(factory, s, 12, {});
+  EXPECT_GT(r.num_windows, 0u);
+  EXPECT_GE(r.inference_seconds, 0.0);
+  EXPECT_GE(r.inference_ms_per_window(), 0.0);
+}
+
+}  // namespace
+}  // namespace tfb::eval

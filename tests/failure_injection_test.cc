@@ -1,0 +1,180 @@
+// Failure-injection and edge-case sweep: the pipeline must behave sanely on
+// hostile inputs — gaps (NaN/inf) repaired through the imputation path,
+// constant series, extreme magnitudes, near-singular multivariate data, and
+// minimum-length series — without crashing or silently emitting garbage.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tfb/tfb.h"
+
+namespace tfb {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+ts::TimeSeries CleanSeries(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::sin(2.0 * M_PI * t / 12.0) + rng.Gaussian(0.0, 0.2);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(12);
+  return s;
+}
+
+TEST(FailureInjection, GappySeriesRepairedThenForecastable) {
+  ts::TimeSeries s = CleanSeries(300, 1);
+  // Punch holes: 10% missing, including a long run.
+  stats::Rng rng(2);
+  for (std::size_t t = 0; t < s.length(); ++t) {
+    if (rng.Bernoulli(0.1)) s.at(t, 0) = kNan;
+  }
+  for (std::size_t t = 100; t < 120; ++t) s.at(t, 0) = kNan;
+  ASSERT_GT(ts::CountMissing(s), 20u);
+
+  const ts::TimeSeries repaired = ts::Impute(s, ts::ImputeKind::kLinear);
+  ASSERT_EQ(ts::CountMissing(repaired), 0u);
+
+  methods::ThetaForecaster theta;
+  theta.Fit(repaired);
+  const ts::TimeSeries f = theta.Forecast(repaired, 12);
+  for (std::size_t h = 0; h < 12; ++h) {
+    EXPECT_TRUE(std::isfinite(f.at(h, 0)));
+  }
+}
+
+TEST(FailureInjection, ConstantSeriesAcrossParadigms) {
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::vector<double>(200, 5.0));
+  s.set_seasonal_period(12);
+  for (const char* method :
+       {"Naive", "Theta", "ETS", "ARIMA", "LinearRegression", "NLinear",
+        "StationaryMLP"}) {
+    pipeline::MethodParams params;
+    params.horizon = 6;
+    params.train_epochs = 2;
+    const auto config = pipeline::MakeMethod(method, params);
+    auto model = config->factory();
+    model->Fit(s);
+    const ts::TimeSeries f = model->Forecast(s, 6);
+    for (std::size_t h = 0; h < 6; ++h) {
+      EXPECT_TRUE(std::isfinite(f.at(h, 0))) << method;
+      EXPECT_NEAR(f.at(h, 0), 5.0, 1.0) << method;
+    }
+  }
+}
+
+TEST(FailureInjection, ExtremeMagnitudesSurviveNormalizedPipeline) {
+  // Values around 1e9: the scaler must bring everything into sane range
+  // and the reported metrics must be normalized-scale, not raw-scale.
+  ts::TimeSeries s = CleanSeries(300, 3);
+  for (std::size_t t = 0; t < s.length(); ++t) {
+    s.at(t, 0) = 1e9 + 1e7 * s.at(t, 0);
+  }
+  const methods::ForecasterFactory factory = [] {
+    return std::make_unique<methods::SeasonalNaiveForecaster>();
+  };
+  const eval::EvalResult r = eval::RollingForecastEvaluate(factory, s, 12, {});
+  EXPECT_TRUE(std::isfinite(r.metrics.at(eval::Metric::kMae)));
+  EXPECT_LT(r.metrics.at(eval::Metric::kMae), 100.0);
+}
+
+TEST(FailureInjection, ZeroVarianceChannelInMultivariate) {
+  linalg::Matrix m(240, 3);
+  stats::Rng rng(4);
+  for (std::size_t t = 0; t < 240; ++t) {
+    m(t, 0) = std::sin(2.0 * M_PI * t / 12.0) + rng.Gaussian(0.0, 0.1);
+    m(t, 1) = 7.0;  // dead sensor
+    m(t, 2) = rng.Gaussian();
+  }
+  ts::TimeSeries s{std::move(m)};
+  s.set_seasonal_period(12);
+  for (const char* method : {"VAR", "LinearRegression", "NLinear", "ETS"}) {
+    pipeline::MethodParams params;
+    params.horizon = 6;
+    params.train_epochs = 2;
+    const auto config = pipeline::MakeMethod(method, params);
+    auto model = config->factory();
+    model->Fit(s);
+    const ts::TimeSeries f = model->Forecast(s, 6);
+    for (std::size_t h = 0; h < 6; ++h) {
+      for (std::size_t v = 0; v < 3; ++v) {
+        EXPECT_TRUE(std::isfinite(f.at(h, v))) << method;
+      }
+    }
+  }
+}
+
+TEST(FailureInjection, MinimumLengthSeries) {
+  // Statistical methods must degrade gracefully on very short input.
+  const ts::TimeSeries s = ts::TimeSeries::Univariate(
+      {1.0, 2.0, 3.0, 2.0, 1.0, 2.0, 3.0, 2.0, 1.0, 2.0, 3.0, 2.0});
+  for (const char* method : {"Naive", "Drift", "Mean", "Theta", "ETS"}) {
+    const auto config = pipeline::MakeMethod(method, {});
+    auto model = config->factory();
+    model->Fit(s);
+    const ts::TimeSeries f = model->Forecast(s, 4);
+    EXPECT_EQ(f.length(), 4u);
+    for (std::size_t h = 0; h < 4; ++h) {
+      EXPECT_TRUE(std::isfinite(f.at(h, 0))) << method;
+    }
+  }
+}
+
+TEST(FailureInjection, HeavyTailedSpikesDoNotExplodeForecasts) {
+  ts::TimeSeries s = CleanSeries(400, 5);
+  // Inject occasional 50-sigma spikes.
+  stats::Rng rng(6);
+  for (std::size_t t = 0; t < s.length(); t += 67) {
+    s.at(t, 0) += 50.0 * (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+  }
+  for (const char* method : {"Theta", "LinearRegression", "NLinear"}) {
+    pipeline::MethodParams params;
+    params.horizon = 8;
+    params.train_epochs = 3;
+    const auto config = pipeline::MakeMethod(method, params);
+    auto model = config->factory();
+    model->Fit(s);
+    const ts::TimeSeries f = model->Forecast(s, 8);
+    for (std::size_t h = 0; h < 8; ++h) {
+      EXPECT_TRUE(std::isfinite(f.at(h, 0))) << method;
+      EXPECT_LT(std::fabs(f.at(h, 0)), 500.0) << method;
+    }
+  }
+}
+
+TEST(FailureInjection, CharacterizationOnDegenerateInputs) {
+  using namespace characterization;
+  // Constant, tiny, and spike-only series must yield finite characteristics.
+  const std::vector<ts::TimeSeries> inputs = {
+      ts::TimeSeries::Univariate(std::vector<double>(100, 1.0)),
+      ts::TimeSeries::Univariate({1.0, 2.0, 3.0}),
+      [] {
+        std::vector<double> x(100, 0.0);
+        x[50] = 1000.0;
+        return ts::TimeSeries::Univariate(std::move(x));
+      }(),
+  };
+  for (const auto& s : inputs) {
+    const Characteristics c = Characterize(s);
+    EXPECT_TRUE(std::isfinite(c.trend));
+    EXPECT_TRUE(std::isfinite(c.seasonality));
+    EXPECT_TRUE(std::isfinite(c.shifting));
+    EXPECT_TRUE(std::isfinite(c.transition));
+  }
+}
+
+TEST(FailureInjection, RollingOnShortestViableSeries) {
+  const ts::TimeSeries s = CleanSeries(40, 7);
+  const methods::ForecasterFactory factory = [] {
+    return std::make_unique<methods::NaiveForecaster>();
+  };
+  const eval::EvalResult r = eval::RollingForecastEvaluate(factory, s, 4, {});
+  EXPECT_GE(r.num_windows, 1u);
+}
+
+}  // namespace
+}  // namespace tfb

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/fft/fft.h"
+#include "tfb/stats/descriptive.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::fft {
+namespace {
+
+TEST(Fft, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(Fft, RoundTrip) {
+  stats::Rng rng(1);
+  std::vector<Complex> x(64);
+  std::vector<Complex> original(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x[i] = Complex(rng.Gaussian(), rng.Gaussian());
+    original[i] = x[i];
+  }
+  Fft(x, false);
+  Fft(x, true);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  stats::Rng rng(2);
+  const std::size_t n = 16;
+  std::vector<Complex> x(n);
+  for (auto& c : x) c = Complex(rng.Gaussian(), 0.0);
+  std::vector<Complex> fast = x;
+  Fft(fast, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex slow(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * M_PI * k * t / n;
+      slow += x[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    EXPECT_NEAR(fast[k].real(), slow.real(), 1e-9);
+    EXPECT_NEAR(fast[k].imag(), slow.imag(), 1e-9);
+  }
+}
+
+TEST(Fft, AutocorrelationMatchesDirect) {
+  stats::Rng rng(3);
+  std::vector<double> x(200);
+  for (double& v : x) v = rng.Gaussian();
+  const auto acf = AutocorrelationFft(x);
+  ASSERT_EQ(acf.size(), x.size());
+  EXPECT_NEAR(acf[0], 1.0, 1e-10);
+  for (std::size_t lag : {1u, 5u, 17u}) {
+    EXPECT_NEAR(acf[lag], stats::Autocorrelation(x, lag), 1e-9);
+  }
+}
+
+TEST(Fft, AutocorrelationOfConstantIsZero) {
+  const std::vector<double> x(50, 2.0);
+  const auto acf = AutocorrelationFft(x);
+  for (double v : acf) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Fft, FirstZeroOfSine) {
+  // sin(2*pi*t/40): ACF crosses zero near a quarter period (lag 10).
+  std::vector<double> x(400);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = std::sin(2.0 * M_PI * t / 40.0);
+  }
+  const std::size_t z = FirstZeroAutocorrelation(x);
+  EXPECT_NEAR(static_cast<double>(z), 10.0, 2.0);
+}
+
+TEST(Fft, PeriodogramPeakAtSignalFrequency) {
+  const std::size_t period = 16;  // divides padded length exactly
+  std::vector<double> x(256);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = std::sin(2.0 * M_PI * t / period);
+  }
+  const auto power = Periodogram(x);
+  // Peak bin should be k = padded/period = 256/16 = 16.
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    if (power[k] > power[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 16u);
+}
+
+TEST(Fft, EstimatePeriodRecoversSeasonality) {
+  stats::Rng rng(4);
+  for (const std::size_t period : {12u, 24u, 48u}) {
+    std::vector<double> x(period * 20);
+    for (std::size_t t = 0; t < x.size(); ++t) {
+      x[t] = 3.0 * std::sin(2.0 * M_PI * t / period) +
+             rng.Gaussian(0.0, 0.3);
+    }
+    const std::size_t detected = EstimatePeriod(x);
+    EXPECT_NEAR(static_cast<double>(detected), static_cast<double>(period),
+                2.0)
+        << "period " << period;
+  }
+}
+
+TEST(Fft, EstimatePeriodReturnsOneForNoise) {
+  stats::Rng rng(5);
+  std::vector<double> x(512);
+  for (double& v : x) v = rng.Gaussian();
+  EXPECT_EQ(EstimatePeriod(x), 1u);
+}
+
+}  // namespace
+}  // namespace tfb::fft

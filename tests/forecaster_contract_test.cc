@@ -1,0 +1,134 @@
+// Parameterized contract sweep: EVERY registered method must honour the
+// Forecaster interface — correct output shapes, finite forecasts on benign
+// data, determinism under a fixed seed, multivariate support, and graceful
+// IMS extension — across univariate and multivariate inputs. One TEST_P
+// family instantiated for all 22 registry methods.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/pipeline/method_registry.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::pipeline {
+namespace {
+
+ts::TimeSeries BenignSeries(std::size_t length, std::size_t channels,
+                            std::uint64_t seed) {
+  stats::Rng rng(seed);
+  linalg::Matrix m(length, channels);
+  for (std::size_t t = 0; t < length; ++t) {
+    for (std::size_t v = 0; v < channels; ++v) {
+      m(t, v) = 2.0 * std::sin(2.0 * M_PI * (t + 3.0 * v) / 24.0) +
+                0.01 * t + rng.Gaussian(0.0, 0.2);
+    }
+  }
+  ts::TimeSeries s{std::move(m)};
+  s.set_seasonal_period(24);
+  s.set_frequency(ts::Frequency::kHourly);
+  return s;
+}
+
+MethodParams FastParams(std::size_t horizon) {
+  MethodParams params;
+  params.horizon = horizon;
+  params.train_epochs = 3;
+  return params;
+}
+
+class ForecasterContractTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ForecasterContractTest, UnivariateShapeAndFiniteness) {
+  const auto config = MakeMethod(GetParam(), FastParams(8));
+  ASSERT_TRUE(config.has_value());
+  auto model = config->factory();
+  const ts::TimeSeries s = BenignSeries(320, 1, 1);
+  model->Fit(s);
+  const ts::TimeSeries f = model->Forecast(s, 8);
+  ASSERT_EQ(f.length(), 8u);
+  ASSERT_EQ(f.num_variables(), 1u);
+  for (std::size_t h = 0; h < 8; ++h) {
+    EXPECT_TRUE(std::isfinite(f.at(h, 0))) << "h=" << h;
+  }
+}
+
+TEST_P(ForecasterContractTest, MultivariateShape) {
+  const auto config = MakeMethod(GetParam(), FastParams(6));
+  auto model = config->factory();
+  const ts::TimeSeries s = BenignSeries(320, 3, 2);
+  model->Fit(s);
+  const ts::TimeSeries f = model->Forecast(s, 6);
+  ASSERT_EQ(f.length(), 6u);
+  ASSERT_EQ(f.num_variables(), 3u);
+  for (std::size_t h = 0; h < 6; ++h) {
+    for (std::size_t v = 0; v < 3; ++v) {
+      EXPECT_TRUE(std::isfinite(f.at(h, v)));
+    }
+  }
+}
+
+TEST_P(ForecasterContractTest, DeterministicWithFixedSeed) {
+  const ts::TimeSeries s = BenignSeries(280, 2, 3);
+  auto run = [&] {
+    const auto config = MakeMethod(GetParam(), FastParams(5));
+    auto model = config->factory();
+    model->Fit(s);
+    return model->Forecast(s, 5);
+  };
+  const ts::TimeSeries a = run();
+  const ts::TimeSeries b = run();
+  for (std::size_t h = 0; h < 5; ++h) {
+    for (std::size_t v = 0; v < 2; ++v) {
+      EXPECT_DOUBLE_EQ(a.at(h, v), b.at(h, v)) << GetParam();
+    }
+  }
+}
+
+TEST_P(ForecasterContractTest, LongHorizonExtension) {
+  // Horizon longer than any internal DMS width: IMS extension must cover it.
+  const auto config = MakeMethod(GetParam(), FastParams(4));
+  auto model = config->factory();
+  const ts::TimeSeries s = BenignSeries(300, 1, 4);
+  model->Fit(s);
+  const ts::TimeSeries f = model->Forecast(s, 30);
+  ASSERT_EQ(f.length(), 30u);
+  for (std::size_t h = 0; h < 30; ++h) {
+    EXPECT_TRUE(std::isfinite(f.at(h, 0)));
+  }
+}
+
+TEST_P(ForecasterContractTest, ForecastAnchoredToHistoryScale) {
+  // On a bounded, well-behaved series, forecasts must stay within a broad
+  // envelope of the observed range (catches exploding recursions).
+  const auto config = MakeMethod(GetParam(), FastParams(8));
+  auto model = config->factory();
+  const ts::TimeSeries s = BenignSeries(320, 1, 5);
+  model->Fit(s);
+  const ts::TimeSeries f = model->Forecast(s, 8);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (std::size_t t = 0; t < s.length(); ++t) {
+    lo = std::min(lo, s.at(t, 0));
+    hi = std::max(hi, s.at(t, 0));
+  }
+  const double margin = 3.0 * (hi - lo) + 1.0;
+  for (std::size_t h = 0; h < 8; ++h) {
+    EXPECT_GT(f.at(h, 0), lo - margin) << GetParam();
+    EXPECT_LT(f.at(h, 0), hi + margin) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredMethods, ForecasterContractTest,
+    ::testing::ValuesIn(AllMethodNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tfb::pipeline

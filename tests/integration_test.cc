@@ -1,0 +1,139 @@
+// Cross-module integration tests: the full TFB pipeline from synthetic
+// dataset generation through characterization, method evaluation, and
+// reporting — the path every bench binary exercises.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/tfb.h"
+
+namespace tfb {
+namespace {
+
+TEST(Integration, GenerateCharacterizeEvaluateReport) {
+  // 1. Data layer: generate a Table 5 profile.
+  auto profile = *datagen::FindProfile("ILI");
+  profile.length = 500;  // shrink for test speed
+  profile.spec.factor_spec.length = 500;
+  profile.dim = 4;
+  profile.spec.num_variables = 4;
+  const ts::TimeSeries series = datagen::GenerateDataset(profile);
+  ASSERT_EQ(series.length(), 500u);
+
+  // 2. Characterization layer.
+  const auto c = characterization::Characterize(series, 0, 3);
+  EXPECT_GE(c.seasonality, 0.0);
+  EXPECT_LE(c.seasonality, 1.0);
+
+  // 3. Method + evaluation layer through the runner.
+  std::vector<pipeline::BenchmarkTask> tasks;
+  for (const char* method : {"SeasonalNaive", "VAR", "LinearRegression"}) {
+    pipeline::BenchmarkTask task;
+    task.dataset = profile.name;
+    task.series = series;
+    task.method = method;
+    task.horizon = 12;
+    task.rolling.split = profile.split;
+    task.rolling.max_windows = 3;
+    tasks.push_back(std::move(task));
+  }
+  const auto rows = pipeline::BenchmarkRunner().Run(tasks);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    ASSERT_TRUE(row.ok) << row.method << ": " << row.error;
+    EXPECT_TRUE(std::isfinite(row.metrics.at(eval::Metric::kMae)))
+        << row.method;
+  }
+
+  // 4. Reporting layer.
+  const auto wins = report::CountWins(rows, eval::Metric::kMae);
+  std::size_t total_wins = 0;
+  for (const auto& [method, count] : wins) total_wins += count;
+  EXPECT_EQ(total_wins, 1u);  // one dataset/horizon cell
+}
+
+TEST(Integration, UnivariateFixedPipeline) {
+  // Generate a small univariate collection and run the fixed strategy with
+  // a statistical and an ML method — the Table 6 protocol in miniature.
+  datagen::UnivariateCollectionOptions options;
+  options.scale = 0.004;  // ~32 series
+  const auto entries = datagen::GenerateUnivariateCollection(options);
+  ASSERT_GE(entries.size(), 7u);
+
+  std::size_t evaluated = 0;
+  for (const auto& entry : entries) {
+    if (entry.series.length() < 3 * entry.horizon + 10) continue;
+    methods::ThetaForecaster theta;
+    eval::FixedOptions fixed;
+    const eval::EvalResult r =
+        eval::FixedForecastEvaluate(theta, entry.series, entry.horizon, fixed);
+    EXPECT_TRUE(std::isfinite(r.metrics.at(eval::Metric::kMsmape)));
+    if (++evaluated >= 5) break;
+  }
+  EXPECT_GE(evaluated, 3u);
+}
+
+TEST(Integration, UniversalInterfaceAcceptsCustomMethod) {
+  // A user-defined forecaster plugs into the evaluation layer with no
+  // special treatment — the paper's "Universal Interface" claim.
+  class Damped : public methods::Forecaster {
+   public:
+    std::string name() const override { return "CustomDamped"; }
+    void Fit(const ts::TimeSeries& train) override {
+      last_ = train.at(train.length() - 1, 0);
+    }
+    ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                            std::size_t horizon) override {
+      linalg::Matrix m(horizon, history.num_variables());
+      for (std::size_t h = 0; h < horizon; ++h) {
+        for (std::size_t v = 0; v < history.num_variables(); ++v) {
+          m(h, v) = last_ * std::pow(0.9, static_cast<double>(h));
+        }
+      }
+      return ts::TimeSeries(std::move(m));
+    }
+    bool RefitPerWindow() const override { return true; }
+
+   private:
+    double last_ = 0.0;
+  };
+
+  stats::Rng rng(1);
+  std::vector<double> x(200);
+  for (double& v : x) v = rng.Gaussian();
+  const ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  const methods::ForecasterFactory factory = [] {
+    return std::make_unique<Damped>();
+  };
+  const eval::EvalResult r = eval::RollingForecastEvaluate(factory, s, 8, {});
+  EXPECT_GT(r.num_windows, 0u);
+  EXPECT_TRUE(std::isfinite(r.metrics.at(eval::Metric::kMae)));
+}
+
+TEST(Integration, CsvRoundTripThroughPipeline) {
+  // Data layer standardized format: write a generated dataset, read it
+  // back, and evaluate on the loaded copy with identical results.
+  auto profile = *datagen::FindProfile("NASDAQ");
+  profile.length = 300;
+  profile.spec.factor_spec.length = 300;
+  const ts::TimeSeries original = datagen::GenerateDataset(profile);
+  const std::string path = testing::TempDir() + "/tfb_integration.csv";
+  ASSERT_TRUE(ts::WriteCsv(original, path));
+  auto loaded = ts::ReadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  loaded->set_seasonal_period(original.seasonal_period());
+
+  const methods::ForecasterFactory factory = [] {
+    return std::make_unique<methods::DriftForecaster>();
+  };
+  const double mae_a = eval::RollingForecastEvaluate(factory, original, 8, {})
+                           .metrics.at(eval::Metric::kMae);
+  const double mae_b = eval::RollingForecastEvaluate(factory, *loaded, 8, {})
+                           .metrics.at(eval::Metric::kMae);
+  EXPECT_NEAR(mae_a, mae_b, 1e-9);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tfb

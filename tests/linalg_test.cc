@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/linalg/matrix.h"
+#include "tfb/linalg/solve.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, RowAndColumnVectors) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(m.RowVector(1), (Vector{4.0, 5.0, 6.0}));
+  EXPECT_EQ(m.ColVector(2), (Vector{3.0, 6.0}));
+  m.SetRow(0, {9.0, 8.0, 7.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 9.0);
+  m.SetCol(1, {0.5, 0.25});
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.25);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Arithmetic) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, MatMulMatchesHandComputation) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, TransposedProductsAgreeWithExplicitTranspose) {
+  stats::Rng rng(5);
+  Matrix a(4, 3);
+  Matrix b(4, 2);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.Gaussian();
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Gaussian();
+  const Matrix expected = MatMul(a.Transposed(), b);
+  const Matrix actual = MatTMul(a, b);
+  EXPECT_NEAR((expected - actual).FrobeniusNorm(), 0.0, 1e-12);
+
+  Matrix c(2, 3);
+  for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] = rng.Gaussian();
+  const Matrix expected2 = MatMul(a, c.Transposed());
+  const Matrix actual2 = MatMulT(a, c);
+  EXPECT_NEAR((expected2 - actual2).FrobeniusNorm(), 0.0, 1e-12);
+}
+
+TEST(Matrix, MatVec) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector v = MatVec(m, {1.0, -1.0});
+  EXPECT_DOUBLE_EQ(v[0], -1.0);
+  EXPECT_DOUBLE_EQ(v[1], -1.0);
+}
+
+TEST(Solve, LuSolvesRandomSystems) {
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + trial % 5;
+    Matrix a(n, n);
+    Vector x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.Gaussian();
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.Gaussian();
+      a(i, i) += 3.0;  // diagonal dominance keeps it well conditioned
+    }
+    const Vector b = MatVec(a, x_true);
+    const auto x = SolveLu(a, b);
+    ASSERT_TRUE(x.has_value());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR((*x)[i], x_true[i], 1e-9);
+    }
+  }
+}
+
+TEST(Solve, LuDetectsSingular) {
+  const Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(SolveLu(singular, {1.0, 2.0}).has_value());
+}
+
+TEST(Solve, CholeskyFactorsSpdMatrix) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const auto l = Cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const Matrix reconstructed = MatMulT(*l, *l);
+  EXPECT_NEAR((reconstructed - a).FrobeniusNorm(), 0.0, 1e-12);
+}
+
+TEST(Solve, CholeskyRejectsIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky(a).has_value());
+}
+
+TEST(Solve, LeastSquaresRecoversCoefficients) {
+  stats::Rng rng(11);
+  const std::size_t n = 200;
+  Matrix x(n, 3);
+  Vector y(n);
+  const Vector beta_true = {2.0, -1.0, 0.5};
+  for (std::size_t r = 0; r < n; ++r) {
+    double target = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      x(r, c) = rng.Gaussian();
+      target += beta_true[c] * x(r, c);
+    }
+    y[r] = target + rng.Gaussian(0.0, 0.01);
+  }
+  const auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.has_value());
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR((*beta)[c], beta_true[c], 0.01);
+  }
+}
+
+TEST(Solve, LeastSquaresMultiMatchesColumnwise) {
+  stats::Rng rng(13);
+  Matrix x(50, 4);
+  Matrix y(50, 2);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = rng.Gaussian();
+  const auto multi = LeastSquaresMulti(x, y, 1e-8);
+  ASSERT_TRUE(multi.has_value());
+  for (std::size_t c = 0; c < 2; ++c) {
+    const auto single = LeastSquares(x, y.ColVector(c), 1e-8);
+    ASSERT_TRUE(single.has_value());
+    for (std::size_t r = 0; r < 4; ++r) {
+      EXPECT_NEAR((*multi)(r, c), (*single)[r], 1e-7);
+    }
+  }
+}
+
+TEST(Solve, RidgeShrinksCoefficients) {
+  stats::Rng rng(17);
+  Matrix x(60, 2);
+  Vector y(60);
+  for (std::size_t r = 0; r < 60; ++r) {
+    x(r, 0) = rng.Gaussian();
+    x(r, 1) = x(r, 0) + rng.Gaussian(0.0, 1e-8);  // near-collinear
+    y[r] = x(r, 0) + rng.Gaussian(0.0, 0.1);
+  }
+  const auto heavy = LeastSquares(x, y, 10.0);
+  ASSERT_TRUE(heavy.has_value());
+  EXPECT_LT(std::fabs((*heavy)[0]) + std::fabs((*heavy)[1]), 1.5);
+}
+
+TEST(Solve, SymmetricEigenDiagonalizes) {
+  const Matrix a{{2.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  const EigenResult eig = SymmetricEigen(a);
+  // Eigenvalues descending; reconstruct A = V diag(w) V^T.
+  EXPECT_GE(eig.values[0], eig.values[1]);
+  EXPECT_GE(eig.values[1], eig.values[2]);
+  Matrix reconstructed(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) {
+        sum += eig.vectors(i, k) * eig.values[k] * eig.vectors(j, k);
+      }
+      reconstructed(i, j) = sum;
+    }
+  }
+  EXPECT_NEAR((reconstructed - a).FrobeniusNorm(), 0.0, 1e-9);
+}
+
+TEST(Solve, InverseRoundTrips) {
+  const Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const auto inv = Inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  const Matrix prod = MatMul(a, *inv);
+  EXPECT_NEAR((prod - Matrix::Identity(2)).FrobeniusNorm(), 0.0, 1e-12);
+}
+
+TEST(Solve, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+}
+
+}  // namespace
+}  // namespace tfb::linalg

@@ -1,0 +1,232 @@
+// Behavioural tests of the DL forecaster zoo: each miniature must beat the
+// naive baseline on a signal matching its inductive bias, stay finite, and
+// honour the Forecaster contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/eval/metrics.h"
+#include "tfb/methods/dl/dl_forecasters.h"
+#include "tfb/methods/naive.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::methods {
+namespace {
+
+ts::TimeSeries SeasonalSeries(std::size_t n, std::size_t period, double noise,
+                              std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = 3.0 * std::sin(2.0 * M_PI * t / period) +
+           1.0 * std::sin(4.0 * M_PI * t / period) + rng.Gaussian(0.0, noise);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(period);
+  return s;
+}
+
+NeuralOptions FastOptions(std::size_t horizon) {
+  NeuralOptions o;
+  o.horizon = horizon;
+  o.train.max_epochs = 25;
+  o.train.patience = 6;
+  o.max_train_windows = 800;
+  return o;
+}
+
+double ForecastMae(Forecaster& model, const ts::TimeSeries& series,
+                   std::size_t horizon) {
+  const ts::TimeSeries history = series.Slice(0, series.length() - horizon);
+  const ts::TimeSeries actual =
+      series.Slice(series.length() - horizon, series.length());
+  model.Fit(history);
+  const ts::TimeSeries forecast = model.Forecast(history, horizon);
+  return eval::ComputeMetric(eval::Metric::kMae, forecast, actual);
+}
+
+double NaiveMae(const ts::TimeSeries& series, std::size_t horizon) {
+  NaiveForecaster naive;
+  return ForecastMae(naive, series, horizon);
+}
+
+TEST(NLinear, BeatsNaiveOnSeasonal) {
+  const ts::TimeSeries s = SeasonalSeries(500, 24, 0.2, 1);
+  NLinearForecaster model(FastOptions(12));
+  EXPECT_LT(ForecastMae(model, s, 12), NaiveMae(s, 12));
+}
+
+TEST(NLinear, ExtrapolatesTrendViaLastValueNorm) {
+  std::vector<double> x(400);
+  for (std::size_t t = 0; t < x.size(); ++t) x[t] = 0.3 * t;
+  const ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  NLinearForecaster model(FastOptions(8));
+  model.Fit(s.Slice(0, 392));
+  const ts::TimeSeries f = model.Forecast(s.Slice(0, 392), 8);
+  for (std::size_t h = 0; h < 8; ++h) {
+    EXPECT_NEAR(f.at(h, 0), 0.3 * (392 + h), 2.0);
+  }
+}
+
+TEST(DLinear, BeatsNaiveOnTrendPlusSeason) {
+  stats::Rng rng(2);
+  std::vector<double> x(500);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 0.02 * t + 2.0 * std::sin(2.0 * M_PI * t / 24.0) +
+           rng.Gaussian(0.0, 0.2);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(24);
+  DLinearForecaster model(FastOptions(12));
+  EXPECT_LT(ForecastMae(model, s, 12), NaiveMae(s, 12));
+}
+
+TEST(Mlp, BeatsNaiveOnSeasonal) {
+  const ts::TimeSeries s = SeasonalSeries(500, 24, 0.2, 3);
+  MlpForecaster model(FastOptions(12));
+  EXPECT_LT(ForecastMae(model, s, 12), NaiveMae(s, 12));
+}
+
+TEST(NBeats, BeatsNaiveOnSeasonal) {
+  const ts::TimeSeries s = SeasonalSeries(500, 24, 0.2, 4);
+  NBeatsForecaster model(FastOptions(12));
+  EXPECT_LT(ForecastMae(model, s, 12), NaiveMae(s, 12));
+}
+
+TEST(Rnn, BeatsNaiveOnSeasonal) {
+  const ts::TimeSeries s = SeasonalSeries(400, 12, 0.2, 5);
+  NeuralOptions o = FastOptions(6);
+  o.lookback = 24;
+  RnnForecaster model(o);
+  EXPECT_LT(ForecastMae(model, s, 6), NaiveMae(s, 6));
+}
+
+TEST(Tcn, BeatsNaiveOnSeasonal) {
+  const ts::TimeSeries s = SeasonalSeries(500, 16, 0.2, 6);
+  TcnForecaster model(FastOptions(8));
+  EXPECT_LT(ForecastMae(model, s, 8), NaiveMae(s, 8));
+}
+
+TEST(PatchAttention, BeatsNaiveOnSeasonal) {
+  const ts::TimeSeries s = SeasonalSeries(500, 24, 0.2, 7);
+  PatchAttentionForecaster model(FastOptions(12));
+  EXPECT_LT(ForecastMae(model, s, 12), NaiveMae(s, 12));
+}
+
+TEST(PatchAttention, LookbackRoundedToPatchMultiple) {
+  NeuralOptions o = FastOptions(5);
+  o.lookback = 0;  // derived then rounded
+  PatchAttentionForecaster model(o, /*num_patches=*/8);
+  const ts::TimeSeries s = SeasonalSeries(300, 12, 0.2, 8);
+  model.Fit(s);
+  EXPECT_EQ(model.lookback() % 8, 0u);
+}
+
+TEST(CrossAttention, UsesChannelDependence) {
+  // Channel 1 = lagged copy of channel 0: a channel-dependent model can
+  // predict channel 1 from channel 0's recent values.
+  stats::Rng rng(9);
+  const std::size_t n = 500;
+  linalg::Matrix m(n, 2);
+  std::vector<double> driver(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    driver[t] = 2.0 * std::sin(2.0 * M_PI * t / 24.0) + rng.Gaussian(0.0, 0.1);
+    m(t, 0) = driver[t];
+    m(t, 1) = t >= 4 ? driver[t - 4] : 0.0;
+  }
+  ts::TimeSeries s{std::move(m)};
+  s.set_seasonal_period(24);
+  NeuralOptions o = FastOptions(4);
+  o.lookback = 24;
+  CrossAttentionForecaster model(o);
+  EXPECT_LT(ForecastMae(model, s, 4), NaiveMae(s, 4));
+}
+
+TEST(FrequencyLinear, BeatsNaiveOnSeasonal) {
+  const ts::TimeSeries s = SeasonalSeries(500, 24, 0.2, 10);
+  FrequencyLinearForecaster model(FastOptions(12));
+  EXPECT_LT(ForecastMae(model, s, 12), NaiveMae(s, 12));
+}
+
+TEST(LegendreLinear, BeatsNaiveOnSmoothTrend) {
+  // FiLM's Legendre memory excels at smooth low-order structure.
+  stats::Rng rng(21);
+  std::vector<double> x(400);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const double u = static_cast<double>(t) / 400.0;
+    x[t] = 3.0 * u * u + 2.0 * std::sin(2.0 * M_PI * t / 24.0) +
+           rng.Gaussian(0.0, 0.15);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(24);
+  LegendreLinearForecaster model(FastOptions(12));
+  EXPECT_LT(ForecastMae(model, s, 12), NaiveMae(s, 12));
+}
+
+TEST(StationaryMlp, HandlesLevelShiftBetterThanPlainStats) {
+  // Series whose level drifts strongly: per-window standardization keeps the
+  // inputs in-distribution.
+  stats::Rng rng(11);
+  std::vector<double> x(500);
+  double level = 0.0;
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    level += 0.05;
+    x[t] = level + std::sin(2.0 * M_PI * t / 20.0) + rng.Gaussian(0.0, 0.1);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(20);
+  StationaryMlpForecaster model(FastOptions(10));
+  EXPECT_LT(ForecastMae(model, s, 10), NaiveMae(s, 10));
+}
+
+TEST(NeuralForecaster, ParameterCountsAreOrdered) {
+  const ts::TimeSeries s = SeasonalSeries(400, 24, 0.2, 12);
+  NLinearForecaster small(FastOptions(8));
+  MlpForecaster large(FastOptions(8));
+  small.Fit(s);
+  large.Fit(s);
+  EXPECT_GT(large.NumParameters(), small.NumParameters());
+  EXPECT_GT(small.NumParameters(), 0u);
+}
+
+TEST(NeuralForecaster, DeterministicWithSeed) {
+  const ts::TimeSeries s = SeasonalSeries(300, 12, 0.2, 13);
+  NeuralOptions o = FastOptions(6);
+  o.seed = 1234;
+  MlpForecaster a(o);
+  MlpForecaster b(o);
+  a.Fit(s);
+  b.Fit(s);
+  const ts::TimeSeries fa = a.Forecast(s, 6);
+  const ts::TimeSeries fb = b.Forecast(s, 6);
+  for (std::size_t h = 0; h < 6; ++h) {
+    EXPECT_DOUBLE_EQ(fa.at(h, 0), fb.at(h, 0));
+  }
+}
+
+TEST(NeuralForecaster, IMSExtensionBeyondTrainedHorizon) {
+  const ts::TimeSeries s = SeasonalSeries(400, 24, 0.2, 14);
+  NLinearForecaster model(FastOptions(6));
+  model.Fit(s);
+  const ts::TimeSeries f = model.Forecast(s, 15);
+  EXPECT_EQ(f.length(), 15u);
+  for (std::size_t h = 0; h < 15; ++h) {
+    EXPECT_TRUE(std::isfinite(f.at(h, 0)));
+  }
+}
+
+TEST(NeuralForecaster, MultivariateChannelIndependentOutputShape) {
+  stats::Rng rng(15);
+  linalg::Matrix m(300, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Gaussian();
+  ts::TimeSeries s{std::move(m)};
+  NLinearForecaster model(FastOptions(5));
+  model.Fit(s);
+  const ts::TimeSeries f = model.Forecast(s, 5);
+  EXPECT_EQ(f.num_variables(), 4u);
+  EXPECT_EQ(f.length(), 5u);
+}
+
+}  // namespace
+}  // namespace tfb::methods

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/eval/metrics.h"
+#include "tfb/methods/naive.h"
+#include "tfb/methods/statistical/arima.h"
+#include "tfb/methods/statistical/ets.h"
+#include "tfb/methods/statistical/kalman.h"
+#include "tfb/methods/statistical/theta.h"
+#include "tfb/methods/statistical/var.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::methods {
+namespace {
+
+ts::TimeSeries SeasonalTrend(std::size_t n, std::size_t period, double slope,
+                             double amplitude, double noise,
+                             std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = slope * t + amplitude * std::sin(2.0 * M_PI * t / period) +
+           rng.Gaussian(0.0, noise);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(period);
+  return s;
+}
+
+double ForecastMae(Forecaster& model, const ts::TimeSeries& series,
+                   std::size_t horizon) {
+  const ts::TimeSeries history = series.Slice(0, series.length() - horizon);
+  const ts::TimeSeries actual =
+      series.Slice(series.length() - horizon, series.length());
+  model.Fit(history);
+  const ts::TimeSeries forecast = model.Forecast(history, horizon);
+  return eval::ComputeMetric(eval::Metric::kMae, forecast, actual);
+}
+
+TEST(Naive, RepeatsLastValue) {
+  const ts::TimeSeries s = ts::TimeSeries::Univariate({1.0, 2.0, 7.0});
+  NaiveForecaster model;
+  model.Fit(s);
+  const ts::TimeSeries f = model.Forecast(s, 3);
+  for (std::size_t h = 0; h < 3; ++h) EXPECT_DOUBLE_EQ(f.at(h, 0), 7.0);
+}
+
+TEST(SeasonalNaive, RepeatsSeasonalPattern) {
+  ts::TimeSeries s =
+      ts::TimeSeries::Univariate({1.0, 2.0, 3.0, 1.0, 2.0, 3.0});
+  s.set_seasonal_period(3);
+  SeasonalNaiveForecaster model;
+  model.Fit(s);
+  const ts::TimeSeries f = model.Forecast(s, 4);
+  EXPECT_DOUBLE_EQ(f.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(f.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(f.at(3, 0), 1.0);
+}
+
+TEST(Drift, ExtrapolatesLinearly) {
+  const ts::TimeSeries s =
+      ts::TimeSeries::Univariate({0.0, 1.0, 2.0, 3.0, 4.0});
+  DriftForecaster model;
+  model.Fit(s);
+  const ts::TimeSeries f = model.Forecast(s, 2);
+  EXPECT_NEAR(f.at(0, 0), 5.0, 1e-12);
+  EXPECT_NEAR(f.at(1, 0), 6.0, 1e-12);
+}
+
+TEST(Mean, ForecastsHistoricalMean) {
+  const ts::TimeSeries s = ts::TimeSeries::Univariate({2.0, 4.0, 6.0});
+  MeanForecaster model;
+  model.Fit(s);
+  EXPECT_DOUBLE_EQ(model.Forecast(s, 1).at(0, 0), 4.0);
+}
+
+TEST(Ets, BeatsNaiveOnSeasonalTrend) {
+  const ts::TimeSeries s = SeasonalTrend(360, 12, 0.05, 3.0, 0.3, 1);
+  EtsForecaster ets;
+  NaiveForecaster naive;
+  EXPECT_LT(ForecastMae(ets, s, 24), ForecastMae(naive, s, 24));
+}
+
+TEST(Ets, TracksPureTrend) {
+  std::vector<double> x(120);
+  for (std::size_t t = 0; t < x.size(); ++t) x[t] = 2.0 + 0.5 * t;
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(1);
+  EtsForecaster ets;
+  ets.Fit(s);
+  const ts::TimeSeries f = ets.Forecast(s, 5);
+  for (std::size_t h = 0; h < 5; ++h) {
+    EXPECT_NEAR(f.at(h, 0), 2.0 + 0.5 * (120 + h), 0.5);
+  }
+}
+
+TEST(Theta, TracksTrendWithSeason) {
+  const ts::TimeSeries s = SeasonalTrend(240, 12, 0.1, 2.0, 0.2, 2);
+  ThetaForecaster theta;
+  NaiveForecaster naive;
+  EXPECT_LT(ForecastMae(theta, s, 12), ForecastMae(naive, s, 12));
+}
+
+TEST(Theta, ShortSeriesFallback) {
+  const ts::TimeSeries s = ts::TimeSeries::Univariate({1.0, 2.0, 3.0});
+  ThetaForecaster theta;
+  theta.Fit(s);
+  const ts::TimeSeries f = theta.Forecast(s, 2);
+  EXPECT_EQ(f.length(), 2u);
+}
+
+TEST(Arima, RecoversAr2Structure) {
+  // AR(2): x_t = 0.6 x_{t-1} - 0.3 x_{t-2} + e.
+  stats::Rng rng(3);
+  std::vector<double> x(600);
+  for (std::size_t t = 2; t < x.size(); ++t) {
+    x[t] = 0.6 * x[t - 1] - 0.3 * x[t - 2] + rng.Gaussian();
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  ArimaForecaster arima;
+  arima.Fit(s);
+  const auto order = arima.order(0);
+  EXPECT_EQ(order.d, 0);   // already stationary
+  EXPECT_GE(order.p, 1);   // AR structure found
+}
+
+TEST(Arima, DifferencesRandomWalk) {
+  stats::Rng rng(4);
+  std::vector<double> x(400);
+  double state = 0.0;
+  for (double& v : x) {
+    state += rng.Gaussian();
+    v = state;
+  }
+  ArimaForecaster arima;
+  arima.Fit(ts::TimeSeries::Univariate(std::move(x)));
+  EXPECT_GE(arima.order(0).d, 1);
+}
+
+TEST(Arima, BeatsMeanOnAutocorrelatedData) {
+  stats::Rng rng(5);
+  std::vector<double> x(500);
+  double state = 0.0;
+  for (double& v : x) {
+    state = 0.9 * state + rng.Gaussian();
+    v = state;
+  }
+  const ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  ArimaForecaster arima;
+  MeanForecaster mean;
+  EXPECT_LT(ForecastMae(arima, s, 4), ForecastMae(mean, s, 4));
+}
+
+TEST(Kalman, TracksLocalLinearTrend) {
+  stats::Rng rng(6);
+  std::vector<double> x(300);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 0.2 * t + rng.Gaussian(0.0, 0.5);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(1);
+  KalmanForecaster kalman;
+  kalman.Fit(s);
+  const ts::TimeSeries f = kalman.Forecast(s, 10);
+  // Ten steps out, forecast should be near 0.2*(300+9) = 61.8.
+  EXPECT_NEAR(f.at(9, 0), 0.2 * 309, 3.0);
+}
+
+TEST(Kalman, SeasonalComponentHelps) {
+  const ts::TimeSeries s = SeasonalTrend(480, 24, 0.0, 3.0, 0.3, 7);
+  KalmanForecaster kalman;
+  NaiveForecaster naive;
+  EXPECT_LT(ForecastMae(kalman, s, 24), ForecastMae(naive, s, 24));
+}
+
+TEST(Var, RecoversCrossChannelDynamics) {
+  // Channel 1 follows channel 0 with one step of delay: a VAR should crush
+  // a channel-independent naive forecast on channel 1.
+  stats::Rng rng(8);
+  const std::size_t n = 500;
+  linalg::Matrix m(n, 2);
+  double driver = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double prev = driver;
+    driver = 0.8 * driver + rng.Gaussian();
+    m(t, 0) = driver;
+    m(t, 1) = t > 0 ? 0.9 * prev + rng.Gaussian(0.0, 0.1) : 0.0;
+  }
+  const ts::TimeSeries s{std::move(m)};
+  VarForecaster var;
+  NaiveForecaster naive;
+  EXPECT_LT(ForecastMae(var, s, 4), ForecastMae(naive, s, 4));
+  EXPECT_GE(var.lag(), 1);
+}
+
+TEST(Var, HandlesWideShortData) {
+  // More dimensions than comfortable for OLS; ridge keeps it solvable.
+  stats::Rng rng(9);
+  linalg::Matrix m(60, 10);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Gaussian();
+  const ts::TimeSeries s{std::move(m)};
+  VarForecaster var;
+  var.Fit(s);
+  const ts::TimeSeries f = var.Forecast(s, 3);
+  EXPECT_EQ(f.length(), 3u);
+  for (std::size_t h = 0; h < 3; ++h) {
+    for (std::size_t v = 0; v < 10; ++v) {
+      EXPECT_TRUE(std::isfinite(f.at(h, v)));
+    }
+  }
+}
+
+TEST(Statistical, AllRefitPerWindow) {
+  EXPECT_TRUE(NaiveForecaster().RefitPerWindow());
+  EXPECT_TRUE(EtsForecaster().RefitPerWindow());
+  EXPECT_TRUE(ThetaForecaster().RefitPerWindow());
+  EXPECT_TRUE(ArimaForecaster().RefitPerWindow());
+  EXPECT_TRUE(KalmanForecaster().RefitPerWindow());
+  EXPECT_TRUE(VarForecaster().RefitPerWindow());
+}
+
+TEST(Statistical, MultivariateChannelsIndependent) {
+  const ts::TimeSeries s1 = SeasonalTrend(240, 12, 0.02, 2.0, 0.2, 10);
+  linalg::Matrix m(240, 2);
+  for (std::size_t t = 0; t < 240; ++t) {
+    m(t, 0) = s1.at(t, 0);
+    m(t, 1) = -s1.at(t, 0);
+  }
+  ts::TimeSeries s{std::move(m)};
+  s.set_seasonal_period(12);
+  EtsForecaster ets;
+  ets.Fit(s);
+  const ts::TimeSeries f = ets.Forecast(s, 6);
+  // Mirror-image channels should produce mirror-image forecasts.
+  for (std::size_t h = 0; h < 6; ++h) {
+    EXPECT_NEAR(f.at(h, 0), -f.at(h, 1), 0.3);
+  }
+}
+
+}  // namespace
+}  // namespace tfb::methods

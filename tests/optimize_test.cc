@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/optimize/nelder_mead.h"
+
+namespace tfb::optimize {
+namespace {
+
+TEST(NelderMead, MinimizesQuadratic) {
+  const auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const NelderMeadResult r = NelderMead(f, {0.0, 0.0});
+  EXPECT_NEAR(r.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-3);
+  EXPECT_NEAR(r.value, 0.0, 1e-5);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions options;
+  options.max_iterations = 5000;
+  options.tolerance = 1e-12;
+  const NelderMeadResult r = NelderMead(f, {-1.2, 1.0}, options);
+  EXPECT_NEAR(r.x[0], 1.0, 0.01);
+  EXPECT_NEAR(r.x[1], 1.0, 0.02);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto f = [](const std::vector<double>& x) {
+    return std::cosh(x[0] - 0.5);
+  };
+  const NelderMeadResult r = NelderMead(f, {5.0});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-3);
+}
+
+TEST(NelderMead, RespectsIterationCap) {
+  const auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0];
+  };
+  NelderMeadOptions options;
+  options.max_iterations = 3;
+  const NelderMeadResult r = NelderMead(f, {100.0}, options);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(GoldenSection, FindsMinimum) {
+  const double x = GoldenSection(
+      [](double v) { return (v - 2.5) * (v - 2.5); }, 0.0, 10.0);
+  EXPECT_NEAR(x, 2.5, 1e-5);
+}
+
+TEST(GoldenSection, BoundaryMinimum) {
+  const double x = GoldenSection([](double v) { return v; }, 1.0, 2.0);
+  EXPECT_NEAR(x, 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace tfb::optimize

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "tfb/report/ascii_plot.h"
+
+namespace tfb::report {
+namespace {
+
+std::size_t CountLines(const std::string& s) {
+  std::size_t count = 0;
+  for (char c : s) {
+    if (c == '\n') ++count;
+  }
+  return count;
+}
+
+TEST(AsciiPlot, DimensionsMatchOptions) {
+  std::vector<double> x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(i * 0.2);
+  }
+  PlotOptions options;
+  options.width = 40;
+  options.height = 8;
+  const std::string plot = AsciiPlot(x, options);
+  EXPECT_EQ(CountLines(plot), options.height + 1);  // rows + axis
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, MonotoneSeriesMarksCorners) {
+  std::vector<double> x(50);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  PlotOptions options;
+  options.width = 20;
+  options.height = 6;
+  const std::string plot = AsciiPlot(x, options);
+  // The first plotted row (maximum) should have its mark near the right
+  // edge; the last row (minimum) near the left edge.
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : plot) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  EXPECT_NE(lines.front().find('*'), std::string::npos);
+  EXPECT_GT(lines.front().rfind('*'), lines[options.height - 1].rfind('*'));
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotCrash) {
+  const std::vector<double> x(30, 5.0);
+  const std::string plot = AsciiPlot(x);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, SinglePointSeries) {
+  const std::vector<double> x = {1.0};
+  EXPECT_FALSE(AsciiPlot(x).empty());
+}
+
+TEST(AsciiPlotOverlay, BothSeriesRendered) {
+  std::vector<double> a(60);
+  std::vector<double> b(60);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(i * 0.2);
+    b[i] = std::cos(i * 0.2) + 3.0;  // offset so marks separate
+  }
+  const std::string plot = AsciiPlotOverlay(a, b);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+}
+
+TEST(AsciiBarChart, BarsProportionalToValues) {
+  const std::vector<std::string> labels = {"small", "big"};
+  const std::vector<double> values = {1.0, 4.0};
+  const std::string chart = AsciiBarChart(labels, values, 40);
+  // The "big" line should hold ~4x the hashes of the "small" line.
+  const std::size_t small_pos = chart.find("small");
+  const std::size_t big_pos = chart.find("big");
+  ASSERT_NE(small_pos, std::string::npos);
+  ASSERT_NE(big_pos, std::string::npos);
+  auto hashes_in_line = [&](std::size_t from) {
+    std::size_t count = 0;
+    for (std::size_t i = from; i < chart.size() && chart[i] != '\n'; ++i) {
+      if (chart[i] == '#') ++count;
+    }
+    return count;
+  };
+  EXPECT_EQ(hashes_in_line(big_pos), 40u);
+  EXPECT_EQ(hashes_in_line(small_pos), 10u);
+}
+
+TEST(AsciiBarChart, LabelsAligned) {
+  const std::vector<std::string> labels = {"a", "longer"};
+  const std::vector<double> values = {1.0, 2.0};
+  const std::string chart = AsciiBarChart(labels, values, 10);
+  // The bar of "a" starts at the same column as the bar of "longer".
+  const std::size_t first_hash_row1 = chart.find('#');
+  const std::size_t newline = chart.find('\n');
+  const std::size_t first_hash_row2 = chart.find('#', newline);
+  EXPECT_EQ(first_hash_row1, first_hash_row2 - newline - 1);
+}
+
+}  // namespace
+}  // namespace tfb::report

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/stats/descriptive.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::stats {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextU64() != b.NextU64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(4);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.Gaussian();
+  EXPECT_NEAR(Mean(samples), 0.0, 0.03);
+  EXPECT_NEAR(Variance(samples), 1.0, 0.05);
+}
+
+TEST(Rng, StudentTHeavierTailsThanGaussian) {
+  Rng rng(5);
+  std::size_t extreme_t = 0;
+  std::size_t extreme_g = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (std::fabs(rng.StudentT(3.0)) > 3.0) ++extreme_t;
+    if (std::fabs(rng.Gaussian()) > 3.0) ++extreme_g;
+  }
+  EXPECT_GT(extreme_t, 2 * extreme_g);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(6);
+  const auto perm = rng.Permutation(50);
+  std::vector<bool> seen(50, false);
+  for (std::size_t p : perm) {
+    ASSERT_LT(p, 50u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(8);
+  Rng child = parent.Fork();
+  // Child stream differs from the parent's continued stream.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.NextU64() != child.NextU64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Descriptive, MeanVariance) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(x), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(x), 1.25);
+  EXPECT_NEAR(SampleVariance(x), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev(x), std::sqrt(1.25));
+}
+
+TEST(Descriptive, EmptyInputsAreSafe) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(Mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Median(empty), 0.0);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Descriptive, QuantileMatchesNumpyConvention) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.25), 1.75);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> x = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(Min(x), -1.0);
+  EXPECT_DOUBLE_EQ(Max(x), 7.0);
+}
+
+TEST(Descriptive, SkewnessSign) {
+  // Right-skewed data has positive skewness.
+  const std::vector<double> right = {1, 1, 1, 1, 2, 2, 3, 10};
+  EXPECT_GT(Skewness(right), 0.5);
+  const std::vector<double> symmetric = {-2, -1, 0, 1, 2};
+  EXPECT_NEAR(Skewness(symmetric), 0.0, 1e-12);
+}
+
+TEST(Descriptive, KurtosisOfUniformIsNegative) {
+  std::vector<double> x(1000);
+  Rng rng(9);
+  for (double& v : x) v = rng.Uniform();
+  EXPECT_LT(Kurtosis(x), -0.5);  // uniform excess kurtosis is -1.2
+}
+
+TEST(Descriptive, PearsonCorrelation) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  const std::vector<double> constant(4, 5.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, constant), 0.0);
+}
+
+TEST(Descriptive, ZScoreProperties) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto z = ZScore(x);
+  EXPECT_NEAR(Mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(Variance(z), 1.0, 1e-12);
+  // Constant series maps to zeros, not NaN.
+  const auto zc = ZScore(std::vector<double>(5, 3.0));
+  for (double v : zc) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Descriptive, MinMaxNormalize) {
+  const auto out = MinMaxNormalize(std::vector<double>{2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(Descriptive, AutocorrelationLagOneOfAr1) {
+  Rng rng(10);
+  std::vector<double> x(5000);
+  double state = 0.0;
+  for (double& v : x) {
+    state = 0.8 * state + rng.Gaussian();
+    v = state;
+  }
+  EXPECT_NEAR(Autocorrelation(x, 1), 0.8, 0.05);
+}
+
+}  // namespace
+}  // namespace tfb::stats

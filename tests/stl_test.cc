@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfb/stats/descriptive.h"
+#include "tfb/stats/rng.h"
+#include "tfb/stl/loess.h"
+#include "tfb/stl/stl.h"
+
+namespace tfb::stl {
+namespace {
+
+TEST(Loess, ReproducesLinearExactly) {
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = 2.0 * i + 1.0;
+  const auto smoothed = LoessSmooth(y, 11, /*degree=*/1);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(smoothed[i], y[i], 1e-9) << "at " << i;
+  }
+}
+
+TEST(Loess, Degree2ReproducesQuadratic) {
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = 0.1 * i * i - i + 3.0;
+  }
+  const auto smoothed = LoessSmooth(y, 15, /*degree=*/2);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(smoothed[i], y[i], 1e-6) << "at " << i;
+  }
+}
+
+TEST(Loess, SmoothsNoise) {
+  stats::Rng rng(1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = std::sin(2.0 * M_PI * i / 100.0) + rng.Gaussian(0.0, 0.3);
+  }
+  const auto smoothed = LoessSmooth(y, 21, 1);
+  // Residual variance of the smooth against the clean signal should be far
+  // below the noise variance.
+  double clean_err = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double clean = std::sin(2.0 * M_PI * i / 100.0);
+    clean_err += (smoothed[i] - clean) * (smoothed[i] - clean);
+  }
+  EXPECT_LT(clean_err / y.size(), 0.03);
+}
+
+TEST(Loess, EvaluatesBeyondRange) {
+  std::vector<double> y(20);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = 3.0 * i;
+  const std::vector<double> positions = {-1.0, 20.0};
+  const auto fitted = LoessAt(y, positions, 7, 1);
+  EXPECT_NEAR(fitted[0], -3.0, 1e-6);
+  EXPECT_NEAR(fitted[1], 60.0, 1e-6);
+}
+
+TEST(Loess, RobustnessWeightsDownweightOutliers) {
+  std::vector<double> y(41, 1.0);
+  y[20] = 100.0;  // outlier
+  std::vector<double> rw(41, 1.0);
+  rw[20] = 0.0;
+  const auto robust = LoessSmooth(y, 11, 1, rw);
+  EXPECT_NEAR(robust[20], 1.0, 1e-6);
+  const auto naive = LoessSmooth(y, 11, 1);
+  EXPECT_GT(naive[20], 5.0);
+}
+
+TEST(MovingAverage, Values) {
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto ma = MovingAverage(y, 3);
+  ASSERT_EQ(ma.size(), 3u);
+  EXPECT_DOUBLE_EQ(ma[0], 2.0);
+  EXPECT_DOUBLE_EQ(ma[1], 3.0);
+  EXPECT_DOUBLE_EQ(ma[2], 4.0);
+}
+
+TEST(Stl, DecompositionSumsToSeries) {
+  stats::Rng rng(2);
+  const std::size_t period = 12;
+  std::vector<double> y(period * 15);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 0.05 * t + 2.0 * std::sin(2.0 * M_PI * t / period) +
+           rng.Gaussian(0.0, 0.2);
+  }
+  const StlResult r = StlDecompose(y, period);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    EXPECT_NEAR(r.trend[t] + r.seasonal[t] + r.remainder[t], y[t], 1e-9);
+  }
+}
+
+TEST(Stl, RecoversTrendAndSeason) {
+  stats::Rng rng(3);
+  const std::size_t period = 24;
+  const std::size_t n = period * 20;
+  std::vector<double> y(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    y[t] = 0.02 * t + 3.0 * std::sin(2.0 * M_PI * t / period) +
+           rng.Gaussian(0.0, 0.15);
+  }
+  const StlResult r = StlDecompose(y, period);
+  // Trend should track the line 0.02*t closely away from the edges.
+  for (std::size_t t = period; t + period < n; t += 37) {
+    EXPECT_NEAR(r.trend[t], 0.02 * t, 0.6) << "t=" << t;
+  }
+  // Seasonal component amplitude should be close to 3.
+  const double smax = stats::Max(r.seasonal);
+  EXPECT_NEAR(smax, 3.0, 0.6);
+  // Remainder should be small relative to the signal.
+  EXPECT_LT(stats::Variance(r.remainder), 0.25);
+}
+
+TEST(Stl, NonSeasonalFallback) {
+  stats::Rng rng(4);
+  std::vector<double> y(100);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 0.1 * t + rng.Gaussian(0.0, 0.1);
+  }
+  const StlResult r = StlDecompose(y, /*period=*/1);
+  for (double s : r.seasonal) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_NEAR(r.trend[50], 5.0, 0.5);
+}
+
+TEST(Stl, ShortSeriesFallsBackToNonSeasonal) {
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  const StlResult r = StlDecompose(y, /*period=*/12);  // < 2 periods
+  for (double s : r.seasonal) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(Stl, RobustModeHandlesOutliers) {
+  stats::Rng rng(5);
+  const std::size_t period = 12;
+  std::vector<double> y(period * 12);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = 2.0 * std::sin(2.0 * M_PI * t / period) + rng.Gaussian(0.0, 0.1);
+  }
+  y[60] += 30.0;  // massive outlier
+  StlOptions options;
+  options.robust_iterations = 2;
+  const StlResult robust = StlDecompose(y, period, options);
+  const StlResult plain = StlDecompose(y, period);
+  // The robust trend near the outlier should be less perturbed.
+  EXPECT_LT(std::fabs(robust.trend[60]), std::fabs(plain.trend[60]));
+}
+
+TEST(Stl, PeriodicSeasonalOption) {
+  const std::size_t period = 6;
+  std::vector<double> y(period * 10);
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    y[t] = std::sin(2.0 * M_PI * t / period);
+  }
+  StlOptions options;
+  options.seasonal_window = 0;  // periodic
+  const StlResult r = StlDecompose(y, period, options);
+  // Seasonal repeats exactly with the period.
+  for (std::size_t t = period; t + period < y.size(); ++t) {
+    EXPECT_NEAR(r.seasonal[t], r.seasonal[t + period], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tfb::stl

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tfb/ts/impute.h"
+
+namespace tfb::ts {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TimeSeries WithGap() {
+  // [1, NaN, NaN, 4, 5]
+  return TimeSeries::Univariate({1.0, kNan, kNan, 4.0, 5.0});
+}
+
+TEST(Impute, CountMissing) {
+  EXPECT_EQ(CountMissing(WithGap()), 2u);
+  EXPECT_EQ(CountMissing(TimeSeries::Univariate({1.0, 2.0})), 0u);
+  EXPECT_EQ(CountMissing(TimeSeries::Univariate(
+                {std::numeric_limits<double>::infinity()})),
+            1u);
+}
+
+TEST(Impute, LinearInterpolatesInteriorGap) {
+  const TimeSeries out = Impute(WithGap(), ImputeKind::kLinear);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 3.0);
+  EXPECT_EQ(CountMissing(out), 0u);
+}
+
+TEST(Impute, LinearHandlesLeadingAndTrailingGaps) {
+  const TimeSeries s = TimeSeries::Univariate({kNan, 2.0, 3.0, kNan});
+  const TimeSeries out = Impute(s, ImputeKind::kLinear);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 2.0);  // filled from right neighbour
+  EXPECT_DOUBLE_EQ(out.at(3, 0), 3.0);  // filled from left neighbour
+}
+
+TEST(Impute, ForwardFill) {
+  const TimeSeries out = Impute(WithGap(), ImputeKind::kForwardFill);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 1.0);
+}
+
+TEST(Impute, ForwardFillLeadingGapUsesFirstValid) {
+  const TimeSeries s = TimeSeries::Univariate({kNan, 7.0, kNan});
+  const TimeSeries out = Impute(s, ImputeKind::kForwardFill);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 7.0);
+}
+
+TEST(Impute, MeanFill) {
+  const TimeSeries out = Impute(WithGap(), ImputeKind::kMean);
+  const double mean = (1.0 + 4.0 + 5.0) / 3.0;
+  EXPECT_DOUBLE_EQ(out.at(1, 0), mean);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), mean);
+}
+
+TEST(Impute, ZeroFill) {
+  const TimeSeries out = Impute(WithGap(), ImputeKind::kZero);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 0.0);
+}
+
+TEST(Impute, AllMissingVariableBecomesZeros) {
+  const TimeSeries s = TimeSeries::Univariate({kNan, kNan, kNan});
+  for (const ImputeKind kind :
+       {ImputeKind::kLinear, ImputeKind::kForwardFill, ImputeKind::kMean,
+        ImputeKind::kZero}) {
+    const TimeSeries out = Impute(s, kind);
+    for (std::size_t t = 0; t < 3; ++t) {
+      EXPECT_DOUBLE_EQ(out.at(t, 0), 0.0);
+    }
+  }
+}
+
+TEST(Impute, MultivariateIndependentColumns) {
+  linalg::Matrix m(3, 2);
+  m(0, 0) = 1.0;  m(0, 1) = 10.0;
+  m(1, 0) = kNan; m(1, 1) = 20.0;
+  m(2, 0) = 3.0;  m(2, 1) = kNan;
+  const TimeSeries out = Impute(TimeSeries(std::move(m)), ImputeKind::kLinear);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(out.at(2, 1), 20.0);
+}
+
+TEST(Impute, ValidSeriesUnchanged) {
+  const TimeSeries s = TimeSeries::Univariate({1.0, 2.0, 3.0});
+  const TimeSeries out = Impute(s, ImputeKind::kLinear);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(out.at(t, 0), s.at(t, 0));
+  }
+}
+
+TEST(Impute, InfinityTreatedAsMissing) {
+  const TimeSeries s = TimeSeries::Univariate(
+      {1.0, std::numeric_limits<double>::infinity(), 3.0});
+  const TimeSeries out = Impute(s, ImputeKind::kLinear);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace tfb::ts

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tfb/ts/csv.h"
+#include "tfb/ts/scaler.h"
+#include "tfb/ts/split.h"
+#include "tfb/ts/time_series.h"
+
+namespace tfb::ts {
+namespace {
+
+TimeSeries MakeSeries(std::size_t t, std::size_t n) {
+  linalg::Matrix m(t, n);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t v = 0; v < n; ++v) {
+      m(i, v) = static_cast<double>(i * 10 + v);
+    }
+  }
+  return TimeSeries(std::move(m));
+}
+
+TEST(TimeSeries, UnivariateConstruction) {
+  const TimeSeries s = TimeSeries::Univariate({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_EQ(s.num_variables(), 1u);
+  EXPECT_TRUE(s.is_univariate());
+  EXPECT_DOUBLE_EQ(s.at(1, 0), 2.0);
+}
+
+TEST(TimeSeries, SliceKeepsMetadata) {
+  TimeSeries s = MakeSeries(10, 2);
+  s.set_name("test");
+  s.set_frequency(Frequency::kHourly);
+  s.set_domain(Domain::kEnergy);
+  s.set_seasonal_period(24);
+  const TimeSeries sliced = s.Slice(2, 5);
+  EXPECT_EQ(sliced.length(), 3u);
+  EXPECT_DOUBLE_EQ(sliced.at(0, 1), 21.0);
+  EXPECT_EQ(sliced.name(), "test");
+  EXPECT_EQ(sliced.frequency(), Frequency::kHourly);
+  EXPECT_EQ(sliced.seasonal_period(), 24u);
+}
+
+TEST(TimeSeries, VariableExtraction) {
+  const TimeSeries s = MakeSeries(4, 3);
+  const TimeSeries v1 = s.Variable(1);
+  EXPECT_TRUE(v1.is_univariate());
+  EXPECT_DOUBLE_EQ(v1.at(2, 0), 21.0);
+}
+
+TEST(TimeSeries, Append) {
+  TimeSeries a = MakeSeries(3, 2);
+  const TimeSeries b = MakeSeries(2, 2);
+  a.Append(b);
+  EXPECT_EQ(a.length(), 5u);
+  EXPECT_DOUBLE_EQ(a.at(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 1), 11.0);
+}
+
+TEST(Frequency, DefaultPeriods) {
+  EXPECT_EQ(DefaultSeasonalPeriod(Frequency::kMonthly), 12u);
+  EXPECT_EQ(DefaultSeasonalPeriod(Frequency::kHourly), 24u);
+  EXPECT_EQ(DefaultSeasonalPeriod(Frequency::kYearly), 1u);
+  EXPECT_EQ(DefaultSeasonalPeriod(Frequency::kMinutes5), 288u);
+}
+
+TEST(Frequency, Names) {
+  EXPECT_EQ(FrequencyName(Frequency::kMinutes15), "15 mins");
+  EXPECT_EQ(DomainName(Domain::kStock), "stock");
+}
+
+TEST(Split, Ratio712Boundaries) {
+  const TimeSeries s = MakeSeries(100, 1);
+  const Split split = ChronologicalSplit(s, SplitRatio::Ratio712());
+  EXPECT_EQ(split.train.length(), 70u);
+  EXPECT_EQ(split.val.length(), 10u);
+  EXPECT_EQ(split.test.length(), 20u);
+  EXPECT_EQ(split.train_end, 70u);
+  EXPECT_EQ(split.val_end, 80u);
+  // Chronology preserved.
+  EXPECT_DOUBLE_EQ(split.val.at(0, 0), 700.0);
+  EXPECT_DOUBLE_EQ(split.test.at(0, 0), 800.0);
+}
+
+TEST(Split, Ratio622Boundaries) {
+  const TimeSeries s = MakeSeries(50, 2);
+  const Split split = ChronologicalSplit(s, SplitRatio::Ratio622());
+  EXPECT_EQ(split.train.length(), 30u);
+  EXPECT_EQ(split.val.length(), 10u);
+  EXPECT_EQ(split.test.length(), 10u);
+}
+
+TEST(Scaler, ZScoreUsesTrainStatisticsOnly) {
+  const TimeSeries s = MakeSeries(100, 1);
+  const Split split = ChronologicalSplit(s, SplitRatio::Ratio712());
+  const Scaler scaler = Scaler::Fit(split.train, ScalerKind::kZScore);
+  const TimeSeries normalized = scaler.Transform(s);
+  // Training part is standardized; test part keeps the train offset and so
+  // has positive mean (the series is increasing).
+  double train_sum = 0.0;
+  for (std::size_t t = 0; t < 70; ++t) train_sum += normalized.at(t, 0);
+  EXPECT_NEAR(train_sum / 70.0, 0.0, 1e-9);
+  EXPECT_GT(normalized.at(99, 0), 1.0);
+}
+
+TEST(Scaler, RoundTrip) {
+  const TimeSeries s = MakeSeries(40, 3);
+  for (const ScalerKind kind :
+       {ScalerKind::kZScore, ScalerKind::kMinMax, ScalerKind::kNone}) {
+    const Scaler scaler = Scaler::Fit(s, kind);
+    const TimeSeries round = scaler.InverseTransform(scaler.Transform(s));
+    for (std::size_t t = 0; t < s.length(); ++t) {
+      for (std::size_t v = 0; v < s.num_variables(); ++v) {
+        EXPECT_NEAR(round.at(t, v), s.at(t, v), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Scaler, ConstantColumnIsSafe) {
+  linalg::Matrix m(10, 1, 5.0);
+  const TimeSeries s{std::move(m)};
+  const Scaler scaler = Scaler::Fit(s, ScalerKind::kZScore);
+  const TimeSeries out = scaler.Transform(s);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0.0);
+}
+
+TEST(Csv, RoundTrip) {
+  const TimeSeries s = MakeSeries(20, 3);
+  const std::string path = testing::TempDir() + "/tfb_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(s, path));
+  const auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->length(), 20u);
+  EXPECT_EQ(loaded->num_variables(), 3u);
+  for (std::size_t t = 0; t < 20; ++t) {
+    for (std::size_t v = 0; v < 3; ++v) {
+      EXPECT_NEAR(loaded->at(t, v), s.at(t, v), 1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, SkipsTimestampColumn) {
+  const std::string path = testing::TempDir() + "/tfb_csv_ts.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("date,v0,v1\n2020-01-01,1.5,2.5\n2020-01-02,3.5,4.5\n", f);
+    fclose(f);
+  }
+  const auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_variables(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->at(1, 1), 4.5);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/path.csv").has_value());
+}
+
+}  // namespace
+}  // namespace tfb::ts
