@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_channel.dir/bench_fig10_channel.cc.o"
+  "CMakeFiles/bench_fig10_channel.dir/bench_fig10_channel.cc.o.d"
+  "bench_fig10_channel"
+  "bench_fig10_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_domains.dir/bench_fig2_domains.cc.o"
+  "CMakeFiles/bench_fig2_domains.dir/bench_fig2_domains.cc.o.d"
+  "bench_fig2_domains"
+  "bench_fig2_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

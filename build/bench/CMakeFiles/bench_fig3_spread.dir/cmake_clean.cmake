@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_spread.dir/bench_fig3_spread.cc.o"
+  "CMakeFiles/bench_fig3_spread.dir/bench_fig3_spread.cc.o.d"
+  "bench_fig3_spread"
+  "bench_fig3_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_radar.dir/bench_fig8_radar.cc.o"
+  "CMakeFiles/bench_fig8_radar.dir/bench_fig8_radar.cc.o.d"
+  "bench_fig8_radar"
+  "bench_fig8_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

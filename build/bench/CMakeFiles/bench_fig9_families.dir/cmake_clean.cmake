@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_families.dir/bench_fig9_families.cc.o"
+  "CMakeFiles/bench_fig9_families.dir/bench_fig9_families.cc.o.d"
+  "bench_fig9_families"
+  "bench_fig9_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_droplast.dir/bench_table2_droplast.cc.o"
+  "CMakeFiles/bench_table2_droplast.dir/bench_table2_droplast.cc.o.d"
+  "bench_table2_droplast"
+  "bench_table2_droplast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_droplast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

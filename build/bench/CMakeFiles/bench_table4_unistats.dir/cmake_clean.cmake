@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_unistats.dir/bench_table4_unistats.cc.o"
+  "CMakeFiles/bench_table4_unistats.dir/bench_table4_unistats.cc.o.d"
+  "bench_table4_unistats"
+  "bench_table4_unistats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_unistats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_mvstats.dir/bench_table5_mvstats.cc.o"
+  "CMakeFiles/bench_table5_mvstats.dir/bench_table5_mvstats.cc.o.d"
+  "bench_table5_mvstats"
+  "bench_table5_mvstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_mvstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table78_multivariate.dir/bench_table78_multivariate.cc.o"
+  "CMakeFiles/bench_table78_multivariate.dir/bench_table78_multivariate.cc.o.d"
+  "bench_table78_multivariate"
+  "bench_table78_multivariate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table78_multivariate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_method.dir/custom_method.cpp.o"
+  "CMakeFiles/custom_method.dir/custom_method.cpp.o.d"
+  "custom_method"
+  "custom_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

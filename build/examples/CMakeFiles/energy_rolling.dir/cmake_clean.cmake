@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_rolling.dir/energy_rolling.cpp.o"
+  "CMakeFiles/energy_rolling.dir/energy_rolling.cpp.o.d"
+  "energy_rolling"
+  "energy_rolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_rolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_selection.dir/method_selection.cpp.o"
+  "CMakeFiles/method_selection.dir/method_selection.cpp.o.d"
+  "method_selection"
+  "method_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfb_run.dir/tfb_run.cpp.o"
+  "CMakeFiles/tfb_run.dir/tfb_run.cpp.o.d"
+  "tfb_run"
+  "tfb_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfb_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tfb/characterization/adf.cc" "src/CMakeFiles/tfb.dir/tfb/characterization/adf.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/characterization/adf.cc.o.d"
+  "/root/repo/src/tfb/characterization/catch22.cc" "src/CMakeFiles/tfb.dir/tfb/characterization/catch22.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/characterization/catch22.cc.o.d"
+  "/root/repo/src/tfb/characterization/features.cc" "src/CMakeFiles/tfb.dir/tfb/characterization/features.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/characterization/features.cc.o.d"
+  "/root/repo/src/tfb/characterization/pca.cc" "src/CMakeFiles/tfb.dir/tfb/characterization/pca.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/characterization/pca.cc.o.d"
+  "/root/repo/src/tfb/datagen/generator.cc" "src/CMakeFiles/tfb.dir/tfb/datagen/generator.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/datagen/generator.cc.o.d"
+  "/root/repo/src/tfb/datagen/registry.cc" "src/CMakeFiles/tfb.dir/tfb/datagen/registry.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/datagen/registry.cc.o.d"
+  "/root/repo/src/tfb/eval/metrics.cc" "src/CMakeFiles/tfb.dir/tfb/eval/metrics.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/eval/metrics.cc.o.d"
+  "/root/repo/src/tfb/eval/strategy.cc" "src/CMakeFiles/tfb.dir/tfb/eval/strategy.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/eval/strategy.cc.o.d"
+  "/root/repo/src/tfb/fft/fft.cc" "src/CMakeFiles/tfb.dir/tfb/fft/fft.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/fft/fft.cc.o.d"
+  "/root/repo/src/tfb/linalg/matrix.cc" "src/CMakeFiles/tfb.dir/tfb/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/linalg/matrix.cc.o.d"
+  "/root/repo/src/tfb/linalg/solve.cc" "src/CMakeFiles/tfb.dir/tfb/linalg/solve.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/linalg/solve.cc.o.d"
+  "/root/repo/src/tfb/methods/dl/dl_forecasters.cc" "src/CMakeFiles/tfb.dir/tfb/methods/dl/dl_forecasters.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/dl/dl_forecasters.cc.o.d"
+  "/root/repo/src/tfb/methods/dl/neural_forecaster.cc" "src/CMakeFiles/tfb.dir/tfb/methods/dl/neural_forecaster.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/dl/neural_forecaster.cc.o.d"
+  "/root/repo/src/tfb/methods/ml/decision_tree.cc" "src/CMakeFiles/tfb.dir/tfb/methods/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/ml/decision_tree.cc.o.d"
+  "/root/repo/src/tfb/methods/ml/gradient_boosting.cc" "src/CMakeFiles/tfb.dir/tfb/methods/ml/gradient_boosting.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/ml/gradient_boosting.cc.o.d"
+  "/root/repo/src/tfb/methods/ml/linear_regression.cc" "src/CMakeFiles/tfb.dir/tfb/methods/ml/linear_regression.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/ml/linear_regression.cc.o.d"
+  "/root/repo/src/tfb/methods/ml/random_forest.cc" "src/CMakeFiles/tfb.dir/tfb/methods/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/ml/random_forest.cc.o.d"
+  "/root/repo/src/tfb/methods/ml/window.cc" "src/CMakeFiles/tfb.dir/tfb/methods/ml/window.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/ml/window.cc.o.d"
+  "/root/repo/src/tfb/methods/naive.cc" "src/CMakeFiles/tfb.dir/tfb/methods/naive.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/naive.cc.o.d"
+  "/root/repo/src/tfb/methods/statistical/arima.cc" "src/CMakeFiles/tfb.dir/tfb/methods/statistical/arima.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/statistical/arima.cc.o.d"
+  "/root/repo/src/tfb/methods/statistical/ets.cc" "src/CMakeFiles/tfb.dir/tfb/methods/statistical/ets.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/statistical/ets.cc.o.d"
+  "/root/repo/src/tfb/methods/statistical/kalman.cc" "src/CMakeFiles/tfb.dir/tfb/methods/statistical/kalman.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/statistical/kalman.cc.o.d"
+  "/root/repo/src/tfb/methods/statistical/theta.cc" "src/CMakeFiles/tfb.dir/tfb/methods/statistical/theta.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/statistical/theta.cc.o.d"
+  "/root/repo/src/tfb/methods/statistical/var.cc" "src/CMakeFiles/tfb.dir/tfb/methods/statistical/var.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/methods/statistical/var.cc.o.d"
+  "/root/repo/src/tfb/nn/attention.cc" "src/CMakeFiles/tfb.dir/tfb/nn/attention.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/nn/attention.cc.o.d"
+  "/root/repo/src/tfb/nn/conv.cc" "src/CMakeFiles/tfb.dir/tfb/nn/conv.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/nn/conv.cc.o.d"
+  "/root/repo/src/tfb/nn/gru.cc" "src/CMakeFiles/tfb.dir/tfb/nn/gru.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/nn/gru.cc.o.d"
+  "/root/repo/src/tfb/nn/module.cc" "src/CMakeFiles/tfb.dir/tfb/nn/module.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/nn/module.cc.o.d"
+  "/root/repo/src/tfb/nn/nets.cc" "src/CMakeFiles/tfb.dir/tfb/nn/nets.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/nn/nets.cc.o.d"
+  "/root/repo/src/tfb/nn/trainer.cc" "src/CMakeFiles/tfb.dir/tfb/nn/trainer.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/nn/trainer.cc.o.d"
+  "/root/repo/src/tfb/optimize/nelder_mead.cc" "src/CMakeFiles/tfb.dir/tfb/optimize/nelder_mead.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/optimize/nelder_mead.cc.o.d"
+  "/root/repo/src/tfb/pipeline/config.cc" "src/CMakeFiles/tfb.dir/tfb/pipeline/config.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/pipeline/config.cc.o.d"
+  "/root/repo/src/tfb/pipeline/method_registry.cc" "src/CMakeFiles/tfb.dir/tfb/pipeline/method_registry.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/pipeline/method_registry.cc.o.d"
+  "/root/repo/src/tfb/pipeline/runner.cc" "src/CMakeFiles/tfb.dir/tfb/pipeline/runner.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/pipeline/runner.cc.o.d"
+  "/root/repo/src/tfb/report/ascii_plot.cc" "src/CMakeFiles/tfb.dir/tfb/report/ascii_plot.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/report/ascii_plot.cc.o.d"
+  "/root/repo/src/tfb/report/report.cc" "src/CMakeFiles/tfb.dir/tfb/report/report.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/report/report.cc.o.d"
+  "/root/repo/src/tfb/stats/descriptive.cc" "src/CMakeFiles/tfb.dir/tfb/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/stats/descriptive.cc.o.d"
+  "/root/repo/src/tfb/stats/rng.cc" "src/CMakeFiles/tfb.dir/tfb/stats/rng.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/stats/rng.cc.o.d"
+  "/root/repo/src/tfb/stl/loess.cc" "src/CMakeFiles/tfb.dir/tfb/stl/loess.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/stl/loess.cc.o.d"
+  "/root/repo/src/tfb/stl/stl.cc" "src/CMakeFiles/tfb.dir/tfb/stl/stl.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/stl/stl.cc.o.d"
+  "/root/repo/src/tfb/ts/csv.cc" "src/CMakeFiles/tfb.dir/tfb/ts/csv.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/ts/csv.cc.o.d"
+  "/root/repo/src/tfb/ts/impute.cc" "src/CMakeFiles/tfb.dir/tfb/ts/impute.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/ts/impute.cc.o.d"
+  "/root/repo/src/tfb/ts/scaler.cc" "src/CMakeFiles/tfb.dir/tfb/ts/scaler.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/ts/scaler.cc.o.d"
+  "/root/repo/src/tfb/ts/split.cc" "src/CMakeFiles/tfb.dir/tfb/ts/split.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/ts/split.cc.o.d"
+  "/root/repo/src/tfb/ts/time_series.cc" "src/CMakeFiles/tfb.dir/tfb/ts/time_series.cc.o" "gcc" "src/CMakeFiles/tfb.dir/tfb/ts/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_strategy_test.dir/eval_strategy_test.cc.o"
+  "CMakeFiles/eval_strategy_test.dir/eval_strategy_test.cc.o.d"
+  "eval_strategy_test"
+  "eval_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methods_dl_test.dir/methods_dl_test.cc.o"
+  "CMakeFiles/methods_dl_test.dir/methods_dl_test.cc.o.d"
+  "methods_dl_test"
+  "methods_dl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methods_dl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methods_ml_test.dir/methods_ml_test.cc.o"
+  "CMakeFiles/methods_ml_test.dir/methods_ml_test.cc.o.d"
+  "methods_ml_test"
+  "methods_ml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methods_ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
