@@ -5,8 +5,16 @@
 //
 // Usage:
 //   ./build/examples/tfb_run my_run.conf            # run a config file
+//   ./build/examples/tfb_run my_run.conf --resume   # skip journaled tasks
 //   ./build/examples/tfb_run --print-default        # show default config
 //   ./build/examples/tfb_run                        # run a small demo
+//
+// Fault isolation (see the "Failure semantics" section of DESIGN.md): the
+// config keys `deadline_seconds`, `max_retries`, `fallback`, and `journal`
+// bound each task's budget, retry transient failures, keep the table
+// complete with a fallback forecaster, and journal finished rows as JSONL.
+// With a `journal` configured, `--resume` continues an interrupted grid,
+// executing only the cells the journal does not cover.
 //
 // Emits the result table to stdout and tfb_results.csv to the working
 // directory.
@@ -23,15 +31,27 @@ int main(int argc, char** argv) {
   using namespace tfb;
 
   pipeline::BenchmarkConfig config;
-  if (argc > 1 && std::strcmp(argv[1], "--print-default") == 0) {
-    config.datasets = {"ETTh2", "ILI"};
-    config.methods = {"VAR", "LinearRegression", "NLinear"};
-    std::printf("%s", pipeline::ConfigToString(config).c_str());
-    return 0;
+  bool resume = false;
+  const char* config_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print-default") == 0) {
+      config.datasets = {"ETTh2", "ILI"};
+      config.methods = {"VAR", "LinearRegression", "NLinear"};
+      std::printf("%s", pipeline::ConfigToString(config).c_str());
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (config_path == nullptr) {
+      config_path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: tfb_run [config] [--resume]\n");
+      return 1;
+    }
   }
-  if (argc > 1) {
+  if (config_path != nullptr) {
     std::string error;
-    const auto loaded = pipeline::LoadConfigFile(argv[1], &error);
+    const auto loaded = pipeline::LoadConfigFile(config_path, &error);
     if (!loaded) {
       std::fprintf(stderr, "config error: %s\n", error.c_str());
       return 1;
@@ -44,14 +64,20 @@ int main(int argc, char** argv) {
     config.horizons = {12};
     config.train_epochs = 10;
   }
+  if (resume && config.journal.empty()) {
+    std::fprintf(stderr,
+                 "--resume needs a `journal = <path>` key in the config\n");
+    return 1;
+  }
 
   const auto tasks = pipeline::BuildTasks(config);
   std::printf("running %zu tasks (%zu datasets x %zu methods x %zu horizons)"
               "...\n\n",
               tasks.size(), config.datasets.size(), config.methods.size(),
               config.horizons.size());
-  pipeline::RunnerOptions runner_options;
-  runner_options.num_threads = config.num_threads;
+  pipeline::RunnerOptions runner_options = config.MakeRunnerOptions();
+  runner_options.resume = resume;
+  runner_options.verbose = true;
   const auto rows = pipeline::BenchmarkRunner(runner_options).Run(tasks);
 
   report::PrintTable(std::cout, rows, config.metrics);

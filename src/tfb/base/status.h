@@ -1,0 +1,87 @@
+#ifndef TFB_BASE_STATUS_H_
+#define TFB_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+/// \file
+/// Recoverable-error channel complementing TFB_CHECK (see check.h and the
+/// "Failure semantics" section of DESIGN.md): TFB_CHECK aborts on programmer
+/// errors; `tfb::base::Status` carries data- and method-level failures —
+/// invalid forecaster output, exceeded deadlines, unusable inputs — up to the
+/// pipeline, which records them as per-task `ok=false` rows instead of
+/// destroying the whole benchmark grid (the paper's Tables 7–8 keep "-"
+/// cells for failed method/dataset combinations).
+
+namespace tfb::base {
+
+/// Coarse failure taxonomy; the pipeline maps these to row errors.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidInput,       ///< Series/config unusable (e.g. too short to roll).
+  kInvalidOutput,      ///< Method produced wrong-shape or non-finite output.
+  kDeadlineExceeded,   ///< Per-task time budget exhausted.
+  kInternal,           ///< Anything else recoverable.
+};
+
+/// Human-readable code label.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidInput: return "INVALID_INPUT";
+    case StatusCode::kInvalidOutput: return "INVALID_OUTPUT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Value-type status: ok by default, or a code plus message. The library
+/// does not use exceptions; functions that can fail recoverably either
+/// return a Status or populate one on a result struct.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidInput(std::string message) {
+    return Status(StatusCode::kInvalidInput, std::move(message));
+  }
+  static Status InvalidOutput(std::string message) {
+    return Status(StatusCode::kInvalidOutput, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "DEADLINE_EXCEEDED: task over budget" — the form stored in row.error.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace tfb::base
+
+/// Early-return helper for functions returning `tfb::base::Status`:
+/// propagates the first non-ok status.
+#define TFB_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::tfb::base::Status _tfb_status = (expr);      \
+    if (!_tfb_status.ok()) return _tfb_status;     \
+  } while (0)
+
+#endif  // TFB_BASE_STATUS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "tfb/base/check.h"
 
@@ -46,8 +47,14 @@ EvalResult FixedForecastEvaluate(methods::Forecaster& forecaster,
                                  const ts::TimeSeries& series,
                                  std::size_t horizon,
                                  const FixedOptions& options) {
-  TFB_CHECK(series.length() > horizon + 2);
   EvalResult result;
+  if (series.length() <= horizon + 2) {
+    result.ok = false;
+    result.error = "series too short for fixed evaluation (length " +
+                   std::to_string(series.length()) + ", horizon " +
+                   std::to_string(horizon) + ")";
+    return result;
+  }
   const ts::TimeSeries history = series.Slice(0, series.length() - horizon);
   const ts::TimeSeries actual =
       series.Slice(series.length() - horizon, series.length());
@@ -76,7 +83,13 @@ EvalResult RollingForecastEvaluate(const methods::ForecasterFactory& factory,
                                    std::size_t horizon,
                                    const RollingOptions& options) {
   EvalResult result;
-  TFB_CHECK(series.length() > horizon + 8);
+  if (series.length() <= horizon + 8) {
+    result.ok = false;
+    result.error = "series too short for rolling evaluation (length " +
+                   std::to_string(series.length()) + ", horizon " +
+                   std::to_string(horizon) + ")";
+    return result;
+  }
 
   // Standardized handling: split chronologically, fit the scaler on train
   // only, evaluate on the normalized series (the paper's protocol).
@@ -84,7 +97,13 @@ EvalResult RollingForecastEvaluate(const methods::ForecasterFactory& factory,
   const ts::Scaler scaler = ts::Scaler::Fit(raw_split.train, options.scaler);
   const ts::TimeSeries normalized = scaler.Transform(series);
   const std::size_t test_start = raw_split.val_end;
-  TFB_CHECK(test_start + horizon <= normalized.length());
+  if (test_start + horizon > normalized.length()) {
+    result.ok = false;
+    result.error = "test region shorter than the horizon (test length " +
+                   std::to_string(normalized.length() - test_start) +
+                   ", horizon " + std::to_string(horizon) + ")";
+    return result;
+  }
 
   // Forecast origins: every `stride` steps across the test region.
   const std::size_t stride = options.stride > 0 ? options.stride : horizon;
@@ -102,7 +121,11 @@ EvalResult RollingForecastEvaluate(const methods::ForecasterFactory& factory,
         origins.size() / options.batch_size * options.batch_size;
     origins.resize(kept);
   }
-  TFB_CHECK_MSG(!origins.empty(), "no rolling windows fit the test region");
+  if (origins.empty()) {
+    result.ok = false;
+    result.error = "no rolling windows fit the test region";
+    return result;
+  }
 
   std::unique_ptr<methods::Forecaster> forecaster = factory();
   TFB_CHECK(forecaster != nullptr);

@@ -2,6 +2,7 @@
 #define TFB_EVAL_STRATEGY_H_
 
 #include <map>
+#include <string>
 
 #include "tfb/eval/metrics.h"
 #include "tfb/methods/forecaster.h"
@@ -12,7 +13,13 @@ namespace tfb::eval {
 
 /// Outcome of evaluating one method on one series at one horizon: window-
 /// averaged metric values plus timing for the efficiency study (Figure 11).
+/// Unusable inputs (series too short to roll, no test windows) are *data*
+/// failures, not programmer errors: they set `ok=false`/`error` instead of
+/// aborting, so one bad task cannot destroy a benchmark grid (see
+/// "Failure semantics" in DESIGN.md).
 struct EvalResult {
+  bool ok = true;
+  std::string error;
   std::map<Metric, double> metrics;
   std::size_t num_windows = 0;
   double fit_seconds = 0.0;

@@ -1,0 +1,95 @@
+#include "tfb/methods/fault_injection.h"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "tfb/linalg/matrix.h"
+#include "tfb/methods/naive.h"
+
+namespace tfb::methods {
+
+namespace {
+
+const char* FaultLabel(FaultSpec::Kind kind) {
+  switch (kind) {
+    case FaultSpec::Kind::kNone: return "none";
+    case FaultSpec::Kind::kNaN: return "nan";
+    case FaultSpec::Kind::kWrongShape: return "wrong-shape";
+    case FaultSpec::Kind::kEmptyForecast: return "empty";
+    case FaultSpec::Kind::kSlowFit: return "slow-fit";
+    case FaultSpec::Kind::kHangFit: return "hang-fit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultInjectingForecaster::FaultInjectingForecaster(
+    FaultSpec spec, std::unique_ptr<Forecaster> inner)
+    : spec_(spec), inner_(std::move(inner)) {
+  if (inner_ == nullptr) inner_ = std::make_unique<SeasonalNaiveForecaster>();
+}
+
+std::string FaultInjectingForecaster::name() const {
+  return "Faulty(" + std::string(FaultLabel(spec_.kind)) + ")";
+}
+
+bool FaultInjectingForecaster::RefitPerWindow() const {
+  return inner_->RefitPerWindow();
+}
+
+std::size_t FaultInjectingForecaster::lookback() const {
+  return inner_->lookback();
+}
+
+void FaultInjectingForecaster::Fit(const ts::TimeSeries& train) {
+  if (spec_.kind == FaultSpec::Kind::kSlowFit && spec_.sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(spec_.sleep_ms));
+  } else if (spec_.kind == FaultSpec::Kind::kHangFit && !hang_done_ &&
+             spec_.sleep_ms > 0.0) {
+    // One long, uninterruptible stall: only the runner's hard watchdog can
+    // recover from this (the cooperative deadline check never runs).
+    hang_done_ = true;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(spec_.sleep_ms));
+  }
+  inner_->Fit(train);
+}
+
+ts::TimeSeries FaultInjectingForecaster::Forecast(
+    const ts::TimeSeries& history, std::size_t horizon) {
+  const std::size_t call = forecast_calls_++;
+  ts::TimeSeries forecast = inner_->Forecast(history, horizon);
+  if (call < spec_.healthy_forecasts) return forecast;
+  switch (spec_.kind) {
+    case FaultSpec::Kind::kNaN:
+      for (std::size_t t = 0; t < forecast.length(); ++t) {
+        for (std::size_t v = 0; v < forecast.num_variables(); ++v) {
+          forecast.at(t, v) = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+      return forecast;
+    case FaultSpec::Kind::kWrongShape: {
+      linalg::Matrix bad(horizon + 1, history.num_variables());
+      for (std::size_t t = 0; t < bad.rows(); ++t) {
+        for (std::size_t v = 0; v < bad.cols(); ++v) bad(t, v) = 0.0;
+      }
+      return ts::TimeSeries(std::move(bad));
+    }
+    case FaultSpec::Kind::kEmptyForecast:
+      return ts::TimeSeries();
+    case FaultSpec::Kind::kNone:
+    case FaultSpec::Kind::kSlowFit:
+    case FaultSpec::Kind::kHangFit:
+      return forecast;
+  }
+  return forecast;
+}
+
+ForecasterFactory MakeFaultyFactory(FaultSpec spec) {
+  return [spec] { return std::make_unique<FaultInjectingForecaster>(spec); };
+}
+
+}  // namespace tfb::methods

@@ -1,0 +1,56 @@
+#ifndef TFB_METHODS_FAULT_INJECTION_H_
+#define TFB_METHODS_FAULT_INJECTION_H_
+
+#include <memory>
+#include <string>
+
+#include "tfb/methods/forecaster.h"
+
+namespace tfb::methods {
+
+/// What the injector does to an otherwise healthy forecaster. Used to
+/// exercise the fault-isolation layer (GuardedForecaster, runner deadlines,
+/// fallback, journal) deterministically in CI.
+struct FaultSpec {
+  enum class Kind {
+    kNone,           ///< Behave exactly like the wrapped forecaster.
+    kNaN,            ///< Replace every forecast value with quiet NaN.
+    kWrongShape,     ///< Return horizon+1 rows instead of horizon.
+    kEmptyForecast,  ///< Return a zero-length forecast.
+    kSlowFit,        ///< Sleep `sleep_ms` inside every Fit call.
+    kHangFit,        ///< Sleep `sleep_ms` once, inside the first Fit call.
+  };
+  Kind kind = Kind::kNone;
+  double sleep_ms = 0.0;       ///< Budget for kSlowFit / kHangFit.
+  /// Number of initial Forecast calls that stay healthy before the fault
+  /// fires (models late-onset failures mid-rolling-evaluation).
+  std::size_t healthy_forecasts = 0;
+};
+
+/// Test double wrapping any inner forecaster (default: SeasonalNaive) and
+/// injecting the configured fault. Deterministic: same spec, same behaviour.
+class FaultInjectingForecaster : public Forecaster {
+ public:
+  explicit FaultInjectingForecaster(
+      FaultSpec spec, std::unique_ptr<Forecaster> inner = nullptr);
+
+  std::string name() const override;
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  bool RefitPerWindow() const override;
+  std::size_t lookback() const override;
+
+ private:
+  FaultSpec spec_;
+  std::unique_ptr<Forecaster> inner_;
+  std::size_t forecast_calls_ = 0;
+  bool hang_done_ = false;
+};
+
+/// Factory for use in BenchmarkTask::custom_candidates.
+ForecasterFactory MakeFaultyFactory(FaultSpec spec);
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_FAULT_INJECTION_H_

@@ -1,0 +1,127 @@
+#include "tfb/methods/guarded_forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfb/base/check.h"
+#include "tfb/linalg/matrix.h"
+#include "tfb/methods/naive.h"
+
+namespace tfb::methods {
+
+Deadline Deadline::After(double seconds) {
+  Deadline d;
+  if (seconds <= 0.0) return d;
+  d.enabled = true;
+  d.at = std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+  return d;
+}
+
+void GuardState::Report(base::Status status) {
+  if (status.ok()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (status_.ok()) status_ = std::move(status);
+}
+
+base::Status GuardState::status() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return status_;
+}
+
+GuardedForecaster::GuardedForecaster(std::unique_ptr<Forecaster> inner,
+                                     std::shared_ptr<GuardState> state,
+                                     Deadline deadline)
+    : inner_(std::move(inner)),
+      state_(std::move(state)),
+      deadline_(deadline) {
+  TFB_CHECK(inner_ != nullptr);
+  TFB_CHECK(state_ != nullptr);
+}
+
+std::string GuardedForecaster::name() const { return inner_->name(); }
+
+bool GuardedForecaster::RefitPerWindow() const {
+  return inner_->RefitPerWindow();
+}
+
+std::size_t GuardedForecaster::lookback() const { return inner_->lookback(); }
+
+bool GuardedForecaster::Expired(const char* where) {
+  if (tripped_) return true;
+  if (!deadline_.Expired()) return false;
+  tripped_ = true;
+  state_->Report(base::Status::DeadlineExceeded(
+      std::string("task deadline expired before ") + where + " of " +
+      inner_->name()));
+  return true;
+}
+
+void GuardedForecaster::Fit(const ts::TimeSeries& train) {
+  if (Expired("Fit")) return;
+  inner_->Fit(train);
+}
+
+ts::TimeSeries GuardedForecaster::Forecast(const ts::TimeSeries& history,
+                                           std::size_t horizon) {
+  if (Expired("Forecast")) return PersistenceFallback(history, horizon);
+  ts::TimeSeries forecast = inner_->Forecast(history, horizon);
+  if (forecast.length() != horizon ||
+      forecast.num_variables() != history.num_variables()) {
+    state_->Report(base::Status::InvalidOutput(
+        inner_->name() + " returned shape " +
+        std::to_string(forecast.length()) + "x" +
+        std::to_string(forecast.num_variables()) + ", expected " +
+        std::to_string(horizon) + "x" +
+        std::to_string(history.num_variables())));
+    return PersistenceFallback(history, horizon);
+  }
+  for (std::size_t t = 0; t < forecast.length(); ++t) {
+    for (std::size_t v = 0; v < forecast.num_variables(); ++v) {
+      if (!std::isfinite(forecast.at(t, v))) {
+        state_->Report(base::Status::InvalidOutput(
+            inner_->name() + " emitted a non-finite forecast value at step " +
+            std::to_string(t) + ", variable " + std::to_string(v)));
+        return PersistenceFallback(history, horizon);
+      }
+    }
+  }
+  return forecast;
+}
+
+ForecasterFactory GuardFactory(ForecasterFactory factory,
+                               std::shared_ptr<GuardState> state,
+                               Deadline deadline) {
+  return [factory = std::move(factory), state = std::move(state), deadline] {
+    std::unique_ptr<Forecaster> inner = factory();
+    if (inner == nullptr) {
+      state->Report(base::Status::Internal("factory returned null"));
+      inner = std::make_unique<NaiveForecaster>();
+    }
+    return std::make_unique<GuardedForecaster>(std::move(inner), state,
+                                               deadline);
+  };
+}
+
+ts::TimeSeries PersistenceFallback(const ts::TimeSeries& history,
+                                   std::size_t horizon) {
+  const std::size_t n = std::max<std::size_t>(1, history.num_variables());
+  linalg::Matrix values(horizon, n);
+  for (std::size_t v = 0; v < n; ++v) {
+    double last = 0.0;
+    if (history.length() > 0 && v < history.num_variables()) {
+      // Walk back to the last finite observation of this variable.
+      for (std::size_t t = history.length(); t-- > 0;) {
+        if (std::isfinite(history.at(t, v))) {
+          last = history.at(t, v);
+          break;
+        }
+      }
+    }
+    for (std::size_t t = 0; t < horizon; ++t) values(t, v) = last;
+  }
+  return ts::TimeSeries(std::move(values));
+}
+
+}  // namespace tfb::methods

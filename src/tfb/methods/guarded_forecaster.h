@@ -1,0 +1,88 @@
+#ifndef TFB_METHODS_GUARDED_FORECASTER_H_
+#define TFB_METHODS_GUARDED_FORECASTER_H_
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "tfb/base/status.h"
+#include "tfb/methods/forecaster.h"
+
+namespace tfb::methods {
+
+/// A per-task time budget on the monotonic clock. Disabled by default.
+struct Deadline {
+  bool enabled = false;
+  std::chrono::steady_clock::time_point at{};
+
+  /// Deadline `seconds` from now; `seconds <= 0` means no deadline.
+  static Deadline After(double seconds);
+  bool Expired() const {
+    return enabled && std::chrono::steady_clock::now() >= at;
+  }
+};
+
+/// Shared fault record for one guarded evaluation. The evaluation layer
+/// drives the forecaster; the pipeline owns this state and inspects it after
+/// the evaluation returns. First error wins; later reports are dropped.
+/// Thread-safe (the watchdog thread and the pipeline thread may race).
+class GuardState {
+ public:
+  void Report(base::Status status);
+  base::Status status() const;
+  bool ok() const { return status().ok(); }
+  bool deadline_exceeded() const {
+    return status().code() == base::StatusCode::kDeadlineExceeded;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  base::Status status_;
+};
+
+/// Fault-isolation wrapper around any Forecaster (the robustness analogue
+/// of the paper's universal interface): validates every Forecast() output —
+/// exact (horizon x N) shape, all values finite — and enforces a cooperative
+/// deadline before each delegated Fit/Forecast call. Violations are reported
+/// to the shared GuardState and replaced by a finite persistence forecast so
+/// the surrounding evaluation completes instead of aborting or averaging
+/// NaNs into the metrics; the pipeline then marks the task's row ok=false.
+class GuardedForecaster : public Forecaster {
+ public:
+  GuardedForecaster(std::unique_ptr<Forecaster> inner,
+                    std::shared_ptr<GuardState> state,
+                    Deadline deadline = {});
+
+  std::string name() const override;
+  void Fit(const ts::TimeSeries& train) override;
+  ts::TimeSeries Forecast(const ts::TimeSeries& history,
+                          std::size_t horizon) override;
+  bool RefitPerWindow() const override;
+  std::size_t lookback() const override;
+
+ private:
+  /// True (and reports once) when the deadline has passed; delegated calls
+  /// are skipped from then on.
+  bool Expired(const char* where);
+
+  std::unique_ptr<Forecaster> inner_;
+  std::shared_ptr<GuardState> state_;
+  Deadline deadline_;
+  bool tripped_ = false;  ///< Deadline already hit; skip inner calls.
+};
+
+/// Wraps `factory` so every created forecaster is guarded by `state` and
+/// `deadline`. The unit the pipeline hands to the evaluation layer.
+ForecasterFactory GuardFactory(ForecasterFactory factory,
+                               std::shared_ptr<GuardState> state,
+                               Deadline deadline = {});
+
+/// The guard's substitute output: each forecast row repeats the last finite
+/// observation of `history` (0.0 when none). Exposed for tests.
+ts::TimeSeries PersistenceFallback(const ts::TimeSeries& history,
+                                   std::size_t horizon);
+
+}  // namespace tfb::methods
+
+#endif  // TFB_METHODS_GUARDED_FORECASTER_H_

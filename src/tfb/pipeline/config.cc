@@ -129,6 +129,18 @@ std::optional<BenchmarkConfig> ParseConfig(const std::string& text,
       config.max_length = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "max_dim") {
       config.max_dim = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "deadline_seconds") {
+      char* end = nullptr;
+      config.deadline_seconds = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || config.deadline_seconds < 0.0) {
+        return fail("bad deadline_seconds: " + value);
+      }
+    } else if (key == "max_retries") {
+      config.max_retries = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "fallback") {
+      config.fallback = value;
+    } else if (key == "journal") {
+      config.journal = value;
     } else {
       return fail("unknown key: " + key);
     }
@@ -145,6 +157,10 @@ std::optional<BenchmarkConfig> ParseConfig(const std::string& text,
       line_number = 0;
       return fail("unknown dataset: " + dataset);
     }
+  }
+  if (!config.fallback.empty() && !MethodParadigm(config.fallback)) {
+    line_number = 0;
+    return fail("unknown fallback method: " + config.fallback);
   }
   return config;
 }
@@ -198,7 +214,21 @@ std::string ConfigToString(const BenchmarkConfig& config) {
   os << "num_threads = " << config.num_threads << '\n';
   os << "max_length = " << config.max_length << '\n';
   os << "max_dim = " << config.max_dim << '\n';
+  os << "deadline_seconds = " << config.deadline_seconds << '\n';
+  os << "max_retries = " << config.max_retries << '\n';
+  if (!config.fallback.empty()) os << "fallback = " << config.fallback << '\n';
+  if (!config.journal.empty()) os << "journal = " << config.journal << '\n';
   return os.str();
+}
+
+RunnerOptions BenchmarkConfig::MakeRunnerOptions() const {
+  RunnerOptions options;
+  options.num_threads = num_threads;
+  options.deadline_seconds = deadline_seconds;
+  options.max_retries = max_retries;
+  options.fallback_method = fallback;
+  options.journal_path = journal;
+  return options;
 }
 
 std::vector<BenchmarkTask> BuildTasks(const BenchmarkConfig& config) {

@@ -46,6 +46,15 @@ struct BenchmarkConfig {
   /// CPU scaling caps applied to registry datasets.
   std::size_t max_length = 900;
   std::size_t max_dim = 6;
+  /// Fault-isolation knobs (see RunnerOptions for semantics).
+  double deadline_seconds = 0.0;   ///< Per-task budget; 0 = no deadline.
+  std::size_t max_retries = 0;     ///< Extra attempts after a failure.
+  std::string fallback;            ///< Fallback method name; "" = disabled.
+  std::string journal;             ///< JSONL journal path; "" = no journal.
+
+  /// The runner options this configuration implies (resume stays false; it
+  /// is a command-line decision, not a config-file one).
+  RunnerOptions MakeRunnerOptions() const;
 };
 
 /// Parses a configuration from text. Unknown keys are reported in `error`

@@ -1,0 +1,251 @@
+#include "tfb/pipeline/journal.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "tfb/pipeline/config.h"
+
+namespace tfb::pipeline {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// %.17g: doubles survive the write/parse round trip bit-exactly, so a
+// resumed run reports identical metrics to the run that wrote the journal.
+void AppendDouble(std::string* out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+/// Minimal cursor-based parser for the journal's flat JSON shape (strings,
+/// numbers, booleans, and one level of nested object for "metrics").
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char esc = text[pos++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return false;
+            const long code = std::strtol(text.substr(pos, 4).c_str(),
+                                          nullptr, 16);
+            pos += 4;
+            c = (code > 0 && code < 0x80) ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos >= text.size()) return false;
+    ++pos;  // Closing quote.
+    return true;
+  }
+  bool ParseNumber(double* out) {
+    SkipWs();
+    const char* begin = text.c_str() + pos;
+    char* end = nullptr;
+    *out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+  bool ParseBool(bool* out) {
+    SkipWs();
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      *out = true;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      *out = false;
+      return true;
+    }
+    return false;
+  }
+};
+
+bool ParseMetrics(Cursor* c, std::map<eval::Metric, double>* metrics) {
+  if (!c->Eat('{')) return false;
+  if (c->Eat('}')) return true;
+  do {
+    std::string name;
+    double value = 0.0;
+    if (!c->ParseString(&name) || !c->Eat(':') || !c->ParseNumber(&value)) {
+      return false;
+    }
+    // Unknown metric names are tolerated (a newer journal read by older
+    // code should not fail the whole resume).
+    if (const auto metric = MetricFromName(name)) (*metrics)[*metric] = value;
+  } while (c->Eat(','));
+  return c->Eat('}');
+}
+
+}  // namespace
+
+std::string JournalLine(const ResultRow& row) {
+  std::string out = "{\"dataset\":";
+  AppendEscaped(&out, row.dataset);
+  out += ",\"method\":";
+  AppendEscaped(&out, row.method);
+  out += ",\"horizon\":" + std::to_string(row.horizon);
+  out += ",\"ok\":";
+  out += row.ok ? "true" : "false";
+  out += ",\"error\":";
+  AppendEscaped(&out, row.error);
+  out += ",\"selected_config\":";
+  AppendEscaped(&out, row.selected_config);
+  out += ",\"used_fallback\":";
+  out += row.used_fallback ? "true" : "false";
+  out += ",\"note\":";
+  AppendEscaped(&out, row.note);
+  out += ",\"attempts\":" + std::to_string(row.attempts);
+  out += ",\"num_windows\":" + std::to_string(row.num_windows);
+  out += ",\"fit_seconds\":";
+  AppendDouble(&out, row.fit_seconds);
+  out += ",\"inference_ms_per_window\":";
+  AppendDouble(&out, row.inference_ms_per_window);
+  out += ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [metric, value] : row.metrics) {
+    if (!first) out += ",";
+    first = false;
+    AppendEscaped(&out, eval::MetricName(metric));
+    out += ":";
+    AppendDouble(&out, value);
+  }
+  out += "}}";
+  return out;
+}
+
+bool AppendJournal(const std::string& path, const ResultRow& row) {
+  std::ofstream os(path, std::ios::app);
+  if (!os) return false;
+  os << JournalLine(row) << '\n';
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+bool ParseJournalLine(const std::string& line, ResultRow* row) {
+  Cursor c{line};
+  if (!c.Eat('{')) return false;
+  if (c.Eat('}')) return true;
+  do {
+    std::string key;
+    if (!c.ParseString(&key) || !c.Eat(':')) return false;
+    bool parsed;
+    if (key == "dataset") {
+      parsed = c.ParseString(&row->dataset);
+    } else if (key == "method") {
+      parsed = c.ParseString(&row->method);
+    } else if (key == "error") {
+      parsed = c.ParseString(&row->error);
+    } else if (key == "selected_config") {
+      parsed = c.ParseString(&row->selected_config);
+    } else if (key == "note") {
+      parsed = c.ParseString(&row->note);
+    } else if (key == "ok") {
+      parsed = c.ParseBool(&row->ok);
+    } else if (key == "used_fallback") {
+      parsed = c.ParseBool(&row->used_fallback);
+    } else if (key == "metrics") {
+      parsed = ParseMetrics(&c, &row->metrics);
+    } else {
+      double value = 0.0;
+      parsed = c.ParseNumber(&value);
+      if (parsed) {
+        if (key == "horizon") {
+          row->horizon = static_cast<std::size_t>(value);
+        } else if (key == "attempts") {
+          row->attempts = static_cast<std::size_t>(value);
+        } else if (key == "num_windows") {
+          row->num_windows = static_cast<std::size_t>(value);
+        } else if (key == "fit_seconds") {
+          row->fit_seconds = value;
+        } else if (key == "inference_ms_per_window") {
+          row->inference_ms_per_window = value;
+        }  // Unknown numeric keys are tolerated for forward compatibility.
+      }
+    }
+    if (!parsed) return false;
+  } while (c.Eat(','));
+  return c.Eat('}');
+}
+
+std::vector<ResultRow> LoadJournal(const std::string& path,
+                                   std::size_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  std::vector<ResultRow> rows;
+  std::ifstream is(path);
+  if (!is) return rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ResultRow row;
+    if (ParseJournalLine(line, &row)) {
+      rows.push_back(std::move(row));
+    } else if (skipped != nullptr) {
+      ++*skipped;
+    }
+  }
+  return rows;
+}
+
+std::string JournalKey(const std::string& dataset, const std::string& method,
+                       std::size_t horizon) {
+  return dataset + '\x1f' + method + '\x1f' + std::to_string(horizon);
+}
+
+}  // namespace tfb::pipeline

@@ -1,0 +1,47 @@
+#ifndef TFB_PIPELINE_JOURNAL_H_
+#define TFB_PIPELINE_JOURNAL_H_
+
+#include <string>
+#include <vector>
+
+#include "tfb/pipeline/runner.h"
+
+namespace tfb::pipeline {
+
+/// JSONL run journal: one self-contained JSON object per completed result
+/// row, appended (and flushed) as each task finishes. An interrupted
+/// multi-hour grid can then be resumed — `BenchmarkRunner` with
+/// `resume=true` skips every `(dataset, method, horizon)` cell already
+/// present in the journal, whether it succeeded or failed (both are
+/// *finished* outcomes; delete the journal to force a full re-run).
+///
+/// Line format (metric keys are eval::MetricName spellings):
+///   {"dataset":"ILI","method":"VAR","horizon":12,"ok":true,"error":"",
+///    "selected_config":"VAR","used_fallback":false,"note":"",
+///    "num_windows":4,"fit_seconds":0.01,"inference_ms_per_window":0.5,
+///    "metrics":{"mae":0.51,"mse":0.42}}
+
+/// Serializes one row as a single JSON line (no trailing newline).
+std::string JournalLine(const ResultRow& row);
+
+/// Appends `row` to the journal at `path`, creating the file if needed, and
+/// flushes so the row survives a crash. Returns false on I/O failure.
+bool AppendJournal(const std::string& path, const ResultRow& row);
+
+/// Parses one journal line back into a row; returns false on malformed
+/// input (the resume path skips such lines rather than failing the run).
+bool ParseJournalLine(const std::string& line, ResultRow* row);
+
+/// Loads every well-formed row from the journal at `path`. A missing file
+/// is an empty journal, not an error. When `skipped` is non-null it
+/// receives the number of malformed lines.
+std::vector<ResultRow> LoadJournal(const std::string& path,
+                                   std::size_t* skipped = nullptr);
+
+/// The resume identity of a task/row: "dataset\x1fmethod\x1fhorizon".
+std::string JournalKey(const std::string& dataset, const std::string& method,
+                       std::size_t horizon);
+
+}  // namespace tfb::pipeline
+
+#endif  // TFB_PIPELINE_JOURNAL_H_

@@ -1,16 +1,27 @@
 #include "tfb/pipeline/runner.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "tfb/base/check.h"
+#include "tfb/base/status.h"
+#include "tfb/methods/guarded_forecaster.h"
+#include "tfb/pipeline/journal.h"
 
 namespace tfb::pipeline {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 // Validation-selection split for a series truncated at the end of the
 // validation region: the old train part stays training data, the old
@@ -22,6 +33,179 @@ ts::SplitRatio ValidationSplit(const ts::SplitRatio& split) {
   out.val = 0.0;
   out.test = denom > 0.0 ? split.val / denom : 0.2;
   return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", seconds);
+  return buf;
+}
+
+void AppendNote(std::string* note, const std::string& addition) {
+  if (!note->empty()) *note += "; ";
+  *note += addition;
+}
+
+/// Everything one evaluation attempt produces; `status` decides whether the
+/// row becomes ok=true or an error cell.
+struct TaskOutcome {
+  base::Status status;
+  eval::EvalResult result;
+  std::string selected_config;
+  std::string note;
+};
+
+/// Hyper selection (NaN-aware) plus the final guarded evaluation. All
+/// forecaster interaction goes through GuardedForecaster, so wrong-shape or
+/// non-finite output and cooperative deadline hits surface here as a
+/// non-ok status instead of aborts or silently poisoned metrics.
+TaskOutcome EvaluateCandidates(
+    const BenchmarkTask& task,
+    const std::vector<methods::MethodConfig>& candidates,
+    const RunnerOptions& options, methods::Deadline deadline) {
+  TaskOutcome out;
+  std::size_t best = 0;
+  if (candidates.size() > 1) {
+    const ts::Split split = ChronologicalSplit(task.series, task.rolling.split);
+    const ts::TimeSeries train_val = task.series.Slice(0, split.val_end);
+    if (train_val.length() < task.horizon + 16) {
+      // Previously a silent `break` that selected config 0 without
+      // evaluating anything; now surfaced on the row.
+      out.note =
+          "hyper selection skipped: validation region too short, "
+          "using default config";
+    } else {
+      eval::RollingOptions val_options = task.rolling;
+      val_options.split = ValidationSplit(task.rolling.split);
+      val_options.max_windows = options.hyper_val_windows;
+      val_options.drop_last = false;
+      const eval::Metric selection_metric = val_options.metrics.empty()
+                                                ? eval::Metric::kMae
+                                                : val_options.metrics[0];
+      val_options.metrics = {selection_metric};
+      double best_score = std::numeric_limits<double>::infinity();
+      bool any_finite = false;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        auto state = std::make_shared<methods::GuardState>();
+        const eval::EvalResult r = eval::RollingForecastEvaluate(
+            methods::GuardFactory(candidates[i].factory, state, deadline),
+            train_val, task.horizon, val_options);
+        if (state->deadline_exceeded()) {
+          out.status = state->status();
+          return out;
+        }
+        // A candidate that fails validation is skipped, not selected.
+        if (!r.ok || !state->ok()) continue;
+        const double score = r.metrics.at(selection_metric);
+        // A non-finite score never wins via `<`; skip it explicitly so an
+        // all-NaN search is reported instead of silently picking config 0.
+        if (!std::isfinite(score)) continue;
+        any_finite = true;
+        if (score < best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      if (!any_finite) {
+        out.note =
+            "hyper selection fell back to the default config: no candidate "
+            "produced a finite validation score";
+      }
+    }
+  }
+  out.selected_config = candidates[best].name;
+
+  auto state = std::make_shared<methods::GuardState>();
+  out.result = eval::RollingForecastEvaluate(
+      methods::GuardFactory(candidates[best].factory, state, deadline),
+      task.series, task.horizon, task.rolling);
+  if (!out.result.ok) {
+    out.status = base::Status::InvalidInput(out.result.error);
+    return out;
+  }
+  if (!state->ok()) {
+    out.status = state->status();
+    return out;
+  }
+  for (const auto& [metric, value] : out.result.metrics) {
+    if (!std::isfinite(value)) {
+      out.status = base::Status::InvalidOutput(
+          "non-finite " + eval::MetricName(metric) + " over " +
+          std::to_string(out.result.num_windows) + " windows");
+      return out;
+    }
+  }
+  return out;
+}
+
+/// Hard watchdog around EvaluateCandidates: the evaluation runs on its own
+/// thread; a task stuck inside a single Fit/Forecast call (which the
+/// cooperative guard cannot interrupt) is abandoned once the deadline plus
+/// a grace period passes. All inputs are deep-copied into shared state, so
+/// an abandoned thread never touches caller memory.
+TaskOutcome EvaluateWithWatchdog(
+    const BenchmarkTask& task,
+    const std::vector<methods::MethodConfig>& candidates,
+    const RunnerOptions& options) {
+  struct Shared {
+    BenchmarkTask task;
+    std::vector<methods::MethodConfig> candidates;
+    RunnerOptions options;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    TaskOutcome outcome;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->task = task;
+  shared->candidates = candidates;
+  shared->options = options;
+  const methods::Deadline deadline =
+      methods::Deadline::After(options.deadline_seconds);
+  std::thread worker([shared, deadline] {
+    TaskOutcome outcome = EvaluateCandidates(shared->task, shared->candidates,
+                                             shared->options, deadline);
+    const std::lock_guard<std::mutex> lock(shared->mutex);
+    shared->outcome = std::move(outcome);
+    shared->done = true;
+    shared->cv.notify_all();
+  });
+  // Grace past the deadline: the cooperative guard usually trips first and
+  // lets the evaluation finish cheaply; the hard cut is the last resort.
+  const auto hard_cut =
+      deadline.at + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            0.5 * options.deadline_seconds + 0.2));
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  const bool finished =
+      shared->cv.wait_until(lock, hard_cut, [&] { return shared->done; });
+  lock.unlock();
+  if (finished) {
+    worker.join();
+    return std::move(shared->outcome);
+  }
+  worker.detach();
+  TaskOutcome out;
+  out.status = base::Status::DeadlineExceeded(
+      "task still running at hard watchdog cutoff (deadline " +
+      FormatSeconds(options.deadline_seconds) + "s); abandoned");
+  return out;
+}
+
+TaskOutcome Evaluate(const BenchmarkTask& task,
+                     const std::vector<methods::MethodConfig>& candidates,
+                     const RunnerOptions& options) {
+  if (options.deadline_seconds > 0.0) {
+    return EvaluateWithWatchdog(task, candidates, options);
+  }
+  return EvaluateCandidates(task, candidates, options, methods::Deadline{});
+}
+
+void FillMetrics(ResultRow* row, const eval::EvalResult& result) {
+  row->metrics = result.metrics;
+  row->num_windows = result.num_windows;
+  row->fit_seconds = result.fit_seconds;
+  row->inference_ms_per_window = result.inference_ms_per_window();
 }
 
 }  // namespace
@@ -37,7 +221,9 @@ ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
   if (params.period == 0) params.period = task.series.seasonal_period();
 
   std::vector<methods::MethodConfig> candidates;
-  if (task.hyper_search) {
+  if (!task.custom_candidates.empty()) {
+    candidates = task.custom_candidates;
+  } else if (task.hyper_search) {
     candidates = HyperSearchSpace(task.method, params, task.max_hyper_sets);
   } else {
     auto config = MakeMethod(task.method, params);
@@ -48,72 +234,125 @@ ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
     return row;
   }
 
-  // Hyper selection on the validation region (first configured metric).
-  std::size_t best = 0;
-  if (candidates.size() > 1) {
-    const ts::Split split = ChronologicalSplit(task.series, task.rolling.split);
-    const ts::TimeSeries train_val = task.series.Slice(0, split.val_end);
-    eval::RollingOptions val_options = task.rolling;
-    val_options.split = ValidationSplit(task.rolling.split);
-    val_options.max_windows = options_.hyper_val_windows;
-    val_options.drop_last = false;
-    const eval::Metric selection_metric = val_options.metrics.empty()
-                                              ? eval::Metric::kMae
-                                              : val_options.metrics[0];
-    val_options.metrics = {selection_metric};
-    double best_score = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (train_val.length() < task.horizon + 16) break;
-      const eval::EvalResult r = eval::RollingForecastEvaluate(
-          candidates[i].factory, train_val, task.horizon, val_options);
-      const double score = r.metrics.at(selection_metric);
-      if (score < best_score) {
-        best_score = score;
-        best = i;
+  const std::size_t max_attempts = 1 + options_.max_retries;
+  TaskOutcome outcome;
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    row.attempts = attempt;
+    outcome = Evaluate(task, candidates, options_);
+    if (outcome.status.ok()) {
+      if (attempt > 1) {
+        AppendNote(&outcome.note,
+                   "succeeded on attempt " + std::to_string(attempt));
       }
+      break;
+    }
+    // A hung method stays hung: retrying a deadline failure only burns
+    // another full budget.
+    if (outcome.status.code() == base::StatusCode::kDeadlineExceeded) break;
+  }
+  row.selected_config = outcome.selected_config;
+  row.note = outcome.note;
+  if (outcome.status.ok()) {
+    FillMetrics(&row, outcome.result);
+    row.ok = true;
+    return row;
+  }
+  row.error = outcome.status.ToString();
+
+  // Graceful degradation: run the configured fallback forecaster so the
+  // table stays complete; `error` keeps the primary failure on record.
+  if (!options_.fallback_method.empty() &&
+      options_.fallback_method != task.method) {
+    if (auto fallback = MakeMethod(options_.fallback_method, params)) {
+      const std::vector<methods::MethodConfig> fb_candidates{
+          std::move(*fallback)};
+      const TaskOutcome fb = Evaluate(task, fb_candidates, options_);
+      if (fb.status.ok()) {
+        FillMetrics(&row, fb.result);
+        row.ok = true;
+        row.used_fallback = true;
+        row.selected_config = fb_candidates[0].name;
+        AppendNote(&row.note, "fell back to " + options_.fallback_method +
+                                  " after primary failure");
+      } else {
+        AppendNote(&row.note, "fallback " + options_.fallback_method +
+                                  " also failed: " + fb.status.ToString());
+      }
+    } else {
+      AppendNote(&row.note,
+                 "unknown fallback method: " + options_.fallback_method);
     }
   }
-  row.selected_config = candidates[best].name;
-
-  const eval::EvalResult result = eval::RollingForecastEvaluate(
-      candidates[best].factory, task.series, task.horizon, task.rolling);
-  row.metrics = result.metrics;
-  row.num_windows = result.num_windows;
-  row.fit_seconds = result.fit_seconds;
-  row.inference_ms_per_window = result.inference_ms_per_window();
-  row.ok = true;
   return row;
 }
 
 std::vector<ResultRow> BenchmarkRunner::Run(
     const std::vector<BenchmarkTask>& tasks) const {
   std::vector<ResultRow> rows(tasks.size());
-  const std::size_t threads =
-      std::max<std::size_t>(1, std::min(options_.num_threads, tasks.size()));
-  if (threads == 1) {
+  std::vector<std::size_t> pending;
+  pending.reserve(tasks.size());
+
+  // Resume: adopt journaled rows (success or failure — both are finished
+  // outcomes) and only execute the cells the journal does not cover.
+  std::size_t resumed = 0;
+  if (options_.resume && !options_.journal_path.empty()) {
+    std::unordered_map<std::string, ResultRow> journaled;
+    for (ResultRow& row : LoadJournal(options_.journal_path)) {
+      journaled[JournalKey(row.dataset, row.method, row.horizon)] =
+          std::move(row);
+    }
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      rows[i] = RunOne(tasks[i]);
-      if (options_.verbose) {
-        std::fprintf(stderr, "[tfb] %s / %s / h=%zu done\n",
-                     rows[i].dataset.c_str(), rows[i].method.c_str(),
-                     rows[i].horizon);
+      const auto it = journaled.find(
+          JournalKey(tasks[i].dataset, tasks[i].method, tasks[i].horizon));
+      if (it != journaled.end()) {
+        rows[i] = it->second;
+        ++resumed;
+      } else {
+        pending.push_back(i);
       }
+    }
+    if (options_.verbose) {
+      std::fprintf(stderr, "[tfb] resume: %zu of %zu tasks loaded from %s\n",
+                   resumed, tasks.size(), options_.journal_path.c_str());
+    }
+  } else {
+    for (std::size_t i = 0; i < tasks.size(); ++i) pending.push_back(i);
+  }
+
+  std::mutex sink_mutex;  // Serializes journal appends and progress logs.
+  auto finish = [&](std::size_t i) {
+    const std::lock_guard<std::mutex> lock(sink_mutex);
+    if (!options_.journal_path.empty() &&
+        !AppendJournal(options_.journal_path, rows[i])) {
+      std::fprintf(stderr, "[tfb] warning: cannot append to journal %s\n",
+                   options_.journal_path.c_str());
+    }
+    if (options_.verbose) {
+      std::fprintf(stderr, "[tfb] %s / %s / h=%zu %s%s%s\n",
+                   rows[i].dataset.c_str(), rows[i].method.c_str(),
+                   rows[i].horizon, rows[i].ok ? "done" : "FAILED: ",
+                   rows[i].ok ? "" : rows[i].error.c_str(),
+                   rows[i].used_fallback ? " (fallback)" : "");
+    }
+  };
+
+  const std::size_t threads = std::max<std::size_t>(
+      1, std::min(options_.num_threads, pending.size()));
+  if (threads <= 1) {
+    for (const std::size_t i : pending) {
+      rows[i] = RunOne(tasks[i]);
+      finish(i);
     }
     return rows;
   }
   std::atomic<std::size_t> next{0};
-  std::mutex log_mutex;
   auto worker = [&] {
     while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= tasks.size()) return;
+      const std::size_t slot = next.fetch_add(1);
+      if (slot >= pending.size()) return;
+      const std::size_t i = pending[slot];
       rows[i] = RunOne(tasks[i]);
-      if (options_.verbose) {
-        const std::lock_guard<std::mutex> lock(log_mutex);
-        std::fprintf(stderr, "[tfb] %s / %s / h=%zu done\n",
-                     rows[i].dataset.c_str(), rows[i].method.c_str(),
-                     rows[i].horizon);
-      }
+      finish(i);
     }
   };
   std::vector<std::thread> pool;

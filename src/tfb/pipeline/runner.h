@@ -23,9 +23,15 @@ struct BenchmarkTask {
   /// region before scoring on test (Section 5.1.2).
   bool hyper_search = false;
   std::size_t max_hyper_sets = 8;
+  /// When non-empty these configurations are evaluated instead of the
+  /// registry lookup for `method` (selection across them when more than
+  /// one). The hook for third-party adapters and fault-injection tests.
+  std::vector<methods::MethodConfig> custom_candidates;
 };
 
-/// One result row.
+/// One result row. A row always comes back, mirroring the paper's complete
+/// tables: failures set `ok=false` plus `error` ("-" cells in Tables 7–8)
+/// instead of aborting the grid.
 struct ResultRow {
   std::string dataset;
   std::string method;
@@ -37,6 +43,15 @@ struct ResultRow {
   std::string selected_config;  ///< Winning hyper set (when searched).
   bool ok = false;
   std::string error;
+  /// True when the primary method failed and the configured fallback
+  /// forecaster produced these (degraded but valid) metrics; `error` keeps
+  /// the primary failure for the report's failure summary.
+  bool used_fallback = false;
+  /// Non-fatal diagnostics (hyper selection fell back to the default
+  /// config, validation region too short, retry succeeded, ...).
+  std::string note;
+  /// Evaluation attempts consumed (1 = first try succeeded or no retries).
+  std::size_t attempts = 0;
 };
 
 /// Execution options of the runner.
@@ -45,12 +60,34 @@ struct RunnerOptions {
   bool verbose = false;         ///< Log per-task progress to stderr.
   /// Cap on validation windows during hyper selection (keeps search cheap).
   std::size_t hyper_val_windows = 3;
+  /// Per-task wall-clock budget in seconds; 0 disables. Enforced twice:
+  /// cooperatively (the guard checks a monotonic clock before every
+  /// delegated Fit/Forecast and short-circuits the rest of the task) and by
+  /// a hard watchdog that abandons a task stuck inside a single call. An
+  /// over-budget task yields ok=false with a DEADLINE_EXCEEDED error and
+  /// the grid continues.
+  double deadline_seconds = 0.0;
+  /// Extra evaluation attempts after a failure (deadline failures are not
+  /// retried: a hung method stays hung). 0 = fail fast.
+  std::size_t max_retries = 0;
+  /// Registry name of a forecaster to run when the primary method fails
+  /// after all retries (e.g. "SeasonalNaive"), keeping the results table
+  /// complete as in the paper. Empty = disabled; failed rows stay ok=false.
+  std::string fallback_method;
+  /// JSONL journal path; rows are appended (and flushed) as they complete.
+  /// Empty = no journal.
+  std::string journal_path;
+  /// With a journal: skip tasks whose (dataset, method, horizon) cell is
+  /// already journaled and return the journaled row instead.
+  bool resume = false;
 };
 
 /// The automated end-to-end evaluation engine (Section 4.4): executes
 /// tasks — optionally across threads — with standardized splitting,
 /// normalization, strategy, and metric computation, and returns one row per
-/// task in input order.
+/// task in input order. Fault-isolated: a task that fails, hangs, or emits
+/// invalid output produces an ok=false row (or a fallback-forecaster row)
+/// while the rest of the grid runs to completion.
 class BenchmarkRunner {
  public:
   explicit BenchmarkRunner(const RunnerOptions& options = {})
@@ -59,7 +96,8 @@ class BenchmarkRunner {
   /// Runs all tasks; rows are returned in task order.
   std::vector<ResultRow> Run(const std::vector<BenchmarkTask>& tasks) const;
 
-  /// Runs a single task (also used internally by Run).
+  /// Runs a single task (also used internally by Run). Never consults or
+  /// writes the journal; resume is a Run()-level concern.
   ResultRow RunOne(const BenchmarkTask& task) const;
 
  private:

@@ -1,6 +1,7 @@
 #include "tfb/report/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -24,7 +25,10 @@ void PrintTable(std::ostream& os,
        << row.method << std::setw(6) << row.horizon;
     for (eval::Metric m : metrics) {
       const auto it = row.metrics.find(m);
-      if (it == row.metrics.end()) {
+      // Failed cells render "-" (the paper's Tables 7–8 convention) even if
+      // stale metric values are attached to the row.
+      if (!row.ok || it == row.metrics.end() ||
+          !std::isfinite(it->second)) {
         os << std::setw(10) << "-";
       } else {
         os << std::setw(10) << std::setprecision(4) << it->second;
@@ -33,6 +37,30 @@ void PrintTable(std::ostream& os,
     os << std::setw(8) << row.num_windows;
     if (!row.ok) os << "  ERROR: " << row.error;
     os << '\n';
+  }
+  PrintFailureSummary(os, rows);
+}
+
+void PrintFailureSummary(std::ostream& os,
+                         const std::vector<pipeline::ResultRow>& rows) {
+  std::size_t failed = 0;
+  std::size_t fallbacks = 0;
+  for (const pipeline::ResultRow& row : rows) {
+    if (!row.ok) ++failed;
+    if (row.used_fallback) ++fallbacks;
+  }
+  if (failed == 0 && fallbacks == 0) return;
+  os << '\n'
+     << "failures: " << failed << " of " << rows.size() << " tasks failed";
+  if (fallbacks > 0) {
+    os << ", " << fallbacks << " completed via the fallback forecaster";
+  }
+  os << '\n';
+  for (const pipeline::ResultRow& row : rows) {
+    if (row.ok && !row.used_fallback) continue;
+    os << "  " << row.dataset << " / " << row.method << " / h="
+       << row.horizon << ": "
+       << (row.ok ? "fallback (" + row.error + ")" : row.error) << '\n';
   }
 }
 
@@ -65,13 +93,18 @@ void PrintPivot(std::ostream& os,
         if (row.dataset == cell.first && row.horizon == cell.second &&
             row.method == m) {
           const auto it = row.metrics.find(metric);
-          if (it != row.metrics.end()) value = it->second;
+          if (row.ok && it != row.metrics.end()) value = it->second;
           break;
         }
       }
-      std::ostringstream tmp;
-      tmp << std::setprecision(4) << value;
-      os << std::setw(16) << tmp.str();
+      if (std::isfinite(value)) {
+        std::ostringstream tmp;
+        tmp << std::setprecision(4) << value;
+        os << std::setw(16) << tmp.str();
+      } else {
+        // Failed or absent cell: "-" as in the paper's Tables 7–8.
+        os << std::setw(16) << "-";
+      }
     }
     os << '\n';
   }
@@ -84,17 +117,29 @@ bool WriteCsv(const std::string& path,
   if (!os) return false;
   os << "dataset,method,horizon";
   for (eval::Metric m : metrics) os << ',' << eval::MetricName(m);
-  os << ",windows,fit_seconds,inference_ms,selected_config\n";
+  os << ",windows,fit_seconds,inference_ms,selected_config,ok,fallback,"
+        "error\n";
   os.precision(8);
+  // Error/note text may contain commas; keep the CSV single-token per cell.
+  const auto sanitize = [](std::string s) {
+    for (char& c : s) {
+      if (c == ',' || c == '\n' || c == '\r') c = ';';
+    }
+    return s;
+  };
   for (const pipeline::ResultRow& row : rows) {
     os << row.dataset << ',' << row.method << ',' << row.horizon;
     for (eval::Metric m : metrics) {
       const auto it = row.metrics.find(m);
       os << ',';
-      if (it != row.metrics.end()) os << it->second;
+      // Failed cells stay empty rather than exporting stale values.
+      if (row.ok && it != row.metrics.end()) os << it->second;
     }
     os << ',' << row.num_windows << ',' << row.fit_seconds << ','
-       << row.inference_ms_per_window << ',' << row.selected_config << '\n';
+       << row.inference_ms_per_window << ',' << row.selected_config << ','
+       << (row.ok ? "true" : "false") << ','
+       << (row.used_fallback ? "true" : "false") << ','
+       << sanitize(row.error) << '\n';
   }
   return static_cast<bool>(os);
 }

@@ -12,9 +12,18 @@ namespace tfb::report {
 
 /// Prints rows as a fixed-width text table (one line per row, the metric
 /// columns in `metrics` order) — the reporting layer's console output.
+/// Failed rows render "-" in every metric cell (the Tables 7–8 convention
+/// for methods that could not run) followed by the error; when any row
+/// failed or used the fallback forecaster, a failure-summary footer with
+/// per-run counts is appended.
 void PrintTable(std::ostream& os,
                 const std::vector<pipeline::ResultRow>& rows,
                 const std::vector<eval::Metric>& metrics);
+
+/// The failure-summary footer alone: per-run failed/fallback counts plus
+/// one line per affected cell. Prints nothing when every row is healthy.
+void PrintFailureSummary(std::ostream& os,
+                         const std::vector<pipeline::ResultRow>& rows);
 
 /// Prints a paper-style pivot: datasets x methods with one metric.
 /// Rows are (dataset, horizon) pairs in first-appearance order.

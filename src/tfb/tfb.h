@@ -13,6 +13,8 @@
 ///  - evaluation layer: tfb/eval
 ///  - pipeline & reporting: tfb/pipeline, tfb/report
 
+#include "tfb/base/check.h"
+#include "tfb/base/status.h"
 #include "tfb/characterization/adf.h"
 #include "tfb/characterization/catch22.h"
 #include "tfb/characterization/features.h"
@@ -22,7 +24,9 @@
 #include "tfb/eval/metrics.h"
 #include "tfb/eval/strategy.h"
 #include "tfb/methods/dl/dl_forecasters.h"
+#include "tfb/methods/fault_injection.h"
 #include "tfb/methods/forecaster.h"
+#include "tfb/methods/guarded_forecaster.h"
 #include "tfb/methods/ml/gradient_boosting.h"
 #include "tfb/methods/ml/linear_regression.h"
 #include "tfb/methods/ml/random_forest.h"
@@ -33,6 +37,7 @@
 #include "tfb/methods/statistical/theta.h"
 #include "tfb/methods/statistical/var.h"
 #include "tfb/pipeline/config.h"
+#include "tfb/pipeline/journal.h"
 #include "tfb/pipeline/method_registry.h"
 #include "tfb/pipeline/runner.h"
 #include "tfb/report/ascii_plot.h"

@@ -2,11 +2,22 @@
 // hostile inputs — gaps (NaN/inf) repaired through the imputation path,
 // constant series, extreme magnitudes, near-singular multivariate data, and
 // minimum-length series — without crashing or silently emitting garbage.
+// The runner-level scenarios exercise the fault-isolation layer: a grid
+// containing NaN-emitting, wrong-shape, slow, and hung forecasters must
+// complete with correct ok/error rows while healthy cells stay bit-identical
+// to a clean run, and a journaled grid must resume without re-running
+// finished tasks.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <memory>
+#include <sstream>
 
 #include "tfb/tfb.h"
 
@@ -174,6 +185,362 @@ TEST(FailureInjection, RollingOnShortestViableSeries) {
   };
   const eval::EvalResult r = eval::RollingForecastEvaluate(factory, s, 4, {});
   EXPECT_GE(r.num_windows, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-isolation layer: guard, deadlines, fallback, journal, resume.
+
+pipeline::BenchmarkTask CustomTask(const std::string& method,
+                                   methods::ForecasterFactory factory,
+                                   const ts::TimeSeries& series,
+                                   std::size_t horizon = 12) {
+  pipeline::BenchmarkTask task;
+  task.dataset = "synthetic";
+  task.series = series;
+  task.method = method;
+  task.horizon = horizon;
+  task.custom_candidates.push_back({method, std::move(factory)});
+  return task;
+}
+
+TEST(FaultIsolation, EvalPreconditionsAreRecoverableNotFatal) {
+  // A series too short to roll used to TFB_CHECK-abort the whole process;
+  // it must now come back as a per-evaluation error.
+  const ts::TimeSeries s = CleanSeries(20, 8);
+  const methods::ForecasterFactory factory = [] {
+    return std::make_unique<methods::NaiveForecaster>();
+  };
+  const eval::EvalResult r = eval::RollingForecastEvaluate(factory, s, 16, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("too short"), std::string::npos);
+
+  const eval::EvalResult fixed =
+      eval::FixedForecastEvaluate(*factory(), s.Slice(0, 10), 12, {});
+  EXPECT_FALSE(fixed.ok);
+}
+
+TEST(FaultIsolation, GuardValidatesShapeAndFiniteness) {
+  const ts::TimeSeries s = CleanSeries(100, 9);
+  for (const auto kind : {methods::FaultSpec::Kind::kNaN,
+                          methods::FaultSpec::Kind::kWrongShape,
+                          methods::FaultSpec::Kind::kEmptyForecast}) {
+    methods::FaultSpec spec;
+    spec.kind = kind;
+    auto state = std::make_shared<methods::GuardState>();
+    methods::GuardedForecaster guarded(
+        std::make_unique<methods::FaultInjectingForecaster>(spec), state);
+    guarded.Fit(s);
+    const ts::TimeSeries f = guarded.Forecast(s, 8);
+    // The substitute output keeps the evaluation well-formed...
+    ASSERT_EQ(f.length(), 8u);
+    ASSERT_EQ(f.num_variables(), 1u);
+    for (std::size_t t = 0; t < 8; ++t) {
+      EXPECT_TRUE(std::isfinite(f.at(t, 0)));
+    }
+    // ...while the violation is on record for the pipeline.
+    EXPECT_FALSE(state->ok());
+    EXPECT_EQ(state->status().code(), base::StatusCode::kInvalidOutput);
+  }
+}
+
+TEST(FaultIsolation, GridIsolatesFaultyMethodsFromHealthyOnes) {
+  const ts::TimeSeries series = CleanSeries(300, 10);
+
+  // Clean reference run: one healthy registry method, no faults, no guards
+  // beyond the defaults.
+  pipeline::BenchmarkTask healthy;
+  healthy.dataset = "synthetic";
+  healthy.series = series;
+  healthy.method = "SeasonalNaive";
+  healthy.horizon = 12;
+  const pipeline::ResultRow clean =
+      pipeline::BenchmarkRunner().RunOne(healthy);
+  ASSERT_TRUE(clean.ok) << clean.error;
+
+  // The hostile grid: the same healthy task plus a NaN emitter, a
+  // wrong-shape method, and a slow method that exceeds its deadline.
+  methods::FaultSpec nan_spec;
+  nan_spec.kind = methods::FaultSpec::Kind::kNaN;
+  methods::FaultSpec shape_spec;
+  shape_spec.kind = methods::FaultSpec::Kind::kWrongShape;
+  methods::FaultSpec slow_spec;
+  slow_spec.kind = methods::FaultSpec::Kind::kSlowFit;
+  slow_spec.sleep_ms = 150.0;
+
+  std::vector<pipeline::BenchmarkTask> tasks;
+  tasks.push_back(healthy);
+  tasks.push_back(CustomTask("AlwaysNaN", MakeFaultyFactory(nan_spec), series));
+  tasks.push_back(
+      CustomTask("WrongShape", MakeFaultyFactory(shape_spec), series));
+  tasks.push_back(CustomTask("TooSlow", MakeFaultyFactory(slow_spec), series));
+
+  pipeline::RunnerOptions options;
+  options.deadline_seconds = 0.2;
+  const auto rows = pipeline::BenchmarkRunner(options).Run(tasks);
+  ASSERT_EQ(rows.size(), 4u);
+
+  // Healthy cell: unchanged, bit-identical to the clean run.
+  ASSERT_TRUE(rows[0].ok) << rows[0].error;
+  ASSERT_EQ(rows[0].metrics.size(), clean.metrics.size());
+  for (const auto& [metric, value] : clean.metrics) {
+    EXPECT_EQ(rows[0].metrics.at(metric), value)
+        << eval::MetricName(metric) << " changed under the guarded runner";
+  }
+
+  EXPECT_FALSE(rows[1].ok);
+  EXPECT_NE(rows[1].error.find("non-finite"), std::string::npos)
+      << rows[1].error;
+  EXPECT_FALSE(rows[2].ok);
+  EXPECT_NE(rows[2].error.find("shape"), std::string::npos) << rows[2].error;
+  EXPECT_FALSE(rows[3].ok);
+  EXPECT_NE(rows[3].error.find("DEADLINE"), std::string::npos)
+      << rows[3].error;
+}
+
+TEST(FaultIsolation, HardWatchdogRecoversFromHungTask) {
+  const ts::TimeSeries series = CleanSeries(200, 11);
+  methods::FaultSpec hang;
+  hang.kind = methods::FaultSpec::Kind::kHangFit;
+  hang.sleep_ms = 1200.0;  // One uninterruptible stall inside Fit.
+
+  pipeline::RunnerOptions options;
+  options.deadline_seconds = 0.1;
+  const auto start = std::chrono::steady_clock::now();
+  const pipeline::ResultRow row = pipeline::BenchmarkRunner(options).RunOne(
+      CustomTask("Hung", MakeFaultyFactory(hang), series));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_FALSE(row.ok);
+  EXPECT_NE(row.error.find("DEADLINE"), std::string::npos) << row.error;
+  // The runner must abandon the hung task, not sit out the full stall.
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(FaultIsolation, FallbackForecasterKeepsTheTableComplete) {
+  const ts::TimeSeries series = CleanSeries(300, 12);
+  methods::FaultSpec nan_spec;
+  nan_spec.kind = methods::FaultSpec::Kind::kNaN;
+
+  pipeline::RunnerOptions options;
+  options.fallback_method = "SeasonalNaive";
+  const pipeline::ResultRow row = pipeline::BenchmarkRunner(options).RunOne(
+      CustomTask("AlwaysNaN", MakeFaultyFactory(nan_spec), series));
+
+  EXPECT_TRUE(row.ok);
+  EXPECT_TRUE(row.used_fallback);
+  EXPECT_EQ(row.selected_config, "SeasonalNaive");
+  // The primary failure stays on record for the failure summary.
+  EXPECT_NE(row.error.find("non-finite"), std::string::npos) << row.error;
+  EXPECT_TRUE(std::isfinite(row.metrics.at(eval::Metric::kMae)));
+}
+
+TEST(FaultIsolation, RetryRecoversTransientFailure) {
+  const ts::TimeSeries series = CleanSeries(300, 13);
+  // First instantiated forecaster NaNs, every later one is healthy — a
+  // transient failure the bounded retry should absorb.
+  auto instances = std::make_shared<std::atomic<int>>(0);
+  methods::ForecasterFactory flaky = [instances] {
+    methods::FaultSpec spec;
+    if (instances->fetch_add(1) == 0) {
+      spec.kind = methods::FaultSpec::Kind::kNaN;
+    }
+    return std::make_unique<methods::FaultInjectingForecaster>(spec);
+  };
+
+  pipeline::RunnerOptions no_retry;
+  const pipeline::ResultRow failed = pipeline::BenchmarkRunner(no_retry)
+      .RunOne(CustomTask("Flaky", flaky, series));
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.attempts, 1u);
+
+  instances->store(0);
+  pipeline::RunnerOptions with_retry;
+  with_retry.max_retries = 1;
+  const pipeline::ResultRow row = pipeline::BenchmarkRunner(with_retry)
+      .RunOne(CustomTask("Flaky", flaky, series));
+  EXPECT_TRUE(row.ok) << row.error;
+  EXPECT_EQ(row.attempts, 2u);
+  EXPECT_NE(row.note.find("attempt 2"), std::string::npos) << row.note;
+}
+
+TEST(FaultIsolation, HyperSelectionSkipsNonFiniteScores) {
+  const ts::TimeSeries series = CleanSeries(300, 14);
+  methods::FaultSpec nan_spec;
+  nan_spec.kind = methods::FaultSpec::Kind::kNaN;
+
+  // Candidate 0 always scores NaN on validation; before the fix `<` never
+  // replaced it and config 0 silently won. Candidate 1 must be selected.
+  pipeline::BenchmarkTask task;
+  task.dataset = "synthetic";
+  task.series = series;
+  task.method = "Mixed";
+  task.horizon = 12;
+  task.custom_candidates.push_back(
+      {"nan-config", MakeFaultyFactory(nan_spec)});
+  task.custom_candidates.push_back({"good-config", [] {
+    return std::make_unique<methods::SeasonalNaiveForecaster>();
+  }});
+
+  const pipeline::ResultRow row = pipeline::BenchmarkRunner().RunOne(task);
+  ASSERT_TRUE(row.ok) << row.error;
+  EXPECT_EQ(row.selected_config, "good-config");
+
+  // All-NaN search: falls back to the default config, says so, and the row
+  // is flagged failed rather than reporting poisoned metrics.
+  pipeline::BenchmarkTask all_bad = task;
+  all_bad.custom_candidates[1] = {"nan-config-2", MakeFaultyFactory(nan_spec)};
+  const pipeline::ResultRow bad_row =
+      pipeline::BenchmarkRunner().RunOne(all_bad);
+  EXPECT_FALSE(bad_row.ok);
+  EXPECT_NE(bad_row.note.find("default config"), std::string::npos)
+      << bad_row.note;
+}
+
+TEST(FaultIsolation, HyperSelectionSurfacesShortValidationRegion) {
+  // Long enough to roll on test but too short for the validation split
+  // (train+val ~19 points < horizon + 16).
+  const ts::TimeSeries series = CleanSeries(24, 15);
+  pipeline::BenchmarkTask task;
+  task.dataset = "synthetic";
+  task.series = series;
+  task.method = "TwoConfigs";
+  task.horizon = 4;
+  for (const char* name : {"a", "b"}) {
+    task.custom_candidates.push_back({name, [] {
+      return std::make_unique<methods::NaiveForecaster>();
+    }});
+  }
+  const pipeline::ResultRow row = pipeline::BenchmarkRunner().RunOne(task);
+  ASSERT_TRUE(row.ok) << row.error;
+  EXPECT_NE(row.note.find("validation region too short"), std::string::npos)
+      << row.note;
+}
+
+TEST(FaultIsolation, JournalLineRoundTripsAllFields) {
+  pipeline::ResultRow row;
+  row.dataset = "ETTh2";
+  row.method = "PatchAttention";
+  row.horizon = 36;
+  row.ok = false;
+  row.error = "INVALID_OUTPUT: commas, \"quotes\", and\nnewlines";
+  row.selected_config = "PatchAttention/lb=96";
+  row.used_fallback = true;
+  row.note = "fell back";
+  row.attempts = 2;
+  row.num_windows = 7;
+  row.fit_seconds = 1.25e-3;
+  row.inference_ms_per_window = 0.625;
+  row.metrics[eval::Metric::kMae] = 0.123456789012345678;
+  row.metrics[eval::Metric::kMse] = 1e300;
+
+  pipeline::ResultRow parsed;
+  ASSERT_TRUE(
+      pipeline::ParseJournalLine(pipeline::JournalLine(row), &parsed));
+  EXPECT_EQ(parsed.dataset, row.dataset);
+  EXPECT_EQ(parsed.method, row.method);
+  EXPECT_EQ(parsed.horizon, row.horizon);
+  EXPECT_EQ(parsed.ok, row.ok);
+  EXPECT_EQ(parsed.error, row.error);
+  EXPECT_EQ(parsed.selected_config, row.selected_config);
+  EXPECT_EQ(parsed.used_fallback, row.used_fallback);
+  EXPECT_EQ(parsed.note, row.note);
+  EXPECT_EQ(parsed.attempts, row.attempts);
+  EXPECT_EQ(parsed.num_windows, row.num_windows);
+  EXPECT_EQ(parsed.fit_seconds, row.fit_seconds);
+  // %.17g serialization: metrics survive bit-exactly.
+  EXPECT_EQ(parsed.metrics.at(eval::Metric::kMae),
+            row.metrics.at(eval::Metric::kMae));
+  EXPECT_EQ(parsed.metrics.at(eval::Metric::kMse),
+            row.metrics.at(eval::Metric::kMse));
+
+  EXPECT_FALSE(pipeline::ParseJournalLine("{not json", &parsed));
+}
+
+TEST(FaultIsolation, JournalResumeSkipsFinishedTasks) {
+  const std::string path = testing::TempDir() + "/tfb_journal_test.jsonl";
+  std::remove(path.c_str());
+  const ts::TimeSeries series = CleanSeries(300, 16);
+
+  auto instances = std::make_shared<std::atomic<int>>(0);
+  auto counting_factory = [instances] {
+    instances->fetch_add(1);
+    return std::make_unique<methods::SeasonalNaiveForecaster>();
+  };
+  std::vector<pipeline::BenchmarkTask> tasks;
+  for (const char* method : {"m1", "m2", "m3"}) {
+    tasks.push_back(CustomTask(method, counting_factory, series));
+  }
+
+  pipeline::RunnerOptions journaled;
+  journaled.journal_path = path;
+  const auto first = pipeline::BenchmarkRunner(journaled).Run(tasks);
+  ASSERT_EQ(first.size(), 3u);
+  for (const auto& row : first) ASSERT_TRUE(row.ok) << row.error;
+  EXPECT_EQ(instances->load(), 3);
+  EXPECT_EQ(pipeline::LoadJournal(path).size(), 3u);
+
+  // Resume over the same grid plus one new cell: only the new cell runs.
+  tasks.push_back(CustomTask("m4", counting_factory, series));
+  pipeline::RunnerOptions resuming = journaled;
+  resuming.resume = true;
+  const auto second = pipeline::BenchmarkRunner(resuming).Run(tasks);
+  ASSERT_EQ(second.size(), 4u);
+  EXPECT_EQ(instances->load(), 4);  // m1..m3 skipped, m4 executed.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(second[i].ok);
+    EXPECT_EQ(second[i].method, first[i].method);
+    EXPECT_EQ(second[i].metrics.at(eval::Metric::kMae),
+              first[i].metrics.at(eval::Metric::kMae));
+  }
+  EXPECT_TRUE(second[3].ok) << second[3].error;
+  EXPECT_EQ(pipeline::LoadJournal(path).size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultIsolation, ReportRendersFailedCellsAsDashes) {
+  pipeline::ResultRow good;
+  good.dataset = "ILI";
+  good.method = "VAR";
+  good.horizon = 12;
+  good.ok = true;
+  good.metrics[eval::Metric::kMae] = 0.5;
+  pipeline::ResultRow bad;
+  bad.dataset = "ILI";
+  bad.method = "Broken";
+  bad.horizon = 12;
+  bad.ok = false;
+  bad.error = "DEADLINE_EXCEEDED: boom";
+  // Stale values attached to a failed row must not be printed.
+  bad.metrics[eval::Metric::kMae] = 0.0;
+
+  const std::vector<pipeline::ResultRow> rows = {good, bad};
+  std::ostringstream table;
+  report::PrintTable(table, rows, {eval::Metric::kMae});
+  EXPECT_NE(table.str().find("0.5"), std::string::npos);
+  EXPECT_NE(table.str().find("-"), std::string::npos);
+  EXPECT_NE(table.str().find("failures: 1 of 2"), std::string::npos)
+      << table.str();
+  EXPECT_NE(table.str().find("boom"), std::string::npos);
+
+  std::ostringstream pivot;
+  report::PrintPivot(pivot, rows, eval::Metric::kMae);
+  const std::string pivot_text = pivot.str();
+  EXPECT_NE(pivot_text.find("-"), std::string::npos);
+  EXPECT_EQ(pivot_text.find("nan"), std::string::npos) << pivot_text;
+
+  const std::string csv_path = testing::TempDir() + "/tfb_failed_cells.csv";
+  ASSERT_TRUE(report::WriteCsv(csv_path, rows, {eval::Metric::kMae}));
+  std::ifstream in(csv_path);
+  std::stringstream csv;
+  csv << in.rdbuf();
+  EXPECT_NE(csv.str().find("false,false,DEADLINE_EXCEEDED: boom"),
+            std::string::npos)
+      << csv.str();
+  // The failed row's stale metric value is not exported.
+  EXPECT_EQ(csv.str().find("Broken,12,0"), std::string::npos) << csv.str();
+  std::remove(csv_path.c_str());
 }
 
 }  // namespace
