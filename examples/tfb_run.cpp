@@ -6,15 +6,25 @@
 // Usage:
 //   ./build/examples/tfb_run my_run.conf            # run a config file
 //   ./build/examples/tfb_run my_run.conf --resume   # skip journaled tasks
+//   ./build/examples/tfb_run my_run.conf --isolate=process  # sandbox tasks
 //   ./build/examples/tfb_run --print-default        # show default config
 //   ./build/examples/tfb_run                        # run a small demo
 //
 // Fault isolation (see the "Failure semantics" section of DESIGN.md): the
-// config keys `deadline_seconds`, `max_retries`, `fallback`, and `journal`
-// bound each task's budget, retry transient failures, keep the table
-// complete with a fallback forecaster, and journal finished rows as JSONL.
-// With a `journal` configured, `--resume` continues an interrupted grid,
-// executing only the cells the journal does not cover.
+// config keys `deadline_seconds`, `max_retries`, `retry_backoff_ms`,
+// `fallback`, and `journal` bound each task's budget, retry transient
+// failures with exponential backoff, keep the table complete with a
+// fallback forecaster, and journal finished rows as JSONL. With a `journal`
+// configured, `--resume` continues an interrupted grid, executing only the
+// cells the journal does not cover.
+//
+// Process isolation (`--isolate=process`, or `isolation = process` in the
+// config): every task runs in a fork()ed child under the configured
+// `memory_limit_mb` / `cpu_limit_seconds` resource limits. A method that
+// segfaults, aborts, allocates without bound, or hangs is killed and
+// classified (crash / oom / timeout / abort) in the journal and the
+// report's failure footer; the rest of the grid is untouched.
+// `--isolate=in_process` forces the threaded mode over the config.
 //
 // Emits the result table to stdout and tfb_results.csv to the working
 // directory.
@@ -32,7 +42,11 @@ int main(int argc, char** argv) {
 
   pipeline::BenchmarkConfig config;
   bool resume = false;
+  bool isolation_forced = false;
+  pipeline::Isolation isolation = pipeline::Isolation::kInProcess;
   const char* config_path = nullptr;
+  const char* usage =
+      "usage: tfb_run [config] [--resume] [--isolate=process|in_process]\n";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print-default") == 0) {
       config.datasets = {"ETTh2", "ILI"};
@@ -42,10 +56,19 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[i], "--isolate=process") == 0) {
+      isolation_forced = true;
+      isolation = pipeline::Isolation::kProcess;
+    } else if (std::strcmp(argv[i], "--isolate=in_process") == 0) {
+      isolation_forced = true;
+      isolation = pipeline::Isolation::kInProcess;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "%s", usage);
+      return 1;
     } else if (config_path == nullptr) {
       config_path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: tfb_run [config] [--resume]\n");
+      std::fprintf(stderr, "%s", usage);
       return 1;
     }
   }
@@ -78,6 +101,13 @@ int main(int argc, char** argv) {
   pipeline::RunnerOptions runner_options = config.MakeRunnerOptions();
   runner_options.resume = resume;
   runner_options.verbose = true;
+  if (isolation_forced) runner_options.isolation = isolation;
+  if (runner_options.isolation == pipeline::Isolation::kProcess) {
+    std::printf("process isolation: on (memory_limit_mb=%zu, "
+                "cpu_limit_seconds=%g)\n",
+                runner_options.memory_limit_mb,
+                runner_options.cpu_limit_seconds);
+  }
   const auto rows = pipeline::BenchmarkRunner(runner_options).Run(tasks);
 
   report::PrintTable(std::cout, rows, config.metrics);

@@ -1,6 +1,7 @@
 #ifndef TFB_BASE_STATUS_H_
 #define TFB_BASE_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -15,13 +16,18 @@
 
 namespace tfb::base {
 
-/// Coarse failure taxonomy; the pipeline maps these to row errors.
+/// Coarse failure taxonomy; the pipeline maps these to row errors. The last
+/// three classes can only be *observed* from outside the failing process and
+/// are produced by the `tfb::proc` sandbox supervisor (`--isolate=process`).
 enum class StatusCode {
   kOk = 0,
   kInvalidInput,       ///< Series/config unusable (e.g. too short to roll).
   kInvalidOutput,      ///< Method produced wrong-shape or non-finite output.
-  kDeadlineExceeded,   ///< Per-task time budget exhausted.
+  kDeadlineExceeded,   ///< Per-task time budget exhausted (wall or CPU).
   kInternal,           ///< Anything else recoverable.
+  kCrashed,            ///< Child killed by a fatal signal (SIGSEGV, ...).
+  kAborted,            ///< Child aborted (SIGABRT) or exited non-zero.
+  kResourceExhausted,  ///< Child hit its memory limit (RLIMIT_AS / OOM).
 };
 
 /// Human-readable code label.
@@ -32,8 +38,25 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInvalidOutput: return "INVALID_OUTPUT";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCrashed: return "CRASHED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
+}
+
+/// Inverse of StatusCodeName; nullopt for unrecognized labels. Lets the
+/// pipeline and report recover the failure class from a serialized
+/// "CODE: message" row error (journal resume, sandbox payloads, footers).
+inline std::optional<StatusCode> StatusCodeFromName(const std::string& name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidInput, StatusCode::kInvalidOutput,
+        StatusCode::kDeadlineExceeded, StatusCode::kInternal,
+        StatusCode::kCrashed, StatusCode::kAborted,
+        StatusCode::kResourceExhausted}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return std::nullopt;
 }
 
 /// Value-type status: ok by default, or a code plus message. The library
@@ -58,6 +81,15 @@ class Status {
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  static Status Crashed(std::string message) {
+    return Status(StatusCode::kCrashed, std::move(message));
+  }
+  static Status Aborted(std::string message) {
+    return Status(StatusCode::kAborted, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,6 +99,22 @@ class Status {
   std::string ToString() const {
     if (ok()) return "OK";
     return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  /// Inverse of ToString: reconstructs a Status from a "CODE: message" row
+  /// error. Unrecognized text becomes an INTERNAL status carrying the whole
+  /// string, so no information is lost.
+  static Status FromString(const std::string& text) {
+    if (text == "OK" || text.empty()) return Status();
+    const std::size_t colon = text.find(':');
+    if (colon != std::string::npos) {
+      if (const auto code = StatusCodeFromName(text.substr(0, colon))) {
+        std::size_t begin = colon + 1;
+        while (begin < text.size() && text[begin] == ' ') ++begin;
+        return Status(*code, text.substr(begin));
+      }
+    }
+    return Status(StatusCode::kInternal, text);
   }
 
  private:

@@ -1,8 +1,14 @@
 #include "tfb/methods/fault_injection.h"
 
 #include <chrono>
+#include <csignal>
+#include <cstring>
 #include <limits>
+#include <memory>
 #include <thread>
+#include <vector>
+
+#include <unistd.h>
 
 #include "tfb/linalg/matrix.h"
 #include "tfb/methods/naive.h"
@@ -19,8 +25,39 @@ const char* FaultLabel(FaultSpec::Kind kind) {
     case FaultSpec::Kind::kEmptyForecast: return "empty";
     case FaultSpec::Kind::kSlowFit: return "slow-fit";
     case FaultSpec::Kind::kHangFit: return "hang-fit";
+    case FaultSpec::Kind::kCrash: return "crash";
+    case FaultSpec::Kind::kOom: return "oom";
+    case FaultSpec::Kind::kExitNonzero: return "exit-nonzero";
   }
   return "?";
+}
+
+/// Dies by SIGSEGV with the *default* disposition, so the process is
+/// terminated by the signal even under sanitizer runtimes that install
+/// their own SIGSEGV handler — the sandbox supervisor must observe a real
+/// signal death, not a handled report.
+[[noreturn]] void RaiseSegv() {
+  std::signal(SIGSEGV, SIG_DFL);
+  std::raise(SIGSEGV);
+  // raise() of a default-disposition SIGSEGV does not return; satisfy the
+  // compiler if the impossible happens.
+  std::abort();
+}
+
+/// Allocates (and touches) memory until either the surrounding resource
+/// limit kills the allocation path or `cap_bytes` is reached. Returns
+/// normally only in the capped case.
+void AllocateUntilLimit(std::size_t cap_bytes) {
+  constexpr std::size_t kChunk = std::size_t{16} << 20;  // 16 MiB
+  std::vector<std::unique_ptr<char[]>> hoard;
+  std::size_t held = 0;
+  while (held + kChunk <= cap_bytes) {
+    auto chunk = std::make_unique<char[]>(kChunk);
+    // Touch every page so the pressure is physical, not just virtual.
+    std::memset(chunk.get(), 0x5a, kChunk);
+    hoard.push_back(std::move(chunk));
+    held += kChunk;
+  }
 }
 
 }  // namespace
@@ -44,6 +81,13 @@ std::size_t FaultInjectingForecaster::lookback() const {
 }
 
 void FaultInjectingForecaster::Fit(const ts::TimeSeries& train) {
+  if (spec_.kind == FaultSpec::Kind::kCrash) {
+    RaiseSegv();
+  } else if (spec_.kind == FaultSpec::Kind::kOom) {
+    AllocateUntilLimit(spec_.oom_cap_bytes);
+  } else if (spec_.kind == FaultSpec::Kind::kExitNonzero) {
+    _exit(spec_.exit_code);
+  }
   if (spec_.kind == FaultSpec::Kind::kSlowFit && spec_.sleep_ms > 0.0) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(spec_.sleep_ms));
@@ -83,6 +127,9 @@ ts::TimeSeries FaultInjectingForecaster::Forecast(
     case FaultSpec::Kind::kNone:
     case FaultSpec::Kind::kSlowFit:
     case FaultSpec::Kind::kHangFit:
+    case FaultSpec::Kind::kCrash:
+    case FaultSpec::Kind::kOom:
+    case FaultSpec::Kind::kExitNonzero:
       return forecast;
   }
   return forecast;

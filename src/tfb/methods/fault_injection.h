@@ -19,12 +19,24 @@ struct FaultSpec {
     kEmptyForecast,  ///< Return a zero-length forecast.
     kSlowFit,        ///< Sleep `sleep_ms` inside every Fit call.
     kHangFit,        ///< Sleep `sleep_ms` once, inside the first Fit call.
+    /// The three process-killing faults below exercise the `tfb::proc`
+    /// sandbox; running them without `--isolate=process` takes the calling
+    /// process down (which is exactly the point).
+    kCrash,          ///< Raise SIGSEGV (default disposition) inside Fit.
+    kOom,            ///< Allocate without bound inside Fit (see oom_cap).
+    kExitNonzero,    ///< _exit(exit_code) inside Fit.
   };
   Kind kind = Kind::kNone;
   double sleep_ms = 0.0;       ///< Budget for kSlowFit / kHangFit.
   /// Number of initial Forecast calls that stay healthy before the fault
   /// fires (models late-onset failures mid-rolling-evaluation).
   std::size_t healthy_forecasts = 0;
+  /// kOom safety cap: allocation stops (and the forecaster behaves like its
+  /// inner method) once this many bytes are held without the memory limit
+  /// kicking in — so a mis-configured run degrades instead of eating the
+  /// host. Keep it above the sandbox memory limit under test.
+  std::size_t oom_cap_bytes = std::size_t{1} << 30;
+  int exit_code = 3;           ///< Exit status used by kExitNonzero.
 };
 
 /// Test double wrapping any inner forecaster (default: SeasonalNaive) and

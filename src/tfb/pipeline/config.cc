@@ -137,10 +137,34 @@ std::optional<BenchmarkConfig> ParseConfig(const std::string& text,
       }
     } else if (key == "max_retries") {
       config.max_retries = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "retry_backoff_ms") {
+      char* end = nullptr;
+      config.retry_backoff_ms = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || config.retry_backoff_ms < 0.0) {
+        return fail("bad retry_backoff_ms: " + value);
+      }
     } else if (key == "fallback") {
       config.fallback = value;
     } else if (key == "journal") {
       config.journal = value;
+    } else if (key == "journal_fsync") {
+      if (!ParseBool(value, &config.journal_fsync)) return fail("bad bool");
+    } else if (key == "isolation") {
+      if (value == "process") {
+        config.isolation = Isolation::kProcess;
+      } else if (value == "in_process") {
+        config.isolation = Isolation::kInProcess;
+      } else {
+        return fail("isolation must be in_process or process");
+      }
+    } else if (key == "memory_limit_mb") {
+      config.memory_limit_mb = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "cpu_limit_seconds") {
+      char* end = nullptr;
+      config.cpu_limit_seconds = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || config.cpu_limit_seconds < 0.0) {
+        return fail("bad cpu_limit_seconds: " + value);
+      }
     } else {
       return fail("unknown key: " + key);
     }
@@ -216,8 +240,16 @@ std::string ConfigToString(const BenchmarkConfig& config) {
   os << "max_dim = " << config.max_dim << '\n';
   os << "deadline_seconds = " << config.deadline_seconds << '\n';
   os << "max_retries = " << config.max_retries << '\n';
+  os << "retry_backoff_ms = " << config.retry_backoff_ms << '\n';
   if (!config.fallback.empty()) os << "fallback = " << config.fallback << '\n';
   if (!config.journal.empty()) os << "journal = " << config.journal << '\n';
+  os << "journal_fsync = " << (config.journal_fsync ? "true" : "false")
+     << '\n';
+  os << "isolation = "
+     << (config.isolation == Isolation::kProcess ? "process" : "in_process")
+     << '\n';
+  os << "memory_limit_mb = " << config.memory_limit_mb << '\n';
+  os << "cpu_limit_seconds = " << config.cpu_limit_seconds << '\n';
   return os.str();
 }
 
@@ -226,8 +258,13 @@ RunnerOptions BenchmarkConfig::MakeRunnerOptions() const {
   options.num_threads = num_threads;
   options.deadline_seconds = deadline_seconds;
   options.max_retries = max_retries;
+  options.retry_backoff_ms = retry_backoff_ms;
   options.fallback_method = fallback;
   options.journal_path = journal;
+  options.journal_fsync = journal_fsync;
+  options.isolation = isolation;
+  options.memory_limit_mb = memory_limit_mb;
+  options.cpu_limit_seconds = cpu_limit_seconds;
   return options;
 }
 

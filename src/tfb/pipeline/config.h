@@ -49,8 +49,15 @@ struct BenchmarkConfig {
   /// Fault-isolation knobs (see RunnerOptions for semantics).
   double deadline_seconds = 0.0;   ///< Per-task budget; 0 = no deadline.
   std::size_t max_retries = 0;     ///< Extra attempts after a failure.
+  double retry_backoff_ms = 0.0;   ///< Base exponential-backoff delay.
   std::string fallback;            ///< Fallback method name; "" = disabled.
   std::string journal;             ///< JSONL journal path; "" = no journal.
+  bool journal_fsync = false;      ///< fsync the journal after every row.
+  /// Process-sandbox knobs ("isolation = process" config key /
+  /// `--isolate=process` CLI flag; see RunnerOptions::isolation).
+  Isolation isolation = Isolation::kInProcess;
+  std::size_t memory_limit_mb = 0;  ///< Per-task RLIMIT_AS cap; 0 = off.
+  double cpu_limit_seconds = 0.0;   ///< Per-task RLIMIT_CPU cap; 0 = off.
 
   /// The runner options this configuration implies (resume stays false; it
   /// is a command-line decision, not a config-file one).

@@ -1,10 +1,16 @@
 #include "tfb/pipeline/journal.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "tfb/pipeline/config.h"
 
@@ -170,12 +176,46 @@ std::string JournalLine(const ResultRow& row) {
   return out;
 }
 
-bool AppendJournal(const std::string& path, const ResultRow& row) {
-  std::ofstream os(path, std::ios::app);
-  if (!os) return false;
-  os << JournalLine(row) << '\n';
-  os.flush();
-  return static_cast<bool>(os);
+bool AppendJournal(const std::string& path, const ResultRow& row,
+                   const JournalOptions& options) {
+  // O_RDWR (not O_WRONLY): the torn-fragment probe below needs to pread the
+  // last byte; writes still go through O_APPEND positioning.
+  const int fd = open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
+                      0644);
+  if (fd < 0) return false;
+  // The flock is belt-and-braces on top of O_APPEND atomicity: it also
+  // covers the (filesystem-dependent) case of a single line larger than the
+  // kernel's atomic-append granularity, and serializes the fsync.
+  flock(fd, LOCK_EX);
+  std::string line = JournalLine(row) + '\n';
+  // A writer killed mid-append leaves the file without a trailing newline;
+  // terminating that torn fragment first keeps this row on its own line
+  // instead of merging with (and corrupting alongside) the fragment.
+  struct stat st;
+  if (fstat(fd, &st) == 0 && st.st_size > 0) {
+    char last = '\n';
+    if (pread(fd, &last, 1, st.st_size - 1) == 1 && last != '\n') {
+      line.insert(line.begin(), '\n');
+    }
+  }
+  bool ok = true;
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        write(fd, line.data() + written, line.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      ok = false;
+      break;
+    }
+  }
+  if (ok && options.fsync_each_row && fsync(fd) != 0) ok = false;
+  flock(fd, LOCK_UN);
+  close(fd);
+  return ok;
 }
 
 bool ParseJournalLine(const std::string& line, ResultRow* row) {

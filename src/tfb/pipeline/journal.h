@@ -24,9 +24,22 @@ namespace tfb::pipeline {
 /// Serializes one row as a single JSON line (no trailing newline).
 std::string JournalLine(const ResultRow& row);
 
-/// Appends `row` to the journal at `path`, creating the file if needed, and
-/// flushes so the row survives a crash. Returns false on I/O failure.
-bool AppendJournal(const std::string& path, const ResultRow& row);
+/// Durability/concurrency knobs for journal appends.
+struct JournalOptions {
+  /// fsync() the journal after every appended row: a row then survives not
+  /// just a process crash but a machine crash, at ~1 write's latency cost.
+  bool fsync_each_row = false;
+};
+
+/// Appends `row` to the journal at `path`, creating the file if needed.
+/// Crash-safe under concurrent writers: the full line (with its trailing
+/// newline) goes out as a single write() on an O_APPEND descriptor held
+/// under an exclusive flock(), so lines from parallel workers — or from
+/// separate tfb_run processes sharing one journal — never interleave. A
+/// worker killed mid-append can leave at most one torn final line, which
+/// LoadJournal skips. Returns false on I/O failure.
+bool AppendJournal(const std::string& path, const ResultRow& row,
+                   const JournalOptions& options = {});
 
 /// Parses one journal line back into a row; returns false on malformed
 /// input (the resume path skips such lines rather than failing the run).

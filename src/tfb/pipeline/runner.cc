@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <limits>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "tfb/base/status.h"
 #include "tfb/methods/guarded_forecaster.h"
 #include "tfb/pipeline/journal.h"
+#include "tfb/proc/sandbox.h"
 
 namespace tfb::pipeline {
 
@@ -208,14 +210,140 @@ void FillMetrics(ResultRow* row, const eval::EvalResult& result) {
   row->inference_ms_per_window = result.inference_ms_per_window();
 }
 
-}  // namespace
+/// One evaluation attempt, fully resolved: the row carries everything the
+/// caller may publish; the status keeps the machine-readable failure class
+/// for the retry/fallback decisions.
+struct AttemptResult {
+  base::Status status;
+  ResultRow row;
+};
 
-ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
+ResultRow BaseRow(const BenchmarkTask& task) {
   ResultRow row;
   row.dataset = task.dataset;
   row.method = task.method;
   row.horizon = task.horizon;
+  return row;
+}
 
+/// Resolves a TaskOutcome into a publishable row (shared by the in-process
+/// path in the parent and the sandboxed path inside the child).
+AttemptResult ResolveOutcome(const BenchmarkTask& task, TaskOutcome outcome) {
+  AttemptResult attempt;
+  attempt.status = std::move(outcome.status);
+  attempt.row = BaseRow(task);
+  attempt.row.selected_config = std::move(outcome.selected_config);
+  attempt.row.note = std::move(outcome.note);
+  if (attempt.status.ok()) {
+    FillMetrics(&attempt.row, outcome.result);
+    attempt.row.ok = true;
+  } else {
+    attempt.row.error = attempt.status.ToString();
+  }
+  return attempt;
+}
+
+AttemptResult EvaluateInProcess(
+    const BenchmarkTask& task,
+    const std::vector<methods::MethodConfig>& candidates,
+    const RunnerOptions& options) {
+  return ResolveOutcome(task, Evaluate(task, candidates, options));
+}
+
+/// Process isolation: the evaluation runs in a fork()ed child under the
+/// configured resource limits; the child ships its row back as one journal
+/// line over the sandbox pipe. The cooperative deadline still runs inside
+/// the child (it produces the cheapest, most descriptive timeout rows); the
+/// supervisor's SIGKILL at the hard cutoff replaces the in-process watchdog
+/// — and unlike the watchdog it actually *stops* the runaway task and
+/// reclaims its memory.
+AttemptResult EvaluateSandboxed(
+    const BenchmarkTask& task,
+    const std::vector<methods::MethodConfig>& candidates,
+    const RunnerOptions& options) {
+  proc::SandboxLimits limits;
+  if (options.deadline_seconds > 0.0) {
+    // Same grace past the deadline as the in-process watchdog: the child's
+    // cooperative guard usually trips first and reports precisely.
+    limits.wall_seconds = 1.5 * options.deadline_seconds + 0.2;
+  }
+  limits.cpu_seconds = options.cpu_limit_seconds;
+  limits.memory_bytes = options.memory_limit_mb << 20;
+
+  const proc::SandboxResult sandboxed = proc::RunInSandbox(
+      [&task, &candidates, &options] {
+        const AttemptResult attempt = ResolveOutcome(
+            task, EvaluateCandidates(
+                      task, candidates, options,
+                      methods::Deadline::After(options.deadline_seconds)));
+        return JournalLine(attempt.row);
+      },
+      limits);
+
+  AttemptResult attempt;
+  attempt.row = BaseRow(task);
+  if (sandboxed.fate == proc::TaskFate::kOk) {
+    ResultRow parsed;
+    if (ParseJournalLine(sandboxed.payload, &parsed)) {
+      attempt.row = std::move(parsed);
+      attempt.status = attempt.row.ok
+                           ? base::Status::Ok()
+                           : base::Status::FromString(attempt.row.error);
+      return attempt;
+    }
+    attempt.status = base::Status::InvalidOutput(
+        "sandboxed task returned an unparsable result payload");
+  } else {
+    attempt.status = sandboxed.status;
+  }
+  attempt.row.error = attempt.status.ToString();
+  return attempt;
+}
+
+AttemptResult EvaluateAttempt(
+    const BenchmarkTask& task,
+    const std::vector<methods::MethodConfig>& candidates,
+    const RunnerOptions& options) {
+  if (options.isolation == Isolation::kProcess) {
+    return EvaluateSandboxed(task, candidates, options);
+  }
+  return EvaluateInProcess(task, candidates, options);
+}
+
+/// Backoff before retry `attempt+1`: exponential in the attempt number with
+/// a deterministic per-task jitter in [0.5, 1.5) — same task, same delays,
+/// reproducible runs; different tasks, decorrelated delays, no retry
+/// stampede across parallel workers.
+double BackoffDelayMs(const RunnerOptions& options, const BenchmarkTask& task,
+                      std::size_t attempt) {
+  if (options.retry_backoff_ms <= 0.0) return 0.0;
+  const double exponential =
+      options.retry_backoff_ms * std::pow(2.0, static_cast<double>(attempt - 1));
+  // FNV-1a over the task identity and attempt number.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const std::string& s) {
+    for (const unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(task.dataset);
+  mix(task.method);
+  mix(std::to_string(task.horizon));
+  mix(std::to_string(attempt));
+  const double jitter = 0.5 + static_cast<double>(h % 1024) / 1024.0;
+  return exponential * jitter;
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0fms", ms);
+  return buf;
+}
+
+}  // namespace
+
+ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
   MethodParams params = task.params;
   params.horizon = task.horizon;
   if (params.period == 0) params.period = task.series.seasonal_period();
@@ -230,34 +358,45 @@ ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
     if (config) candidates.push_back(std::move(*config));
   }
   if (candidates.empty()) {
+    ResultRow row = BaseRow(task);
     row.error = "unknown method: " + task.method;
     return row;
   }
 
   const std::size_t max_attempts = 1 + options_.max_retries;
-  TaskOutcome outcome;
+  AttemptResult attempt_result;
+  std::size_t attempts_used = 0;
+  std::string retry_note;
   for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
-    row.attempts = attempt;
-    outcome = Evaluate(task, candidates, options_);
-    if (outcome.status.ok()) {
+    attempts_used = attempt;
+    attempt_result = EvaluateAttempt(task, candidates, options_);
+    if (attempt_result.status.ok()) {
       if (attempt > 1) {
-        AppendNote(&outcome.note,
+        AppendNote(&attempt_result.row.note,
                    "succeeded on attempt " + std::to_string(attempt));
       }
       break;
     }
     // A hung method stays hung: retrying a deadline failure only burns
     // another full budget.
-    if (outcome.status.code() == base::StatusCode::kDeadlineExceeded) break;
+    if (attempt_result.status.code() == base::StatusCode::kDeadlineExceeded) {
+      break;
+    }
+    if (attempt < max_attempts) {
+      const double delay_ms = BackoffDelayMs(options_, task, attempt);
+      if (delay_ms > 0.0) {
+        AppendNote(&retry_note, "backed off " + FormatMs(delay_ms) +
+                                    " before attempt " +
+                                    std::to_string(attempt + 1));
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+    }
   }
-  row.selected_config = outcome.selected_config;
-  row.note = outcome.note;
-  if (outcome.status.ok()) {
-    FillMetrics(&row, outcome.result);
-    row.ok = true;
-    return row;
-  }
-  row.error = outcome.status.ToString();
+  ResultRow row = std::move(attempt_result.row);
+  row.attempts = attempts_used;
+  if (!retry_note.empty()) AppendNote(&row.note, retry_note);
+  if (attempt_result.status.ok()) return row;
 
   // Graceful degradation: run the configured fallback forecaster so the
   // table stays complete; `error` keeps the primary failure on record.
@@ -266,9 +405,12 @@ ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
     if (auto fallback = MakeMethod(options_.fallback_method, params)) {
       const std::vector<methods::MethodConfig> fb_candidates{
           std::move(*fallback)};
-      const TaskOutcome fb = Evaluate(task, fb_candidates, options_);
+      const AttemptResult fb = EvaluateAttempt(task, fb_candidates, options_);
       if (fb.status.ok()) {
-        FillMetrics(&row, fb.result);
+        row.metrics = fb.row.metrics;
+        row.num_windows = fb.row.num_windows;
+        row.fit_seconds = fb.row.fit_seconds;
+        row.inference_ms_per_window = fb.row.inference_ms_per_window;
         row.ok = true;
         row.used_fallback = true;
         row.selected_config = fb_candidates[0].name;
@@ -323,7 +465,8 @@ std::vector<ResultRow> BenchmarkRunner::Run(
   auto finish = [&](std::size_t i) {
     const std::lock_guard<std::mutex> lock(sink_mutex);
     if (!options_.journal_path.empty() &&
-        !AppendJournal(options_.journal_path, rows[i])) {
+        !AppendJournal(options_.journal_path, rows[i],
+                       {options_.journal_fsync})) {
       std::fprintf(stderr, "[tfb] warning: cannot append to journal %s\n",
                    options_.journal_path.c_str());
     }

@@ -54,6 +54,18 @@ struct ResultRow {
   std::size_t attempts = 0;
 };
 
+/// How the runner executes each task.
+enum class Isolation {
+  /// On a worker thread of the runner's own process: cooperative guards
+  /// plus a hard watchdog that can *abandon* (but not stop) a hung call.
+  kInProcess,
+  /// In a fork()ed child under POSIX resource limits (`tfb::proc`): a task
+  /// that crashes, exhausts memory, or hangs is killed and classified
+  /// (crash / oom / timeout / abort / invalid-output) without ever touching
+  /// the rest of the grid. CLI: `--isolate=process`.
+  kProcess,
+};
+
 /// Execution options of the runner.
 struct RunnerOptions {
   std::size_t num_threads = 1;  ///< TFB supports sequential and parallel runs.
@@ -63,13 +75,20 @@ struct RunnerOptions {
   /// Per-task wall-clock budget in seconds; 0 disables. Enforced twice:
   /// cooperatively (the guard checks a monotonic clock before every
   /// delegated Fit/Forecast and short-circuits the rest of the task) and by
-  /// a hard watchdog that abandons a task stuck inside a single call. An
-  /// over-budget task yields ok=false with a DEADLINE_EXCEEDED error and
+  /// a hard backstop — in-process, a watchdog that abandons a task stuck
+  /// inside a single call; under process isolation, a supervisor SIGKILL.
+  /// An over-budget task yields ok=false with a DEADLINE_EXCEEDED error and
   /// the grid continues.
   double deadline_seconds = 0.0;
   /// Extra evaluation attempts after a failure (deadline failures are not
   /// retried: a hung method stays hung). 0 = fail fast.
   std::size_t max_retries = 0;
+  /// Base delay for the exponential backoff between retry attempts, in
+  /// milliseconds: attempt k waits retry_backoff_ms * 2^(k-1), scaled by a
+  /// deterministic per-task jitter in [0.5, 1.5) so parallel workers
+  /// retrying a shared bottleneck do not stampede in lockstep. 0 = retry
+  /// immediately.
+  double retry_backoff_ms = 0.0;
   /// Registry name of a forecaster to run when the primary method fails
   /// after all retries (e.g. "SeasonalNaive"), keeping the results table
   /// complete as in the paper. Empty = disabled; failed rows stay ok=false.
@@ -77,9 +96,21 @@ struct RunnerOptions {
   /// JSONL journal path; rows are appended (and flushed) as they complete.
   /// Empty = no journal.
   std::string journal_path;
+  /// fsync the journal after every row (see JournalOptions::fsync_each_row).
+  bool journal_fsync = false;
   /// With a journal: skip tasks whose (dataset, method, horizon) cell is
   /// already journaled and return the journaled row instead.
   bool resume = false;
+  /// Task execution mode; kProcess is the crash-proof choice for untrusted
+  /// or memory-hungry methods and is required for the resource limits below.
+  Isolation isolation = Isolation::kInProcess;
+  /// Address-space cap per sandboxed task in MiB (RLIMIT_AS); 0 = no limit.
+  /// Only meaningful with isolation = kProcess; not enforceable under ASan
+  /// (see proc::MemoryLimitEnforced()).
+  std::size_t memory_limit_mb = 0;
+  /// CPU budget per sandboxed task in seconds (RLIMIT_CPU, whole seconds);
+  /// 0 = no limit. Only meaningful with isolation = kProcess.
+  double cpu_limit_seconds = 0.0;
 };
 
 /// The automated end-to-end evaluation engine (Section 4.4): executes

@@ -1,0 +1,274 @@
+#include "tfb/proc/sandbox.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <new>
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+// AddressSanitizer reserves terabytes of shadow address space, so RLIMIT_AS
+// cannot be applied underneath it; detect ASan at compile time and report
+// the limitation through MemoryLimitEnforced().
+#if defined(__SANITIZE_ADDRESS__)
+#define TFB_PROC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TFB_PROC_ASAN 1
+#endif
+#endif
+#ifndef TFB_PROC_ASAN
+#define TFB_PROC_ASAN 0
+#endif
+
+namespace tfb::proc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Child-side new-handler: an allocation that the memory limit refuses is
+/// reported as a dedicated exit code instead of an uncaught std::bad_alloc
+/// (which would reach std::terminate and be indistinguishable from any
+/// other SIGABRT). _exit is async-signal-safe.
+[[noreturn]] void OomExit() { _exit(kOomExitCode); }
+
+void ApplyLimitsInChild(const SandboxLimits& limits) {
+  if (limits.cpu_seconds > 0.0) {
+    const auto secs =
+        static_cast<rlim_t>(std::ceil(limits.cpu_seconds));
+    // Hard limit one second above the soft one: SIGXCPU (soft) terminates
+    // by default; SIGKILL (hard) is the backstop if it is ever ignored.
+    const rlimit cpu{secs, secs + 1};
+    setrlimit(RLIMIT_CPU, &cpu);
+  }
+  if (limits.memory_bytes > 0 && MemoryLimitEnforced()) {
+    const auto bytes = static_cast<rlim_t>(limits.memory_bytes);
+    const rlimit as{bytes, bytes};
+    setrlimit(RLIMIT_AS, &as);
+    std::set_new_handler(OomExit);
+  }
+}
+
+/// Writes the whole buffer, restarting on EINTR; best effort — a failed
+/// write surfaces in the parent as a torn payload (kInvalidOutput).
+void WriteAll(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = write(fd, data + written, size - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return;
+    }
+  }
+}
+
+int WaitPid(pid_t pid, int* status) {
+  while (true) {
+    const pid_t r = waitpid(pid, status, 0);
+    if (r >= 0 || errno != EINTR) return static_cast<int>(r);
+  }
+}
+
+/// Reads the pipe until EOF or until `deadline` (zero time_point = none)
+/// passes. Returns false on deadline expiry with the child still running.
+bool ReadPayload(int fd, Clock::time_point deadline, std::string* payload) {
+  char buf[4096];
+  while (true) {
+    int timeout_ms = -1;
+    if (deadline != Clock::time_point{}) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (remaining.count() <= 0) return false;
+      timeout_ms = static_cast<int>(remaining.count()) + 1;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = poll(&pfd, 1, timeout_ms);
+    if (pr == 0) return false;  // Deadline expired.
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return true;  // Treat a poll failure as end of stream.
+    }
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      payload->append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      return true;  // EOF: child closed its end (exit or explicit close).
+    } else if (errno != EINTR) {
+      return true;
+    }
+  }
+}
+
+bool IsCrashSignal(int sig) {
+  return sig == SIGSEGV || sig == SIGBUS || sig == SIGILL || sig == SIGFPE;
+}
+
+}  // namespace
+
+const char* TaskFateName(TaskFate fate) {
+  switch (fate) {
+    case TaskFate::kOk: return "ok";
+    case TaskFate::kTimeout: return "timeout";
+    case TaskFate::kCrash: return "crash";
+    case TaskFate::kAbort: return "abort";
+    case TaskFate::kOom: return "oom";
+    case TaskFate::kExitNonzero: return "exit-nonzero";
+    case TaskFate::kInvalidOutput: return "invalid-output";
+    case TaskFate::kSpawnError: return "spawn-error";
+  }
+  return "?";
+}
+
+base::Status FateToStatus(TaskFate fate, const std::string& message) {
+  switch (fate) {
+    case TaskFate::kOk: return base::Status::Ok();
+    case TaskFate::kTimeout: return base::Status::DeadlineExceeded(message);
+    case TaskFate::kCrash: return base::Status::Crashed(message);
+    case TaskFate::kAbort: return base::Status::Aborted(message);
+    case TaskFate::kOom: return base::Status::ResourceExhausted(message);
+    case TaskFate::kExitNonzero: return base::Status::Aborted(message);
+    case TaskFate::kInvalidOutput: return base::Status::InvalidOutput(message);
+    case TaskFate::kSpawnError: return base::Status::Internal(message);
+  }
+  return base::Status::Internal(message);
+}
+
+bool MemoryLimitEnforced() { return !TFB_PROC_ASAN; }
+
+SandboxResult RunInSandbox(const SandboxBody& body,
+                           const SandboxLimits& limits) {
+  SandboxResult result;
+  int fds[2];
+  if (pipe(fds) != 0) {
+    result.fate = TaskFate::kSpawnError;
+    result.status = FateToStatus(
+        result.fate, std::string("pipe() failed: ") + std::strerror(errno));
+    return result;
+  }
+  const auto start = Clock::now();
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    result.fate = TaskFate::kSpawnError;
+    result.status = FateToStatus(
+        result.fate, std::string("fork() failed: ") + std::strerror(errno));
+    return result;
+  }
+
+  if (pid == 0) {
+    // Child. Only this thread survived the fork; apply the limits, run the
+    // body on the inherited memory image, ship the payload, and _exit
+    // without atexit handlers or flushing stdio buffers shared with the
+    // parent. Anything that goes wrong from here on is the supervisor's
+    // problem to classify, not ours to handle.
+    close(fds[0]);
+    ApplyLimitsInChild(limits);
+    const std::string payload = body();
+    WriteAll(fds[1], payload.data(), payload.size());
+    close(fds[1]);
+    _exit(0);
+  }
+
+  // Parent / supervisor.
+  close(fds[1]);
+  Clock::time_point deadline{};
+  if (limits.wall_seconds > 0.0) {
+    deadline = start + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(limits.wall_seconds));
+  }
+  const bool finished = ReadPayload(fds[0], deadline, &result.payload);
+  bool killed_on_timeout = false;
+  if (!finished) {
+    kill(pid, SIGKILL);
+    killed_on_timeout = true;
+    // Drain whatever the child managed to write before the kill so a
+    // near-complete payload is still visible for diagnostics.
+    ReadPayload(fds[0], Clock::time_point{}, &result.payload);
+  }
+  close(fds[0]);
+
+  int status = 0;
+  if (WaitPid(pid, &status) < 0) {
+    result.fate = TaskFate::kSpawnError;
+    result.status = FateToStatus(
+        result.fate, std::string("waitpid() failed: ") + std::strerror(errno));
+    return result;
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  char detail[160];
+  if (killed_on_timeout) {
+    result.fate = TaskFate::kTimeout;
+    std::snprintf(detail, sizeof(detail),
+                  "sandboxed task exceeded its %.3gs wall budget; SIGKILLed",
+                  limits.wall_seconds);
+  } else if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    result.term_signal = sig;
+    if (sig == SIGXCPU) {
+      result.fate = TaskFate::kTimeout;
+      std::snprintf(detail, sizeof(detail),
+                    "sandboxed task exceeded its %.3gs CPU budget (SIGXCPU)",
+                    limits.cpu_seconds);
+    } else if (sig == SIGKILL) {
+      // We did not send it (killed_on_timeout is false), so the kernel's
+      // OOM killer is the usual author.
+      result.fate = TaskFate::kOom;
+      std::snprintf(detail, sizeof(detail),
+                    "sandboxed task SIGKILLed outside the supervisor "
+                    "(kernel OOM killer?)");
+    } else if (IsCrashSignal(sig)) {
+      result.fate = TaskFate::kCrash;
+      std::snprintf(detail, sizeof(detail),
+                    "sandboxed task crashed: %s (signal %d)",
+                    strsignal(sig), sig);
+    } else if (sig == SIGABRT) {
+      result.fate = TaskFate::kAbort;
+      std::snprintf(detail, sizeof(detail),
+                    "sandboxed task aborted (SIGABRT)");
+    } else {
+      result.fate = TaskFate::kCrash;
+      std::snprintf(detail, sizeof(detail),
+                    "sandboxed task terminated by %s (signal %d)",
+                    strsignal(sig), sig);
+    }
+  } else {
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    result.exit_code = code;
+    if (code == 0) {
+      if (result.payload.empty()) {
+        result.fate = TaskFate::kInvalidOutput;
+        std::snprintf(detail, sizeof(detail),
+                      "sandboxed task exited 0 without a result payload");
+      } else {
+        result.fate = TaskFate::kOk;
+        detail[0] = '\0';
+      }
+    } else if (code == kOomExitCode) {
+      result.fate = TaskFate::kOom;
+      std::snprintf(detail, sizeof(detail),
+                    "sandboxed task hit its %zu MiB memory limit",
+                    limits.memory_bytes >> 20);
+    } else {
+      result.fate = TaskFate::kExitNonzero;
+      std::snprintf(detail, sizeof(detail),
+                    "sandboxed task exited with code %d", code);
+    }
+  }
+  result.status = FateToStatus(result.fate, detail);
+  return result;
+}
+
+}  // namespace tfb::proc

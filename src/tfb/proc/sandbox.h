@@ -1,0 +1,98 @@
+#ifndef TFB_PROC_SANDBOX_H_
+#define TFB_PROC_SANDBOX_H_
+
+#include <functional>
+#include <string>
+
+#include "tfb/base/status.h"
+
+/// \file
+/// Process-level task sandbox (the robustness backbone of `--isolate=process`,
+/// see the "Process isolation" section of DESIGN.md). Each benchmark cell is
+/// executed in a fork()ed child under POSIX resource limits; the child
+/// serializes its result over a pipe and the parent supervises it with
+/// poll()+waitpid(), classifying every possible ending into the failure
+/// taxonomy below. A forecaster that segfaults, aborts, leaks memory without
+/// bound, or simply never returns can then cost the grid exactly one cell —
+/// the property TSPP obtains from containers, rebuilt natively in C++.
+
+namespace tfb::proc {
+
+/// Every way a sandboxed task can end, as observed by the supervisor. This
+/// is the process-level failure taxonomy that flows into journal rows and
+/// the report's failure-summary footer.
+enum class TaskFate {
+  kOk,             ///< Child exited 0 and delivered a payload.
+  kTimeout,        ///< Wall or CPU budget exhausted (SIGKILL / SIGXCPU).
+  kCrash,          ///< Fatal signal: SIGSEGV, SIGBUS, SIGILL, SIGFPE.
+  kAbort,          ///< SIGABRT (assert, std::terminate, corrupted heap).
+  kOom,            ///< Memory limit hit (RLIMIT_AS) or kernel OOM kill.
+  kExitNonzero,    ///< Child exited with a non-zero code.
+  kInvalidOutput,  ///< Child exited 0 but the payload was empty/torn.
+  kSpawnError,     ///< fork()/pipe() failed; nothing ran.
+};
+
+/// Human-readable fate label ("ok", "timeout", "crash", ...).
+const char* TaskFateName(TaskFate fate);
+
+/// Maps a fate to the recoverable-error taxonomy the pipeline records
+/// (`message` becomes the status message; kOk maps to an ok status).
+base::Status FateToStatus(TaskFate fate, const std::string& message);
+
+/// Resource budget for one sandboxed task. Zero disables a limit.
+struct SandboxLimits {
+  /// Wall-clock budget in seconds, enforced by the parent: once it passes,
+  /// the child is SIGKILLed and the fate is kTimeout.
+  double wall_seconds = 0.0;
+  /// CPU budget in seconds via RLIMIT_CPU (rounded up to whole seconds);
+  /// the kernel delivers SIGXCPU, classified as kTimeout.
+  double cpu_seconds = 0.0;
+  /// Address-space cap in bytes via RLIMIT_AS. An allocation beyond it
+  /// fails; the child's new-handler turns that into a clean kOom exit.
+  /// Ignored (with MemoryLimitEnforced() == false) under AddressSanitizer,
+  /// whose shadow mappings are incompatible with RLIMIT_AS.
+  std::size_t memory_bytes = 0;
+};
+
+/// What came back from one sandboxed execution.
+struct SandboxResult {
+  TaskFate fate = TaskFate::kSpawnError;
+  /// fate + detail mapped onto the pipeline's status taxonomy.
+  base::Status status;
+  /// The bytes the child wrote to the result pipe (complete only for kOk).
+  std::string payload;
+  int exit_code = -1;     ///< Child exit code when it exited normally.
+  int term_signal = 0;    ///< Terminating signal when it was killed.
+  double wall_seconds = 0.0;  ///< Observed child lifetime.
+};
+
+/// The work to run inside the child: returns the serialized result the
+/// parent should receive (the pipeline passes a JournalLine'd ResultRow).
+using SandboxBody = std::function<std::string()>;
+
+/// Executes `body` in a fork()ed child under `limits` and returns the
+/// classified outcome. The child inherits the parent's memory image (so the
+/// body may capture tasks, factories, series — nothing needs marshalling),
+/// writes the body's return value to a pipe, and _exit(0)s without running
+/// atexit handlers or flushing shared stdio buffers. The parent never trusts
+/// the child: a missing, torn, or unparsable payload is a classified failure,
+/// never a hang or a crash of the supervisor.
+///
+/// Thread-safe: may be called concurrently from every worker of the runner's
+/// thread pool (each call owns its pipe and child pid).
+SandboxResult RunInSandbox(const SandboxBody& body,
+                           const SandboxLimits& limits);
+
+/// True when SandboxLimits::memory_bytes is actually enforced in this build.
+/// False under AddressSanitizer (RLIMIT_AS would break its shadow memory);
+/// tests gate OOM expectations on this.
+bool MemoryLimitEnforced();
+
+/// Exit code the child's new-handler uses to report an allocation failure
+/// under the memory limit — lets the parent classify OOM deterministically
+/// instead of guessing from an aborted stack unwind.
+inline constexpr int kOomExitCode = 113;
+
+}  // namespace tfb::proc
+
+#endif  // TFB_PROC_SANDBOX_H_

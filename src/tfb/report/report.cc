@@ -9,6 +9,8 @@
 #include <limits>
 #include <set>
 
+#include "tfb/base/status.h"
+
 namespace tfb::report {
 
 void PrintTable(std::ostream& os,
@@ -41,6 +43,23 @@ void PrintTable(std::ostream& os,
   PrintFailureSummary(os, rows);
 }
 
+namespace {
+
+/// The failure class of a row: the status-code prefix of its "CODE: message"
+/// error (CRASHED, RESOURCE_EXHAUSTED, DEADLINE_EXCEEDED, ...), or "OTHER"
+/// for free-form errors. This is the process-level failure taxonomy of the
+/// sandbox (`tfb::proc`) surfaced to the report reader.
+std::string FailureClass(const pipeline::ResultRow& row) {
+  const std::size_t colon = row.error.find(':');
+  if (colon != std::string::npos) {
+    const std::string prefix = row.error.substr(0, colon);
+    if (tfb::base::StatusCodeFromName(prefix)) return prefix;
+  }
+  return "OTHER";
+}
+
+}  // namespace
+
 void PrintFailureSummary(std::ostream& os,
                          const std::vector<pipeline::ResultRow>& rows) {
   std::size_t failed = 0;
@@ -56,11 +75,37 @@ void PrintFailureSummary(std::ostream& os,
     os << ", " << fallbacks << " completed via the fallback forecaster";
   }
   os << '\n';
+  // Group the affected cells by failure class so a reader can tell one
+  // crashing method from thirty timeouts at a glance; classes print in
+  // first-appearance order, fallback-rescued rows last under their own
+  // heading.
+  std::vector<std::string> classes;
+  std::map<std::string, std::vector<const pipeline::ResultRow*>> by_class;
+  std::vector<const pipeline::ResultRow*> rescued;
   for (const pipeline::ResultRow& row : rows) {
     if (row.ok && !row.used_fallback) continue;
-    os << "  " << row.dataset << " / " << row.method << " / h="
-       << row.horizon << ": "
-       << (row.ok ? "fallback (" + row.error + ")" : row.error) << '\n';
+    if (row.ok) {
+      rescued.push_back(&row);
+      continue;
+    }
+    const std::string cls = FailureClass(row);
+    if (by_class.find(cls) == by_class.end()) classes.push_back(cls);
+    by_class[cls].push_back(&row);
+  }
+  for (const std::string& cls : classes) {
+    const auto& members = by_class[cls];
+    os << "  " << cls << " (" << members.size() << "):\n";
+    for (const pipeline::ResultRow* row : members) {
+      os << "    " << row->dataset << " / " << row->method << " / h="
+         << row->horizon << ": " << row->error << '\n';
+    }
+  }
+  if (!rescued.empty()) {
+    os << "  completed via fallback (" << rescued.size() << "):\n";
+    for (const pipeline::ResultRow* row : rescued) {
+      os << "    " << row->dataset << " / " << row->method << " / h="
+         << row->horizon << ": fallback (" << row->error << ")\n";
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 ///  - method layer: tfb/methods (+ tfb/nn substrate)
 ///  - evaluation layer: tfb/eval
 ///  - pipeline & reporting: tfb/pipeline, tfb/report
+///  - process sandbox: tfb/proc (crash/oom/timeout isolation)
 
 #include "tfb/base/check.h"
 #include "tfb/base/status.h"
@@ -40,6 +41,7 @@
 #include "tfb/pipeline/journal.h"
 #include "tfb/pipeline/method_registry.h"
 #include "tfb/pipeline/runner.h"
+#include "tfb/proc/sandbox.h"
 #include "tfb/report/ascii_plot.h"
 #include "tfb/report/report.h"
 #include "tfb/stl/stl.h"

@@ -1,5 +1,6 @@
 #include "tfb/ts/csv.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -24,6 +25,12 @@ bool ParseDouble(const std::string& s, double* out) {
   return end != s.c_str() && *end == '\0';
 }
 
+std::string CellContext(const std::string& path, std::size_t line_number,
+                        std::size_t column) {
+  return path + " line " + std::to_string(line_number) + ", column " +
+         std::to_string(column + 1);
+}
+
 }  // namespace
 
 bool WriteCsv(const TimeSeries& series, const std::string& path) {
@@ -45,14 +52,19 @@ bool WriteCsv(const TimeSeries& series, const std::string& path) {
   return static_cast<bool>(os);
 }
 
-std::optional<TimeSeries> ReadCsv(const std::string& path) {
+base::Status ReadCsv(const std::string& path, TimeSeries* out,
+                     const CsvReadOptions& options) {
   std::ifstream is(path);
-  if (!is) return std::nullopt;
+  if (!is) return base::Status::Internal("cannot open " + path);
   std::string line;
-  if (!std::getline(is, line)) return std::nullopt;
+  if (!std::getline(is, line)) {
+    return base::Status::InvalidInput(path + ": empty file (no header row)");
+  }
   // Determine which columns are numeric by inspecting the first data row.
-  std::streampos data_start = is.tellg();
-  if (!std::getline(is, line)) return std::nullopt;
+  const std::streampos data_start = is.tellg();
+  if (!std::getline(is, line)) {
+    return base::Status::InvalidInput(path + ": header but no data rows");
+  }
   const std::vector<std::string> probe = SplitLine(line);
   std::vector<bool> numeric(probe.size(), false);
   std::size_t num_numeric = 0;
@@ -61,25 +73,55 @@ std::optional<TimeSeries> ReadCsv(const std::string& path) {
     numeric[i] = ParseDouble(probe[i], &unused);
     if (numeric[i]) ++num_numeric;
   }
-  if (num_numeric == 0) return std::nullopt;
+  if (num_numeric == 0) {
+    return base::Status::InvalidInput(
+        path + " line 2: no numeric columns in the first data row");
+  }
+  is.clear();
   is.seekg(data_start);
 
   std::vector<double> values;
   std::size_t rows = 0;
+  std::size_t line_number = 1;  // The header was line 1.
   while (std::getline(is, line)) {
+    ++line_number;
     if (line.empty()) continue;
     const std::vector<std::string> fields = SplitLine(line);
-    if (fields.size() != numeric.size()) return std::nullopt;
+    if (fields.size() != numeric.size()) {
+      return base::Status::InvalidInput(
+          path + " line " + std::to_string(line_number) + ": ragged row (" +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(numeric.size()) + ")");
+    }
     for (std::size_t i = 0; i < fields.size(); ++i) {
       if (!numeric[i]) continue;
       double v;
-      if (!ParseDouble(fields[i], &v)) return std::nullopt;
+      if (!ParseDouble(fields[i], &v)) {
+        return base::Status::InvalidInput(
+            CellContext(path, line_number, i) + ": unparsable numeric \"" +
+            fields[i] + "\"");
+      }
+      if (!options.allow_non_finite && !std::isfinite(v)) {
+        return base::Status::InvalidInput(
+            CellContext(path, line_number, i) + ": non-finite cell \"" +
+            fields[i] + "\" (pass allow_non_finite to keep NaN gaps for "
+            "imputation)");
+      }
       values.push_back(v);
     }
     ++rows;
   }
-  return TimeSeries(
+  *out = TimeSeries(
       linalg::Matrix::FromRowMajor(rows, num_numeric, std::move(values)));
+  return base::Status::Ok();
+}
+
+std::optional<TimeSeries> ReadCsv(const std::string& path) {
+  TimeSeries series;
+  CsvReadOptions options;
+  options.allow_non_finite = true;
+  if (!ReadCsv(path, &series, options).ok()) return std::nullopt;
+  return series;
 }
 
 }  // namespace tfb::ts

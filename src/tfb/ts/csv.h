@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "tfb/base/status.h"
 #include "tfb/ts/time_series.h"
 
 namespace tfb::ts {
@@ -13,9 +14,27 @@ namespace tfb::ts {
 /// inverse of ReadCsv.
 bool WriteCsv(const TimeSeries& series, const std::string& path);
 
-/// Reads a CSV file written by WriteCsv (or any numeric CSV with a header
-/// row). Non-numeric leading columns (timestamps) are skipped. Returns
-/// nullopt on I/O or parse failure.
+/// Policy knobs for reading external CSVs.
+struct CsvReadOptions {
+  /// Accept non-finite cells (nan/inf). `true` keeps NaNs as the missing
+  /// marker for the imputation path (`ts::Impute`); `false` (the strict
+  /// default of the Status API) rejects them with a located error so a
+  /// corrupted file cannot silently poison downstream metrics.
+  bool allow_non_finite = false;
+};
+
+/// Reads a CSV file with a header row into `*out`. Non-numeric leading
+/// columns (timestamps, ids) are skipped, as determined from the first data
+/// row. Recoverable failures come back as INVALID_INPUT statuses naming the
+/// offending line (1-based, header = line 1) and cell: ragged rows,
+/// unparsable numerics in a numeric column, and — unless
+/// `options.allow_non_finite` — nan/inf cells. I/O failures are INTERNAL.
+base::Status ReadCsv(const std::string& path, TimeSeries* out,
+                     const CsvReadOptions& options = {});
+
+/// Convenience wrapper predating the Status channel: nullopt on any
+/// failure, with non-finite cells tolerated (`allow_non_finite = true`) for
+/// the impute-after-load workflow.
 std::optional<TimeSeries> ReadCsv(const std::string& path);
 
 }  // namespace tfb::ts

@@ -18,6 +18,9 @@
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "tfb/tfb.h"
 
@@ -497,6 +500,300 @@ TEST(FaultIsolation, JournalResumeSkipsFinishedTasks) {
   EXPECT_TRUE(second[3].ok) << second[3].error;
   EXPECT_EQ(pipeline::LoadJournal(path).size(), 4u);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Process-level sandbox: crash/OOM isolation, failure classes, resume.
+
+TEST(ProcessIsolation, GridSurvivesSegfaultAndOomAndJournalsClasses) {
+  // The PR-2 acceptance scenario: a grid containing a forecaster that
+  // segfaults and one that exceeds the memory limit completes all remaining
+  // cells under --isolate=process, journals the correct failure class for
+  // each, and --resume skips both on re-run.
+  const std::string path = testing::TempDir() + "/tfb_sandbox_grid.jsonl";
+  std::remove(path.c_str());
+  const ts::TimeSeries series = CleanSeries(300, 20);
+
+  // Clean reference: the healthy method without any isolation.
+  pipeline::BenchmarkTask healthy = CustomTask("Healthy", [] {
+    return std::make_unique<methods::SeasonalNaiveForecaster>();
+  }, series);
+  const pipeline::ResultRow clean =
+      pipeline::BenchmarkRunner().RunOne(healthy);
+  ASSERT_TRUE(clean.ok) << clean.error;
+
+  methods::FaultSpec crash_spec;
+  crash_spec.kind = methods::FaultSpec::Kind::kCrash;
+  methods::FaultSpec oom_spec;
+  oom_spec.kind = methods::FaultSpec::Kind::kOom;
+  methods::FaultSpec exit_spec;
+  exit_spec.kind = methods::FaultSpec::Kind::kExitNonzero;
+
+  const bool oom_enforced = proc::MemoryLimitEnforced();
+  std::vector<pipeline::BenchmarkTask> tasks;
+  tasks.push_back(healthy);
+  tasks.push_back(
+      CustomTask("Segfaulter", MakeFaultyFactory(crash_spec), series));
+  if (oom_enforced) {
+    // Without RLIMIT_AS (ASan builds) the unbounded allocator would only
+    // stop at its 1 GiB safety cap and then run healthily — skip the cell
+    // rather than eat the sanitizer heap.
+    tasks.push_back(
+        CustomTask("MemoryHog", MakeFaultyFactory(oom_spec), series));
+  }
+  tasks.push_back(
+      CustomTask("EarlyExiter", MakeFaultyFactory(exit_spec), series));
+  tasks.push_back(CustomTask("AlsoHealthy", [] {
+    return std::make_unique<methods::NaiveForecaster>();
+  }, series));
+
+  pipeline::RunnerOptions options;
+  options.isolation = pipeline::Isolation::kProcess;
+  options.memory_limit_mb = 512;
+  options.journal_path = path;
+  options.num_threads = 2;  // Sandboxes must fork safely off pool threads.
+  const auto rows = pipeline::BenchmarkRunner(options).Run(tasks);
+  ASSERT_EQ(rows.size(), tasks.size());
+
+  // Healthy cells completed with metrics bit-identical to the clean run
+  // (the sandbox round-trips rows through the %.17g journal encoding).
+  ASSERT_TRUE(rows.front().ok) << rows.front().error;
+  for (const auto& [metric, value] : clean.metrics) {
+    EXPECT_EQ(rows.front().metrics.at(metric), value)
+        << eval::MetricName(metric) << " changed under process isolation";
+  }
+  ASSERT_TRUE(rows.back().ok) << rows.back().error;
+
+  // The killers are classified, not fatal.
+  EXPECT_FALSE(rows[1].ok);
+  EXPECT_NE(rows[1].error.find("CRASHED"), std::string::npos)
+      << rows[1].error;
+  if (oom_enforced) {
+    EXPECT_FALSE(rows[2].ok);
+    EXPECT_NE(rows[2].error.find("RESOURCE_EXHAUSTED"), std::string::npos)
+        << rows[2].error;
+  }
+  const pipeline::ResultRow& exiter = rows[rows.size() - 2];
+  EXPECT_FALSE(exiter.ok);
+  EXPECT_NE(exiter.error.find("ABORTED"), std::string::npos) << exiter.error;
+
+  // The journal recorded every cell with its failure class.
+  const auto journaled = pipeline::LoadJournal(path);
+  ASSERT_EQ(journaled.size(), tasks.size());
+
+  // Resume executes nothing: every cell (including the crashed and the
+  // OOMed one) is a finished outcome, so no new journal rows appear and the
+  // returned rows match the first run.
+  pipeline::RunnerOptions resuming = options;
+  resuming.resume = true;
+  const auto second = pipeline::BenchmarkRunner(resuming).Run(tasks);
+  ASSERT_EQ(second.size(), rows.size());
+  EXPECT_EQ(pipeline::LoadJournal(path).size(), tasks.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(second[i].ok, rows[i].ok) << i;
+    EXPECT_EQ(second[i].error, rows[i].error) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ProcessIsolation, SandboxedDeadlineStillProducesTimeoutRows) {
+  const ts::TimeSeries series = CleanSeries(200, 21);
+  methods::FaultSpec hang;
+  hang.kind = methods::FaultSpec::Kind::kHangFit;
+  hang.sleep_ms = 5000.0;
+
+  pipeline::RunnerOptions options;
+  options.isolation = pipeline::Isolation::kProcess;
+  options.deadline_seconds = 0.1;
+  const auto start = std::chrono::steady_clock::now();
+  const pipeline::ResultRow row = pipeline::BenchmarkRunner(options).RunOne(
+      CustomTask("Hung", MakeFaultyFactory(hang), series));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(row.ok);
+  EXPECT_NE(row.error.find("DEADLINE_EXCEEDED"), std::string::npos)
+      << row.error;
+  // SIGKILLed at the hard cutoff — the child does not sit out the stall.
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(ProcessIsolation, FallbackRescuesCrashingPrimary) {
+  const ts::TimeSeries series = CleanSeries(300, 22);
+  methods::FaultSpec crash_spec;
+  crash_spec.kind = methods::FaultSpec::Kind::kCrash;
+
+  pipeline::RunnerOptions options;
+  options.isolation = pipeline::Isolation::kProcess;
+  options.fallback_method = "SeasonalNaive";
+  const pipeline::ResultRow row = pipeline::BenchmarkRunner(options).RunOne(
+      CustomTask("Segfaulter", MakeFaultyFactory(crash_spec), series));
+  EXPECT_TRUE(row.ok) << row.error;
+  EXPECT_TRUE(row.used_fallback);
+  EXPECT_NE(row.error.find("CRASHED"), std::string::npos) << row.error;
+  EXPECT_TRUE(std::isfinite(row.metrics.at(eval::Metric::kMae)));
+}
+
+TEST(FaultIsolation, RetryBackoffIsExponentialDeterministicAndNoted) {
+  const ts::TimeSeries series = CleanSeries(300, 23);
+  // Fails on the first two instantiations, then recovers.
+  auto instances = std::make_shared<std::atomic<int>>(0);
+  const methods::ForecasterFactory flaky = [instances] {
+    methods::FaultSpec spec;
+    if (instances->fetch_add(1) < 2) spec.kind = methods::FaultSpec::Kind::kNaN;
+    return std::make_unique<methods::FaultInjectingForecaster>(spec);
+  };
+
+  pipeline::RunnerOptions options;
+  options.max_retries = 2;
+  options.retry_backoff_ms = 30.0;
+  const auto start = std::chrono::steady_clock::now();
+  const pipeline::ResultRow row = pipeline::BenchmarkRunner(options).RunOne(
+      CustomTask("Flaky", flaky, series));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(row.ok) << row.error;
+  EXPECT_EQ(row.attempts, 3u);
+  EXPECT_NE(row.note.find("succeeded on attempt 3"), std::string::npos)
+      << row.note;
+  EXPECT_NE(row.note.find("backed off"), std::string::npos) << row.note;
+  // Two backoffs at 30ms*2^0*j and 30ms*2^1*j with jitter in [0.5, 1.5):
+  // at least 15 + 30 = 45ms must have elapsed.
+  EXPECT_GE(elapsed_ms, 45.0);
+
+  // Determinism: the same task retried again produces the same note (same
+  // jittered delays).
+  instances->store(0);
+  const pipeline::ResultRow again = pipeline::BenchmarkRunner(options).RunOne(
+      CustomTask("Flaky", flaky, series));
+  EXPECT_EQ(again.note, row.note);
+}
+
+TEST(FaultIsolation, JournalSkipsTornFinalLine) {
+  const std::string path = testing::TempDir() + "/tfb_torn_journal.jsonl";
+  std::remove(path.c_str());
+
+  pipeline::ResultRow a;
+  a.dataset = "D";
+  a.method = "m1";
+  a.horizon = 12;
+  a.ok = true;
+  a.metrics[eval::Metric::kMae] = 0.25;
+  ASSERT_TRUE(pipeline::AppendJournal(path, a));
+  pipeline::ResultRow b = a;
+  b.method = "m2";
+  ASSERT_TRUE(pipeline::AppendJournal(path, b));
+  // Simulate a worker killed mid-append: half of b's line again, no newline.
+  {
+    const std::string full = pipeline::JournalLine(b);
+    std::ofstream os(path, std::ios::app);
+    os << full.substr(0, full.size() / 2);
+  }
+
+  std::size_t skipped = 0;
+  const auto rows = pipeline::LoadJournal(path, &skipped);
+  ASSERT_EQ(rows.size(), 2u);  // Torn line skipped, not fatal.
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_EQ(rows[0].method, "m1");
+  EXPECT_EQ(rows[1].method, "m2");
+
+  // Resume over the torn journal still works and only re-runs what is
+  // genuinely missing.
+  const ts::TimeSeries series = CleanSeries(300, 24);
+  auto instances = std::make_shared<std::atomic<int>>(0);
+  const methods::ForecasterFactory counting = [instances] {
+    instances->fetch_add(1);
+    return std::make_unique<methods::SeasonalNaiveForecaster>();
+  };
+  std::vector<pipeline::BenchmarkTask> tasks;
+  for (const char* method : {"m1", "m2", "m3"}) {
+    pipeline::BenchmarkTask task = CustomTask(method, counting, series);
+    task.dataset = "D";
+    tasks.push_back(std::move(task));
+  }
+  pipeline::RunnerOptions options;
+  options.journal_path = path;
+  options.resume = true;
+  const auto rows2 = pipeline::BenchmarkRunner(options).Run(tasks);
+  ASSERT_EQ(rows2.size(), 3u);
+  EXPECT_EQ(instances->load(), 1);  // Only m3 ran.
+  EXPECT_EQ(rows2[0].metrics.at(eval::Metric::kMae), 0.25);
+
+  // The append over the torn fragment terminated it first, so m3's row sits
+  // on its own line: the healed journal now covers all three cells and a
+  // further resume executes nothing.
+  std::size_t skipped_after = 0;
+  const auto healed = pipeline::LoadJournal(path, &skipped_after);
+  ASSERT_EQ(healed.size(), 3u);
+  EXPECT_EQ(skipped_after, 1u);  // The fragment itself, isolated.
+  EXPECT_EQ(healed[2].method, "m3");
+  const auto rows3 = pipeline::BenchmarkRunner(options).Run(tasks);
+  ASSERT_EQ(rows3.size(), 3u);
+  EXPECT_EQ(instances->load(), 1);  // Still 1: nothing re-ran.
+  std::remove(path.c_str());
+}
+
+TEST(FaultIsolation, ConcurrentJournalAppendsNeverInterleave) {
+  const std::string path = testing::TempDir() + "/tfb_concurrent_journal.jsonl";
+  std::remove(path.c_str());
+  constexpr int kThreads = 8;
+  constexpr int kRowsPerThread = 25;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, &path] {
+      for (int i = 0; i < kRowsPerThread; ++i) {
+        pipeline::ResultRow row;
+        row.dataset = "thread" + std::to_string(t);
+        // A long note makes torn interleavings overwhelmingly likely if
+        // appends were not atomic.
+        row.note = std::string(2048, 'a' + static_cast<char>(t));
+        row.method = "m" + std::to_string(i);
+        row.horizon = 1;
+        row.ok = true;
+        ASSERT_TRUE(pipeline::AppendJournal(path, row));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  std::size_t skipped = 99;
+  const auto rows = pipeline::LoadJournal(path, &skipped);
+  EXPECT_EQ(rows.size(),
+            static_cast<std::size_t>(kThreads * kRowsPerThread));
+  EXPECT_EQ(skipped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultIsolation, FailureSummaryGroupsByClass) {
+  auto make_row = [](const std::string& method, const std::string& error) {
+    pipeline::ResultRow row;
+    row.dataset = "ILI";
+    row.method = method;
+    row.horizon = 12;
+    row.ok = error.empty();
+    row.error = error;
+    return row;
+  };
+  const std::vector<pipeline::ResultRow> rows = {
+      make_row("Good", ""),
+      make_row("Hung1", "DEADLINE_EXCEEDED: over budget"),
+      make_row("Hung2", "DEADLINE_EXCEEDED: also over budget"),
+      make_row("Segv", "CRASHED: sandboxed task crashed (signal 11)"),
+      make_row("Hog", "RESOURCE_EXHAUSTED: hit its 512 MiB memory limit"),
+      make_row("Odd", "something free-form went wrong"),
+  };
+  std::ostringstream os;
+  report::PrintFailureSummary(os, rows);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("failures: 5 of 6"), std::string::npos) << text;
+  EXPECT_NE(text.find("DEADLINE_EXCEEDED (2):"), std::string::npos) << text;
+  EXPECT_NE(text.find("CRASHED (1):"), std::string::npos) << text;
+  EXPECT_NE(text.find("RESOURCE_EXHAUSTED (1):"), std::string::npos) << text;
+  EXPECT_NE(text.find("OTHER (1):"), std::string::npos) << text;
+  // Both timeout cells sit under the one DEADLINE_EXCEEDED heading.
+  EXPECT_LT(text.find("Hung1"), text.find("CRASHED")) << text;
+  EXPECT_LT(text.find("Hung2"), text.find("CRASHED")) << text;
 }
 
 TEST(FaultIsolation, ReportRendersFailedCellsAsDashes) {

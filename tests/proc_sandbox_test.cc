@@ -1,0 +1,180 @@
+// Unit tests for the tfb::proc fork-based task sandbox: payload round trip
+// (including payloads larger than a pipe buffer), and classification of
+// every fate in the failure taxonomy — crash, abort, non-zero exit, wall
+// timeout, CPU timeout, and memory-limit OOM (gated on builds where
+// RLIMIT_AS can be enforced, i.e. not under AddressSanitizer).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "tfb/proc/sandbox.h"
+
+namespace tfb::proc {
+namespace {
+
+TEST(ProcSandbox, DeliversPayloadFromHealthyChild) {
+  const SandboxResult r =
+      RunInSandbox([] { return std::string("hello from the child"); }, {});
+  EXPECT_EQ(r.fate, TaskFate::kOk);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.payload, "hello from the child");
+  EXPECT_EQ(r.exit_code, 0);
+}
+
+TEST(ProcSandbox, DeliversPayloadLargerThanPipeBuffer) {
+  // Linux pipes buffer 64 KiB by default; a 1 MiB payload forces the child
+  // to block mid-write unless the parent drains concurrently.
+  const std::string big(std::size_t{1} << 20, 'x');
+  const SandboxResult r = RunInSandbox([&big] { return big; }, {});
+  ASSERT_EQ(r.fate, TaskFate::kOk);
+  EXPECT_EQ(r.payload.size(), big.size());
+  EXPECT_EQ(r.payload, big);
+}
+
+TEST(ProcSandbox, ClassifiesSegfaultAsCrash) {
+  const SandboxResult r = RunInSandbox([]() -> std::string {
+    std::signal(SIGSEGV, SIG_DFL);
+    std::raise(SIGSEGV);
+    return "unreachable";
+  }, {});
+  EXPECT_EQ(r.fate, TaskFate::kCrash);
+  EXPECT_EQ(r.term_signal, SIGSEGV);
+  EXPECT_EQ(r.status.code(), base::StatusCode::kCrashed);
+  EXPECT_NE(r.status.message().find("signal 11"), std::string::npos)
+      << r.status.message();
+}
+
+TEST(ProcSandbox, ClassifiesAbortAsAbort) {
+  const SandboxResult r = RunInSandbox([]() -> std::string {
+    std::signal(SIGABRT, SIG_DFL);
+    std::abort();
+  }, {});
+  EXPECT_EQ(r.fate, TaskFate::kAbort);
+  EXPECT_EQ(r.status.code(), base::StatusCode::kAborted);
+}
+
+TEST(ProcSandbox, ClassifiesNonzeroExit) {
+  const SandboxResult r =
+      RunInSandbox([]() -> std::string { _exit(7); }, {});
+  EXPECT_EQ(r.fate, TaskFate::kExitNonzero);
+  EXPECT_EQ(r.exit_code, 7);
+  EXPECT_EQ(r.status.code(), base::StatusCode::kAborted);
+  EXPECT_NE(r.status.message().find("code 7"), std::string::npos);
+}
+
+TEST(ProcSandbox, CleanExitWithoutPayloadIsInvalidOutput) {
+  const SandboxResult r =
+      RunInSandbox([] { return std::string(); }, {});
+  EXPECT_EQ(r.fate, TaskFate::kInvalidOutput);
+  EXPECT_EQ(r.status.code(), base::StatusCode::kInvalidOutput);
+}
+
+TEST(ProcSandbox, WallTimeoutKillsHungChild) {
+  SandboxLimits limits;
+  limits.wall_seconds = 0.2;
+  const auto start = std::chrono::steady_clock::now();
+  const SandboxResult r = RunInSandbox([]() -> std::string {
+    // An uninterruptible stall far beyond the budget: only the
+    // supervisor's SIGKILL can end this.
+    std::this_thread::sleep_for(std::chrono::seconds(30));
+    return "too late";
+  }, limits);
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  EXPECT_EQ(r.fate, TaskFate::kTimeout);
+  EXPECT_EQ(r.status.code(), base::StatusCode::kDeadlineExceeded);
+  // The child is gone, not abandoned: the supervisor returned promptly.
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(ProcSandbox, CpuLimitKillsSpinningChild) {
+  SandboxLimits limits;
+  limits.cpu_seconds = 1.0;
+  const SandboxResult r = RunInSandbox([]() -> std::string {
+    volatile double sink = 0.0;
+    while (true) sink += 1.0;  // Burns CPU, never sleeps, never returns.
+  }, limits);
+  EXPECT_EQ(r.fate, TaskFate::kTimeout);
+  EXPECT_EQ(r.term_signal, SIGXCPU);
+  EXPECT_EQ(r.status.code(), base::StatusCode::kDeadlineExceeded);
+  EXPECT_NE(r.status.message().find("CPU"), std::string::npos);
+}
+
+TEST(ProcSandbox, MemoryLimitTurnsRunawayAllocationIntoOom) {
+  if (!MemoryLimitEnforced()) {
+    GTEST_SKIP() << "RLIMIT_AS cannot be enforced under this sanitizer";
+  }
+  SandboxLimits limits;
+  limits.memory_bytes = std::size_t{512} << 20;
+  const SandboxResult r = RunInSandbox([]() -> std::string {
+    std::vector<std::unique_ptr<char[]>> hoard;
+    constexpr std::size_t kChunk = std::size_t{16} << 20;
+    // Try to hold 4 GiB against a 512 MiB limit, touching every page.
+    for (std::size_t held = 0; held < (std::size_t{4} << 30);
+         held += kChunk) {
+      auto chunk = std::make_unique<char[]>(kChunk);
+      std::memset(chunk.get(), 0x5a, kChunk);
+      hoard.push_back(std::move(chunk));
+    }
+    return "never got here";
+  }, limits);
+  EXPECT_EQ(r.fate, TaskFate::kOom);
+  EXPECT_EQ(r.exit_code, kOomExitCode);
+  EXPECT_EQ(r.status.code(), base::StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status.message().find("memory limit"), std::string::npos);
+}
+
+TEST(ProcSandbox, FateNamesAndStatusMappingAreTotal) {
+  for (const TaskFate fate :
+       {TaskFate::kOk, TaskFate::kTimeout, TaskFate::kCrash, TaskFate::kAbort,
+        TaskFate::kOom, TaskFate::kExitNonzero, TaskFate::kInvalidOutput,
+        TaskFate::kSpawnError}) {
+    EXPECT_STRNE(TaskFateName(fate), "?");
+    const base::Status status = FateToStatus(fate, "detail");
+    EXPECT_EQ(status.ok(), fate == TaskFate::kOk);
+  }
+}
+
+TEST(ProcSandbox, ConcurrentSandboxesFromWorkerThreads) {
+  // The runner forks from every thread of its pool; each sandbox must own
+  // its pipe and child without cross-talk.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  std::vector<SandboxResult> results(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    pool.emplace_back([i, &results] {
+      results[i] = RunInSandbox(
+          [i]() -> std::string {
+            if (i % 3 == 1) {
+              std::signal(SIGSEGV, SIG_DFL);
+              std::raise(SIGSEGV);
+            }
+            return "worker " + std::to_string(i);
+          },
+          {});
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    if (i % 3 == 1) {
+      EXPECT_EQ(results[i].fate, TaskFate::kCrash) << i;
+    } else {
+      ASSERT_EQ(results[i].fate, TaskFate::kOk) << i;
+      EXPECT_EQ(results[i].payload, "worker " + std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tfb::proc

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <string>
 
+#include "tfb/base/status.h"
 #include "tfb/ts/csv.h"
 #include "tfb/ts/scaler.h"
 #include "tfb/ts/split.h"
@@ -159,6 +162,94 @@ TEST(Csv, SkipsTimestampColumn) {
 
 TEST(Csv, MissingFileReturnsNullopt) {
   EXPECT_FALSE(ReadCsv("/nonexistent/path.csv").has_value());
+}
+
+// Status-returning loader: malformed inputs come back as recoverable
+// INVALID_INPUT diagnostics with file/line locations, never aborts.
+
+namespace {
+std::string WriteTempCsv(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + "/" + name;
+  FILE* f = fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  fputs(body.c_str(), f);
+  fclose(f);
+  return path;
+}
+}  // namespace
+
+TEST(CsvStatus, MissingFileIsInternalNotInvalid) {
+  TimeSeries out;
+  const base::Status s = ReadCsv("/nonexistent/path.csv", &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), base::StatusCode::kInternal);
+}
+
+TEST(CsvStatus, EmptyFileIsDiagnosed) {
+  const std::string path = WriteTempCsv("tfb_csv_empty.csv", "");
+  TimeSeries out;
+  const base::Status s = ReadCsv(path, &out);
+  EXPECT_EQ(s.code(), base::StatusCode::kInvalidInput);
+  EXPECT_NE(s.message().find("empty file"), std::string::npos) << s.message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvStatus, HeaderOnlyIsDiagnosed) {
+  const std::string path = WriteTempCsv("tfb_csv_hdr.csv", "date,v0\n");
+  TimeSeries out;
+  const base::Status s = ReadCsv(path, &out);
+  EXPECT_EQ(s.code(), base::StatusCode::kInvalidInput);
+  EXPECT_NE(s.message().find("no data rows"), std::string::npos)
+      << s.message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvStatus, RaggedRowIsLocated) {
+  const std::string path = WriteTempCsv(
+      "tfb_csv_ragged.csv", "v0,v1\n1.0,2.0\n3.0\n5.0,6.0\n");
+  TimeSeries out;
+  const base::Status s = ReadCsv(path, &out);
+  EXPECT_EQ(s.code(), base::StatusCode::kInvalidInput);
+  // Line 3 (header is line 1) has 1 field where 2 are expected.
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("1 fields"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("expected 2"), std::string::npos) << s.message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvStatus, UnparsableNumericIsLocated) {
+  const std::string path = WriteTempCsv(
+      "tfb_csv_garbage.csv", "v0,v1\n1.0,2.0\n3.0,oops\n");
+  TimeSeries out;
+  const base::Status s = ReadCsv(path, &out);
+  EXPECT_EQ(s.code(), base::StatusCode::kInvalidInput);
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("oops"), std::string::npos) << s.message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvStatus, NonFiniteCellRejectedByDefaultAllowedOnRequest) {
+  const std::string path = WriteTempCsv(
+      "tfb_csv_nan.csv", "v0\n1.0\nnan\n3.0\n");
+  TimeSeries strict;
+  const base::Status s = ReadCsv(path, &strict);
+  EXPECT_EQ(s.code(), base::StatusCode::kInvalidInput);
+  EXPECT_NE(s.message().find("allow_non_finite"), std::string::npos)
+      << s.message();
+
+  CsvReadOptions options;
+  options.allow_non_finite = true;
+  TimeSeries lenient;
+  ASSERT_TRUE(ReadCsv(path, &lenient, options).ok());
+  EXPECT_EQ(lenient.length(), 3u);
+  EXPECT_TRUE(std::isnan(lenient.at(1, 0)));
+
+  // The legacy optional-returning wrapper keeps tolerating NaN so the
+  // imputation workflow (load gappy data, then Impute) still works.
+  const auto legacy = ReadCsv(path);
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_TRUE(std::isnan(legacy->at(1, 0)));
+  std::remove(path.c_str());
 }
 
 }  // namespace
