@@ -1,0 +1,178 @@
+// Pipeline throughput bench: runs a cheap-method grid through the
+// BenchmarkRunner and reports tasks/sec plus p50/p95 per-task latency, read
+// from the tfb/obs metrics registry (the `tfb_task_seconds` histogram the
+// runner feeds on every task). Also measures the observability overhead —
+// the same grid with collection off versus on — to keep the ≤2% budget of
+// DESIGN.md "Observability" honest.
+//
+// Emits BENCH_pipeline.json to the working directory:
+//   {"tasks": N, "threads": T,
+//    "disabled": {"seconds": ..., "tasks_per_second": ...},
+//    "enabled":  {"seconds": ..., "tasks_per_second": ...,
+//                 "p50_task_ms": ..., "p95_task_ms": ...},
+//    "overhead_pct": ...}
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "tfb/stats/rng.h"
+
+namespace {
+
+using namespace tfb;
+using Clock = std::chrono::steady_clock;
+
+ts::TimeSeries SmallSeasonal(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = 3.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 12.0) +
+           rng.Gaussian(0.0, 0.3);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(12);
+  s.set_name("bench");
+  return s;
+}
+
+std::vector<pipeline::BenchmarkTask> BuildGrid() {
+  // Realistically-weighted tasks (methods that actually fit something):
+  // per-task work must dominate runner machinery, as it does on a real
+  // grid, for the overhead measurement to be representative.
+  std::vector<pipeline::BenchmarkTask> tasks;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const char* method :
+         {"Theta", "ETS", "LinearRegression", "SeasonalNaive"}) {
+      for (const std::size_t horizon : {std::size_t{6}, std::size_t{12}}) {
+        pipeline::BenchmarkTask task;
+        task.dataset = "bench" + std::to_string(seed);
+        task.series = SmallSeasonal(800, seed);
+        task.method = method;
+        task.horizon = horizon;
+        tasks.push_back(std::move(task));
+      }
+    }
+  }
+  return tasks;
+}
+
+double RunGridSeconds(const std::vector<pipeline::BenchmarkTask>& tasks,
+                      std::size_t threads) {
+  pipeline::RunnerOptions options;
+  options.num_threads = threads;
+  const auto start = Clock::now();
+  const auto rows = pipeline::BenchmarkRunner(options).Run(tasks);
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (const auto& row : rows) {
+    TFB_CHECK_MSG(row.ok, "bench task failed");
+  }
+  return seconds;
+}
+
+/// Interleaved A/B/C measurement: alternating disabled / metrics-only /
+/// metrics+tracing grid runs so thermal and scheduler drift hit every mode
+/// equally, taking the best-of-N per mode (the minimum is the least noisy
+/// estimator on a shared machine).
+struct ModeTimes {
+  double disabled_seconds = std::numeric_limits<double>::infinity();
+  double metrics_seconds = std::numeric_limits<double>::infinity();
+  double full_seconds = std::numeric_limits<double>::infinity();
+};
+
+ModeTimes MeasureInterleaved(std::size_t repeats,
+                             const std::vector<pipeline::BenchmarkTask>& tasks,
+                             std::size_t threads) {
+  ModeTimes best;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    obs::SetEnabled(false);
+    obs::DefaultTracer().Disable();
+    best.disabled_seconds =
+        std::min(best.disabled_seconds, RunGridSeconds(tasks, threads));
+    obs::SetEnabled(true);  // Metrics on, tracer still off.
+    best.metrics_seconds =
+        std::min(best.metrics_seconds, RunGridSeconds(tasks, threads));
+    obs::DefaultTracer().Enable();
+    best.full_seconds =
+        std::min(best.full_seconds, RunGridSeconds(tasks, threads));
+  }
+  obs::SetEnabled(false);
+  obs::DefaultTracer().Disable();
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRepeats = 10;
+  const std::vector<pipeline::BenchmarkTask> tasks = BuildGrid();
+
+  std::printf("=== Pipeline throughput (tfb/obs instrumentation) ===\n");
+  std::printf(
+      "grid: %zu tasks, %zu threads, best of %zu interleaved runs per mode\n"
+      "\n",
+      tasks.size(), kThreads, kRepeats);
+
+  // Warm-up: touch every code path (and the method registry) once.
+  RunGridSeconds(tasks, kThreads);
+
+  obs::DefaultRegistry().Reset();
+  const ModeTimes best = MeasureInterleaved(kRepeats, tasks, kThreads);
+
+  const auto& latency = obs::DefaultRegistry().GetHistogram(
+      "tfb_task_seconds", obs::ExponentialBounds());
+  const double p50_ms = latency.Quantile(0.5) * 1e3;
+  const double p95_ms = latency.Quantile(0.95) * 1e3;
+  const double n_tasks = static_cast<double>(tasks.size());
+  const double disabled_tps = n_tasks / best.disabled_seconds;
+  const double metrics_tps = n_tasks / best.metrics_seconds;
+  const double full_tps = n_tasks / best.full_seconds;
+  const double metrics_overhead_pct =
+      (best.metrics_seconds / best.disabled_seconds - 1.0) * 100.0;
+  const double full_overhead_pct =
+      (best.full_seconds / best.disabled_seconds - 1.0) * 100.0;
+
+  std::printf("%-22s %10s %14s %10s\n", "mode", "seconds", "tasks/sec",
+              "overhead");
+  std::printf("%-22s %10.4f %14.1f %10s\n", "obs disabled",
+              best.disabled_seconds, disabled_tps, "-");
+  std::printf("%-22s %10.4f %14.1f %+9.2f%%\n", "metrics only",
+              best.metrics_seconds, metrics_tps, metrics_overhead_pct);
+  std::printf("%-22s %10.4f %14.1f %+9.2f%%\n", "metrics + tracing",
+              best.full_seconds, full_tps, full_overhead_pct);
+  std::printf("\nper-task latency (instrumented runs, %llu samples): "
+              "p50=%.3fms p95=%.3fms mean=%.3fms\n",
+              static_cast<unsigned long long>(latency.Count()), p50_ms,
+              p95_ms, latency.Mean() * 1e3);
+  std::printf("observability overhead budget: <=2%% (DESIGN.md)\n");
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"tasks\": %zu, \"threads\": %zu,\n"
+      " \"disabled\": {\"seconds\": %.6f, \"tasks_per_second\": %.1f},\n"
+      " \"metrics_only\": {\"seconds\": %.6f, \"tasks_per_second\": %.1f,\n"
+      "  \"overhead_pct\": %.2f},\n"
+      " \"enabled\": {\"seconds\": %.6f, \"tasks_per_second\": %.1f,\n"
+      "  \"p50_task_ms\": %.3f, \"p95_task_ms\": %.3f,\n"
+      "  \"overhead_pct\": %.2f}}\n",
+      tasks.size(), kThreads, best.disabled_seconds, disabled_tps,
+      best.metrics_seconds, metrics_tps, metrics_overhead_pct,
+      best.full_seconds, full_tps, p50_ms, p95_ms, full_overhead_pct);
+  std::FILE* out = std::fopen("BENCH_pipeline.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
+    return 1;
+  }
+  std::fputs(json, out);
+  std::fclose(out);
+  std::printf("\nwrote BENCH_pipeline.json\n");
+  return 0;
+}

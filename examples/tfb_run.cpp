@@ -26,6 +26,17 @@
 // report's failure footer; the rest of the grid is untouched.
 // `--isolate=in_process` forces the threaded mode over the config.
 //
+// Observability (see the "Observability" section of DESIGN.md):
+// `--trace-out=run.trace.json` (config key `trace_out`) captures runner /
+// sandbox / trainer / eval spans as Chrome trace_event JSON — load it in
+// chrome://tracing or https://ui.perfetto.dev. `--metrics-out=run.prom`
+// (config key `metrics_out`) dumps the metrics registry as Prometheus
+// text, or JSON when the path ends in ".json". Either flag turns
+// collection on; without them the instrumented paths stay disabled and
+// effectively free. Resource accounting (per-task CPU seconds; peak RSS
+// under process isolation) always lands on the rows, the CSV, and the
+// performance summary printed after the result table.
+//
 // Emits the result table to stdout and tfb_results.csv to the working
 // directory.
 
@@ -45,8 +56,11 @@ int main(int argc, char** argv) {
   bool isolation_forced = false;
   pipeline::Isolation isolation = pipeline::Isolation::kInProcess;
   const char* config_path = nullptr;
+  std::string trace_out;    // --trace-out= overrides the config key.
+  std::string metrics_out;  // --metrics-out= overrides the config key.
   const char* usage =
-      "usage: tfb_run [config] [--resume] [--isolate=process|in_process]\n";
+      "usage: tfb_run [config] [--resume] [--isolate=process|in_process]\n"
+      "               [--trace-out=FILE.json] [--metrics-out=FILE[.json]]\n";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print-default") == 0) {
       config.datasets = {"ETTh2", "ILI"};
@@ -62,6 +76,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--isolate=in_process") == 0) {
       isolation_forced = true;
       isolation = pipeline::Isolation::kInProcess;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "%s", usage);
       return 1;
@@ -92,6 +110,12 @@ int main(int argc, char** argv) {
                  "--resume needs a `journal = <path>` key in the config\n");
     return 1;
   }
+  if (trace_out.empty()) trace_out = config.trace_out;
+  if (metrics_out.empty()) metrics_out = config.metrics_out;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    obs::SetEnabled(true);
+    if (!trace_out.empty()) obs::DefaultTracer().Enable();
+  }
 
   const auto tasks = pipeline::BuildTasks(config);
   std::printf("running %zu tasks (%zu datasets x %zu methods x %zu horizons)"
@@ -111,8 +135,27 @@ int main(int argc, char** argv) {
   const auto rows = pipeline::BenchmarkRunner(runner_options).Run(tasks);
 
   report::PrintTable(std::cout, rows, config.metrics);
+  report::PrintPerfSummary(std::cout, rows);
   if (report::WriteCsv("tfb_results.csv", rows, config.metrics)) {
     std::printf("\nwrote tfb_results.csv\n");
+  }
+  if (!trace_out.empty()) {
+    if (obs::DefaultTracer().WriteJson(trace_out)) {
+      std::printf("wrote %s (%llu events; load in chrome://tracing)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(
+                      obs::DefaultTracer().Snapshot().size()));
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (obs::WriteMetricsFile(obs::DefaultRegistry(), metrics_out)) {
+      std::printf("wrote %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_out.c_str());
+    }
   }
 
   // Visualization module: bar chart of the first metric per method on the

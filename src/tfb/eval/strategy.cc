@@ -5,6 +5,7 @@
 #include <string>
 
 #include "tfb/base/check.h"
+#include "tfb/obs/trace.h"
 
 namespace tfb::eval {
 
@@ -59,13 +60,20 @@ EvalResult FixedForecastEvaluate(methods::Forecaster& forecaster,
   const ts::TimeSeries actual =
       series.Slice(series.length() - horizon, series.length());
 
-  const auto fit_start = Clock::now();
-  forecaster.Fit(history);
-  result.fit_seconds = SecondsSince(fit_start);
+  {
+    const obs::ScopedSpan span("fit", "eval");
+    const auto fit_start = Clock::now();
+    forecaster.Fit(history);
+    result.fit_seconds = SecondsSince(fit_start);
+  }
 
-  const auto infer_start = Clock::now();
-  const ts::TimeSeries forecast = forecaster.Forecast(history, horizon);
-  result.inference_seconds = SecondsSince(infer_start);
+  const ts::TimeSeries forecast = [&] {
+    const obs::ScopedSpan span("forecast", "eval");
+    const auto infer_start = Clock::now();
+    ts::TimeSeries out = forecaster.Forecast(history, horizon);
+    result.inference_seconds = SecondsSince(infer_start);
+    return out;
+  }();
 
   const std::size_t seasonality =
       ResolveSeasonality(series, options.seasonality);
@@ -134,6 +142,7 @@ EvalResult RollingForecastEvaluate(const methods::ForecasterFactory& factory,
   if (!refit) {
     // Fit once on train+val (the model may hold out its own validation
     // tail internally for early stopping).
+    const obs::ScopedSpan span("fit", "eval");
     const auto fit_start = Clock::now();
     forecaster->Fit(normalized.Slice(0, test_start));
     result.fit_seconds = SecondsSince(fit_start);
@@ -150,12 +159,16 @@ EvalResult RollingForecastEvaluate(const methods::ForecasterFactory& factory,
   for (const std::size_t origin : origins) {
     const ts::TimeSeries history = normalized.Slice(0, origin);
     if (refit) {
+      const obs::ScopedSpan span("fit", "eval");
       const auto fit_start = Clock::now();
       forecaster->Fit(history);
       result.fit_seconds += SecondsSince(fit_start);
     }
     const auto infer_start = Clock::now();
-    const ts::TimeSeries forecast = forecaster->Forecast(history, horizon);
+    const ts::TimeSeries forecast = [&] {
+      const obs::ScopedSpan span("forecast", "eval");
+      return forecaster->Forecast(history, horizon);
+    }();
     result.inference_seconds += SecondsSince(infer_start);
     const ts::TimeSeries actual =
         normalized.Slice(origin, origin + horizon);

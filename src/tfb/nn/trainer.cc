@@ -1,10 +1,13 @@
 #include "tfb/nn/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "tfb/base/check.h"
+#include "tfb/obs/metrics.h"
+#include "tfb/obs/trace.h"
 
 namespace tfb::nn {
 
@@ -126,7 +129,9 @@ TrainResult TrainMse(Module& model, const linalg::Matrix& x,
     val_y = GatherRows(y, val_rows, 0, val_n);
   }
 
+  const bool observed = obs::Enabled();
   for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    const double epoch_start_us = observed ? obs::TraceNowMicros() : 0.0;
     // Shuffle training rows.
     for (std::size_t i = train_n; i > 1; --i) {
       std::swap(train_rows[i - 1], train_rows[rng.UniformInt(i)]);
@@ -156,6 +161,28 @@ TrainResult TrainMse(Module& model, const linalg::Matrix& x,
     if (val_n > 0) {
       const linalg::Matrix val_pred = model.Forward(val_x, /*training=*/false);
       val_loss = MseLoss(val_pred, val_y);
+    }
+    if (observed) {
+      // Per-epoch loss/duration distributions plus one trace span per
+      // epoch: a stalling training run shows up as widening epoch spans in
+      // the trace and a fat tail in tfb_nn_epoch_seconds.
+      const double epoch_us = obs::TraceNowMicros() - epoch_start_us;
+      obs::Registry& registry = obs::DefaultRegistry();
+      registry
+          .GetHistogram("tfb_nn_epoch_seconds",
+                        obs::ExponentialBounds(1e-4, 2.0, 20))
+          .Observe(epoch_us * 1e-6);
+      registry
+          .GetHistogram("tfb_nn_train_loss",
+                        obs::ExponentialBounds(1e-6, 10.0, 12))
+          .Observe(result.final_train_loss);
+      registry.GetCounter("tfb_nn_epochs_total").Increment();
+      obs::DefaultTracer().RecordComplete(
+          "epoch", "nn", epoch_start_us, epoch_us,
+          obs::ArgsJson({{"epoch", std::to_string(epoch)},
+                         {"train_loss",
+                          std::to_string(result.final_train_loss)},
+                         {"val_loss", std::to_string(val_loss)}}));
     }
     if (val_loss < best_val - 1e-10) {
       best_val = val_loss;

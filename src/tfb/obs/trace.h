@@ -1,0 +1,119 @@
+#ifndef TFB_OBS_TRACE_H_
+#define TFB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Chrome `trace_event` tracer: scoped spans and instant events recorded
+/// into a fixed-capacity ring buffer and exported as JSON loadable by
+/// `chrome://tracing` / Perfetto. Disabled by default; when disabled a
+/// ScopedSpan costs one relaxed atomic load (see the overhead budget in
+/// DESIGN.md "Observability"). When the ring fills, the oldest events are
+/// overwritten — memory stays bounded on arbitrarily long grids and the
+/// trace keeps the most recent window, which is the one a hang or slowdown
+/// investigation needs.
+
+namespace tfb::obs {
+
+/// One recorded event. `phase` follows the trace_event format: 'X' =
+/// complete (duration) event, 'i' = instant event.
+struct TraceEvent {
+  const char* name = "";  ///< Static string (span names are literals).
+  const char* category = "";
+  char phase = 'X';
+  double ts_us = 0.0;   ///< Microseconds since tracer start (steady clock).
+  double dur_us = 0.0;  ///< Complete events only.
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+  /// Pre-rendered JSON object body for "args" (no braces), e.g.
+  /// `"dataset":"ILI","method":"VAR"`. Empty = no args.
+  std::string args;
+};
+
+/// Microseconds since process-wide tracer epoch (a steady clock, so spans
+/// recorded on different threads share one timeline).
+double TraceNowMicros();
+
+/// The ring-buffered event sink. Thread-safe: Record* may be called from
+/// every runner worker and the sandbox supervisor concurrently.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts capturing, dropping anything previously recorded. `capacity`
+  /// bounds the event count (and therefore memory) for the whole run.
+  void Enable(std::size_t capacity = kDefaultCapacity);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a complete ('X') event; no-op when disabled.
+  void RecordComplete(const char* name, const char* category, double ts_us,
+                      double dur_us, std::string args = "");
+  /// Records an instant ('i') event at now; no-op when disabled.
+  void RecordInstant(const char* name, const char* category,
+                     std::string args = "");
+
+  /// Events currently in the ring, oldest first (ring order, not ts order).
+  std::vector<TraceEvent> Snapshot() const;
+  /// Events recorded since Enable (>= Snapshot().size(); the difference is
+  /// how many the ring overwrote).
+  std::uint64_t recorded() const;
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const;
+
+  /// Serializes the ring as `{"traceEvents":[...]}` JSON, events sorted by
+  /// timestamp. Load with chrome://tracing or https://ui.perfetto.dev.
+  std::string ToJson() const;
+  /// Writes ToJson() to `path`; false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  void Record(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+/// The process-wide tracer all pipeline spans record into.
+Tracer& DefaultTracer();
+
+/// RAII span: records one complete event on the default tracer covering its
+/// own lifetime. Decides at construction whether it is active (tracer
+/// enabled), so a span that straddles Disable() still records consistently.
+class ScopedSpan {
+ public:
+  /// `name`/`category` must be string literals (stored by pointer).
+  ScopedSpan(const char* name, const char* category, std::string args = "");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::string args_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+/// Renders `"key":"value"` pairs for TraceEvent::args / ScopedSpan args,
+/// JSON-escaping the values. Usage: ArgsJson({{"dataset", "ILI"}}).
+std::string ArgsJson(
+    std::initializer_list<std::pair<const char*, std::string>> pairs);
+
+}  // namespace tfb::obs
+
+#endif  // TFB_OBS_TRACE_H_

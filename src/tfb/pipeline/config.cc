@@ -157,6 +157,10 @@ std::optional<BenchmarkConfig> ParseConfig(const std::string& text,
       } else {
         return fail("isolation must be in_process or process");
       }
+    } else if (key == "trace_out") {
+      config.trace_out = value;
+    } else if (key == "metrics_out") {
+      config.metrics_out = value;
     } else if (key == "memory_limit_mb") {
       config.memory_limit_mb = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "cpu_limit_seconds") {
@@ -250,6 +254,11 @@ std::string ConfigToString(const BenchmarkConfig& config) {
      << '\n';
   os << "memory_limit_mb = " << config.memory_limit_mb << '\n';
   os << "cpu_limit_seconds = " << config.cpu_limit_seconds << '\n';
+  if (!config.trace_out.empty()) os << "trace_out = " << config.trace_out
+                                    << '\n';
+  if (!config.metrics_out.empty()) {
+    os << "metrics_out = " << config.metrics_out << '\n';
+  }
   return os.str();
 }
 

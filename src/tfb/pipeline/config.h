@@ -58,6 +58,13 @@ struct BenchmarkConfig {
   Isolation isolation = Isolation::kInProcess;
   std::size_t memory_limit_mb = 0;  ///< Per-task RLIMIT_AS cap; 0 = off.
   double cpu_limit_seconds = 0.0;   ///< Per-task RLIMIT_CPU cap; 0 = off.
+  /// Observability sinks (tfb/obs; see DESIGN.md "Observability"). A
+  /// non-empty path turns collection on for the run. `trace_out` receives
+  /// Chrome trace_event JSON (chrome://tracing / Perfetto); `metrics_out`
+  /// receives the metrics registry — Prometheus text, or JSON when the
+  /// path ends in ".json". CLI: `--trace-out=` / `--metrics-out=`.
+  std::string trace_out;
+  std::string metrics_out;
 
   /// The runner options this configuration implies (resume stays false; it
   /// is a command-line decision, not a config-file one).

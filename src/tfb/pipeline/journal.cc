@@ -163,6 +163,12 @@ std::string JournalLine(const ResultRow& row) {
   AppendDouble(&out, row.fit_seconds);
   out += ",\"inference_ms_per_window\":";
   AppendDouble(&out, row.inference_ms_per_window);
+  out += ",\"cpu_user_seconds\":";
+  AppendDouble(&out, row.cpu_user_seconds);
+  out += ",\"cpu_sys_seconds\":";
+  AppendDouble(&out, row.cpu_sys_seconds);
+  out += ",\"peak_rss_mb\":";
+  AppendDouble(&out, row.peak_rss_mb);
   out += ",\"metrics\":{";
   bool first = true;
   for (const auto& [metric, value] : row.metrics) {
@@ -256,6 +262,12 @@ bool ParseJournalLine(const std::string& line, ResultRow* row) {
           row->fit_seconds = value;
         } else if (key == "inference_ms_per_window") {
           row->inference_ms_per_window = value;
+        } else if (key == "cpu_user_seconds") {
+          row->cpu_user_seconds = value;
+        } else if (key == "cpu_sys_seconds") {
+          row->cpu_sys_seconds = value;
+        } else if (key == "peak_rss_mb") {
+          row->peak_rss_mb = value;
         }  // Unknown numeric keys are tolerated for forward compatibility.
       }
     }

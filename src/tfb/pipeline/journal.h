@@ -19,7 +19,10 @@ namespace tfb::pipeline {
 ///   {"dataset":"ILI","method":"VAR","horizon":12,"ok":true,"error":"",
 ///    "selected_config":"VAR","used_fallback":false,"note":"",
 ///    "num_windows":4,"fit_seconds":0.01,"inference_ms_per_window":0.5,
+///    "cpu_user_seconds":0.01,"cpu_sys_seconds":0.0,"peak_rss_mb":42.5,
 ///    "metrics":{"mae":0.51,"mse":0.42}}
+/// The cpu_*/peak_rss_mb resource fields (tfb/obs) round-trip so a resumed
+/// run keeps the resource accounting of the rows it adopted.
 
 /// Serializes one row as a single JSON line (no trailing newline).
 std::string JournalLine(const ResultRow& row);

@@ -16,6 +16,9 @@
 #include "tfb/base/check.h"
 #include "tfb/base/status.h"
 #include "tfb/methods/guarded_forecaster.h"
+#include "tfb/obs/metrics.h"
+#include "tfb/obs/rusage.h"
+#include "tfb/obs/trace.h"
 #include "tfb/pipeline/journal.h"
 #include "tfb/proc/sandbox.h"
 
@@ -55,7 +58,16 @@ struct TaskOutcome {
   eval::EvalResult result;
   std::string selected_config;
   std::string note;
+  /// CPU consumed by the evaluation, measured on the thread that ran it.
+  obs::ResourceUsage usage;
 };
+
+/// Span/metric identity of a task, rendered once per RunOne.
+std::string TaskArgs(const BenchmarkTask& task) {
+  return obs::ArgsJson({{"dataset", task.dataset},
+                        {"method", task.method},
+                        {"horizon", std::to_string(task.horizon)}});
+}
 
 /// Hyper selection (NaN-aware) plus the final guarded evaluation. All
 /// forecaster interaction goes through GuardedForecaster, so wrong-shape or
@@ -68,6 +80,7 @@ TaskOutcome EvaluateCandidates(
   TaskOutcome out;
   std::size_t best = 0;
   if (candidates.size() > 1) {
+    const obs::ScopedSpan span("hyper_select", "runner", TaskArgs(task));
     const ts::Split split = ChronologicalSplit(task.series, task.rolling.split);
     const ts::TimeSeries train_val = task.series.Slice(0, split.val_end);
     if (train_val.length() < task.horizon + 16) {
@@ -140,6 +153,20 @@ TaskOutcome EvaluateCandidates(
   return out;
 }
 
+/// EvaluateCandidates plus per-thread CPU accounting. The evaluation runs
+/// entirely on the calling thread (directly, on the watchdog worker, or in
+/// the sandbox child), so a RUSAGE_THREAD delta attributes exactly this
+/// task's CPU work — other pool workers never pollute the number.
+TaskOutcome EvaluateCandidatesMeasured(
+    const BenchmarkTask& task,
+    const std::vector<methods::MethodConfig>& candidates,
+    const RunnerOptions& options, methods::Deadline deadline) {
+  const obs::ResourceUsage before = obs::ThreadUsage();
+  TaskOutcome out = EvaluateCandidates(task, candidates, options, deadline);
+  out.usage = obs::UsageDelta(before, obs::ThreadUsage());
+  return out;
+}
+
 /// Hard watchdog around EvaluateCandidates: the evaluation runs on its own
 /// thread; a task stuck inside a single Fit/Forecast call (which the
 /// cooperative guard cannot interrupt) is abandoned once the deadline plus
@@ -165,8 +192,8 @@ TaskOutcome EvaluateWithWatchdog(
   const methods::Deadline deadline =
       methods::Deadline::After(options.deadline_seconds);
   std::thread worker([shared, deadline] {
-    TaskOutcome outcome = EvaluateCandidates(shared->task, shared->candidates,
-                                             shared->options, deadline);
+    TaskOutcome outcome = EvaluateCandidatesMeasured(
+        shared->task, shared->candidates, shared->options, deadline);
     const std::lock_guard<std::mutex> lock(shared->mutex);
     shared->outcome = std::move(outcome);
     shared->done = true;
@@ -200,7 +227,8 @@ TaskOutcome Evaluate(const BenchmarkTask& task,
   if (options.deadline_seconds > 0.0) {
     return EvaluateWithWatchdog(task, candidates, options);
   }
-  return EvaluateCandidates(task, candidates, options, methods::Deadline{});
+  return EvaluateCandidatesMeasured(task, candidates, options,
+                                    methods::Deadline{});
 }
 
 void FillMetrics(ResultRow* row, const eval::EvalResult& result) {
@@ -234,6 +262,9 @@ AttemptResult ResolveOutcome(const BenchmarkTask& task, TaskOutcome outcome) {
   attempt.row = BaseRow(task);
   attempt.row.selected_config = std::move(outcome.selected_config);
   attempt.row.note = std::move(outcome.note);
+  attempt.row.cpu_user_seconds = outcome.usage.user_cpu_seconds;
+  attempt.row.cpu_sys_seconds = outcome.usage.sys_cpu_seconds;
+  attempt.row.peak_rss_mb = outcome.usage.max_rss_mb;
   if (attempt.status.ok()) {
     FillMetrics(&attempt.row, outcome.result);
     attempt.row.ok = true;
@@ -273,12 +304,22 @@ AttemptResult EvaluateSandboxed(
   const proc::SandboxResult sandboxed = proc::RunInSandbox(
       [&task, &candidates, &options] {
         const AttemptResult attempt = ResolveOutcome(
-            task, EvaluateCandidates(
+            task, EvaluateCandidatesMeasured(
                       task, candidates, options,
                       methods::Deadline::After(options.deadline_seconds)));
         return JournalLine(attempt.row);
       },
       limits);
+
+  // The child's self-reported thread usage (if any payload arrived) is
+  // superseded by the supervisor's wait4(2) numbers: exact per-child CPU
+  // plus peak RSS, available even when the child crashed or was killed.
+  const auto stamp_usage = [&sandboxed](ResultRow* row) {
+    if (!sandboxed.has_usage) return;
+    row->cpu_user_seconds = sandboxed.usage.user_cpu_seconds;
+    row->cpu_sys_seconds = sandboxed.usage.sys_cpu_seconds;
+    row->peak_rss_mb = sandboxed.usage.max_rss_mb;
+  };
 
   AttemptResult attempt;
   attempt.row = BaseRow(task);
@@ -286,6 +327,7 @@ AttemptResult EvaluateSandboxed(
     ResultRow parsed;
     if (ParseJournalLine(sandboxed.payload, &parsed)) {
       attempt.row = std::move(parsed);
+      stamp_usage(&attempt.row);
       attempt.status = attempt.row.ok
                            ? base::Status::Ok()
                            : base::Status::FromString(attempt.row.error);
@@ -296,6 +338,7 @@ AttemptResult EvaluateSandboxed(
   } else {
     attempt.status = sandboxed.status;
   }
+  stamp_usage(&attempt.row);
   attempt.row.error = attempt.status.ToString();
   return attempt;
 }
@@ -304,6 +347,9 @@ AttemptResult EvaluateAttempt(
     const BenchmarkTask& task,
     const std::vector<methods::MethodConfig>& candidates,
     const RunnerOptions& options) {
+  const obs::ScopedSpan span(
+      "attempt", "runner",
+      obs::Enabled() ? TaskArgs(task) : std::string());
   if (options.isolation == Isolation::kProcess) {
     return EvaluateSandboxed(task, candidates, options);
   }
@@ -341,9 +387,41 @@ std::string FormatMs(double ms) {
   return buf;
 }
 
+ResultRow RunOneImpl(const BenchmarkTask& task, const RunnerOptions& options_);
+
 }  // namespace
 
 ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
+  if (!obs::Enabled()) return RunOneImpl(task, options_);
+  obs::Registry& registry = obs::DefaultRegistry();
+  const double start_us = obs::TraceNowMicros();
+  ResultRow row = RunOneImpl(task, options_);
+  const double task_seconds = (obs::TraceNowMicros() - start_us) * 1e-6;
+  registry.GetCounter("tfb_tasks_total").Increment();
+  if (!row.ok) registry.GetCounter("tfb_tasks_failed_total").Increment();
+  if (row.used_fallback) {
+    registry.GetCounter("tfb_tasks_fallback_total").Increment();
+  }
+  if (row.attempts > 1) {
+    registry.GetCounter("tfb_retries_total")
+        .Increment(static_cast<double>(row.attempts - 1));
+  }
+  registry.GetHistogram("tfb_task_seconds", obs::ExponentialBounds())
+      .Observe(task_seconds);
+  obs::DefaultTracer().RecordComplete(
+      "task", "runner", start_us, task_seconds * 1e6,
+      obs::ArgsJson({{"dataset", task.dataset},
+                     {"method", task.method},
+                     {"horizon", std::to_string(task.horizon)},
+                     {"ok", row.ok ? "true" : "false"},
+                     {"attempts", std::to_string(row.attempts)}}));
+  return row;
+}
+
+namespace {
+
+ResultRow RunOneImpl(const BenchmarkTask& task,
+                     const RunnerOptions& options_) {
   MethodParams params = task.params;
   params.horizon = task.horizon;
   if (params.period == 0) params.period = task.series.seasonal_period();
@@ -385,6 +463,11 @@ ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
     if (attempt < max_attempts) {
       const double delay_ms = BackoffDelayMs(options_, task, attempt);
       if (delay_ms > 0.0) {
+        if (obs::Enabled()) {
+          obs::DefaultRegistry()
+              .GetCounter("tfb_retry_backoff_ms_total")
+              .Increment(delay_ms);
+        }
         AppendNote(&retry_note, "backed off " + FormatMs(delay_ms) +
                                     " before attempt " +
                                     std::to_string(attempt + 1));
@@ -428,8 +511,27 @@ ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
   return row;
 }
 
+}  // namespace
+
 std::vector<ResultRow> BenchmarkRunner::Run(
     const std::vector<BenchmarkTask>& tasks) const {
+  const bool observed = obs::Enabled();
+  const obs::ScopedSpan run_span(
+      "run", "runner",
+      observed ? obs::ArgsJson(
+                     {{"tasks", std::to_string(tasks.size())},
+                      {"threads", std::to_string(options_.num_threads)}})
+               : std::string());
+  const auto run_start = Clock::now();
+  // Time from run start until a worker picks the task up: with more tasks
+  // than workers this is the queue wait that dominates p95 task turnaround.
+  auto observe_queue_wait = [&] {
+    if (!observed) return;
+    obs::DefaultRegistry()
+        .GetHistogram("tfb_queue_wait_seconds", obs::ExponentialBounds())
+        .Observe(std::chrono::duration<double>(Clock::now() - run_start)
+                     .count());
+  };
   std::vector<ResultRow> rows(tasks.size());
   std::vector<std::size_t> pending;
   pending.reserve(tasks.size());
@@ -457,6 +559,11 @@ std::vector<ResultRow> BenchmarkRunner::Run(
       std::fprintf(stderr, "[tfb] resume: %zu of %zu tasks loaded from %s\n",
                    resumed, tasks.size(), options_.journal_path.c_str());
     }
+    if (observed && resumed > 0) {
+      obs::DefaultRegistry()
+          .GetCounter("tfb_tasks_resumed_total")
+          .Increment(static_cast<double>(resumed));
+    }
   } else {
     for (std::size_t i = 0; i < tasks.size(); ++i) pending.push_back(i);
   }
@@ -483,6 +590,7 @@ std::vector<ResultRow> BenchmarkRunner::Run(
       1, std::min(options_.num_threads, pending.size()));
   if (threads <= 1) {
     for (const std::size_t i : pending) {
+      observe_queue_wait();
       rows[i] = RunOne(tasks[i]);
       finish(i);
     }
@@ -494,6 +602,7 @@ std::vector<ResultRow> BenchmarkRunner::Run(
       const std::size_t slot = next.fetch_add(1);
       if (slot >= pending.size()) return;
       const std::size_t i = pending[slot];
+      observe_queue_wait();
       rows[i] = RunOne(tasks[i]);
       finish(i);
     }

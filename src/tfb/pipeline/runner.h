@@ -52,6 +52,15 @@ struct ResultRow {
   std::string note;
   /// Evaluation attempts consumed (1 = first try succeeded or no retries).
   std::size_t attempts = 0;
+  /// Resource accounting (see tfb/obs/rusage.h). Under process isolation
+  /// these are exact per-child numbers from wait4(2) — including peak RSS;
+  /// in-process they are RUSAGE_THREAD CPU deltas around the evaluation and
+  /// peak_rss_mb stays 0 (a process-wide high-water mark cannot be
+  /// attributed to one task). Round-trips through the JSONL journal so
+  /// resumed runs keep their resource data.
+  double cpu_user_seconds = 0.0;
+  double cpu_sys_seconds = 0.0;
+  double peak_rss_mb = 0.0;
 };
 
 /// How the runner executes each task.

@@ -13,6 +13,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "tfb/obs/metrics.h"
+#include "tfb/obs/trace.h"
+
 // AddressSanitizer reserves terabytes of shadow address space, so RLIMIT_AS
 // cannot be applied underneath it; detect ASan at compile time and report
 // the limitation through MemoryLimitEnforced().
@@ -72,11 +75,19 @@ void WriteAll(int fd, const char* data, std::size_t size) {
   }
 }
 
-int WaitPid(pid_t pid, int* status) {
+/// waitpid with rusage: the kernel accounts user/sys CPU and peak RSS per
+/// process, so reaping with wait4(2) is how exact per-task resource numbers
+/// reach the result row (`SandboxResult::usage`).
+int WaitPid(pid_t pid, int* status, rusage* usage) {
   while (true) {
-    const pid_t r = waitpid(pid, status, 0);
+    const pid_t r = wait4(pid, status, 0, usage);
     if (r >= 0 || errno != EINTR) return static_cast<int>(r);
   }
+}
+
+double TimevalSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
 }
 
 /// Reads the pipe until EOF or until `deadline` (zero time_point = none)
@@ -148,6 +159,8 @@ bool MemoryLimitEnforced() { return !TFB_PROC_ASAN; }
 SandboxResult RunInSandbox(const SandboxBody& body,
                            const SandboxLimits& limits) {
   SandboxResult result;
+  const bool observed = obs::Enabled();
+  const double span_start_us = observed ? obs::TraceNowMicros() : 0.0;
   int fds[2];
   if (pipe(fds) != 0) {
     result.fate = TaskFate::kSpawnError;
@@ -180,8 +193,15 @@ SandboxResult RunInSandbox(const SandboxBody& body,
     _exit(0);
   }
 
-  // Parent / supervisor.
+  // Parent / supervisor. (The child never reaches this code: its events are
+  // deliberately not traced — the ring buffer it inherited dies with it.)
   close(fds[1]);
+  if (observed) {
+    obs::DefaultRegistry().GetCounter("tfb_sandbox_spawn_total").Increment();
+    obs::DefaultTracer().RecordInstant(
+        "sandbox_spawn", "proc",
+        obs::ArgsJson({{"pid", std::to_string(pid)}}));
+  }
   Clock::time_point deadline{};
   if (limits.wall_seconds > 0.0) {
     deadline = start + std::chrono::duration_cast<Clock::duration>(
@@ -192,6 +212,13 @@ SandboxResult RunInSandbox(const SandboxBody& body,
   if (!finished) {
     kill(pid, SIGKILL);
     killed_on_timeout = true;
+    if (observed) {
+      obs::DefaultRegistry().GetCounter("tfb_sandbox_kill_total").Increment();
+      obs::DefaultTracer().RecordInstant(
+          "sandbox_kill", "proc",
+          obs::ArgsJson({{"pid", std::to_string(pid)},
+                         {"reason", "wall-deadline"}}));
+    }
     // Drain whatever the child managed to write before the kill so a
     // near-complete payload is still visible for diagnostics.
     ReadPayload(fds[0], Clock::time_point{}, &result.payload);
@@ -199,12 +226,18 @@ SandboxResult RunInSandbox(const SandboxBody& body,
   close(fds[0]);
 
   int status = 0;
-  if (WaitPid(pid, &status) < 0) {
+  rusage child_usage{};
+  if (WaitPid(pid, &status, &child_usage) < 0) {
     result.fate = TaskFate::kSpawnError;
     result.status = FateToStatus(
         result.fate, std::string("waitpid() failed: ") + std::strerror(errno));
     return result;
   }
+  result.usage.user_cpu_seconds = TimevalSeconds(child_usage.ru_utime);
+  result.usage.sys_cpu_seconds = TimevalSeconds(child_usage.ru_stime);
+  // Linux reports ru_maxrss in KiB.
+  result.usage.max_rss_mb = static_cast<double>(child_usage.ru_maxrss) / 1024.0;
+  result.has_usage = true;
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
 
@@ -268,6 +301,17 @@ SandboxResult RunInSandbox(const SandboxBody& body,
     }
   }
   result.status = FateToStatus(result.fate, detail);
+  if (observed) {
+    obs::DefaultRegistry()
+        .GetCounter(std::string("tfb_sandbox_fate_total{fate=\"") +
+                    TaskFateName(result.fate) + "\"}")
+        .Increment();
+    obs::DefaultTracer().RecordComplete(
+        "sandbox", "proc", span_start_us,
+        obs::TraceNowMicros() - span_start_us,
+        obs::ArgsJson({{"pid", std::to_string(pid)},
+                       {"fate", TaskFateName(result.fate)}}));
+  }
   return result;
 }
 

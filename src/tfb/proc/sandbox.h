@@ -5,6 +5,7 @@
 #include <string>
 
 #include "tfb/base/status.h"
+#include "tfb/obs/rusage.h"
 
 /// \file
 /// Process-level task sandbox (the robustness backbone of `--isolate=process`,
@@ -64,6 +65,12 @@ struct SandboxResult {
   int exit_code = -1;     ///< Child exit code when it exited normally.
   int term_signal = 0;    ///< Terminating signal when it was killed.
   double wall_seconds = 0.0;  ///< Observed child lifetime.
+  /// Child resource consumption as reaped by wait4(2): exact per-child
+  /// user/sys CPU seconds and peak RSS — the kernel keeps them per process,
+  /// so this works even for a child that crashed, hung, or was killed.
+  /// Valid when `has_usage` (the child was successfully reaped).
+  obs::ResourceUsage usage;
+  bool has_usage = false;
 };
 
 /// The work to run inside the child: returns the serialized result the

@@ -109,6 +109,79 @@ void PrintFailureSummary(std::ostream& os,
   }
 }
 
+void PrintPerfSummary(std::ostream& os,
+                      const std::vector<pipeline::ResultRow>& rows) {
+  if (rows.empty()) return;
+  struct MethodPerf {
+    std::size_t tasks = 0;
+    std::size_t windows = 0;
+    double fit_seconds = 0.0;
+    double infer_ms_sum = 0.0;   ///< Sum of per-row ms/window for the mean.
+    std::size_t infer_rows = 0;  ///< Rows contributing to infer_ms_sum.
+    double cpu_seconds = 0.0;
+    double peak_rss_mb = 0.0;    ///< Max across tasks; 0 = unknown.
+  };
+  std::vector<std::string> order;
+  std::map<std::string, MethodPerf> by_method;
+  for (const pipeline::ResultRow& row : rows) {
+    if (by_method.find(row.method) == by_method.end()) {
+      order.push_back(row.method);
+    }
+    MethodPerf& perf = by_method[row.method];
+    ++perf.tasks;
+    perf.windows += row.num_windows;
+    perf.fit_seconds += row.fit_seconds;
+    if (row.num_windows > 0) {
+      perf.infer_ms_sum += row.inference_ms_per_window;
+      ++perf.infer_rows;
+    }
+    perf.cpu_seconds += row.cpu_user_seconds + row.cpu_sys_seconds;
+    perf.peak_rss_mb = std::max(perf.peak_rss_mb, row.peak_rss_mb);
+  }
+  os << '\n'
+     << "performance summary (fit/infer wall time; CPU and peak RSS from "
+        "resource accounting)\n";
+  os << std::left << std::setw(18) << "method" << std::right << std::setw(7)
+     << "tasks" << std::setw(9) << "windows" << std::setw(11) << "fit_s"
+     << std::setw(13) << "infer_ms/w" << std::setw(10) << "cpu_s"
+     << std::setw(13) << "peak_rss_mb" << '\n';
+  const auto print_line = [&os](const std::string& name,
+                                const MethodPerf& perf) {
+    char fit[32], infer[32], cpu[32];
+    std::snprintf(fit, sizeof(fit), "%.3f", perf.fit_seconds);
+    std::snprintf(infer, sizeof(infer), "%.3f",
+                  perf.infer_rows > 0
+                      ? perf.infer_ms_sum /
+                            static_cast<double>(perf.infer_rows)
+                      : 0.0);
+    std::snprintf(cpu, sizeof(cpu), "%.3f", perf.cpu_seconds);
+    os << std::left << std::setw(18) << name << std::right << std::setw(7)
+       << perf.tasks << std::setw(9) << perf.windows << std::setw(11) << fit
+       << std::setw(13) << infer << std::setw(10) << cpu;
+    if (perf.peak_rss_mb > 0.0) {
+      char rss[32];
+      std::snprintf(rss, sizeof(rss), "%.1f", perf.peak_rss_mb);
+      os << std::setw(13) << rss;
+    } else {
+      os << std::setw(13) << "-";
+    }
+    os << '\n';
+  };
+  MethodPerf total;
+  for (const std::string& method : order) {
+    const MethodPerf& perf = by_method[method];
+    print_line(method, perf);
+    total.tasks += perf.tasks;
+    total.windows += perf.windows;
+    total.fit_seconds += perf.fit_seconds;
+    total.infer_ms_sum += perf.infer_ms_sum;
+    total.infer_rows += perf.infer_rows;
+    total.cpu_seconds += perf.cpu_seconds;
+    total.peak_rss_mb = std::max(total.peak_rss_mb, perf.peak_rss_mb);
+  }
+  print_line("TOTAL", total);
+}
+
 void PrintPivot(std::ostream& os,
                 const std::vector<pipeline::ResultRow>& rows,
                 eval::Metric metric) {
@@ -162,8 +235,8 @@ bool WriteCsv(const std::string& path,
   if (!os) return false;
   os << "dataset,method,horizon";
   for (eval::Metric m : metrics) os << ',' << eval::MetricName(m);
-  os << ",windows,fit_seconds,inference_ms,selected_config,ok,fallback,"
-        "error\n";
+  os << ",windows,fit_seconds,inference_ms,cpu_user_seconds,cpu_sys_seconds,"
+        "peak_rss_mb,selected_config,ok,fallback,error\n";
   os.precision(8);
   // Error/note text may contain commas; keep the CSV single-token per cell.
   const auto sanitize = [](std::string s) {
@@ -181,7 +254,9 @@ bool WriteCsv(const std::string& path,
       if (row.ok && it != row.metrics.end()) os << it->second;
     }
     os << ',' << row.num_windows << ',' << row.fit_seconds << ','
-       << row.inference_ms_per_window << ',' << row.selected_config << ','
+       << row.inference_ms_per_window << ',' << row.cpu_user_seconds << ','
+       << row.cpu_sys_seconds << ',' << row.peak_rss_mb << ','
+       << row.selected_config << ','
        << (row.ok ? "true" : "false") << ','
        << (row.used_fallback ? "true" : "false") << ','
        << sanitize(row.error) << '\n';

@@ -25,6 +25,14 @@ void PrintTable(std::ostream& os,
 void PrintFailureSummary(std::ostream& os,
                          const std::vector<pipeline::ResultRow>& rows);
 
+/// Per-run performance summary over the rows' timing and resource
+/// accounting (tfb/obs): one line per method — task count, total fit
+/// seconds, mean inference ms/window, total CPU seconds (user+sys), and
+/// peak RSS across its tasks (process-isolated runs only; "-" otherwise) —
+/// plus a totals line. Prints nothing for an empty run.
+void PrintPerfSummary(std::ostream& os,
+                      const std::vector<pipeline::ResultRow>& rows);
+
 /// Prints a paper-style pivot: datasets x methods with one metric.
 /// Rows are (dataset, horizon) pairs in first-appearance order.
 void PrintPivot(std::ostream& os,

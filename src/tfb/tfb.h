@@ -13,6 +13,7 @@
 ///  - evaluation layer: tfb/eval
 ///  - pipeline & reporting: tfb/pipeline, tfb/report
 ///  - process sandbox: tfb/proc (crash/oom/timeout isolation)
+///  - observability: tfb/obs (metrics, tracing, resource accounting)
 
 #include "tfb/base/check.h"
 #include "tfb/base/status.h"
@@ -37,6 +38,9 @@
 #include "tfb/methods/statistical/kalman.h"
 #include "tfb/methods/statistical/theta.h"
 #include "tfb/methods/statistical/var.h"
+#include "tfb/obs/metrics.h"
+#include "tfb/obs/rusage.h"
+#include "tfb/obs/trace.h"
 #include "tfb/pipeline/config.h"
 #include "tfb/pipeline/journal.h"
 #include "tfb/pipeline/method_registry.h"

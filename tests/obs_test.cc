@@ -1,0 +1,399 @@
+// Tests for tfb/obs: the metrics registry (counters/gauges/histograms,
+// Prometheus + JSON export), the Chrome trace_event tracer (JSON validity,
+// span nesting, ring-buffer bounds), and resource accounting.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tfb/obs/metrics.h"
+#include "tfb/obs/rusage.h"
+#include "tfb/obs/trace.h"
+
+namespace tfb::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A strict little JSON validator (values only, no semantics): enough to
+// assert that exported traces and metric dumps are well-formed JSON without
+// pulling a JSON library into the build.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool String() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool Number() {
+    SkipWs();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    const auto eat_digits = [&] {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (digits && pos_ < text_.size() &&
+        (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+        ++pos_;
+      }
+      bool exp_digits = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) return false;
+    }
+    return digits && pos_ > start;
+  }
+  bool Literal(const char* word) {
+    SkipWs();
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    if (!Eat('{')) return false;
+    if (Eat('}')) return true;
+    do {
+      if (!String() || !Eat(':') || !Value()) return false;
+    } while (Eat(','));
+    return Eat('}');
+  }
+  bool Array() {
+    if (!Eat('[')) return false;
+    if (Eat(']')) return true;
+    do {
+      if (!Value()) return false;
+    } while (Eat(','));
+    return Eat(']');
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Restores the global enabled flag so test order cannot leak state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { was_enabled_ = Enabled(); }
+  void TearDown() override {
+    SetEnabled(was_enabled_);
+    DefaultTracer().Disable();
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsTest, CounterGaugeBasics) {
+  Registry registry;
+  Counter& c = registry.GetCounter("tfb_test_total");
+  c.Increment();
+  c.Increment(2.5);
+  EXPECT_DOUBLE_EQ(c.Value(), 3.5);
+  // Same name -> same instrument.
+  EXPECT_EQ(&registry.GetCounter("tfb_test_total"), &c);
+
+  Gauge& g = registry.GetGauge("tfb_test_gauge");
+  g.Set(7.0);
+  g.Add(-2.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 5.0);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndQuantiles) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(0.5);  // First bucket.
+  }
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 50.0);
+  EXPECT_LE(h.Quantile(0.5), 1.0);
+  EXPECT_GT(h.Quantile(0.5), 0.0);
+
+  Histogram spread({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 50; ++i) spread.Observe(1.5);   // (1,2]
+  for (int i = 0; i < 50; ++i) spread.Observe(3.0);   // (2,4]
+  const double p50 = spread.Quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  const double p95 = spread.Quantile(0.95);
+  EXPECT_GE(p95, 2.0);
+  EXPECT_LE(p95, 4.0);
+  // Overflow bucket: values past the last bound still count.
+  spread.Observe(1e9);
+  EXPECT_EQ(spread.Count(), 101u);
+  const auto cumulative = spread.CumulativeCounts();
+  EXPECT_EQ(cumulative.back(), 101u);
+}
+
+TEST_F(ObsTest, RegistryIsThreadSafe) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&registry] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.GetCounter("tfb_shared_total").Increment();
+        registry.GetHistogram("tfb_shared_seconds", {0.5, 1.0})
+            .Observe(0.25);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_DOUBLE_EQ(registry.GetCounter("tfb_shared_total").Value(),
+                   kThreads * kIncrements);
+  EXPECT_EQ(registry.GetHistogram("tfb_shared_seconds", {}).Count(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(ObsTest, PrometheusExport) {
+  Registry registry;
+  registry.GetCounter("tfb_tasks_total").Increment(3);
+  registry.GetCounter("tfb_sandbox_fate_total{fate=\"timeout\"}").Increment();
+  registry.GetGauge("tfb_inflight").Set(2);
+  Histogram& h = registry.GetHistogram("tfb_task_seconds", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(100.0);
+
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE tfb_tasks_total counter"), std::string::npos);
+  EXPECT_NE(text.find("tfb_tasks_total 3"), std::string::npos);
+  // Embedded labels survive verbatim, and `le` merges into the label set.
+  EXPECT_NE(text.find("tfb_sandbox_fate_total{fate=\"timeout\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("tfb_task_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("tfb_task_seconds_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("tfb_task_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("tfb_task_seconds_count 3"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonExportIsValidJson) {
+  Registry registry;
+  registry.GetCounter("tfb_tasks_total").Increment(42);
+  registry.GetGauge("tfb_gauge\"with\\escapes").Set(1);
+  registry.GetHistogram("tfb_task_seconds", ExponentialBounds()).Observe(0.1);
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+TEST_F(ObsTest, WriteMetricsFilePicksFormatByExtension) {
+  Registry registry;
+  registry.GetCounter("tfb_tasks_total").Increment();
+  const std::string prom_path = ::testing::TempDir() + "/obs_metrics.prom";
+  const std::string json_path = ::testing::TempDir() + "/obs_metrics.json";
+  ASSERT_TRUE(WriteMetricsFile(registry, prom_path));
+  ASSERT_TRUE(WriteMetricsFile(registry, json_path));
+  std::stringstream prom, json;
+  prom << std::ifstream(prom_path).rdbuf();
+  json << std::ifstream(json_path).rdbuf();
+  EXPECT_NE(prom.str().find("# TYPE"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(json.str()).Valid()) << json.str();
+  std::remove(prom_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  SetEnabled(false);
+  DefaultTracer().Disable();
+  const std::uint64_t before = DefaultTracer().recorded();
+  {
+    ScopedSpan span("noop", "test");
+  }
+  DefaultTracer().RecordInstant("noop", "test");
+  EXPECT_EQ(DefaultTracer().recorded(), before);
+}
+
+TEST_F(ObsTest, TraceJsonIsValidAndSpansNest) {
+  Tracer& tracer = DefaultTracer();
+  tracer.Enable(1024);
+  {
+    ScopedSpan outer("outer", "test", ArgsJson({{"k", "v\"quoted\""}}));
+    {
+      ScopedSpan inner("inner", "test");
+    }
+    {
+      ScopedSpan inner2("inner2", "test");
+    }
+  }
+  tracer.RecordInstant("marker", "test");
+  tracer.Disable();
+
+  const std::string json = tracer.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+
+  // Span validity: every complete event has dur >= 0 (no end-before-begin),
+  // and on each thread spans are properly nested — any two either disjoint
+  // or contained, never partially overlapping.
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  std::map<std::int64_t, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& e : events) {
+    if (e.phase != 'X') continue;
+    EXPECT_GE(e.dur_us, 0.0) << e.name;
+    by_tid[e.tid].push_back(&e);
+  }
+  for (auto& [tid, spans] : by_tid) {
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        const TraceEvent& a = *spans[i];
+        const TraceEvent& b = *spans[j];
+        const double a_end = a.ts_us + a.dur_us;
+        const double b_end = b.ts_us + b.dur_us;
+        const bool disjoint = a_end <= b.ts_us || b_end <= a.ts_us;
+        const bool a_in_b = a.ts_us >= b.ts_us && a_end <= b_end;
+        const bool b_in_a = b.ts_us >= a.ts_us && b_end <= a_end;
+        EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+            << a.name << " and " << b.name << " partially overlap";
+      }
+    }
+  }
+
+  // "inner" and "inner2" must be inside "outer" and mutually disjoint.
+  const auto find = [&](const char* name) -> const TraceEvent* {
+    for (const TraceEvent& e : events) {
+      if (std::string(e.name) == name) return &e;
+    }
+    return nullptr;
+  };
+  const TraceEvent* outer = find("outer");
+  const TraceEvent* inner = find("inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(inner->ts_us, outer->ts_us);
+  EXPECT_LE(inner->ts_us + inner->dur_us, outer->ts_us + outer->dur_us);
+}
+
+TEST_F(ObsTest, RingBufferCapsMemory) {
+  Tracer& tracer = DefaultTracer();
+  constexpr std::size_t kCapacity = 64;
+  tracer.Enable(kCapacity);
+  for (int i = 0; i < 1000; ++i) {
+    ScopedSpan span("spam", "test");
+  }
+  tracer.Disable();
+  EXPECT_EQ(tracer.Snapshot().size(), kCapacity);
+  EXPECT_EQ(tracer.recorded(), 1000u);
+  EXPECT_EQ(tracer.dropped(), 1000u - kCapacity);
+  // The kept window is the most recent one and stays valid JSON.
+  EXPECT_TRUE(JsonChecker(tracer.ToJson()).Valid());
+}
+
+TEST_F(ObsTest, TraceFileRoundTrip) {
+  Tracer& tracer = DefaultTracer();
+  tracer.Enable(256);
+  {
+    ScopedSpan span("file_span", "test");
+  }
+  tracer.Disable();
+  const std::string path = ::testing::TempDir() + "/obs_trace.json";
+  ASSERT_TRUE(tracer.WriteJson(path));
+  std::stringstream buffer;
+  buffer << std::ifstream(path).rdbuf();
+  EXPECT_TRUE(JsonChecker(buffer.str()).Valid()) << buffer.str();
+  EXPECT_NE(buffer.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("file_span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, ExponentialBoundsAreSorted) {
+  const std::vector<double> bounds = ExponentialBounds(1e-3, 2.0, 20);
+  ASSERT_EQ(bounds.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-3);
+  EXPECT_DOUBLE_EQ(bounds[1], 2e-3);
+}
+
+TEST_F(ObsTest, ResourceUsageIsMonotone) {
+  const ResourceUsage self = SelfUsage();
+  EXPECT_GE(self.user_cpu_seconds, 0.0);
+  EXPECT_GE(self.sys_cpu_seconds, 0.0);
+  EXPECT_GT(self.max_rss_mb, 0.0);  // A running test has resident pages.
+
+  const ResourceUsage before = ThreadUsage();
+  // Burn a little CPU on this thread so the delta is visible.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + 1e-9;
+  const ResourceUsage after = ThreadUsage();
+  const ResourceUsage delta = UsageDelta(before, after);
+  EXPECT_GE(delta.user_cpu_seconds + delta.sys_cpu_seconds, 0.0);
+  EXPECT_GE(after.user_cpu_seconds, before.user_cpu_seconds);
+}
+
+}  // namespace
+}  // namespace tfb::obs

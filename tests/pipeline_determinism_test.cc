@@ -1,0 +1,203 @@
+// Determinism and resource-accounting tests for the pipeline runner.
+//
+// The benchmark's headline fairness claim depends on runs being
+// reproducible: the same grid must produce the same numbers whether it runs
+// on 1 thread or 4, in-process or sandboxed. "Metrics aside" here means the
+// observability fields — wall/CPU timings and peak RSS vary run to run, so
+// the comparison canonicalizes them to zero and then demands byte-identical
+// journal lines.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tfb/obs/metrics.h"
+#include "tfb/pipeline/journal.h"
+#include "tfb/pipeline/runner.h"
+#include "tfb/proc/sandbox.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::pipeline {
+namespace {
+
+ts::TimeSeries SmallSeasonal(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = 3.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 12.0) +
+           rng.Gaussian(0.0, 0.3);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(12);
+  s.set_name("synthetic");
+  return s;
+}
+
+std::vector<BenchmarkTask> SmallGrid() {
+  std::vector<BenchmarkTask> tasks;
+  for (const char* method :
+       {"Naive", "SeasonalNaive", "Drift", "Mean", "LinearRegression"}) {
+    for (const std::size_t horizon : {std::size_t{6}, std::size_t{12}}) {
+      BenchmarkTask task;
+      task.dataset = "synthetic";
+      task.series = SmallSeasonal(300, 7);
+      task.method = method;
+      task.horizon = horizon;
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+/// Strips the run-dependent observability fields so that what remains is
+/// exactly the scientific content of a row.
+ResultRow Canonicalized(ResultRow row) {
+  row.fit_seconds = 0.0;
+  row.inference_ms_per_window = 0.0;
+  row.cpu_user_seconds = 0.0;
+  row.cpu_sys_seconds = 0.0;
+  row.peak_rss_mb = 0.0;
+  return row;
+}
+
+std::vector<std::string> CanonicalLines(const std::vector<ResultRow>& rows) {
+  std::vector<std::string> lines;
+  lines.reserve(rows.size());
+  for (const ResultRow& row : rows) {
+    lines.push_back(JournalLine(Canonicalized(row)));
+  }
+  return lines;
+}
+
+void ExpectIdenticalRows(const std::vector<ResultRow>& a,
+                         const std::vector<ResultRow>& b) {
+  const std::vector<std::string> lines_a = CanonicalLines(a);
+  const std::vector<std::string> lines_b = CanonicalLines(b);
+  ASSERT_EQ(lines_a.size(), lines_b.size());
+  for (std::size_t i = 0; i < lines_a.size(); ++i) {
+    EXPECT_EQ(lines_a[i], lines_b[i]) << "row " << i;
+  }
+}
+
+TEST(Determinism, ParallelMatchesSequentialInProcess) {
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  RunnerOptions seq;
+  seq.num_threads = 1;
+  RunnerOptions par;
+  par.num_threads = 4;
+  const auto rows_seq = BenchmarkRunner(seq).Run(tasks);
+  const auto rows_par = BenchmarkRunner(par).Run(tasks);
+  ExpectIdenticalRows(rows_seq, rows_par);
+}
+
+TEST(Determinism, ParallelMatchesSequentialProcessIsolated) {
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  RunnerOptions seq;
+  seq.num_threads = 1;
+  seq.isolation = Isolation::kProcess;
+  RunnerOptions par;
+  par.num_threads = 4;
+  par.isolation = Isolation::kProcess;
+  const auto rows_seq = BenchmarkRunner(seq).Run(tasks);
+  const auto rows_par = BenchmarkRunner(par).Run(tasks);
+  ExpectIdenticalRows(rows_seq, rows_par);
+}
+
+TEST(Determinism, IsolationModesAgreeOnScience) {
+  // The sandbox must not change results, only failure semantics.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  RunnerOptions in_process;
+  RunnerOptions sandboxed;
+  sandboxed.isolation = Isolation::kProcess;
+  const auto rows_in = BenchmarkRunner(in_process).Run(tasks);
+  const auto rows_sb = BenchmarkRunner(sandboxed).Run(tasks);
+  ExpectIdenticalRows(rows_in, rows_sb);
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbResults) {
+  // Turning tracing/metrics on must never change the science.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(false);
+  const auto rows_off = BenchmarkRunner().Run(tasks);
+  obs::SetEnabled(true);
+  const auto rows_on = BenchmarkRunner().Run(tasks);
+  obs::SetEnabled(was_enabled);
+  ExpectIdenticalRows(rows_off, rows_on);
+}
+
+TEST(ResourceAccounting, JournalRoundTripsRusageFields) {
+  ResultRow row;
+  row.dataset = "d";
+  row.method = "m";
+  row.horizon = 12;
+  row.ok = true;
+  row.num_windows = 3;
+  row.cpu_user_seconds = 0.125;
+  row.cpu_sys_seconds = 0.0625;
+  row.peak_rss_mb = 42.5;
+  row.metrics[eval::Metric::kMae] = 0.5;
+  const std::string line = JournalLine(row);
+  EXPECT_NE(line.find("\"cpu_user_seconds\":0.125"), std::string::npos)
+      << line;
+  ResultRow parsed;
+  ASSERT_TRUE(ParseJournalLine(line, &parsed)) << line;
+  EXPECT_DOUBLE_EQ(parsed.cpu_user_seconds, 0.125);
+  EXPECT_DOUBLE_EQ(parsed.cpu_sys_seconds, 0.0625);
+  EXPECT_DOUBLE_EQ(parsed.peak_rss_mb, 42.5);
+  // Round-trip is bit-exact: re-serializing reproduces the line.
+  EXPECT_EQ(JournalLine(parsed), line);
+}
+
+TEST(ResourceAccounting, ProcessIsolationReportsChildRusage) {
+  BenchmarkTask task;
+  task.dataset = "synthetic";
+  task.series = SmallSeasonal(300, 9);
+  task.method = "LinearRegression";
+  task.horizon = 12;
+  RunnerOptions options;
+  options.isolation = Isolation::kProcess;
+  const ResultRow row = BenchmarkRunner(options).RunOne(task);
+  ASSERT_TRUE(row.ok) << row.error;
+  // wait4() on the reaped child gives exact numbers: a forked process that
+  // fit a regression has resident pages and a visible CPU delta.
+  EXPECT_GT(row.peak_rss_mb, 0.0);
+  EXPECT_GE(row.cpu_user_seconds + row.cpu_sys_seconds, 0.0);
+}
+
+TEST(ResourceAccounting, InProcessReportsCpuButNotRss) {
+  BenchmarkTask task;
+  task.dataset = "synthetic";
+  task.series = SmallSeasonal(300, 9);
+  task.method = "LinearRegression";
+  task.horizon = 12;
+  const ResultRow row = BenchmarkRunner().RunOne(task);
+  ASSERT_TRUE(row.ok) << row.error;
+  // RUSAGE_THREAD deltas: CPU attribution works, RSS cannot be attributed
+  // to a single in-process task and must stay 0 (not a bogus number).
+  EXPECT_GE(row.cpu_user_seconds, 0.0);
+  EXPECT_GE(row.cpu_sys_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(row.peak_rss_mb, 0.0);
+}
+
+TEST(ResourceAccounting, SandboxResultCarriesUsage) {
+  const proc::SandboxResult result = proc::RunInSandbox(
+      [] {
+        // Touch some memory so the child's high-water mark is visible.
+        volatile double sink = 0.0;
+        std::vector<double> block(1 << 16, 1.0);
+        for (const double v : block) sink = sink + v;
+        return std::string("ok");
+      },
+      proc::SandboxLimits{});
+  ASSERT_EQ(result.fate, proc::TaskFate::kOk);
+  ASSERT_TRUE(result.has_usage);
+  EXPECT_GT(result.usage.max_rss_mb, 0.0);
+  EXPECT_GE(result.usage.total_cpu_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace tfb::pipeline
