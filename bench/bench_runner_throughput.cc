@@ -13,11 +13,13 @@
 //    "overhead_pct": ...}
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -76,47 +78,91 @@ double RunGridSeconds(const std::vector<pipeline::BenchmarkTask>& tasks,
   return seconds;
 }
 
-/// Interleaved A/B/C measurement: alternating disabled / metrics-only /
-/// metrics+tracing grid runs so thermal and scheduler drift hit every mode
-/// equally, taking the best-of-N per mode (the minimum is the least noisy
-/// estimator on a shared machine).
+/// Interleaved measurement: every cycle runs all four modes — disabled /
+/// metrics-only / metrics+tracing / metrics+HTTP-scrape — back to back, so
+/// thermal and scheduler drift hit every mode of a cycle about equally.
+/// Per-mode seconds and overheads are then medians: the overhead of a mode
+/// is the median over cycles of its *within-cycle* ratio to the disabled
+/// leg, which cancels the slow load drift of a shared machine far better
+/// than comparing two independent minima.
 struct ModeTimes {
-  double disabled_seconds = std::numeric_limits<double>::infinity();
-  double metrics_seconds = std::numeric_limits<double>::infinity();
-  double full_seconds = std::numeric_limits<double>::infinity();
+  std::vector<double> disabled_seconds;
+  std::vector<double> metrics_seconds;
+  std::vector<double> full_seconds;
+  std::vector<double> serve_seconds;
 };
+
+double Median(std::vector<double> v) {
+  TFB_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/// Median over cycles of the paired overhead ratio mode[i]/base[i] - 1.
+double PairedOverheadPct(const std::vector<double>& mode,
+                         const std::vector<double>& base) {
+  std::vector<double> ratios(mode.size());
+  for (std::size_t i = 0; i < mode.size(); ++i) {
+    ratios[i] = mode[i] / base[i] - 1.0;
+  }
+  return Median(std::move(ratios)) * 100.0;
+}
 
 ModeTimes MeasureInterleaved(std::size_t repeats,
                              const std::vector<pipeline::BenchmarkTask>& tasks,
                              std::size_t threads) {
-  ModeTimes best;
+  ModeTimes times;
   for (std::size_t i = 0; i < repeats; ++i) {
     obs::SetEnabled(false);
     obs::DefaultTracer().Disable();
-    best.disabled_seconds =
-        std::min(best.disabled_seconds, RunGridSeconds(tasks, threads));
+    times.disabled_seconds.push_back(RunGridSeconds(tasks, threads));
     obs::SetEnabled(true);  // Metrics on, tracer still off.
-    best.metrics_seconds =
-        std::min(best.metrics_seconds, RunGridSeconds(tasks, threads));
+    times.metrics_seconds.push_back(RunGridSeconds(tasks, threads));
     obs::DefaultTracer().Enable();
-    best.full_seconds =
-        std::min(best.full_seconds, RunGridSeconds(tasks, threads));
+    times.full_seconds.push_back(RunGridSeconds(tasks, threads));
+    // Scrape-under-load: metrics on (tracer off, to isolate the scrape
+    // cost on top of the metrics baseline), the embedded HTTP endpoint
+    // serving, and a client polling /metrics + /status every 25ms — two
+    // orders of magnitude harsher than a real Prometheus poll every few
+    // seconds, while leaving the CPU to the workers it is measuring (on a
+    // single-core host a busy-polling client would bill its own
+    // timeshare to the runner).
+    obs::DefaultTracer().Disable();
+    {
+      obs::HttpExporter exporter({.run_id = "bench"});
+      TFB_CHECK_MSG(exporter.Start().ok(), "bench exporter failed to start");
+      std::atomic<bool> stop{false};
+      std::thread scraper([&exporter, &stop] {
+        std::string body;
+        while (!stop.load(std::memory_order_relaxed)) {
+          obs::HttpGet(exporter.port(), "/metrics", &body);
+          obs::HttpGet(exporter.port(), "/status", &body);
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+      });
+      times.serve_seconds.push_back(RunGridSeconds(tasks, threads));
+      stop.store(true, std::memory_order_relaxed);
+      scraper.join();
+      exporter.Stop();
+    }
   }
   obs::SetEnabled(false);
   obs::DefaultTracer().Disable();
-  return best;
+  return times;
 }
 
 }  // namespace
 
 int main() {
   constexpr std::size_t kThreads = 4;
-  constexpr std::size_t kRepeats = 10;
+  constexpr std::size_t kRepeats = 20;
   const std::vector<pipeline::BenchmarkTask> tasks = BuildGrid();
 
   std::printf("=== Pipeline throughput (tfb/obs instrumentation) ===\n");
   std::printf(
-      "grid: %zu tasks, %zu threads, best of %zu interleaved runs per mode\n"
+      "grid: %zu tasks, %zu threads, median of %zu interleaved cycles\n"
+      "(overheads are medians of within-cycle ratios to the disabled leg)\n"
       "\n",
       tasks.size(), kThreads, kRepeats);
 
@@ -124,36 +170,45 @@ int main() {
   RunGridSeconds(tasks, kThreads);
 
   obs::DefaultRegistry().Reset();
-  const ModeTimes best = MeasureInterleaved(kRepeats, tasks, kThreads);
+  const ModeTimes times = MeasureInterleaved(kRepeats, tasks, kThreads);
 
   const auto& latency = obs::DefaultRegistry().GetHistogram(
       "tfb_task_seconds", obs::ExponentialBounds());
   const double p50_ms = latency.Quantile(0.5) * 1e3;
   const double p95_ms = latency.Quantile(0.95) * 1e3;
   const double n_tasks = static_cast<double>(tasks.size());
-  const double disabled_tps = n_tasks / best.disabled_seconds;
-  const double metrics_tps = n_tasks / best.metrics_seconds;
-  const double full_tps = n_tasks / best.full_seconds;
+  const double disabled_s = Median(times.disabled_seconds);
+  const double metrics_s = Median(times.metrics_seconds);
+  const double full_s = Median(times.full_seconds);
+  const double serve_s = Median(times.serve_seconds);
+  const double disabled_tps = n_tasks / disabled_s;
+  const double metrics_tps = n_tasks / metrics_s;
+  const double full_tps = n_tasks / full_s;
+  const double serve_tps = n_tasks / serve_s;
   const double metrics_overhead_pct =
-      (best.metrics_seconds / best.disabled_seconds - 1.0) * 100.0;
+      PairedOverheadPct(times.metrics_seconds, times.disabled_seconds);
   const double full_overhead_pct =
-      (best.full_seconds / best.disabled_seconds - 1.0) * 100.0;
+      PairedOverheadPct(times.full_seconds, times.disabled_seconds);
+  const double serve_overhead_pct =
+      PairedOverheadPct(times.serve_seconds, times.disabled_seconds);
 
   std::printf("%-22s %10s %14s %10s\n", "mode", "seconds", "tasks/sec",
               "overhead");
-  std::printf("%-22s %10.4f %14.1f %10s\n", "obs disabled",
-              best.disabled_seconds, disabled_tps, "-");
-  std::printf("%-22s %10.4f %14.1f %+9.2f%%\n", "metrics only",
-              best.metrics_seconds, metrics_tps, metrics_overhead_pct);
-  std::printf("%-22s %10.4f %14.1f %+9.2f%%\n", "metrics + tracing",
-              best.full_seconds, full_tps, full_overhead_pct);
+  std::printf("%-22s %10.4f %14.1f %10s\n", "obs disabled", disabled_s,
+              disabled_tps, "-");
+  std::printf("%-22s %10.4f %14.1f %+9.2f%%\n", "metrics only", metrics_s,
+              metrics_tps, metrics_overhead_pct);
+  std::printf("%-22s %10.4f %14.1f %+9.2f%%\n", "metrics + tracing", full_s,
+              full_tps, full_overhead_pct);
+  std::printf("%-22s %10.4f %14.1f %+9.2f%%\n", "metrics + http scrape",
+              serve_s, serve_tps, serve_overhead_pct);
   std::printf("\nper-task latency (instrumented runs, %llu samples): "
               "p50=%.3fms p95=%.3fms mean=%.3fms\n",
               static_cast<unsigned long long>(latency.Count()), p50_ms,
               p95_ms, latency.Mean() * 1e3);
   std::printf("observability overhead budget: <=2%% (DESIGN.md)\n");
 
-  char json[1024];
+  char json[1536];
   std::snprintf(
       json, sizeof(json),
       "{\"tasks\": %zu, \"threads\": %zu,\n"
@@ -162,10 +217,12 @@ int main() {
       "  \"overhead_pct\": %.2f},\n"
       " \"enabled\": {\"seconds\": %.6f, \"tasks_per_second\": %.1f,\n"
       "  \"p50_task_ms\": %.3f, \"p95_task_ms\": %.3f,\n"
+      "  \"overhead_pct\": %.2f},\n"
+      " \"serve_scrape\": {\"seconds\": %.6f, \"tasks_per_second\": %.1f,\n"
       "  \"overhead_pct\": %.2f}}\n",
-      tasks.size(), kThreads, best.disabled_seconds, disabled_tps,
-      best.metrics_seconds, metrics_tps, metrics_overhead_pct,
-      best.full_seconds, full_tps, p50_ms, p95_ms, full_overhead_pct);
+      tasks.size(), kThreads, disabled_s, disabled_tps, metrics_s,
+      metrics_tps, metrics_overhead_pct, full_s, full_tps, p50_ms, p95_ms,
+      full_overhead_pct, serve_s, serve_tps, serve_overhead_pct);
   std::FILE* out = std::fopen("BENCH_pipeline.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");

@@ -37,16 +37,44 @@
 // under process isolation) always lands on the rows, the CSV, and the
 // performance summary printed after the result table.
 //
+// Live telemetry:
+//   --serve=9100        embedded HTTP endpoint for the duration of the run:
+//                       curl localhost:9100/status   (JSON progress + ETA)
+//                       curl localhost:9100/metrics  (Prometheus text)
+//                       curl localhost:9100/healthz  (liveness)
+//   --progress=MODE     terminal progress: auto (default; TTY bar, else
+//                       heartbeat lines), bar, plain, off
+//   --log-level=LEVEL   trace|debug|info|warn|error|off (default info)
+//   --log-json=FILE     mirror every log line as JSONL to FILE
+//
 // Emits the result table to stdout and tfb_results.csv to the working
 // directory.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 
 #include "tfb/pipeline/config.h"
 #include "tfb/report/ascii_plot.h"
 #include "tfb/tfb.h"
+
+namespace {
+
+/// "tfb-20260806T101112-12345": unique enough to tell two runs apart on a
+/// dashboard, human-decodable, no dependencies.
+std::string MakeRunId() {
+  char when[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  std::strftime(when, sizeof(when), "%Y%m%dT%H%M%S", &utc);
+  return std::string("tfb-") + when + "-" + std::to_string(getpid());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tfb;
@@ -58,9 +86,19 @@ int main(int argc, char** argv) {
   const char* config_path = nullptr;
   std::string trace_out;    // --trace-out= overrides the config key.
   std::string metrics_out;  // --metrics-out= overrides the config key.
+  // CLI overrides for the telemetry config keys; the *_set flags separate
+  // "flag absent" from "flag set to the default value".
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  bool log_level_set = false;
+  std::string log_json;
+  obs::ProgressMode progress_mode = obs::ProgressMode::kAuto;
+  bool progress_set = false;
+  long serve_port = -1;  // -1 = flag absent.
   const char* usage =
       "usage: tfb_run [config] [--resume] [--isolate=process|in_process]\n"
-      "               [--trace-out=FILE.json] [--metrics-out=FILE[.json]]\n";
+      "               [--trace-out=FILE.json] [--metrics-out=FILE[.json]]\n"
+      "               [--serve=PORT] [--progress=auto|bar|plain|off]\n"
+      "               [--log-level=LEVEL] [--log-json=FILE]\n";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print-default") == 0) {
       config.datasets = {"ETTh2", "ILI"};
@@ -80,6 +118,30 @@ int main(int argc, char** argv) {
       trace_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      serve_port = std::strtol(argv[i] + 8, nullptr, 10);
+      if (serve_port < 0 || serve_port > 65535) {
+        std::fprintf(stderr, "bad --serve port: %s\n", argv[i] + 8);
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--progress=", 11) == 0) {
+      const auto mode = obs::ParseProgressMode(argv[i] + 11);
+      if (!mode) {
+        std::fprintf(stderr, "bad --progress mode: %s\n", argv[i] + 11);
+        return 1;
+      }
+      progress_mode = *mode;
+      progress_set = true;
+    } else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
+      const auto level = obs::ParseLogLevel(argv[i] + 12);
+      if (!level) {
+        std::fprintf(stderr, "bad --log-level: %s\n", argv[i] + 12);
+        return 1;
+      }
+      log_level = *level;
+      log_level_set = true;
+    } else if (std::strncmp(argv[i], "--log-json=", 11) == 0) {
+      log_json = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "%s", usage);
       return 1;
@@ -112,9 +174,31 @@ int main(int argc, char** argv) {
   }
   if (trace_out.empty()) trace_out = config.trace_out;
   if (metrics_out.empty()) metrics_out = config.metrics_out;
-  if (!trace_out.empty() || !metrics_out.empty()) {
+  if (!log_level_set) log_level = config.log_level;
+  if (log_json.empty()) log_json = config.log_json;
+  if (!progress_set) progress_mode = config.progress;
+  const std::uint16_t port =
+      serve_port >= 0 ? static_cast<std::uint16_t>(serve_port)
+                      : static_cast<std::uint16_t>(config.serve_port);
+  // Serving /metrics implies collecting them.
+  if (!trace_out.empty() || !metrics_out.empty() || port != 0) {
     obs::SetEnabled(true);
     if (!trace_out.empty()) obs::DefaultTracer().Enable();
+  }
+  obs::DefaultLogger().SetLevel(log_level);
+  if (!log_json.empty() && !obs::DefaultLogger().OpenJsonlSink(log_json)) {
+    std::fprintf(stderr, "cannot open --log-json sink %s\n", log_json.c_str());
+    return 1;
+  }
+  const std::string run_id = MakeRunId();
+  obs::HttpExporter exporter({.port = port, .run_id = run_id});
+  if (port != 0) {
+    const base::Status status = exporter.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "--serve failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
   }
 
   const auto tasks = pipeline::BuildTasks(config);
@@ -124,7 +208,11 @@ int main(int argc, char** argv) {
               config.horizons.size());
   pipeline::RunnerOptions runner_options = config.MakeRunnerOptions();
   runner_options.resume = resume;
-  runner_options.verbose = true;
+  // With a live progress display the per-task INFO lines are redundant
+  // noise; keep them for off/plain-free runs (still reachable anywhere via
+  // --log-level=debug).
+  runner_options.verbose = progress_mode == obs::ProgressMode::kOff;
+  runner_options.progress = progress_mode;
   if (isolation_forced) runner_options.isolation = isolation;
   if (runner_options.isolation == pipeline::Isolation::kProcess) {
     std::printf("process isolation: on (memory_limit_mb=%zu, "
@@ -175,6 +263,16 @@ int main(int argc, char** argv) {
                 eval::MetricName(config.metrics[0]).c_str(),
                 rows[0].dataset.c_str(), rows[0].horizon,
                 report::AsciiBarChart(labels, values).c_str());
+  }
+
+  exporter.Stop();
+  // Give watchdog workers abandoned at a hard-deadline cutoff a short
+  // grace to come home so the process exits with every thread joined.
+  if (const std::size_t orphans = pipeline::ReapAbandonedWorkers(1.0);
+      orphans > 0) {
+    obs::DefaultLogger().Warn(
+        "exiting with hung watchdog workers still running",
+        {{"count", std::to_string(orphans)}});
   }
   return 0;
 }

@@ -1,0 +1,309 @@
+#include "tfb/obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "tfb/obs/log.h"
+
+namespace tfb::obs {
+
+namespace {
+
+// Wall-time budget for one connection (read request + write response): a
+// stuck client must not wedge the single-threaded server.
+constexpr int kConnectionBudgetMs = 2000;
+
+void CloseIfOpen(int* fd) {
+  if (*fd >= 0) close(*fd);
+  *fd = -1;
+}
+
+/// Blocking-with-deadline write of the full buffer; returns false on error
+/// or budget exhaustion. MSG_NOSIGNAL: a scraper that disconnects mid-write
+/// must produce EPIPE, not SIGPIPE.
+bool WriteAll(int fd, const char* data, std::size_t size, int budget_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  std::size_t written = 0;
+  while (written < size) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int ready = poll(&pfd, 1, remaining);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;
+    const ssize_t n =
+        send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until the end of the request headers ("\r\n\r\n") or the budget
+/// runs out. GET requests have no body, so the headers are the request.
+bool ReadRequest(int fd, int budget_ms, std::string* request) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  char buf[2048];
+  while (request->find("\r\n\r\n") == std::string::npos) {
+    if (request->size() > 64 * 1024) return false;  // Header bomb.
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int ready = poll(&pfd, 1, remaining);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    if (n == 0) return false;  // Peer closed before finishing the request.
+    request->append(buf, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+struct Response {
+  int code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+base::Status HttpExporter::Start() {
+  if (serving_.load(std::memory_order_acquire)) {
+    return base::Status::Internal("http exporter already serving");
+  }
+  if (options_.registry == nullptr) options_.registry = &DefaultRegistry();
+  if (options_.progress == nullptr) {
+    options_.progress = &DefaultProgressTracker();
+  }
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return base::Status::Internal(std::string("socket: ") +
+                                  std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    CloseIfOpen(&listen_fd_);
+    return base::Status::InvalidInput("bad bind address: " +
+                                      options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    CloseIfOpen(&listen_fd_);
+    return base::Status::Internal("bind " + options_.bind_address + ":" +
+                                  std::to_string(options_.port) + ": " + err);
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    CloseIfOpen(&listen_fd_);
+    return base::Status::Internal("listen: " + err);
+  }
+  // Recover the actual port when an ephemeral one (port 0) was requested.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (pipe(wake_fds_) != 0) {
+    const std::string err = std::strerror(errno);
+    CloseIfOpen(&listen_fd_);
+    return base::Status::Internal("pipe: " + err);
+  }
+
+  serving_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  DefaultLogger().Info("telemetry endpoint up",
+                       {{"addr", options_.bind_address},
+                        {"port", std::to_string(port_)},
+                        {"routes", "/metrics /status /healthz"}});
+  return base::Status::Ok();
+}
+
+void HttpExporter::Stop() {
+  if (!serving_.exchange(false, std::memory_order_acq_rel)) return;
+  // Wake the poll() in Serve(); the byte's value is irrelevant.
+  const char wake = 'x';
+  [[maybe_unused]] const ssize_t n = write(wake_fds_[1], &wake, 1);
+  if (thread_.joinable()) thread_.join();
+  CloseIfOpen(&listen_fd_);
+  CloseIfOpen(&wake_fds_[0]);
+  CloseIfOpen(&wake_fds_[1]);
+  port_ = 0;
+}
+
+void HttpExporter::Serve() {
+  while (serving_.load(std::memory_order_acquire)) {
+    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int ready = poll(pfds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((pfds[1].revents & POLLIN) != 0) break;  // Stop() pinged us.
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    Handle(client);
+    close(client);
+  }
+}
+
+void HttpExporter::Handle(int client_fd) {
+  std::string request;
+  if (!ReadRequest(client_fd, kConnectionBudgetMs, &request)) return;
+
+  // Request line: "GET /status HTTP/1.1".
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  std::string method =
+      sp1 == std::string::npos ? line : line.substr(0, sp1);
+  std::string path = (sp1 == std::string::npos || sp2 == std::string::npos)
+                         ? std::string("/")
+                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);  // Ignore query strings.
+  }
+
+  Response resp;
+  if (method != "GET") {
+    resp.code = 405;
+    resp.body = "method not allowed\n";
+  } else if (path == "/healthz") {
+    resp.body = "ok\n";
+  } else if (path == "/metrics") {
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = options_.registry->ToPrometheusText();
+  } else if (path == "/status") {
+    resp.content_type = "application/json";
+    resp.body = options_.progress->StatusJson(options_.run_id);
+    resp.body += '\n';
+  } else {
+    resp.code = 404;
+    resp.body = "not found; routes: /metrics /status /healthz\n";
+  }
+
+  if (Enabled()) {
+    DefaultRegistry()
+        .GetCounter("tfb_http_requests_total{path=\"" + path + "\"}")
+        .Increment();
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.0 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                resp.code, ReasonPhrase(resp.code), resp.content_type.c_str(),
+                resp.body.size());
+  std::string out = header;
+  out += resp.body;
+  WriteAll(client_fd, out.data(), out.size(), kConnectionBudgetMs);
+}
+
+bool HttpGet(std::uint16_t port, const std::string& path, std::string* body) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return false;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  if (!WriteAll(fd, request.data(), request.size(), kConnectionBudgetMs)) {
+    close(fd);
+    return false;
+  }
+  std::string response;
+  char buf[4096];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(kConnectionBudgetMs);
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    pollfd pfd{fd, POLLIN, 0};
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int ready = poll(&pfd, 1, remaining);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) break;
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    if (n == 0) break;  // Server closed: full HTTP/1.0 response received.
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  // Status line: "HTTP/1.0 200 OK".
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 1 >= response.size()) return false;
+  if (response[sp + 1] != '2') return false;  // Non-2xx.
+  if (body != nullptr) *body = response.substr(header_end + 4);
+  return true;
+}
+
+}  // namespace tfb::obs

@@ -1,0 +1,92 @@
+#ifndef TFB_OBS_HTTP_EXPORTER_H_
+#define TFB_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "tfb/base/status.h"
+#include "tfb/obs/metrics.h"
+#include "tfb/obs/progress.h"
+
+/// \file
+/// Embedded HTTP exporter (`tfb_run --serve=PORT`, config key `serve`): a
+/// single poll()-based server thread that makes a live run scrapeable by
+/// curl or Prometheus while it executes. Routes:
+///
+///   GET /metrics  Prometheus text exposition of the metrics Registry
+///   GET /status   JSON run progress: run id, task counts, per-method
+///                 tallies, queue depth, throughput, ETA
+///                 (ProgressTracker::StatusJson)
+///   GET /healthz  "ok\n" — liveness probe
+///
+/// The server handles one connection at a time (scrape traffic is one
+/// Prometheus poll every few seconds; serialization keeps it ~150 lines and
+/// dependency-free) and never touches the pipeline: handlers only *read*
+/// the registry and the tracker, so scrapes cannot perturb results — the
+/// determinism test runs with a live scraper to prove it.
+
+namespace tfb::obs {
+
+struct HttpExporterOptions {
+  /// Interface to bind; loopback by default (telemetry is not
+  /// authenticated — bind 0.0.0.0 only on trusted networks).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (see HttpExporter::port()).
+  std::uint16_t port = 0;
+  /// Sources; default to the process-wide singletons when null.
+  const Registry* registry = nullptr;
+  const ProgressTracker* progress = nullptr;
+  /// Opaque run identifier echoed in /status.
+  std::string run_id;
+};
+
+/// The embedded server. Start() binds + spawns the serving thread; Stop()
+/// (or destruction) wakes it via a self-pipe and joins it.
+class HttpExporter {
+ public:
+  HttpExporter() = default;
+  explicit HttpExporter(HttpExporterOptions options)
+      : options_(std::move(options)) {}
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+  ~HttpExporter();
+
+  /// Binds, listens, and starts serving. Fails (kInternal) when the
+  /// address cannot be bound or the exporter is already serving.
+  base::Status Start();
+
+  /// Stops serving and joins the server thread. Idempotent.
+  void Stop();
+
+  bool serving() const { return serving_.load(std::memory_order_acquire); }
+  /// The bound port (the actual one when options.port was 0); 0 before
+  /// Start().
+  std::uint16_t port() const { return port_; }
+  /// Requests answered since Start (any route, including 404s).
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void Handle(int client_fd);
+
+  HttpExporterOptions options_;
+  std::thread thread_;
+  std::atomic<bool> serving_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // Self-pipe: Stop() writes, Serve() wakes.
+};
+
+/// Minimal blocking HTTP/1.0 GET against 127.0.0.1:`port` — the test and
+/// bench scrape client. Returns false on connect/read failure or non-2xx;
+/// on success fills `*body` with the response body (headers stripped).
+bool HttpGet(std::uint16_t port, const std::string& path, std::string* body);
+
+}  // namespace tfb::obs
+
+#endif  // TFB_OBS_HTTP_EXPORTER_H_

@@ -161,6 +161,20 @@ std::optional<BenchmarkConfig> ParseConfig(const std::string& text,
       config.trace_out = value;
     } else if (key == "metrics_out") {
       config.metrics_out = value;
+    } else if (key == "log_level") {
+      const auto level = obs::ParseLogLevel(value);
+      if (!level) return fail("unknown log_level: " + value);
+      config.log_level = *level;
+    } else if (key == "log_json") {
+      config.log_json = value;
+    } else if (key == "progress") {
+      const auto mode = obs::ParseProgressMode(value);
+      if (!mode) return fail("progress must be auto, bar, plain, or off");
+      config.progress = *mode;
+    } else if (key == "serve") {
+      const long port = std::strtol(value.c_str(), nullptr, 10);
+      if (port < 0 || port > 65535) return fail("bad serve port: " + value);
+      config.serve_port = static_cast<std::size_t>(port);
     } else if (key == "memory_limit_mb") {
       config.memory_limit_mb = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "cpu_limit_seconds") {
@@ -259,6 +273,19 @@ std::string ConfigToString(const BenchmarkConfig& config) {
   if (!config.metrics_out.empty()) {
     os << "metrics_out = " << config.metrics_out << '\n';
   }
+  // Lower-cased: ParseLogLevel is case-insensitive but the canonical
+  // serialization should round-trip through ParseConfig verbatim.
+  {
+    std::string level = obs::LogLevelName(config.log_level);
+    while (!level.empty() && level.back() == ' ') level.pop_back();
+    for (char& c : level) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    os << "log_level = " << level << '\n';
+  }
+  if (!config.log_json.empty()) os << "log_json = " << config.log_json << '\n';
+  os << "progress = " << obs::ProgressModeName(config.progress) << '\n';
+  if (config.serve_port != 0) os << "serve = " << config.serve_port << '\n';
   return os.str();
 }
 
@@ -274,6 +301,7 @@ RunnerOptions BenchmarkConfig::MakeRunnerOptions() const {
   options.isolation = isolation;
   options.memory_limit_mb = memory_limit_mb;
   options.cpu_limit_seconds = cpu_limit_seconds;
+  options.progress = progress;
   return options;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tfb/eval/strategy.h"
+#include "tfb/obs/log.h"
 #include "tfb/pipeline/runner.h"
 
 namespace tfb::pipeline {
@@ -65,6 +66,21 @@ struct BenchmarkConfig {
   /// path ends in ".json". CLI: `--trace-out=` / `--metrics-out=`.
   std::string trace_out;
   std::string metrics_out;
+  /// Live-telemetry knobs (see DESIGN.md "Observability").
+  /// Minimum severity of the structured logger ("log_level = debug";
+  /// CLI `--log-level=`).
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  /// JSONL log sink path ("log_json = run.log.jsonl"; CLI `--log-json=`);
+  /// "" = text-only logging.
+  std::string log_json;
+  /// Terminal progress rendering ("progress = auto|bar|plain|off"; CLI
+  /// `--progress=`). Config-driven runs default to kAuto: a bar on a TTY,
+  /// heartbeat lines otherwise.
+  obs::ProgressMode progress = obs::ProgressMode::kAuto;
+  /// Embedded HTTP telemetry endpoint port ("serve = 9100"; CLI
+  /// `--serve=PORT`): serves /metrics, /status, and /healthz on loopback
+  /// for the duration of the run. 0 = disabled.
+  std::size_t serve_port = 0;
 
   /// The runner options this configuration implies (resume stays false; it
   /// is a command-line decision, not a config-file one).

@@ -169,6 +169,13 @@ std::string JournalLine(const ResultRow& row) {
   AppendDouble(&out, row.cpu_sys_seconds);
   out += ",\"peak_rss_mb\":";
   AppendDouble(&out, row.peak_rss_mb);
+  // Only present on rows that carry one (failed sandboxed tasks): the
+  // common all-ok journal stays byte-for-byte what it was before this field
+  // existed, and older readers tolerate the extra key anyway.
+  if (!row.stderr_tail.empty()) {
+    out += ",\"stderr_tail\":";
+    AppendEscaped(&out, row.stderr_tail);
+  }
   out += ",\"metrics\":{";
   bool first = true;
   for (const auto& [metric, value] : row.metrics) {
@@ -242,6 +249,8 @@ bool ParseJournalLine(const std::string& line, ResultRow* row) {
       parsed = c.ParseString(&row->selected_config);
     } else if (key == "note") {
       parsed = c.ParseString(&row->note);
+    } else if (key == "stderr_tail") {
+      parsed = c.ParseString(&row->stderr_tail);
     } else if (key == "ok") {
       parsed = c.ParseBool(&row->ok);
     } else if (key == "used_fallback") {

@@ -22,7 +22,9 @@ namespace tfb::pipeline {
 ///    "cpu_user_seconds":0.01,"cpu_sys_seconds":0.0,"peak_rss_mb":42.5,
 ///    "metrics":{"mae":0.51,"mse":0.42}}
 /// The cpu_*/peak_rss_mb resource fields (tfb/obs) round-trip so a resumed
-/// run keeps the resource accounting of the rows it adopted.
+/// run keeps the resource accounting of the rows it adopted. Failed rows
+/// from sandboxed runs may additionally carry "stderr_tail" (the child's
+/// captured stderr last words); it is omitted when empty.
 
 /// Serializes one row as a single JSON line (no trailing newline).
 std::string JournalLine(const ResultRow& row);

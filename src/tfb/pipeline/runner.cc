@@ -16,7 +16,9 @@
 #include "tfb/base/check.h"
 #include "tfb/base/status.h"
 #include "tfb/methods/guarded_forecaster.h"
+#include "tfb/obs/log.h"
 #include "tfb/obs/metrics.h"
+#include "tfb/obs/progress.h"
 #include "tfb/obs/rusage.h"
 #include "tfb/obs/trace.h"
 #include "tfb/pipeline/journal.h"
@@ -167,25 +169,95 @@ TaskOutcome EvaluateCandidatesMeasured(
   return out;
 }
 
+/// State shared between a watchdog worker thread and its supervisors. All
+/// inputs are deep copies, so a worker outliving its task never touches
+/// caller memory; `done` flips (under `mutex`, with a `cv` broadcast) as
+/// the worker's last act, which is what makes an abandoned thread joinable
+/// later.
+struct WatchdogShared {
+  BenchmarkTask task;
+  std::vector<methods::MethodConfig> candidates;
+  RunnerOptions options;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  TaskOutcome outcome;
+};
+
+/// Custody of watchdog workers that blew past their hard cutoff. They used
+/// to be detach()ed — a data race at process exit (the thread could still
+/// be running while static destructors tore the world down) that ASan/TSan
+/// rightly flag. Instead the runner *adopts* them here and joins each one
+/// as soon as its `done` flag flips: every thread is eventually joined,
+/// shutdown is race-free, and a hung-forever worker is visible (Reap
+/// reports it) rather than silently leaked.
+class WatchdogReaper {
+ public:
+  static WatchdogReaper& Instance() {
+    static WatchdogReaper* reaper = new WatchdogReaper();  // Leaked.
+    return *reaper;
+  }
+
+  void Adopt(std::thread worker, std::shared_ptr<WatchdogShared> shared) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ReapLocked(Clock::now());  // Opportunistic: bound the roster size.
+    entries_.push_back(Entry{std::move(worker), std::move(shared)});
+    if (obs::Enabled()) {
+      obs::DefaultRegistry()
+          .GetCounter("tfb_watchdog_abandoned_total")
+          .Increment();
+    }
+  }
+
+  /// Joins every adopted worker whose task has finished, waiting up to
+  /// `timeout_seconds` total for the rest. Returns how many remain.
+  std::size_t Reap(double timeout_seconds) {
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_seconds));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ReapLocked(deadline);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    std::thread worker;
+    std::shared_ptr<WatchdogShared> shared;
+  };
+
+  void ReapLocked(Clock::time_point deadline) {
+    auto it = entries_.begin();
+    while (it != entries_.end()) {
+      bool done;
+      {
+        std::unique_lock<std::mutex> lock(it->shared->mutex);
+        done = it->shared->cv.wait_until(lock, deadline,
+                                         [&] { return it->shared->done; });
+      }
+      if (done) {
+        it->worker.join();
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
 /// Hard watchdog around EvaluateCandidates: the evaluation runs on its own
 /// thread; a task stuck inside a single Fit/Forecast call (which the
 /// cooperative guard cannot interrupt) is abandoned once the deadline plus
-/// a grace period passes. All inputs are deep-copied into shared state, so
-/// an abandoned thread never touches caller memory.
+/// a grace period passes. Abandoned workers are handed to the
+/// WatchdogReaper, which joins them when they eventually finish.
 TaskOutcome EvaluateWithWatchdog(
     const BenchmarkTask& task,
     const std::vector<methods::MethodConfig>& candidates,
     const RunnerOptions& options) {
-  struct Shared {
-    BenchmarkTask task;
-    std::vector<methods::MethodConfig> candidates;
-    RunnerOptions options;
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    TaskOutcome outcome;
-  };
-  auto shared = std::make_shared<Shared>();
+  auto shared = std::make_shared<WatchdogShared>();
   shared->task = task;
   shared->candidates = candidates;
   shared->options = options;
@@ -213,7 +285,13 @@ TaskOutcome EvaluateWithWatchdog(
     worker.join();
     return std::move(shared->outcome);
   }
-  worker.detach();
+  obs::DefaultLogger().Warn(
+      "task abandoned at hard watchdog cutoff",
+      {{"dataset", task.dataset},
+       {"method", task.method},
+       {"horizon", std::to_string(task.horizon)},
+       {"deadline_s", FormatSeconds(options.deadline_seconds)}});
+  WatchdogReaper::Instance().Adopt(std::move(worker), std::move(shared));
   TaskOutcome out;
   out.status = base::Status::DeadlineExceeded(
       "task still running at hard watchdog cutoff (deadline " +
@@ -321,6 +399,14 @@ AttemptResult EvaluateSandboxed(
     row->peak_rss_mb = sandboxed.usage.max_rss_mb;
   };
 
+  // Crash diagnostics: keep the child's stderr last words on failed rows
+  // only — ok rows stay lean and byte-stable across isolation modes.
+  const auto attach_stderr = [&sandboxed](ResultRow* row) {
+    if (!row->ok && !sandboxed.stderr_tail.empty()) {
+      row->stderr_tail = sandboxed.stderr_tail;
+    }
+  };
+
   AttemptResult attempt;
   attempt.row = BaseRow(task);
   if (sandboxed.fate == proc::TaskFate::kOk) {
@@ -328,6 +414,7 @@ AttemptResult EvaluateSandboxed(
     if (ParseJournalLine(sandboxed.payload, &parsed)) {
       attempt.row = std::move(parsed);
       stamp_usage(&attempt.row);
+      attach_stderr(&attempt.row);
       attempt.status = attempt.row.ok
                            ? base::Status::Ok()
                            : base::Status::FromString(attempt.row.error);
@@ -340,6 +427,7 @@ AttemptResult EvaluateSandboxed(
   }
   stamp_usage(&attempt.row);
   attempt.row.error = attempt.status.ToString();
+  attach_stderr(&attempt.row);
   return attempt;
 }
 
@@ -390,6 +478,10 @@ std::string FormatMs(double ms) {
 ResultRow RunOneImpl(const BenchmarkTask& task, const RunnerOptions& options_);
 
 }  // namespace
+
+std::size_t ReapAbandonedWorkers(double timeout_seconds) {
+  return WatchdogReaper::Instance().Reap(timeout_seconds);
+}
 
 ResultRow BenchmarkRunner::RunOne(const BenchmarkTask& task) const {
   if (!obs::Enabled()) return RunOneImpl(task, options_);
@@ -555,10 +647,12 @@ std::vector<ResultRow> BenchmarkRunner::Run(
         pending.push_back(i);
       }
     }
-    if (options_.verbose) {
-      std::fprintf(stderr, "[tfb] resume: %zu of %zu tasks loaded from %s\n",
-                   resumed, tasks.size(), options_.journal_path.c_str());
-    }
+    obs::DefaultLogger().Log(
+        options_.verbose ? obs::LogLevel::kInfo : obs::LogLevel::kDebug,
+        "resume: adopted journaled rows",
+        {{"loaded", std::to_string(resumed)},
+         {"total", std::to_string(tasks.size())},
+         {"journal", options_.journal_path}});
     if (observed && resumed > 0) {
       obs::DefaultRegistry()
           .GetCounter("tfb_tasks_resumed_total")
@@ -568,32 +662,72 @@ std::vector<ResultRow> BenchmarkRunner::Run(
     for (std::size_t i = 0; i < tasks.size(); ++i) pending.push_back(i);
   }
 
-  std::mutex sink_mutex;  // Serializes journal appends and progress logs.
-  auto finish = [&](std::size_t i) {
-    const std::lock_guard<std::mutex> lock(sink_mutex);
-    if (!options_.journal_path.empty() &&
-        !AppendJournal(options_.journal_path, rows[i],
-                       {options_.journal_fsync})) {
-      std::fprintf(stderr, "[tfb] warning: cannot append to journal %s\n",
-                   options_.journal_path.c_str());
+  // The progress tracker is always fed (it backs the HTTP /status payload
+  // and costs one mutex hop per task); options_.progress only governs how —
+  // or whether — it renders on the terminal.
+  obs::ProgressTracker& progress = obs::DefaultProgressTracker();
+  progress.SetDisplay(options_.progress);
+  progress.BeginRun(tasks.size(), resumed);
+
+  std::mutex sink_mutex;  // Serializes journal appends.
+  auto finish = [&](std::size_t i, double task_seconds) {
+    {
+      const std::lock_guard<std::mutex> lock(sink_mutex);
+      if (!options_.journal_path.empty() &&
+          !AppendJournal(options_.journal_path, rows[i],
+                         {options_.journal_fsync})) {
+        obs::DefaultLogger().Warn("cannot append to journal",
+                                  {{"path", options_.journal_path}});
+      }
     }
+    // Per-task lines: verbose runs log every completion at INFO (failures
+    // at WARN so they stand out); quiet runs keep them at DEBUG, reachable
+    // via --log-level=debug.
+    obs::LogLevel level = obs::LogLevel::kDebug;
     if (options_.verbose) {
-      std::fprintf(stderr, "[tfb] %s / %s / h=%zu %s%s%s\n",
-                   rows[i].dataset.c_str(), rows[i].method.c_str(),
-                   rows[i].horizon, rows[i].ok ? "done" : "FAILED: ",
-                   rows[i].ok ? "" : rows[i].error.c_str(),
-                   rows[i].used_fallback ? " (fallback)" : "");
+      level = rows[i].ok ? obs::LogLevel::kInfo : obs::LogLevel::kWarn;
     }
+    if (obs::DefaultLogger().ShouldLog(level)) {
+      std::string msg = rows[i].ok ? "task done" : "task failed";
+      if (rows[i].used_fallback) msg += " (fallback)";
+      if (rows[i].ok) {
+        obs::DefaultLogger().Log(
+            level, msg,
+            {{"dataset", rows[i].dataset},
+             {"method", rows[i].method},
+             {"horizon", std::to_string(rows[i].horizon)}});
+      } else {
+        obs::DefaultLogger().Log(
+            level, msg,
+            {{"dataset", rows[i].dataset},
+             {"method", rows[i].method},
+             {"horizon", std::to_string(rows[i].horizon)},
+             {"error", rows[i].error}});
+      }
+    }
+    progress.TaskFinished(rows[i].method, rows[i].ok, rows[i].used_fallback,
+                          task_seconds);
+  };
+  auto run_task = [&](std::size_t i) {
+    observe_queue_wait();
+    progress.TaskStarted();
+    const auto task_start = Clock::now();
+    rows[i] = RunOne(tasks[i]);
+    finish(i, std::chrono::duration<double>(Clock::now() - task_start).count());
+  };
+  // Shared run epilogue for both execution paths: close out the progress
+  // display and opportunistically join any watchdog workers whose hung
+  // tasks have finished since they were abandoned.
+  auto epilogue = [&] {
+    progress.EndRun();
+    WatchdogReaper::Instance().Reap(0.0);
   };
 
   const std::size_t threads = std::max<std::size_t>(
       1, std::min(options_.num_threads, pending.size()));
   if (threads <= 1) {
-    for (const std::size_t i : pending) {
-      observe_queue_wait();
-      rows[i] = RunOne(tasks[i]);
-      finish(i);
-    }
+    for (const std::size_t i : pending) run_task(i);
+    epilogue();
     return rows;
   }
   std::atomic<std::size_t> next{0};
@@ -601,16 +735,14 @@ std::vector<ResultRow> BenchmarkRunner::Run(
     while (true) {
       const std::size_t slot = next.fetch_add(1);
       if (slot >= pending.size()) return;
-      const std::size_t i = pending[slot];
-      observe_queue_wait();
-      rows[i] = RunOne(tasks[i]);
-      finish(i);
+      run_task(pending[slot]);
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
+  epilogue();
   return rows;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tfb/eval/strategy.h"
+#include "tfb/obs/progress.h"
 #include "tfb/pipeline/method_registry.h"
 #include "tfb/ts/time_series.h"
 
@@ -61,6 +62,12 @@ struct ResultRow {
   double cpu_user_seconds = 0.0;
   double cpu_sys_seconds = 0.0;
   double peak_rss_mb = 0.0;
+  /// On a failed row under `--isolate=process`: the last ~20 lines the
+  /// sandboxed child wrote to stderr before it died (assert message,
+  /// sanitizer report, library warning) — the crash diagnostics that used
+  /// to be silently dropped. Empty on ok rows and in-process runs.
+  /// Round-trips through the journal; printed in the report failure footer.
+  std::string stderr_tail;
 };
 
 /// How the runner executes each task.
@@ -120,6 +127,12 @@ struct RunnerOptions {
   /// CPU budget per sandboxed task in seconds (RLIMIT_CPU, whole seconds);
   /// 0 = no limit. Only meaningful with isolation = kProcess.
   double cpu_limit_seconds = 0.0;
+  /// Terminal progress rendering for Run() (`--progress=`, see
+  /// obs/progress.h). kOff by default so directly-constructed runners
+  /// (tests, benches) stay silent; config-driven runs default to kAuto.
+  /// The progress *tracker* is always fed regardless of this mode — it
+  /// backs the HTTP /status endpoint.
+  obs::ProgressMode progress = obs::ProgressMode::kOff;
 };
 
 /// The automated end-to-end evaluation engine (Section 4.4): executes
@@ -143,6 +156,15 @@ class BenchmarkRunner {
  private:
   RunnerOptions options_;
 };
+
+/// Joins watchdog worker threads that were abandoned at a hard-deadline
+/// cutoff (see RunnerOptions::deadline_seconds) and have since finished.
+/// Waits up to `timeout_seconds` total for still-running workers to come
+/// home; returns the number that remain abandoned (0 = fully drained).
+/// Run() drains opportunistically (zero wait) after every grid; callers
+/// that need a clean shutdown — the CLI before exit, tests under
+/// ASan/TSan — pass a small grace period.
+std::size_t ReapAbandonedWorkers(double timeout_seconds = 0.0);
 
 }  // namespace tfb::pipeline
 

@@ -90,34 +90,80 @@ double TimevalSeconds(const timeval& tv) {
          static_cast<double>(tv.tv_usec) * 1e-6;
 }
 
-/// Reads the pipe until EOF or until `deadline` (zero time_point = none)
-/// passes. Returns false on deadline expiry with the child still running.
-bool ReadPayload(int fd, Clock::time_point deadline, std::string* payload) {
+/// Bound on captured child stderr held by the supervisor. The buffer is
+/// trimmed from the front while reading, so the *last* bytes — where the
+/// crash diagnostic lives — always survive, and a child that floods stderr
+/// cannot balloon the parent.
+constexpr std::size_t kStderrCaptureBytes = 16 * 1024;
+/// Lines of that buffer attached to the result (SandboxResult::stderr_tail).
+constexpr std::size_t kStderrTailLines = 20;
+
+void TrimToTailBytes(std::string* buf) {
+  if (buf->size() > 2 * kStderrCaptureBytes) {
+    buf->erase(0, buf->size() - kStderrCaptureBytes);
+  }
+}
+
+/// Last `max_lines` lines of `text` (trailing newline dropped).
+std::string TailLines(const std::string& text, std::size_t max_lines) {
+  std::size_t end = text.size();
+  while (end > 0 && text[end - 1] == '\n') --end;
+  if (end == 0) return std::string();
+  std::size_t lines = 0;
+  std::size_t begin = end;
+  while (begin > 0) {
+    if (text[begin - 1] == '\n' && ++lines == max_lines) break;
+    --begin;
+  }
+  return text.substr(begin, end - begin);
+}
+
+/// Reads the payload and stderr pipes until both hit EOF or until
+/// `deadline` (zero time_point = none) passes. Both must be drained in one
+/// loop: a child blocked writing a full stderr pipe would otherwise
+/// deadlock against a parent waiting only on the payload fd. Returns false
+/// on deadline expiry with the child still running.
+bool ReadStreams(int payload_fd, int stderr_fd, Clock::time_point deadline,
+                 std::string* payload, std::string* child_stderr) {
   char buf[4096];
-  while (true) {
+  bool payload_open = true;
+  bool stderr_open = true;
+  while (payload_open || stderr_open) {
     int timeout_ms = -1;
     if (deadline != Clock::time_point{}) {
       const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
           deadline - Clock::now());
-      if (remaining.count() <= 0) return false;
+      if (remaining.count() <= 0) return !payload_open;
       timeout_ms = static_cast<int>(remaining.count()) + 1;
     }
-    pollfd pfd{fd, POLLIN, 0};
-    const int pr = poll(&pfd, 1, timeout_ms);
-    if (pr == 0) return false;  // Deadline expired.
+    pollfd pfds[2] = {{payload_fd, POLLIN, 0}, {stderr_fd, POLLIN, 0}};
+    if (!payload_open) pfds[0].fd = -1;  // poll ignores negative fds.
+    if (!stderr_open) pfds[1].fd = -1;
+    const int pr = poll(pfds, 2, timeout_ms);
+    if (pr == 0) return !payload_open;  // Deadline expired.
     if (pr < 0) {
       if (errno == EINTR) continue;
       return true;  // Treat a poll failure as end of stream.
     }
-    const ssize_t n = read(fd, buf, sizeof(buf));
-    if (n > 0) {
-      payload->append(buf, static_cast<std::size_t>(n));
-    } else if (n == 0) {
-      return true;  // EOF: child closed its end (exit or explicit close).
-    } else if (errno != EINTR) {
-      return true;
+    if (payload_open && (pfds[0].revents & (POLLIN | POLLHUP | POLLERR))) {
+      const ssize_t n = read(payload_fd, buf, sizeof(buf));
+      if (n > 0) {
+        payload->append(buf, static_cast<std::size_t>(n));
+      } else if (n == 0 || errno != EINTR) {
+        payload_open = false;  // EOF (or unrecoverable error).
+      }
+    }
+    if (stderr_open && (pfds[1].revents & (POLLIN | POLLHUP | POLLERR))) {
+      const ssize_t n = read(stderr_fd, buf, sizeof(buf));
+      if (n > 0) {
+        child_stderr->append(buf, static_cast<std::size_t>(n));
+        TrimToTailBytes(child_stderr);
+      } else if (n == 0 || errno != EINTR) {
+        stderr_open = false;
+      }
     }
   }
+  return true;
 }
 
 bool IsCrashSignal(int sig) {
@@ -168,11 +214,22 @@ SandboxResult RunInSandbox(const SandboxBody& body,
         result.fate, std::string("pipe() failed: ") + std::strerror(errno));
     return result;
   }
+  int err_fds[2];
+  if (pipe(err_fds) != 0) {
+    close(fds[0]);
+    close(fds[1]);
+    result.fate = TaskFate::kSpawnError;
+    result.status = FateToStatus(
+        result.fate, std::string("pipe() failed: ") + std::strerror(errno));
+    return result;
+  }
   const auto start = Clock::now();
   const pid_t pid = fork();
   if (pid < 0) {
     close(fds[0]);
     close(fds[1]);
+    close(err_fds[0]);
+    close(err_fds[1]);
     result.fate = TaskFate::kSpawnError;
     result.status = FateToStatus(
         result.fate, std::string("fork() failed: ") + std::strerror(errno));
@@ -184,8 +241,13 @@ SandboxResult RunInSandbox(const SandboxBody& body,
     // body on the inherited memory image, ship the payload, and _exit
     // without atexit handlers or flushing stdio buffers shared with the
     // parent. Anything that goes wrong from here on is the supervisor's
-    // problem to classify, not ours to handle.
+    // problem to classify, not ours to handle. Its stderr is rerouted into
+    // the supervisor's capture pipe so last words (asserts, sanitizer
+    // reports) reach the failed row.
     close(fds[0]);
+    close(err_fds[0]);
+    dup2(err_fds[1], STDERR_FILENO);
+    close(err_fds[1]);
     ApplyLimitsInChild(limits);
     const std::string payload = body();
     WriteAll(fds[1], payload.data(), payload.size());
@@ -196,6 +258,7 @@ SandboxResult RunInSandbox(const SandboxBody& body,
   // Parent / supervisor. (The child never reaches this code: its events are
   // deliberately not traced — the ring buffer it inherited dies with it.)
   close(fds[1]);
+  close(err_fds[1]);
   if (observed) {
     obs::DefaultRegistry().GetCounter("tfb_sandbox_spawn_total").Increment();
     obs::DefaultTracer().RecordInstant(
@@ -207,7 +270,9 @@ SandboxResult RunInSandbox(const SandboxBody& body,
     deadline = start + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(limits.wall_seconds));
   }
-  const bool finished = ReadPayload(fds[0], deadline, &result.payload);
+  std::string child_stderr;
+  const bool finished =
+      ReadStreams(fds[0], err_fds[0], deadline, &result.payload, &child_stderr);
   bool killed_on_timeout = false;
   if (!finished) {
     kill(pid, SIGKILL);
@@ -220,10 +285,14 @@ SandboxResult RunInSandbox(const SandboxBody& body,
                          {"reason", "wall-deadline"}}));
     }
     // Drain whatever the child managed to write before the kill so a
-    // near-complete payload is still visible for diagnostics.
-    ReadPayload(fds[0], Clock::time_point{}, &result.payload);
+    // near-complete payload (and its stderr last words) is still visible
+    // for diagnostics.
+    ReadStreams(fds[0], err_fds[0], Clock::time_point{}, &result.payload,
+                &child_stderr);
   }
   close(fds[0]);
+  close(err_fds[0]);
+  result.stderr_tail = TailLines(child_stderr, kStderrTailLines);
 
   int status = 0;
   rusage child_usage{};

@@ -62,6 +62,13 @@ struct SandboxResult {
   base::Status status;
   /// The bytes the child wrote to the result pipe (complete only for kOk).
   std::string payload;
+  /// The tail (last ~20 lines, bounded bytes) of whatever the child wrote
+  /// to stderr, captured through a second supervisor pipe. This is the
+  /// crash diagnostic channel: an assert message, a sanitizer report, or a
+  /// library warning printed just before a SIGSEGV survives the child and
+  /// lands in the failed row instead of vanishing. Empty when the child
+  /// stayed quiet.
+  std::string stderr_tail;
   int exit_code = -1;     ///< Child exit code when it exited normally.
   int term_signal = 0;    ///< Terminating signal when it was killed.
   double wall_seconds = 0.0;  ///< Observed child lifetime.

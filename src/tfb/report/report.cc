@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <ctime>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <set>
+#include <sstream>
 
 #include "tfb/base/status.h"
+#include "tfb/obs/log.h"
 
 namespace tfb::report {
 
@@ -98,6 +99,15 @@ void PrintFailureSummary(std::ostream& os,
     for (const pipeline::ResultRow* row : members) {
       os << "    " << row->dataset << " / " << row->method << " / h="
          << row->horizon << ": " << row->error << '\n';
+      // Crash diagnostics captured from the sandboxed child's stderr
+      // (--isolate=process): its last words, indented under the cell.
+      if (!row->stderr_tail.empty()) {
+        std::istringstream tail(row->stderr_tail);
+        std::string line;
+        while (std::getline(tail, line)) {
+          os << "      stderr| " << line << '\n';
+        }
+      }
     }
   }
   if (!rescued.empty()) {
@@ -290,17 +300,18 @@ std::map<std::string, std::size_t> CountWins(
 
 void Logger::Log(Level level, const std::string& message) const {
   if (level < min_level_) return;
-  const char* label = "INFO";
+  // Delegates to the structured logger (tfb/obs/log.h) so report-layer
+  // lines share the pipeline's sinks, timestamps, and --log-level filter;
+  // this wrapper's own min_level_ is kept as a coarse pre-filter for
+  // existing callers.
+  obs::LogLevel obs_level = obs::LogLevel::kInfo;
   switch (level) {
-    case Level::kDebug: label = "DEBUG"; break;
-    case Level::kInfo: label = "INFO"; break;
-    case Level::kWarning: label = "WARN"; break;
-    case Level::kError: label = "ERROR"; break;
+    case Level::kDebug: obs_level = obs::LogLevel::kDebug; break;
+    case Level::kInfo: obs_level = obs::LogLevel::kInfo; break;
+    case Level::kWarning: obs_level = obs::LogLevel::kWarn; break;
+    case Level::kError: obs_level = obs::LogLevel::kError; break;
   }
-  const std::time_t now = std::time(nullptr);
-  char buffer[32];
-  std::strftime(buffer, sizeof(buffer), "%H:%M:%S", std::localtime(&now));
-  std::fprintf(stderr, "[%s %s] %s\n", buffer, label, message.c_str());
+  obs::DefaultLogger().Log(obs_level, message);
 }
 
 }  // namespace tfb::report

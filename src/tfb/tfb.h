@@ -13,7 +13,8 @@
 ///  - evaluation layer: tfb/eval
 ///  - pipeline & reporting: tfb/pipeline, tfb/report
 ///  - process sandbox: tfb/proc (crash/oom/timeout isolation)
-///  - observability: tfb/obs (metrics, tracing, resource accounting)
+///  - observability: tfb/obs (metrics, tracing, resource accounting, and
+///    live telemetry: structured logging, progress/ETA, HTTP endpoint)
 
 #include "tfb/base/check.h"
 #include "tfb/base/status.h"
@@ -38,7 +39,10 @@
 #include "tfb/methods/statistical/kalman.h"
 #include "tfb/methods/statistical/theta.h"
 #include "tfb/methods/statistical/var.h"
+#include "tfb/obs/http_exporter.h"
+#include "tfb/obs/log.h"
 #include "tfb/obs/metrics.h"
+#include "tfb/obs/progress.h"
 #include "tfb/obs/rusage.h"
 #include "tfb/obs/trace.h"
 #include "tfb/pipeline/config.h"

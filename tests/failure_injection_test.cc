@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -319,6 +320,11 @@ TEST(FaultIsolation, HardWatchdogRecoversFromHungTask) {
   EXPECT_NE(row.error.find("DEADLINE"), std::string::npos) << row.error;
   // The runner must abandon the hung task, not sit out the full stall.
   EXPECT_LT(elapsed, 1.0);
+
+  // The abandoned worker was adopted by the reaper, not detached: once the
+  // stall ends it is joinable, and draining it leaves zero orphan threads
+  // (what keeps ASan/TSan shutdown clean).
+  EXPECT_EQ(pipeline::ReapAbandonedWorkers(5.0), 0u);
 }
 
 TEST(FaultIsolation, FallbackForecasterKeepsTheTableComplete) {
@@ -437,6 +443,7 @@ TEST(FaultIsolation, JournalLineRoundTripsAllFields) {
   row.inference_ms_per_window = 0.625;
   row.metrics[eval::Metric::kMae] = 0.123456789012345678;
   row.metrics[eval::Metric::kMse] = 1e300;
+  row.stderr_tail = "warning: shaky\nfatal: \"boom\" at layer 3";
 
   pipeline::ResultRow parsed;
   ASSERT_TRUE(
@@ -457,6 +464,14 @@ TEST(FaultIsolation, JournalLineRoundTripsAllFields) {
             row.metrics.at(eval::Metric::kMae));
   EXPECT_EQ(parsed.metrics.at(eval::Metric::kMse),
             row.metrics.at(eval::Metric::kMse));
+  EXPECT_EQ(parsed.stderr_tail, row.stderr_tail);
+
+  // An empty tail is omitted entirely, so journals written before the
+  // stderr-capture feature (and all-ok journals) stay byte-identical.
+  pipeline::ResultRow quiet = row;
+  quiet.stderr_tail.clear();
+  EXPECT_EQ(pipeline::JournalLine(quiet).find("stderr_tail"),
+            std::string::npos);
 
   EXPECT_FALSE(pipeline::ParseJournalLine("{not json", &parsed));
 }
@@ -632,6 +647,71 @@ TEST(ProcessIsolation, FallbackRescuesCrashingPrimary) {
   EXPECT_TRUE(row.used_fallback);
   EXPECT_NE(row.error.find("CRASHED"), std::string::npos) << row.error;
   EXPECT_TRUE(std::isfinite(row.metrics.at(eval::Metric::kMae)));
+}
+
+// Writes diagnostics to stderr, then segfaults — the shape of a real native
+// method dying mid-Fit. Only meaningful under process isolation.
+class NoisyCrashingForecaster : public methods::Forecaster {
+ public:
+  std::string name() const override { return "NoisyCrasher"; }
+  void Fit(const ts::TimeSeries&) override {
+    std::fprintf(stderr, "loading weights\n");
+    std::fprintf(stderr, "fatal: poisoned weights at layer 3\n");
+    std::fflush(stderr);
+    std::signal(SIGSEGV, SIG_DFL);
+    std::raise(SIGSEGV);
+  }
+  ts::TimeSeries Forecast(const ts::TimeSeries&,
+                          std::size_t horizon) override {
+    return ts::TimeSeries::Univariate(std::vector<double>(horizon, 0.0));
+  }
+};
+
+TEST(ProcessIsolation, FailedRowCarriesChildStderrTail) {
+  const std::string path = testing::TempDir() + "/tfb_stderr_tail.jsonl";
+  std::remove(path.c_str());
+  const ts::TimeSeries series = CleanSeries(300, 25);
+
+  std::vector<pipeline::BenchmarkTask> tasks;
+  tasks.push_back(CustomTask("NoisyCrasher", [] {
+    return std::make_unique<NoisyCrashingForecaster>();
+  }, series));
+  tasks.push_back(CustomTask("Healthy", [] {
+    return std::make_unique<methods::SeasonalNaiveForecaster>();
+  }, series));
+
+  pipeline::RunnerOptions options;
+  options.isolation = pipeline::Isolation::kProcess;
+  options.journal_path = path;
+  const auto rows = pipeline::BenchmarkRunner(options).Run(tasks);
+  ASSERT_EQ(rows.size(), 2u);
+
+  // The child's last words reach the failed row...
+  EXPECT_FALSE(rows[0].ok);
+  EXPECT_NE(rows[0].error.find("CRASHED"), std::string::npos)
+      << rows[0].error;
+  EXPECT_NE(rows[0].stderr_tail.find("poisoned weights at layer 3"),
+            std::string::npos)
+      << rows[0].stderr_tail;
+  // ...while healthy rows stay clean.
+  ASSERT_TRUE(rows[1].ok) << rows[1].error;
+  EXPECT_TRUE(rows[1].stderr_tail.empty());
+
+  // The tail round-trips the journal for post-hoc forensics.
+  const auto journaled = pipeline::LoadJournal(path);
+  ASSERT_EQ(journaled.size(), 2u);
+  const auto& crashed = journaled[0].method == "NoisyCrasher" ? journaled[0]
+                                                              : journaled[1];
+  EXPECT_NE(crashed.stderr_tail.find("poisoned weights"), std::string::npos)
+      << crashed.stderr_tail;
+
+  // And surfaces in the report's failure footer as indented stderr lines.
+  std::ostringstream os;
+  report::PrintFailureSummary(os, rows);
+  EXPECT_NE(os.str().find("stderr| fatal: poisoned weights at layer 3"),
+            std::string::npos)
+      << os.str();
+  std::remove(path.c_str());
 }
 
 TEST(FaultIsolation, RetryBackoffIsExponentialDeterministicAndNoted) {

@@ -195,6 +195,40 @@ TEST_F(ObsTest, HistogramBucketsAndQuantiles) {
   EXPECT_EQ(cumulative.back(), 101u);
 }
 
+TEST_F(ObsTest, EmptyHistogramQuantilesAreZero) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  // An empty histogram still exports: cumulative counts all zero.
+  const auto cumulative = h.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), h.bounds().size() + 1);
+  for (const std::uint64_t c : cumulative) EXPECT_EQ(c, 0u);
+}
+
+TEST_F(ObsTest, SingleSampleHistogramQuantiles) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  h.Observe(3.0);  // Lands in (2, 4].
+  EXPECT_EQ(h.Count(), 1u);
+  // Every quantile of a one-sample distribution is that sample's bucket:
+  // the estimate must stay inside (2, 4] for p50 and p95 alike.
+  for (const double q : {0.5, 0.95}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, 2.0) << "q=" << q;
+    EXPECT_LE(v, 4.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+
+  // A single sample past the last bound: the +inf bucket has no upper edge
+  // to interpolate toward, so the estimate reports its lower bound.
+  Histogram top({1.0, 2.0});
+  top.Observe(100.0);
+  EXPECT_DOUBLE_EQ(top.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(top.Quantile(0.95), 2.0);
+}
+
 TEST_F(ObsTest, RegistryIsThreadSafe) {
   Registry registry;
   constexpr int kThreads = 8;
@@ -250,6 +284,37 @@ TEST_F(ObsTest, JsonExportIsValidJson) {
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonEscapesControlCharsAndPassesNonAscii) {
+  // Hostile instrument names: embedded control characters must come out as
+  // \uXXXX escapes and non-ASCII (UTF-8) bytes must pass through, in both
+  // exporters and in the trace JSON.
+  Registry registry;
+  registry.GetCounter("tfb_ctrl\x01\ntotal").Increment();
+  registry.GetCounter("tfb_unicode_\xc3\xa9t\xc3\xa9_total").Increment(2);
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // The raw control bytes never appear inside a JSON string.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\xc3\xa9t\xc3\xa9"), std::string::npos);
+  // The Prometheus exposition emits names verbatim: UTF-8 passes through.
+  const std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("tfb_unicode_\xc3\xa9t\xc3\xa9_total 2"),
+            std::string::npos);
+
+  Tracer& tracer = DefaultTracer();
+  tracer.Enable(64);
+  {
+    ScopedSpan span("span\x02name_\xc3\xbc", "test");
+  }
+  tracer.Disable();
+  const std::string trace_json = tracer.ToJson();
+  EXPECT_TRUE(JsonChecker(trace_json).Valid()) << trace_json;
+  EXPECT_EQ(trace_json.find('\x02'), std::string::npos);
+  EXPECT_NE(trace_json.find("\\u0002"), std::string::npos);
+  EXPECT_NE(trace_json.find("\xc3\xbc"), std::string::npos);
 }
 
 TEST_F(ObsTest, WriteMetricsFilePicksFormatByExtension) {

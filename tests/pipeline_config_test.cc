@@ -118,6 +118,54 @@ TEST(Config, BuildTasksExpandsCube) {
   }
 }
 
+TEST(Config, ParsesTelemetryKeys) {
+  std::string error;
+  const auto config = ParseConfig(
+      "log_level = Debug\nlog_json = run.log.jsonl\nprogress = plain\n"
+      "serve = 9100\n",
+      &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->log_level, obs::LogLevel::kDebug);
+  EXPECT_EQ(config->log_json, "run.log.jsonl");
+  EXPECT_EQ(config->progress, obs::ProgressMode::kPlain);
+  EXPECT_EQ(config->serve_port, 9100u);
+
+  // Defaults when absent: info / no JSONL sink / auto / not serving.
+  const auto defaults = ParseConfig("seed = 1\n", &error);
+  ASSERT_TRUE(defaults.has_value()) << error;
+  EXPECT_EQ(defaults->log_level, obs::LogLevel::kInfo);
+  EXPECT_TRUE(defaults->log_json.empty());
+  EXPECT_EQ(defaults->progress, obs::ProgressMode::kAuto);
+  EXPECT_EQ(defaults->serve_port, 0u);
+}
+
+TEST(Config, RejectsBadTelemetryValues) {
+  std::string error;
+  EXPECT_FALSE(ParseConfig("log_level = loud\n", &error).has_value());
+  EXPECT_NE(error.find("log_level"), std::string::npos) << error;
+  EXPECT_FALSE(ParseConfig("progress = spinner\n", &error).has_value());
+  EXPECT_NE(error.find("progress"), std::string::npos) << error;
+  EXPECT_FALSE(ParseConfig("serve = 70000\n", &error).has_value());
+  EXPECT_FALSE(ParseConfig("serve = -1\n", &error).has_value());
+}
+
+TEST(Config, TelemetryKeysRoundTripAndReachRunnerOptions) {
+  std::string error;
+  const auto config = ParseConfig(
+      "log_level = warn\nlog_json = t.jsonl\nprogress = off\nserve = 8080\n",
+      &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  const auto round = ParseConfig(ConfigToString(*config), &error);
+  ASSERT_TRUE(round.has_value()) << error;
+  EXPECT_EQ(round->log_level, config->log_level);
+  EXPECT_EQ(round->log_json, config->log_json);
+  EXPECT_EQ(round->progress, config->progress);
+  EXPECT_EQ(round->serve_port, config->serve_port);
+
+  // The progress mode is what the runner consumes.
+  EXPECT_EQ(config->MakeRunnerOptions().progress, obs::ProgressMode::kOff);
+}
+
 TEST(Config, MetricFromName) {
   EXPECT_EQ(MetricFromName("mase"), eval::Metric::kMase);
   EXPECT_FALSE(MetricFromName("bogus").has_value());

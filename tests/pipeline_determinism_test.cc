@@ -7,13 +7,16 @@
 // the comparison canonicalizes them to zero and then demands byte-identical
 // journal lines.
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "tfb/obs/http_exporter.h"
 #include "tfb/obs/metrics.h"
 #include "tfb/pipeline/journal.h"
 #include "tfb/pipeline/runner.h"
@@ -127,6 +130,40 @@ TEST(Determinism, ObservabilityDoesNotPerturbResults) {
   const auto rows_on = BenchmarkRunner().Run(tasks);
   obs::SetEnabled(was_enabled);
   ExpectIdenticalRows(rows_off, rows_on);
+}
+
+TEST(Determinism, LiveTelemetryDoesNotPerturbResults) {
+  // The full telemetry stack — HTTP endpoint being scraped continuously,
+  // progress tracker fed by the runner — against a quiet baseline run:
+  // rows must stay byte-identical (the /status and /metrics handlers only
+  // read, never influence, the pipeline).
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const bool was_enabled = obs::Enabled();
+
+  obs::SetEnabled(false);
+  const auto rows_quiet = BenchmarkRunner().Run(tasks);
+
+  obs::SetEnabled(true);
+  obs::HttpExporter exporter({.run_id = "determinism-test"});
+  ASSERT_TRUE(exporter.Start().ok());
+  std::atomic<bool> stop{false};
+  std::thread scraper([&exporter, &stop] {
+    std::string body;
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::HttpGet(exporter.port(), "/status", &body);
+      obs::HttpGet(exporter.port(), "/metrics", &body);
+    }
+  });
+  RunnerOptions telemetry;
+  telemetry.num_threads = 2;
+  telemetry.progress = obs::ProgressMode::kOff;  // No terminal noise.
+  const auto rows_live = BenchmarkRunner(telemetry).Run(tasks);
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  exporter.Stop();
+  obs::SetEnabled(was_enabled);
+
+  ExpectIdenticalRows(rows_quiet, rows_live);
 }
 
 TEST(ResourceAccounting, JournalRoundTripsRusageFields) {

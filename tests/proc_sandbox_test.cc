@@ -79,6 +79,63 @@ TEST(ProcSandbox, CleanExitWithoutPayloadIsInvalidOutput) {
   EXPECT_EQ(r.status.code(), base::StatusCode::kInvalidOutput);
 }
 
+TEST(ProcSandbox, CapturesStderrTailFromCrashingChild) {
+  const SandboxResult r = RunInSandbox([]() -> std::string {
+    std::fprintf(stderr, "about to dereference nullptr\n");
+    std::fprintf(stderr, "last words\n");
+    std::fflush(stderr);
+    std::signal(SIGSEGV, SIG_DFL);
+    std::raise(SIGSEGV);
+    return "unreachable";
+  }, {});
+  EXPECT_EQ(r.fate, TaskFate::kCrash);
+  EXPECT_NE(r.stderr_tail.find("about to dereference nullptr"),
+            std::string::npos)
+      << r.stderr_tail;
+  EXPECT_NE(r.stderr_tail.find("last words"), std::string::npos);
+}
+
+TEST(ProcSandbox, StderrTailKeepsOnlyTheLastLines) {
+  const SandboxResult r = RunInSandbox([]() -> std::string {
+    for (int i = 0; i < 100; ++i) std::fprintf(stderr, "line %03d\n", i);
+    std::fflush(stderr);
+    _exit(3);
+  }, {});
+  EXPECT_EQ(r.fate, TaskFate::kExitNonzero);
+  // The last ~20 lines survive; the early ones are trimmed.
+  EXPECT_EQ(r.stderr_tail.find("line 000"), std::string::npos)
+      << r.stderr_tail;
+  EXPECT_NE(r.stderr_tail.find("line 099"), std::string::npos);
+  EXPECT_NE(r.stderr_tail.find("line 080"), std::string::npos);
+  EXPECT_EQ(r.stderr_tail.find("line 079"), std::string::npos);
+}
+
+TEST(ProcSandbox, QuietChildLeavesStderrTailEmpty) {
+  const SandboxResult r =
+      RunInSandbox([] { return std::string("quiet"); }, {});
+  EXPECT_EQ(r.fate, TaskFate::kOk);
+  EXPECT_TRUE(r.stderr_tail.empty()) << r.stderr_tail;
+}
+
+TEST(ProcSandbox, ChattyStderrDoesNotDeadlockPayloadDelivery) {
+  // A child that floods stderr past the pipe buffer while the payload pipe
+  // is also in play: the parent must drain both streams concurrently or
+  // the child blocks forever on a full stderr pipe.
+  const std::string big(std::size_t{1} << 20, 'y');
+  const SandboxResult r = RunInSandbox([&big]() -> std::string {
+    for (int i = 0; i < 4096; ++i) {
+      std::fprintf(stderr, "chatter %04d: %s\n", i,
+                   std::string(64, '#').c_str());
+    }
+    std::fflush(stderr);
+    return big;
+  }, {});
+  ASSERT_EQ(r.fate, TaskFate::kOk);
+  EXPECT_EQ(r.payload, big);
+  EXPECT_NE(r.stderr_tail.find("chatter 4095"), std::string::npos);
+  EXPECT_EQ(r.stderr_tail.find("chatter 0000"), std::string::npos);
+}
+
 TEST(ProcSandbox, WallTimeoutKillsHungChild) {
   SandboxLimits limits;
   limits.wall_seconds = 0.2;
