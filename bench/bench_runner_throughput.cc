@@ -10,7 +10,12 @@
 //    "disabled": {"seconds": ..., "tasks_per_second": ...},
 //    "enabled":  {"seconds": ..., "tasks_per_second": ...,
 //                 "p50_task_ms": ..., "p95_task_ms": ...},
-//    "overhead_pct": ...}
+//    "overhead_pct": ...,
+//    "dl_heavy": {"tasks": ..., "seconds": ..., "tasks_per_second": ...}}
+//
+// The dl_heavy leg runs a deep-learning grid whose fit time is dominated
+// by the tfb/linalg compute kernels, so it tracks kernel-layer regressions
+// the cheap-method grid cannot see.
 
 #include <algorithm>
 #include <atomic>
@@ -59,6 +64,25 @@ std::vector<pipeline::BenchmarkTask> BuildGrid() {
         task.horizon = horizon;
         tasks.push_back(std::move(task));
       }
+    }
+  }
+  return tasks;
+}
+
+std::vector<pipeline::BenchmarkTask> BuildDlGrid() {
+  // GEMM-bound leg: deep-learning forecasters whose fit time is dominated
+  // by the tfb/linalg kernels. Tracks the compute-kernel layer's effect on
+  // end-to-end pipeline throughput (the cheap-method grid above is runner-
+  // machinery-bound and barely touches the kernels).
+  std::vector<pipeline::BenchmarkTask> tasks;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    for (const char* method : {"DLinear", "NLinear", "MLP", "N-BEATS"}) {
+      pipeline::BenchmarkTask task;
+      task.dataset = "bench" + std::to_string(seed);
+      task.series = SmallSeasonal(800, seed);
+      task.method = method;
+      task.horizon = 12;
+      tasks.push_back(std::move(task));
     }
   }
   return tasks;
@@ -208,6 +232,21 @@ int main() {
               p95_ms, latency.Mean() * 1e3);
   std::printf("observability overhead budget: <=2%% (DESIGN.md)\n");
 
+  // DL-heavy leg: kernel-bound throughput (obs off so the number tracks
+  // pure compute, median of 3 runs).
+  const std::vector<pipeline::BenchmarkTask> dl_tasks = BuildDlGrid();
+  RunGridSeconds(dl_tasks, kThreads);  // Warm-up.
+  std::vector<double> dl_seconds;
+  for (int i = 0; i < 3; ++i) {
+    dl_seconds.push_back(RunGridSeconds(dl_tasks, kThreads));
+  }
+  const double dl_s = Median(dl_seconds);
+  const double dl_tps = static_cast<double>(dl_tasks.size()) / dl_s;
+  std::printf("\n=== DL-heavy leg (kernel-bound: DLinear/NLinear/MLP/"
+              "N-BEATS) ===\n");
+  std::printf("%zu tasks in %.4fs -> %.2f tasks/sec\n", dl_tasks.size(),
+              dl_s, dl_tps);
+
   char json[1536];
   std::snprintf(
       json, sizeof(json),
@@ -219,10 +258,13 @@ int main() {
       "  \"p50_task_ms\": %.3f, \"p95_task_ms\": %.3f,\n"
       "  \"overhead_pct\": %.2f},\n"
       " \"serve_scrape\": {\"seconds\": %.6f, \"tasks_per_second\": %.1f,\n"
-      "  \"overhead_pct\": %.2f}}\n",
+      "  \"overhead_pct\": %.2f},\n"
+      " \"dl_heavy\": {\"tasks\": %zu, \"seconds\": %.6f,\n"
+      "  \"tasks_per_second\": %.2f}}\n",
       tasks.size(), kThreads, disabled_s, disabled_tps, metrics_s,
       metrics_tps, metrics_overhead_pct, full_s, full_tps, p50_ms, p95_ms,
-      full_overhead_pct, serve_s, serve_tps, serve_overhead_pct);
+      full_overhead_pct, serve_s, serve_tps, serve_overhead_pct,
+      dl_tasks.size(), dl_s, dl_tps);
   std::FILE* out = std::fopen("BENCH_pipeline.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");

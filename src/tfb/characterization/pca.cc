@@ -16,24 +16,34 @@ Pca Pca::Fit(const linalg::Matrix& data) {
   const std::size_t n = data.rows();
   const std::size_t d = data.cols();
   TFB_CHECK(n >= 2 && d >= 1);
+  // Column moments in row-major passes: the storage is row-major, so
+  // sweeping rows in the outer loop streams memory once per pass instead
+  // of striding down each column d times. Per column the accumulation
+  // order over rows is unchanged.
   pca.mean_.assign(d, 0.0);
   pca.scale_.assign(d, 1.0);
-  for (std::size_t c = 0; c < d; ++c) {
-    double sum = 0.0;
-    for (std::size_t r = 0; r < n; ++r) sum += data(r, c);
-    pca.mean_[c] = sum / n;
-    double var = 0.0;
-    for (std::size_t r = 0; r < n; ++r) {
-      const double dv = data(r, c) - pca.mean_[c];
-      var += dv * dv;
+  std::vector<double> var(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* row = data.row(r);
+    for (std::size_t c = 0; c < d; ++c) pca.mean_[c] += row[c];
+  }
+  for (std::size_t c = 0; c < d; ++c) pca.mean_[c] /= n;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* row = data.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dv = row[c] - pca.mean_[c];
+      var[c] += dv * dv;
     }
-    var /= n;
-    pca.scale_[c] = var > 1e-15 ? std::sqrt(var) : 1.0;
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    pca.scale_[c] = var[c] / n > 1e-15 ? std::sqrt(var[c] / n) : 1.0;
   }
   linalg::Matrix standardized(n, d);
   for (std::size_t r = 0; r < n; ++r) {
+    const double* src = data.row(r);
+    double* dst = standardized.row(r);
     for (std::size_t c = 0; c < d; ++c) {
-      standardized(r, c) = (data(r, c) - pca.mean_[c]) / pca.scale_[c];
+      dst[c] = (src[c] - pca.mean_[c]) / pca.scale_[c];
     }
   }
   linalg::Matrix cov = linalg::MatTMul(standardized, standardized);
@@ -55,13 +65,17 @@ linalg::Matrix Pca::Transform(const linalg::Matrix& data,
   TFB_CHECK(data.cols() == mean_.size());
   k = std::min(k, components_.cols());
   linalg::Matrix out(data.rows(), k);
+  // r-c-j order: the standardized value is computed once per (r, c)
+  // instead of once per output element, and the inner loop walks a
+  // components_ row contiguously. Each out(r, j) still accumulates in
+  // ascending c, so results match the j-inner form bit for bit.
   for (std::size_t r = 0; r < data.rows(); ++r) {
-    for (std::size_t j = 0; j < k; ++j) {
-      double sum = 0.0;
-      for (std::size_t c = 0; c < data.cols(); ++c) {
-        sum += (data(r, c) - mean_[c]) / scale_[c] * components_(c, j);
-      }
-      out(r, j) = sum;
+    const double* src = data.row(r);
+    double* orow = out.row(r);
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      const double z = (src[c] - mean_[c]) / scale_[c];
+      const double* comp = components_.row(c);
+      for (std::size_t j = 0; j < k; ++j) orow[j] += z * comp[j];
     }
   }
   return out;

@@ -34,46 +34,71 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-double ChannelMetric(Metric metric, const std::vector<double>& f,
-                     const std::vector<double>& y,
+/// Mean seasonal-naive in-sample error of Equation 14; 0 also covers the
+/// degenerate m <= s case (the caller maps both 0 and m <= s to inf).
+double MaseDenominator(const std::vector<double>& train,
+                       std::size_t seasonality) {
+  const std::size_t m = train.size();
+  const std::size_t s = std::max<std::size_t>(1, seasonality);
+  if (m <= s) return 0.0;
+  double denom = 0.0;
+  for (std::size_t k = s; k < m; ++k) {
+    denom += std::fabs(train[k] - train[k - s]);
+  }
+  return denom / static_cast<double>(m - s);
+}
+
+/// Scores one variable. `f`/`y` walk with `stride` so a column of a
+/// row-major multivariate series is scored in place — no Column() copy.
+/// `cached_denom`, when non-null, replaces the MASE denominator scan
+/// (same arithmetic, hoisted out of the per-window hot path).
+double ChannelMetric(Metric metric, const double* f, const double* y,
+                     std::size_t h, std::size_t stride,
                      const std::vector<double>* train,
-                     std::size_t seasonality, double epsilon) {
-  const std::size_t h = f.size();
-  TFB_CHECK(h == y.size() && h > 0);
+                     std::size_t seasonality, double epsilon,
+                     const double* cached_denom) {
+  TFB_CHECK(h > 0);
   switch (metric) {
     case Metric::kMae: {
       double sum = 0.0;
-      for (std::size_t k = 0; k < h; ++k) sum += std::fabs(f[k] - y[k]);
+      for (std::size_t k = 0; k < h; ++k) {
+        sum += std::fabs(f[k * stride] - y[k * stride]);
+      }
       return sum / h;
     }
     case Metric::kMse: {
       double sum = 0.0;
       for (std::size_t k = 0; k < h; ++k) {
-        sum += (f[k] - y[k]) * (f[k] - y[k]);
+        const double d = f[k * stride] - y[k * stride];
+        sum += d * d;
       }
       return sum / h;
     }
     case Metric::kRmse: {
       double sum = 0.0;
       for (std::size_t k = 0; k < h; ++k) {
-        sum += (f[k] - y[k]) * (f[k] - y[k]);
+        const double d = f[k * stride] - y[k * stride];
+        sum += d * d;
       }
       return std::sqrt(sum / h);
     }
     case Metric::kMape: {
       double sum = 0.0;
       for (std::size_t k = 0; k < h; ++k) {
-        if (y[k] == 0.0) return kInf;
-        sum += std::fabs((y[k] - f[k]) / y[k]);
+        const double yk = y[k * stride];
+        if (yk == 0.0) return kInf;
+        sum += std::fabs((yk - f[k * stride]) / yk);
       }
       return sum / h * 100.0;
     }
     case Metric::kSmape: {
       double sum = 0.0;
       for (std::size_t k = 0; k < h; ++k) {
-        const double denom = (std::fabs(y[k]) + std::fabs(f[k])) / 2.0;
+        const double fk = f[k * stride];
+        const double yk = y[k * stride];
+        const double denom = (std::fabs(yk) + std::fabs(fk)) / 2.0;
         if (denom == 0.0) return kInf;
-        sum += std::fabs(f[k] - y[k]) / denom;
+        sum += std::fabs(fk - yk) / denom;
       }
       return sum / h * 100.0;
     }
@@ -81,8 +106,8 @@ double ChannelMetric(Metric metric, const std::vector<double>& f,
       double num = 0.0;
       double denom = 0.0;
       for (std::size_t k = 0; k < h; ++k) {
-        num += std::fabs(y[k] - f[k]);
-        denom += std::fabs(y[k]);
+        num += std::fabs(y[k * stride] - f[k * stride]);
+        denom += std::fabs(y[k * stride]);
       }
       if (denom == 0.0) return kInf;
       return num / denom;
@@ -90,29 +115,30 @@ double ChannelMetric(Metric metric, const std::vector<double>& f,
     case Metric::kMsmape: {
       double sum = 0.0;
       for (std::size_t k = 0; k < h; ++k) {
-        const double denom = std::max(std::fabs(y[k]) + std::fabs(f[k]) +
+        const double fk = f[k * stride];
+        const double yk = y[k * stride];
+        const double denom = std::max(std::fabs(yk) + std::fabs(fk) +
                                           epsilon,
                                       0.5 + epsilon) /
                              2.0;
-        sum += std::fabs(f[k] - y[k]) / denom;
+        sum += std::fabs(fk - yk) / denom;
       }
       return sum / h * 100.0;
     }
     case Metric::kMase: {
       TFB_CHECK_MSG(train != nullptr && !train->empty(),
                     "MASE requires the training series in MetricContext");
-      const std::vector<double>& tr = *train;
-      const std::size_t m = tr.size();
+      const std::size_t m = train->size();
       const std::size_t s = std::max<std::size_t>(1, seasonality);
       if (m <= s) return kInf;
-      double denom = 0.0;
-      for (std::size_t k = s; k < m; ++k) {
-        denom += std::fabs(tr[k] - tr[k - s]);
-      }
-      denom /= static_cast<double>(m - s);
+      const double denom = cached_denom != nullptr
+                               ? *cached_denom
+                               : MaseDenominator(*train, seasonality);
       if (denom == 0.0) return kInf;
       double num = 0.0;
-      for (std::size_t k = 0; k < h; ++k) num += std::fabs(f[k] - y[k]);
+      for (std::size_t k = 0; k < h; ++k) {
+        num += std::fabs(f[k * stride] - y[k * stride]);
+      }
       return num / (h * denom);
     }
   }
@@ -121,20 +147,34 @@ double ChannelMetric(Metric metric, const std::vector<double>& f,
 
 }  // namespace
 
+void MetricContext::PrecomputeMaseDenominators() {
+  mase_denominators.clear();
+  mase_denominators.reserve(train.size());
+  for (const std::vector<double>& tr : train) {
+    mase_denominators.push_back(MaseDenominator(tr, seasonality));
+  }
+}
+
 double ComputeMetric(Metric metric, const ts::TimeSeries& forecast,
                      const ts::TimeSeries& actual,
                      const MetricContext& context) {
   TFB_CHECK(forecast.length() == actual.length());
   TFB_CHECK(forecast.num_variables() == actual.num_variables());
   const std::size_t n = forecast.num_variables();
+  const std::size_t h = forecast.length();
+  // Columns are scored in place through a stride — the old per-variable
+  // Column() copies were two allocations per variable per metric call.
+  const double* fd = forecast.values().data();
+  const double* yd = actual.values().data();
   double total = 0.0;
   for (std::size_t v = 0; v < n; ++v) {
-    const std::vector<double> f = forecast.Column(v);
-    const std::vector<double> y = actual.Column(v);
     const std::vector<double>* train =
         v < context.train.size() ? &context.train[v] : nullptr;
-    total += ChannelMetric(metric, f, y, train, context.seasonality,
-                           context.epsilon);
+    const double* cached = v < context.mase_denominators.size()
+                               ? &context.mase_denominators[v]
+                               : nullptr;
+    total += ChannelMetric(metric, fd + v, yd + v, h, n, train,
+                           context.seasonality, context.epsilon, cached);
   }
   return total / static_cast<double>(n);
 }
@@ -142,10 +182,15 @@ double ComputeMetric(Metric metric, const ts::TimeSeries& forecast,
 double ComputeMetric(Metric metric, const std::vector<double>& forecast,
                      const std::vector<double>& actual,
                      const MetricContext& context) {
+  TFB_CHECK(forecast.size() == actual.size());
   const std::vector<double>* train =
       context.train.empty() ? nullptr : &context.train[0];
-  return ChannelMetric(metric, forecast, actual, train, context.seasonality,
-                       context.epsilon);
+  const double* cached = context.mase_denominators.empty()
+                             ? nullptr
+                             : &context.mase_denominators[0];
+  return ChannelMetric(metric, forecast.data(), actual.data(),
+                       forecast.size(), 1, train, context.seasonality,
+                       context.epsilon, cached);
 }
 
 }  // namespace tfb::eval

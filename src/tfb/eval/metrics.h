@@ -35,6 +35,16 @@ struct MetricContext {
   std::size_t seasonality = 1;
   /// Epsilon of Equation 13 (MSMAPE); the paper uses the proposed 0.1.
   double epsilon = 0.1;
+  /// Cached MASE denominators (the mean seasonal-naive in-sample error),
+  /// one per variable, filled by PrecomputeMaseDenominators(). The
+  /// denominator depends only on `train` and `seasonality`, so a rolling
+  /// evaluation computes it once instead of once per window per metric
+  /// call. Empty = compute on the fly (identical arithmetic).
+  std::vector<double> mase_denominators;
+
+  /// Fills mase_denominators from train/seasonality. Call again if either
+  /// changes; clears the cache when train is empty.
+  void PrecomputeMaseDenominators();
 };
 
 /// Computes `metric` between `forecast` and `actual` (same shape).

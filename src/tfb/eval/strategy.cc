@@ -33,6 +33,10 @@ MetricContext MakeContext(const ts::TimeSeries& train,
     for (std::size_t v = 0; v < train.num_variables(); ++v) {
       ctx.train.push_back(train.Column(v));
     }
+    // The MASE denominator depends only on this context, so the rolling
+    // loop scores every window against the cached value instead of
+    // rescanning the training series per window per metric.
+    ctx.PrecomputeMaseDenominators();
   }
   return ctx;
 }

@@ -1,0 +1,210 @@
+#include "tfb/linalg/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "tfb/obs/metrics.h"
+#include "tfb/parallel/thread_pool.h"
+
+namespace tfb::linalg::kernel {
+namespace {
+
+// Register tile: MR×NR accumulators live in vector registers across the
+// whole k loop (NR=8 doubles = one AVX-512 register or two AVX ones).
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+// Cache blocking: a kC×kNr B panel (16 KiB) stays in L1 across one column
+// strip; a kMc×kC A block (128 KiB) stays in L2 across one jc strip.
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kNc = 1024;
+
+// Below this flop volume the packing + dispatch overhead of the blocked
+// path outweighs its cache wins; run the plain fast path instead.
+constexpr std::size_t kSmallProduct = 64 * 64 * 64;
+// Minimum output rows per thread-pool chunk: enough that per-chunk B
+// packing is amortized.
+constexpr std::size_t kRowGrain = 64;
+
+/// Fast path for small shapes: i-k-j with the accumulator living in the
+/// output row. Per element this is still one accumulator updated in
+/// ascending k — bit-identical to the reference. `out` must be zeroed.
+void SmallGemm(std::size_t i_begin, std::size_t i_end, std::size_t n,
+               std::size_t k, View a, View b, double* out) {
+  for (std::size_t i = i_begin; i < i_end; ++i) {
+    double* orow = out + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a.at(i, kk);
+      const double* bp = b.p + kk * b.rs;
+      const std::size_t bcs = b.cs;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * bp[j * bcs];
+    }
+  }
+}
+
+/// kMr×kNr register-tiled inner kernel over one packed k block. Resumes
+/// the accumulation already in `c` (k blocking splits the sum into
+/// chunks; carrying the running value through the accumulators keeps the
+/// per-element addition order exactly ascending k, so the split never
+/// reassociates anything). ap/bp are k-major panels: ap[kk*kMr + r],
+/// bp[kk*kNr + j].
+void MicroKernel(std::size_t kc, const double* ap, const double* bp, double* c,
+                 std::size_t ldc) {
+  double acc[kMr][kNr];
+  for (std::size_t r = 0; r < kMr; ++r)
+    for (std::size_t j = 0; j < kNr; ++j) acc[r][j] = c[r * ldc + j];
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const double* arow = ap + kk * kMr;
+    const double* brow = bp + kk * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const double ar = arow[r];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += ar * brow[j];
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r)
+    for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] = acc[r][j];
+}
+
+/// Edge tiles (m_r < kMr or n_r < kNr) run the same full-size kernel on a
+/// local tile: real elements are staged in, pad lanes see the zero-filled
+/// pack entries (0 contributions leave their garbage confined to the
+/// local tile), and only real elements are staged back.
+void MicroKernelEdge(std::size_t kc, const double* ap, const double* bp,
+                     double* c, std::size_t ldc, std::size_t m_r,
+                     std::size_t n_r) {
+  double tile[kMr * kNr] = {0.0};
+  for (std::size_t r = 0; r < m_r; ++r)
+    for (std::size_t j = 0; j < n_r; ++j) tile[r * kNr + j] = c[r * ldc + j];
+  MicroKernel(kc, ap, bp, tile, kNr);
+  for (std::size_t r = 0; r < m_r; ++r)
+    for (std::size_t j = 0; j < n_r; ++j) c[r * ldc + j] = tile[r * kNr + j];
+}
+
+/// Blocked/packed GEMM over output rows [i_begin, i_end). `out` must be
+/// zeroed. Each thread-pool chunk runs this whole routine on its own row
+/// range with its own pack buffers; rows never straddle chunks, so the
+/// arithmetic per element is independent of the partition.
+void BlockedGemm(std::size_t i_begin, std::size_t i_end, std::size_t n,
+                 std::size_t k, View a, View b, double* out) {
+  const std::size_t nc_panels = (std::min(kNc, n) + kNr - 1) / kNr;
+  const std::size_t mc_panels = (kMc + kMr - 1) / kMr;
+  std::vector<double> bpack(kKc * nc_panels * kNr);
+  std::vector<double> apack(kKc * mc_panels * kMr);
+
+  for (std::size_t pc = 0; pc < k; pc += kKc) {
+    const std::size_t kc = std::min(kKc, k - pc);
+    for (std::size_t jc = 0; jc < n; jc += kNc) {
+      const std::size_t nc = std::min(kNc, n - jc);
+      const std::size_t jpanels = (nc + kNr - 1) / kNr;
+      // Pack B: k-major kNr-wide panels, zero-filled past the last real
+      // column so edge tiles can run the full-width kernel.
+      for (std::size_t jp = 0; jp < jpanels; ++jp) {
+        double* panel = bpack.data() + jp * kc * kNr;
+        const std::size_t width = std::min(kNr, nc - jp * kNr);
+        for (std::size_t kk = 0; kk < kc; ++kk) {
+          const double* brow = b.p + (pc + kk) * b.rs + (jc + jp * kNr) * b.cs;
+          double* dst = panel + kk * kNr;
+          for (std::size_t j = 0; j < width; ++j) dst[j] = brow[j * b.cs];
+          for (std::size_t j = width; j < kNr; ++j) dst[j] = 0.0;
+        }
+      }
+      for (std::size_t ic = i_begin; ic < i_end; ic += kMc) {
+        const std::size_t mc = std::min(kMc, i_end - ic);
+        const std::size_t ipanels = (mc + kMr - 1) / kMr;
+        // Pack A: k-major kMr-tall panels, zero rows past the last real
+        // one.
+        for (std::size_t ip = 0; ip < ipanels; ++ip) {
+          double* panel = apack.data() + ip * kc * kMr;
+          const std::size_t height = std::min(kMr, mc - ip * kMr);
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            const double* acol = a.p + (ic + ip * kMr) * a.rs + (pc + kk) * a.cs;
+            double* dst = panel + kk * kMr;
+            for (std::size_t r = 0; r < height; ++r) dst[r] = acol[r * a.rs];
+            for (std::size_t r = height; r < kMr; ++r) dst[r] = 0.0;
+          }
+        }
+        for (std::size_t ip = 0; ip < ipanels; ++ip) {
+          const std::size_t m_r = std::min(kMr, mc - ip * kMr);
+          const double* ap = apack.data() + ip * kc * kMr;
+          for (std::size_t jp = 0; jp < jpanels; ++jp) {
+            const std::size_t n_r = std::min(kNr, nc - jp * kNr);
+            const double* bp = bpack.data() + jp * kc * kNr;
+            double* c = out + (ic + ip * kMr) * n + jc + jp * kNr;
+            if (m_r == kMr && n_r == kNr) {
+              MicroKernel(kc, ap, bp, c, n);
+            } else {
+              MicroKernelEdge(kc, ap, bp, c, n, m_r, n_r);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void RecordGemm(std::size_t m, std::size_t n, std::size_t k) {
+  if (!obs::Enabled()) return;
+  obs::Registry& registry = obs::DefaultRegistry();
+  registry.GetCounter("tfb_kernel_gemm_calls_total").Increment();
+  registry.GetCounter("tfb_kernel_gemm_flops_total")
+      .Increment(2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                 static_cast<double>(k));
+}
+
+bool UseSmallPath(std::size_t m, std::size_t n, std::size_t k) {
+  return m * n * k <= kSmallProduct || n < kNr || k < 8;
+}
+
+}  // namespace
+
+void GemmReference(std::size_t m, std::size_t n, std::size_t k, View a,
+                   View b, double* out) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a.at(i, kk) * b.at(kk, j);
+      out[i * n + j] = acc;
+    }
+  }
+}
+
+void GemmSingleThread(std::size_t m, std::size_t n, std::size_t k, View a,
+                      View b, double* out) {
+  if (m == 0 || n == 0) return;
+  std::fill(out, out + m * n, 0.0);
+  RecordGemm(m, n, k);
+  if (UseSmallPath(m, n, k)) {
+    SmallGemm(0, m, n, k, a, b, out);
+  } else {
+    BlockedGemm(0, m, n, k, a, b, out);
+  }
+}
+
+void Gemm(std::size_t m, std::size_t n, std::size_t k, View a, View b,
+          double* out) {
+  if (m == 0 || n == 0) return;
+  std::fill(out, out + m * n, 0.0);
+  RecordGemm(m, n, k);
+  if (UseSmallPath(m, n, k)) {
+    SmallGemm(0, m, n, k, a, b, out);
+    return;
+  }
+  parallel::ThreadPool::Default().ParallelFor(
+      0, m, kRowGrain, [n, k, a, b, out](std::size_t lo, std::size_t hi) {
+        BlockedGemm(lo, hi, n, k, a, b, out);
+      });
+}
+
+void Gemv(std::size_t m, std::size_t k, View a, const double* v, double* out) {
+  parallel::ThreadPool::Default().ParallelFor(
+      0, m, 512, [k, a, v, out](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          double acc = 0.0;
+          for (std::size_t c = 0; c < k; ++c) acc += a.at(r, c) * v[c];
+          out[r] = acc;
+        }
+      });
+}
+
+}  // namespace tfb::linalg::kernel

@@ -1,0 +1,63 @@
+#ifndef TFB_LINALG_GEMM_H_
+#define TFB_LINALG_GEMM_H_
+
+#include <cstddef>
+
+/// \file
+/// Blocked, packed, register-tiled GEMM — the compute kernel behind
+/// MatMul/MatTMul/MatMulT/MatVec (the "Compute kernels" section of
+/// DESIGN.md).
+///
+/// One kernel serves all four transpose variants through a strided View:
+/// element (i, j) of an operand lives at `p[i*rs + j*cs]`, so A^T is just
+/// the view {p, 1, lda} of A's storage — no transpose is ever
+/// materialized.
+///
+/// Bit-determinism contract: every kernel in this layer (the retained
+/// naive reference, the small-matrix fast path, the blocked/packed path,
+/// and the row-parallel path) computes each output element as ONE
+/// accumulator updated in ascending-k order with the same `acc += a * b`
+/// expression shape. Blocking and packing reorder memory traffic, never
+/// arithmetic, and the parallel path partitions output rows (each element
+/// still computed whole by one thread) — so all paths, at any thread
+/// count, produce byte-identical results, and linalg_kernels_test holds
+/// them to exact bit equality against GemmReference.
+
+namespace tfb::linalg::kernel {
+
+/// Strided read-only matrix view: element (i, j) is p[i*rs + j*cs].
+struct View {
+  const double* p;
+  std::size_t rs;  // row stride
+  std::size_t cs;  // column stride
+
+  double at(std::size_t i, std::size_t j) const { return p[i * rs + j * cs]; }
+};
+
+/// out = A(m×k) · B(k×n), out row-major with leading dimension n.
+/// `out` must not alias A or B. Rows [0, m) are fully overwritten.
+/// Dispatches between the fast path, the blocked kernel, and the
+/// thread-pool row-parallel kernel by problem size; all paths are
+/// bit-identical (see file comment).
+void Gemm(std::size_t m, std::size_t n, std::size_t k, View a, View b,
+          double* out);
+
+/// The retained naive kernel (single accumulator per element, ascending
+/// k). This is the bit-equality oracle for linalg_kernels_test and the
+/// `naive` leg of bench_micro_kernels; it is not called on any hot path.
+void GemmReference(std::size_t m, std::size_t n, std::size_t k, View a,
+                   View b, double* out);
+
+/// As Gemm, but never uses the thread pool (the `blocked` leg of
+/// bench_micro_kernels). Bit-identical to Gemm.
+void GemmSingleThread(std::size_t m, std::size_t n, std::size_t k, View a,
+                      View b, double* out);
+
+/// out[i] = Σ_k a(i,k) · v[k] for i in [0, m). Row-partitioned across the
+/// thread pool for large m; per-row scalar accumulation order is fixed, so
+/// results are thread-count-invariant.
+void Gemv(std::size_t m, std::size_t k, View a, const double* v, double* out);
+
+}  // namespace tfb::linalg::kernel
+
+#endif  // TFB_LINALG_GEMM_H_

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "tfb/linalg/gemm.h"
+
 namespace tfb::linalg {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -83,63 +85,42 @@ double Matrix::FrobeniusNorm() const {
   return std::sqrt(sum);
 }
 
+// The four product variants are one blocked/packed kernel (tfb/linalg/gemm)
+// applied through strided views — transposes are stride swaps, never
+// materialized. The kernel is branchless on the data (the old
+// `if (aik == 0.0) continue;` sparsity shortcut mispredicted on dense
+// operands and blocked vectorization) and parallelizes across output rows
+// with thread-count-invariant results.
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   TFB_CHECK(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
-  // i-k-j loop order keeps inner accesses contiguous for row-major storage.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double* orow = out.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
-    }
-  }
+  kernel::Gemm(a.rows(), b.cols(), a.cols(), {a.data(), a.cols(), 1},
+               {b.data(), b.cols(), 1}, out.data());
   return out;
 }
 
 Matrix MatTMul(const Matrix& a, const Matrix& b) {
   TFB_CHECK(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.row(k);
-    const double* brow = b.row(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* orow = out.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
-    }
-  }
+  kernel::Gemm(a.cols(), b.cols(), a.rows(), {a.data(), 1, a.cols()},
+               {b.data(), b.cols(), 1}, out.data());
   return out;
 }
 
 Matrix MatMulT(const Matrix& a, const Matrix& b) {
   TFB_CHECK(a.cols() == b.cols());
   Matrix out(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row(j);
-      double sum = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-      out(i, j) = sum;
-    }
-  }
+  kernel::Gemm(a.rows(), b.rows(), a.cols(), {a.data(), a.cols(), 1},
+               {b.data(), 1, b.cols()}, out.data());
   return out;
 }
 
 Vector MatVec(const Matrix& m, const Vector& v) {
   TFB_CHECK(m.cols() == v.size());
   Vector out(m.rows(), 0.0);
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    const double* mrow = m.row(r);
-    double sum = 0.0;
-    for (std::size_t c = 0; c < m.cols(); ++c) sum += mrow[c] * v[c];
-    out[r] = sum;
-  }
+  kernel::Gemv(m.rows(), m.cols(), {m.data(), m.cols(), 1}, v.data(),
+               out.data());
   return out;
 }
 

@@ -58,6 +58,14 @@ class Matrix {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
+  /// Moves the row-major storage out, leaving the matrix empty. Lets
+  /// reshape-style operations re-wrap the buffer without a copy.
+  std::vector<double> TakeData() {
+    rows_ = 0;
+    cols_ = 0;
+    return std::move(data_);
+  }
+
   /// Pointer to the start of row `r`.
   double* row(std::size_t r) { return data_.data() + r * cols_; }
   const double* row(std::size_t r) const { return data_.data() + r * cols_; }

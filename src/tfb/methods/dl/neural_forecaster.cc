@@ -45,6 +45,21 @@ void NeuralForecaster::Fit(const ts::TimeSeries& train) {
   const std::size_t h = options_.horizon;
   const std::size_t per_channel = train.length() - l - h + 1;
 
+  // Window gathering reads the row-major series storage directly; a
+  // univariate channel is contiguous, so the window is one memcpy instead
+  // of an at() call per element.
+  const double* series_data = train.values().data();
+  const std::size_t nv = train.num_variables();
+  const auto gather = [&](std::size_t start, std::size_t v, std::size_t len,
+                          double* dst) {
+    const double* src = series_data + start * nv + v;
+    if (nv == 1) {
+      std::copy(src, src + len, dst);
+    } else {
+      for (std::size_t i = 0; i < len; ++i) dst[i] = src[i * nv];
+    }
+  };
+
   linalg::Matrix x;
   linalg::Matrix y;
   if (channel_dependent()) {
@@ -55,17 +70,20 @@ void NeuralForecaster::Fit(const ts::TimeSeries& train) {
     x = linalg::Matrix(rows, num_channels_ * l);
     y = linalg::Matrix(rows, num_channels_ * h);
     std::size_t r = 0;
+    std::vector<double> window(l);
+    std::vector<double> target(h);
     for (std::size_t start = 0; start < total; start += stride, ++r) {
+      double* xrow = x.row(r);
+      double* yrow = y.row(r);
       for (std::size_t v = 0; v < num_channels_; ++v) {
-        std::vector<double> window(l);
-        for (std::size_t i = 0; i < l; ++i) window[i] = train.at(start + i, v);
+        gather(start, v, l, window.data());
+        gather(start + l, v, h, target.data());
         const NormStats ns = ComputeNorm(window.data(), l);
         for (std::size_t i = 0; i < l; ++i) {
-          x(r, v * l + i) = (window[i] - ns.offset) / ns.scale;
+          xrow[v * l + i] = (window[i] - ns.offset) / ns.scale;
         }
         for (std::size_t j = 0; j < h; ++j) {
-          y(r, v * h + j) =
-              (train.at(start + l + j, v) - ns.offset) / ns.scale;
+          yrow[v * h + j] = (target[j] - ns.offset) / ns.scale;
         }
       }
     }
@@ -78,17 +96,21 @@ void NeuralForecaster::Fit(const ts::TimeSeries& train) {
     x = linalg::Matrix(rows, l);
     y = linalg::Matrix(rows, h);
     std::size_t r = 0;
+    std::vector<double> window(l);
+    std::vector<double> target(h);
     for (std::size_t idx = 0; idx < total; idx += stride, ++r) {
       const std::size_t v = idx / per_channel;
       const std::size_t start = idx % per_channel;
-      std::vector<double> window(l);
-      for (std::size_t i = 0; i < l; ++i) window[i] = train.at(start + i, v);
+      gather(start, v, l, window.data());
+      gather(start + l, v, h, target.data());
       const NormStats ns = ComputeNorm(window.data(), l);
+      double* xrow = x.row(r);
+      double* yrow = y.row(r);
       for (std::size_t i = 0; i < l; ++i) {
-        x(r, i) = (window[i] - ns.offset) / ns.scale;
+        xrow[i] = (window[i] - ns.offset) / ns.scale;
       }
       for (std::size_t j = 0; j < h; ++j) {
-        y(r, j) = (train.at(start + l + j, v) - ns.offset) / ns.scale;
+        yrow[j] = (target[j] - ns.offset) / ns.scale;
       }
     }
   }

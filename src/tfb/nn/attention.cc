@@ -45,28 +45,27 @@ linalg::Matrix SelfAttention::Forward(const linalg::Matrix& x, bool) {
     const std::size_t base = b * tokens_;
     // scores(i, j) = q_i . k_j * scale; softmax over j; context = A V.
     for (std::size_t i = 0; i < tokens_; ++i) {
+      double* arow = attn_cache_.row(base + i);
+      const double* qi = q_cache_.row(base + i);
       double max_score = -1e300;
       for (std::size_t j = 0; j < tokens_; ++j) {
         double s = 0.0;
-        const double* qi = q_cache_.row(base + i);
         const double* kj = k_cache_.row(base + j);
         for (std::size_t c = 0; c < dim_; ++c) s += qi[c] * kj[c];
         s *= scale;
-        attn_cache_(base + i, j) = s;
+        arow[j] = s;
         max_score = std::max(max_score, s);
       }
       double denom = 0.0;
       for (std::size_t j = 0; j < tokens_; ++j) {
-        const double e = std::exp(attn_cache_(base + i, j) - max_score);
-        attn_cache_(base + i, j) = e;
+        const double e = std::exp(arow[j] - max_score);
+        arow[j] = e;
         denom += e;
       }
-      for (std::size_t j = 0; j < tokens_; ++j) {
-        attn_cache_(base + i, j) /= denom;
-      }
+      for (std::size_t j = 0; j < tokens_; ++j) arow[j] /= denom;
       double* ctx = context_cache_.row(base + i);
       for (std::size_t j = 0; j < tokens_; ++j) {
-        const double a = attn_cache_(base + i, j);
+        const double a = arow[j];
         const double* vj = v_cache_.row(base + j);
         for (std::size_t c = 0; c < dim_; ++c) ctx[c] += a * vj[c];
       }
@@ -98,22 +97,23 @@ linalg::Matrix SelfAttention::Backward(const linalg::Matrix& grad_output) {
     for (std::size_t i = 0; i < tokens_; ++i) {
       // dA(i, j) = dContext_i . v_j ; dV_j += A(i,j) * dContext_i.
       const double* gctx = grad_context.row(base + i);
+      const double* arow = attn_cache_.row(base + i);
       for (std::size_t j = 0; j < tokens_; ++j) {
         const double* vj = v_cache_.row(base + j);
         double s = 0.0;
         for (std::size_t c = 0; c < dim_; ++c) s += gctx[c] * vj[c];
         grad_attn[j] = s;
         double* gv = grad_v.row(base + j);
-        const double a = attn_cache_(base + i, j);
+        const double a = arow[j];
         for (std::size_t c = 0; c < dim_; ++c) gv[c] += a * gctx[c];
       }
       // Softmax backward for row i.
       double dot = 0.0;
       for (std::size_t j = 0; j < tokens_; ++j) {
-        dot += grad_attn[j] * attn_cache_(base + i, j);
+        dot += grad_attn[j] * arow[j];
       }
       for (std::size_t j = 0; j < tokens_; ++j) {
-        const double a = attn_cache_(base + i, j);
+        const double a = arow[j];
         const double gs = a * (grad_attn[j] - dot) * scale;
         // dQ_i += gs * k_j ; dK_j += gs * q_i.
         double* gq = grad_q.row(base + i);

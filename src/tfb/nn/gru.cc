@@ -43,36 +43,50 @@ linalg::Matrix GruLayer::Forward(const linalg::Matrix& x, bool) {
   r_cache_.assign(seq_len_, linalg::Matrix(batch, hidden_));
   c_cache_.assign(seq_len_, linalg::Matrix(batch, hidden_));
 
+  // Gate weights/biases are 1×hidden rows — hoist them (and each batch
+  // row) to raw pointers once per loop instead of re-deriving addresses
+  // through operator() per element.
+  const double* wz = wz_.value.data();
+  const double* wr = wr_.value.data();
+  const double* wc = wc_.value.data();
+  const double* bz = bz_.value.data();
+  const double* br = br_.value.data();
+  const double* bc = bc_.value.data();
+
   for (std::size_t t = 0; t < seq_len_; ++t) {
     const linalg::Matrix& h_prev = h_cache_[t];
     // Recurrent contributions.
     const linalg::Matrix hz = linalg::MatMul(h_prev, uz_.value);
     const linalg::Matrix hr = linalg::MatMul(h_prev, ur_.value);
-    for (std::size_t b = 0; b < batch; ++b) {
-      const double xt = x(b, t);
-      for (std::size_t j = 0; j < hidden_; ++j) {
-        z_cache_[t](b, j) = SigmoidScalar(
-            xt * wz_.value(0, j) + hz(b, j) + bz_.value(0, j));
-        r_cache_[t](b, j) = SigmoidScalar(
-            xt * wr_.value(0, j) + hr(b, j) + br_.value(0, j));
-      }
-    }
-    // Candidate uses the reset-gated previous state.
+    // Fused gate pass: z, r, and the reset-gated state in one sweep.
     linalg::Matrix gated(batch, hidden_);
     for (std::size_t b = 0; b < batch; ++b) {
+      const double xt = x(b, t);
+      const double* hzrow = hz.row(b);
+      const double* hrrow = hr.row(b);
+      const double* hprow = h_prev.row(b);
+      double* zrow = z_cache_[t].row(b);
+      double* rrow = r_cache_[t].row(b);
+      double* grow = gated.row(b);
       for (std::size_t j = 0; j < hidden_; ++j) {
-        gated(b, j) = r_cache_[t](b, j) * h_prev(b, j);
+        zrow[j] = SigmoidScalar(xt * wz[j] + hzrow[j] + bz[j]);
+        rrow[j] = SigmoidScalar(xt * wr[j] + hrrow[j] + br[j]);
+        grow[j] = rrow[j] * hprow[j];
       }
     }
     const linalg::Matrix hc = linalg::MatMul(gated, uc_.value);
     for (std::size_t b = 0; b < batch; ++b) {
       const double xt = x(b, t);
+      const double* hcrow = hc.row(b);
+      const double* hprow = h_prev.row(b);
+      const double* zrow = z_cache_[t].row(b);
+      double* crow = c_cache_[t].row(b);
+      double* hnrow = h_cache_[t + 1].row(b);
       for (std::size_t j = 0; j < hidden_; ++j) {
-        const double c = std::tanh(xt * wc_.value(0, j) + hc(b, j) +
-                                   bc_.value(0, j));
-        c_cache_[t](b, j) = c;
-        const double z = z_cache_[t](b, j);
-        h_cache_[t + 1](b, j) = (1.0 - z) * h_prev(b, j) + z * c;
+        const double c = std::tanh(xt * wc[j] + hcrow[j] + bc[j]);
+        crow[j] = c;
+        const double z = zrow[j];
+        hnrow[j] = (1.0 - z) * hprow[j] + z * c;
       }
     }
   }
@@ -90,34 +104,46 @@ linalg::Matrix GruLayer::Backward(const linalg::Matrix& grad_output) {
     const linalg::Matrix& r = r_cache_[t];
     const linalg::Matrix& c = c_cache_[t];
 
+    // Fused: gate pre-activation gradients and the reset-gated state in
+    // one sweep over each batch row.
     linalg::Matrix dz_pre(batch, hidden_);
     linalg::Matrix dc_pre(batch, hidden_);
     linalg::Matrix dh_prev(batch, hidden_);
-    for (std::size_t b = 0; b < batch; ++b) {
-      for (std::size_t j = 0; j < hidden_; ++j) {
-        const double g = dh(b, j);
-        const double zj = z(b, j);
-        const double cj = c(b, j);
-        dz_pre(b, j) = g * (cj - h_prev(b, j)) * zj * (1.0 - zj);
-        dc_pre(b, j) = g * zj * (1.0 - cj * cj);
-        dh_prev(b, j) = g * (1.0 - zj);
-      }
-    }
-    // Candidate path: a_c = x*wc + (r .* h_prev) Uc + bc.
     linalg::Matrix gated(batch, hidden_);
     for (std::size_t b = 0; b < batch; ++b) {
+      const double* dhrow = dh.row(b);
+      const double* zrow = z.row(b);
+      const double* crow = c.row(b);
+      const double* rrow = r.row(b);
+      const double* hprow = h_prev.row(b);
+      double* dzrow = dz_pre.row(b);
+      double* dcrow = dc_pre.row(b);
+      double* dhprow = dh_prev.row(b);
+      double* grow = gated.row(b);
       for (std::size_t j = 0; j < hidden_; ++j) {
-        gated(b, j) = r(b, j) * h_prev(b, j);
+        const double g = dhrow[j];
+        const double zj = zrow[j];
+        const double cj = crow[j];
+        dzrow[j] = g * (cj - hprow[j]) * zj * (1.0 - zj);
+        dcrow[j] = g * zj * (1.0 - cj * cj);
+        dhprow[j] = g * (1.0 - zj);
+        // Candidate path: a_c = x*wc + (r .* h_prev) Uc + bc.
+        grow[j] = rrow[j] * hprow[j];
       }
     }
     uc_.grad += linalg::MatTMul(gated, dc_pre);
     const linalg::Matrix dgated = linalg::MatMulT(dc_pre, uc_.value);
     linalg::Matrix dr_pre(batch, hidden_);
     for (std::size_t b = 0; b < batch; ++b) {
+      const double* rrow = r.row(b);
+      const double* hprow = h_prev.row(b);
+      const double* dgrow = dgated.row(b);
+      double* dhprow = dh_prev.row(b);
+      double* drrow = dr_pre.row(b);
       for (std::size_t j = 0; j < hidden_; ++j) {
-        const double rj = r(b, j);
-        dh_prev(b, j) += dgated(b, j) * rj;
-        dr_pre(b, j) = dgated(b, j) * h_prev(b, j) * rj * (1.0 - rj);
+        const double rj = rrow[j];
+        dhprow[j] += dgrow[j] * rj;
+        drrow[j] = dgrow[j] * hprow[j] * rj * (1.0 - rj);
       }
     }
     // Gate paths through the recurrent weights.
@@ -127,19 +153,29 @@ linalg::Matrix GruLayer::Backward(const linalg::Matrix& grad_output) {
     dh_prev += linalg::MatMulT(dr_pre, ur_.value);
 
     // Input weights, biases, and the scalar input gradient.
+    double* wzg = wz_.grad.data();
+    double* wrg = wr_.grad.data();
+    double* wcg = wc_.grad.data();
+    double* bzg = bz_.grad.data();
+    double* brg = br_.grad.data();
+    double* bcg = bc_.grad.data();
+    const double* wzv = wz_.value.data();
+    const double* wrv = wr_.value.data();
+    const double* wcv = wc_.value.data();
     for (std::size_t b = 0; b < batch; ++b) {
       const double xt = x_cache_(b, t);
+      const double* dzrow = dz_pre.row(b);
+      const double* drrow = dr_pre.row(b);
+      const double* dcrow = dc_pre.row(b);
       double gx = 0.0;
       for (std::size_t j = 0; j < hidden_; ++j) {
-        wz_.grad(0, j) += xt * dz_pre(b, j);
-        wr_.grad(0, j) += xt * dr_pre(b, j);
-        wc_.grad(0, j) += xt * dc_pre(b, j);
-        bz_.grad(0, j) += dz_pre(b, j);
-        br_.grad(0, j) += dr_pre(b, j);
-        bc_.grad(0, j) += dc_pre(b, j);
-        gx += dz_pre(b, j) * wz_.value(0, j) +
-              dr_pre(b, j) * wr_.value(0, j) +
-              dc_pre(b, j) * wc_.value(0, j);
+        wzg[j] += xt * dzrow[j];
+        wrg[j] += xt * drrow[j];
+        wcg[j] += xt * dcrow[j];
+        bzg[j] += dzrow[j];
+        brg[j] += drrow[j];
+        bcg[j] += dcrow[j];
+        gx += dzrow[j] * wzv[j] + drrow[j] * wrv[j] + dcrow[j] * wcv[j];
       }
       grad_x(b, t) = gx;
     }

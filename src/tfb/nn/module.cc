@@ -30,20 +30,22 @@ Dense::Dense(std::size_t in, std::size_t out, stats::Rng& rng)
 linalg::Matrix Dense::Forward(const linalg::Matrix& x, bool) {
   input_cache_ = x;
   linalg::Matrix out = linalg::MatMul(x, weight_.value);
+  const double* bias = bias_.value.data();
+  const std::size_t cols = out.cols();
   for (std::size_t r = 0; r < out.rows(); ++r) {
-    for (std::size_t c = 0; c < out.cols(); ++c) {
-      out(r, c) += bias_.value(0, c);
-    }
+    double* orow = out.row(r);
+    for (std::size_t c = 0; c < cols; ++c) orow[c] += bias[c];
   }
   return out;
 }
 
 linalg::Matrix Dense::Backward(const linalg::Matrix& grad_output) {
   weight_.grad += linalg::MatTMul(input_cache_, grad_output);
+  double* bias_grad = bias_.grad.data();
+  const std::size_t cols = grad_output.cols();
   for (std::size_t r = 0; r < grad_output.rows(); ++r) {
-    for (std::size_t c = 0; c < grad_output.cols(); ++c) {
-      bias_.grad(0, c) += grad_output(r, c);
-    }
+    const double* grow = grad_output.row(r);
+    for (std::size_t c = 0; c < cols; ++c) bias_grad[c] += grow[c];
   }
   return linalg::MatMulT(grad_output, weight_.value);
 }

@@ -9,8 +9,8 @@ namespace tfb::nn {
 
 linalg::Matrix Reshape(linalg::Matrix m, std::size_t rows, std::size_t cols) {
   TFB_CHECK(m.size() == rows * cols);
-  std::vector<double> data(m.data(), m.data() + m.size());
-  return linalg::Matrix::FromRowMajor(rows, cols, std::move(data));
+  // Row-major reshape is a metadata change: re-wrap the storage, no copy.
+  return linalg::Matrix::FromRowMajor(rows, cols, m.TakeData());
 }
 
 linalg::Matrix FixedLinear::Forward(const linalg::Matrix& x, bool) {

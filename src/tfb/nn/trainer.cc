@@ -30,16 +30,28 @@ void Adam::Step() {
   ++step_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  const double one_minus_b1 = 1.0 - beta1_;
+  const double one_minus_b2 = 1.0 - beta2_;
+  // Single fused pass per parameter with the four streams (value, grad,
+  // m, v) hoisted to raw pointers: one load/store pair per stream per
+  // element instead of re-deriving data()[j] addresses through three
+  // object indirections each.
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
-    for (std::size_t j = 0; j < p.value.size(); ++j) {
-      double g = p.grad.data()[j];
-      if (weight_decay_ > 0.0) g += weight_decay_ * p.value.data()[j];
-      m_[i].data()[j] = beta1_ * m_[i].data()[j] + (1.0 - beta1_) * g;
-      v_[i].data()[j] = beta2_ * v_[i].data()[j] + (1.0 - beta2_) * g * g;
-      const double mhat = m_[i].data()[j] / bc1;
-      const double vhat = v_[i].data()[j] / bc2;
-      p.value.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + 1e-8);
+    double* value = p.value.data();
+    const double* grad = p.grad.data();
+    double* m = m_[i].data();
+    double* v = v_[i].data();
+    const std::size_t size = p.value.size();
+    const bool decay = weight_decay_ > 0.0;
+    for (std::size_t j = 0; j < size; ++j) {
+      double g = grad[j];
+      if (decay) g += weight_decay_ * value[j];
+      m[j] = beta1_ * m[j] + one_minus_b1 * g;
+      v[j] = beta2_ * v[j] + one_minus_b2 * g * g;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      value[j] -= lr_ * mhat / (std::sqrt(vhat) + 1e-8);
     }
     p.ZeroGrad();
   }
@@ -65,10 +77,10 @@ linalg::Matrix GatherRows(const linalg::Matrix& m,
                           const std::vector<std::size_t>& rows,
                           std::size_t begin, std::size_t end) {
   linalg::Matrix out(end - begin, m.cols());
+  const std::size_t cols = m.cols();
   for (std::size_t i = begin; i < end; ++i) {
-    for (std::size_t c = 0; c < m.cols(); ++c) {
-      out(i - begin, c) = m(rows[i], c);
-    }
+    const double* src = m.row(rows[i]);
+    std::copy(src, src + cols, out.row(i - begin));
   }
   return out;
 }

@@ -1,0 +1,207 @@
+#include "tfb/parallel/thread_pool.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tfb/obs/metrics.h"
+
+namespace tfb::parallel {
+
+std::size_t HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+namespace {
+
+std::atomic<std::size_t> g_reserved_coarse{0};
+
+}  // namespace
+
+CoarseReservation::CoarseReservation(std::size_t workers)
+    : workers_(workers) {
+  g_reserved_coarse.fetch_add(workers_, std::memory_order_relaxed);
+}
+
+CoarseReservation::~CoarseReservation() {
+  g_reserved_coarse.fetch_sub(workers_, std::memory_order_relaxed);
+}
+
+std::size_t ReservedCoarseWorkers() {
+  return g_reserved_coarse.load(std::memory_order_relaxed);
+}
+
+/// One ParallelFor in flight. Participants claim chunk indices of a fixed
+/// partition with an atomic counter; which thread runs which chunk is
+/// scheduling noise — the partition itself never moves, so results don't
+/// depend on claiming order or worker count.
+struct ThreadPool::Impl {
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t begin = 0;
+    std::size_t total = 0;   // end - begin
+    std::size_t chunks = 0;  // fixed partition size
+    std::atomic<std::size_t> next{0};
+  };
+
+  std::mutex mutex;
+  std::condition_variable work_cv;  // workers wait here for a job / exit
+  std::condition_variable done_cv;  // the caller waits here for completion
+  std::vector<std::thread> threads;
+  Job* job = nullptr;  // at most one job in flight (ParallelFor blocks)
+  std::uint64_t generation = 0;
+  std::size_t active = 0;  // workers currently inside RunChunks
+  bool shutdown = false;
+  pid_t owner_pid = getpid();
+  std::atomic<bool> busy{false};  // a ParallelFor currently owns the workers
+
+  /// Chunk c of the fixed partition: front chunks absorb the remainder,
+  /// so chunk sizes differ by at most one index.
+  static void ChunkBounds(const Job& j, std::size_t c, std::size_t* lo,
+                          std::size_t* hi) {
+    const std::size_t base = j.total / j.chunks;
+    const std::size_t rem = j.total % j.chunks;
+    const std::size_t extra = std::min(c, rem);
+    *lo = j.begin + c * base + extra;
+    *hi = *lo + base + (c < rem ? 1 : 0);
+  }
+
+  static void RunChunks(Job& j) {
+    while (true) {
+      const std::size_t c = j.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= j.chunks) return;
+      std::size_t lo;
+      std::size_t hi;
+      ChunkBounds(j, c, &lo, &hi);
+      (*j.body)(lo, hi);
+    }
+  }
+
+  void WorkerLoop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      work_cv.wait(lock, [&] {
+        return shutdown || (job != nullptr && generation != seen);
+      });
+      if (shutdown) return;
+      seen = generation;
+      Job& my_job = *job;
+      ++active;
+      lock.unlock();
+      RunChunks(my_job);
+      lock.lock();
+      if (--active == 0) done_cv.notify_all();
+    }
+  }
+
+  void Stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      shutdown = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+    shutdown = false;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl()) {
+  Resize(workers);
+}
+
+ThreadPool::~ThreadPool() {
+  impl_->Stop();
+  delete impl_;
+}
+
+void ThreadPool::Resize(std::size_t workers) {
+  impl_->Stop();
+  impl_->owner_pid = getpid();
+  impl_->threads.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->threads.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+std::size_t ThreadPool::workers() const { return impl_->threads.size(); }
+
+ThreadPool& ThreadPool::Default() {
+  // Leaked: workers must outlive static destruction order games.
+  static ThreadPool* pool = new ThreadPool(HardwareThreads() - 1);
+  return *pool;
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t total = end - begin;
+  grain = std::max<std::size_t>(1, grain);
+
+  // Concurrency budget: lanes available to this call, shrunk while the
+  // pipeline runner has coarse workers reserved (see the header). A forked
+  // sandbox child inherits no pool workers — run inline there.
+  std::size_t budget = lanes();
+  const std::size_t coarse = ReservedCoarseWorkers();
+  if (coarse > 1) budget = std::max<std::size_t>(1, budget / coarse);
+  const std::size_t max_chunks = std::min(budget, total / grain);
+  if (max_chunks <= 1 || impl_->threads.empty() ||
+      getpid() != impl_->owner_pid) {
+    body(begin, end);
+    return;
+  }
+
+  // Concurrent ParallelFor calls (e.g. two runner workers both inside a
+  // kernel) don't queue up behind each other: whoever fails to claim the
+  // workers runs its whole range inline. Either way each index runs the
+  // same sequential code, so the choice only affects speed.
+  bool expected = false;
+  if (!impl_->busy.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire)) {
+    body(begin, end);
+    return;
+  }
+
+  Impl::Job job;
+  job.body = &body;
+  job.begin = begin;
+  job.total = total;
+  job.chunks = max_chunks;
+
+  if (obs::Enabled()) {
+    obs::Registry& registry = obs::DefaultRegistry();
+    registry.GetCounter("tfb_pool_parallel_for_total").Increment();
+    registry.GetGauge("tfb_pool_queue_depth")
+        .Set(static_cast<double>(max_chunks));
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = &job;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+  // The caller is a lane too, and its claiming loop only returns once
+  // every chunk has been claimed — so afterwards each chunk is either done
+  // (run here) or running inside a worker counted by `active`.
+  Impl::RunChunks(job);
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->job = nullptr;  // Late-waking workers must not adopt the job.
+    impl_->done_cv.wait(lock, [&] { return impl_->active == 0; });
+  }
+  impl_->busy.store(false, std::memory_order_release);
+  if (obs::Enabled()) {
+    obs::DefaultRegistry().GetGauge("tfb_pool_queue_depth").Set(0.0);
+  }
+}
+
+}  // namespace tfb::parallel

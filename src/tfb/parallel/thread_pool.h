@@ -1,0 +1,98 @@
+#ifndef TFB_PARALLEL_THREAD_POOL_H_
+#define TFB_PARALLEL_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+/// \file
+/// Process-wide worker pool for data-parallel compute kernels (the
+/// "Compute kernels" section of DESIGN.md).
+///
+/// The contract that matters here is *determinism*: ParallelFor splits an
+/// index range into a fixed, contiguous partition and every index is
+/// processed by exactly one worker running exactly the code a sequential
+/// loop would run. No index is computed twice, nothing is reduced across
+/// workers, so the bytes a kernel produces are identical for any thread
+/// count — including zero workers (inline execution). This is what lets
+/// the blocked GEMM parallelize while `pipeline_determinism_test` keeps
+/// demanding byte-identical result rows across thread counts.
+///
+/// Oversubscription: the pipeline runner already parallelizes across tasks
+/// (`RunnerOptions::num_threads`). When a grid is running with T workers,
+/// every worker that also fanned out kernel work T-wide would put T*T
+/// threads on the machine. The runner therefore holds a CoarseReservation
+/// for its worker count while a grid runs; ParallelFor divides the machine
+/// budget by the number of reserved coarse workers and falls back to
+/// inline execution when nothing is left. Reservations only affect *speed*
+/// — never results (see above).
+
+namespace tfb::parallel {
+
+/// Hardware concurrency, never 0.
+std::size_t HardwareThreads();
+
+/// The shared kernel worker pool. Workers are lazy: none are spawned until
+/// the first Resize (or ParallelFor) asks for them.
+class ThreadPool {
+ public:
+  /// The process-wide pool every compute kernel shares. Created on first
+  /// use with HardwareThreads()-1 workers (so lanes = hardware threads).
+  static ThreadPool& Default();
+
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Sets the number of *worker threads* (the calling thread always
+  /// participates, so lanes() == workers + 1). Blocks until the old crew
+  /// has drained; safe to call between (not during) ParallelFor calls.
+  void Resize(std::size_t workers);
+
+  /// Current worker-thread count.
+  std::size_t workers() const;
+  /// Execution lanes available to a ParallelFor: workers() + the caller.
+  std::size_t lanes() const { return workers() + 1; }
+
+  /// Runs `body(chunk_begin, chunk_end)` over a fixed contiguous partition
+  /// of [begin, end). At most `lanes()` chunks (bounded further by the
+  /// coarse-reservation budget) and every chunk holds at least `grain`
+  /// indices. The partition depends only on the chunk count, and each
+  /// chunk is executed by exactly one thread, so results are byte-
+  /// identical for any worker count. Blocks until every chunk finished.
+  /// Not reentrant: a body must not call ParallelFor on the same pool.
+  ///
+  /// Fork safety: in a fork()ed child (the process sandbox) the pool's
+  /// workers do not exist; ParallelFor detects the pid change and runs the
+  /// whole range inline.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII reservation of the machine for N coarse-grain workers (the
+/// pipeline runner's task threads). While any reservation is live, nested
+/// kernel ParallelFor calls shrink to roughly lanes/total_reserved so the
+/// two parallelism layers share one concurrency budget instead of
+/// multiplying. Nestable and thread-safe; reservations from multiple
+/// concurrent runners add up.
+class CoarseReservation {
+ public:
+  explicit CoarseReservation(std::size_t workers);
+  ~CoarseReservation();
+  CoarseReservation(const CoarseReservation&) = delete;
+  CoarseReservation& operator=(const CoarseReservation&) = delete;
+
+ private:
+  std::size_t workers_;
+};
+
+/// Total coarse-grain workers currently reserved (0 = no grid running).
+std::size_t ReservedCoarseWorkers();
+
+}  // namespace tfb::parallel
+
+#endif  // TFB_PARALLEL_THREAD_POOL_H_

@@ -19,6 +19,7 @@
 #include "tfb/obs/log.h"
 #include "tfb/obs/metrics.h"
 #include "tfb/obs/progress.h"
+#include "tfb/parallel/thread_pool.h"
 #include "tfb/obs/rusage.h"
 #include "tfb/obs/trace.h"
 #include "tfb/pipeline/journal.h"
@@ -730,6 +731,12 @@ std::vector<ResultRow> BenchmarkRunner::Run(
     epilogue();
     return rows;
   }
+  // While the grid fans out across tasks, the kernel thread pool shares
+  // the machine with these workers: the reservation tells ParallelFor to
+  // divide its lane budget by `threads`, so the two parallelism layers
+  // never multiply into oversubscription. Purely a throughput hint — it
+  // cannot change results (kernel output is thread-count-invariant).
+  const parallel::CoarseReservation reservation(threads);
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     while (true) {

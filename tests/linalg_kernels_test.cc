@@ -1,0 +1,215 @@
+// Bit-equality pins for the blocked/packed GEMM layer (tfb/linalg/gemm):
+// every kernel path — small fast path, blocked single-thread, blocked
+// row-parallel — must produce byte-identical results to the retained naive
+// reference for every shape, and results must not depend on the thread
+// pool's worker count. These are exact `memcmp`-style comparisons, not
+// EXPECT_NEAR: the determinism contract of DESIGN.md "Compute kernels" is
+// bit-level, because pipeline_determinism_test compares journal bytes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tfb/linalg/gemm.h"
+#include "tfb/linalg/matrix.h"
+#include "tfb/methods/dl/dl_forecasters.h"
+#include "tfb/parallel/thread_pool.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::linalg {
+namespace {
+
+/// Restores the default pool's worker count when a test is done resizing.
+class PoolGuard {
+ public:
+  PoolGuard() = default;
+  ~PoolGuard() {
+    parallel::ThreadPool::Default().Resize(parallel::HardwareThreads() - 1);
+  }
+};
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.Gaussian(0.0, 1.0);
+  return m;
+}
+
+bool BitEqual(const double* a, const double* b, std::size_t n) {
+  return n == 0 || std::memcmp(a, b, n * sizeof(double)) == 0;
+}
+
+void ExpectBitEqual(const Matrix& got, const std::vector<double>& want,
+                    const char* what, std::size_t m, std::size_t n,
+                    std::size_t k) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_TRUE(BitEqual(got.data(), want.data(), want.size()))
+      << what << " diverged from the naive reference at shape m=" << m
+      << " n=" << n << " k=" << k;
+}
+
+/// Checks all four product variants at one (m, n, k) against the
+/// reference evaluated through the matching strided views.
+void CheckShape(std::size_t m, std::size_t n, std::size_t k,
+                std::uint64_t seed) {
+  const Matrix a = RandomMatrix(m, k, seed);
+  const Matrix b = RandomMatrix(k, n, seed + 1);
+  std::vector<double> want(m * n);
+
+  kernel::GemmReference(m, n, k, {a.data(), k, 1}, {b.data(), n, 1},
+                        want.data());
+  ExpectBitEqual(MatMul(a, b), want, "MatMul", m, n, k);
+
+  const Matrix at = RandomMatrix(k, m, seed + 2);  // MatTMul takes A as k×m
+  kernel::GemmReference(m, n, k, {at.data(), 1, m}, {b.data(), n, 1},
+                        want.data());
+  ExpectBitEqual(MatTMul(at, b), want, "MatTMul", m, n, k);
+
+  const Matrix bt = RandomMatrix(n, k, seed + 3);  // MatMulT takes B as n×k
+  kernel::GemmReference(m, n, k, {a.data(), k, 1}, {bt.data(), 1, k},
+                        want.data());
+  ExpectBitEqual(MatMulT(a, bt), want, "MatMulT", m, n, k);
+
+  const Vector v = RandomMatrix(1, k, seed + 4).RowVector(0);
+  std::vector<double> want_v(m);
+  kernel::GemmReference(m, 1, k, {a.data(), k, 1}, {v.data(), 1, 1},
+                        want_v.data());
+  const Vector got_v = MatVec(a, v);
+  ASSERT_EQ(got_v.size(), want_v.size());
+  EXPECT_TRUE(BitEqual(got_v.data(), want_v.data(), want_v.size()))
+      << "MatVec diverged from the naive reference at m=" << m
+      << " k=" << k;
+}
+
+TEST(GemmKernels, BitEqualAcrossExhaustiveShapeGrid) {
+  // 0, 1, odd, prime, power-of-two, and just-past-tile dims: every edge
+  // case of the kMr/kNr tiling and the packing zero-fill.
+  const std::size_t dims[] = {0, 1, 2, 3, 5, 7, 8, 9, 13, 17, 32, 33};
+  std::uint64_t seed = 1;
+  for (std::size_t m : dims)
+    for (std::size_t n : dims)
+      for (std::size_t k : dims) CheckShape(m, n, k, seed++);
+}
+
+TEST(GemmKernels, BitEqualOnBlockedPathShapes) {
+  // Large enough to cross the blocked-path threshold; primes and
+  // just-past-block sizes force edge tiles and multiple kc/mc blocks.
+  const struct {
+    std::size_t m, n, k;
+  } shapes[] = {
+      {65, 72, 80},    {128, 96, 300},  {257, 129, 67},
+      {67, 257, 311},  {1, 640, 640},   {640, 1, 640},
+      {96, 96, 257},   {311, 64, 97},
+  };
+  std::uint64_t seed = 1000;
+  for (const auto& s : shapes) CheckShape(s.m, s.n, s.k, seed++);
+}
+
+TEST(GemmKernels, SingleThreadAndParallelPathsMatch) {
+  const std::size_t m = 311, n = 257, k = 129;
+  const Matrix a = RandomMatrix(m, k, 7);
+  const Matrix b = RandomMatrix(k, n, 8);
+  std::vector<double> st(m * n), par(m * n);
+  kernel::GemmSingleThread(m, n, k, {a.data(), k, 1}, {b.data(), n, 1},
+                           st.data());
+  kernel::Gemm(m, n, k, {a.data(), k, 1}, {b.data(), n, 1}, par.data());
+  EXPECT_TRUE(BitEqual(st.data(), par.data(), st.size()));
+}
+
+TEST(GemmKernels, ThreadCountDoesNotChangeGemmBytes) {
+  PoolGuard guard;
+  const std::size_t m = 257, n = 192, k = 311;
+  const Matrix a = RandomMatrix(m, k, 11);
+  const Matrix b = RandomMatrix(k, n, 12);
+
+  parallel::ThreadPool::Default().Resize(0);  // 1 lane: inline execution
+  const Matrix one_thread = MatMul(a, b);
+  parallel::ThreadPool::Default().Resize(7);  // 8 lanes
+  const Matrix eight_threads = MatMul(a, b);
+
+  EXPECT_TRUE(
+      BitEqual(one_thread.data(), eight_threads.data(), one_thread.size()));
+}
+
+TEST(GemmKernels, ThreadCountDoesNotChangeDlForecasterFit) {
+  PoolGuard guard;
+  stats::Rng rng(3);
+  std::vector<double> x(420);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 0.01 * static_cast<double>(t) +
+           2.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           rng.Gaussian(0.0, 0.2);
+  }
+  ts::TimeSeries series = ts::TimeSeries::Univariate(std::move(x));
+  series.set_seasonal_period(24);
+
+  methods::NeuralOptions options;
+  options.horizon = 12;
+  options.train.max_epochs = 8;
+  options.max_train_windows = 256;
+
+  const auto fit_and_forecast = [&](std::size_t workers) {
+    parallel::ThreadPool::Default().Resize(workers);
+    methods::DLinearForecaster model(options);
+    model.Fit(series);
+    return model.Forecast(series, 12);
+  };
+  const ts::TimeSeries one = fit_and_forecast(0);
+  const ts::TimeSeries eight = fit_and_forecast(7);
+
+  ASSERT_EQ(one.length(), eight.length());
+  ASSERT_EQ(one.num_variables(), eight.num_variables());
+  for (std::size_t t = 0; t < one.length(); ++t) {
+    for (std::size_t v = 0; v < one.num_variables(); ++v) {
+      const double lhs = one.at(t, v);
+      const double rhs = eight.at(t, v);
+      EXPECT_EQ(std::memcmp(&lhs, &rhs, sizeof(double)), 0)
+          << "forecast bytes diverged at t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(GemmKernels, DegenerateShapesAreZeroFilled) {
+  // k == 0: the sum over an empty range is +0.0 everywhere.
+  const Matrix a(3, 0);
+  const Matrix b(0, 4);
+  const Matrix out = MatMul(a, b);
+  ASSERT_EQ(out.rows(), 3u);
+  ASSERT_EQ(out.cols(), 4u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], 0.0);
+    EXPECT_FALSE(std::signbit(out.data()[i]));
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  PoolGuard guard;
+  parallel::ThreadPool::Default().Resize(3);
+  std::vector<int> hits(1000, 0);
+  parallel::ThreadPool::Default().ParallelFor(
+      0, hits.size(), 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, CoarseReservationShrinksButDoesNotChangeCoverage) {
+  PoolGuard guard;
+  parallel::ThreadPool::Default().Resize(3);
+  parallel::CoarseReservation reservation(4);
+  EXPECT_EQ(parallel::ReservedCoarseWorkers(), 4u);
+  std::vector<int> hits(257, 0);
+  parallel::ThreadPool::Default().ParallelFor(
+      0, hits.size(), 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
+}
+
+}  // namespace
+}  // namespace tfb::linalg

@@ -18,6 +18,7 @@
 
 #include "tfb/obs/http_exporter.h"
 #include "tfb/obs/metrics.h"
+#include "tfb/parallel/thread_pool.h"
 #include "tfb/pipeline/journal.h"
 #include "tfb/pipeline/runner.h"
 #include "tfb/proc/sandbox.h"
@@ -118,6 +119,32 @@ TEST(Determinism, IsolationModesAgreeOnScience) {
   const auto rows_in = BenchmarkRunner(in_process).Run(tasks);
   const auto rows_sb = BenchmarkRunner(sandboxed).Run(tasks);
   ExpectIdenticalRows(rows_in, rows_sb);
+}
+
+TEST(Determinism, KernelThreadCountDoesNotPerturbResults) {
+  // The compute-kernel pool's ParallelFor is static-partitioned: every
+  // output element is computed whole by exactly one worker, so resizing
+  // the pool must leave every journal byte unchanged. The grid includes a
+  // DL method so the blocked GEMM actually runs inside training.
+  std::vector<BenchmarkTask> tasks = SmallGrid();
+  {
+    BenchmarkTask task;
+    task.dataset = "synthetic";
+    task.series = SmallSeasonal(300, 7);
+    task.method = "DLinear";
+    task.horizon = 12;
+    tasks.push_back(std::move(task));
+  }
+  parallel::ThreadPool& pool = parallel::ThreadPool::Default();
+  pool.Resize(0);  // 1 lane: every kernel runs inline
+  const auto rows_one = BenchmarkRunner().Run(tasks);
+  pool.Resize(7);  // 8 lanes
+  const auto rows_eight = BenchmarkRunner().Run(tasks);
+  pool.Resize(parallel::HardwareThreads() - 1);
+  // Guard against a vacuous pass: the DL task must actually have trained.
+  ASSERT_FALSE(rows_one.empty());
+  ASSERT_TRUE(rows_one.back().ok) << rows_one.back().error;
+  ExpectIdenticalRows(rows_one, rows_eight);
 }
 
 TEST(Determinism, ObservabilityDoesNotPerturbResults) {
