@@ -37,6 +37,17 @@
 // under process isolation) always lands on the rows, the CSV, and the
 // performance summary printed after the result table.
 //
+// Sharded multi-process execution (see the "Sharded execution" section of
+// DESIGN.md): `--workers=N` (config key `workers`) runs the grid across N
+// fork()ed worker processes under a crash-tolerant coordinator — a worker
+// that dies mid-shard is replaced and its unfinished tasks re-dispatched; a
+// task that repeatedly kills its worker is quarantined with a CRASHED row.
+// Each worker journals to its own segment; the coordinator merges segments
+// into the main journal at the end, so `--resume` recovers from any
+// coordinator/worker crash combination. `--chaos-kill-worker=K` makes the
+// worker with spawn index K kill itself after its first completed task
+// (recovery drills, CI smoke).
+//
 // Live telemetry:
 //   --serve=9100        embedded HTTP endpoint for the duration of the run:
 //                       curl localhost:9100/status   (JSON progress + ETA)
@@ -58,6 +69,7 @@
 #include <iostream>
 
 #include "tfb/pipeline/config.h"
+#include "tfb/pipeline/shard.h"
 #include "tfb/report/ascii_plot.h"
 #include "tfb/tfb.h"
 
@@ -94,8 +106,11 @@ int main(int argc, char** argv) {
   obs::ProgressMode progress_mode = obs::ProgressMode::kAuto;
   bool progress_set = false;
   long serve_port = -1;  // -1 = flag absent.
+  long workers = -1;     // -1 = flag absent (config key decides).
+  long chaos_kill_worker = -1;  // Spawn index to fault-kill; -1 = off.
   const char* usage =
       "usage: tfb_run [config] [--resume] [--isolate=process|in_process]\n"
+      "               [--workers=N] [--chaos-kill-worker=K]\n"
       "               [--trace-out=FILE.json] [--metrics-out=FILE[.json]]\n"
       "               [--serve=PORT] [--progress=auto|bar|plain|off]\n"
       "               [--log-level=LEVEL] [--log-json=FILE]\n";
@@ -114,6 +129,19 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--isolate=in_process") == 0) {
       isolation_forced = true;
       isolation = pipeline::Isolation::kInProcess;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::strtol(argv[i] + 10, nullptr, 10);
+      if (workers < 0 || workers > 256) {
+        std::fprintf(stderr, "bad --workers count: %s\n", argv[i] + 10);
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--chaos-kill-worker=", 20) == 0) {
+      chaos_kill_worker = std::strtol(argv[i] + 20, nullptr, 10);
+      if (chaos_kill_worker < 0) {
+        std::fprintf(stderr, "bad --chaos-kill-worker index: %s\n",
+                     argv[i] + 20);
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -220,7 +248,31 @@ int main(int argc, char** argv) {
                 runner_options.memory_limit_mb,
                 runner_options.cpu_limit_seconds);
   }
-  const auto rows = pipeline::BenchmarkRunner(runner_options).Run(tasks);
+  const std::size_t effective_workers =
+      workers >= 0 ? static_cast<std::size_t>(workers) : config.workers;
+  std::vector<pipeline::ResultRow> rows;
+  if (effective_workers > 0) {
+    pipeline::ShardOptions shard_options;
+    shard_options.num_workers = effective_workers;
+    shard_options.shard_size = config.shard_size;
+    if (chaos_kill_worker >= 0) {
+      shard_options.fault_kill_worker = static_cast<int>(chaos_kill_worker);
+    }
+    std::printf("sharded execution: %zu worker processes\n",
+                effective_workers);
+    pipeline::ShardCoordinator coordinator(runner_options, shard_options);
+    rows = coordinator.Run(tasks);
+    const pipeline::ShardRunStats& stats = coordinator.stats();
+    if (stats.worker_deaths > 0 || stats.interrupted) {
+      std::printf("shard recovery: %zu worker death(s), %zu re-dispatch(es), "
+                  "%zu split(s), %zu quarantined%s\n",
+                  stats.worker_deaths, stats.redispatches, stats.shard_splits,
+                  stats.quarantined,
+                  stats.interrupted ? " (run interrupted)" : "");
+    }
+  } else {
+    rows = pipeline::BenchmarkRunner(runner_options).Run(tasks);
+  }
 
   report::PrintTable(std::cout, rows, config.metrics);
   report::PrintPerfSummary(std::cout, rows);

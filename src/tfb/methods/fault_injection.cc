@@ -28,6 +28,7 @@ const char* FaultLabel(FaultSpec::Kind kind) {
     case FaultSpec::Kind::kCrash: return "crash";
     case FaultSpec::Kind::kOom: return "oom";
     case FaultSpec::Kind::kExitNonzero: return "exit-nonzero";
+    case FaultSpec::Kind::kHangThenCrash: return "hang-then-crash";
   }
   return "?";
 }
@@ -87,6 +88,14 @@ void FaultInjectingForecaster::Fit(const ts::TimeSeries& train) {
     AllocateUntilLimit(spec_.oom_cap_bytes);
   } else if (spec_.kind == FaultSpec::Kind::kExitNonzero) {
     _exit(spec_.exit_code);
+  } else if (spec_.kind == FaultSpec::Kind::kHangThenCrash) {
+    // Outlive the heartbeat interval first (the coordinator must have seen
+    // this worker alive and mid-task), then die without unwinding.
+    if (spec_.sleep_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(spec_.sleep_ms));
+    }
+    _exit(spec_.exit_code);
   }
   if (spec_.kind == FaultSpec::Kind::kSlowFit && spec_.sleep_ms > 0.0) {
     std::this_thread::sleep_for(
@@ -130,6 +139,7 @@ ts::TimeSeries FaultInjectingForecaster::Forecast(
     case FaultSpec::Kind::kCrash:
     case FaultSpec::Kind::kOom:
     case FaultSpec::Kind::kExitNonzero:
+    case FaultSpec::Kind::kHangThenCrash:
       return forecast;
   }
   return forecast;

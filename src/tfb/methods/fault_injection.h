@@ -19,12 +19,20 @@ struct FaultSpec {
     kEmptyForecast,  ///< Return a zero-length forecast.
     kSlowFit,        ///< Sleep `sleep_ms` inside every Fit call.
     kHangFit,        ///< Sleep `sleep_ms` once, inside the first Fit call.
-    /// The three process-killing faults below exercise the `tfb::proc`
-    /// sandbox; running them without `--isolate=process` takes the calling
-    /// process down (which is exactly the point).
+    /// The process-killing faults below exercise the `tfb::proc` sandbox
+    /// and the sharded executor's worker-death recovery; running them
+    /// without `--isolate=process` (or outside a shard worker) takes the
+    /// calling process down (which is exactly the point).
     kCrash,          ///< Raise SIGSEGV (default disposition) inside Fit.
     kOom,            ///< Allocate without bound inside Fit (see oom_cap).
     kExitNonzero,    ///< _exit(exit_code) inside Fit.
+    /// Sleep `sleep_ms` inside Fit, then `_exit(exit_code)`: a worker that
+    /// goes quiet *past the shard heartbeat interval* and only then dies.
+    /// This is the deterministic test double for the sharded executor's
+    /// worker-death paths (heartbeat loss, mid-shard re-dispatch, poison
+    /// quarantine) — the delay guarantees the coordinator observed the
+    /// worker alive and mid-task before the death.
+    kHangThenCrash,
   };
   Kind kind = Kind::kNone;
   double sleep_ms = 0.0;       ///< Budget for kSlowFit / kHangFit.

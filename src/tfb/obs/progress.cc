@@ -122,6 +122,11 @@ void ProgressTracker::TaskStarted() {
   ++in_flight_;
 }
 
+void ProgressTracker::TaskAbandoned() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_ > 0) --in_flight_;
+}
+
 void ProgressTracker::TaskFinished(const std::string& method, bool ok,
                                    bool used_fallback, double task_seconds) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -218,6 +223,16 @@ std::map<std::string, MethodTally> ProgressTracker::MethodTallies() const {
   return by_method_;
 }
 
+void ProgressTracker::SetShardStats(const ShardStats& stats) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shard_stats_ = stats;
+}
+
+ShardStats ProgressTracker::GetShardStats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shard_stats_;
+}
+
 void ProgressTracker::RenderLocked() {
   if (mode_ != ProgressMode::kBar && mode_ != ProgressMode::kPlain) return;
   const auto now = Clock::now();
@@ -303,7 +318,21 @@ std::string ProgressTracker::StatusJson(const std::string& run_id) const {
     out += ",\"fallback\":" + std::to_string(tally.fallback);
     out += '}';
   }
-  out += "}}";
+  out += '}';
+  if (shard_stats_.enabled) {
+    const ShardStats& sh = shard_stats_;
+    out += ",\"shard\":{";
+    out += "\"workers\":" + std::to_string(sh.workers);
+    out += ",\"workers_live\":" + std::to_string(sh.workers_live);
+    out += ",\"workers_spawned\":" + std::to_string(sh.workers_spawned);
+    out += ",\"worker_deaths\":" + std::to_string(sh.worker_deaths);
+    out += ",\"shards_total\":" + std::to_string(sh.shards_total);
+    out += ",\"shards_completed\":" + std::to_string(sh.shards_completed);
+    out += ",\"redispatches\":" + std::to_string(sh.redispatches);
+    out += ",\"quarantined\":" + std::to_string(sh.quarantined);
+    out += '}';
+  }
+  out += '}';
   return out;
 }
 

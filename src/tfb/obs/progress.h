@@ -47,6 +47,24 @@ struct MethodTally {
   std::size_t fallback = 0;
 };
 
+/// Sharded-execution telemetry (fed by pipeline::ShardCoordinator, exposed
+/// as the "shard" object of /status): worker liveness, shard progress, and
+/// the fault-recovery counters — how many workers died, how many shards
+/// were re-dispatched after a death, and how many poison tasks were
+/// quarantined. `enabled` stays true after the run so a post-mortem scrape
+/// still sees the final numbers.
+struct ShardStats {
+  bool enabled = false;
+  std::size_t workers = 0;          ///< Configured worker-process count.
+  std::size_t workers_live = 0;
+  std::size_t workers_spawned = 0;  ///< Including respawns after deaths.
+  std::size_t worker_deaths = 0;
+  std::size_t shards_total = 0;
+  std::size_t shards_completed = 0;
+  std::size_t redispatches = 0;     ///< Shards re-queued after a death.
+  std::size_t quarantined = 0;      ///< Poison tasks given CRASHED rows.
+};
+
 /// Point-in-time view of the run, as exposed on /status.
 struct ProgressSnapshot {
   bool active = false;          ///< Between BeginRun and EndRun.
@@ -86,12 +104,22 @@ class ProgressTracker {
   /// per-task duration; the ETA uses inter-completion gaps instead).
   void TaskFinished(const std::string& method, bool ok, bool used_fallback,
                     double task_seconds);
+  /// A started task that will not finish on this executor (its worker
+  /// process died mid-task): leaves in_flight without counting as a
+  /// completion. The task re-enters via TaskStarted when re-dispatched.
+  void TaskAbandoned();
 
   /// Finishes the run: erases the bar / emits the final heartbeat.
   void EndRun();
 
   ProgressSnapshot Snapshot() const;
   std::map<std::string, MethodTally> MethodTallies() const;
+
+  /// Publishes sharded-execution state; StatusJson then carries a "shard"
+  /// object. Survives EndRun (final numbers stay scrapeable) and is reset
+  /// by the next BeginRun of a non-sharded run via SetShardStats({}).
+  void SetShardStats(const ShardStats& stats);
+  ShardStats GetShardStats() const;
 
   /// The /status payload: one JSON object with the snapshot fields, the
   /// per-method tallies, and `run_id`.
@@ -127,6 +155,7 @@ class ProgressTracker {
   Clock::time_point last_finish_{};
   Clock::time_point last_render_{};
   std::map<std::string, MethodTally> by_method_;
+  ShardStats shard_stats_;
 };
 
 /// The process-wide tracker shared by the runner, the terminal renderer,

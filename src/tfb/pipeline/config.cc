@@ -143,6 +143,16 @@ std::optional<BenchmarkConfig> ParseConfig(const std::string& text,
       if (end == value.c_str() || config.retry_backoff_ms < 0.0) {
         return fail("bad retry_backoff_ms: " + value);
       }
+    } else if (key == "retry_backoff_max_ms") {
+      char* end = nullptr;
+      config.retry_backoff_max_ms = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || config.retry_backoff_max_ms < 0.0) {
+        return fail("bad retry_backoff_max_ms: " + value);
+      }
+    } else if (key == "workers") {
+      config.workers = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "shard_size") {
+      config.shard_size = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "fallback") {
       config.fallback = value;
     } else if (key == "journal") {
@@ -259,6 +269,11 @@ std::string ConfigToString(const BenchmarkConfig& config) {
   os << "deadline_seconds = " << config.deadline_seconds << '\n';
   os << "max_retries = " << config.max_retries << '\n';
   os << "retry_backoff_ms = " << config.retry_backoff_ms << '\n';
+  os << "retry_backoff_max_ms = " << config.retry_backoff_max_ms << '\n';
+  if (config.workers != 0) os << "workers = " << config.workers << '\n';
+  if (config.shard_size != 0) {
+    os << "shard_size = " << config.shard_size << '\n';
+  }
   if (!config.fallback.empty()) os << "fallback = " << config.fallback << '\n';
   if (!config.journal.empty()) os << "journal = " << config.journal << '\n';
   os << "journal_fsync = " << (config.journal_fsync ? "true" : "false")
@@ -295,6 +310,7 @@ RunnerOptions BenchmarkConfig::MakeRunnerOptions() const {
   options.deadline_seconds = deadline_seconds;
   options.max_retries = max_retries;
   options.retry_backoff_ms = retry_backoff_ms;
+  options.retry_backoff_max_ms = retry_backoff_max_ms;
   options.fallback_method = fallback;
   options.journal_path = journal;
   options.journal_fsync = journal_fsync;

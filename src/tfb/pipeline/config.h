@@ -51,6 +51,16 @@ struct BenchmarkConfig {
   double deadline_seconds = 0.0;   ///< Per-task budget; 0 = no deadline.
   std::size_t max_retries = 0;     ///< Extra attempts after a failure.
   double retry_backoff_ms = 0.0;   ///< Base exponential-backoff delay.
+  /// Ceiling on any single retry-backoff delay; 0 = uncapped (see
+  /// RunnerOptions::retry_backoff_max_ms).
+  double retry_backoff_max_ms = 30000.0;
+  /// Sharded multi-process execution ("workers = 4" / `--workers=N`): the
+  /// grid runs across this many worker processes under the crash-tolerant
+  /// shard coordinator (see tfb/pipeline/shard.h). 0 = in-process execution
+  /// by the plain BenchmarkRunner (the default).
+  std::size_t workers = 0;
+  /// Tasks per shard under sharded execution; 0 = auto-sized.
+  std::size_t shard_size = 0;
   std::string fallback;            ///< Fallback method name; "" = disabled.
   std::string journal;             ///< JSONL journal path; "" = no journal.
   bool journal_fsync = false;      ///< fsync the journal after every row.

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <sstream>
+#include <unordered_set>
 
 #include <fcntl.h>
 #include <sys/file.h>
@@ -307,6 +309,70 @@ std::vector<ResultRow> LoadJournal(const std::string& path,
 std::string JournalKey(const std::string& dataset, const std::string& method,
                        std::size_t horizon) {
   return dataset + '\x1f' + method + '\x1f' + std::to_string(horizon);
+}
+
+std::vector<ResultRow> DedupJournalRows(std::vector<ResultRow> rows) {
+  std::vector<ResultRow> out;
+  out.reserve(rows.size());
+  std::unordered_set<std::string> seen;
+  for (ResultRow& row : rows) {
+    if (seen.insert(JournalKey(row.dataset, row.method, row.horizon)).second) {
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+std::vector<ResultRow> LoadJournalSegments(
+    const std::vector<std::string>& paths, std::size_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  std::vector<ResultRow> rows;
+  for (const std::string& path : paths) {
+    std::size_t file_skipped = 0;
+    std::vector<ResultRow> segment = LoadJournal(path, &file_skipped);
+    if (skipped != nullptr) *skipped += file_skipped;
+    rows.insert(rows.end(), std::make_move_iterator(segment.begin()),
+                std::make_move_iterator(segment.end()));
+  }
+  return DedupJournalRows(std::move(rows));
+}
+
+bool RewriteJournal(const std::string& path,
+                    const std::vector<ResultRow>& rows, bool fsync_file) {
+  const std::string tmp = path + ".merge.tmp";
+  const int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                      0644);
+  if (fd < 0) return false;
+  std::string buffer;
+  for (const ResultRow& row : rows) {
+    buffer += JournalLine(row);
+    buffer += '\n';
+  }
+  bool ok = true;
+  std::size_t written = 0;
+  while (written < buffer.size()) {
+    const ssize_t n =
+        write(fd, buffer.data() + written, buffer.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      ok = false;
+      break;
+    }
+  }
+  if (ok && fsync_file && fsync(fd) != 0) ok = false;
+  close(fd);
+  if (!ok) {
+    unlink(tmp.c_str());
+    return false;
+  }
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    unlink(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace tfb::pipeline

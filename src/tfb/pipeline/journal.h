@@ -60,6 +60,29 @@ std::vector<ResultRow> LoadJournal(const std::string& path,
 std::string JournalKey(const std::string& dataset, const std::string& method,
                        std::size_t horizon);
 
+/// Dedups rows on JournalKey, first occurrence wins ("first completed
+/// wins": a task re-executed after a worker death produces a duplicate row
+/// in a later segment; the earliest complete row is authoritative). Order
+/// of first occurrences is preserved.
+std::vector<ResultRow> DedupJournalRows(std::vector<ResultRow> rows);
+
+/// Loads and merges several journals (a main journal plus the per-worker
+/// segments of a sharded run, in dispatch order): every well-formed line of
+/// every existing file, deduped first-wins in `paths` order. Missing files
+/// are empty journals; torn trailing lines (a worker killed mid-append) are
+/// skipped by the line parser like any malformed line. When `skipped` is
+/// non-null it receives the total number of skipped lines across files.
+std::vector<ResultRow> LoadJournalSegments(const std::vector<std::string>& paths,
+                                           std::size_t* skipped = nullptr);
+
+/// Atomically replaces the journal at `path` with exactly `rows` (one line
+/// each, in order): written to a temporary sibling, optionally fsync()ed,
+/// then rename()d into place — a crash mid-merge leaves the old journal
+/// (and any segments) intact for the next resume. Returns false on I/O
+/// failure.
+bool RewriteJournal(const std::string& path,
+                    const std::vector<ResultRow>& rows, bool fsync_file);
+
 }  // namespace tfb::pipeline
 
 #endif  // TFB_PIPELINE_JOURNAL_H_

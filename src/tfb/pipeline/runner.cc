@@ -448,9 +448,12 @@ AttemptResult EvaluateAttempt(
 /// Backoff before retry `attempt+1`: exponential in the attempt number with
 /// a deterministic per-task jitter in [0.5, 1.5) — same task, same delays,
 /// reproducible runs; different tasks, decorrelated delays, no retry
-/// stampede across parallel workers.
+/// stampede across parallel workers. The final delay is clamped to
+/// retry_backoff_max_ms (`*capped` reports when the clamp engaged, so the
+/// journal note distinguishes a capped delay from a naturally short one).
 double BackoffDelayMs(const RunnerOptions& options, const BenchmarkTask& task,
-                      std::size_t attempt) {
+                      std::size_t attempt, bool* capped) {
+  *capped = false;
   if (options.retry_backoff_ms <= 0.0) return 0.0;
   const double exponential =
       options.retry_backoff_ms * std::pow(2.0, static_cast<double>(attempt - 1));
@@ -467,7 +470,13 @@ double BackoffDelayMs(const RunnerOptions& options, const BenchmarkTask& task,
   mix(std::to_string(task.horizon));
   mix(std::to_string(attempt));
   const double jitter = 0.5 + static_cast<double>(h % 1024) / 1024.0;
-  return exponential * jitter;
+  double delay = exponential * jitter;
+  if (options.retry_backoff_max_ms > 0.0 &&
+      delay > options.retry_backoff_max_ms) {
+    delay = options.retry_backoff_max_ms;
+    *capped = true;
+  }
+  return delay;
 }
 
 std::string FormatMs(double ms) {
@@ -554,7 +563,8 @@ ResultRow RunOneImpl(const BenchmarkTask& task,
       break;
     }
     if (attempt < max_attempts) {
-      const double delay_ms = BackoffDelayMs(options_, task, attempt);
+      bool capped = false;
+      const double delay_ms = BackoffDelayMs(options_, task, attempt, &capped);
       if (delay_ms > 0.0) {
         if (obs::Enabled()) {
           obs::DefaultRegistry()
@@ -562,6 +572,7 @@ ResultRow RunOneImpl(const BenchmarkTask& task,
               .Increment(delay_ms);
         }
         AppendNote(&retry_note, "backed off " + FormatMs(delay_ms) +
+                                    (capped ? " (capped)" : "") +
                                     " before attempt " +
                                     std::to_string(attempt + 1));
         std::this_thread::sleep_for(

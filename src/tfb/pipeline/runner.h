@@ -105,6 +105,12 @@ struct RunnerOptions {
   /// retrying a shared bottleneck do not stampede in lockstep. 0 = retry
   /// immediately.
   double retry_backoff_ms = 0.0;
+  /// Ceiling on any single backoff delay, in milliseconds. The doubling is
+  /// otherwise unbounded across attempts — with a generous max_retries a
+  /// late attempt could sleep for minutes, stalling a grid slot far past
+  /// any useful recovery window. The effective (capped, jittered) delay is
+  /// surfaced on the row's note and in the journal. 0 = no cap.
+  double retry_backoff_max_ms = 30000.0;
   /// Registry name of a forecaster to run when the primary method fails
   /// after all retries (e.g. "SeasonalNaive"), keeping the results table
   /// complete as in the paper. Empty = disabled; failed rows stay ok=false.

@@ -1,0 +1,955 @@
+#include "tfb/pipeline/shard.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "tfb/base/status.h"
+#include "tfb/obs/log.h"
+#include "tfb/obs/metrics.h"
+#include "tfb/obs/progress.h"
+#include "tfb/pipeline/journal.h"
+
+namespace tfb::pipeline {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Shutdown self-pipe. Signal handlers may only write() one byte — the
+// coordinator's poll loop turns queued bytes into drain (1) or hard kill
+// (2+). The pipe is process-lifetime: installed on first use, shared by
+// RequestShardShutdown and the SIGINT/SIGTERM handlers.
+
+std::atomic<int> g_shutdown_wfd{-1};
+int g_shutdown_rfd = -1;
+
+extern "C" void TfbShardShutdownHandler(int /*signo*/) {
+  const int fd = g_shutdown_wfd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    const ssize_t n = write(fd, &byte, 1);
+    (void)n;  // A full pipe already holds a pending wakeup.
+  }
+}
+
+void EnsureShutdownPipe() {
+  if (g_shutdown_wfd.load(std::memory_order_relaxed) >= 0) return;
+  int fds[2];
+  if (pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) return;
+  g_shutdown_rfd = fds[0];
+  g_shutdown_wfd.store(fds[1], std::memory_order_release);
+}
+
+std::size_t DrainShutdownPipe() {
+  if (g_shutdown_rfd < 0) return 0;
+  std::size_t total = 0;
+  char buf[64];
+  ssize_t n;
+  while ((n = read(g_shutdown_rfd, buf, sizeof(buf))) > 0) {
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol: newline-delimited text over a per-worker socketpair.
+//   worker -> coordinator:  "h"                       heartbeat
+//                           "s <slot>"                task started
+//                           "t <slot> <ok> <fb> <s>"  task finished (row is
+//                                                     already in the segment)
+//                           "d <shard_id>"            shard done, now idle
+//   coordinator -> worker:  "g <shard_id> <slot>..."  shard grant
+//                           "q"                       quit
+
+bool SendAll(int fd, const std::string& line) {
+  const char* p = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Parses whitespace-separated size_t fields after a one-char tag.
+std::vector<std::size_t> ParseFields(const std::string& line) {
+  std::vector<std::size_t> out;
+  const char* p = line.c_str() + 1;
+  char* end = nullptr;
+  for (;;) {
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) break;
+    out.push_back(static_cast<std::size_t>(v));
+    p = end;
+  }
+  return out;
+}
+
+// Leftover "<stem>.seg*" files next to the journal (or temp segment base):
+// the durable remains of a previous run that crashed before its merge.
+std::vector<std::string> ExistingSegments(const std::string& base) {
+  std::string dir = ".";
+  std::string stem = base;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) {
+    dir = slash == 0 ? "/" : base.substr(0, slash);
+    stem = base.substr(slash + 1);
+  }
+  const std::string prefix = stem + ".seg";
+  std::vector<std::string> out;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* e = readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() > prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back(dir == "/" ? "/" + name : dir + "/" + name);
+    }
+  }
+  closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+
+struct WorkerConfig {
+  int fd = -1;
+  std::size_t spawn_index = 0;
+  std::string segment_path;
+};
+
+// Runs in the fork()ed child (which inherited the whole task grid — no
+// marshalling): pulls shard grants off the socket, executes tasks with a
+// journal-less BenchmarkRunner, appends every finished row to this worker's
+// own segment *before* reporting it — by the time the coordinator marks a
+// task done, its row is durable — and heartbeats from a side thread so a
+// long-computing task is never mistaken for a dead worker. Never returns.
+[[noreturn]] void WorkerMain(const WorkerConfig& cfg,
+                             const RunnerOptions& parent_options,
+                             const ShardOptions& shard_options,
+                             const std::vector<BenchmarkTask>& tasks) {
+  // Ctrl-C goes to the whole foreground group; drain is the coordinator's
+  // decision, so workers ignore SIGINT and wait for "q".
+  std::signal(SIGINT, SIG_IGN);
+  std::signal(SIGTERM, SIG_DFL);
+
+  RunnerOptions options = parent_options;
+  options.journal_path.clear();  // Rows go to the segment, not the journal.
+  options.journal_fsync = false;
+  options.resume = false;
+  options.progress = obs::ProgressMode::kOff;
+  options.verbose = false;
+  const BenchmarkRunner runner(options);
+
+  std::mutex send_mutex;  // Heartbeat thread and main loop share the socket.
+  auto send_line = [&](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(send_mutex);
+    return SendAll(cfg.fd, line);
+  };
+
+  std::atomic<bool> stop_heartbeat{false};
+  std::thread heartbeat([&] {
+    const auto period = std::chrono::duration<double>(
+        shard_options.heartbeat_seconds > 0.0 ? shard_options.heartbeat_seconds
+                                              : 0.25);
+    while (!stop_heartbeat.load(std::memory_order_relaxed)) {
+      if (!send_line("h\n")) break;  // Coordinator gone; stop beating.
+      std::this_thread::sleep_for(period);
+    }
+  });
+
+  JournalOptions journal_options;
+  journal_options.fsync_each_row = parent_options.journal_fsync;
+
+  std::size_t tasks_done = 0;
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit) {
+    const ssize_t n = recv(cfg.fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // Coordinator died; orphaned work is pointless.
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while (!quit && (pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (line == "q") {
+        quit = true;
+        break;
+      }
+      if (line.empty() || line[0] != 'g') continue;
+      const std::vector<std::size_t> fields = ParseFields(line);
+      if (fields.empty()) continue;
+      const std::size_t shard_id = fields[0];
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        const std::size_t slot = fields[i];
+        if (slot >= tasks.size()) continue;
+        send_line("s " + std::to_string(slot) + "\n");
+        const auto started = Clock::now();
+        const ResultRow row = runner.RunOne(tasks[slot]);
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - started).count();
+        if (!AppendJournal(cfg.segment_path, row, journal_options)) {
+          _exit(3);  // A row we cannot make durable must not be marked done.
+        }
+        char msg[96];
+        std::snprintf(msg, sizeof(msg), "t %zu %d %d %.6f\n", slot,
+                      row.ok ? 1 : 0, row.used_fallback ? 1 : 0, seconds);
+        send_line(msg);
+        ++tasks_done;
+        if (shard_options.fault_kill_worker >= 0 &&
+            cfg.spawn_index ==
+                static_cast<std::size_t>(shard_options.fault_kill_worker) &&
+            tasks_done >= shard_options.fault_kill_after_tasks) {
+          // Chaos hook: die (or freeze, for SIGSTOP) mid-shard with the
+          // completed rows already durable in the segment.
+          raise(shard_options.fault_kill_signal);
+        }
+      }
+      send_line("d " + std::to_string(shard_id) + "\n");
+    }
+  }
+  stop_heartbeat.store(true, std::memory_order_relaxed);
+  heartbeat.join();
+  _exit(0);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side.
+
+struct Shard {
+  std::size_t id = 0;
+  std::vector<std::size_t> slots;  // Task indices, ascending.
+  std::size_t attempts = 0;        // Dispatch count (incremented on grant).
+};
+
+struct Worker {
+  pid_t pid = -1;
+  int fd = -1;  // Coordinator side of the socketpair; -1 once dead.
+  std::size_t spawn_index = 0;
+  Clock::time_point last_heartbeat{};
+  bool has_shard = false;
+  Shard shard;
+  std::unordered_set<std::size_t> started;  // Started, not yet finished.
+  std::string buffer;  // Partial protocol line.
+  bool quit_sent = false;
+  bool dead = false;
+};
+
+}  // namespace
+
+void RequestShardShutdown() {
+  EnsureShutdownPipe();
+  TfbShardShutdownHandler(0);
+}
+
+std::vector<ResultRow> ShardCoordinator::Run(
+    const std::vector<BenchmarkTask>& tasks) {
+  stats_ = ShardRunStats{};
+  const std::size_t total = tasks.size();
+  std::vector<ResultRow> rows(total);
+  std::vector<bool> adopted(total, false);
+  const bool observed = obs::Enabled();
+  obs::Registry& registry = obs::DefaultRegistry();
+  obs::ProgressTracker& tracker = obs::DefaultProgressTracker();
+
+  // --- Segment base: next to the journal, or in a temp dir without one ---
+  const std::string journal_path = runner_options_.journal_path;
+  std::string temp_dir;
+  std::string segment_base = journal_path;
+  if (segment_base.empty()) {
+    char tmpl[] = "/tmp/tfb-shard-XXXXXX";
+    if (mkdtemp(tmpl) != nullptr) {
+      temp_dir = tmpl;
+      segment_base = temp_dir + "/journal";
+    } else {
+      segment_base = "tfb-shard-journal";  // Degraded: cwd-local segments.
+    }
+  }
+
+  // --- Resume: adopt journaled rows, scavenging leftover segments of a
+  // crashed previous run into the journal first (crash-safe recovery) ---
+  std::vector<ResultRow> prior_rows;
+  const std::vector<std::string> leftover = ExistingSegments(segment_base);
+  if (!journal_path.empty() && runner_options_.resume) {
+    std::vector<std::string> paths;
+    paths.reserve(leftover.size() + 1);
+    paths.push_back(journal_path);
+    paths.insert(paths.end(), leftover.begin(), leftover.end());
+    prior_rows = LoadJournalSegments(paths);
+    if (!leftover.empty()) {
+      stats_.scavenged_segments = leftover.size();
+      obs::DefaultLogger().Info(
+          "shard resume: scavenged leftover segments",
+          {{"segments", std::to_string(leftover.size())},
+           {"rows", std::to_string(prior_rows.size())}});
+      // Fold segment-only rows into the journal before unlinking anything,
+      // so a crash right here still loses no completed work.
+      if (RewriteJournal(journal_path, prior_rows,
+                         runner_options_.journal_fsync)) {
+        for (const std::string& p : leftover) unlink(p.c_str());
+      }
+    }
+  } else {
+    // Not resuming: stale segments are garbage from an abandoned run, and
+    // pre-existing journal rows keep their place (append semantics) without
+    // exempting any task from execution.
+    for (const std::string& p : leftover) unlink(p.c_str());
+    if (!journal_path.empty()) prior_rows = LoadJournal(journal_path);
+  }
+
+  std::unordered_map<std::string, std::size_t> prior_by_key;
+  for (std::size_t i = 0; i < prior_rows.size(); ++i) {
+    prior_by_key.emplace(JournalKey(prior_rows[i].dataset,
+                                    prior_rows[i].method,
+                                    prior_rows[i].horizon),
+                         i);
+  }
+  std::vector<std::size_t> pending;
+  pending.reserve(total);
+  std::size_t resumed = 0;
+  for (std::size_t slot = 0; slot < total; ++slot) {
+    const auto it =
+        runner_options_.resume
+            ? prior_by_key.find(JournalKey(tasks[slot].dataset,
+                                           tasks[slot].method,
+                                           tasks[slot].horizon))
+            : prior_by_key.end();
+    if (it != prior_by_key.end()) {
+      rows[slot] = prior_rows[it->second];
+      adopted[slot] = true;
+      ++resumed;
+    } else {
+      pending.push_back(slot);
+    }
+  }
+  if (observed && resumed > 0) {
+    registry.GetCounter("tfb_tasks_resumed_total")
+        .Increment(static_cast<double>(resumed));
+  }
+
+  // --- Shard the pending slots ---
+  std::size_t shard_size = shard_options_.shard_size;
+  const std::size_t num_workers = std::max<std::size_t>(
+      1, shard_options_.num_workers);
+  if (shard_size == 0) {
+    shard_size = std::clamp<std::size_t>(pending.size() / (4 * num_workers),
+                                         1, 32);
+  }
+  std::deque<Shard> queue;
+  std::size_t next_shard_id = 0;
+  std::size_t shards_total = 0;
+  for (std::size_t i = 0; i < pending.size(); i += shard_size) {
+    Shard shard;
+    shard.id = next_shard_id++;
+    shard.slots.assign(
+        pending.begin() + static_cast<std::ptrdiff_t>(i),
+        pending.begin() +
+            static_cast<std::ptrdiff_t>(std::min(i + shard_size,
+                                                 pending.size())));
+    queue.push_back(std::move(shard));
+    ++shards_total;
+  }
+
+  tracker.SetDisplay(runner_options_.progress);
+  tracker.BeginRun(total, resumed);
+
+  std::vector<bool> done_slot(total, false);
+  std::size_t resolved = 0;  // Pending slots finished or quarantined.
+  std::size_t executed = 0;  // "t" messages accepted.
+  std::size_t shards_completed = 0;
+  std::size_t shutdown_requests = 0;
+  bool draining = false;
+  bool hard_killed = false;
+  double worker_cpu_seconds = 0.0;
+  double worker_peak_rss_mb = 0.0;
+
+  const std::size_t max_spawns =
+      shard_options_.max_total_spawns > 0 ? shard_options_.max_total_spawns
+                                          : 4 * num_workers;
+  const std::string quarantine_segment = segment_base + ".segc";
+  std::vector<std::string> segment_paths;  // Spawn order; merged first-wins.
+  JournalOptions journal_options;
+  journal_options.fsync_each_row = runner_options_.journal_fsync;
+
+  std::vector<Worker> workers;
+  workers.reserve(max_spawns);
+  std::size_t live = 0;
+
+  auto publish_shard_stats = [&] {
+    obs::ShardStats s;
+    s.enabled = true;
+    s.workers = num_workers;
+    s.workers_live = live;
+    s.workers_spawned = stats_.workers_spawned;
+    s.worker_deaths = stats_.worker_deaths;
+    s.shards_total = shards_total;
+    s.shards_completed = shards_completed;
+    s.redispatches = stats_.redispatches;
+    s.quarantined = stats_.quarantined;
+    tracker.SetShardStats(s);
+    if (observed) {
+      registry.GetGauge("tfb_shard_workers_live")
+          .Set(static_cast<double>(live));
+    }
+  };
+
+  auto spawn_worker = [&]() -> bool {
+    if (stats_.workers_spawned >= max_spawns) {
+      stats_.spawn_budget_exhausted = true;
+      return false;
+    }
+    int fds[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
+    WorkerConfig cfg;
+    cfg.fd = fds[1];
+    cfg.spawn_index = stats_.workers_spawned;
+    cfg.segment_path =
+        segment_base + ".seg" + std::to_string(cfg.spawn_index);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(fds[0]);
+      close(fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      close(fds[0]);
+      // Siblings' coordinator-side fds were inherited; keeping them open
+      // would mask a sibling's EOF from the coordinator forever.
+      for (const Worker& w : workers) {
+        if (!w.dead && w.fd >= 0) close(w.fd);
+      }
+      WorkerMain(cfg, runner_options_, shard_options_, tasks);  // No return.
+    }
+    close(fds[1]);
+    fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    Worker w;
+    w.pid = pid;
+    w.fd = fds[0];
+    w.spawn_index = cfg.spawn_index;
+    w.last_heartbeat = Clock::now();
+    workers.push_back(std::move(w));
+    segment_paths.push_back(cfg.segment_path);
+    ++stats_.workers_spawned;
+    ++live;
+    if (observed) {
+      registry.GetCounter("tfb_shard_workers_spawned_total").Increment();
+    }
+    return true;
+  };
+
+  auto quarantine = [&](std::size_t slot, std::size_t deaths) {
+    const BenchmarkTask& task = tasks[slot];
+    ResultRow row;
+    row.dataset = task.dataset;
+    row.method = task.method;
+    row.horizon = task.horizon;
+    row.ok = false;
+    row.error = base::Status::Crashed(
+                    "poison task quarantined: killed its worker " +
+                    std::to_string(deaths) + "x")
+                    .ToString();
+    row.note = "quarantined by shard coordinator";
+    AppendJournal(quarantine_segment, row, journal_options);
+    rows[slot] = row;
+    done_slot[slot] = true;
+    ++resolved;
+    ++stats_.quarantined;
+    tracker.TaskFinished(row.method, /*ok=*/false, /*used_fallback=*/false,
+                         0.0);
+    if (observed) {
+      registry.GetCounter("tfb_shard_quarantined_total").Increment();
+    }
+    obs::DefaultLogger().Warn(
+        "shard: poison task quarantined",
+        {{"dataset", row.dataset},
+         {"method", row.method},
+         {"horizon", std::to_string(row.horizon)}});
+  };
+
+  auto grant = [&](Worker& w) {
+    if (queue.empty() || draining || w.quit_sent) return;
+    Shard shard = std::move(queue.front());
+    queue.pop_front();
+    ++shard.attempts;
+    std::string msg = "g " + std::to_string(shard.id);
+    for (const std::size_t slot : shard.slots) {
+      msg += ' ';
+      msg += std::to_string(slot);
+    }
+    msg += '\n';
+    if (!SendAll(w.fd, msg)) {
+      // The worker is dying; its EOF will be handled shortly. The shard
+      // goes back to the head of the queue untouched.
+      --shard.attempts;
+      queue.push_front(std::move(shard));
+      return;
+    }
+    w.has_shard = true;
+    w.shard = std::move(shard);
+    ++stats_.shards_dispatched;
+    if (observed) {
+      registry.GetCounter("tfb_shard_dispatch_total").Increment();
+    }
+  };
+
+  auto handle_death = [&](Worker& w, bool from_heartbeat) {
+    if (w.dead) return;
+    w.dead = true;
+    --live;
+    if (w.fd >= 0) {
+      close(w.fd);
+      w.fd = -1;
+    }
+    int status = 0;
+    struct rusage usage;
+    std::memset(&usage, 0, sizeof(usage));
+    while (wait4(w.pid, &status, 0, &usage) < 0 && errno == EINTR) {
+    }
+    // Exact per-child accounting from the kernel via wait4(2).
+    const double cpu =
+        static_cast<double>(usage.ru_utime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec) * 1e-6 +
+        static_cast<double>(usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+    const double rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+    worker_cpu_seconds += cpu;
+    worker_peak_rss_mb = std::max(worker_peak_rss_mb, rss_mb);
+    if (observed) {
+      registry.GetCounter("tfb_shard_worker_cpu_seconds_total")
+          .Increment(cpu);
+      registry.GetGauge("tfb_shard_worker_peak_rss_mb")
+          .Set(worker_peak_rss_mb);
+    }
+    // Any started-but-unfinished task is back in the queue, not in flight.
+    for (const std::size_t slot : w.started) {
+      if (!done_slot[slot]) tracker.TaskAbandoned();
+    }
+    w.started.clear();
+    if (w.quit_sent && !w.has_shard) return;  // Clean, commanded exit.
+
+    ++stats_.worker_deaths;
+    if (from_heartbeat) ++stats_.heartbeat_kills;
+    if (observed) {
+      registry.GetCounter("tfb_shard_worker_deaths_total").Increment();
+      if (from_heartbeat) {
+        registry.GetCounter("tfb_shard_heartbeat_kills_total").Increment();
+      }
+    }
+    obs::DefaultLogger().Warn(
+        "shard: worker died",
+        {{"pid", std::to_string(w.pid)},
+         {"spawn", std::to_string(w.spawn_index)},
+         {"via", from_heartbeat ? "heartbeat-timeout" : "socket-eof"},
+         {"status", std::to_string(status)}});
+
+    if (w.has_shard) {
+      Shard shard = std::move(w.shard);
+      w.has_shard = false;
+      shard.slots.erase(
+          std::remove_if(shard.slots.begin(), shard.slots.end(),
+                         [&](std::size_t slot) { return done_slot[slot]; }),
+          shard.slots.end());
+      if (shard.slots.empty()) {
+        ++shards_completed;  // It died on the finish line.
+      } else if (hard_killed) {
+        // Shutting down hard: abandon the remainder.
+      } else if (shard.attempts >= shard_options_.max_shard_attempts) {
+        if (shard.slots.size() > 1) {
+          // Binary-search the poison: two half-shards, fresh attempts.
+          const std::size_t mid = shard.slots.size() / 2;
+          Shard left;
+          left.id = next_shard_id++;
+          left.slots.assign(shard.slots.begin(),
+                            shard.slots.begin() +
+                                static_cast<std::ptrdiff_t>(mid));
+          Shard right;
+          right.id = next_shard_id++;
+          right.slots.assign(shard.slots.begin() +
+                                 static_cast<std::ptrdiff_t>(mid),
+                             shard.slots.end());
+          queue.push_front(std::move(right));
+          queue.push_front(std::move(left));
+          ++stats_.shard_splits;
+          shards_total += 2;
+          ++shards_completed;  // The parent shard is gone.
+          if (observed) {
+            registry.GetCounter("tfb_shard_splits_total").Increment();
+          }
+        } else {
+          quarantine(shard.slots[0], shard.attempts);
+          ++shards_completed;
+        }
+      } else {
+        queue.push_front(std::move(shard));
+        ++stats_.redispatches;
+        if (observed) {
+          registry.GetCounter("tfb_shard_redispatch_total").Increment();
+        }
+      }
+    }
+    // Replace the casualty while work remains and the budget allows.
+    if (!draining && !hard_killed && resolved < pending.size()) {
+      spawn_worker();
+    }
+  };
+
+  auto process_line = [&](Worker& w, const std::string& line) {
+    w.last_heartbeat = Clock::now();
+    if (line.empty()) return;
+    const std::vector<std::size_t> fields =
+        line[0] == 'h' ? std::vector<std::size_t>{} : ParseFields(line);
+    switch (line[0]) {
+      case 'h':
+        break;
+      case 's':
+        if (fields.size() >= 1 && fields[0] < total &&
+            !done_slot[fields[0]]) {
+          w.started.insert(fields[0]);
+          tracker.TaskStarted();
+        }
+        break;
+      case 't': {
+        if (fields.size() < 3) break;
+        const std::size_t slot = fields[0];
+        // Fractional seconds do not survive ParseFields; re-parse the tail.
+        double seconds = 0.0;
+        {
+          const std::size_t sp = line.find_last_of(' ');
+          if (sp != std::string::npos) seconds = std::atof(line.c_str() + sp);
+        }
+        w.started.erase(slot);
+        if (slot < total && !done_slot[slot]) {
+          done_slot[slot] = true;
+          ++resolved;
+          ++executed;
+          tracker.TaskFinished(tasks[slot].method, fields[1] != 0,
+                               fields[2] != 0, seconds);
+          if (observed) {
+            registry.GetCounter("tfb_shard_tasks_completed_total")
+                .Increment();
+          }
+          if (shard_options_.fault_drain_after_tasks > 0 &&
+              executed >= shard_options_.fault_drain_after_tasks &&
+              !draining) {
+            draining = true;  // Chaos hook: behave as one SIGTERM.
+            stats_.interrupted = true;
+          }
+        }
+        break;
+      }
+      case 'd':
+        if (fields.size() >= 1 && w.has_shard && w.shard.id == fields[0]) {
+          w.has_shard = false;
+          ++shards_completed;
+        }
+        break;
+      default:
+        break;
+    }
+  };
+
+  // --- Install drain-on-signal for the duration of the run ---
+  EnsureShutdownPipe();
+  DrainShutdownPipe();  // Clear requests left over from a previous run.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = TfbShardShutdownHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  struct sigaction old_int, old_term;
+  sigaction(SIGINT, &sa, &old_int);
+  sigaction(SIGTERM, &sa, &old_term);
+
+  // --- Initial fleet ---
+  const std::size_t initial_workers =
+      std::min(num_workers, std::max<std::size_t>(1, queue.size()));
+  if (!pending.empty()) {
+    for (std::size_t i = 0; i < initial_workers; ++i) spawn_worker();
+  }
+  publish_shard_stats();
+
+  // --- Event loop ---
+  while (resolved < pending.size()) {
+    // Hand work to idle workers.
+    for (Worker& w : workers) {
+      if (!w.dead && !w.has_shard) grant(w);
+    }
+    if (draining) {
+      bool in_flight = false;
+      for (const Worker& w : workers) {
+        if (!w.dead && w.has_shard) in_flight = true;
+      }
+      if (!in_flight) break;  // Drained: queued work stays undone.
+    }
+    if (live == 0) {
+      // Everybody is dead. Spawn a fresh worker if the budget allows;
+      // otherwise the remaining tasks become INTERNAL rows below.
+      if (draining || hard_killed || !spawn_worker()) break;
+      continue;
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> pfd_worker;
+    pfds.push_back({g_shutdown_rfd, POLLIN, 0});
+    pfd_worker.push_back(static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i].dead) continue;
+      pfds.push_back({workers[i].fd, POLLIN, 0});
+      pfd_worker.push_back(i);
+    }
+    const int rc = poll(pfds.data(), pfds.size(), 100);
+    if (rc < 0 && errno != EINTR) break;
+
+    if (pfds[0].revents & POLLIN) {
+      shutdown_requests += DrainShutdownPipe();
+      if (shutdown_requests >= 1 && !draining) {
+        draining = true;
+        stats_.interrupted = true;
+        obs::DefaultLogger().Warn(
+            "shard: shutdown requested, draining in-flight shards", {});
+      }
+      if (shutdown_requests >= 2 && !hard_killed) {
+        hard_killed = true;
+        obs::DefaultLogger().Warn(
+            "shard: second shutdown request, killing workers", {});
+        for (Worker& w : workers) {
+          if (!w.dead) kill(w.pid, SIGKILL);
+        }
+      }
+    }
+
+    for (std::size_t p = 1; p < pfds.size(); ++p) {
+      Worker& w = workers[pfd_worker[p]];
+      if (w.dead || (pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      bool eof = false;
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = recv(w.fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+          w.buffer.append(chunk, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) eof = true;
+        if (n < 0 && errno == EINTR) continue;
+        break;  // EAGAIN (drained) or error (treated as EOF below).
+      }
+      std::size_t pos;
+      while ((pos = w.buffer.find('\n')) != std::string::npos) {
+        const std::string line = w.buffer.substr(0, pos);
+        w.buffer.erase(0, pos + 1);
+        process_line(w, line);
+      }
+      if (eof) handle_death(w, /*from_heartbeat=*/false);
+    }
+
+    // Heartbeat timeouts: a worker wedged without dying (e.g. SIGSTOP)
+    // is killed and handled exactly like a crash.
+    if (shard_options_.heartbeat_timeout_seconds > 0.0) {
+      const auto now = Clock::now();
+      for (Worker& w : workers) {
+        if (w.dead || w.quit_sent) continue;
+        const double silent =
+            std::chrono::duration<double>(now - w.last_heartbeat).count();
+        if (silent > shard_options_.heartbeat_timeout_seconds) {
+          kill(w.pid, SIGKILL);
+          handle_death(w, /*from_heartbeat=*/true);
+        }
+      }
+    }
+    publish_shard_stats();
+  }
+
+  // --- Shutdown: command every survivor out, then reap it ---
+  // A worker whose shard fully completed but whose trailing "d" message
+  // was not yet read when the loop exited is idle, not mid-shard.
+  for (Worker& w : workers) {
+    if (!w.dead && w.has_shard &&
+        std::all_of(w.shard.slots.begin(), w.shard.slots.end(),
+                    [&](std::size_t slot) { return done_slot[slot]; })) {
+      w.has_shard = false;
+      ++shards_completed;
+    }
+  }
+  for (Worker& w : workers) {
+    if (!w.dead) {
+      w.quit_sent = true;
+      SendAll(w.fd, "q\n");
+    }
+  }
+  const auto reap_deadline = Clock::now() + std::chrono::seconds(5);
+  while (live > 0 && Clock::now() < reap_deadline) {
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> pfd_worker;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i].dead) continue;
+      pfds.push_back({workers[i].fd, POLLIN, 0});
+      pfd_worker.push_back(i);
+    }
+    if (pfds.empty()) break;
+    const int rc = poll(pfds.data(), pfds.size(), 200);
+    if (rc < 0 && errno != EINTR) break;
+    for (std::size_t p = 0; p < pfds.size(); ++p) {
+      Worker& w = workers[pfd_worker[p]];
+      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      bool eof = false;
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = recv(w.fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+          w.buffer.append(chunk, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) eof = true;
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      // Late "t"/"d" lines still count: a worker may complete its shard
+      // between the loop's exit and the "q" reaching it.
+      std::size_t pos;
+      while ((pos = w.buffer.find('\n')) != std::string::npos) {
+        const std::string line = w.buffer.substr(0, pos);
+        w.buffer.erase(0, pos + 1);
+        process_line(w, line);
+      }
+      if (eof) handle_death(w, /*from_heartbeat=*/false);
+    }
+  }
+  for (Worker& w : workers) {
+    if (!w.dead) {
+      kill(w.pid, SIGKILL);  // Refused to leave within the grace period.
+      handle_death(w, /*from_heartbeat=*/false);
+    }
+  }
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+
+  // --- Merge: segments -> rows -> journal, atomically ---
+  std::vector<std::string> all_segments = segment_paths;
+  all_segments.push_back(quarantine_segment);
+  std::size_t torn = 0;
+  const std::vector<ResultRow> segment_rows =
+      LoadJournalSegments(all_segments, &torn);
+  std::unordered_map<std::string, std::size_t> segment_by_key;
+  for (std::size_t i = 0; i < segment_rows.size(); ++i) {
+    segment_by_key.emplace(JournalKey(segment_rows[i].dataset,
+                                      segment_rows[i].method,
+                                      segment_rows[i].horizon),
+                           i);
+  }
+  std::vector<bool> journaled = adopted;  // Slots the merged journal keeps.
+  for (std::size_t slot = 0; slot < total; ++slot) {
+    if (adopted[slot]) continue;
+    const auto it = segment_by_key.find(JournalKey(
+        tasks[slot].dataset, tasks[slot].method, tasks[slot].horizon));
+    if (it != segment_by_key.end()) {
+      rows[slot] = segment_rows[it->second];
+      journaled[slot] = true;
+    } else {
+      // Never completed by any worker: an interrupted or starved task.
+      // Deliberately NOT journaled, so --resume runs it.
+      ResultRow& row = rows[slot];
+      row.dataset = tasks[slot].dataset;
+      row.method = tasks[slot].method;
+      row.horizon = tasks[slot].horizon;
+      row.ok = false;
+      row.error =
+          (stats_.interrupted
+               ? base::Status::Aborted("run interrupted before task completed")
+               : base::Status::Internal(
+                     "task not completed by any worker (spawn budget "
+                     "exhausted)"))
+              .ToString();
+    }
+  }
+  if (!journal_path.empty()) {
+    // Canonical journal order: every finished grid row in task order —
+    // byte-identical to a fresh single-process run's journal — followed by
+    // prior rows whose keys are outside this grid (kept verbatim). Rows a
+    // non-resume run re-executed supersede their journaled predecessors.
+    std::unordered_set<std::string> grid_keys;
+    grid_keys.reserve(total);
+    for (const BenchmarkTask& task : tasks) {
+      grid_keys.insert(JournalKey(task.dataset, task.method, task.horizon));
+    }
+    std::vector<ResultRow> final_rows;
+    final_rows.reserve(prior_rows.size() + total);
+    for (std::size_t slot = 0; slot < total; ++slot) {
+      if (journaled[slot]) final_rows.push_back(rows[slot]);
+    }
+    for (const ResultRow& row : prior_rows) {
+      if (grid_keys.count(JournalKey(row.dataset, row.method,
+                                     row.horizon)) == 0) {
+        final_rows.push_back(row);
+      }
+    }
+    if (!RewriteJournal(journal_path, final_rows,
+                        runner_options_.journal_fsync)) {
+      obs::DefaultLogger().Error("shard: journal merge failed; segments kept",
+                                 {{"journal", journal_path}});
+      publish_shard_stats();
+      tracker.EndRun();
+      return rows;  // Segments stay on disk for the next resume to scavenge.
+    }
+  }
+  for (const std::string& p : all_segments) unlink(p.c_str());
+  if (!temp_dir.empty()) rmdir(temp_dir.c_str());
+
+  publish_shard_stats();
+  tracker.EndRun();
+  if (runner_options_.verbose || stats_.worker_deaths > 0) {
+    obs::DefaultLogger().Info(
+        "shard run finished",
+        {{"workers", std::to_string(num_workers)},
+         {"spawned", std::to_string(stats_.workers_spawned)},
+         {"deaths", std::to_string(stats_.worker_deaths)},
+         {"redispatches", std::to_string(stats_.redispatches)},
+         {"splits", std::to_string(stats_.shard_splits)},
+         {"quarantined", std::to_string(stats_.quarantined)},
+         {"torn_lines", std::to_string(torn)},
+         {"worker_cpu_s",
+          [&] {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.2f", worker_cpu_seconds);
+            return std::string(buf);
+          }()}});
+  }
+  return rows;
+}
+
+}  // namespace tfb::pipeline

@@ -1,0 +1,131 @@
+#ifndef TFB_PIPELINE_SHARD_H_
+#define TFB_PIPELINE_SHARD_H_
+
+#include <csignal>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tfb/pipeline/runner.h"
+
+/// \file
+/// Sharded multi-process benchmark execution with a crash-tolerant
+/// coordinator (`--workers=N`). The coordinator deterministically partitions
+/// the task grid into shards of consecutive pending tasks, fork()s N worker
+/// processes (each inheriting the in-memory grid — no task marshalling), and
+/// hands shards out over a per-worker Unix socketpair as workers go idle —
+/// a pull-based work queue, so a slow shard never stalls the rest of the
+/// grid behind a static partition.
+///
+/// Fault model: a worker that dies mid-shard (crash, OOM-kill, fault
+/// injection) is detected by socket EOF or by missed heartbeats; the
+/// unfinished remainder of its shard is re-queued to a surviving worker.
+/// A shard that repeatedly dies is split in half to binary-search the
+/// poisonous task, which is finally quarantined with a CRASHED row while
+/// every healthy task still completes. Dead workers are replaced until a
+/// bounded spawn budget runs out.
+///
+/// Durability: each worker appends finished rows to its own journal segment
+/// (`<journal>.seg<spawn>`), so rows survive the death of any process; the
+/// coordinator merges the segments into the main journal at the end —
+/// deduped on the task key, first-completed row wins, torn trailing lines
+/// discarded — and a resumed run scavenges leftover segments first, so
+/// `--resume` recovers from any coordinator/worker crash combination. The
+/// merged journal is byte-identical to a single-process run's journal
+/// (pipeline_determinism_test proves it, including a mid-run worker kill).
+///
+/// SIGINT/SIGTERM drain the run: in-flight shards finish, workers are told
+/// to quit, segments are merged and the journal is flushed; a second signal
+/// kills the children immediately (completed rows still merge). Liveness,
+/// shard progress, re-dispatch counts and per-worker rusage are exported
+/// through tfb/obs (`tfb_shard_*` metrics and the /status "shard" object).
+
+namespace tfb::pipeline {
+
+/// Knobs of the sharded executor. The fault_* members are test/chaos hooks
+/// (used by pipeline_shard_test, bench_shard_scaling and the CI smoke job)
+/// that inject deterministic worker failure without touching task content —
+/// rows stay byte-identical to a clean run.
+struct ShardOptions {
+  /// Worker processes to run concurrently. 1 is a valid (and measurable)
+  /// degenerate case: one child executes every shard.
+  std::size_t num_workers = 2;
+  /// Tasks per shard; 0 = auto (~pending/(4*workers), clamped to [1, 32]):
+  /// small enough that work-stealing balances uneven task costs and a death
+  /// re-runs little, large enough to amortize the dispatch round-trip.
+  std::size_t shard_size = 0;
+  /// Worker heartbeat period, seconds. A dedicated thread in each worker
+  /// beats even while a task computes, so a long task is not a dead worker.
+  double heartbeat_seconds = 0.25;
+  /// Silence window after which a worker is declared dead and SIGKILLed
+  /// (catches workers wedged without closing their socket, e.g. SIGSTOP).
+  double heartbeat_timeout_seconds = 10.0;
+  /// Dispatch attempts before a dying shard is split (size > 1) or its last
+  /// task is quarantined with a CRASHED row (size == 1).
+  std::size_t max_shard_attempts = 2;
+  /// Total worker spawns allowed, replacements included; 0 = auto
+  /// (4 * num_workers). When the budget is exhausted and no worker
+  /// survives, leftover tasks get INTERNAL rows (not journaled, so a
+  /// resume retries them).
+  std::size_t max_total_spawns = 0;
+
+  /// Fault hook: the worker with this spawn index kills itself with
+  /// fault_kill_signal after completing fault_kill_after_tasks tasks
+  /// (-1 = disabled). SIGKILL exercises the EOF death path; SIGSTOP the
+  /// heartbeat-timeout path. Spawn indices count every spawn, so a
+  /// replacement worker never re-triggers a lower index's fault.
+  int fault_kill_worker = -1;
+  std::size_t fault_kill_after_tasks = 1;
+  int fault_kill_signal = SIGKILL;
+  /// Fault hook: the coordinator drains (as if SIGTERM) after this many
+  /// task completions; 0 = disabled. For deterministic drain/resume tests.
+  std::size_t fault_drain_after_tasks = 0;
+};
+
+/// What happened during one sharded run (also mirrored to obs metrics and
+/// the /status "shard" object).
+struct ShardRunStats {
+  std::size_t workers_spawned = 0;   ///< Including replacements.
+  std::size_t worker_deaths = 0;     ///< EOF deaths + heartbeat kills.
+  std::size_t heartbeat_kills = 0;   ///< Deaths declared by missed beats.
+  std::size_t shards_dispatched = 0; ///< Grants, re-dispatches included.
+  std::size_t redispatches = 0;      ///< Shards re-queued after a death.
+  std::size_t shard_splits = 0;      ///< Poison-isolating splits.
+  std::size_t quarantined = 0;       ///< Tasks given CRASHED rows.
+  std::size_t scavenged_segments = 0;///< Leftover segments merged at resume.
+  bool interrupted = false;          ///< Drained early (signal or hook).
+  bool spawn_budget_exhausted = false;
+};
+
+/// Multi-process grid executor; the sharded counterpart of
+/// BenchmarkRunner::Run with the same row/journal/resume semantics.
+class ShardCoordinator {
+ public:
+  ShardCoordinator(const RunnerOptions& runner_options,
+                   const ShardOptions& shard_options)
+      : runner_options_(runner_options), shard_options_(shard_options) {}
+
+  /// Runs all tasks across the worker fleet; rows come back in task order,
+  /// exactly as from BenchmarkRunner::Run. Installs SIGINT/SIGTERM drain
+  /// handlers for its duration (restoring the previous ones). Not
+  /// reentrant: one sharded run per process at a time.
+  std::vector<ResultRow> Run(const std::vector<BenchmarkTask>& tasks);
+
+  /// Stats of the last Run().
+  const ShardRunStats& stats() const { return stats_; }
+
+ private:
+  RunnerOptions runner_options_;
+  ShardOptions shard_options_;
+  ShardRunStats stats_;
+};
+
+/// Asks the active sharded run to shut down, exactly as one delivery of
+/// SIGINT/SIGTERM would: the first request drains (in-flight shards finish,
+/// journal merges), a second one kills workers immediately. Safe from any
+/// thread; the test-visible face of the signal path.
+void RequestShardShutdown();
+
+}  // namespace tfb::pipeline
+
+#endif  // TFB_PIPELINE_SHARD_H_

@@ -104,20 +104,6 @@ void TrimToTailBytes(std::string* buf) {
   }
 }
 
-/// Last `max_lines` lines of `text` (trailing newline dropped).
-std::string TailLines(const std::string& text, std::size_t max_lines) {
-  std::size_t end = text.size();
-  while (end > 0 && text[end - 1] == '\n') --end;
-  if (end == 0) return std::string();
-  std::size_t lines = 0;
-  std::size_t begin = end;
-  while (begin > 0) {
-    if (text[begin - 1] == '\n' && ++lines == max_lines) break;
-    --begin;
-  }
-  return text.substr(begin, end - begin);
-}
-
 /// Reads the payload and stderr pipes until both hit EOF or until
 /// `deadline` (zero time_point = none) passes. Both must be drained in one
 /// loop: a child blocked writing a full stderr pipe would otherwise
@@ -201,6 +187,32 @@ base::Status FateToStatus(TaskFate fate, const std::string& message) {
 }
 
 bool MemoryLimitEnforced() { return !TFB_PROC_ASAN; }
+
+std::string TailLines(const std::string& text, std::size_t max_lines) {
+  std::size_t end = text.size();
+  while (end > 0 && text[end - 1] == '\n') --end;
+  if (end == 0) return std::string();
+  std::size_t lines = 0;
+  std::size_t begin = end;
+  while (begin > 0) {
+    if (text[begin - 1] == '\n' && ++lines == max_lines) break;
+    --begin;
+  }
+  // When the tail was cut by bytes (begin == 0 after a front-trimmed capture
+  // buffer) rather than at a newline, the first bytes can be UTF-8
+  // continuation bytes (10xxxxxx) of a code point whose lead byte was
+  // trimmed away. Skip them — at most 3, the maximum continuation run of a
+  // valid sequence — so the tail starts on a character boundary. Hostile
+  // input that is nothing *but* continuation bytes is left alone beyond
+  // that bound (it was never valid UTF-8 to begin with).
+  std::size_t skipped = 0;
+  while (begin < end && skipped < 3 &&
+         (static_cast<unsigned char>(text[begin]) & 0xC0) == 0x80) {
+    ++begin;
+    ++skipped;
+  }
+  return text.substr(begin, end - begin);
+}
 
 SandboxResult RunInSandbox(const SandboxBody& body,
                            const SandboxLimits& limits) {

@@ -102,6 +102,15 @@ SandboxResult RunInSandbox(const SandboxBody& body,
 /// tests gate OOM expectations on this.
 bool MemoryLimitEnforced();
 
+/// Last `max_lines` lines of `text` (trailing newlines dropped) — the
+/// stderr-tail truncation used for SandboxResult::stderr_tail. UTF-8-aware:
+/// when the tail does not start at a line boundary (the capture buffer is
+/// byte-trimmed from the front while the child floods stderr), leading
+/// UTF-8 continuation bytes are skipped so the result never begins
+/// mid-character — a hostile or merely chatty child writing multi-byte
+/// text cannot make the journal carry a torn code point.
+std::string TailLines(const std::string& text, std::size_t max_lines);
+
 /// Exit code the child's new-handler uses to report an allocation failure
 /// under the memory limit — lets the parent classify OOM deterministically
 /// instead of guessing from an aborted stack unwind.

@@ -751,6 +751,80 @@ TEST(FaultIsolation, RetryBackoffIsExponentialDeterministicAndNoted) {
   EXPECT_EQ(again.note, row.note);
 }
 
+TEST(FaultIsolation, RetryBackoffIsCappedAndTheCapIsNoted) {
+  const ts::TimeSeries series = CleanSeries(300, 27);
+  auto instances = std::make_shared<std::atomic<int>>(0);
+  const methods::ForecasterFactory flaky = [instances] {
+    methods::FaultSpec spec;
+    if (instances->fetch_add(1) < 2) spec.kind = methods::FaultSpec::Kind::kNaN;
+    return std::make_unique<methods::FaultInjectingForecaster>(spec);
+  };
+
+  // Exponential base 40ms with jitter in [0.5, 1.5) puts both retry delays
+  // (40*2^0*j >= 20ms, 40*2^1*j >= 40ms) above a 10ms ceiling, so the cap
+  // must engage on every backoff.
+  pipeline::RunnerOptions options;
+  options.max_retries = 2;
+  options.retry_backoff_ms = 40.0;
+  options.retry_backoff_max_ms = 10.0;
+  const auto start = std::chrono::steady_clock::now();
+  const pipeline::ResultRow row = pipeline::BenchmarkRunner(options).RunOne(
+      CustomTask("Flaky", flaky, series));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(row.ok) << row.error;
+  EXPECT_EQ(row.attempts, 3u);
+  // The journal note distinguishes a capped delay from a naturally short
+  // one, and reports the effective (clamped) value.
+  EXPECT_NE(row.note.find("backed off 10ms (capped) before attempt 2"),
+            std::string::npos)
+      << row.note;
+  EXPECT_NE(row.note.find("backed off 10ms (capped) before attempt 3"),
+            std::string::npos)
+      << row.note;
+  // Two capped 10ms waits: the uncapped schedule would be >= 60ms of sleep;
+  // a generous wall bound still proves the clamp actually shortened it.
+  EXPECT_GE(elapsed_ms, 20.0);
+
+  // An uncapped run of the same task backs off longer and says so.
+  instances->store(0);
+  options.retry_backoff_max_ms = 30000.0;
+  const pipeline::ResultRow uncapped =
+      pipeline::BenchmarkRunner(options).RunOne(
+          CustomTask("Flaky", flaky, series));
+  EXPECT_EQ(uncapped.note.find("(capped)"), std::string::npos)
+      << uncapped.note;
+}
+
+TEST(FaultIsolation, HangThenCrashIsClassifiedNotFatalUnderIsolation) {
+  // The sharded executor's worker-death test double must also behave under
+  // plain --isolate=process: the sandbox waits out the hang, classifies the
+  // non-zero exit, and the grid completes.
+  const ts::TimeSeries series = CleanSeries(300, 28);
+  methods::FaultSpec spec;
+  spec.kind = methods::FaultSpec::Kind::kHangThenCrash;
+  spec.sleep_ms = 100.0;
+  spec.exit_code = 7;
+
+  std::vector<pipeline::BenchmarkTask> tasks;
+  tasks.push_back(
+      CustomTask("HangThenCrash", MakeFaultyFactory(spec), series));
+  tasks.push_back(CustomTask("Healthy", [] {
+    return std::make_unique<methods::SeasonalNaiveForecaster>();
+  }, series));
+
+  pipeline::RunnerOptions options;
+  options.isolation = pipeline::Isolation::kProcess;
+  const auto rows = pipeline::BenchmarkRunner(options).Run(tasks);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_FALSE(rows[0].ok);
+  EXPECT_NE(rows[0].error.find("ABORTED"), std::string::npos) << rows[0].error;
+  EXPECT_NE(rows[0].error.find("code 7"), std::string::npos) << rows[0].error;
+  ASSERT_TRUE(rows[1].ok) << rows[1].error;
+}
+
 TEST(FaultIsolation, JournalSkipsTornFinalLine) {
   const std::string path = testing::TempDir() + "/tfb_torn_journal.jsonl";
   std::remove(path.c_str());

@@ -21,6 +21,7 @@
 #include "tfb/parallel/thread_pool.h"
 #include "tfb/pipeline/journal.h"
 #include "tfb/pipeline/runner.h"
+#include "tfb/pipeline/shard.h"
 #include "tfb/proc/sandbox.h"
 #include "tfb/stats/rng.h"
 
@@ -191,6 +192,53 @@ TEST(Determinism, LiveTelemetryDoesNotPerturbResults) {
   obs::SetEnabled(was_enabled);
 
   ExpectIdenticalRows(rows_quiet, rows_live);
+}
+
+TEST(Determinism, ShardedJournalMatchesSingleProcessDespiteKillAndResume) {
+  // The sharded executor's headline invariant: the merged multi-worker
+  // journal is byte-identical (canonicalized timings aside) to a
+  // single-process run's — across 4 workers, a worker killed mid-run, an
+  // interrupted (drained) first attempt, and a --resume completion.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const std::string journal_single =
+      testing::TempDir() + "determinism_single.jsonl";
+  const std::string journal_sharded =
+      testing::TempDir() + "determinism_sharded.jsonl";
+  std::remove(journal_single.c_str());
+  std::remove(journal_sharded.c_str());
+
+  RunnerOptions single_options;
+  single_options.num_threads = 1;
+  single_options.journal_path = journal_single;
+  const auto rows_single = BenchmarkRunner(single_options).Run(tasks);
+
+  RunnerOptions shard_runner_options;
+  shard_runner_options.journal_path = journal_sharded;
+  ShardOptions first_leg;
+  first_leg.num_workers = 4;
+  first_leg.shard_size = 1;
+  first_leg.fault_kill_worker = 1;  // One worker dies after its first task.
+  first_leg.fault_kill_after_tasks = 1;
+  first_leg.fault_drain_after_tasks = 5;  // ...and the run is interrupted.
+  ShardCoordinator first(shard_runner_options, first_leg);
+  first.Run(tasks);
+  EXPECT_TRUE(first.stats().interrupted);
+
+  shard_runner_options.resume = true;
+  ShardOptions second_leg;
+  second_leg.num_workers = 4;
+  ShardCoordinator second(shard_runner_options, second_leg);
+  const auto rows_sharded = second.Run(tasks);
+
+  ExpectIdenticalRows(rows_single, rows_sharded);
+  // The journals themselves: same rows, same order, same bytes after
+  // canonicalizing the run-dependent timing fields.
+  const auto journal_rows_single = LoadJournal(journal_single);
+  const auto journal_rows_sharded = LoadJournal(journal_sharded);
+  ASSERT_EQ(journal_rows_single.size(), tasks.size());
+  ExpectIdenticalRows(journal_rows_single, journal_rows_sharded);
+  std::remove(journal_single.c_str());
+  std::remove(journal_sharded.c_str());
 }
 
 TEST(ResourceAccounting, JournalRoundTripsRusageFields) {

@@ -1,0 +1,380 @@
+// Sharded multi-process execution: crash-tolerant coordinator, worker
+// death recovery (socket EOF and heartbeat loss), poison-task quarantine,
+// drain + resume, and the journal segment-merge property that makes resume
+// safe across any coordinator/worker crash combination.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tfb/methods/fault_injection.h"
+#include "tfb/obs/progress.h"
+#include "tfb/pipeline/journal.h"
+#include "tfb/pipeline/runner.h"
+#include "tfb/pipeline/shard.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::pipeline {
+namespace {
+
+ts::TimeSeries SmallSeasonal(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = 3.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 12.0) +
+           rng.Gaussian(0.0, 0.3);
+  }
+  ts::TimeSeries s = ts::TimeSeries::Univariate(std::move(x));
+  s.set_seasonal_period(12);
+  s.set_name("synthetic");
+  return s;
+}
+
+std::vector<BenchmarkTask> SmallGrid() {
+  std::vector<BenchmarkTask> tasks;
+  for (const char* method :
+       {"Naive", "SeasonalNaive", "Drift", "Mean", "LinearRegression"}) {
+    for (const std::size_t horizon : {std::size_t{6}, std::size_t{12}}) {
+      BenchmarkTask task;
+      task.dataset = "synthetic";
+      task.series = SmallSeasonal(300, 7);
+      task.method = method;
+      task.horizon = horizon;
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+ResultRow Canonicalized(ResultRow row) {
+  row.fit_seconds = 0.0;
+  row.inference_ms_per_window = 0.0;
+  row.cpu_user_seconds = 0.0;
+  row.cpu_sys_seconds = 0.0;
+  row.peak_rss_mb = 0.0;
+  return row;
+}
+
+void ExpectIdenticalRows(const std::vector<ResultRow>& a,
+                         const std::vector<ResultRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(JournalLine(Canonicalized(a[i])), JournalLine(Canonicalized(b[i])))
+        << "row " << i;
+  }
+}
+
+std::string TempPath(const std::string& stem) {
+  return testing::TempDir() + stem + "." + std::to_string(getpid()) +
+         ".jsonl";
+}
+
+TEST(Shard, MatchesSingleProcessRowByRow) {
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  RunnerOptions options;  // No journal: segments live in a temp dir.
+  const auto single = BenchmarkRunner(options).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.num_workers = 2;
+  ShardCoordinator coordinator(options, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  ExpectIdenticalRows(single, sharded);
+  EXPECT_EQ(coordinator.stats().worker_deaths, 0u);
+  EXPECT_FALSE(coordinator.stats().interrupted);
+}
+
+TEST(Shard, WorkerKillMidRunRecovers) {
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  RunnerOptions options;
+  const auto single = BenchmarkRunner(options).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.num_workers = 2;
+  shard_options.shard_size = 2;
+  shard_options.fault_kill_worker = 0;  // First spawn dies after one task.
+  shard_options.fault_kill_after_tasks = 1;
+  ShardCoordinator coordinator(options, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  // The kill is external to the task (SIGKILL between tasks), so every row
+  // — including the re-dispatched remainder — is byte-identical.
+  ExpectIdenticalRows(single, sharded);
+  const ShardRunStats& stats = coordinator.stats();
+  EXPECT_GE(stats.worker_deaths, 1u);
+  EXPECT_GE(stats.redispatches, 1u);
+  EXPECT_GE(stats.workers_spawned, 3u);  // 2 initial + >=1 replacement.
+  EXPECT_EQ(stats.quarantined, 0u);
+
+  // Worker liveness and deaths are visible on /status via the tracker.
+  const obs::ShardStats shard_stats =
+      obs::DefaultProgressTracker().GetShardStats();
+  EXPECT_TRUE(shard_stats.enabled);
+  EXPECT_GE(shard_stats.worker_deaths, 1u);
+  const std::string status =
+      obs::DefaultProgressTracker().StatusJson("shard-test");
+  EXPECT_NE(status.find("\"shard\":{"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"worker_deaths\":"), std::string::npos) << status;
+}
+
+TEST(Shard, HeartbeatTimeoutRecoversWedgedWorker) {
+  // SIGSTOP freezes the worker without closing its socket: only the
+  // heartbeat timeout can catch it. Generous timeout budget so a loaded
+  // CI machine does not false-positive the healthy workers.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  RunnerOptions options;
+  const auto single = BenchmarkRunner(options).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.num_workers = 2;
+  shard_options.shard_size = 2;
+  shard_options.heartbeat_seconds = 0.05;
+  shard_options.heartbeat_timeout_seconds = 1.0;
+  shard_options.fault_kill_worker = 0;
+  shard_options.fault_kill_after_tasks = 1;
+  shard_options.fault_kill_signal = SIGSTOP;
+  ShardCoordinator coordinator(options, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  ExpectIdenticalRows(single, sharded);
+  EXPECT_GE(coordinator.stats().heartbeat_kills, 1u);
+  EXPECT_GE(coordinator.stats().worker_deaths, 1u);
+}
+
+TEST(Shard, PoisonTaskIsQuarantinedHealthyTasksComplete) {
+  // One task _exit()s its worker from inside Fit (after sleeping past the
+  // heartbeat interval — the worker was observably alive and mid-task).
+  // In-process isolation means the fault takes the whole worker down; the
+  // coordinator must re-dispatch, give up, quarantine, and still finish
+  // every healthy task.
+  std::vector<BenchmarkTask> tasks = SmallGrid();
+  methods::FaultSpec poison;
+  poison.kind = methods::FaultSpec::Kind::kHangThenCrash;
+  poison.sleep_ms = 150.0;  // > heartbeat_seconds below.
+  poison.exit_code = 7;
+  BenchmarkTask poison_task;
+  poison_task.dataset = "synthetic";
+  poison_task.series = SmallSeasonal(300, 7);
+  poison_task.method = "PoisonPill";
+  poison_task.horizon = 6;
+  poison_task.custom_candidates.push_back(
+      {"PoisonPill", methods::MakeFaultyFactory(poison)});
+  tasks.insert(tasks.begin() + 3, std::move(poison_task));
+
+  RunnerOptions options;  // kInProcess: the fault kills the worker.
+  ShardOptions shard_options;
+  shard_options.num_workers = 2;
+  shard_options.shard_size = 2;  // Poison shares a shard with a victim.
+  shard_options.heartbeat_seconds = 0.05;
+  shard_options.max_shard_attempts = 2;
+  shard_options.max_total_spawns = 16;
+  ShardCoordinator coordinator(options, shard_options);
+  const auto rows = coordinator.Run(tasks);
+
+  ASSERT_EQ(rows.size(), tasks.size());
+  const ShardRunStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_GE(stats.worker_deaths, 2u);  // At least: initial + retry.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].method == "PoisonPill") {
+      EXPECT_FALSE(rows[i].ok);
+      EXPECT_NE(rows[i].error.find("CRASHED"), std::string::npos)
+          << rows[i].error;
+      EXPECT_NE(rows[i].error.find("quarantined"), std::string::npos)
+          << rows[i].error;
+    } else {
+      EXPECT_TRUE(rows[i].ok) << rows[i].method << ": " << rows[i].error;
+    }
+  }
+}
+
+TEST(Shard, DrainInterruptsThenResumeCompletes) {
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const std::string journal = TempPath("shard_drain");
+  std::remove(journal.c_str());
+
+  RunnerOptions single_options;
+  single_options.num_threads = 1;
+  const auto single = BenchmarkRunner(single_options).Run(tasks);
+
+  RunnerOptions options;
+  options.journal_path = journal;
+  ShardOptions shard_options;
+  shard_options.num_workers = 2;
+  shard_options.shard_size = 1;
+  shard_options.fault_drain_after_tasks = 3;  // As if SIGTERM after 3 rows.
+  ShardCoordinator first(options, shard_options);
+  const auto interrupted = first.Run(tasks);
+  EXPECT_TRUE(first.stats().interrupted);
+  ASSERT_EQ(interrupted.size(), tasks.size());
+  std::size_t aborted = 0;
+  for (const ResultRow& row : interrupted) {
+    if (row.error.find("ABORTED") != std::string::npos) ++aborted;
+  }
+  EXPECT_GE(aborted, 1u);  // Something was left undone...
+  const std::vector<ResultRow> journaled = LoadJournal(journal);
+  EXPECT_GE(journaled.size(), 3u);  // ...and the finished rows are durable.
+  EXPECT_LT(journaled.size(), tasks.size());
+
+  // Resume: only the unfinished remainder runs; the merged journal is
+  // byte-identical to the single-process run's.
+  options.resume = true;
+  ShardOptions clean_options;
+  clean_options.num_workers = 2;
+  clean_options.shard_size = 1;
+  ShardCoordinator second(options, clean_options);
+  const auto resumed = second.Run(tasks);
+  EXPECT_FALSE(second.stats().interrupted);
+  ExpectIdenticalRows(single, resumed);
+  ExpectIdenticalRows(single, LoadJournal(journal));
+  std::remove(journal.c_str());
+}
+
+TEST(Shard, ScavengesLeftoverSegmentsFromACrashedCoordinator) {
+  // Simulate a coordinator killed after its workers journaled rows into
+  // segments but before the merge: the journal holds a prefix, a leftover
+  // .seg0 holds more rows plus a torn trailing line. A resumed run must
+  // adopt every completed row (journal AND segment), execute only the rest,
+  // and leave a merged journal identical to a clean single-process run.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const std::string journal = TempPath("shard_scavenge");
+  std::remove(journal.c_str());
+
+  RunnerOptions single_options;
+  const auto single = BenchmarkRunner(single_options).Run(tasks);
+  ASSERT_GE(single.size(), 6u);
+
+  // Journal: rows 0-1. Leftover segment: rows 2-3 twice (a re-dispatch
+  // duplicate) and a torn line (worker killed mid-append).
+  {
+    JournalOptions jo;
+    AppendJournal(journal, single[0], jo);
+    AppendJournal(journal, single[1], jo);
+    std::ofstream seg(journal + ".seg0");
+    seg << JournalLine(single[2]) << '\n';
+    seg << JournalLine(single[3]) << '\n';
+    seg << JournalLine(single[3]) << '\n';
+    seg << JournalLine(single[4]).substr(0, 25);  // Torn: no newline, cut.
+  }
+
+  RunnerOptions options;
+  options.journal_path = journal;
+  options.resume = true;
+  ShardOptions shard_options;
+  shard_options.num_workers = 2;
+  ShardCoordinator coordinator(options, shard_options);
+  const auto rows = coordinator.Run(tasks);
+
+  EXPECT_EQ(coordinator.stats().scavenged_segments, 1u);
+  ExpectIdenticalRows(single, rows);
+  ExpectIdenticalRows(single, LoadJournal(journal));
+  // Adopted rows (journal + scavenged segment, torn line discarded) were
+  // returned verbatim, not re-executed: bit-equal including timing fields.
+  EXPECT_EQ(JournalLine(rows[2]), JournalLine(single[2]));
+  EXPECT_EQ(JournalLine(rows[3]), JournalLine(single[3]));
+  std::remove(journal.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Property-style merge test: for ANY split of the grid across two worker
+// segments, any re-dispatch duplication, and a torn trailing line in
+// either segment, merging yields exactly the deduped row set of a clean
+// single-process journal.
+
+TEST(Shard, JournalMergePropertyAnyInterleavingAnyTear) {
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto clean = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+  const std::size_t n = clean.size();
+  std::multiset<std::string> clean_lines;
+  for (const ResultRow& row : clean) clean_lines.insert(JournalLine(row));
+
+  stats::Rng rng(99);
+  const std::string seg_a = TempPath("merge_prop_a");
+  const std::string seg_b = TempPath("merge_prop_b");
+  for (int trial = 0; trial < 40; ++trial) {
+    // Segment A gets rows [0, split); segment B the rest. `dup` rows from
+    // A's range are appended to B as re-dispatch duplicates ("the worker
+    // died after the append, before the ack; the task ran again"). One of
+    // the segments may end in a torn line.
+    const std::size_t split =
+        static_cast<std::size_t>(rng.Uniform()* static_cast<double>(n + 1));
+    const std::size_t dup = static_cast<std::size_t>(
+        rng.Uniform() * static_cast<double>(split + 1));
+    const int tear = static_cast<int>(rng.Uniform() * 3.0);  // 0=no, 1=A, 2=B.
+
+    bool tore = false;
+    std::ofstream a(seg_a, std::ios::trunc);
+    for (std::size_t i = 0; i < split; ++i) {
+      a << JournalLine(clean[i]) << '\n';
+    }
+    if (tear == 1 && split < n) {
+      a << JournalLine(clean[split]).substr(
+          0, JournalLine(clean[split]).size() / 2);
+      tore = true;
+    }
+    a.close();
+    std::ofstream b(seg_b, std::ios::trunc);
+    for (std::size_t i = split; i < n; ++i) {
+      b << JournalLine(clean[i]) << '\n';
+    }
+    for (std::size_t i = 0; i < dup; ++i) {
+      b << JournalLine(clean[i]) << '\n';  // First-completed wins over these.
+    }
+    if (tear == 2 && n > 0) {
+      b << JournalLine(clean[0]).substr(0, 10);
+      tore = true;
+    }
+    b.close();
+
+    std::size_t skipped = 0;
+    const std::vector<ResultRow> merged =
+        LoadJournalSegments({seg_a, seg_b}, &skipped);
+    ASSERT_EQ(merged.size(), n) << "trial " << trial << " split " << split;
+    std::multiset<std::string> merged_lines;
+    for (const ResultRow& row : merged) {
+      merged_lines.insert(JournalLine(row));
+    }
+    EXPECT_EQ(merged_lines, clean_lines) << "trial " << trial;
+    EXPECT_EQ(skipped, tore ? 1u : 0u) << "trial " << trial;
+  }
+  std::remove(seg_a.c_str());
+  std::remove(seg_b.c_str());
+}
+
+TEST(Shard, DedupJournalRowsFirstOccurrenceWins) {
+  ResultRow first;
+  first.dataset = "d";
+  first.method = "m";
+  first.horizon = 6;
+  first.ok = true;
+  first.note = "original";
+  ResultRow second = first;
+  second.note = "re-executed duplicate";
+  ResultRow other = first;
+  other.horizon = 12;
+  const auto deduped = DedupJournalRows({first, second, other});
+  ASSERT_EQ(deduped.size(), 2u);
+  EXPECT_EQ(deduped[0].note, "original");
+  EXPECT_EQ(deduped[1].horizon, 12u);
+}
+
+TEST(Shard, SingleWorkerDegenerateCaseWorks) {
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto single = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+  ShardOptions shard_options;
+  shard_options.num_workers = 1;
+  ShardCoordinator coordinator(RunnerOptions{}, shard_options);
+  ExpectIdenticalRows(single, coordinator.Run(tasks));
+}
+
+}  // namespace
+}  // namespace tfb::pipeline

@@ -110,6 +110,64 @@ TEST(ProcSandbox, StderrTailKeepsOnlyTheLastLines) {
   EXPECT_EQ(r.stderr_tail.find("line 079"), std::string::npos);
 }
 
+TEST(ProcSandbox, TailLinesNeverStartsMidUtf8Character) {
+  // A byte-trimmed capture buffer can start anywhere inside the child's
+  // stream — including between the lead and continuation bytes of a
+  // multi-byte code point. TailLines must step past the orphaned
+  // continuation bytes so the tail begins on a character boundary.
+  const std::string emoji = "\xF0\x9F\x98\x80";  // U+1F600, 4 bytes.
+  const std::string line = "crash in " + emoji + emoji + " handler";
+  for (std::size_t cut = 1; cut < 4; ++cut) {
+    // Tear the stream one, two, and three bytes into the first emoji.
+    const std::string torn = line.substr(line.find(emoji) + cut);
+    const std::string tail = TailLines(torn + "\nlast\n", 5);
+    ASSERT_FALSE(tail.empty());
+    EXPECT_NE((static_cast<unsigned char>(tail.front()) & 0xC0), 0x80)
+        << "cut=" << cut << " tail begins with a continuation byte";
+    // The rest of the line and all later lines survive untouched.
+    EXPECT_NE(tail.find(" handler"), std::string::npos) << tail;
+    EXPECT_NE(tail.find("last"), std::string::npos) << tail;
+    // The second emoji, which was never torn, is intact.
+    EXPECT_NE(tail.find(emoji), std::string::npos) << "cut=" << cut;
+  }
+}
+
+TEST(ProcSandbox, TailLinesLeavesBoundaryAlignedUtf8Intact) {
+  // Two-byte and three-byte text that is *not* torn must pass through
+  // byte-for-byte: the continuation-byte skip only fires on a torn front.
+  const std::string text = "pr\xC3\xA9lude\n\xE2\x86\x92 done\n";
+  EXPECT_EQ(TailLines(text, 5), "pr\xC3\xA9lude\n\xE2\x86\x92 done");
+  // Line-count truncation picks whole lines, so a boundary is guaranteed.
+  EXPECT_EQ(TailLines(text, 1), "\xE2\x86\x92 done");
+}
+
+TEST(ProcSandbox, TailLinesBoundsSkipOnHostileContinuationBytes) {
+  // Input that is nothing but continuation bytes was never valid UTF-8; the
+  // skip is bounded at 3 (the longest legal continuation run) so hostile
+  // garbage cannot erase the whole tail.
+  const std::string hostile(10, '\x80');
+  const std::string tail = TailLines(hostile, 5);
+  EXPECT_EQ(tail, hostile.substr(3));
+}
+
+TEST(ProcSandbox, FloodedMultibyteStderrTailStartsOnCharacterBoundary) {
+  // End-to-end: a child floods stderr with long multi-byte lines so the
+  // supervisor's capture buffer is trimmed from the front at an arbitrary
+  // byte offset. Wherever the trim lands, the surfaced tail must not begin
+  // mid-character.
+  const SandboxResult r = RunInSandbox([]() -> std::string {
+    std::string line;
+    for (int i = 0; i < 511; ++i) line += "\xC3\xA9";  // "é"
+    for (int i = 0; i < 64; ++i) std::fprintf(stderr, "%s\n", line.c_str());
+    std::fflush(stderr);
+    _exit(3);
+  }, {});
+  EXPECT_EQ(r.fate, TaskFate::kExitNonzero);
+  ASSERT_FALSE(r.stderr_tail.empty());
+  EXPECT_NE((static_cast<unsigned char>(r.stderr_tail.front()) & 0xC0), 0x80)
+      << "stderr tail begins with a UTF-8 continuation byte";
+}
+
 TEST(ProcSandbox, QuietChildLeavesStderrTailEmpty) {
   const SandboxResult r =
       RunInSandbox([] { return std::string("quiet"); }, {});
