@@ -13,6 +13,8 @@
 //    "recovery": {"workers": 4, "clean_seconds": ..., "killed_seconds": ...,
 //                 "overhead_pct": ..., "worker_deaths": ...,
 //                 "redispatches": ...},
+//    "transport": {"workers": 4, "socketpair_seconds": ...,
+//                  "tcp_loopback_seconds": ..., "tcp_overhead_pct": ...},
 //    "obs": {"off_seconds": ..., "on_seconds": ..., "overhead_pct": ...}}
 //
 // Honesty note: on a single-core host (hardware_threads == 1, the CI
@@ -100,13 +102,16 @@ struct ShardLeg {
 };
 
 ShardLeg RunShardedSeconds(const std::vector<pipeline::BenchmarkTask>& tasks,
-                           std::size_t workers, int fault_kill_worker = -1) {
+                           std::size_t workers, int fault_kill_worker = -1,
+                           pipeline::ShardTransport transport =
+                               pipeline::ShardTransport::kSocketpair) {
   pipeline::RunnerOptions options;
   options.num_threads = 1;  // Each worker is single-threaded; the worker
                             // count is the parallelism knob under test.
   pipeline::ShardOptions shard;
   shard.num_workers = workers;
   shard.fault_kill_worker = fault_kill_worker;
+  shard.transport = transport;
   pipeline::ShardCoordinator coordinator(options, shard);
   const auto start = Clock::now();
   const auto rows = coordinator.Run(tasks);
@@ -122,7 +127,7 @@ ShardLeg RunShardedSeconds(const std::vector<pipeline::BenchmarkTask>& tasks,
 }  // namespace
 
 int main() {
-  constexpr std::size_t kRepeats = 3;
+  constexpr std::size_t kRepeats = 5;
   const unsigned hardware = std::thread::hardware_concurrency();
   const std::vector<pipeline::BenchmarkTask> tasks = BuildGrid();
   const double n_tasks = static_cast<double>(tasks.size());
@@ -176,10 +181,28 @@ int main() {
   const double clean4_s = seconds_by_workers[2];
   const double killed_s = Median(killed_seconds);
   const double recovery_pct = (killed_s / clean4_s - 1.0) * 100.0;
-  std::printf("\n%-28s %10.4fs  (+%.2f%% vs clean workers=4; deaths=%zu "
+  std::printf("\n%-28s %10.4fs  (%+.2f%% vs clean workers=4; deaths=%zu "
               "redispatches=%zu)\n",
               "workers=4, one worker killed", killed_s, recovery_pct,
               killed_stats.worker_deaths, killed_stats.redispatches);
+
+  // Transport comparison: the same grid at workers=4 over loopback TCP
+  // (tasks marshalled in TASK frames, rows framed + CRC-checked) against
+  // the inherited-socketpair baseline. The budget is ≤10% — on a loopback
+  // the protocol cost is marshalling plus one extra syscall round-trip per
+  // shard, not the network.
+  std::vector<double> tcp_seconds_reps;
+  for (std::size_t i = 0; i < kRepeats; ++i) {
+    tcp_seconds_reps.push_back(
+        RunShardedSeconds(tasks, 4, /*fault_kill_worker=*/-1,
+                          pipeline::ShardTransport::kTcp)
+            .seconds);
+  }
+  const double tcp_s = Median(tcp_seconds_reps);
+  const double tcp_pct = (tcp_s / clean4_s - 1.0) * 100.0;
+  std::printf("%-28s %10.4fs  (%+.2f%% vs socketpair workers=4, "
+              "budget <=10%%)\n",
+              "workers=4, tcp loopback", tcp_s, tcp_pct);
 
   // Observability overhead on the sharded path (metrics + shard stats
   // published per event-loop pass) against the ≤2% DESIGN.md budget.
@@ -197,7 +220,7 @@ int main() {
   std::printf("%-28s off=%.4fs on=%.4fs  (%+.2f%%, budget <=2%%)\n",
               "obs overhead (workers=4)", obs_off_s, obs_on_s, obs_pct);
 
-  char json[1536];
+  char json[2048];
   int off = std::snprintf(
       json, sizeof(json),
       "{\"tasks\": %zu, \"hardware_threads\": %u,\n"
@@ -219,10 +242,13 @@ int main() {
       " \"recovery\": {\"workers\": 4, \"clean_seconds\": %.6f,\n"
       "  \"killed_seconds\": %.6f, \"overhead_pct\": %.2f,\n"
       "  \"worker_deaths\": %zu, \"redispatches\": %zu},\n"
+      " \"transport\": {\"workers\": 4, \"socketpair_seconds\": %.6f,\n"
+      "  \"tcp_loopback_seconds\": %.6f, \"tcp_overhead_pct\": %.2f},\n"
       " \"obs\": {\"off_seconds\": %.6f, \"on_seconds\": %.6f,\n"
       "  \"overhead_pct\": %.2f}}\n",
       clean4_s, killed_s, recovery_pct, killed_stats.worker_deaths,
-      killed_stats.redispatches, obs_off_s, obs_on_s, obs_pct);
+      killed_stats.redispatches, clean4_s, tcp_s, tcp_pct, obs_off_s,
+      obs_on_s, obs_pct);
   std::FILE* out = std::fopen("BENCH_shard.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_shard.json\n");

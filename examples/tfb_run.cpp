@@ -48,6 +48,18 @@
 // worker with spawn index K kill itself after its first completed task
 // (recovery drills, CI smoke).
 //
+// TCP transport (see the "Transport" section of DESIGN.md):
+// `--transport=tcp` moves the coordinator<->worker protocol onto framed,
+// CRC-checked TCP connections. By default the coordinator still forks its
+// workers (they connect over loopback); with `--external-workers` it only
+// listens on `--listen=HOST:PORT` and `tfb_worker --connect=HOST:PORT`
+// processes — on this or any other host — supply the compute. A worker
+// connection that drops is re-queued for free and the worker reconnects
+// with backoff; stale results from a superseded connection are fenced by
+// lease epoch. `--chaos-net=drop,corrupt,short,delay,partition` injects
+// deterministic, seeded network faults into worker send paths (CI chaos
+// smoke); see pipeline::ParseFaultPlan for the spec grammar.
+//
 // Live telemetry:
 //   --serve=9100        embedded HTTP endpoint for the duration of the run:
 //                       curl localhost:9100/status   (JSON progress + ETA)
@@ -108,9 +120,15 @@ int main(int argc, char** argv) {
   long serve_port = -1;  // -1 = flag absent.
   long workers = -1;     // -1 = flag absent (config key decides).
   long chaos_kill_worker = -1;  // Spawn index to fault-kill; -1 = off.
+  std::string transport;   // --transport= overrides the config key.
+  std::string listen;      // --listen=HOST:PORT overrides the config key.
+  std::string chaos_net;   // --chaos-net= overrides the config key.
+  bool external_workers = false;
   const char* usage =
       "usage: tfb_run [config] [--resume] [--isolate=process|in_process]\n"
       "               [--workers=N] [--chaos-kill-worker=K]\n"
+      "               [--transport=socketpair|tcp] [--listen=HOST:PORT]\n"
+      "               [--external-workers] [--chaos-net=SPEC]\n"
       "               [--trace-out=FILE.json] [--metrics-out=FILE[.json]]\n"
       "               [--serve=PORT] [--progress=auto|bar|plain|off]\n"
       "               [--log-level=LEVEL] [--log-json=FILE]\n";
@@ -142,6 +160,19 @@ int main(int argc, char** argv) {
                      argv[i] + 20);
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      transport = argv[i] + 12;
+      if (transport != "socketpair" && transport != "tcp") {
+        std::fprintf(stderr, "bad --transport (socketpair|tcp): %s\n",
+                     transport.c_str());
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--listen=", 9) == 0) {
+      listen = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--external-workers") == 0) {
+      external_workers = true;
+    } else if (std::strncmp(argv[i], "--chaos-net=", 12) == 0) {
+      chaos_net = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -258,9 +289,59 @@ int main(int argc, char** argv) {
     if (chaos_kill_worker >= 0) {
       shard_options.fault_kill_worker = static_cast<int>(chaos_kill_worker);
     }
-    std::printf("sharded execution: %zu worker processes\n",
-                effective_workers);
+    // CLI flags override the transport/listen/chaos config keys.
+    if (transport.empty()) transport = config.transport;
+    if (listen.empty() && (config.listen_host != "127.0.0.1" ||
+                           config.listen_port != 0)) {
+      listen = config.listen_host + ":" + std::to_string(config.listen_port);
+    }
+    if (chaos_net.empty()) chaos_net = config.chaos_net;
+    if (transport == "tcp") {
+      shard_options.transport = pipeline::ShardTransport::kTcp;
+      shard_options.spawn_workers =
+          !(external_workers || config.external_workers);
+    }
+    if (!listen.empty()) {
+      const std::size_t colon = listen.find_last_of(':');
+      shard_options.listen_host =
+          colon == std::string::npos ? listen : listen.substr(0, colon);
+      if (colon != std::string::npos) {
+        const long p = std::strtol(listen.c_str() + colon + 1, nullptr, 10);
+        if (p < 0 || p > 65535) {
+          std::fprintf(stderr, "bad --listen port in %s\n", listen.c_str());
+          return 1;
+        }
+        shard_options.listen_port = static_cast<std::uint16_t>(p);
+      }
+    }
+    if (!chaos_net.empty()) {
+      std::string chaos_error;
+      const auto plan = pipeline::ParseFaultPlan(chaos_net, &chaos_error);
+      if (!plan) {
+        std::fprintf(stderr, "bad --chaos-net: %s\n", chaos_error.c_str());
+        return 1;
+      }
+      shard_options.chaos = *plan;
+      std::printf("network chaos: %s\n",
+                  pipeline::FaultPlanToString(*plan).c_str());
+    }
     pipeline::ShardCoordinator coordinator(runner_options, shard_options);
+    if (shard_options.transport == pipeline::ShardTransport::kTcp) {
+      std::string bind_error;
+      if (!coordinator.BindListener(&bind_error)) {
+        std::fprintf(stderr, "--listen failed: %s\n", bind_error.c_str());
+        return 1;
+      }
+      std::printf("sharded execution: %zu workers over tcp %s:%u%s\n",
+                  effective_workers, shard_options.listen_host.c_str(),
+                  static_cast<unsigned>(coordinator.listen_port()),
+                  shard_options.spawn_workers
+                      ? ""
+                      : " (waiting for external tfb_worker processes)");
+    } else {
+      std::printf("sharded execution: %zu worker processes\n",
+                  effective_workers);
+    }
     rows = coordinator.Run(tasks);
     const pipeline::ShardRunStats& stats = coordinator.stats();
     if (stats.worker_deaths > 0 || stats.interrupted) {
@@ -269,6 +350,13 @@ int main(int argc, char** argv) {
                   stats.worker_deaths, stats.redispatches, stats.shard_splits,
                   stats.quarantined,
                   stats.interrupted ? " (run interrupted)" : "");
+    }
+    if (stats.reconnects > 0 || stats.disconnects > 0 ||
+        stats.fenced_completions > 0 || stats.corrupt_frames > 0) {
+      std::printf("transport recovery: %zu disconnect(s), %zu reconnect(s), "
+                  "%zu fenced completion(s), %zu corrupt frame(s)\n",
+                  stats.disconnects, stats.reconnects,
+                  stats.fenced_completions, stats.corrupt_frames);
     }
   } else {
     rows = pipeline::BenchmarkRunner(runner_options).Run(tasks);

@@ -1,0 +1,96 @@
+// tfb_worker: a standalone shard worker for multi-host benchmark runs.
+//
+// The coordinator side (`tfb_run --workers=N --transport=tcp
+// --external-workers --listen=0.0.0.0:PORT`) listens and dispatches; this
+// binary connects, receives its tasks over the wire (framed, CRC-checked;
+// see src/tfb/pipeline/transport.h), computes, and streams result rows
+// back. It holds no journal and writes nothing locally — durability is the
+// coordinator's job, which makes a worker freely killable: on connection
+// loss it reconnects with capped exponential backoff under a fresh lease
+// epoch, and any stale rows it replays are fenced by the coordinator.
+//
+// Usage:
+//   ./build/examples/tfb_worker --connect=HOST:PORT
+//       [--retry-backoff-ms=MS] [--retry-backoff-max-ms=MS]
+//       [--max-connect-failures=N] [--chaos-net=SPEC]
+//
+// Exit codes: 0 after the coordinator's QUIT, 1 when the connect budget is
+// exhausted (coordinator gone or unreachable).
+//
+// --chaos-net injects deterministic, seeded faults into this worker's send
+// path (drop, corrupt, short writes, delays, partitions) — the same spec
+// grammar as tfb_run's flag; used by the network-chaos CI smoke job.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tfb/pipeline/shard_worker.h"
+#include "tfb/pipeline/transport.h"
+
+int main(int argc, char** argv) {
+  using namespace tfb;
+
+  pipeline::TcpWorkerOptions options;
+  bool have_endpoint = false;
+  const char* usage =
+      "usage: tfb_worker --connect=HOST:PORT\n"
+      "                  [--retry-backoff-ms=MS] [--retry-backoff-max-ms=MS]\n"
+      "                  [--max-connect-failures=N] [--chaos-net=SPEC]\n";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      const std::string endpoint = argv[i] + 10;
+      const std::size_t colon = endpoint.find_last_of(':');
+      if (colon == std::string::npos || colon == 0) {
+        std::fprintf(stderr, "bad --connect endpoint (need HOST:PORT): %s\n",
+                     endpoint.c_str());
+        return 1;
+      }
+      char* end = nullptr;
+      const long port = std::strtol(endpoint.c_str() + colon + 1, &end, 10);
+      if (*end != '\0' || port <= 0 || port > 65535) {
+        std::fprintf(stderr, "bad --connect port in %s\n", endpoint.c_str());
+        return 1;
+      }
+      options.host = endpoint.substr(0, colon);
+      options.port = static_cast<std::uint16_t>(port);
+      have_endpoint = true;
+    } else if (std::strncmp(argv[i], "--retry-backoff-ms=", 19) == 0) {
+      options.loop.retry_backoff_ms = std::strtod(argv[i] + 19, nullptr);
+    } else if (std::strncmp(argv[i], "--retry-backoff-max-ms=", 23) == 0) {
+      options.loop.retry_backoff_max_ms = std::strtod(argv[i] + 23, nullptr);
+    } else if (std::strncmp(argv[i], "--max-connect-failures=", 23) == 0) {
+      const long n = std::strtol(argv[i] + 23, nullptr, 10);
+      if (n <= 0) {
+        std::fprintf(stderr, "bad --max-connect-failures: %s\n",
+                     argv[i] + 23);
+        return 1;
+      }
+      options.loop.max_connect_failures = static_cast<std::size_t>(n);
+    } else if (std::strncmp(argv[i], "--chaos-net=", 12) == 0) {
+      std::string error;
+      const auto plan = pipeline::ParseFaultPlan(argv[i] + 12, &error);
+      if (!plan) {
+        std::fprintf(stderr, "bad --chaos-net: %s\n", error.c_str());
+        return 1;
+      }
+      options.loop.chaos = *plan;
+    } else {
+      std::fprintf(stderr, "%s", usage);
+      return 1;
+    }
+  }
+  if (!have_endpoint) {
+    std::fprintf(stderr, "%s", usage);
+    return 1;
+  }
+  std::printf("tfb_worker: connecting to %s:%u\n", options.host.c_str(),
+              static_cast<unsigned>(options.port));
+  const int rc = pipeline::RunTcpShardWorker(options);
+  if (rc != 0) {
+    std::fprintf(stderr,
+                 "tfb_worker: connect budget exhausted; coordinator gone?\n");
+  }
+  return rc;
+}

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "tfb/obs/log.h"
 
@@ -138,7 +139,9 @@ base::Status HttpExporter::Start() {
     return base::Status::Internal("bind " + options_.bind_address + ":" +
                                   std::to_string(options_.port) + ": " + err);
   }
-  if (listen(listen_fd_, 16) != 0) {
+  // Full system backlog: a scrape burst (several dashboards + CI probes)
+  // must queue, not get connection-refused.
+  if (listen(listen_fd_, SOMAXCONN) != 0) {
     const std::string err = std::strerror(errno);
     CloseIfOpen(&listen_fd_);
     return base::Status::Internal("listen: " + err);
@@ -188,7 +191,15 @@ void HttpExporter::Serve() {
     if ((pfds[1].revents & POLLIN) != 0) break;  // Stop() pinged us.
     if ((pfds[0].revents & POLLIN) == 0) continue;
     const int client = accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
+    if (client < 0) {
+      // Out of descriptors (the benchmark's own fds + a scrape burst):
+      // transient — back off briefly so pending connections drain as fds
+      // free up, instead of spinning on a hot poll/accept-fail loop.
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      continue;
+    }
     Handle(client);
     close(client);
   }

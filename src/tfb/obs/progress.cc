@@ -322,7 +322,9 @@ std::string ProgressTracker::StatusJson(const std::string& run_id) const {
   if (shard_stats_.enabled) {
     const ShardStats& sh = shard_stats_;
     out += ",\"shard\":{";
-    out += "\"workers\":" + std::to_string(sh.workers);
+    out += "\"transport\":";
+    AppendJsonString(&out, sh.transport.empty() ? "socketpair" : sh.transport);
+    out += ",\"workers\":" + std::to_string(sh.workers);
     out += ",\"workers_live\":" + std::to_string(sh.workers_live);
     out += ",\"workers_spawned\":" + std::to_string(sh.workers_spawned);
     out += ",\"worker_deaths\":" + std::to_string(sh.worker_deaths);
@@ -330,6 +332,11 @@ std::string ProgressTracker::StatusJson(const std::string& run_id) const {
     out += ",\"shards_completed\":" + std::to_string(sh.shards_completed);
     out += ",\"redispatches\":" + std::to_string(sh.redispatches);
     out += ",\"quarantined\":" + std::to_string(sh.quarantined);
+    out += ",\"connections\":" + std::to_string(sh.connections);
+    out += ",\"reconnects\":" + std::to_string(sh.reconnects);
+    out += ",\"disconnects\":" + std::to_string(sh.disconnects);
+    out += ",\"fenced_completions\":" + std::to_string(sh.fenced_completions);
+    out += ",\"corrupt_frames\":" + std::to_string(sh.corrupt_frames);
     out += '}';
   }
   out += '}';

@@ -55,6 +55,7 @@ struct MethodTally {
 /// still sees the final numbers.
 struct ShardStats {
   bool enabled = false;
+  std::string transport;            ///< "socketpair" | "tcp".
   std::size_t workers = 0;          ///< Configured worker-process count.
   std::size_t workers_live = 0;
   std::size_t workers_spawned = 0;  ///< Including respawns after deaths.
@@ -63,6 +64,13 @@ struct ShardStats {
   std::size_t shards_completed = 0;
   std::size_t redispatches = 0;     ///< Shards re-queued after a death.
   std::size_t quarantined = 0;      ///< Poison tasks given CRASHED rows.
+
+  // Transport health (see pipeline::ShardRunStats for semantics).
+  std::size_t connections = 0;
+  std::size_t reconnects = 0;
+  std::size_t disconnects = 0;
+  std::size_t fenced_completions = 0;
+  std::size_t corrupt_frames = 0;
 };
 
 /// Point-in-time view of the run, as exposed on /status.

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "tfb/datagen/registry.h"
+#include "tfb/pipeline/transport.h"
 
 namespace tfb::pipeline {
 
@@ -153,6 +154,37 @@ std::optional<BenchmarkConfig> ParseConfig(const std::string& text,
       config.workers = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "shard_size") {
       config.shard_size = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "transport") {
+      if (value != "socketpair" && value != "tcp") {
+        return fail("transport must be socketpair or tcp");
+      }
+      config.transport = value;
+    } else if (key == "listen") {
+      const std::size_t colon = value.find_last_of(':');
+      std::string host = value;
+      std::string port_text;
+      if (colon != std::string::npos) {
+        host = value.substr(0, colon);
+        port_text = value.substr(colon + 1);
+      }
+      if (host.empty()) return fail("bad listen endpoint: " + value);
+      config.listen_host = host;
+      if (!port_text.empty()) {
+        char* end = nullptr;
+        const long port = std::strtol(port_text.c_str(), &end, 10);
+        if (*end != '\0' || port < 0 || port > 65535) {
+          return fail("bad listen port: " + port_text);
+        }
+        config.listen_port = static_cast<std::size_t>(port);
+      }
+    } else if (key == "external_workers") {
+      if (!ParseBool(value, &config.external_workers)) return fail("bad bool");
+    } else if (key == "chaos_net") {
+      std::string chaos_error;
+      if (!ParseFaultPlan(value, &chaos_error)) {
+        return fail("bad chaos_net: " + chaos_error);
+      }
+      config.chaos_net = value;
     } else if (key == "fallback") {
       config.fallback = value;
     } else if (key == "journal") {
@@ -273,6 +305,17 @@ std::string ConfigToString(const BenchmarkConfig& config) {
   if (config.workers != 0) os << "workers = " << config.workers << '\n';
   if (config.shard_size != 0) {
     os << "shard_size = " << config.shard_size << '\n';
+  }
+  if (config.transport != "socketpair") {
+    os << "transport = " << config.transport << '\n';
+  }
+  if (config.listen_host != "127.0.0.1" || config.listen_port != 0) {
+    os << "listen = " << config.listen_host << ':' << config.listen_port
+       << '\n';
+  }
+  if (config.external_workers) os << "external_workers = true\n";
+  if (!config.chaos_net.empty()) {
+    os << "chaos_net = " << config.chaos_net << '\n';
   }
   if (!config.fallback.empty()) os << "fallback = " << config.fallback << '\n';
   if (!config.journal.empty()) os << "journal = " << config.journal << '\n';

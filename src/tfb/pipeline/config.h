@@ -61,6 +61,20 @@ struct BenchmarkConfig {
   std::size_t workers = 0;
   /// Tasks per shard under sharded execution; 0 = auto-sized.
   std::size_t shard_size = 0;
+  /// Worker transport under sharded execution ("transport = socketpair" or
+  /// "tcp"; CLI `--transport=`). See pipeline::ShardTransport.
+  std::string transport = "socketpair";
+  /// TCP listen endpoint ("listen = host:port" / `--listen=`); port 0 binds
+  /// an ephemeral port. Only meaningful with transport = tcp.
+  std::string listen_host = "127.0.0.1";
+  std::size_t listen_port = 0;
+  /// Accept external `tfb_worker` processes only instead of forking local
+  /// loopback workers ("external_workers = true"; CLI `--external-workers`).
+  bool external_workers = false;
+  /// Deterministic network-fault injection spec applied to worker send
+  /// paths ("chaos_net = drop,corrupt,partition" / `--chaos-net=`); "" =
+  /// disabled. See pipeline::ParseFaultPlan for the grammar.
+  std::string chaos_net;
   std::string fallback;            ///< Fallback method name; "" = disabled.
   std::string journal;             ///< JSONL journal path; "" = no journal.
   bool journal_fsync = false;      ///< fsync the journal after every row.

@@ -6,6 +6,7 @@
 #include <poll.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/syscall.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -16,7 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -29,6 +30,8 @@
 #include "tfb/obs/metrics.h"
 #include "tfb/obs/progress.h"
 #include "tfb/pipeline/journal.h"
+#include "tfb/pipeline/shard_worker.h"
+#include "tfb/pipeline/wire.h"
 
 namespace tfb::pipeline {
 namespace {
@@ -72,45 +75,6 @@ std::size_t DrainShutdownPipe() {
   return total;
 }
 
-// ---------------------------------------------------------------------------
-// Wire protocol: newline-delimited text over a per-worker socketpair.
-//   worker -> coordinator:  "h"                       heartbeat
-//                           "s <slot>"                task started
-//                           "t <slot> <ok> <fb> <s>"  task finished (row is
-//                                                     already in the segment)
-//                           "d <shard_id>"            shard done, now idle
-//   coordinator -> worker:  "g <shard_id> <slot>..."  shard grant
-//                           "q"                       quit
-
-bool SendAll(int fd, const std::string& line) {
-  const char* p = line.data();
-  std::size_t left = line.size();
-  while (left > 0) {
-    const ssize_t n = send(fd, p, left, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += n;
-    left -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-// Parses whitespace-separated size_t fields after a one-char tag.
-std::vector<std::size_t> ParseFields(const std::string& line) {
-  std::vector<std::size_t> out;
-  const char* p = line.c_str() + 1;
-  char* end = nullptr;
-  for (;;) {
-    const unsigned long long v = std::strtoull(p, &end, 10);
-    if (end == p) break;
-    out.push_back(static_cast<std::size_t>(v));
-    p = end;
-  }
-  return out;
-}
-
 // Leftover "<stem>.seg*" files next to the journal (or temp segment base):
 // the durable remains of a previous run that crashed before its merge.
 std::vector<std::string> ExistingSegments(const std::string& base) {
@@ -124,7 +88,15 @@ std::vector<std::string> ExistingSegments(const std::string& base) {
   const std::string prefix = stem + ".seg";
   std::vector<std::string> out;
   DIR* d = opendir(dir.c_str());
-  if (d == nullptr) return out;
+  if (d == nullptr) {
+    // A resume that cannot list the journal directory would silently drop
+    // every crashed-run segment; surface the why (usually permissions).
+    obs::DefaultLogger().Warn(
+        "shard: cannot scan for leftover segments",
+        {{"dir", dir}, {"errno", std::to_string(errno)},
+         {"error", std::strerror(errno)}});
+    return out;
+  }
   while (dirent* e = readdir(d)) {
     const std::string name = e->d_name;
     if (name.size() > prefix.size() &&
@@ -138,134 +110,38 @@ std::vector<std::string> ExistingSegments(const std::string& base) {
 }
 
 // ---------------------------------------------------------------------------
-// Worker side.
-
-struct WorkerConfig {
-  int fd = -1;
-  std::size_t spawn_index = 0;
-  std::string segment_path;
-};
-
-// Runs in the fork()ed child (which inherited the whole task grid — no
-// marshalling): pulls shard grants off the socket, executes tasks with a
-// journal-less BenchmarkRunner, appends every finished row to this worker's
-// own segment *before* reporting it — by the time the coordinator marks a
-// task done, its row is durable — and heartbeats from a side thread so a
-// long-computing task is never mistaken for a dead worker. Never returns.
-[[noreturn]] void WorkerMain(const WorkerConfig& cfg,
-                             const RunnerOptions& parent_options,
-                             const ShardOptions& shard_options,
-                             const std::vector<BenchmarkTask>& tasks) {
-  // Ctrl-C goes to the whole foreground group; drain is the coordinator's
-  // decision, so workers ignore SIGINT and wait for "q".
-  std::signal(SIGINT, SIG_IGN);
-  std::signal(SIGTERM, SIG_DFL);
-
-  RunnerOptions options = parent_options;
-  options.journal_path.clear();  // Rows go to the segment, not the journal.
-  options.journal_fsync = false;
-  options.resume = false;
-  options.progress = obs::ProgressMode::kOff;
-  options.verbose = false;
-  const BenchmarkRunner runner(options);
-
-  std::mutex send_mutex;  // Heartbeat thread and main loop share the socket.
-  auto send_line = [&](const std::string& line) {
-    const std::lock_guard<std::mutex> lock(send_mutex);
-    return SendAll(cfg.fd, line);
-  };
-
-  std::atomic<bool> stop_heartbeat{false};
-  std::thread heartbeat([&] {
-    const auto period = std::chrono::duration<double>(
-        shard_options.heartbeat_seconds > 0.0 ? shard_options.heartbeat_seconds
-                                              : 0.25);
-    while (!stop_heartbeat.load(std::memory_order_relaxed)) {
-      if (!send_line("h\n")) break;  // Coordinator gone; stop beating.
-      std::this_thread::sleep_for(period);
-    }
-  });
-
-  JournalOptions journal_options;
-  journal_options.fsync_each_row = parent_options.journal_fsync;
-
-  std::size_t tasks_done = 0;
-  std::string buffer;
-  char chunk[4096];
-  bool quit = false;
-  while (!quit) {
-    const ssize_t n = recv(cfg.fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) break;  // Coordinator died; orphaned work is pointless.
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t pos;
-    while (!quit && (pos = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, pos);
-      buffer.erase(0, pos + 1);
-      if (line == "q") {
-        quit = true;
-        break;
-      }
-      if (line.empty() || line[0] != 'g') continue;
-      const std::vector<std::size_t> fields = ParseFields(line);
-      if (fields.empty()) continue;
-      const std::size_t shard_id = fields[0];
-      for (std::size_t i = 1; i < fields.size(); ++i) {
-        const std::size_t slot = fields[i];
-        if (slot >= tasks.size()) continue;
-        send_line("s " + std::to_string(slot) + "\n");
-        const auto started = Clock::now();
-        const ResultRow row = runner.RunOne(tasks[slot]);
-        const double seconds =
-            std::chrono::duration<double>(Clock::now() - started).count();
-        if (!AppendJournal(cfg.segment_path, row, journal_options)) {
-          _exit(3);  // A row we cannot make durable must not be marked done.
-        }
-        char msg[96];
-        std::snprintf(msg, sizeof(msg), "t %zu %d %d %.6f\n", slot,
-                      row.ok ? 1 : 0, row.used_fallback ? 1 : 0, seconds);
-        send_line(msg);
-        ++tasks_done;
-        if (shard_options.fault_kill_worker >= 0 &&
-            cfg.spawn_index ==
-                static_cast<std::size_t>(shard_options.fault_kill_worker) &&
-            tasks_done >= shard_options.fault_kill_after_tasks) {
-          // Chaos hook: die (or freeze, for SIGSTOP) mid-shard with the
-          // completed rows already durable in the segment.
-          raise(shard_options.fault_kill_signal);
-        }
-      }
-      send_line("d " + std::to_string(shard_id) + "\n");
-    }
-  }
-  stop_heartbeat.store(true, std::memory_order_relaxed);
-  heartbeat.join();
-  _exit(0);
-}
-
-// ---------------------------------------------------------------------------
-// Coordinator side.
+// Coordinator-side state.
 
 struct Shard {
   std::size_t id = 0;
   std::vector<std::size_t> slots;  // Task indices, ascending.
-  std::size_t attempts = 0;        // Dispatch count (incremented on grant).
+  std::size_t attempts = 0;        // Death-burning dispatch count.
 };
 
-struct Worker {
-  pid_t pid = -1;
-  int fd = -1;  // Coordinator side of the socketpair; -1 once dead.
-  std::size_t spawn_index = 0;
-  Clock::time_point last_heartbeat{};
+// One worker *connection* — the unit the lease epoch is attached to. A
+// worker process may own several connections over its life (reconnects);
+// each gets a fresh epoch and its own journal segment.
+struct Connection {
+  std::unique_ptr<Transport> transport;
+  std::uint64_t epoch = 0;  // Assigned at WELCOME; 0 while unwelcomed.
+  pid_t pid = -1;           // From HELLO; matches a Child for forked workers.
+  Clock::time_point last_seen{};
+  bool welcomed = false;
   bool has_shard = false;
   Shard shard;
   std::unordered_set<std::size_t> started;  // Started, not yet finished.
-  std::string buffer;  // Partial protocol line.
   bool quit_sent = false;
   bool dead = false;
+  std::string segment_path;  // "<base>.seg<epoch>".
+};
+
+// One fork()ed worker process (socketpair workers and local TCP workers).
+// External tfb_worker processes have no Child record.
+struct Child {
+  pid_t pid = -1;
+  std::size_t spawn_index = 0;
+  bool exited = false;
+  bool quit_expected = false;  // QUIT sent (or shutdown): exit is not a death.
 };
 
 }  // namespace
@@ -273,6 +149,20 @@ struct Worker {
 void RequestShardShutdown() {
   EnsureShutdownPipe();
   TfbShardShutdownHandler(0);
+}
+
+bool ShardCoordinator::BindListener(std::string* error) {
+  if (shard_options_.transport != ShardTransport::kTcp) return true;
+  if (listener_ != nullptr) return true;
+  listener_ = TcpListener::Listen(shard_options_.listen_host,
+                                  shard_options_.listen_port, error);
+  if (listener_ == nullptr) return false;
+  fcntl(listener_->fd(), F_SETFL, O_NONBLOCK);
+  return true;
+}
+
+std::uint16_t ShardCoordinator::listen_port() const {
+  return listener_ != nullptr ? listener_->port() : 0;
 }
 
 std::vector<ResultRow> ShardCoordinator::Run(
@@ -284,6 +174,30 @@ std::vector<ResultRow> ShardCoordinator::Run(
   const bool observed = obs::Enabled();
   obs::Registry& registry = obs::DefaultRegistry();
   obs::ProgressTracker& tracker = obs::DefaultProgressTracker();
+
+  const bool tcp = shard_options_.transport == ShardTransport::kTcp;
+  // Whether this coordinator forks its own workers (always, except a pure
+  // listen-only TCP run fed by external tfb_worker processes).
+  const bool spawning = !tcp || shard_options_.spawn_workers;
+  const char* transport_name = tcp ? "tcp" : "socketpair";
+
+  if (tcp) {
+    std::string error;
+    if (!BindListener(&error)) {
+      obs::DefaultLogger().Error("shard: cannot bind TCP listener",
+                                 {{"error", error}});
+      for (std::size_t slot = 0; slot < total; ++slot) {
+        rows[slot].dataset = tasks[slot].dataset;
+        rows[slot].method = tasks[slot].method;
+        rows[slot].horizon = tasks[slot].horizon;
+        rows[slot].ok = false;
+        rows[slot].error =
+            base::Status::Internal("shard listener bind failed: " + error)
+                .ToString();
+      }
+      return rows;
+    }
+  }
 
   // --- Segment base: next to the journal, or in a temp dir without one ---
   const std::string journal_path = runner_options_.journal_path;
@@ -339,6 +253,7 @@ std::vector<ResultRow> ShardCoordinator::Run(
   }
   std::vector<std::size_t> pending;
   pending.reserve(total);
+  std::vector<std::size_t> unmarshallable;
   std::size_t resumed = 0;
   for (std::size_t slot = 0; slot < total; ++slot) {
     const auto it =
@@ -351,6 +266,21 @@ std::vector<ResultRow> ShardCoordinator::Run(
       rows[slot] = prior_rows[it->second];
       adopted[slot] = true;
       ++resumed;
+    } else if (tcp && !TaskIsMarshallable(tasks[slot])) {
+      // A task built around in-memory factories cannot cross the wire;
+      // reject it up front (not journaled — a socketpair resume can still
+      // execute it) instead of corrupting dispatch.
+      ResultRow& row = rows[slot];
+      row.dataset = tasks[slot].dataset;
+      row.method = tasks[slot].method;
+      row.horizon = tasks[slot].horizon;
+      row.ok = false;
+      row.error = base::Status::Internal(
+                      "task with custom candidates cannot be marshalled "
+                      "over the tcp transport")
+                      .ToString();
+      row.note = "rejected by shard coordinator (not marshallable)";
+      unmarshallable.push_back(slot);
     } else {
       pending.push_back(slot);
     }
@@ -385,10 +315,14 @@ std::vector<ResultRow> ShardCoordinator::Run(
 
   tracker.SetDisplay(runner_options_.progress);
   tracker.BeginRun(total, resumed);
+  for (const std::size_t slot : unmarshallable) {
+    tracker.TaskFinished(tasks[slot].method, /*ok=*/false,
+                         /*used_fallback=*/false, 0.0);
+  }
 
   std::vector<bool> done_slot(total, false);
   std::size_t resolved = 0;  // Pending slots finished or quarantined.
-  std::size_t executed = 0;  // "t" messages accepted.
+  std::size_t executed = 0;  // ROW frames accepted.
   std::size_t shards_completed = 0;
   std::size_t shutdown_requests = 0;
   bool draining = false;
@@ -400,75 +334,192 @@ std::vector<ResultRow> ShardCoordinator::Run(
       shard_options_.max_total_spawns > 0 ? shard_options_.max_total_spawns
                                           : 4 * num_workers;
   const std::string quarantine_segment = segment_base + ".segc";
-  std::vector<std::string> segment_paths;  // Spawn order; merged first-wins.
+  std::vector<std::string> segment_paths;  // Epoch order; merged first-wins.
   JournalOptions journal_options;
   journal_options.fsync_each_row = runner_options_.journal_fsync;
 
-  std::vector<Worker> workers;
-  workers.reserve(max_spawns);
-  std::size_t live = 0;
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::vector<Child> children;
+  std::size_t live_children = 0;
+  std::uint64_t next_epoch = 1;
+  const std::string options_blob = SerializeWorkerOptions(runner_options_);
+  const std::string connect_host = shard_options_.listen_host == "0.0.0.0"
+                                       ? "127.0.0.1"
+                                       : shard_options_.listen_host;
+
+  auto live_connections = [&] {
+    std::size_t n = 0;
+    for (const auto& c : conns) {
+      if (!c->dead && c->welcomed) ++n;
+    }
+    return n;
+  };
 
   auto publish_shard_stats = [&] {
     obs::ShardStats s;
     s.enabled = true;
+    s.transport = transport_name;
     s.workers = num_workers;
-    s.workers_live = live;
+    s.workers_live = spawning ? live_children : live_connections();
     s.workers_spawned = stats_.workers_spawned;
     s.worker_deaths = stats_.worker_deaths;
     s.shards_total = shards_total;
     s.shards_completed = shards_completed;
     s.redispatches = stats_.redispatches;
     s.quarantined = stats_.quarantined;
+    s.connections = stats_.connections;
+    s.reconnects = stats_.reconnects;
+    s.disconnects = stats_.disconnects;
+    s.fenced_completions = stats_.fenced_completions;
+    s.corrupt_frames = stats_.corrupt_frames;
     tracker.SetShardStats(s);
     if (observed) {
       registry.GetGauge("tfb_shard_workers_live")
-          .Set(static_cast<double>(live));
+          .Set(static_cast<double>(s.workers_live));
     }
   };
 
+  auto make_loop_config = [&](std::size_t spawn_index) {
+    WorkerLoopConfig cfg;
+    cfg.spawn_index = spawn_index;
+    cfg.fault_kill_worker = shard_options_.fault_kill_worker;
+    cfg.fault_kill_after_tasks = shard_options_.fault_kill_after_tasks;
+    cfg.fault_kill_signal = shard_options_.fault_kill_signal;
+    cfg.heartbeat_seconds = shard_options_.heartbeat_seconds;
+    cfg.retry_backoff_ms = runner_options_.retry_backoff_ms;
+    cfg.retry_backoff_max_ms = runner_options_.retry_backoff_max_ms;
+    cfg.chaos = shard_options_.chaos;
+    return cfg;
+  };
+
+  // Forked children inherit every coordinator-side descriptor; keeping a
+  // sibling's fd open would mask its EOF from the coordinator forever, and
+  // an inherited listener would keep the port alive past the coordinator.
+  auto close_inherited_in_child = [&] {
+    for (const auto& c : conns) {
+      if (!c->dead && c->transport != nullptr && c->transport->fd() >= 0) {
+        close(c->transport->fd());
+      }
+    }
+    if (listener_ != nullptr) listener_->Close();
+  };
+
   auto spawn_worker = [&]() -> bool {
+    if (!spawning) return false;
     if (stats_.workers_spawned >= max_spawns) {
       stats_.spawn_budget_exhausted = true;
       return false;
     }
-    int fds[2];
-    if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
-    WorkerConfig cfg;
-    cfg.fd = fds[1];
-    cfg.spawn_index = stats_.workers_spawned;
-    cfg.segment_path =
-        segment_base + ".seg" + std::to_string(cfg.spawn_index);
-    const pid_t pid = fork();
-    if (pid < 0) {
-      close(fds[0]);
-      close(fds[1]);
-      return false;
-    }
-    if (pid == 0) {
-      close(fds[0]);
-      // Siblings' coordinator-side fds were inherited; keeping them open
-      // would mask a sibling's EOF from the coordinator forever.
-      for (const Worker& w : workers) {
-        if (!w.dead && w.fd >= 0) close(w.fd);
+    const std::size_t spawn_index = stats_.workers_spawned;
+    pid_t pid = -1;
+    if (!tcp) {
+      int fds[2];
+      if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
+      pid = fork();
+      if (pid < 0) {
+        close(fds[0]);
+        close(fds[1]);
+        return false;
       }
-      WorkerMain(cfg, runner_options_, shard_options_, tasks);  // No return.
+      if (pid == 0) {
+        close(fds[0]);
+        close_inherited_in_child();
+        _exit(RunSocketpairWorker(fds[1], make_loop_config(spawn_index),
+                                  tasks));
+      }
+      close(fds[1]);
+      fcntl(fds[0], F_SETFL, O_NONBLOCK);
+      fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+      auto conn = std::make_unique<Connection>();
+      conn->transport = MakeFdTransport(
+          fds[0], "socketpair:" + std::to_string(spawn_index));
+      conn->pid = pid;
+      conn->last_seen = Clock::now();
+      conns.push_back(std::move(conn));
+    } else {
+      const std::uint16_t port = listener_->port();
+      pid = fork();
+      if (pid < 0) return false;
+      if (pid == 0) {
+        close_inherited_in_child();
+        TcpWorkerOptions worker_options;
+        worker_options.host = connect_host;
+        worker_options.port = port;
+        worker_options.loop = make_loop_config(spawn_index);
+        _exit(RunTcpShardWorker(worker_options));
+      }
     }
-    close(fds[1]);
-    fcntl(fds[0], F_SETFL, O_NONBLOCK);
-    fcntl(fds[0], F_SETFD, FD_CLOEXEC);
-    Worker w;
-    w.pid = pid;
-    w.fd = fds[0];
-    w.spawn_index = cfg.spawn_index;
-    w.last_heartbeat = Clock::now();
-    workers.push_back(std::move(w));
-    segment_paths.push_back(cfg.segment_path);
+    children.push_back(Child{pid, spawn_index, false, false});
     ++stats_.workers_spawned;
-    ++live;
+    ++live_children;
     if (observed) {
       registry.GetCounter("tfb_shard_workers_spawned_total").Increment();
     }
     return true;
+  };
+
+  auto find_child = [&](pid_t pid) -> Child* {
+    if (pid < 0) return nullptr;
+    for (Child& child : children) {
+      if (child.pid == pid) return &child;
+    }
+    return nullptr;
+  };
+
+  // Called exactly once per child when its exit is first observed (an EOF
+  // fence or the WNOHANG sweep). Owns rusage accounting, death stats, and
+  // the replacement-spawn decision.
+  auto reap_child = [&](Child& child, int status, const struct rusage& usage,
+                        bool from_heartbeat) {
+    child.exited = true;
+    --live_children;
+    // Exact per-child accounting from the kernel via wait4(2).
+    const double cpu =
+        static_cast<double>(usage.ru_utime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec) * 1e-6 +
+        static_cast<double>(usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+    const double rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+    worker_cpu_seconds += cpu;
+    worker_peak_rss_mb = std::max(worker_peak_rss_mb, rss_mb);
+    if (observed) {
+      registry.GetCounter("tfb_shard_worker_cpu_seconds_total")
+          .Increment(cpu);
+      registry.GetGauge("tfb_shard_worker_peak_rss_mb")
+          .Set(worker_peak_rss_mb);
+    }
+    if (child.quit_expected) return;  // Clean, commanded exit.
+    ++stats_.worker_deaths;
+    if (from_heartbeat) ++stats_.heartbeat_kills;
+    if (observed) {
+      registry.GetCounter("tfb_shard_worker_deaths_total").Increment();
+      if (from_heartbeat) {
+        registry.GetCounter("tfb_shard_heartbeat_kills_total").Increment();
+      }
+    }
+    obs::DefaultLogger().Warn(
+        "shard: worker died",
+        {{"pid", std::to_string(child.pid)},
+         {"spawn", std::to_string(child.spawn_index)},
+         {"via", from_heartbeat ? "heartbeat-timeout" : "exit"},
+         {"status", std::to_string(status)}});
+    // Replace the casualty while work remains and the budget allows.
+    if (!draining && !hard_killed && resolved < pending.size()) {
+      spawn_worker();
+    }
+  };
+
+  auto sweep_children = [&] {
+    for (Child& child : children) {
+      if (child.exited) continue;
+      int status = 0;
+      struct rusage usage;
+      std::memset(&usage, 0, sizeof(usage));
+      const pid_t r = wait4(child.pid, &status, WNOHANG, &usage);
+      if (r == child.pid) {
+        reap_child(child, status, usage, /*from_heartbeat=*/false);
+      }
+    }
   };
 
   auto quarantine = [&](std::size_t slot, std::size_t deaths) {
@@ -500,164 +551,294 @@ std::vector<ResultRow> ShardCoordinator::Run(
          {"horizon", std::to_string(row.horizon)}});
   };
 
-  auto grant = [&](Worker& w) {
-    if (queue.empty() || draining || w.quit_sent) return;
+  // Tears one connection down and re-queues its unfinished work. The
+  // consequences depend on *why* it died: a worker-process death burns a
+  // shard attempt (the poison-search currency); a bare connection loss —
+  // network fault, partition, heartbeat silence with the process alive —
+  // re-queues for free and leaves the worker to reconnect under a fresh
+  // epoch. Every row the old epoch may still produce is fenced from here on.
+  auto fence_connection = [&](Connection& c, bool from_heartbeat) {
+    if (c.dead) return;
+    c.dead = true;
+    c.transport->Close();
+    for (const std::size_t slot : c.started) {
+      if (!done_slot[slot]) tracker.TaskAbandoned();
+    }
+    c.started.clear();
+
+    bool death = false;
+    Child* child = find_child(c.pid);
+    if (child != nullptr && child->exited) {
+      death = true;  // Already reaped by the sweep; this EOF is its echo.
+    } else if (child != nullptr) {
+      int status = 0;
+      struct rusage usage;
+      std::memset(&usage, 0, sizeof(usage));
+      if (!tcp) {
+        // A socketpair fd dies with its process: wait for the exit (the
+        // worker is at most a few instructions from _exit).
+        while (wait4(child->pid, &status, 0, &usage) < 0 && errno == EINTR) {
+        }
+        reap_child(*child, status, usage, from_heartbeat);
+        death = true;
+      } else if (wait4(child->pid, &status, WNOHANG, &usage) == child->pid) {
+        reap_child(*child, status, usage, from_heartbeat);
+        death = true;
+      }
+    }
+
+    if (c.quit_sent && !c.has_shard) return;  // Clean, commanded exit.
+
+    if (!death && c.welcomed) {
+      ++stats_.disconnects;
+      if (observed) {
+        registry.GetCounter("tfb_transport_disconnects_total").Increment();
+      }
+      obs::DefaultLogger().Warn(
+          "shard: worker connection lost, lease fenced",
+          {{"epoch", std::to_string(c.epoch)},
+           {"via", from_heartbeat ? "heartbeat-timeout" : "socket"},
+           {"transport", c.transport->Describe()}});
+    }
+
+    if (!c.has_shard) return;
+    Shard shard = std::move(c.shard);
+    c.has_shard = false;
+    shard.slots.erase(
+        std::remove_if(shard.slots.begin(), shard.slots.end(),
+                       [&](std::size_t slot) { return done_slot[slot]; }),
+        shard.slots.end());
+    if (shard.slots.empty()) {
+      ++shards_completed;  // It died on the finish line.
+    } else if (hard_killed) {
+      // Shutting down hard: abandon the remainder.
+    } else if (!death) {
+      // Connection drop without a death: re-dispatch for free. Network
+      // chaos must never binary-search healthy tasks into quarantine.
+      if (shard.attempts > 0) --shard.attempts;
+      queue.push_front(std::move(shard));
+      ++stats_.redispatches;
+      if (observed) {
+        registry.GetCounter("tfb_shard_redispatch_total").Increment();
+      }
+    } else if (shard.attempts >= shard_options_.max_shard_attempts) {
+      if (shard.slots.size() > 1) {
+        // Binary-search the poison: two half-shards, fresh attempts.
+        const std::size_t mid = shard.slots.size() / 2;
+        Shard left;
+        left.id = next_shard_id++;
+        left.slots.assign(shard.slots.begin(),
+                          shard.slots.begin() +
+                              static_cast<std::ptrdiff_t>(mid));
+        Shard right;
+        right.id = next_shard_id++;
+        right.slots.assign(shard.slots.begin() +
+                               static_cast<std::ptrdiff_t>(mid),
+                           shard.slots.end());
+        queue.push_front(std::move(right));
+        queue.push_front(std::move(left));
+        ++stats_.shard_splits;
+        shards_total += 2;
+        ++shards_completed;  // The parent shard is gone.
+        if (observed) {
+          registry.GetCounter("tfb_shard_splits_total").Increment();
+        }
+      } else {
+        quarantine(shard.slots[0], shard.attempts);
+        ++shards_completed;
+      }
+    } else {
+      queue.push_front(std::move(shard));
+      ++stats_.redispatches;
+      if (observed) {
+        registry.GetCounter("tfb_shard_redispatch_total").Increment();
+      }
+    }
+  };
+
+  auto protocol_violation = [&](Connection& c, const char* what) {
+    ++stats_.corrupt_frames;
+    if (observed) {
+      registry.GetCounter("tfb_transport_corrupt_frames_total").Increment();
+    }
+    obs::DefaultLogger().Warn(
+        "shard: protocol violation, killing connection",
+        {{"what", what}, {"epoch", std::to_string(c.epoch)}});
+    fence_connection(c, /*from_heartbeat=*/false);
+  };
+
+  auto welcome = [&](Connection& c, std::uint64_t prev_epoch,
+                     std::size_t claimed_pid) {
+    if (c.pid < 0) c.pid = static_cast<pid_t>(claimed_pid);
+    c.epoch = next_epoch++;
+    c.welcomed = true;
+    c.segment_path = segment_base + ".seg" + std::to_string(c.epoch);
+    segment_paths.push_back(c.segment_path);
+    ++stats_.connections;
+    if (observed) {
+      registry.GetCounter("tfb_transport_connections_total").Increment();
+    }
+    if (prev_epoch > 0) {
+      ++stats_.reconnects;
+      if (observed) {
+        registry.GetCounter("tfb_transport_reconnects_total").Increment();
+      }
+      obs::DefaultLogger().Info(
+          "shard: worker reconnected",
+          {{"prev_epoch", std::to_string(prev_epoch)},
+           {"epoch", std::to_string(c.epoch)}});
+    }
+    char header[64];
+    std::snprintf(header, sizeof(header), "%llu %.6f\n",
+                  static_cast<unsigned long long>(c.epoch),
+                  shard_options_.heartbeat_seconds > 0.0
+                      ? shard_options_.heartbeat_seconds
+                      : 0.25);
+    Frame frame;
+    frame.type = FrameType::kWelcome;
+    frame.payload = std::string(header) + options_blob;
+    if (!c.transport->Send(frame)) {
+      fence_connection(c, /*from_heartbeat=*/false);
+    }
+  };
+
+  auto grant = [&](Connection& c) {
+    if (queue.empty() || draining || c.quit_sent || !c.welcomed || c.dead) {
+      return;
+    }
     Shard shard = std::move(queue.front());
     queue.pop_front();
-    ++shard.attempts;
-    std::string msg = "g " + std::to_string(shard.id);
-    for (const std::size_t slot : shard.slots) {
-      msg += ' ';
-      msg += std::to_string(slot);
+    if (tcp) {
+      // TCP workers inherit nothing: ship every task of the shard first.
+      for (const std::size_t slot : shard.slots) {
+        Frame task_frame;
+        task_frame.type = FrameType::kTask;
+        task_frame.payload =
+            std::to_string(slot) + "\n" + SerializeTask(tasks[slot]);
+        if (!c.transport->Send(task_frame)) {
+          // The connection is dying; its EOF will be handled shortly.
+          queue.push_front(std::move(shard));
+          return;
+        }
+      }
     }
-    msg += '\n';
-    if (!SendAll(w.fd, msg)) {
-      // The worker is dying; its EOF will be handled shortly. The shard
-      // goes back to the head of the queue untouched.
+    ++shard.attempts;
+    Frame grant_frame;
+    grant_frame.type = FrameType::kGrant;
+    grant_frame.payload = std::to_string(shard.id);
+    for (const std::size_t slot : shard.slots) {
+      grant_frame.payload += ' ';
+      grant_frame.payload += std::to_string(slot);
+    }
+    if (!c.transport->Send(grant_frame)) {
       --shard.attempts;
       queue.push_front(std::move(shard));
       return;
     }
-    w.has_shard = true;
-    w.shard = std::move(shard);
+    c.has_shard = true;
+    c.shard = std::move(shard);
     ++stats_.shards_dispatched;
     if (observed) {
       registry.GetCounter("tfb_shard_dispatch_total").Increment();
     }
   };
 
-  auto handle_death = [&](Worker& w, bool from_heartbeat) {
-    if (w.dead) return;
-    w.dead = true;
-    --live;
-    if (w.fd >= 0) {
-      close(w.fd);
-      w.fd = -1;
-    }
-    int status = 0;
-    struct rusage usage;
-    std::memset(&usage, 0, sizeof(usage));
-    while (wait4(w.pid, &status, 0, &usage) < 0 && errno == EINTR) {
-    }
-    // Exact per-child accounting from the kernel via wait4(2).
-    const double cpu =
-        static_cast<double>(usage.ru_utime.tv_sec) +
-        static_cast<double>(usage.ru_utime.tv_usec) * 1e-6 +
-        static_cast<double>(usage.ru_stime.tv_sec) +
-        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
-    const double rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
-    worker_cpu_seconds += cpu;
-    worker_peak_rss_mb = std::max(worker_peak_rss_mb, rss_mb);
-    if (observed) {
-      registry.GetCounter("tfb_shard_worker_cpu_seconds_total")
-          .Increment(cpu);
-      registry.GetGauge("tfb_shard_worker_peak_rss_mb")
-          .Set(worker_peak_rss_mb);
-    }
-    // Any started-but-unfinished task is back in the queue, not in flight.
-    for (const std::size_t slot : w.started) {
-      if (!done_slot[slot]) tracker.TaskAbandoned();
-    }
-    w.started.clear();
-    if (w.quit_sent && !w.has_shard) return;  // Clean, commanded exit.
-
-    ++stats_.worker_deaths;
-    if (from_heartbeat) ++stats_.heartbeat_kills;
-    if (observed) {
-      registry.GetCounter("tfb_shard_worker_deaths_total").Increment();
-      if (from_heartbeat) {
-        registry.GetCounter("tfb_shard_heartbeat_kills_total").Increment();
+  auto process_frame = [&](Connection& c, const Frame& frame) {
+    if (c.dead) return;
+    if (!c.welcomed) {
+      if (frame.type != FrameType::kHello) {
+        protocol_violation(c, "frame before HELLO");
+        return;
       }
-    }
-    obs::DefaultLogger().Warn(
-        "shard: worker died",
-        {{"pid", std::to_string(w.pid)},
-         {"spawn", std::to_string(w.spawn_index)},
-         {"via", from_heartbeat ? "heartbeat-timeout" : "socket-eof"},
-         {"status", std::to_string(status)}});
-
-    if (w.has_shard) {
-      Shard shard = std::move(w.shard);
-      w.has_shard = false;
-      shard.slots.erase(
-          std::remove_if(shard.slots.begin(), shard.slots.end(),
-                         [&](std::size_t slot) { return done_slot[slot]; }),
-          shard.slots.end());
-      if (shard.slots.empty()) {
-        ++shards_completed;  // It died on the finish line.
-      } else if (hard_killed) {
-        // Shutting down hard: abandon the remainder.
-      } else if (shard.attempts >= shard_options_.max_shard_attempts) {
-        if (shard.slots.size() > 1) {
-          // Binary-search the poison: two half-shards, fresh attempts.
-          const std::size_t mid = shard.slots.size() / 2;
-          Shard left;
-          left.id = next_shard_id++;
-          left.slots.assign(shard.slots.begin(),
-                            shard.slots.begin() +
-                                static_cast<std::ptrdiff_t>(mid));
-          Shard right;
-          right.id = next_shard_id++;
-          right.slots.assign(shard.slots.begin() +
-                                 static_cast<std::ptrdiff_t>(mid),
-                             shard.slots.end());
-          queue.push_front(std::move(right));
-          queue.push_front(std::move(left));
-          ++stats_.shard_splits;
-          shards_total += 2;
-          ++shards_completed;  // The parent shard is gone.
-          if (observed) {
-            registry.GetCounter("tfb_shard_splits_total").Increment();
-          }
-        } else {
-          quarantine(shard.slots[0], shard.attempts);
-          ++shards_completed;
-        }
-      } else {
-        queue.push_front(std::move(shard));
-        ++stats_.redispatches;
-        if (observed) {
-          registry.GetCounter("tfb_shard_redispatch_total").Increment();
-        }
+      const auto fields = ParseSizeFields(frame.payload, 3, 3);
+      if (!fields || (*fields)[0] != kWireVersion) {
+        protocol_violation(c, "bad HELLO");
+        return;
       }
+      c.last_seen = Clock::now();
+      welcome(c, (*fields)[1], (*fields)[2]);
+      return;
     }
-    // Replace the casualty while work remains and the budget allows.
-    if (!draining && !hard_killed && resolved < pending.size()) {
-      spawn_worker();
-    }
-  };
-
-  auto process_line = [&](Worker& w, const std::string& line) {
-    w.last_heartbeat = Clock::now();
-    if (line.empty()) return;
-    const std::vector<std::size_t> fields =
-        line[0] == 'h' ? std::vector<std::size_t>{} : ParseFields(line);
-    switch (line[0]) {
-      case 'h':
-        break;
-      case 's':
-        if (fields.size() >= 1 && fields[0] < total &&
-            !done_slot[fields[0]]) {
-          w.started.insert(fields[0]);
+    c.last_seen = Clock::now();
+    switch (frame.type) {
+      case FrameType::kHeartbeat:
+        break;  // last_seen already refreshed.
+      case FrameType::kStart: {
+        const auto fields = ParseSizeFields(frame.payload, 2, 2);
+        if (!fields) {
+          protocol_violation(c, "bad START");
+          return;
+        }
+        if ((*fields)[0] != c.epoch) break;  // Stale lease; ignore.
+        const std::size_t slot = (*fields)[1];
+        if (slot < total && !done_slot[slot]) {
+          c.started.insert(slot);
           tracker.TaskStarted();
         }
         break;
-      case 't': {
-        if (fields.size() < 3) break;
-        const std::size_t slot = fields[0];
-        // Fractional seconds do not survive ParseFields; re-parse the tail.
-        double seconds = 0.0;
-        {
-          const std::size_t sp = line.find_last_of(' ');
-          if (sp != std::string::npos) seconds = std::atof(line.c_str() + sp);
+      }
+      case FrameType::kRow: {
+        const std::size_t nl = frame.payload.find('\n');
+        if (nl == std::string::npos) {
+          protocol_violation(c, "ROW without body");
+          return;
         }
-        w.started.erase(slot);
-        if (slot < total && !done_slot[slot]) {
+        const std::string header = frame.payload.substr(0, nl);
+        const std::size_t sp = header.find_last_of(' ');
+        if (sp == std::string::npos) {
+          protocol_violation(c, "bad ROW header");
+          return;
+        }
+        const auto ints = ParseSizeFields(header.substr(0, sp), 4, 4);
+        const auto seconds = ParseStrictDouble(header.substr(sp + 1));
+        if (!ints || !seconds || (*ints)[2] > 1 || (*ints)[3] > 1) {
+          protocol_violation(c, "bad ROW header");
+          return;
+        }
+        const std::uint64_t row_epoch = (*ints)[0];
+        const std::size_t slot = (*ints)[1];
+        if (row_epoch != c.epoch) {
+          // The lease fence: a row computed under a superseded epoch —
+          // typically replayed after a reconnect, when its shard was
+          // already re-dispatched — must not override first-completed-wins.
+          ++stats_.fenced_completions;
+          if (observed) {
+            registry.GetCounter("tfb_transport_fenced_completions_total")
+                .Increment();
+          }
+          obs::DefaultLogger().Info(
+              "shard: fenced stale completion",
+              {{"row_epoch", std::to_string(row_epoch)},
+               {"epoch", std::to_string(c.epoch)},
+               {"slot", std::to_string(slot)}});
+          break;
+        }
+        if (slot >= total) {
+          protocol_violation(c, "ROW slot out of range");
+          return;
+        }
+        ResultRow row;
+        if (!ParseJournalLine(frame.payload.substr(nl + 1), &row)) {
+          protocol_violation(c, "unparsable ROW journal line");
+          return;
+        }
+        // Durability before acknowledgement: the row lands in this
+        // connection's segment before the task is marked done, so a
+        // coordinator crash after this point still resumes correctly.
+        if (!AppendJournal(c.segment_path, row, journal_options)) {
+          obs::DefaultLogger().Error(
+              "shard: segment append failed; fencing connection",
+              {{"segment", c.segment_path}});
+          fence_connection(c, /*from_heartbeat=*/false);
+          return;
+        }
+        c.started.erase(slot);
+        if (!done_slot[slot]) {
           done_slot[slot] = true;
           ++resolved;
           ++executed;
-          tracker.TaskFinished(tasks[slot].method, fields[1] != 0,
-                               fields[2] != 0, seconds);
+          tracker.TaskFinished(tasks[slot].method, (*ints)[2] != 0,
+                               (*ints)[3] != 0, *seconds);
           if (observed) {
             registry.GetCounter("tfb_shard_tasks_completed_total")
                 .Increment();
@@ -671,14 +852,87 @@ std::vector<ResultRow> ShardCoordinator::Run(
         }
         break;
       }
-      case 'd':
-        if (fields.size() >= 1 && w.has_shard && w.shard.id == fields[0]) {
-          w.has_shard = false;
+      case FrameType::kDone: {
+        const auto fields = ParseSizeFields(frame.payload, 2, 2);
+        if (!fields) {
+          protocol_violation(c, "bad DONE");
+          return;
+        }
+        if ((*fields)[0] != c.epoch) break;  // Stale lease; ignore.
+        if (c.has_shard && c.shard.id == (*fields)[1]) {
+          // A DONE closes only the slots whose ROWs actually arrived. On a
+          // healthy connection the stream is FIFO (every ROW precedes its
+          // DONE), but a partial partition can swallow ROW frames and then
+          // heal in time for the DONE to sail through — without this check
+          // those slots would be marked nowhere and the run would wait on
+          // them forever. Lost slots re-queue as a fresh shard, free of
+          // attempt cost: the worker is healthy, the network ate the rows.
+          std::vector<std::size_t> missing;
+          for (const std::size_t slot : c.shard.slots) {
+            if (!done_slot[slot]) missing.push_back(slot);
+          }
+          if (!missing.empty()) {
+            obs::DefaultLogger().Warn(
+                "shard: DONE with undelivered rows, re-queueing",
+                {{"shard", std::to_string(c.shard.id)},
+                 {"missing", std::to_string(missing.size())},
+                 {"epoch", std::to_string(c.epoch)}});
+            Shard refill;
+            refill.id = next_shard_id++;
+            refill.slots = std::move(missing);
+            queue.push_front(std::move(refill));
+            ++shards_total;
+            ++stats_.redispatches;
+            if (observed) {
+              registry.GetCounter("tfb_shard_redispatch_total").Increment();
+            }
+          }
+          c.has_shard = false;
           ++shards_completed;
         }
         break;
+      }
+      case FrameType::kHello:
+        protocol_violation(c, "duplicate HELLO");
+        return;
       default:
-        break;
+        break;  // Unknown frame types are ignored (forward compatibility).
+    }
+  };
+
+  // Drains whatever the connection has readable right now. Bounded rounds
+  // so one floody connection cannot starve the rest of the event loop.
+  auto pump_connection = [&](Connection& c) {
+    std::vector<Frame> frames;
+    for (int round = 0; round < 4 && !c.dead; ++round) {
+      frames.clear();
+      const Transport::RecvResult r = c.transport->Recv(&frames, 0);
+      if (r == Transport::RecvResult::kFrames) {
+        for (const Frame& frame : frames) {
+          process_frame(c, frame);
+          if (c.dead) return;
+        }
+        continue;
+      }
+      if (r == Transport::RecvResult::kIdle) return;
+      if (r == Transport::RecvResult::kCorrupt) {
+        protocol_violation(c, "corrupt frame");
+      } else {  // kEof / kError.
+        fence_connection(c, /*from_heartbeat=*/false);
+      }
+      return;
+    }
+  };
+
+  auto accept_new_connections = [&] {
+    if (!tcp || listener_ == nullptr || listener_->fd() < 0) return;
+    while (std::unique_ptr<Transport> t = listener_->Accept()) {
+      fcntl(t->fd(), F_SETFL, O_NONBLOCK);
+      fcntl(t->fd(), F_SETFD, FD_CLOEXEC);
+      auto conn = std::make_unique<Connection>();
+      conn->transport = std::move(t);
+      conn->last_seen = Clock::now();
+      conns.push_back(std::move(conn));
     }
   };
 
@@ -695,9 +949,9 @@ std::vector<ResultRow> ShardCoordinator::Run(
   sigaction(SIGTERM, &sa, &old_term);
 
   // --- Initial fleet ---
-  const std::size_t initial_workers =
-      std::min(num_workers, std::max<std::size_t>(1, queue.size()));
-  if (!pending.empty()) {
+  if (!pending.empty() && spawning) {
+    const std::size_t initial_workers =
+        std::min(num_workers, std::max<std::size_t>(1, queue.size()));
     for (std::size_t i = 0; i < initial_workers; ++i) spawn_worker();
   }
   publish_shard_stats();
@@ -705,17 +959,18 @@ std::vector<ResultRow> ShardCoordinator::Run(
   // --- Event loop ---
   while (resolved < pending.size()) {
     // Hand work to idle workers.
-    for (Worker& w : workers) {
-      if (!w.dead && !w.has_shard) grant(w);
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Connection& c = *conns[i];
+      if (!c.dead && c.welcomed && !c.has_shard) grant(c);
     }
     if (draining) {
       bool in_flight = false;
-      for (const Worker& w : workers) {
-        if (!w.dead && w.has_shard) in_flight = true;
+      for (const auto& c : conns) {
+        if (!c->dead && c->has_shard) in_flight = true;
       }
       if (!in_flight) break;  // Drained: queued work stays undone.
     }
-    if (live == 0) {
+    if (spawning && live_children == 0) {
       // Everybody is dead. Spawn a fresh worker if the budget allows;
       // otherwise the remaining tasks become INTERNAL rows below.
       if (draining || hard_killed || !spawn_worker()) break;
@@ -723,13 +978,14 @@ std::vector<ResultRow> ShardCoordinator::Run(
     }
 
     std::vector<pollfd> pfds;
-    std::vector<std::size_t> pfd_worker;
     pfds.push_back({g_shutdown_rfd, POLLIN, 0});
-    pfd_worker.push_back(static_cast<std::size_t>(-1));
-    for (std::size_t i = 0; i < workers.size(); ++i) {
-      if (workers[i].dead) continue;
-      pfds.push_back({workers[i].fd, POLLIN, 0});
-      pfd_worker.push_back(i);
+    if (tcp && listener_ != nullptr && listener_->fd() >= 0) {
+      pfds.push_back({listener_->fd(), POLLIN, 0});
+    }
+    for (const auto& c : conns) {
+      if (!c->dead && c->transport->fd() >= 0) {
+        pfds.push_back({c->transport->fd(), POLLIN, 0});
+      }
     }
     const int rc = poll(pfds.data(), pfds.size(), 100);
     if (rc < 0 && errno != EINTR) break;
@@ -746,49 +1002,47 @@ std::vector<ResultRow> ShardCoordinator::Run(
         hard_killed = true;
         obs::DefaultLogger().Warn(
             "shard: second shutdown request, killing workers", {});
-        for (Worker& w : workers) {
-          if (!w.dead) kill(w.pid, SIGKILL);
+        for (const Child& child : children) {
+          if (!child.exited) kill(child.pid, SIGKILL);
+        }
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+          Connection& c = *conns[i];
+          // External workers have no pid to kill; cut their connections.
+          if (!c.dead && find_child(c.pid) == nullptr) {
+            fence_connection(c, /*from_heartbeat=*/false);
+          }
         }
       }
     }
 
-    for (std::size_t p = 1; p < pfds.size(); ++p) {
-      Worker& w = workers[pfd_worker[p]];
-      if (w.dead || (pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
-        continue;
-      }
-      bool eof = false;
-      char chunk[4096];
-      for (;;) {
-        const ssize_t n = recv(w.fd, chunk, sizeof(chunk), 0);
-        if (n > 0) {
-          w.buffer.append(chunk, static_cast<std::size_t>(n));
-          continue;
-        }
-        if (n == 0) eof = true;
-        if (n < 0 && errno == EINTR) continue;
-        break;  // EAGAIN (drained) or error (treated as EOF below).
-      }
-      std::size_t pos;
-      while ((pos = w.buffer.find('\n')) != std::string::npos) {
-        const std::string line = w.buffer.substr(0, pos);
-        w.buffer.erase(0, pos + 1);
-        process_line(w, line);
-      }
-      if (eof) handle_death(w, /*from_heartbeat=*/false);
+    accept_new_connections();
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Connection& c = *conns[i];
+      if (!c.dead) pump_connection(c);
     }
+    if (tcp) sweep_children();
 
-    // Heartbeat timeouts: a worker wedged without dying (e.g. SIGSTOP)
-    // is killed and handled exactly like a crash.
+    // Heartbeat timeouts. A silent socketpair worker is wedged without
+    // dying (e.g. SIGSTOP) — SIGKILL it and handle it exactly like a
+    // crash. A silent TCP connection may be a live worker behind a
+    // partition: fence the lease and let it reconnect.
     if (shard_options_.heartbeat_timeout_seconds > 0.0) {
       const auto now = Clock::now();
-      for (Worker& w : workers) {
-        if (w.dead || w.quit_sent) continue;
+      for (std::size_t i = 0; i < conns.size(); ++i) {
+        Connection& c = *conns[i];
+        if (c.dead || c.quit_sent) continue;
         const double silent =
-            std::chrono::duration<double>(now - w.last_heartbeat).count();
+            std::chrono::duration<double>(now - c.last_seen).count();
+        if (!c.welcomed) {
+          if (silent > 10.0) {  // Never said HELLO: not a worker.
+            c.dead = true;
+            c.transport->Close();
+          }
+          continue;
+        }
         if (silent > shard_options_.heartbeat_timeout_seconds) {
-          kill(w.pid, SIGKILL);
-          handle_death(w, /*from_heartbeat=*/true);
+          if (!tcp && c.pid >= 0) kill(c.pid, SIGKILL);
+          fence_connection(c, /*from_heartbeat=*/true);
         }
       }
     }
@@ -796,64 +1050,98 @@ std::vector<ResultRow> ShardCoordinator::Run(
   }
 
   // --- Shutdown: command every survivor out, then reap it ---
-  // A worker whose shard fully completed but whose trailing "d" message
+  // A worker whose shard fully completed but whose trailing DONE frame
   // was not yet read when the loop exited is idle, not mid-shard.
-  for (Worker& w : workers) {
-    if (!w.dead && w.has_shard &&
-        std::all_of(w.shard.slots.begin(), w.shard.slots.end(),
+  for (const auto& c : conns) {
+    if (!c->dead && c->has_shard &&
+        std::all_of(c->shard.slots.begin(), c->shard.slots.end(),
                     [&](std::size_t slot) { return done_slot[slot]; })) {
-      w.has_shard = false;
+      c->has_shard = false;
       ++shards_completed;
     }
   }
-  for (Worker& w : workers) {
-    if (!w.dead) {
-      w.quit_sent = true;
-      SendAll(w.fd, "q\n");
+  // Stop accepting; a worker mid-reconnect then fails fast (ECONNREFUSED)
+  // and exits on its own connect budget instead of lingering.
+  if (listener_ != nullptr) {
+    listener_->Close();
+    listener_.reset();
+  }
+  for (Child& child : children) child.quit_expected = true;
+  for (const auto& c : conns) {
+    if (!c->dead) {
+      c->quit_sent = true;
+      Frame quit;
+      quit.type = FrameType::kQuit;
+      c->transport->Send(quit);
     }
   }
+  // Child exit has no descriptor of its own, so a reap loop built on the
+  // connection fds alone goes blind the moment the last EOF lands — on a
+  // single CPU the child is typically still runnable-but-unscheduled at
+  // that point, and a blind sleep here was a measurable constant tail on
+  // every run. A pidfd makes exit pollable: the loop wakes the instant the
+  // worker is gone. Where pidfd_open is unavailable the poll set may go
+  // empty and a short sleep stands in.
+  std::vector<int> child_pidfds(children.size(), -1);
+#ifdef SYS_pidfd_open
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (!children[i].exited) {
+      child_pidfds[i] =
+          static_cast<int>(syscall(SYS_pidfd_open, children[i].pid, 0));
+    }
+  }
+#endif
   const auto reap_deadline = Clock::now() + std::chrono::seconds(5);
-  while (live > 0 && Clock::now() < reap_deadline) {
+  for (;;) {
+    bool conn_alive = false;
+    for (const auto& c : conns) {
+      if (!c->dead) conn_alive = true;
+    }
+    if ((live_children == 0 && !conn_alive) || Clock::now() >= reap_deadline) {
+      break;
+    }
     std::vector<pollfd> pfds;
-    std::vector<std::size_t> pfd_worker;
-    for (std::size_t i = 0; i < workers.size(); ++i) {
-      if (workers[i].dead) continue;
-      pfds.push_back({workers[i].fd, POLLIN, 0});
-      pfd_worker.push_back(i);
-    }
-    if (pfds.empty()) break;
-    const int rc = poll(pfds.data(), pfds.size(), 200);
-    if (rc < 0 && errno != EINTR) break;
-    for (std::size_t p = 0; p < pfds.size(); ++p) {
-      Worker& w = workers[pfd_worker[p]];
-      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      bool eof = false;
-      char chunk[4096];
-      for (;;) {
-        const ssize_t n = recv(w.fd, chunk, sizeof(chunk), 0);
-        if (n > 0) {
-          w.buffer.append(chunk, static_cast<std::size_t>(n));
-          continue;
-        }
-        if (n == 0) eof = true;
-        if (n < 0 && errno == EINTR) continue;
-        break;
+    for (const auto& c : conns) {
+      if (!c->dead && c->transport->fd() >= 0) {
+        pfds.push_back({c->transport->fd(), POLLIN, 0});
       }
-      // Late "t"/"d" lines still count: a worker may complete its shard
-      // between the loop's exit and the "q" reaching it.
-      std::size_t pos;
-      while ((pos = w.buffer.find('\n')) != std::string::npos) {
-        const std::string line = w.buffer.substr(0, pos);
-        w.buffer.erase(0, pos + 1);
-        process_line(w, line);
-      }
-      if (eof) handle_death(w, /*from_heartbeat=*/false);
     }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (!children[i].exited && child_pidfds[i] >= 0) {
+        pfds.push_back({child_pidfds[i], POLLIN, 0});
+      }
+    }
+    if (!pfds.empty()) {
+      const int rc = poll(pfds.data(), pfds.size(), 200);
+      if (rc < 0 && errno != EINTR) break;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    // Late ROW/DONE frames still count: a worker may complete its shard
+    // between the loop's exit and the QUIT reaching it.
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Connection& c = *conns[i];
+      if (!c.dead) pump_connection(c);
+    }
+    sweep_children();
   }
-  for (Worker& w : workers) {
-    if (!w.dead) {
-      kill(w.pid, SIGKILL);  // Refused to leave within the grace period.
-      handle_death(w, /*from_heartbeat=*/false);
+  for (const int pidfd : child_pidfds) {
+    if (pidfd >= 0) close(pidfd);
+  }
+  for (Child& child : children) {
+    if (child.exited) continue;
+    kill(child.pid, SIGKILL);  // Refused to leave within the grace period.
+    int status = 0;
+    struct rusage usage;
+    std::memset(&usage, 0, sizeof(usage));
+    while (wait4(child.pid, &status, 0, &usage) < 0 && errno == EINTR) {
+    }
+    reap_child(child, status, usage, /*from_heartbeat=*/false);
+  }
+  for (const auto& c : conns) {
+    if (!c->dead) {
+      c->dead = true;
+      c->transport->Close();
     }
   }
   sigaction(SIGINT, &old_int, nullptr);
@@ -873,8 +1161,10 @@ std::vector<ResultRow> ShardCoordinator::Run(
                            i);
   }
   std::vector<bool> journaled = adopted;  // Slots the merged journal keeps.
+  std::unordered_set<std::size_t> rejected(unmarshallable.begin(),
+                                           unmarshallable.end());
   for (std::size_t slot = 0; slot < total; ++slot) {
-    if (adopted[slot]) continue;
+    if (adopted[slot] || rejected.count(slot) != 0) continue;
     const auto it = segment_by_key.find(JournalKey(
         tasks[slot].dataset, tasks[slot].method, tasks[slot].horizon));
     if (it != segment_by_key.end()) {
@@ -932,15 +1222,21 @@ std::vector<ResultRow> ShardCoordinator::Run(
 
   publish_shard_stats();
   tracker.EndRun();
-  if (runner_options_.verbose || stats_.worker_deaths > 0) {
+  if (runner_options_.verbose || stats_.worker_deaths > 0 ||
+      stats_.disconnects > 0 || stats_.fenced_completions > 0) {
     obs::DefaultLogger().Info(
         "shard run finished",
-        {{"workers", std::to_string(num_workers)},
+        {{"transport", transport_name},
+         {"workers", std::to_string(num_workers)},
          {"spawned", std::to_string(stats_.workers_spawned)},
          {"deaths", std::to_string(stats_.worker_deaths)},
          {"redispatches", std::to_string(stats_.redispatches)},
          {"splits", std::to_string(stats_.shard_splits)},
          {"quarantined", std::to_string(stats_.quarantined)},
+         {"reconnects", std::to_string(stats_.reconnects)},
+         {"disconnects", std::to_string(stats_.disconnects)},
+         {"fenced", std::to_string(stats_.fenced_completions)},
+         {"corrupt_frames", std::to_string(stats_.corrupt_frames)},
          {"torn_lines", std::to_string(torn)},
          {"worker_cpu_s",
           [&] {

@@ -3,49 +3,75 @@
 
 #include <csignal>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "tfb/pipeline/runner.h"
+#include "tfb/pipeline/transport.h"
 
 /// \file
 /// Sharded multi-process benchmark execution with a crash-tolerant
 /// coordinator (`--workers=N`). The coordinator deterministically partitions
-/// the task grid into shards of consecutive pending tasks, fork()s N worker
-/// processes (each inheriting the in-memory grid — no task marshalling), and
-/// hands shards out over a per-worker Unix socketpair as workers go idle —
-/// a pull-based work queue, so a slow shard never stalls the rest of the
-/// grid behind a static partition.
+/// the task grid into shards of consecutive pending tasks and hands them
+/// out over framed, CRC-checked connections (see transport.h) as workers go
+/// idle — a pull-based work queue, so a slow shard never stalls the rest of
+/// the grid behind a static partition. Two transports:
 ///
-/// Fault model: a worker that dies mid-shard (crash, OOM-kill, fault
-/// injection) is detected by socket EOF or by missed heartbeats; the
-/// unfinished remainder of its shard is re-queued to a surviving worker.
-/// A shard that repeatedly dies is split in half to binary-search the
-/// poisonous task, which is finally quarantined with a CRASHED row while
-/// every healthy task still completes. Dead workers are replaced until a
-/// bounded spawn budget runs out.
+///  - socketpair (default): workers are fork()ed children inheriting the
+///    in-memory grid over a per-worker `socketpair(AF_UNIX)` — no task
+///    marshalling, so tasks with in-memory `custom_candidates` stay
+///    runnable.
+///  - tcp (`--transport=tcp`): the coordinator listens (`--listen`), tasks
+///    are marshalled explicitly in TASK frames, and workers connect over
+///    TCP — forked loopback children by default, or external `tfb_worker`
+///    processes on any host (`spawn_workers=false`).
 ///
-/// Durability: each worker appends finished rows to its own journal segment
-/// (`<journal>.seg<spawn>`), so rows survive the death of any process; the
-/// coordinator merges the segments into the main journal at the end —
-/// deduped on the task key, first-completed row wins, torn trailing lines
-/// discarded — and a resumed run scavenges leftover segments first, so
-/// `--resume` recovers from any coordinator/worker crash combination. The
-/// merged journal is byte-identical to a single-process run's journal
-/// (pipeline_determinism_test proves it, including a mid-run worker kill).
+/// Lease epochs: every accepted connection is welcomed with a fresh,
+/// monotonically increasing epoch. Results (ROW frames) are accepted only
+/// when they carry the connection's current epoch; a worker that vanished,
+/// had its shard re-dispatched, and later reconnects replays its stale rows
+/// under the old epoch and every one is *fenced* (counted, rejected) — the
+/// first-completed-wins dedup and byte-identical `--resume` survive any
+/// reconnect interleaving.
 ///
-/// SIGINT/SIGTERM drain the run: in-flight shards finish, workers are told
-/// to quit, segments are merged and the journal is flushed; a second signal
-/// kills the children immediately (completed rows still merge). Liveness,
-/// shard progress, re-dispatch counts and per-worker rusage are exported
-/// through tfb/obs (`tfb_shard_*` metrics and the /status "shard" object).
+/// Fault model: a worker process that dies mid-shard is detected by EOF or
+/// missed heartbeats; the unfinished remainder of its shard is re-queued.
+/// A shard that repeatedly kills workers is split in half to binary-search
+/// the poisonous task, which is finally quarantined with a CRASHED row.
+/// A TCP connection that merely drops (network fault, partition) is fenced
+/// and its shard re-queued *without* burning a shard attempt — network
+/// chaos must not quarantine healthy tasks — and the worker reconnects with
+/// capped exponential backoff.
+///
+/// Durability: workers hold no journal; every finished row travels back in
+/// its ROW frame and the coordinator appends it to a per-connection segment
+/// (`<journal>.seg<epoch>`) *before* marking the task done. Segments merge
+/// into the main journal at the end (first-completed-wins dedup, atomic
+/// rewrite) and a resumed run scavenges leftover segments first, so
+/// `--resume` recovers from any coordinator/worker crash combination
+/// byte-identically (pipeline_determinism_test proves it for both
+/// transports, including mid-run kills).
+///
+/// SIGINT/SIGTERM drain the run; a second signal kills workers immediately.
+/// Liveness, shard progress, transport health (reconnects, fenced
+/// completions, corrupt frames) and per-worker rusage are exported through
+/// tfb/obs (`tfb_shard_*` / `tfb_transport_*` metrics and the /status
+/// "shard" object).
 
 namespace tfb::pipeline {
 
+/// Which transport carries coordinator<->worker frames.
+enum class ShardTransport {
+  kSocketpair,  ///< Forked children, inherited grid (single-host).
+  kTcp,         ///< Listen + connect; tasks marshalled (multi-host-shaped).
+};
+
 /// Knobs of the sharded executor. The fault_* members are test/chaos hooks
-/// (used by pipeline_shard_test, bench_shard_scaling and the CI smoke job)
-/// that inject deterministic worker failure without touching task content —
-/// rows stay byte-identical to a clean run.
+/// (used by pipeline_shard_test, bench_shard_scaling and the CI smoke jobs)
+/// that inject deterministic failure without touching task content — rows
+/// stay byte-identical to a clean run.
 struct ShardOptions {
   /// Worker processes to run concurrently. 1 is a valid (and measurable)
   /// degenerate case: one child executes every shard.
@@ -57,17 +83,37 @@ struct ShardOptions {
   /// Worker heartbeat period, seconds. A dedicated thread in each worker
   /// beats even while a task computes, so a long task is not a dead worker.
   double heartbeat_seconds = 0.25;
-  /// Silence window after which a worker is declared dead and SIGKILLed
-  /// (catches workers wedged without closing their socket, e.g. SIGSTOP).
+  /// Silence window after which a connection is declared dead. A silent
+  /// socketpair worker is SIGKILLed (it is wedged — e.g. SIGSTOP — and can
+  /// never recover); a silent TCP connection is closed and fenced, because
+  /// the worker may be alive behind a partition and allowed to reconnect.
   double heartbeat_timeout_seconds = 10.0;
   /// Dispatch attempts before a dying shard is split (size > 1) or its last
-  /// task is quarantined with a CRASHED row (size == 1).
+  /// task is quarantined with a CRASHED row (size == 1). Only worker
+  /// *deaths* burn attempts; connection drops re-queue for free.
   std::size_t max_shard_attempts = 2;
   /// Total worker spawns allowed, replacements included; 0 = auto
   /// (4 * num_workers). When the budget is exhausted and no worker
   /// survives, leftover tasks get INTERNAL rows (not journaled, so a
   /// resume retries them).
   std::size_t max_total_spawns = 0;
+
+  /// Transport selection (see ShardTransport).
+  ShardTransport transport = ShardTransport::kSocketpair;
+  /// TCP listen endpoint; port 0 binds an ephemeral port (recover it with
+  /// ShardCoordinator::listen_port() after BindListener()).
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  /// Under transport=tcp: fork num_workers local processes that connect
+  /// over loopback (the single-command path, and what replacement spawns
+  /// use). false = external workers only (`tfb_worker --connect=...`);
+  /// the coordinator then just listens and never forks.
+  bool spawn_workers = true;
+
+  /// Deterministic worker-side network-fault injection (`--chaos-net`),
+  /// applied by forked workers to their send path. External tfb_worker
+  /// processes carry their own --chaos-net flag instead.
+  FaultPlan chaos;
 
   /// Fault hook: the worker with this spawn index kills itself with
   /// fault_kill_signal after completing fault_kill_after_tasks tasks
@@ -86,15 +132,22 @@ struct ShardOptions {
 /// the /status "shard" object).
 struct ShardRunStats {
   std::size_t workers_spawned = 0;   ///< Including replacements.
-  std::size_t worker_deaths = 0;     ///< EOF deaths + heartbeat kills.
+  std::size_t worker_deaths = 0;     ///< Process deaths (EOF + heartbeat).
   std::size_t heartbeat_kills = 0;   ///< Deaths declared by missed beats.
   std::size_t shards_dispatched = 0; ///< Grants, re-dispatches included.
-  std::size_t redispatches = 0;      ///< Shards re-queued after a death.
+  std::size_t redispatches = 0;      ///< Shards re-queued (death or drop).
   std::size_t shard_splits = 0;      ///< Poison-isolating splits.
   std::size_t quarantined = 0;       ///< Tasks given CRASHED rows.
   std::size_t scavenged_segments = 0;///< Leftover segments merged at resume.
   bool interrupted = false;          ///< Drained early (signal or hook).
   bool spawn_budget_exhausted = false;
+
+  // Transport health (all zero under a fault-free socketpair run).
+  std::size_t connections = 0;        ///< Worker connections welcomed.
+  std::size_t reconnects = 0;         ///< HELLOs carrying a previous epoch.
+  std::size_t disconnects = 0;        ///< Connection losses without a death.
+  std::size_t fenced_completions = 0; ///< Stale-epoch rows rejected.
+  std::size_t corrupt_frames = 0;     ///< Framing/CRC/protocol kills.
 };
 
 /// Multi-process grid executor; the sharded counterpart of
@@ -104,6 +157,16 @@ class ShardCoordinator {
   ShardCoordinator(const RunnerOptions& runner_options,
                    const ShardOptions& shard_options)
       : runner_options_(runner_options), shard_options_(shard_options) {}
+
+  /// Under transport=tcp: binds the listen socket now, so the (possibly
+  /// ephemeral) port is known before Run() blocks — tests and external
+  /// workers need it. Run() calls this itself when not already bound.
+  /// Returns false (with *error set) on bind failure; no-op under
+  /// socketpair.
+  bool BindListener(std::string* error = nullptr);
+
+  /// The bound TCP listen port (after BindListener), else 0.
+  std::uint16_t listen_port() const;
 
   /// Runs all tasks across the worker fleet; rows come back in task order,
   /// exactly as from BenchmarkRunner::Run. Installs SIGINT/SIGTERM drain
@@ -118,6 +181,7 @@ class ShardCoordinator {
   RunnerOptions runner_options_;
   ShardOptions shard_options_;
   ShardRunStats stats_;
+  std::unique_ptr<TcpListener> listener_;
 };
 
 /// Asks the active sharded run to shut down, exactly as one delivery of

@@ -1,0 +1,107 @@
+#ifndef TFB_PIPELINE_WIRE_H_
+#define TFB_PIPELINE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tfb/pipeline/runner.h"
+
+/// \file
+/// Payload (de)serialization of the shard transport protocol (the framing
+/// itself lives in transport.h). Two layers:
+///
+///  - Text headers: the small control payloads (HELLO, START, ROW, DONE,
+///    GRANT, HEARTBEAT) are a single line of space-separated decimal fields,
+///    parsed by the *strict* ParseSizeFields — overflow, trailing garbage or
+///    wrong arity rejects the whole message, and a rejected message kills
+///    the connection (never "best-effort" dispatch state).
+///
+///  - Binary blobs: tasks and runner options cross the wire explicitly for
+///    TCP workers (which, unlike fork()ed workers, inherit nothing).
+///    WireWriter/WireReader implement a little-endian, length-prefixed,
+///    bounds-checked binary format; doubles travel as their IEEE-754 bit
+///    pattern so marshalled tasks evaluate bit-identically to inherited
+///    ones (the determinism invariant extends across hosts).
+
+namespace tfb::pipeline {
+
+/// Protocol version sent in HELLO; bumped on any incompatible change.
+inline constexpr std::uint64_t kWireVersion = 1;
+
+/// Strictly parses space-separated unsigned decimal fields: every token is
+/// all digits, fits a size_t without overflow, and the field count lies in
+/// [min_fields, max_fields]. Anything else — trailing garbage, a clamped
+/// ULLONG_MAX, wrong arity — returns nullopt. Used for every protocol
+/// header; a nullopt is a protocol violation and the connection dies.
+std::optional<std::vector<std::size_t>> ParseSizeFields(
+    std::string_view text, std::size_t min_fields,
+    std::size_t max_fields = static_cast<std::size_t>(-1));
+
+/// Strictly parses one finite double occupying the whole of `text`.
+std::optional<double> ParseStrictDouble(std::string_view text);
+
+/// Little-endian binary encoder (see file comment).
+class WireWriter {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U64(std::uint64_t v);
+  void F64(double v);  ///< IEEE-754 bit pattern; bit-exact round-trip.
+  void Str(const std::string& s);
+  void Raw(const void* data, std::size_t size);
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked decoder. Any read past the end (or an oversize string
+/// length) trips ok() to false and every later read fails; callers check
+/// ok() once at the end.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool U8(std::uint8_t* v);
+  bool U64(std::uint64_t* v);
+  bool F64(double* v);
+  bool Str(std::string* s);
+  bool Raw(void* out, std::size_t size);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// True when the task can cross a process boundary by value. Tasks carrying
+/// `custom_candidates` (in-memory forecaster factories) cannot be
+/// marshalled; the coordinator pre-rejects them with an error row instead
+/// of dispatching them to a TCP worker.
+bool TaskIsMarshallable(const BenchmarkTask& task);
+
+/// Serializes a marshallable task (series data included, doubles
+/// bit-exact). Returns an empty string when !TaskIsMarshallable(task).
+std::string SerializeTask(const BenchmarkTask& task);
+
+/// Inverse of SerializeTask; false on any malformed or truncated input.
+bool DeserializeTask(std::string_view payload, BenchmarkTask* task);
+
+/// Serializes the subset of RunnerOptions a remote worker needs (execution
+/// knobs only — journal/progress/verbosity are coordinator concerns and the
+/// worker forces them off).
+std::string SerializeWorkerOptions(const RunnerOptions& options);
+
+/// Inverse of SerializeWorkerOptions; false on malformed input. Leaves
+/// journal_path empty, resume off, progress off on success.
+bool DeserializeWorkerOptions(std::string_view payload,
+                              RunnerOptions* options);
+
+}  // namespace tfb::pipeline
+
+#endif  // TFB_PIPELINE_WIRE_H_

@@ -241,6 +241,59 @@ TEST(Determinism, ShardedJournalMatchesSingleProcessDespiteKillAndResume) {
   std::remove(journal_sharded.c_str());
 }
 
+TEST(Determinism, TcpShardedJournalSurvivesKillChaosAndResume) {
+  // The same invariant over the TCP transport, under harsher weather:
+  // 4 loopback workers, one killed mid-run, deterministic connection drops
+  // forcing disconnect/reconnect cycles (stale replayed rows fenced by the
+  // lease epochs), an interrupted first leg, and a --resume completion —
+  // the merged journal must still be byte-identical to the single-process
+  // run's.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const std::string journal_single =
+      testing::TempDir() + "determinism_tcp_single.jsonl";
+  const std::string journal_sharded =
+      testing::TempDir() + "determinism_tcp_sharded.jsonl";
+  std::remove(journal_single.c_str());
+  std::remove(journal_sharded.c_str());
+
+  RunnerOptions single_options;
+  single_options.num_threads = 1;
+  single_options.journal_path = journal_single;
+  const auto rows_single = BenchmarkRunner(single_options).Run(tasks);
+
+  RunnerOptions shard_runner_options;
+  shard_runner_options.journal_path = journal_sharded;
+  ShardOptions first_leg;
+  first_leg.transport = ShardTransport::kTcp;
+  first_leg.num_workers = 4;
+  first_leg.shard_size = 1;
+  first_leg.fault_kill_worker = 1;  // One worker dies after its first task.
+  first_leg.fault_kill_after_tasks = 1;
+  first_leg.fault_drain_after_tasks = 5;  // ...and the run is interrupted.
+  first_leg.chaos.drop = 0.1;             // Mild seeded connection drops.
+  first_leg.chaos.seed = 11;
+  ShardCoordinator first(shard_runner_options, first_leg);
+  first.Run(tasks);
+  EXPECT_TRUE(first.stats().interrupted);
+
+  shard_runner_options.resume = true;
+  ShardOptions second_leg;
+  second_leg.transport = ShardTransport::kTcp;
+  second_leg.num_workers = 4;
+  second_leg.chaos.drop = 0.1;  // Chaos on the resume leg too.
+  second_leg.chaos.seed = 12;
+  ShardCoordinator second(shard_runner_options, second_leg);
+  const auto rows_sharded = second.Run(tasks);
+
+  ExpectIdenticalRows(rows_single, rows_sharded);
+  const auto journal_rows_single = LoadJournal(journal_single);
+  const auto journal_rows_sharded = LoadJournal(journal_sharded);
+  ASSERT_EQ(journal_rows_single.size(), tasks.size());
+  ExpectIdenticalRows(journal_rows_single, journal_rows_sharded);
+  std::remove(journal_single.c_str());
+  std::remove(journal_sharded.c_str());
+}
+
 TEST(ResourceAccounting, JournalRoundTripsRusageFields) {
   ResultRow row;
   row.dataset = "d";

@@ -4,6 +4,7 @@
 // safe across any coordinator/worker crash combination.
 
 #include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -21,6 +22,7 @@
 #include "tfb/pipeline/journal.h"
 #include "tfb/pipeline/runner.h"
 #include "tfb/pipeline/shard.h"
+#include "tfb/pipeline/shard_worker.h"
 #include "tfb/stats/rng.h"
 
 namespace tfb::pipeline {
@@ -365,6 +367,281 @@ TEST(Shard, DedupJournalRowsFirstOccurrenceWins) {
   ASSERT_EQ(deduped.size(), 2u);
   EXPECT_EQ(deduped[0].note, "original");
   EXPECT_EQ(deduped[1].horizon, 12u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport + network-chaos matrix. Every chaos class must complete the
+// grid with rows byte-identical to a single-process run — first-completed-
+// wins dedup means no duplicated, fenced, or half-applied row may ever leak
+// into the results, no matter how the network misbehaves.
+
+TEST(Shard, TcpMatchesSingleProcessRowByRow) {
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto single = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.transport = ShardTransport::kTcp;
+  shard_options.num_workers = 2;
+  ShardCoordinator coordinator(RunnerOptions{}, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  ExpectIdenticalRows(single, sharded);
+  const ShardRunStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.worker_deaths, 0u);
+  EXPECT_GE(stats.connections, 2u);
+  // A fault-free loopback run has a quiet transport ledger.
+  EXPECT_EQ(stats.disconnects, 0u);
+  EXPECT_EQ(stats.reconnects, 0u);
+  EXPECT_EQ(stats.fenced_completions, 0u);
+  EXPECT_EQ(stats.corrupt_frames, 0u);
+}
+
+TEST(Shard, TcpExternalWorkerRunsTheGrid) {
+  // spawn_workers=false: the coordinator only listens; the worker is a
+  // separate process connecting over loopback — the tfb_worker deployment
+  // shape, minus the exec.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto single = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.transport = ShardTransport::kTcp;
+  shard_options.num_workers = 1;
+  shard_options.spawn_workers = false;
+  ShardCoordinator coordinator(RunnerOptions{}, shard_options);
+  std::string error;
+  ASSERT_TRUE(coordinator.BindListener(&error)) << error;
+  const std::uint16_t port = coordinator.listen_port();
+  ASSERT_GT(port, 0);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    TcpWorkerOptions worker;
+    worker.host = "127.0.0.1";
+    worker.port = port;
+    _exit(RunTcpShardWorker(worker));
+  }
+  const auto sharded = coordinator.Run(tasks);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "worker status " << status;
+
+  ExpectIdenticalRows(single, sharded);
+  EXPECT_EQ(coordinator.stats().workers_spawned, 0u);  // Nothing forked.
+  EXPECT_GE(coordinator.stats().connections, 1u);
+}
+
+TEST(Shard, TcpRejectsUnmarshallableTasksWithoutJournalingThem) {
+  // A task carrying in-memory custom_candidates cannot cross the wire: the
+  // coordinator must pre-reject it with an INTERNAL row — and must NOT
+  // journal that row, so a socketpair --resume can still run it.
+  std::vector<BenchmarkTask> tasks = SmallGrid();
+  BenchmarkTask custom;
+  custom.dataset = "synthetic";
+  custom.series = SmallSeasonal(300, 7);
+  custom.method = "InMemoryOnly";
+  custom.horizon = 6;
+  custom.custom_candidates.push_back({"InMemoryOnly", nullptr});
+  tasks.insert(tasks.begin() + 2, std::move(custom));
+
+  const std::string journal = TempPath("tcp_unmarshallable");
+  std::remove(journal.c_str());
+  RunnerOptions options;
+  options.journal_path = journal;
+  ShardOptions shard_options;
+  shard_options.transport = ShardTransport::kTcp;
+  shard_options.num_workers = 2;
+  ShardCoordinator coordinator(options, shard_options);
+  const auto rows = coordinator.Run(tasks);
+
+  ASSERT_EQ(rows.size(), tasks.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].method == "InMemoryOnly") {
+      EXPECT_FALSE(rows[i].ok);
+      EXPECT_NE(rows[i].error.find("marshalled"), std::string::npos)
+          << rows[i].error;
+    } else {
+      EXPECT_TRUE(rows[i].ok) << rows[i].method << ": " << rows[i].error;
+    }
+  }
+  EXPECT_EQ(coordinator.stats().quarantined, 0u);
+  EXPECT_EQ(LoadJournal(journal).size(), tasks.size() - 1);
+  std::remove(journal.c_str());
+}
+
+TEST(Shard, TcpChaosDropRecoversViaReconnect) {
+  // Seeded connection drops on the worker send path: shards re-queue for
+  // free (no attempt burned — network chaos must never quarantine a healthy
+  // task) and workers reconnect under fresh lease epochs.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto single = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.transport = ShardTransport::kTcp;
+  shard_options.num_workers = 2;
+  shard_options.shard_size = 2;
+  shard_options.chaos.drop = 0.25;
+  shard_options.chaos.seed = 5;
+  ShardCoordinator coordinator(RunnerOptions{}, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  ExpectIdenticalRows(single, sharded);
+  const ShardRunStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_GE(stats.disconnects, 1u);
+  EXPECT_GE(stats.reconnects, 1u);
+}
+
+TEST(Shard, TcpChaosDelayStillCompletesIdentically) {
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto single = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.transport = ShardTransport::kTcp;
+  shard_options.num_workers = 2;
+  shard_options.chaos.delay = 0.5;
+  shard_options.chaos.delay_ms = 2.0;
+  shard_options.chaos.seed = 6;
+  ShardCoordinator coordinator(RunnerOptions{}, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  ExpectIdenticalRows(single, sharded);
+  EXPECT_EQ(coordinator.stats().quarantined, 0u);
+  EXPECT_FALSE(coordinator.stats().interrupted);
+}
+
+TEST(Shard, TcpChaosShortWritesAreDiscardedCleanly) {
+  // A short write delivers a strict prefix of a frame and drops the
+  // connection: the coordinator must discard the torn frame (no partially
+  // applied row) and treat it as a plain disconnect.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto single = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.transport = ShardTransport::kTcp;
+  shard_options.num_workers = 2;
+  shard_options.shard_size = 2;
+  shard_options.chaos.short_write = 0.2;
+  shard_options.chaos.seed = 7;
+  ShardCoordinator coordinator(RunnerOptions{}, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  ExpectIdenticalRows(single, sharded);
+  const ShardRunStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_GE(stats.disconnects, 1u);
+}
+
+TEST(Shard, TcpChaosCorruptFramesAreDetectedAndFenced) {
+  // Flipped bits must be caught by the CRC (counted as corrupt frames),
+  // kill the connection, and never surface as a wrong row.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto single = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.transport = ShardTransport::kTcp;
+  shard_options.num_workers = 2;
+  shard_options.shard_size = 2;
+  shard_options.chaos.corrupt = 0.2;
+  shard_options.chaos.seed = 8;
+  ShardCoordinator coordinator(RunnerOptions{}, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  ExpectIdenticalRows(single, sharded);
+  const ShardRunStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_GE(stats.corrupt_frames, 1u);
+}
+
+TEST(Shard, TcpPartitionFencesStaleLeaseRows) {
+  // Deterministic partition scenario: one worker, a two-task shard, and a
+  // blackhole opening after 3 data frames (HELLO, START#0, ROW#0 pass).
+  // The worker finishes both tasks into the void; the coordinator's
+  // heartbeat timeout fences the lease and re-queues the remainder. On
+  // reconnect the worker replays both retained rows under the old epoch —
+  // each must be fenced (slot 0's accepted copy already won; slot 1's
+  // lease was revoked) — and then re-runs the remainder under the new
+  // epoch. Final rows: byte-identical, nothing duplicated.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto single = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.transport = ShardTransport::kTcp;
+  shard_options.num_workers = 1;
+  shard_options.shard_size = 2;
+  shard_options.heartbeat_seconds = 0.05;
+  shard_options.heartbeat_timeout_seconds = 1.0;
+  shard_options.chaos.partition_after = 3;
+  shard_options.chaos.partition_frames = 1000;  // Dark until reconnect.
+  shard_options.chaos.seed = 9;
+  ShardCoordinator coordinator(RunnerOptions{}, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  ExpectIdenticalRows(single, sharded);
+  const ShardRunStats& stats = coordinator.stats();
+  EXPECT_GE(stats.fenced_completions, 1u);
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GE(stats.disconnects, 1u);
+  EXPECT_EQ(stats.quarantined, 0u);
+}
+
+TEST(Shard, TcpPartialPartitionRequeuesSwallowedRows) {
+  // A partition that heals mid-shard: one worker, two-task shards, and a
+  // blackhole over frames 7..10 — exactly the second shard's two
+  // START/ROW pairs (HELLO=1, then S,R,S,R,D per shard). The rows vanish
+  // but the trailing DONE sails through on the healed link. The
+  // coordinator must notice the DONE covers slots it never received and
+  // re-queue them as a fresh shard; without that check both sides would
+  // idle forever (heartbeats flowing, nothing timing out).
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto single = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.transport = ShardTransport::kTcp;
+  shard_options.num_workers = 1;
+  shard_options.shard_size = 2;
+  shard_options.heartbeat_seconds = 0.05;
+  shard_options.chaos.partition_after = 6;
+  shard_options.chaos.partition_frames = 4;
+  shard_options.chaos.seed = 10;
+  ShardCoordinator coordinator(RunnerOptions{}, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  ExpectIdenticalRows(single, sharded);
+  const ShardRunStats& stats = coordinator.stats();
+  EXPECT_GE(stats.redispatches, 1u);
+  EXPECT_EQ(stats.worker_deaths, 0u);
+  EXPECT_EQ(stats.disconnects, 0u);
+  EXPECT_EQ(stats.quarantined, 0u);
+}
+
+TEST(Shard, TcpSwallowedDoneIsResentWhileIdle) {
+  // The mirror case: the partition swallows exactly the first shard's
+  // DONE (frame 6) and heals. Every row arrived, so nothing is missing —
+  // but the coordinator still considers the shard in-flight and the
+  // worker considers it finished. The idle worker must resend the DONE
+  // (idempotent on the coordinator) to close the shard; the run then
+  // completes with no disconnects and no recomputation.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const auto single = BenchmarkRunner(RunnerOptions{}).Run(tasks);
+
+  ShardOptions shard_options;
+  shard_options.transport = ShardTransport::kTcp;
+  shard_options.num_workers = 1;
+  shard_options.shard_size = 2;
+  shard_options.heartbeat_seconds = 0.05;
+  shard_options.chaos.partition_after = 5;
+  shard_options.chaos.partition_frames = 1;
+  shard_options.chaos.seed = 11;
+  ShardCoordinator coordinator(RunnerOptions{}, shard_options);
+  const auto sharded = coordinator.Run(tasks);
+
+  ExpectIdenticalRows(single, sharded);
+  const ShardRunStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.worker_deaths, 0u);
+  EXPECT_EQ(stats.disconnects, 0u);
+  EXPECT_EQ(stats.quarantined, 0u);
 }
 
 TEST(Shard, SingleWorkerDegenerateCaseWorks) {
