@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tfb/base/check.h"
+#include "tfb/methods/serialize_util.h"
 #include "tfb/stats/descriptive.h"
 
 namespace tfb::methods {
@@ -196,6 +197,102 @@ std::size_t NeuralForecaster::NumParameters() const {
   std::vector<nn::Parameter*> params;
   net_->CollectParameters(&params);
   return nn::CountParameters(params);
+}
+
+base::Status NeuralForecaster::SaveFitted(base::BlobWriter* blob) const {
+  if (net_ == nullptr) {
+    return base::Status::Internal(name() + ": SaveFitted before Fit");
+  }
+  blob->PutU8(1);
+  blob->PutU64(options_.lookback);
+  blob->PutU64(options_.horizon);
+  blob->PutU64(num_channels_);
+  blob->PutU8(static_cast<std::uint8_t>(options_.norm));
+  // CollectParameters is non-const (it hands out mutable pointers for the
+  // optimizer); serialization only reads the values.
+  std::vector<nn::Parameter*> params;
+  const_cast<NeuralForecaster*>(this)->net_->CollectParameters(&params);
+  blob->PutU64(params.size());
+  for (const nn::Parameter* p : params) {
+    blob->PutU64(p->value.rows());
+    blob->PutU64(p->value.cols());
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      blob->PutDouble(p->value.data()[i]);
+    }
+  }
+  return base::Status::Ok();
+}
+
+base::Status NeuralForecaster::LoadFitted(base::BlobReader* blob) {
+  TFB_RETURN_IF_ERROR(detail::CheckVersion(blob, 1, name().c_str()));
+  std::uint64_t lookback = 0;
+  std::uint64_t horizon = 0;
+  std::uint64_t channels = 0;
+  std::uint8_t norm = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&lookback));
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&horizon));
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&channels));
+  TFB_RETURN_IF_ERROR(blob->ReadU8(&norm));
+  if (horizon != options_.horizon) {
+    return base::Status::InvalidInput(
+        name() + " blob fitted for horizon " + std::to_string(horizon) +
+        " but this instance is configured for " +
+        std::to_string(options_.horizon));
+  }
+  if (norm != static_cast<std::uint8_t>(options_.norm)) {
+    return base::Status::InvalidInput(name() +
+                                      " blob uses a different window norm");
+  }
+  if (lookback == 0 || channels == 0) {
+    return base::Status::InvalidInput(name() + " blob has empty geometry");
+  }
+  options_.lookback = static_cast<std::size_t>(lookback);
+  num_channels_ = static_cast<std::size_t>(channels);
+
+  // Rebuild the architecture exactly as Fit would, then overwrite the
+  // initialized weights; the subclass construction parameters (hidden
+  // widths, kernel sizes, ...) come from the caller constructing this
+  // instance with the same options as the saved one.
+  stats::Rng rng(options_.seed);
+  const std::size_t in_width =
+      channel_dependent() ? num_channels_ * options_.lookback
+                          : options_.lookback;
+  const std::size_t out_width = channel_dependent()
+                                    ? num_channels_ * options_.horizon
+                                    : options_.horizon;
+  std::unique_ptr<nn::Module> net =
+      BuildNetwork(in_width, out_width, num_channels_, rng);
+  std::vector<nn::Parameter*> params;
+  net->CollectParameters(&params);
+
+  std::uint64_t count = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&count));
+  if (count != params.size()) {
+    return base::Status::InvalidInput(
+        name() + " blob holds " + std::to_string(count) +
+        " parameter tensors but the architecture has " +
+        std::to_string(params.size()));
+  }
+  for (nn::Parameter* p : params) {
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    TFB_RETURN_IF_ERROR(blob->ReadU64(&rows));
+    TFB_RETURN_IF_ERROR(blob->ReadU64(&cols));
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return base::Status::InvalidInput(
+          name() + " blob tensor " + std::to_string(rows) + "x" +
+          std::to_string(cols) + " does not match architecture tensor " +
+          std::to_string(p->value.rows()) + "x" +
+          std::to_string(p->value.cols()));
+    }
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      TFB_RETURN_IF_ERROR(blob->ReadDouble(&p->value.data()[i]));
+    }
+    p->ZeroGrad();
+  }
+  net_ = std::move(net);
+  train_result_ = nn::TrainResult{};
+  return base::Status::Ok();
 }
 
 }  // namespace tfb::methods

@@ -44,6 +44,15 @@ class NeuralForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) final;
   std::size_t lookback() const final { return options_.lookback; }
+  std::size_t fitted_channels() const final { return num_channels_; }
+
+  /// Fitted-state round trip shared by every DL subclass: the Fit-derived
+  /// window geometry plus the flat parameter tensors, in CollectParameters
+  /// order. LoadFitted rebuilds the architecture via BuildNetwork (the
+  /// subclass must be constructed with the same options) and overwrites the
+  /// freshly initialized weights with the saved ones.
+  base::Status SaveFitted(base::BlobWriter* blob) const final;
+  base::Status LoadFitted(base::BlobReader* blob) final;
 
   /// Total trainable scalar parameters (Figure 11's x-axis).
   std::size_t NumParameters() const;

@@ -5,6 +5,8 @@
 #include <memory>
 #include <string>
 
+#include "tfb/base/blob.h"
+#include "tfb/base/status.h"
 #include "tfb/ts/time_series.h"
 
 namespace tfb::methods {
@@ -44,6 +46,29 @@ class Forecaster {
   /// it uses the entire history. Used by the evaluation layer to build
   /// batched test samples.
   virtual std::size_t lookback() const { return 0; }
+
+  /// The channel count the fitted state is bound to, or 0 when the model
+  /// forecasts any number of channels (channel-independent refitters).
+  /// The serving plane validates request histories against this before
+  /// Forecast, whose own shape checks abort rather than fail cleanly.
+  virtual std::size_t fitted_channels() const { return 0; }
+
+  /// Fitted-model serialization (the serving plane's persistence hook; see
+  /// serve::SerializeModel for the framed on-disk format). SaveFitted
+  /// appends the complete fitted state — everything Fit derived — to
+  /// `blob`; LoadFitted restores it into a forecaster constructed with the
+  /// *same options* the saved one was, after which Forecast must produce
+  /// byte-identical output to the original (enforced for every registered
+  /// method by serve_model_io_test). Both default to INTERNAL for
+  /// forecasters without an implementation (e.g. test doubles).
+  virtual base::Status SaveFitted(base::BlobWriter* blob) const {
+    (void)blob;
+    return base::Status::Internal(name() + " does not support serialization");
+  }
+  virtual base::Status LoadFitted(base::BlobReader* blob) {
+    (void)blob;
+    return base::Status::Internal(name() + " does not support serialization");
+  }
 };
 
 /// Factory producing a fresh, unfitted forecaster; the unit the pipeline's

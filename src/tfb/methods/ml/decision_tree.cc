@@ -129,4 +129,50 @@ double DecisionTree::Predict(const double* features) const {
   return nodes_[node].value;
 }
 
+
+void DecisionTree::Save(base::BlobWriter* blob) const {
+  blob->PutU64(nodes_.size());
+  for (const Node& n : nodes_) {
+    blob->PutI64(n.feature);
+    blob->PutDouble(n.threshold);
+    blob->PutDouble(n.value);
+    blob->PutI64(n.left);
+    blob->PutI64(n.right);
+  }
+}
+
+base::Status DecisionTree::Load(base::BlobReader* blob) {
+  std::uint64_t count = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&count));
+  // Each node record is 40 bytes; reject counts the blob cannot hold.
+  if (count > blob->remaining() / 40) {
+    return base::Status::InvalidInput(
+        "blob truncated: tree of " + std::to_string(count) +
+        " nodes overruns remaining " + std::to_string(blob->remaining()) +
+        " bytes");
+  }
+  std::vector<Node> nodes(static_cast<std::size_t>(count));
+  const std::int64_t n = static_cast<std::int64_t>(count);
+  for (Node& node : nodes) {
+    std::int64_t feature = 0;
+    std::int64_t left = 0;
+    std::int64_t right = 0;
+    TFB_RETURN_IF_ERROR(blob->ReadI64(&feature));
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&node.threshold));
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&node.value));
+    TFB_RETURN_IF_ERROR(blob->ReadI64(&left));
+    TFB_RETURN_IF_ERROR(blob->ReadI64(&right));
+    // Child indices must stay inside the node array (or be -1 for leaves):
+    // a corrupted tree must fail the load, not fault at Predict time.
+    if (left < -1 || left >= n || right < -1 || right >= n) {
+      return base::Status::InvalidInput("corrupt tree: child index out of range");
+    }
+    node.feature = static_cast<int>(feature);
+    node.left = static_cast<std::int32_t>(left);
+    node.right = static_cast<std::int32_t>(right);
+  }
+  nodes_ = std::move(nodes);
+  return base::Status::Ok();
+}
+
 }  // namespace tfb::methods

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tfb/base/blob.h"
 #include "tfb/linalg/matrix.h"
 #include "tfb/stats/rng.h"
 
@@ -38,6 +39,12 @@ class DecisionTree {
 
   /// Number of nodes (tests / introspection).
   std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Appends the flat node array to `blob` / restores it. The ensemble
+  /// forecasters (RandomForest, XGB) serialize their fitted state as a
+  /// sequence of these tree records.
+  void Save(base::BlobWriter* blob) const;
+  base::Status Load(base::BlobReader* blob);
 
  private:
   struct Node {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tfb/base/check.h"
+#include "tfb/methods/serialize_util.h"
 #include "tfb/methods/ml/window.h"
 #include "tfb/stats/descriptive.h"
 
@@ -71,6 +72,37 @@ ts::TimeSeries GradientBoostingForecaster::Forecast(
     }
   }
   return ts::TimeSeries(std::move(out));
+}
+
+
+base::Status GradientBoostingForecaster::SaveFitted(
+    base::BlobWriter* blob) const {
+  blob->PutU8(1);
+  blob->PutU64(options_.lookback);  // Fit-derived.
+  blob->PutDouble(base_prediction_);
+  blob->PutU64(trees_.size());
+  for (const DecisionTree& tree : trees_) tree.Save(blob);
+  return base::Status::Ok();
+}
+
+base::Status GradientBoostingForecaster::LoadFitted(base::BlobReader* blob) {
+  TFB_RETURN_IF_ERROR(detail::CheckVersion(blob, 1, "XGB"));
+  std::uint64_t lookback = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&lookback));
+  double base_prediction = 0.0;
+  TFB_RETURN_IF_ERROR(blob->ReadDouble(&base_prediction));
+  std::uint64_t count = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&count));
+  if (count > blob->remaining() / 8) {
+    return base::Status::InvalidInput("blob truncated: ensemble of " +
+                                      std::to_string(count) + " trees");
+  }
+  std::vector<DecisionTree> trees(static_cast<std::size_t>(count));
+  for (DecisionTree& tree : trees) TFB_RETURN_IF_ERROR(tree.Load(blob));
+  options_.lookback = static_cast<std::size_t>(lookback);
+  base_prediction_ = base_prediction;
+  trees_ = std::move(trees);
+  return base::Status::Ok();
 }
 
 }  // namespace tfb::methods

@@ -35,6 +35,8 @@ class GradientBoostingForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) override;
   std::size_t lookback() const override { return options_.lookback; }
+  base::Status SaveFitted(base::BlobWriter* blob) const override;
+  base::Status LoadFitted(base::BlobReader* blob) override;
 
  private:
   GradientBoostingOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tfb/base/check.h"
+#include "tfb/methods/serialize_util.h"
 #include "tfb/linalg/solve.h"
 #include "tfb/methods/ml/window.h"
 
@@ -59,6 +60,33 @@ ts::TimeSeries LinearRegressionForecaster::Forecast(
     }
   }
   return ts::TimeSeries(std::move(out));
+}
+
+
+base::Status LinearRegressionForecaster::SaveFitted(
+    base::BlobWriter* blob) const {
+  blob->PutU8(1);
+  blob->PutU64(options_.lookback);  // Fit-derived; must survive the reload.
+  detail::PutMatrix(blob, coeffs_);
+  return base::Status::Ok();
+}
+
+base::Status LinearRegressionForecaster::LoadFitted(base::BlobReader* blob) {
+  TFB_RETURN_IF_ERROR(detail::CheckVersion(blob, 1, "LinearRegression"));
+  std::uint64_t lookback = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&lookback));
+  linalg::Matrix coeffs;
+  TFB_RETURN_IF_ERROR(detail::ReadMatrix(blob, &coeffs));
+  if (coeffs.rows() != lookback + 1 || coeffs.cols() != options_.horizon) {
+    return base::Status::InvalidInput(
+        "LinearRegression blob shape mismatch: coeffs " +
+        std::to_string(coeffs.rows()) + "x" + std::to_string(coeffs.cols()) +
+        " vs lookback " + std::to_string(lookback) + ", horizon " +
+        std::to_string(options_.horizon));
+  }
+  options_.lookback = static_cast<std::size_t>(lookback);
+  coeffs_ = std::move(coeffs);
+  return base::Status::Ok();
 }
 
 }  // namespace tfb::methods

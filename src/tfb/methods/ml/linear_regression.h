@@ -31,6 +31,8 @@ class LinearRegressionForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) override;
   std::size_t lookback() const override { return options_.lookback; }
+  base::Status SaveFitted(base::BlobWriter* blob) const override;
+  base::Status LoadFitted(base::BlobReader* blob) override;
 
  private:
   LinearRegressionOptions options_;

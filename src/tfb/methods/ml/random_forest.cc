@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tfb/base/check.h"
+#include "tfb/methods/serialize_util.h"
 #include "tfb/methods/ml/window.h"
 
 namespace tfb::methods {
@@ -57,6 +58,32 @@ ts::TimeSeries RandomForestForecaster::Forecast(const ts::TimeSeries& history,
     }
   }
   return ts::TimeSeries(std::move(out));
+}
+
+
+base::Status RandomForestForecaster::SaveFitted(base::BlobWriter* blob) const {
+  blob->PutU8(1);
+  blob->PutU64(options_.lookback);  // Fit-derived.
+  blob->PutU64(trees_.size());
+  for (const DecisionTree& tree : trees_) tree.Save(blob);
+  return base::Status::Ok();
+}
+
+base::Status RandomForestForecaster::LoadFitted(base::BlobReader* blob) {
+  TFB_RETURN_IF_ERROR(detail::CheckVersion(blob, 1, "RandomForest"));
+  std::uint64_t lookback = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&lookback));
+  std::uint64_t count = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&count));
+  if (count > blob->remaining() / 8) {
+    return base::Status::InvalidInput("blob truncated: forest of " +
+                                      std::to_string(count) + " trees");
+  }
+  std::vector<DecisionTree> trees(static_cast<std::size_t>(count));
+  for (DecisionTree& tree : trees) TFB_RETURN_IF_ERROR(tree.Load(blob));
+  options_.lookback = static_cast<std::size_t>(lookback);
+  trees_ = std::move(trees);
+  return base::Status::Ok();
 }
 
 }  // namespace tfb::methods

@@ -33,6 +33,8 @@ class RandomForestForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) override;
   std::size_t lookback() const override { return options_.lookback; }
+  base::Status SaveFitted(base::BlobWriter* blob) const override;
+  base::Status LoadFitted(base::BlobReader* blob) override;
 
  private:
   RandomForestOptions options_;

@@ -1,6 +1,7 @@
 #include "tfb/methods/naive.h"
 
 #include "tfb/base/check.h"
+#include "tfb/methods/serialize_util.h"
 #include "tfb/stats/descriptive.h"
 
 namespace tfb::methods {
@@ -84,6 +85,56 @@ ts::TimeSeries MeanForecaster::Forecast(const ts::TimeSeries& history,
     for (std::size_t h = 0; h < horizon; ++h) out.at(h, v) = mean;
   }
   return out;
+}
+
+// The persistence forecasters carry no fitted state beyond their options —
+// the blob is just a version tag (plus the resolved period for the seasonal
+// variant, which Fit derives from the training series' metadata).
+namespace {
+constexpr std::uint8_t kNaiveBlobVersion = 1;
+}  // namespace
+
+base::Status NaiveForecaster::SaveFitted(base::BlobWriter* blob) const {
+  blob->PutU8(kNaiveBlobVersion);
+  return base::Status::Ok();
+}
+
+base::Status NaiveForecaster::LoadFitted(base::BlobReader* blob) {
+  return detail::CheckVersion(blob, kNaiveBlobVersion, "Naive");
+}
+
+base::Status SeasonalNaiveForecaster::SaveFitted(
+    base::BlobWriter* blob) const {
+  blob->PutU8(kNaiveBlobVersion);
+  blob->PutU64(period_);
+  return base::Status::Ok();
+}
+
+base::Status SeasonalNaiveForecaster::LoadFitted(base::BlobReader* blob) {
+  TFB_RETURN_IF_ERROR(
+      detail::CheckVersion(blob, kNaiveBlobVersion, "SeasonalNaive"));
+  std::uint64_t period = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&period));
+  period_ = static_cast<std::size_t>(period);
+  return base::Status::Ok();
+}
+
+base::Status DriftForecaster::SaveFitted(base::BlobWriter* blob) const {
+  blob->PutU8(kNaiveBlobVersion);
+  return base::Status::Ok();
+}
+
+base::Status DriftForecaster::LoadFitted(base::BlobReader* blob) {
+  return detail::CheckVersion(blob, kNaiveBlobVersion, "Drift");
+}
+
+base::Status MeanForecaster::SaveFitted(base::BlobWriter* blob) const {
+  blob->PutU8(kNaiveBlobVersion);
+  return base::Status::Ok();
+}
+
+base::Status MeanForecaster::LoadFitted(base::BlobReader* blob) {
+  return detail::CheckVersion(blob, kNaiveBlobVersion, "Mean");
 }
 
 }  // namespace tfb::methods

@@ -14,6 +14,8 @@ class NaiveForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) override;
   bool RefitPerWindow() const override { return true; }
+  base::Status SaveFitted(base::BlobWriter* blob) const override;
+  base::Status LoadFitted(base::BlobReader* blob) override;
 };
 
 /// Seasonal persistence: forecast t+h equals the observation one seasonal
@@ -27,6 +29,8 @@ class SeasonalNaiveForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) override;
   bool RefitPerWindow() const override { return true; }
+  base::Status SaveFitted(base::BlobWriter* blob) const override;
+  base::Status LoadFitted(base::BlobReader* blob) override;
 
  private:
   std::size_t period_;
@@ -41,6 +45,8 @@ class DriftForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) override;
   bool RefitPerWindow() const override { return true; }
+  base::Status SaveFitted(base::BlobWriter* blob) const override;
+  base::Status LoadFitted(base::BlobReader* blob) override;
 };
 
 /// Historical-mean forecaster.
@@ -51,6 +57,8 @@ class MeanForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) override;
   bool RefitPerWindow() const override { return true; }
+  base::Status SaveFitted(base::BlobWriter* blob) const override;
+  base::Status LoadFitted(base::BlobReader* blob) override;
 };
 
 }  // namespace tfb::methods

@@ -1,0 +1,57 @@
+#ifndef TFB_METHODS_SERIALIZE_UTIL_H_
+#define TFB_METHODS_SERIALIZE_UTIL_H_
+
+#include "tfb/base/blob.h"
+#include "tfb/linalg/matrix.h"
+
+/// \file
+/// Shared blob codecs for the SaveFitted/LoadFitted implementations: the
+/// matrix layout (rows, cols, row-major doubles) used by every family that
+/// stores fitted coefficients as a linalg::Matrix.
+
+namespace tfb::methods::detail {
+
+inline void PutMatrix(base::BlobWriter* w, const linalg::Matrix& m) {
+  w->PutU64(m.rows());
+  w->PutU64(m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) w->PutDouble(m.data()[i]);
+}
+
+inline base::Status ReadMatrix(base::BlobReader* r, linalg::Matrix* m) {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  TFB_RETURN_IF_ERROR(r->ReadU64(&rows));
+  TFB_RETURN_IF_ERROR(r->ReadU64(&cols));
+  if (cols != 0 && rows > r->remaining() / 8 / cols) {
+    return base::Status::InvalidInput(
+        "blob truncated: matrix " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " overruns remaining " +
+        std::to_string(r->remaining()) + " bytes");
+  }
+  linalg::Matrix out(static_cast<std::size_t>(rows),
+                     static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    TFB_RETURN_IF_ERROR(r->ReadDouble(&out.data()[i]));
+  }
+  *m = std::move(out);
+  return base::Status::Ok();
+}
+
+/// Version-tag helpers: every family blob starts with a one-byte version so
+/// formats can evolve without breaking stored models.
+inline base::Status CheckVersion(base::BlobReader* r, std::uint8_t expected,
+                                 const char* what) {
+  std::uint8_t version = 0;
+  TFB_RETURN_IF_ERROR(r->ReadU8(&version));
+  if (version != expected) {
+    return base::Status::InvalidInput(
+        std::string(what) + ": unsupported blob version " +
+        std::to_string(version) + " (expected " + std::to_string(expected) +
+        ")");
+  }
+  return base::Status::Ok();
+}
+
+}  // namespace tfb::methods::detail
+
+#endif  // TFB_METHODS_SERIALIZE_UTIL_H_

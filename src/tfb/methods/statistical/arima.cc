@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "tfb/base/check.h"
+#include "tfb/methods/serialize_util.h"
 #include "tfb/characterization/adf.h"
 #include "tfb/linalg/solve.h"
 #include "tfb/optimize/nelder_mead.h"
@@ -226,6 +227,44 @@ ts::TimeSeries ArimaForecaster::Forecast(const ts::TimeSeries& history,
     for (std::size_t h = 0; h < horizon; ++h) values(h, v) = forecast[h];
   }
   return ts::TimeSeries(std::move(values));
+}
+
+
+base::Status ArimaForecaster::SaveFitted(base::BlobWriter* blob) const {
+  blob->PutU8(1);
+  blob->PutU64(models_.size());
+  for (const ChannelModel& m : models_) {
+    blob->PutI64(m.order.p);
+    blob->PutI64(m.order.d);
+    blob->PutI64(m.order.q);
+    blob->PutDouble(m.constant);
+    blob->PutDoubleVector(m.ar);
+    blob->PutDoubleVector(m.ma);
+  }
+  return base::Status::Ok();
+}
+
+base::Status ArimaForecaster::LoadFitted(base::BlobReader* blob) {
+  TFB_RETURN_IF_ERROR(detail::CheckVersion(blob, 1, "ARIMA"));
+  std::uint64_t count = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&count));
+  std::vector<ChannelModel> models(static_cast<std::size_t>(count));
+  for (ChannelModel& m : models) {
+    std::int64_t p = 0;
+    std::int64_t d = 0;
+    std::int64_t q = 0;
+    TFB_RETURN_IF_ERROR(blob->ReadI64(&p));
+    TFB_RETURN_IF_ERROR(blob->ReadI64(&d));
+    TFB_RETURN_IF_ERROR(blob->ReadI64(&q));
+    m.order.p = static_cast<int>(p);
+    m.order.d = static_cast<int>(d);
+    m.order.q = static_cast<int>(q);
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&m.constant));
+    TFB_RETURN_IF_ERROR(blob->ReadDoubleVector(&m.ar));
+    TFB_RETURN_IF_ERROR(blob->ReadDoubleVector(&m.ma));
+  }
+  models_ = std::move(models);
+  return base::Status::Ok();
 }
 
 }  // namespace tfb::methods

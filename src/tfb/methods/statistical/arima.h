@@ -35,6 +35,9 @@ class ArimaForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) override;
   bool RefitPerWindow() const override { return true; }
+  base::Status SaveFitted(base::BlobWriter* blob) const override;
+  base::Status LoadFitted(base::BlobReader* blob) override;
+  std::size_t fitted_channels() const override { return models_.size(); }
 
   /// Selected (p, d, q) for channel `v` after Fit (for tests/reports).
   struct Order {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tfb/base/check.h"
+#include "tfb/methods/serialize_util.h"
 #include "tfb/optimize/nelder_mead.h"
 #include "tfb/stats/descriptive.h"
 
@@ -162,6 +163,46 @@ ts::TimeSeries EtsForecaster::Forecast(const ts::TimeSeries& history,
     for (std::size_t h = 0; h < horizon; ++h) values(h, v) = forecast[h];
   }
   return ts::TimeSeries(std::move(values));
+}
+
+
+base::Status EtsForecaster::SaveFitted(base::BlobWriter* blob) const {
+  blob->PutU8(1);
+  blob->PutU64(models_.size());
+  for (const ChannelModel& m : models_) {
+    blob->PutDouble(m.alpha);
+    blob->PutDouble(m.beta);
+    blob->PutDouble(m.gamma);
+    blob->PutDouble(m.phi);
+    blob->PutU8(m.use_trend ? 1 : 0);
+    blob->PutU8(m.use_seasonal ? 1 : 0);
+    blob->PutU64(m.period);
+  }
+  return base::Status::Ok();
+}
+
+base::Status EtsForecaster::LoadFitted(base::BlobReader* blob) {
+  TFB_RETURN_IF_ERROR(detail::CheckVersion(blob, 1, "ETS"));
+  std::uint64_t count = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&count));
+  std::vector<ChannelModel> models(static_cast<std::size_t>(count));
+  for (ChannelModel& m : models) {
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&m.alpha));
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&m.beta));
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&m.gamma));
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&m.phi));
+    std::uint8_t trend = 0;
+    std::uint8_t seasonal = 0;
+    TFB_RETURN_IF_ERROR(blob->ReadU8(&trend));
+    TFB_RETURN_IF_ERROR(blob->ReadU8(&seasonal));
+    m.use_trend = trend != 0;
+    m.use_seasonal = seasonal != 0;
+    std::uint64_t period = 0;
+    TFB_RETURN_IF_ERROR(blob->ReadU64(&period));
+    m.period = static_cast<std::size_t>(period);
+  }
+  models_ = std::move(models);
+  return base::Status::Ok();
 }
 
 }  // namespace tfb::methods

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tfb/base/check.h"
+#include "tfb/methods/serialize_util.h"
 #include "tfb/optimize/nelder_mead.h"
 #include "tfb/stats/descriptive.h"
 
@@ -198,6 +199,42 @@ ts::TimeSeries KalmanForecaster::Forecast(const ts::TimeSeries& history,
     for (std::size_t h = 0; h < horizon; ++h) values(h, v) = f[h];
   }
   return ts::TimeSeries(std::move(values));
+}
+
+
+base::Status KalmanForecaster::SaveFitted(base::BlobWriter* blob) const {
+  blob->PutU8(1);
+  blob->PutU64(models_.size());
+  for (const ChannelModel& m : models_) {
+    blob->PutDouble(m.q_level);
+    blob->PutDouble(m.q_slope);
+    blob->PutDouble(m.q_seasonal);
+    blob->PutDouble(m.r_obs);
+    blob->PutU64(m.period);
+    blob->PutI64(m.harmonics);
+  }
+  return base::Status::Ok();
+}
+
+base::Status KalmanForecaster::LoadFitted(base::BlobReader* blob) {
+  TFB_RETURN_IF_ERROR(detail::CheckVersion(blob, 1, "KalmanFilter"));
+  std::uint64_t count = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&count));
+  std::vector<ChannelModel> models(static_cast<std::size_t>(count));
+  for (ChannelModel& m : models) {
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&m.q_level));
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&m.q_slope));
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&m.q_seasonal));
+    TFB_RETURN_IF_ERROR(blob->ReadDouble(&m.r_obs));
+    std::uint64_t period = 0;
+    TFB_RETURN_IF_ERROR(blob->ReadU64(&period));
+    m.period = static_cast<std::size_t>(period);
+    std::int64_t harmonics = 0;
+    TFB_RETURN_IF_ERROR(blob->ReadI64(&harmonics));
+    m.harmonics = static_cast<int>(harmonics);
+  }
+  models_ = std::move(models);
+  return base::Status::Ok();
 }
 
 }  // namespace tfb::methods

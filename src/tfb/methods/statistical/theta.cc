@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tfb/base/check.h"
+#include "tfb/methods/serialize_util.h"
 #include "tfb/optimize/nelder_mead.h"
 #include "tfb/stats/descriptive.h"
 
@@ -127,6 +128,20 @@ ts::TimeSeries ThetaForecaster::Forecast(const ts::TimeSeries& history,
     for (std::size_t h = 0; h < horizon; ++h) values(h, v) = forecast[h];
   }
   return ts::TimeSeries(std::move(values));
+}
+
+base::Status ThetaForecaster::SaveFitted(base::BlobWriter* blob) const {
+  blob->PutU8(1);
+  blob->PutU64(period_);
+  return base::Status::Ok();
+}
+
+base::Status ThetaForecaster::LoadFitted(base::BlobReader* blob) {
+  TFB_RETURN_IF_ERROR(detail::CheckVersion(blob, 1, "Theta"));
+  std::uint64_t period = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&period));
+  period_ = static_cast<std::size_t>(period);
+  return base::Status::Ok();
 }
 
 }  // namespace tfb::methods

@@ -23,6 +23,8 @@ class ThetaForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) override;
   bool RefitPerWindow() const override { return true; }
+  base::Status SaveFitted(base::BlobWriter* blob) const override;
+  base::Status LoadFitted(base::BlobReader* blob) override;
 
  private:
   std::vector<double> ForecastChannel(const std::vector<double>& y,

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "tfb/base/check.h"
+#include "tfb/methods/serialize_util.h"
 #include "tfb/linalg/solve.h"
 
 namespace tfb::methods {
@@ -108,6 +109,29 @@ ts::TimeSeries VarForecaster::Forecast(const ts::TimeSeries& history,
     state[0] = next;
   }
   return ts::TimeSeries(std::move(out));
+}
+
+
+base::Status VarForecaster::SaveFitted(base::BlobWriter* blob) const {
+  blob->PutU8(1);
+  blob->PutI64(lag_);
+  blob->PutU64(num_vars_);
+  detail::PutMatrix(blob, coeffs_);
+  return base::Status::Ok();
+}
+
+base::Status VarForecaster::LoadFitted(base::BlobReader* blob) {
+  TFB_RETURN_IF_ERROR(detail::CheckVersion(blob, 1, "VAR"));
+  std::int64_t lag = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadI64(&lag));
+  std::uint64_t num_vars = 0;
+  TFB_RETURN_IF_ERROR(blob->ReadU64(&num_vars));
+  linalg::Matrix coeffs;
+  TFB_RETURN_IF_ERROR(detail::ReadMatrix(blob, &coeffs));
+  lag_ = static_cast<int>(lag);
+  num_vars_ = static_cast<std::size_t>(num_vars);
+  coeffs_ = std::move(coeffs);
+  return base::Status::Ok();
 }
 
 }  // namespace tfb::methods

@@ -31,6 +31,9 @@ class VarForecaster : public Forecaster {
   ts::TimeSeries Forecast(const ts::TimeSeries& history,
                           std::size_t horizon) override;
   bool RefitPerWindow() const override { return true; }
+  base::Status SaveFitted(base::BlobWriter* blob) const override;
+  base::Status LoadFitted(base::BlobReader* blob) override;
+  std::size_t fitted_channels() const override { return num_vars_; }
 
   /// Selected lag order after Fit.
   int lag() const { return lag_; }

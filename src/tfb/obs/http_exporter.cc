@@ -1,14 +1,20 @@
 #include "tfb/obs/http_exporter.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "tfb/obs/log.h"
@@ -17,95 +23,145 @@ namespace tfb::obs {
 
 namespace {
 
-// Wall-time budget for one connection (read request + write response): a
-// stuck client must not wedge the single-threaded server.
-constexpr int kConnectionBudgetMs = 2000;
+using Clock = std::chrono::steady_clock;
 
 void CloseIfOpen(int* fd) {
   if (*fd >= 0) close(*fd);
   *fd = -1;
 }
 
-/// Blocking-with-deadline write of the full buffer; returns false on error
-/// or budget exhaustion. MSG_NOSIGNAL: a scraper that disconnects mid-write
-/// must produce EPIPE, not SIGPIPE.
-bool WriteAll(int fd, const char* data, std::size_t size, int budget_ms) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
-  std::size_t written = 0;
-  while (written < size) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) return false;
-    pollfd pfd{fd, POLLOUT, 0};
-    const int remaining = static_cast<int>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
-            .count());
-    const int ready = poll(&pfd, 1, remaining);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (ready == 0) return false;
-    const ssize_t n =
-        send(fd, data + written, size - written, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return true;
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
-
-/// Reads until the end of the request headers ("\r\n\r\n") or the budget
-/// runs out. GET requests have no body, so the headers are the request.
-bool ReadRequest(int fd, int budget_ms, std::string* request) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
-  char buf[2048];
-  while (request->find("\r\n\r\n") == std::string::npos) {
-    if (request->size() > 64 * 1024) return false;  // Header bomb.
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) return false;
-    pollfd pfd{fd, POLLIN, 0};
-    const int remaining = static_cast<int>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
-            .count());
-    const int ready = poll(&pfd, 1, remaining);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (ready == 0) return false;
-    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      return false;
-    }
-    if (n == 0) return false;  // Peer closed before finishing the request.
-    request->append(buf, static_cast<std::size_t>(n));
-  }
-  return true;
-}
-
-struct Response {
-  int code = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
 
 const char* ReasonPhrase(int code) {
   switch (code) {
     case 200: return "OK";
+    case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Error";
   }
 }
 
+/// Serializes a response as HTTP/1.0 wire bytes. Connection: close always —
+/// one request per connection keeps the state machine two-phase.
+std::string RenderResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(response.code);
+  out += ' ';
+  out += ReasonPhrase(response.code);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  for (const auto& [key, value] : response.headers) {
+    out += "\r\n";
+    out += key;
+    out += ": ";
+    out += value;
+  }
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse SimpleResponse(int code, std::string body) {
+  HttpResponse resp;
+  resp.code = code;
+  resp.body = std::move(body);
+  return resp;
+}
+
+/// Case-insensitive Content-Length lookup in the raw header block.
+/// Returns false when absent; `*length` is the parsed value.
+bool FindContentLength(const std::string& headers, std::size_t* length) {
+  std::size_t pos = 0;
+  while (pos < headers.size()) {
+    std::size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string::npos) eol = headers.size();
+    const std::size_t colon = headers.find(':', pos);
+    if (colon != std::string::npos && colon < eol) {
+      std::string key = headers.substr(pos, colon - pos);
+      std::transform(key.begin(), key.end(), key.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (key == "content-length") {
+        std::size_t value_begin = colon + 1;
+        while (value_begin < eol && headers[value_begin] == ' ') ++value_begin;
+        std::size_t parsed = 0;
+        for (std::size_t i = value_begin; i < eol; ++i) {
+          const char c = headers[i];
+          if (c < '0' || c > '9') return false;
+          if (parsed > (SIZE_MAX - 9) / 10) return false;
+          parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+        }
+        *length = parsed;
+        return true;
+      }
+    }
+    pos = eol + 2;
+    if (eol == headers.size()) break;
+  }
+  return false;
+}
+
 }  // namespace
 
+/// Per-connection state machine. A connection is in exactly one of three
+/// phases: accumulating request bytes, parked while a handler owns the
+/// responder, or draining the rendered response.
+struct HttpExporter::Conn {
+  enum class State { kReading, kDispatched, kWriting };
+
+  int fd = -1;
+  std::uint64_t gen = 0;  // Guards completions against fd reuse.
+  State state = State::kReading;
+  std::string in;
+  std::string out;
+  std::size_t out_pos = 0;
+  std::size_t header_end = 0;  // Offset just past "\r\n\r\n" once parsed.
+  std::size_t content_length = 0;
+  bool have_header = false;
+  HttpRequest request;
+  Clock::time_point last_activity;
+  Clock::time_point dispatch_time;
+};
+
+/// Shared rendezvous between handler threads and the event loop. Responders
+/// hold it by shared_ptr, so one firing after Stop() (or after the client
+/// hung up) finds `alive == false` / a stale generation and drops the
+/// response instead of touching freed state or a recycled descriptor.
+struct HttpExporter::CompletionCore {
+  struct Completion {
+    int fd = -1;
+    std::uint64_t gen = 0;
+    HttpResponse response;
+  };
+
+  std::mutex mu;
+  bool alive = true;
+  int wake_fd = -1;
+  std::vector<Completion> ready;
+};
+
+// Out of line so std::unique_ptr<Conn> is destroyed where Conn is complete.
+HttpExporter::HttpExporter() = default;
+
+HttpExporter::HttpExporter(HttpExporterOptions options)
+    : options_(std::move(options)) {}
+
 HttpExporter::~HttpExporter() { Stop(); }
+
+void HttpExporter::AddRoute(const std::string& method, const std::string& path,
+                            HttpHandler handler) {
+  routes_[path][method] = std::move(handler);
+}
 
 base::Status HttpExporter::Start() {
   if (serving_.load(std::memory_order_acquire)) {
@@ -115,6 +171,29 @@ base::Status HttpExporter::Start() {
   if (options_.progress == nullptr) {
     options_.progress = &DefaultProgressTracker();
   }
+
+  // Built-in telemetry routes; user-registered handlers for the same
+  // (method, path) win because emplace keeps the existing entry.
+  routes_["/healthz"].emplace("GET", [](const HttpRequest&, HttpResponder respond) {
+    HttpResponse resp;
+    resp.body = "ok\n";
+    respond(std::move(resp));
+  });
+  routes_["/metrics"].emplace("GET", [this](const HttpRequest&,
+                                            HttpResponder respond) {
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = options_.registry->ToPrometheusText();
+    respond(std::move(resp));
+  });
+  routes_["/status"].emplace("GET", [this](const HttpRequest&,
+                                           HttpResponder respond) {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = options_.progress->StatusJson(options_.run_id);
+    resp.body += '\n';
+    respond(std::move(resp));
+  });
 
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -139,8 +218,8 @@ base::Status HttpExporter::Start() {
     return base::Status::Internal("bind " + options_.bind_address + ":" +
                                   std::to_string(options_.port) + ": " + err);
   }
-  // Full system backlog: a scrape burst (several dashboards + CI probes)
-  // must queue, not get connection-refused.
+  // Full system backlog: a scrape burst or a load-test ramp must queue,
+  // not get connection-refused.
   if (listen(listen_fd_, SOMAXCONN) != 0) {
     const std::string err = std::strerror(errno);
     CloseIfOpen(&listen_fd_);
@@ -153,27 +232,67 @@ base::Status HttpExporter::Start() {
                   &bound_len) == 0) {
     port_ = ntohs(bound.sin_port);
   }
+  if (!SetNonBlocking(listen_fd_)) {
+    const std::string err = std::strerror(errno);
+    CloseIfOpen(&listen_fd_);
+    return base::Status::Internal("fcntl O_NONBLOCK: " + err);
+  }
   if (pipe(wake_fds_) != 0) {
     const std::string err = std::strerror(errno);
     CloseIfOpen(&listen_fd_);
     return base::Status::Internal("pipe: " + err);
   }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    const std::string err = std::strerror(errno);
+    CloseIfOpen(&listen_fd_);
+    CloseIfOpen(&wake_fds_[0]);
+    CloseIfOpen(&wake_fds_[1]);
+    return base::Status::Internal("epoll_create1: " + err);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fds_[0];
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+
+  completions_ = std::make_shared<CompletionCore>();
+  completions_->wake_fd = wake_fds_[1];
 
   serving_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Serve(); });
-  DefaultLogger().Info("telemetry endpoint up",
-                       {{"addr", options_.bind_address},
-                        {"port", std::to_string(port_)},
-                        {"routes", "/metrics /status /healthz"}});
+  std::string route_list;
+  for (const auto& [path, methods] : routes_) {
+    if (!route_list.empty()) route_list += ' ';
+    route_list += path;
+  }
+  DefaultLogger().Info("http endpoint up", {{"addr", options_.bind_address},
+                                            {"port", std::to_string(port_)},
+                                            {"routes", route_list}});
   return base::Status::Ok();
 }
 
 void HttpExporter::Stop() {
   if (!serving_.exchange(false, std::memory_order_acq_rel)) return;
-  // Wake the poll() in Serve(); the byte's value is irrelevant.
+  // Wake the epoll_wait in Serve(); the byte's value is irrelevant.
   const char wake = 'x';
   [[maybe_unused]] const ssize_t n = write(wake_fds_[1], &wake, 1);
   if (thread_.joinable()) thread_.join();
+  // Detach outstanding responders *before* closing the wake pipe so a late
+  // completion never writes into a recycled descriptor.
+  if (completions_ != nullptr) {
+    std::lock_guard<std::mutex> lock(completions_->mu);
+    completions_->alive = false;
+    completions_->wake_fd = -1;
+    completions_->ready.clear();
+  }
+  for (auto& [fd, conn] : conns_) close(fd);
+  conns_.clear();
+  CloseIfOpen(&epoll_fd_);
   CloseIfOpen(&listen_fd_);
   CloseIfOpen(&wake_fds_[0]);
   CloseIfOpen(&wake_fds_[1]);
@@ -181,88 +300,355 @@ void HttpExporter::Stop() {
 }
 
 void HttpExporter::Serve() {
+  // The tick bounds how late idle sweeps and handler deadlines fire.
+  constexpr int kTickMs = 100;
+  epoll_event events[128];
   while (serving_.load(std::memory_order_acquire)) {
-    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
-    const int ready = poll(pfds, 2, -1);
+    const int ready =
+        epoll_wait(epoll_fd_, events, 128, kTickMs);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if ((pfds[1].revents & POLLIN) != 0) break;  // Stop() pinged us.
-    if ((pfds[0].revents & POLLIN) == 0) continue;
-    const int client = accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      // Out of descriptors (the benchmark's own fds + a scrape burst):
-      // transient — back off briefly so pending connections drain as fds
-      // free up, instead of spinning on a hot poll/accept-fail loop.
-      if (errno == EMFILE || errno == ENFILE) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t mask = events[i].events;
+      if (fd == wake_fds_[0]) {
+        char buf[256];
+        while (read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        }
+        continue;
       }
-      continue;
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      if (conns_.find(fd) == conns_.end()) continue;  // Closed this pass.
+      if ((mask & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConn(fd);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) HandleReadable(fd);
+      if (conns_.find(fd) != conns_.end() && (mask & EPOLLOUT) != 0) {
+        HandleWritable(fd);
+      }
     }
-    Handle(client);
-    close(client);
+    DrainCompletions();
+    SweepIdle();
   }
 }
 
-void HttpExporter::Handle(int client_fd) {
-  std::string request;
-  if (!ReadRequest(client_fd, kConnectionBudgetMs, &request)) return;
+void HttpExporter::AcceptPending() {
+  while (true) {
+    const int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      // Out of descriptors (the process's own fds + a connection burst):
+      // transient — back off briefly so pending connections drain as fds
+      // free up, instead of spinning on a hot accept-fail loop.
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      return;
+    }
+    if (conns_.size() >= options_.max_connections) {
+      // Connection-slot exhaustion: shed with a best-effort 503 instead of
+      // letting the kernel queue grow unboundedly.
+      static const std::string kShed =
+          RenderResponse(SimpleResponse(503, "connection limit reached\n"));
+      [[maybe_unused]] const ssize_t n =
+          send(client, kShed.data(), kShed.size(), MSG_NOSIGNAL);
+      close(client);
+      continue;
+    }
+    if (!SetNonBlocking(client)) {
+      close(client);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->fd = client;
+    conn->gen = next_gen_++;
+    conn->last_activity = Clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = client;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, client, &ev) != 0) {
+      close(client);
+      continue;
+    }
+    conns_[client] = std::move(conn);
+  }
+}
 
-  // Request line: "GET /status HTTP/1.1".
-  const std::size_t line_end = request.find("\r\n");
-  const std::string line = request.substr(0, line_end);
-  const std::size_t sp1 = line.find(' ');
-  const std::size_t sp2 = line.find(' ', sp1 + 1);
-  std::string method =
-      sp1 == std::string::npos ? line : line.substr(0, sp1);
-  std::string path = (sp1 == std::string::npos || sp2 == std::string::npos)
-                         ? std::string("/")
-                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (const std::size_t q = path.find('?'); q != std::string::npos) {
-    path.resize(q);  // Ignore query strings.
+void HttpExporter::HandleReadable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  char buf[8192];
+  while (true) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(fd);
+      return;
+    }
+    if (n == 0) {
+      // Peer closed. Mid-request: the request can never complete. Parked or
+      // writing: the response has nowhere to go. Either way, drop the slot;
+      // a late responder is absorbed by the generation check.
+      CloseConn(fd);
+      return;
+    }
+    conn.in.append(buf, static_cast<std::size_t>(n));
+    conn.last_activity = Clock::now();
+    // Backstop on total accumulation regardless of parse state.
+    if (conn.in.size() >
+        options_.max_header_bytes + options_.max_body_bytes + 4096) {
+      CloseConn(fd);
+      return;
+    }
+  }
+  if (conn.state == Conn::State::kReading) TryDispatch(fd);
+}
+
+void HttpExporter::TryDispatch(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+
+  if (!conn.have_header) {
+    const std::size_t mark = conn.in.find("\r\n\r\n");
+    if (mark == std::string::npos) {
+      if (conn.in.size() > options_.max_header_bytes) {
+        QueueResponse(fd, SimpleResponse(431, "headers too large\n"));
+      }
+      return;
+    }
+    if (mark + 4 > options_.max_header_bytes) {
+      QueueResponse(fd, SimpleResponse(431, "headers too large\n"));
+      return;
+    }
+    conn.header_end = mark + 4;
+    conn.have_header = true;
+
+    // Request line: "GET /status HTTP/1.1".
+    const std::size_t line_end = conn.in.find("\r\n");
+    const std::string line = conn.in.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos || sp1 == 0 ||
+        line[sp1 + 1] != '/') {
+      QueueResponse(fd, SimpleResponse(400, "malformed request line\n"));
+      return;
+    }
+    conn.request.method = line.substr(0, sp1);
+    conn.request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const std::size_t q = conn.request.path.find('?');
+        q != std::string::npos) {
+      conn.request.path.resize(q);  // Ignore query strings.
+    }
+
+    const std::string headers =
+        conn.in.substr(line_end + 2, mark - line_end - 2);
+    std::size_t content_length = 0;
+    if (FindContentLength(headers, &content_length)) {
+      if (content_length > options_.max_body_bytes) {
+        QueueResponse(fd, SimpleResponse(413, "body too large\n"));
+        return;
+      }
+      conn.content_length = content_length;
+    }
   }
 
-  Response resp;
-  if (method != "GET") {
+  if (conn.in.size() < conn.header_end + conn.content_length) return;
+  conn.request.body =
+      conn.in.substr(conn.header_end, conn.content_length);
+
+  const auto path_it = routes_.find(conn.request.path);
+  if (path_it == routes_.end()) {
+    std::string route_list;
+    for (const auto& [path, methods] : routes_) {
+      route_list += ' ';
+      route_list += path;
+    }
+    QueueResponse(fd,
+                  SimpleResponse(404, "not found; routes:" + route_list + "\n"));
+    return;
+  }
+  const auto method_it = path_it->second.find(conn.request.method);
+  if (method_it == path_it->second.end()) {
+    std::string allow;
+    for (const auto& [method, handler] : path_it->second) {
+      if (!allow.empty()) allow += ", ";
+      allow += method;
+    }
+    HttpResponse resp;
     resp.code = 405;
     resp.body = "method not allowed\n";
-  } else if (path == "/healthz") {
-    resp.body = "ok\n";
-  } else if (path == "/metrics") {
-    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    resp.body = options_.registry->ToPrometheusText();
-  } else if (path == "/status") {
-    resp.content_type = "application/json";
-    resp.body = options_.progress->StatusJson(options_.run_id);
-    resp.body += '\n';
-  } else {
-    resp.code = 404;
-    resp.body = "not found; routes: /metrics /status /healthz\n";
+    resp.headers.emplace_back("Allow", allow);
+    QueueResponse(fd, resp);
+    return;
   }
 
+  conn.state = Conn::State::kDispatched;
+  conn.dispatch_time = Clock::now();
+  const std::shared_ptr<CompletionCore> core = completions_;
+  const std::uint64_t gen = conn.gen;
+  HttpResponder respond = [core, fd, gen](HttpResponse response) {
+    std::lock_guard<std::mutex> lock(core->mu);
+    if (!core->alive || core->wake_fd < 0) return;
+    core->ready.push_back({fd, gen, std::move(response)});
+    const char wake = 'c';
+    [[maybe_unused]] const ssize_t n = write(core->wake_fd, &wake, 1);
+  };
+  method_it->second(conn.request, std::move(respond));
+}
+
+void HttpExporter::DrainCompletions() {
+  std::vector<CompletionCore::Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_->mu);
+    batch.swap(completions_->ready);
+  }
+  for (CompletionCore::Completion& done : batch) {
+    const auto it = conns_.find(done.fd);
+    // The generation check rejects completions for connections that died
+    // and whose descriptor number was recycled for a new client.
+    if (it == conns_.end() || it->second->gen != done.gen) continue;
+    if (it->second->state != Conn::State::kDispatched) continue;
+    QueueResponse(done.fd, done.response);
+  }
+}
+
+void HttpExporter::QueueResponse(int fd, const HttpResponse& response) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
   if (Enabled()) {
+    // Label with the route only when it exists; arbitrary 404 paths would
+    // otherwise mint unbounded counter cardinality.
+    const std::string label =
+        routes_.count(conn.request.path) != 0 ? conn.request.path : "<other>";
     DefaultRegistry()
-        .GetCounter("tfb_http_requests_total{path=\"" + path + "\"}")
+        .GetCounter("tfb_http_requests_total{path=\"" + label + "\"}")
         .Increment();
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
 
-  char header[256];
-  std::snprintf(header, sizeof(header),
-                "HTTP/1.0 %d %s\r\n"
-                "Content-Type: %s\r\n"
-                "Content-Length: %zu\r\n"
-                "Connection: close\r\n"
-                "\r\n",
-                resp.code, ReasonPhrase(resp.code), resp.content_type.c_str(),
-                resp.body.size());
-  std::string out = header;
-  out += resp.body;
-  WriteAll(client_fd, out.data(), out.size(), kConnectionBudgetMs);
+  conn.out = RenderResponse(response);
+  conn.out_pos = 0;
+  conn.state = Conn::State::kWriting;
+  conn.last_activity = Clock::now();
+  epoll_event ev{};
+  ev.events = EPOLLOUT;
+  ev.data.fd = fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  HandleWritable(fd);  // Often completes in one shot for small responses.
 }
 
-bool HttpGet(std::uint16_t port, const std::string& path, std::string* body) {
+void HttpExporter::HandleWritable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if (conn.state != Conn::State::kWriting) return;
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = send(fd, conn.out.data() + conn.out_pos,
+                           conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        conn.last_activity = Clock::now();
+        return;  // epoll will call back when the socket drains.
+      }
+      CloseConn(fd);
+      return;
+    }
+    conn.out_pos += static_cast<std::size_t>(n);
+  }
+  CloseConn(fd);  // Full response written; HTTP/1.0 closes per request.
+}
+
+void HttpExporter::CloseConn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  conns_.erase(it);
+}
+
+void HttpExporter::SweepIdle() {
+  const auto now = Clock::now();
+  std::vector<int> drop;
+  std::vector<int> expire;
+  for (const auto& [fd, conn] : conns_) {
+    const auto idle_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             now - conn->last_activity)
+                             .count();
+    switch (conn->state) {
+      case Conn::State::kReading:
+      case Conn::State::kWriting:
+        // Slow-loris / stalled reader: reclaim the slot silently.
+        if (idle_ms > options_.idle_timeout_ms) drop.push_back(fd);
+        break;
+      case Conn::State::kDispatched: {
+        const auto held_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - conn->dispatch_time)
+                .count();
+        if (held_ms > options_.handler_timeout_ms) expire.push_back(fd);
+        break;
+      }
+    }
+  }
+  for (const int fd : drop) CloseConn(fd);
+  for (const int fd : expire) {
+    QueueResponse(fd, SimpleResponse(504, "handler timed out\n"));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Client side.
+
+namespace {
+
+/// Blocking-with-deadline write of the full buffer; returns false on error
+/// or budget exhaustion. MSG_NOSIGNAL: a server that disconnects mid-write
+/// must produce EPIPE, not SIGPIPE.
+bool WriteAll(int fd, const char* data, std::size_t size, int budget_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
+  std::size_t written = 0;
+  while (written < size) {
+    const auto now = Clock::now();
+    if (now >= deadline) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int ready = poll(&pfd, 1, remaining);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;
+    const ssize_t n = send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HttpCall(std::uint16_t port, const std::string& method,
+              const std::string& path, const std::string& body,
+              int* status_code, std::string* response_body, int timeout_ms) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return false;
   sockaddr_in addr{};
@@ -274,18 +660,24 @@ bool HttpGet(std::uint16_t port, const std::string& path, std::string* body) {
     close(fd);
     return false;
   }
-  const std::string request =
-      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
-  if (!WriteAll(fd, request.data(), request.size(), kConnectionBudgetMs)) {
+  std::string request = method + " " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n";
+  if (!body.empty()) {
+    request += "Content-Type: application/json\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  if (!WriteAll(fd, request.data(), request.size(), timeout_ms)) {
     close(fd);
     return false;
   }
+  // Partial-read loop with a recv deadline: a stalled server fails the call
+  // after timeout_ms instead of hanging the test or load generator.
   std::string response;
   char buf[4096];
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(kConnectionBudgetMs);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   while (true) {
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = Clock::now();
     if (now >= deadline) break;
     pollfd pfd{fd, POLLIN, 0};
     const int remaining = static_cast<int>(
@@ -312,9 +704,32 @@ bool HttpGet(std::uint16_t port, const std::string& path, std::string* body) {
   // Status line: "HTTP/1.0 200 OK".
   const std::size_t sp = response.find(' ');
   if (sp == std::string::npos || sp + 1 >= response.size()) return false;
-  if (response[sp + 1] != '2') return false;  // Non-2xx.
-  if (body != nullptr) *body = response.substr(header_end + 4);
+  int code = 0;
+  for (std::size_t i = sp + 1; i < response.size(); ++i) {
+    const char c = response[i];
+    if (c < '0' || c > '9') break;
+    code = code * 10 + (c - '0');
+  }
+  if (code < 100) return false;
+  if (status_code != nullptr) *status_code = code;
+  if (response_body != nullptr) {
+    *response_body = response.substr(header_end + 4);
+  }
   return true;
+}
+
+bool HttpGet(std::uint16_t port, const std::string& path, std::string* body,
+             int timeout_ms) {
+  int code = 0;
+  if (!HttpCall(port, "GET", path, "", &code, body, timeout_ms)) return false;
+  return code >= 200 && code < 300;
+}
+
+bool HttpPost(std::uint16_t port, const std::string& path,
+              const std::string& request_body, int* status_code,
+              std::string* response_body, int timeout_ms) {
+  return HttpCall(port, "POST", path, request_body, status_code, response_body,
+                  timeout_ms);
 }
 
 }  // namespace tfb::obs

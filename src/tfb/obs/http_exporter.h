@@ -3,31 +3,70 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "tfb/base/status.h"
 #include "tfb/obs/metrics.h"
 #include "tfb/obs/progress.h"
 
 /// \file
-/// Embedded HTTP exporter (`tfb_run --serve=PORT`, config key `serve`): a
-/// single poll()-based server thread that makes a live run scrapeable by
-/// curl or Prometheus while it executes. Routes:
+/// Embedded HTTP server (`tfb_run --serve=PORT`, `tfb_serve`): one
+/// epoll-driven event-loop thread multiplexing every connection through
+/// non-blocking sockets, so thousands of concurrent clients (a scrape burst,
+/// or the serving plane's forecast traffic) share one thread without a
+/// descriptor-per-thread explosion. Built-in routes:
 ///
 ///   GET /metrics  Prometheus text exposition of the metrics Registry
-///   GET /status   JSON run progress: run id, task counts, per-method
-///                 tallies, queue depth, throughput, ETA
-///                 (ProgressTracker::StatusJson)
+///   GET /status   JSON run progress (ProgressTracker::StatusJson)
 ///   GET /healthz  "ok\n" — liveness probe
 ///
-/// The server handles one connection at a time (scrape traffic is one
-/// Prometheus poll every few seconds; serialization keeps it ~150 lines and
-/// dependency-free) and never touches the pipeline: handlers only *read*
-/// the registry and the tracker, so scrapes cannot perturb results — the
-/// determinism test runs with a live scraper to prove it.
+/// Additional routes are registered with AddRoute before Start. Handlers
+/// receive the parsed request plus a *responder* callback and may complete
+/// it from any thread at any later time — the event loop parks the
+/// connection until the responder fires (or the handler deadline passes,
+/// which produces a 504). This is what lets the serve::ForecastService
+/// coalesce concurrent POST /forecast requests into batches without ever
+/// blocking the I/O thread.
+///
+/// Protocol hygiene: unknown paths get 404; known paths with an
+/// unregistered method get 405 plus an `Allow` header; request lines /
+/// headers beyond `max_header_bytes` get 431; bodies beyond
+/// `max_body_bytes` get 413; malformed request lines get 400. Responses are
+/// HTTP/1.0 with `Connection: close`.
 
 namespace tfb::obs {
+
+/// A parsed inbound request. `path` has the query string stripped.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string body;
+};
+
+/// An outbound response; `headers` are extra headers beyond Content-Type /
+/// Content-Length / Connection (e.g. Retry-After on a 429).
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/// Completes a parked request. Thread-safe, may be invoked once from any
+/// thread; invocations after Stop() or after the client disconnected are
+/// silently dropped.
+using HttpResponder = std::function<void(HttpResponse)>;
+
+/// A route handler. Runs on the event-loop thread: either respond inline
+/// (cheap snapshot routes) or stash the responder and return immediately
+/// (queued work); never block in the handler body.
+using HttpHandler = std::function<void(const HttpRequest&, HttpResponder)>;
 
 struct HttpExporterOptions {
   /// Interface to bind; loopback by default (telemetry is not
@@ -40,52 +79,103 @@ struct HttpExporterOptions {
   const ProgressTracker* progress = nullptr;
   /// Opaque run identifier echoed in /status.
   std::string run_id;
+  /// Concurrent-connection cap; connections beyond it are shed with an
+  /// immediate best-effort 503 and closed.
+  std::size_t max_connections = 4096;
+  /// Request-line + header budget; overflow answers 431.
+  std::size_t max_header_bytes = 16 * 1024;
+  /// Body budget (Content-Length); overflow answers 413.
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  /// A connection idle (no bytes moved) this long is dropped — slow or
+  /// stalled clients must not pin connection slots.
+  int idle_timeout_ms = 10'000;
+  /// A dispatched request whose responder has not fired within this budget
+  /// answers 504 — a wedged handler must not leak connections.
+  int handler_timeout_ms = 30'000;
 };
 
-/// The embedded server. Start() binds + spawns the serving thread; Stop()
-/// (or destruction) wakes it via a self-pipe and joins it.
+/// The embedded server. Start() binds + spawns the event-loop thread;
+/// Stop() (or destruction) wakes it via a self-pipe and joins it.
 class HttpExporter {
  public:
-  HttpExporter() = default;
-  explicit HttpExporter(HttpExporterOptions options)
-      : options_(std::move(options)) {}
+  HttpExporter();
+  explicit HttpExporter(HttpExporterOptions options);
   HttpExporter(const HttpExporter&) = delete;
   HttpExporter& operator=(const HttpExporter&) = delete;
   ~HttpExporter();
+
+  /// Registers `handler` for (method, path). Call before Start(); the
+  /// route table is frozen while serving. Registering the same
+  /// (method, path) twice replaces the handler.
+  void AddRoute(const std::string& method, const std::string& path,
+                HttpHandler handler);
 
   /// Binds, listens, and starts serving. Fails (kInternal) when the
   /// address cannot be bound or the exporter is already serving.
   base::Status Start();
 
-  /// Stops serving and joins the server thread. Idempotent.
+  /// Stops serving and joins the event-loop thread. Parked responders held
+  /// by handlers become no-ops. Idempotent.
   void Stop();
 
   bool serving() const { return serving_.load(std::memory_order_acquire); }
   /// The bound port (the actual one when options.port was 0); 0 before
   /// Start().
   std::uint16_t port() const { return port_; }
-  /// Requests answered since Start (any route, including 404s).
+  /// Requests answered since Start (any route and status, including 404s).
   std::uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
 
  private:
+  struct Conn;
+  struct CompletionCore;
+
   void Serve();
-  void Handle(int client_fd);
+  void AcceptPending();
+  void HandleReadable(int fd);
+  void HandleWritable(int fd);
+  void TryDispatch(int fd);
+  void DrainCompletions();
+  void QueueResponse(int fd, const HttpResponse& response);
+  void CloseConn(int fd);
+  void SweepIdle();
 
   HttpExporterOptions options_;
+  std::map<std::string, std::map<std::string, HttpHandler>> routes_;
   std::thread thread_;
   std::atomic<bool> serving_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // Self-pipe: Stop() writes, Serve() wakes.
+  int epoll_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // Self-pipe: Stop()/responders write.
+  std::shared_ptr<CompletionCore> completions_;
+  std::map<int, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_gen_ = 1;
 };
 
-/// Minimal blocking HTTP/1.0 GET against 127.0.0.1:`port` — the test and
-/// bench scrape client. Returns false on connect/read failure or non-2xx;
-/// on success fills `*body` with the response body (headers stripped).
-bool HttpGet(std::uint16_t port, const std::string& path, std::string* body);
+/// Minimal blocking HTTP/1.0 client against 127.0.0.1:`port` — the test,
+/// bench, and CI scrape/load client. Sends `method` with `body` (empty for
+/// GET), reads the full response with a recv deadline and a partial-read
+/// loop (a stalled server fails the call after `timeout_ms` instead of
+/// hanging), and returns false on connect/IO/parse failure. On success
+/// fills `*status_code` and `*response_body` (either may be null).
+bool HttpCall(std::uint16_t port, const std::string& method,
+              const std::string& path, const std::string& body,
+              int* status_code, std::string* response_body,
+              int timeout_ms = 2000);
+
+/// GET sugar over HttpCall. Returns false on failure or non-2xx; on
+/// success fills `*body` with the response body (headers stripped).
+bool HttpGet(std::uint16_t port, const std::string& path, std::string* body,
+             int timeout_ms = 2000);
+
+/// POST sugar over HttpCall: sends `request_body` as application/json.
+/// Returns false on transport failure; HTTP status lands in *status_code.
+bool HttpPost(std::uint16_t port, const std::string& path,
+              const std::string& request_body, int* status_code,
+              std::string* response_body, int timeout_ms = 2000);
 
 }  // namespace tfb::obs
 

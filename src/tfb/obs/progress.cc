@@ -233,6 +233,16 @@ ShardStats ProgressTracker::GetShardStats() const {
   return shard_stats_;
 }
 
+void ProgressTracker::SetServeStats(const ServeStats& stats) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  serve_stats_ = stats;
+}
+
+ServeStats ProgressTracker::GetServeStats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return serve_stats_;
+}
+
 void ProgressTracker::RenderLocked() {
   if (mode_ != ProgressMode::kBar && mode_ != ProgressMode::kPlain) return;
   const auto now = Clock::now();
@@ -337,6 +347,20 @@ std::string ProgressTracker::StatusJson(const std::string& run_id) const {
     out += ",\"disconnects\":" + std::to_string(sh.disconnects);
     out += ",\"fenced_completions\":" + std::to_string(sh.fenced_completions);
     out += ",\"corrupt_frames\":" + std::to_string(sh.corrupt_frames);
+    out += '}';
+  }
+  if (serve_stats_.enabled) {
+    const ServeStats& sv = serve_stats_;
+    out += ",\"serve\":{";
+    out += "\"models_registered\":" + std::to_string(sv.models_registered);
+    out += ",\"models_loaded\":" + std::to_string(sv.models_loaded);
+    out += ",\"admitted\":" + std::to_string(sv.admitted);
+    out += ",\"completed\":" + std::to_string(sv.completed);
+    out += ",\"failed\":" + std::to_string(sv.failed);
+    out += ",\"shed\":" + std::to_string(sv.shed);
+    out += ",\"batches\":" + std::to_string(sv.batches);
+    out += ",\"max_batch\":" + std::to_string(sv.max_batch);
+    out += ",\"queue_depth\":" + std::to_string(sv.queue_depth);
     out += '}';
   }
   out += '}';

@@ -73,6 +73,22 @@ struct ShardStats {
   std::size_t corrupt_frames = 0;
 };
 
+/// Serving-plane telemetry (fed by serve::ForecastService, exposed as the
+/// "serve" object of /status): model registry occupancy plus the admission
+/// and batching counters. Mirrors the ShardStats pattern above.
+struct ServeStats {
+  bool enabled = false;
+  std::size_t models_registered = 0;
+  std::size_t models_loaded = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;       ///< Requests answered 429.
+  std::uint64_t batches = 0;
+  std::size_t max_batch = 0;    ///< Largest coalesced batch so far.
+  std::size_t queue_depth = 0;
+};
+
 /// Point-in-time view of the run, as exposed on /status.
 struct ProgressSnapshot {
   bool active = false;          ///< Between BeginRun and EndRun.
@@ -129,6 +145,11 @@ class ProgressTracker {
   void SetShardStats(const ShardStats& stats);
   ShardStats GetShardStats() const;
 
+  /// Publishes serving-plane state; StatusJson then carries a "serve"
+  /// object. Same lifecycle as SetShardStats.
+  void SetServeStats(const ServeStats& stats);
+  ServeStats GetServeStats() const;
+
   /// The /status payload: one JSON object with the snapshot fields, the
   /// per-method tallies, and `run_id`.
   std::string StatusJson(const std::string& run_id) const;
@@ -164,6 +185,7 @@ class ProgressTracker {
   Clock::time_point last_render_{};
   std::map<std::string, MethodTally> by_method_;
   ShardStats shard_stats_;
+  ServeStats serve_stats_;
 };
 
 /// The process-wide tracker shared by the runner, the terminal renderer,

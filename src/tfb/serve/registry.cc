@@ -1,0 +1,228 @@
+#include "tfb/serve/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tfb::serve {
+
+struct ModelEntry {
+  std::mutex mu;  ///< Held by the live lease; serializes Forecast access.
+  std::string key;       ///< Canonical "name@version".
+  std::string name;
+  std::uint64_t version = 1;
+  std::string path;      ///< Backing TFBM file; empty = warm-only.
+  bool loaded = false;
+  ModelArtifact artifact;  ///< method/params always valid; forecaster only
+                           ///< when loaded.
+  std::uint64_t last_use = 0;
+};
+
+namespace {
+
+/// Splits "name@version" (version = positive decimal integer). A bare
+/// "name" is version 1. False on empty name, empty/overlong/non-numeric
+/// version, or version 0.
+bool ParseKey(const std::string& key, std::string* name,
+              std::uint64_t* version) {
+  const std::size_t at = key.rfind('@');
+  if (at == std::string::npos) {
+    if (key.empty()) return false;
+    *name = key;
+    *version = 1;
+    return true;
+  }
+  if (at == 0 || at + 1 == key.size() || key.size() - at - 1 > 18) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = at + 1; i < key.size(); ++i) {
+    const char c = key[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v == 0) return false;
+  *name = key.substr(0, at);
+  *version = v;
+  return true;
+}
+
+}  // namespace
+
+methods::Forecaster* ModelRegistry::Lease::forecaster() const {
+  return entry_->artifact.forecaster.get();
+}
+
+const std::string& ModelRegistry::Lease::method() const {
+  return entry_->artifact.method;
+}
+
+const pipeline::MethodParams& ModelRegistry::Lease::params() const {
+  return entry_->artifact.params;
+}
+
+ModelRegistry::ModelRegistry(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+base::Status ModelRegistry::AddEntry(const std::string& key,
+                                     std::shared_ptr<ModelEntry> entry) {
+  std::string name;
+  std::uint64_t version = 0;
+  if (!ParseKey(key, &name, &version)) {
+    return base::Status::InvalidInput(
+        "bad model key \"" + key +
+        "\": expected name or name@version (version a positive integer)");
+  }
+  entry->name = std::move(name);
+  entry->version = version;
+  entry->key = entry->name + "@" + std::to_string(version);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(entry->key, entry);
+  (void)it;
+  if (!inserted) {
+    return base::Status::InvalidInput("model \"" + entry->key +
+                                      "\" is already registered");
+  }
+  if (entry->loaded) {
+    ++loaded_;
+    entry->last_use = ++tick_;
+    EvictLocked(entry.get());
+  }
+  return base::Status::Ok();
+}
+
+base::Status ModelRegistry::AddFile(const std::string& key,
+                                    const std::string& path) {
+  // Probe the envelope now so registration fails fast on a missing or
+  // corrupt file; the fitted state is dropped again and reloads lazily.
+  ModelArtifact probe;
+  TFB_RETURN_IF_ERROR(LoadModelFile(path, &probe));
+  auto entry = std::make_shared<ModelEntry>();
+  entry->path = path;
+  entry->artifact.method = std::move(probe.method);
+  entry->artifact.params = probe.params;
+  entry->loaded = false;
+  return AddEntry(key, std::move(entry));
+}
+
+base::Status ModelRegistry::AddModel(const std::string& key,
+                                     ModelArtifact artifact) {
+  if (artifact.forecaster == nullptr) {
+    return base::Status::InvalidInput("AddModel(\"" + key +
+                                      "\"): artifact has no forecaster");
+  }
+  auto entry = std::make_shared<ModelEntry>();
+  entry->artifact = std::move(artifact);
+  entry->loaded = true;
+  return AddEntry(key, std::move(entry));
+}
+
+std::shared_ptr<ModelEntry> ModelRegistry::ResolveLocked(
+    const std::string& key) const {
+  std::string name;
+  std::uint64_t version = 0;
+  if (!ParseKey(key, &name, &version)) return nullptr;
+  if (key.rfind('@') != std::string::npos) {
+    const auto it = entries_.find(name + "@" + std::to_string(version));
+    return it == entries_.end() ? nullptr : it->second;
+  }
+  // Bare name: the numerically highest registered version wins. "name@" is
+  // a strict prefix of every version key and of nothing else ('@' never
+  // appears in a parsed name).
+  std::shared_ptr<ModelEntry> best;
+  const std::string prefix = name + "@";
+  for (auto it = entries_.lower_bound(prefix);
+       it != entries_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    if (best == nullptr || it->second->version > best->version) {
+      best = it->second;
+    }
+  }
+  return best;
+}
+
+base::Status ModelRegistry::Acquire(const std::string& key, Lease* lease) {
+  std::shared_ptr<ModelEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry = ResolveLocked(key);
+  }
+  if (entry == nullptr) {
+    return base::Status::InvalidInput("unknown model \"" + key + "\"");
+  }
+  // Exclusivity: Forecast mutates method-internal caches, so one lease at
+  // a time per model. Taken before the registry mutex everywhere except
+  // EvictLocked, which only try_locks — no ordering cycle.
+  std::unique_lock<std::mutex> exclusive(entry->mu);
+  if (!entry->loaded) {
+    ModelArtifact artifact;
+    TFB_RETURN_IF_ERROR(LoadModelFile(entry->path, &artifact));
+    entry->artifact = std::move(artifact);
+    entry->loaded = true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++loads_;
+    ++loaded_;
+    EvictLocked(entry.get());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry->last_use = ++tick_;
+  }
+  lease->key_ = entry->key;
+  lease->entry_ = std::move(entry);
+  lease->lock_ = std::move(exclusive);
+  return base::Status::Ok();
+}
+
+void ModelRegistry::EvictLocked(const ModelEntry* keep) {
+  // Bounded: every pass either evicts or defers one candidate, and a pass
+  // where everything is leased must terminate rather than spin.
+  std::size_t attempts = entries_.size() + 1;
+  while (loaded_ > capacity_ && attempts-- > 0) {
+    ModelEntry* victim = nullptr;
+    for (const auto& [key, entry] : entries_) {
+      if (!entry->loaded || entry->path.empty() || entry.get() == keep) {
+        continue;  // Cold, not reloadable, or the entry being installed.
+      }
+      if (victim == nullptr || entry->last_use < victim->last_use) {
+        victim = entry.get();
+      }
+    }
+    if (victim == nullptr) return;  // Everything left is pinned.
+    // A leased model cannot be unloaded; skip it this round rather than
+    // block the caller on a long-running forecast.
+    std::unique_lock<std::mutex> busy(victim->mu, std::try_to_lock);
+    if (!busy.owns_lock()) {
+      victim->last_use = ++tick_;  // Defer: it is demonstrably in use.
+      continue;
+    }
+    victim->artifact.forecaster.reset();
+    victim->loaded = false;
+    --loaded_;
+    ++evictions_;
+  }
+}
+
+std::vector<std::string> ModelRegistry::Keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  return keys;
+}
+
+std::size_t ModelRegistry::loaded_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_;
+}
+
+std::uint64_t ModelRegistry::loads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return loads_;
+}
+
+std::uint64_t ModelRegistry::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace tfb::serve

@@ -1,0 +1,102 @@
+#ifndef TFB_SERVE_REGISTRY_H_
+#define TFB_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tfb/base/status.h"
+#include "tfb/serve/model_store.h"
+
+/// \file
+/// Warm in-memory model registry for the serving plane. Models are keyed
+/// "name@version" (version a positive integer); a lookup by bare "name"
+/// resolves to the numerically highest registered version, which is how a
+/// client pins either "etth2-dlinear@3" exactly or "latest" implicitly.
+///
+/// Models register either warm (AddModel: fitted artifact, loaded at
+/// startup) or cold (AddFile: path only, loaded on first Acquire). The
+/// fitted working set is LRU-bounded: loading past `capacity` unloads the
+/// least-recently-used idle model that came from a file (reloadable);
+/// warm-registered models without a backing file are never dropped.
+///
+/// Forecast() mutates internal caches on most methods, so the registry
+/// hands out *exclusive* leases: Acquire blocks while another lease on the
+/// same model is live. Distinct models forecast concurrently.
+
+namespace tfb::serve {
+
+class ModelRegistry {
+ public:
+  /// `capacity` bounds how many fitted models stay in memory at once.
+  explicit ModelRegistry(std::size_t capacity = 8);
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers a cold model backed by a TFBM file. The file is probed
+  /// (opened + envelope parsed) so registration fails fast on a bad path,
+  /// then unloaded again; the fitted state loads on first Acquire.
+  /// `key` must be "name" (implies version 1) or "name@version".
+  base::Status AddFile(const std::string& key, const std::string& path);
+
+  /// Registers a warm model. Without a backing file it is exempt from LRU
+  /// eviction (nowhere to reload it from).
+  base::Status AddModel(const std::string& key, ModelArtifact artifact);
+
+  /// Exclusive lease on one fitted model. Movable; releases on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = default;
+
+    bool valid() const { return entry_ != nullptr; }
+    methods::Forecaster* forecaster() const;
+    const std::string& method() const;
+    const pipeline::MethodParams& params() const;
+    const std::string& key() const { return key_; }
+
+   private:
+    friend class ModelRegistry;
+    std::shared_ptr<struct ModelEntry> entry_;
+    std::unique_lock<std::mutex> lock_;
+    std::string key_;
+  };
+
+  /// Resolves `key` ("name" or "name@version"), loads the model if cold,
+  /// and returns an exclusive lease. Blocks while the model is leased
+  /// elsewhere. INVALID_INPUT for unknown keys; load errors pass through.
+  base::Status Acquire(const std::string& key, Lease* lease);
+
+  /// All registered keys, sorted.
+  std::vector<std::string> Keys() const;
+  /// Models currently fitted in memory.
+  std::size_t loaded_count() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Cold loads + LRU reloads performed (cache-miss counter).
+  std::uint64_t loads() const;
+  /// Models unloaded by the LRU bound.
+  std::uint64_t evictions() const;
+
+ private:
+  base::Status AddEntry(const std::string& key,
+                        std::shared_ptr<ModelEntry> entry);
+  std::shared_ptr<ModelEntry> ResolveLocked(const std::string& key) const;
+  void EvictLocked(const ModelEntry* keep);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  // Key -> entry; versions of one name share the "name@" prefix.
+  std::map<std::string, std::shared_ptr<ModelEntry>> entries_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t loads_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::size_t loaded_ = 0;
+};
+
+}  // namespace tfb::serve
+
+#endif  // TFB_SERVE_REGISTRY_H_

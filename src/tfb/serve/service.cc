@@ -1,0 +1,449 @@
+#include "tfb/serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "tfb/obs/metrics.h"
+#include "tfb/obs/progress.h"
+#include "tfb/parallel/thread_pool.h"
+#include "tfb/serve/json.h"
+
+namespace tfb::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const std::vector<double>& BatchSizeBounds() {
+  static const std::vector<double> bounds = {1,  2,  3,  4,  6,  8,
+                                             12, 16, 24, 32, 48, 64};
+  return bounds;
+}
+
+obs::HttpResponse JsonResponse(int code, std::string body) {
+  obs::HttpResponse resp;
+  resp.code = code;
+  resp.content_type = "application/json";
+  resp.body = std::move(body);
+  return resp;
+}
+
+obs::HttpResponse ErrorResponse(int code, const std::string& message) {
+  std::string body = "{\"error\":";
+  AppendJsonString(&body, message);
+  body += "}\n";
+  return JsonResponse(code, std::move(body));
+}
+
+void CountRequest(int code) {
+  if (!obs::Enabled()) return;
+  obs::DefaultRegistry()
+      .GetCounter("tfb_serve_requests_total{code=\"" + std::to_string(code) +
+                  "\"}")
+      .Increment();
+}
+
+/// Converts the "history" JSON member into a T x N series. Accepts a flat
+/// number array (univariate) or an array of equal-length number rows.
+base::Status ParseHistory(const JsonValue& history, std::size_t max_points,
+                          ts::TimeSeries* out) {
+  if (!history.is_array() || history.array.empty()) {
+    return base::Status::InvalidInput(
+        "\"history\" must be a non-empty array");
+  }
+  const bool nested = history.array.front().is_array();
+  const std::size_t rows = history.array.size();
+  const std::size_t cols =
+      nested ? history.array.front().array.size() : std::size_t{1};
+  if (cols == 0) {
+    return base::Status::InvalidInput("\"history\" rows must be non-empty");
+  }
+  if (rows * cols > max_points) {
+    return base::Status::InvalidInput(
+        "\"history\" holds " + std::to_string(rows * cols) +
+        " points, over the per-request limit of " + std::to_string(max_points));
+  }
+  linalg::Matrix values(rows, cols);
+  for (std::size_t t = 0; t < rows; ++t) {
+    const JsonValue& row = history.array[t];
+    if (nested) {
+      if (!row.is_array() || row.array.size() != cols) {
+        return base::Status::InvalidInput(
+            "\"history\" row " + std::to_string(t) +
+            " is not an array of " + std::to_string(cols) + " numbers");
+      }
+      for (std::size_t v = 0; v < cols; ++v) {
+        if (!row.array[v].is_number()) {
+          return base::Status::InvalidInput(
+              "\"history\" row " + std::to_string(t) + " holds a non-number");
+        }
+        values(t, v) = row.array[v].number;
+      }
+    } else {
+      if (!row.is_number()) {
+        return base::Status::InvalidInput(
+            "\"history\" entry " + std::to_string(t) + " is not a number");
+      }
+      values(t, 0) = row.number;
+    }
+  }
+  *out = ts::TimeSeries(std::move(values));
+  return base::Status::Ok();
+}
+
+}  // namespace
+
+struct ForecastService::PendingRequest {
+  std::string model;
+  std::size_t horizon = 0;  ///< 0 = model default.
+  ts::TimeSeries history;
+  obs::HttpResponder respond;
+  Clock::time_point enqueued;
+};
+
+ForecastService::ForecastService(ModelRegistry* registry,
+                                 ForecastServiceOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+ForecastService::~ForecastService() { Stop(); }
+
+void ForecastService::Start() {
+  std::size_t threads = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    accepting_ = true;
+    threads = std::max<std::size_t>(options_.dispatch_threads, 1);
+  }
+  for (std::size_t i = 0; i < threads; ++i) {
+    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  }
+}
+
+void ForecastService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_ && dispatchers_.empty()) return;
+    accepting_ = false;
+  }
+  // Drain: queued requests already got a 202-class promise (they were
+  // admitted), so let the dispatchers finish them before shutdown.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+  dispatchers_.clear();
+}
+
+void ForecastService::InstallRoutes(obs::HttpExporter* exporter) {
+  exporter->AddRoute("POST", "/forecast",
+                     [this](const obs::HttpRequest& request,
+                            obs::HttpResponder respond) {
+                       HandleForecast(request, std::move(respond));
+                     });
+  exporter->AddRoute("GET", "/models",
+                     [this](const obs::HttpRequest& request,
+                            obs::HttpResponder respond) {
+                       HandleModels(request, std::move(respond));
+                     });
+}
+
+void ForecastService::HandleForecast(const obs::HttpRequest& request,
+                                     obs::HttpResponder respond) {
+  Submit(request.body, std::move(respond));
+}
+
+void ForecastService::HandleModels(const obs::HttpRequest&,
+                                   obs::HttpResponder respond) {
+  std::string body = "{\"capacity\":";
+  body += std::to_string(registry_->capacity());
+  body += ",\"loaded\":";
+  body += std::to_string(registry_->loaded_count());
+  body += ",\"models\":[";
+  bool first = true;
+  for (const std::string& key : registry_->Keys()) {
+    if (!first) body += ',';
+    first = false;
+    AppendJsonString(&body, key);
+  }
+  body += "]}\n";
+  respond(JsonResponse(200, std::move(body)));
+}
+
+void ForecastService::Submit(const std::string& body,
+                             obs::HttpResponder respond) {
+  // Gate 1: the machine's coarse-parallelism budget. A benchmark grid (or
+  // our own dispatcher crew) holding reservations means forecast work would
+  // oversubscribe the box — shed early, before parsing.
+  if (options_.max_reserved_workers > 0 &&
+      parallel::ReservedCoarseWorkers() >= options_.max_reserved_workers) {
+    obs::HttpResponse resp =
+        ErrorResponse(429, "compute budget exhausted; retry shortly");
+    resp.headers.emplace_back("Retry-After",
+                              std::to_string(options_.retry_after_seconds));
+    if (obs::Enabled()) {
+      obs::DefaultRegistry()
+          .GetCounter("tfb_serve_shed_total{reason=\"reservation\"}")
+          .Increment();
+    }
+    CountRequest(429);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.shed;
+      PublishStatsLocked();
+    }
+    respond(std::move(resp));
+    return;
+  }
+
+  JsonValue doc;
+  if (const base::Status status = ParseJson(body, &doc); !status.ok()) {
+    CountRequest(400);
+    respond(ErrorResponse(400, status.message()));
+    return;
+  }
+  const JsonValue* model = doc.Find("model");
+  if (model == nullptr || !model->is_string() || model->string.empty()) {
+    CountRequest(400);
+    respond(ErrorResponse(400, "\"model\" (string) is required"));
+    return;
+  }
+  std::size_t horizon = 0;
+  if (const JsonValue* h = doc.Find("horizon"); h != nullptr) {
+    if (!h->is_number() || h->number < 1 ||
+        h->number != std::floor(h->number)) {
+      CountRequest(400);
+      respond(ErrorResponse(400, "\"horizon\" must be a positive integer"));
+      return;
+    }
+    if (h->number > static_cast<double>(options_.max_horizon)) {
+      CountRequest(400);
+      respond(ErrorResponse(
+          400, "\"horizon\" exceeds the limit of " +
+                   std::to_string(options_.max_horizon)));
+      return;
+    }
+    horizon = static_cast<std::size_t>(h->number);
+  }
+  const JsonValue* history = doc.Find("history");
+  if (history == nullptr) {
+    CountRequest(400);
+    respond(ErrorResponse(400, "\"history\" (array) is required"));
+    return;
+  }
+  PendingRequest pending;
+  if (const base::Status status =
+          ParseHistory(*history, options_.max_history_points,
+                       &pending.history);
+      !status.ok()) {
+    CountRequest(400);
+    respond(ErrorResponse(400, status.message()));
+    return;
+  }
+  pending.model = model->string;
+  pending.horizon = horizon;
+  pending.respond = std::move(respond);
+  pending.enqueued = Clock::now();
+
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      CountRequest(503);
+      pending.respond(ErrorResponse(503, "service is shutting down"));
+      return;
+    }
+    // Gate 2: the admission queue itself.
+    if (queue_.size() >= options_.max_queue) {
+      ++stats_.shed;
+      PublishStatsLocked();
+      obs::HttpResponse resp =
+          ErrorResponse(429, "forecast queue is full; retry shortly");
+      resp.headers.emplace_back(
+          "Retry-After", std::to_string(options_.retry_after_seconds));
+      if (obs::Enabled()) {
+        obs::DefaultRegistry()
+            .GetCounter("tfb_serve_shed_total{reason=\"queue\"}")
+            .Increment();
+      }
+      CountRequest(429);
+      pending.respond(std::move(resp));
+      return;
+    }
+    queue_.push_back(std::move(pending));
+    ++stats_.admitted;
+    depth = queue_.size();
+    stats_.queue_depth = depth;
+    PublishStatsLocked();
+  }
+  if (obs::Enabled()) {
+    obs::DefaultRegistry()
+        .GetGauge("tfb_serve_queue_depth")
+        .Set(static_cast<double>(depth));
+  }
+  work_cv_.notify_one();
+}
+
+void ForecastService::DispatchLoop() {
+  while (true) {
+    std::vector<PendingRequest> batch;
+    std::size_t depth_after = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || !running_; });
+      if (queue_.empty()) {
+        if (!running_) return;
+        continue;
+      }
+      // Linger briefly so a burst of concurrent arrivals coalesces into one
+      // batch instead of N singleton dispatches.
+      if (options_.batch_linger_ms > 0 && queue_.size() < options_.max_batch) {
+        work_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.batch_linger_ms),
+            [this] { return queue_.size() >= options_.max_batch || !running_; });
+      }
+      const std::size_t take =
+          std::min(queue_.size(), std::max<std::size_t>(options_.max_batch, 1));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.max_batch_seen = std::max(stats_.max_batch_seen, batch.size());
+      stats_.queue_depth = queue_.size();
+      depth_after = queue_.size();
+      PublishStatsLocked();
+    }
+    if (obs::Enabled()) {
+      obs::Registry& registry = obs::DefaultRegistry();
+      registry.GetGauge("tfb_serve_queue_depth")
+          .Set(static_cast<double>(depth_after));
+      registry.GetHistogram("tfb_serve_batch_size", BatchSizeBounds())
+          .Observe(static_cast<double>(batch.size()));
+    }
+    // One coarse worker per in-flight batch: kernel-level ParallelFor
+    // inside Forecast divides the machine by the reservation count, so
+    // dispatcher crews and benchmark grids share one concurrency budget.
+    parallel::CoarseReservation reservation(1);
+    ExecuteBatch(&batch);
+  }
+}
+
+void ForecastService::ExecuteBatch(std::vector<PendingRequest>* batch) {
+  // Group by model: one lease per model per batch, so a batch of requests
+  // against one hot model pays the registry lookup/lock once.
+  std::map<std::string, std::vector<std::size_t>> by_model;
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    by_model[(*batch)[i].model].push_back(i);
+  }
+  for (auto& [model, indices] : by_model) {
+    ModelRegistry::Lease lease;
+    const base::Status acquired = registry_->Acquire(model, &lease);
+    for (const std::size_t i : indices) {
+      PendingRequest& item = (*batch)[i];
+      int code = 200;
+      obs::HttpResponse resp;
+      if (!acquired.ok()) {
+        code = acquired.code() == base::StatusCode::kInvalidInput ? 404 : 500;
+        resp = ErrorResponse(code, acquired.message());
+      } else {
+        methods::Forecaster* forecaster = lease.forecaster();
+        const std::size_t horizon =
+            item.horizon != 0 ? item.horizon : lease.params().horizon;
+        const std::size_t lookback = forecaster->lookback();
+        const std::size_t channels = forecaster->fitted_channels();
+        if (channels != 0 && item.history.num_variables() != channels) {
+          code = 400;
+          resp = ErrorResponse(
+              400, "model " + lease.key() + " was fitted on " +
+                       std::to_string(channels) +
+                       " channels but \"history\" has " +
+                       std::to_string(item.history.num_variables()));
+        } else if (lookback != 0 && item.history.length() < lookback) {
+          code = 400;
+          resp = ErrorResponse(
+              400, "model " + lease.key() + " needs at least " +
+                       std::to_string(lookback) +
+                       " history points, got " +
+                       std::to_string(item.history.length()));
+        } else {
+          const ts::TimeSeries forecast =
+              forecaster->Forecast(item.history, horizon);
+          std::string body = "{\"model\":";
+          AppendJsonString(&body, lease.key());
+          body += ",\"method\":";
+          AppendJsonString(&body, lease.method());
+          body += ",\"horizon\":";
+          body += std::to_string(horizon);
+          body += ",\"forecast\":[";
+          for (std::size_t t = 0; t < forecast.length(); ++t) {
+            if (t != 0) body += ',';
+            body += '[';
+            for (std::size_t v = 0; v < forecast.num_variables(); ++v) {
+              if (v != 0) body += ',';
+              AppendJsonDouble(&body, forecast.at(t, v));
+            }
+            body += ']';
+          }
+          body += "]}\n";
+          resp = JsonResponse(200, std::move(body));
+        }
+      }
+      CountRequest(code);
+      if (obs::Enabled()) {
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - item.enqueued)
+                .count();
+        obs::DefaultRegistry()
+            .GetHistogram("tfb_serve_latency_seconds",
+                          obs::ExponentialBounds(1e-4, 2.0, 18))
+            .Observe(seconds);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.completed;
+        if (code != 200) ++stats_.failed;
+        PublishStatsLocked();
+      }
+      item.respond(std::move(resp));
+    }
+  }
+}
+
+void ForecastService::PublishStatsLocked() {
+  obs::ServeStats stats;
+  stats.enabled = true;
+  stats.models_registered = registry_ != nullptr ? registry_->Keys().size() : 0;
+  stats.models_loaded = registry_ != nullptr ? registry_->loaded_count() : 0;
+  stats.admitted = stats_.admitted;
+  stats.completed = stats_.completed;
+  stats.failed = stats_.failed;
+  stats.shed = stats_.shed;
+  stats.batches = stats_.batches;
+  stats.max_batch = stats_.max_batch_seen;
+  stats.queue_depth = stats_.queue_depth;
+  obs::DefaultProgressTracker().SetServeStats(stats);
+}
+
+ForecastServiceStats ForecastService::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tfb::serve

@@ -52,6 +52,10 @@
 #include "tfb/proc/sandbox.h"
 #include "tfb/report/ascii_plot.h"
 #include "tfb/report/report.h"
+#include "tfb/serve/json.h"
+#include "tfb/serve/model_store.h"
+#include "tfb/serve/registry.h"
+#include "tfb/serve/service.h"
 #include "tfb/stl/stl.h"
 #include "tfb/ts/csv.h"
 #include "tfb/ts/impute.h"

@@ -1,0 +1,242 @@
+// Fitted-model persistence tests: EVERY registered method must survive a
+// SerializeModel -> DeserializeModel round trip with a byte-identical
+// forecast (the serving plane's core contract), every corruption mode of
+// the TFBM envelope — wrong magic, wrong version, flipped payload bit,
+// truncation at any prefix — must resolve to a clean INVALID_INPUT, and
+// the file-backed SaveModelFile/LoadModelFile path must round-trip too.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "tfb/pipeline/method_registry.h"
+#include "tfb/serve/model_store.h"
+#include "tfb/stats/rng.h"
+
+namespace tfb::serve {
+namespace {
+
+ts::TimeSeries BenignSeries(std::size_t length, std::size_t channels,
+                            std::uint64_t seed) {
+  stats::Rng rng(seed);
+  linalg::Matrix m(length, channels);
+  for (std::size_t t = 0; t < length; ++t) {
+    for (std::size_t v = 0; v < channels; ++v) {
+      m(t, v) = 2.0 * std::sin(2.0 * M_PI * (t + 3.0 * v) / 24.0) +
+                0.01 * t + rng.Gaussian(0.0, 0.2);
+    }
+  }
+  ts::TimeSeries s{std::move(m)};
+  s.set_seasonal_period(24);
+  s.set_frequency(ts::Frequency::kHourly);
+  return s;
+}
+
+pipeline::MethodParams FastParams(std::size_t horizon) {
+  pipeline::MethodParams params;
+  params.horizon = horizon;
+  params.train_epochs = 2;
+  return params;
+}
+
+/// Fits `method` on `train` and returns the serialized envelope.
+std::string FitAndSerialize(const std::string& method,
+                            const pipeline::MethodParams& params,
+                            const ts::TimeSeries& train) {
+  const auto config = pipeline::MakeMethod(method, params);
+  EXPECT_TRUE(config.has_value()) << method;
+  auto model = config->factory();
+  model->Fit(train);
+  std::string bytes;
+  const base::Status status = SerializeModel(*model, method, params, &bytes);
+  EXPECT_TRUE(status.ok()) << method << ": " << status.message();
+  return bytes;
+}
+
+class ServeModelIoTest : public ::testing::TestWithParam<std::string> {};
+
+// The acceptance contract: fit, serialize, deserialize, and the restored
+// forecaster's forecast must be bitwise identical to the original's — not
+// approximately equal, identical, or a served forecast could differ from
+// what the offline pipeline reported for the same model.
+TEST_P(ServeModelIoTest, RoundTripForecastIsByteExact) {
+  const std::string method = GetParam();
+  const pipeline::MethodParams params = FastParams(6);
+  const ts::TimeSeries train = BenignSeries(240, 2, 11);
+
+  const auto config = pipeline::MakeMethod(method, params);
+  ASSERT_TRUE(config.has_value());
+  auto original = config->factory();
+  original->Fit(train);
+
+  std::string bytes;
+  ASSERT_TRUE(SerializeModel(*original, method, params, &bytes).ok());
+  EXPECT_GT(bytes.size(), 12u);  // Envelope header alone is 12 bytes.
+
+  ModelArtifact loaded;
+  const base::Status status = DeserializeModel(bytes, &loaded);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ASSERT_NE(loaded.forecaster, nullptr);
+  EXPECT_EQ(loaded.method, method);
+  EXPECT_EQ(loaded.params.horizon, params.horizon);
+  EXPECT_EQ(loaded.forecaster->lookback(), original->lookback());
+  EXPECT_EQ(loaded.forecaster->fitted_channels(),
+            original->fitted_channels());
+
+  const ts::TimeSeries history = BenignSeries(240, 2, 11);
+  const ts::TimeSeries want = original->Forecast(history, 6);
+  const ts::TimeSeries got = loaded.forecaster->Forecast(history, 6);
+  ASSERT_EQ(got.length(), want.length());
+  ASSERT_EQ(got.num_variables(), want.num_variables());
+  for (std::size_t t = 0; t < want.length(); ++t) {
+    for (std::size_t v = 0; v < want.num_variables(); ++v) {
+      const double a = want.at(t, v);
+      const double b = got.at(t, v);
+      // Bitwise, not epsilon: memcmp of the raw doubles.
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0)
+          << method << " diverges at t=" << t << " v=" << v << ": " << a
+          << " vs " << b;
+    }
+  }
+}
+
+// Serializing the restored model must reproduce the original envelope:
+// nothing is lost or reordered across the trip.
+TEST_P(ServeModelIoTest, ReserializeReproducesTheEnvelope) {
+  const std::string method = GetParam();
+  const pipeline::MethodParams params = FastParams(4);
+  const ts::TimeSeries train = BenignSeries(220, 1, 5);
+
+  const std::string first = FitAndSerialize(method, params, train);
+  ModelArtifact loaded;
+  ASSERT_TRUE(DeserializeModel(first, &loaded).ok());
+  std::string second;
+  ASSERT_TRUE(
+      SerializeModel(*loaded.forecaster, loaded.method, loaded.params, &second)
+          .ok());
+  EXPECT_EQ(first, second) << method;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, ServeModelIoTest,
+    ::testing::ValuesIn(pipeline::AllMethodNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name;
+      for (const char c : info.param) {
+        if (std::isalnum(static_cast<unsigned char>(c))) name += c;
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Corruption: every damaged envelope must be rejected with INVALID_INPUT.
+// ---------------------------------------------------------------------------
+
+class ServeModelCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bytes_ = FitAndSerialize("Theta", FastParams(6), BenignSeries(200, 1, 3));
+    ASSERT_GT(bytes_.size(), 12u);
+  }
+
+  static void ExpectRejected(const std::string& bytes, const char* what) {
+    ModelArtifact out;
+    const base::Status status = DeserializeModel(bytes, &out);
+    EXPECT_FALSE(status.ok()) << what;
+    EXPECT_EQ(status.code(), base::StatusCode::kInvalidInput)
+        << what << ": " << status.message();
+    EXPECT_EQ(out.forecaster, nullptr) << what;
+  }
+
+  std::string bytes_;
+};
+
+TEST_F(ServeModelCorruptionTest, WrongMagic) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  ExpectRejected(bad, "magic");
+}
+
+TEST_F(ServeModelCorruptionTest, UnknownFormatVersion) {
+  std::string bad = bytes_;
+  bad[4] = static_cast<char>(0x7f);  // Version field is little-endian u32.
+  ExpectRejected(bad, "version");
+}
+
+TEST_F(ServeModelCorruptionTest, EveryFlippedPayloadBitFailsTheChecksum) {
+  // Flip one bit at a spread of payload offsets; the CRC must catch each.
+  for (std::size_t offset = 12; offset < bytes_.size();
+       offset += std::max<std::size_t>(1, bytes_.size() / 16)) {
+    std::string bad = bytes_;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x10);
+    ExpectRejected(bad, ("bit flip at offset " + std::to_string(offset))
+                            .c_str());
+  }
+}
+
+TEST_F(ServeModelCorruptionTest, EveryTruncationIsRejected) {
+  // Any prefix — mid-header, mid-payload, empty — must fail cleanly, never
+  // crash or return a half-restored model.
+  for (std::size_t len = 0; len < bytes_.size();
+       len += std::max<std::size_t>(1, bytes_.size() / 64)) {
+    ExpectRejected(bytes_.substr(0, len),
+                   ("truncation to " + std::to_string(len)).c_str());
+  }
+  ExpectRejected(bytes_.substr(0, bytes_.size() - 1), "truncation by one");
+}
+
+TEST_F(ServeModelCorruptionTest, TrailingGarbageIsRejected) {
+  ExpectRejected(bytes_ + '\0', "trailing byte");
+}
+
+TEST_F(ServeModelCorruptionTest, CheckedCorruptionStillLoadsWhenUndone) {
+  // Sanity: the fixture bytes themselves are valid.
+  ModelArtifact out;
+  EXPECT_TRUE(DeserializeModel(bytes_, &out).ok());
+  EXPECT_EQ(out.method, "Theta");
+}
+
+// ---------------------------------------------------------------------------
+// File-backed persistence.
+// ---------------------------------------------------------------------------
+
+TEST(ServeModelFileTest, SaveLoadRoundTrip) {
+  const pipeline::MethodParams params = FastParams(6);
+  const ts::TimeSeries train = BenignSeries(200, 1, 9);
+  const auto config = pipeline::MakeMethod("Naive", params);
+  ASSERT_TRUE(config.has_value());
+  auto model = config->factory();
+  model->Fit(train);
+
+  const std::string path =
+      ::testing::TempDir() + "/tfb_serve_model_io_test.tfbm";
+  ASSERT_TRUE(SaveModelFile(*model, "Naive", params, path).ok());
+
+  ModelArtifact loaded;
+  const base::Status status = LoadModelFile(path, &loaded);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(loaded.method, "Naive");
+
+  const ts::TimeSeries want = model->Forecast(train, 6);
+  const ts::TimeSeries got = loaded.forecaster->Forecast(train, 6);
+  for (std::size_t t = 0; t < want.length(); ++t) {
+    EXPECT_EQ(want.at(t, 0), got.at(t, 0)) << t;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeModelFileTest, MissingFileNamesThePath) {
+  ModelArtifact out;
+  const base::Status status =
+      LoadModelFile("/no/such/dir/model.tfbm", &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("/no/such/dir/model.tfbm"),
+            std::string::npos)
+      << status.message();
+}
+
+}  // namespace
+}  // namespace tfb::serve
