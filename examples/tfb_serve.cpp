@@ -39,6 +39,9 @@
 //   --dispatchers=N     dispatcher threads (default 2)
 //   --max-reserved=N    shed when ReservedCoarseWorkers() >= N (default 0
 //                       = gate off)
+//   --access-log=FILE   append one wide-event JSONL line per answered
+//                       request (request id, model, code, per-stage and
+//                       total latency seconds)
 
 #include <dirent.h>
 #include <signal.h>
@@ -221,6 +224,8 @@ int main(int argc, char** argv) {
     } else if (FlagValue(argv[i], "--max-reserved", &value)) {
       service_options.max_reserved_workers = static_cast<std::size_t>(
           std::atol(value.c_str()));
+    } else if (FlagValue(argv[i], "--access-log", &value)) {
+      service_options.access_log_path = value;
     } else {
       std::fprintf(stderr, "tfb_serve: unknown flag %s (see header comment)\n",
                    argv[i]);

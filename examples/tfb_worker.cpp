@@ -9,10 +9,16 @@
 // loss it reconnects with capped exponential backoff under a fresh lease
 // epoch, and any stale rows it replays are fenced by the coordinator.
 //
+// When the coordinator runs with observability on, it asks this worker
+// (via the WELCOME options blob) to collect spans and metric deltas and
+// ship them back piggybacked on heartbeat/DONE frames — no flags needed
+// here; the worker's telemetry follows the coordinator's.
+//
 // Usage:
 //   ./build/examples/tfb_worker --connect=HOST:PORT
 //       [--retry-backoff-ms=MS] [--retry-backoff-max-ms=MS]
 //       [--max-connect-failures=N] [--chaos-net=SPEC]
+//       [--log-level=LEVEL] [--log-json=FILE]
 //
 // Exit codes: 0 after the coordinator's QUIT, 1 when the connect budget is
 // exhausted (coordinator gone or unreachable).
@@ -26,6 +32,7 @@
 #include <cstring>
 #include <string>
 
+#include "tfb/obs/log.h"
 #include "tfb/pipeline/shard_worker.h"
 #include "tfb/pipeline/transport.h"
 
@@ -37,7 +44,9 @@ int main(int argc, char** argv) {
   const char* usage =
       "usage: tfb_worker --connect=HOST:PORT\n"
       "                  [--retry-backoff-ms=MS] [--retry-backoff-max-ms=MS]\n"
-      "                  [--max-connect-failures=N] [--chaos-net=SPEC]\n";
+      "                  [--max-connect-failures=N] [--chaos-net=SPEC]\n"
+      "                  [--log-level=trace|debug|info|warn|error|off]\n"
+      "                  [--log-json=FILE]\n";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--connect=", 10) == 0) {
       const std::string endpoint = argv[i] + 10;
@@ -76,6 +85,19 @@ int main(int argc, char** argv) {
         return 1;
       }
       options.loop.chaos = *plan;
+    } else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
+      const auto level = obs::ParseLogLevel(argv[i] + 12);
+      if (!level) {
+        std::fprintf(stderr, "bad --log-level: %s\n", argv[i] + 12);
+        return 1;
+      }
+      obs::DefaultLogger().SetLevel(*level);
+    } else if (std::strncmp(argv[i], "--log-json=", 11) == 0) {
+      if (!obs::DefaultLogger().OpenJsonlSink(argv[i] + 11)) {
+        std::fprintf(stderr, "cannot open --log-json file: %s\n",
+                     argv[i] + 11);
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "%s", usage);
       return 1;
@@ -85,12 +107,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", usage);
     return 1;
   }
-  std::printf("tfb_worker: connecting to %s:%u\n", options.host.c_str(),
-              static_cast<unsigned>(options.port));
+  obs::DefaultLogger().Info(
+      "tfb_worker starting",
+      {{"host", options.host},
+       {"port", std::to_string(options.port)}});
   const int rc = pipeline::RunTcpShardWorker(options);
-  if (rc != 0) {
-    std::fprintf(stderr,
-                 "tfb_worker: connect budget exhausted; coordinator gone?\n");
-  }
   return rc;
 }

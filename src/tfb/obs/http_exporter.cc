@@ -113,6 +113,23 @@ bool FindContentLength(const std::string& headers, std::size_t* length) {
 
 }  // namespace
 
+const std::string* FindHeader(const HttpRequest& request,
+                              const std::string& name) {
+  for (const auto& [key, value] : request.headers) {
+    if (key.size() != name.size()) continue;
+    bool match = true;
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(key[i])) !=
+          std::tolower(static_cast<unsigned char>(name[i]))) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return &value;
+  }
+  return nullptr;
+}
+
 /// Per-connection state machine. A connection is in exactly one of three
 /// phases: accumulating request bytes, parked while a handler owns the
 /// responder, or draining the rendered response.
@@ -461,6 +478,28 @@ void HttpExporter::TryDispatch(int fd) {
         return;
       }
       conn.content_length = content_length;
+    }
+    // Expose the header block to handlers (e.g. X-Request-Id passthrough).
+    // Lines without a colon are silently skipped — tolerating them matches
+    // how FindContentLength already scans the block.
+    std::size_t pos = 0;
+    while (pos < headers.size()) {
+      std::size_t eol = headers.find("\r\n", pos);
+      if (eol == std::string::npos) eol = headers.size();
+      const std::size_t colon = headers.find(':', pos);
+      if (colon != std::string::npos && colon < eol && colon > pos) {
+        std::size_t vb = colon + 1;
+        while (vb < eol && (headers[vb] == ' ' || headers[vb] == '\t')) ++vb;
+        std::size_t ve = eol;
+        while (ve > vb &&
+               (headers[ve - 1] == ' ' || headers[ve - 1] == '\t')) {
+          --ve;
+        }
+        conn.request.headers.emplace_back(headers.substr(pos, colon - pos),
+                                          headers.substr(vb, ve - vb));
+      }
+      pos = eol + 2;
+      if (eol == headers.size()) break;
     }
   }
 

@@ -42,12 +42,20 @@
 
 namespace tfb::obs {
 
-/// A parsed inbound request. `path` has the query string stripped.
+/// A parsed inbound request. `path` has the query string stripped;
+/// `headers` holds the header block as name/value pairs in arrival order
+/// (names keep their wire casing — look up with FindHeader).
 struct HttpRequest {
   std::string method;
   std::string path;
   std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
 };
+
+/// Case-insensitive header lookup (header names are case-insensitive per
+/// RFC 9110); returns the first match's value, or nullptr when absent.
+const std::string* FindHeader(const HttpRequest& request,
+                              const std::string& name);
 
 /// An outbound response; `headers` are extra headers beyond Content-Type /
 /// Content-Length / Connection (e.g. Retry-After on a 429).

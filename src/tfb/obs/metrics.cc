@@ -91,6 +91,18 @@ void Histogram::Observe(double value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
+void Histogram::MergeBuckets(const std::vector<std::uint64_t>& bucket_deltas,
+                             double sum_delta) {
+  if (bucket_deltas.size() != buckets_.size()) return;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < bucket_deltas.size(); ++i) {
+    buckets_[i].fetch_add(bucket_deltas[i], std::memory_order_relaxed);
+    total += bucket_deltas[i];
+  }
+  count_.fetch_add(total, std::memory_order_relaxed);
+  sum_.fetch_add(sum_delta, std::memory_order_relaxed);
+}
+
 double Histogram::Mean() const {
   const std::uint64_t n = Count();
   return n > 0 ? Sum() / static_cast<double>(n) : 0.0;
@@ -102,6 +114,14 @@ std::vector<std::uint64_t> Histogram::CumulativeCounts() const {
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     running += buckets_[i].load(std::memory_order_relaxed);
     out[i] = running;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -252,10 +272,16 @@ std::string Registry::ToJson() const {
     if (!first) out += ",";
     first = false;
     AppendJsonEscaped(&out, name);
+    // Quantiles of an empty histogram are undefined; render null so a
+    // dashboard cannot mistake "no data yet" for a measured 0.
+    const bool empty = h->Count() == 0;
+    const auto quantile = [&](double q) {
+      return empty ? std::string("null") : FormatDouble(h->Quantile(q));
+    };
     out += ":{\"type\":\"histogram\",\"count\":" + std::to_string(h->Count()) +
            ",\"sum\":" + FormatDouble(h->Sum()) +
-           ",\"p50\":" + FormatDouble(h->Quantile(0.5)) +
-           ",\"p95\":" + FormatDouble(h->Quantile(0.95)) + ",\"buckets\":[";
+           ",\"p50\":" + quantile(0.5) + ",\"p95\":" + quantile(0.95) +
+           ",\"p99\":" + quantile(0.99) + ",\"buckets\":[";
     const std::vector<std::uint64_t> cumulative = h->CumulativeCounts();
     for (std::size_t i = 0; i < cumulative.size(); ++i) {
       if (i > 0) out += ",";
@@ -274,6 +300,24 @@ std::string Registry::ToJson() const {
   }
   out += "}";
   return out;
+}
+
+Registry::Snapshot Registry::TakeSnapshot() const {
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, c] : shard.counters) {
+      snap.counters[name] = c->Value();
+    }
+    for (const auto& [name, g] : shard.gauges) snap.gauges[name] = g->Value();
+    for (const auto& [name, h] : shard.histograms) {
+      Snapshot::HistogramState& state = snap.histograms[name];
+      state.bounds = h->bounds();
+      state.buckets = h->BucketCounts();
+      state.sum = h->Sum();
+    }
+  }
+  return snap;
 }
 
 void Registry::Reset() {

@@ -72,6 +72,13 @@ class Histogram {
 
   void Observe(double value);
 
+  /// Adds pre-counted observations bucket-by-bucket (fleet telemetry merge:
+  /// a worker ships per-bucket deltas, the coordinator replays them here).
+  /// `bucket_deltas` must have bounds().size() + 1 entries; mismatched
+  /// shapes are ignored rather than corrupting the histogram.
+  void MergeBuckets(const std::vector<std::uint64_t>& bucket_deltas,
+                    double sum_delta);
+
   std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   double Mean() const;
@@ -83,6 +90,9 @@ class Histogram {
   /// Cumulative count of observations <= bounds()[i]; the last entry (for
   /// the +inf bucket) equals Count().
   std::vector<std::uint64_t> CumulativeCounts() const;
+  /// Raw per-bucket counts (bounds().size() + 1 entries, not cumulative) —
+  /// the shape telemetry snapshots diff and ship.
+  std::vector<std::uint64_t> BucketCounts() const;
 
  private:
   std::vector<double> bounds_;
@@ -118,8 +128,24 @@ class Registry {
   /// *_bucket/_sum/_count lines with cumulative `le` labels).
   std::string ToPrometheusText() const;
   /// One JSON object keyed by instrument name; histograms carry
-  /// count/sum/p50/p95 plus their buckets.
+  /// count/sum/p50/p95/p99 plus their buckets (quantiles are `null` while
+  /// the histogram is empty — 0 would read as a real measurement).
   std::string ToJson() const;
+
+  /// A point-in-time copy of every instrument. Fleet telemetry uses two of
+  /// these on the worker to compute deltas since the last ship, and the
+  /// coordinator replays those deltas into its own registry.
+  struct Snapshot {
+    struct HistogramState {
+      std::vector<double> bounds;
+      std::vector<std::uint64_t> buckets;  // Raw per-bucket counts.
+      double sum = 0.0;
+    };
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramState> histograms;
+  };
+  Snapshot TakeSnapshot() const;
 
   /// Drops every instrument (for test isolation and repeated bench runs).
   /// Invalidates previously returned references.

@@ -347,6 +347,26 @@ std::string ProgressTracker::StatusJson(const std::string& run_id) const {
     out += ",\"disconnects\":" + std::to_string(sh.disconnects);
     out += ",\"fenced_completions\":" + std::to_string(sh.fenced_completions);
     out += ",\"corrupt_frames\":" + std::to_string(sh.corrupt_frames);
+    if (!sh.fleet.empty()) {
+      out += ",\"fleet\":[";
+      bool first_worker = true;
+      for (const ShardStats::WorkerStatus& w : sh.fleet) {
+        if (!first_worker) out += ',';
+        first_worker = false;
+        out += "{\"pid\":" + std::to_string(w.pid);
+        out += ",\"tasks_completed\":" + std::to_string(w.tasks_completed);
+        out += ",\"cpu_seconds\":";
+        AppendJsonNumber(&out, w.cpu_seconds);
+        out += ",\"peak_rss_mb\":";
+        AppendJsonNumber(&out, w.peak_rss_mb);
+        out += ",\"heartbeat_age_seconds\":";
+        AppendJsonNumber(&out, w.heartbeat_age_seconds);
+        out += ",\"clock_offset_us\":";
+        AppendJsonNumber(&out, w.clock_offset_us);
+        out += '}';
+      }
+      out += ']';
+    }
     out += '}';
   }
   if (serve_stats_.enabled) {
@@ -361,6 +381,20 @@ std::string ProgressTracker::StatusJson(const std::string& run_id) const {
     out += ",\"batches\":" + std::to_string(sv.batches);
     out += ",\"max_batch\":" + std::to_string(sv.max_batch);
     out += ",\"queue_depth\":" + std::to_string(sv.queue_depth);
+    const auto quantile = [&](double value) {
+      if (value < 0.0) {
+        out += "null";  // No completed requests yet.
+      } else {
+        AppendJsonNumber(&out, value);
+      }
+    };
+    out += ",\"latency\":{\"p50\":";
+    quantile(sv.latency_p50);
+    out += ",\"p95\":";
+    quantile(sv.latency_p95);
+    out += ",\"p99\":";
+    quantile(sv.latency_p99);
+    out += '}';
     out += '}';
   }
   out += '}';

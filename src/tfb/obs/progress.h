@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 /// \file
 /// Live run progress: the BenchmarkRunner feeds this tracker one event per
@@ -71,6 +73,21 @@ struct ShardStats {
   std::size_t disconnects = 0;
   std::size_t fenced_completions = 0;
   std::size_t corrupt_frames = 0;
+
+  /// One live, welcomed worker connection as the coordinator sees it:
+  /// identity, the worker's latest self-reported usage (shipped in its
+  /// telemetry batches), how long it has been silent, and the estimated
+  /// clock offset used to align its spans. Rendered as the "fleet" array
+  /// of the /status shard object.
+  struct WorkerStatus {
+    std::uint64_t pid = 0;
+    std::uint64_t tasks_completed = 0;
+    double cpu_seconds = 0.0;
+    double peak_rss_mb = 0.0;
+    double heartbeat_age_seconds = 0.0;
+    double clock_offset_us = 0.0;
+  };
+  std::vector<WorkerStatus> fleet;
 };
 
 /// Serving-plane telemetry (fed by serve::ForecastService, exposed as the
@@ -87,6 +104,13 @@ struct ServeStats {
   std::uint64_t batches = 0;
   std::size_t max_batch = 0;    ///< Largest coalesced batch so far.
   std::size_t queue_depth = 0;
+
+  // End-to-end request latency quantiles in seconds (from the service's
+  // tfb_serve_latency_seconds histogram); negative until the first
+  // completed request, rendered as JSON null.
+  double latency_p50 = -1.0;
+  double latency_p95 = -1.0;
+  double latency_p99 = -1.0;
 };
 
 /// Point-in-time view of the run, as exposed on /status.

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <set>
 #include <thread>
 
 #include <sys/syscall.h>
@@ -96,6 +97,11 @@ void Tracer::RecordComplete(const char* name, const char* category,
   Record(std::move(event));
 }
 
+void Tracer::RecordForeign(TraceEvent event) {
+  if (!enabled()) return;
+  Record(std::move(event));
+}
+
 void Tracer::RecordInstant(const char* name, const char* category,
                            std::string args) {
   if (!enabled()) return;
@@ -120,6 +126,24 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(head + i) % capacity_]);
   }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::DrainSince(std::uint64_t* cursor) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  if (capacity_ == 0 || *cursor >= recorded_) {
+    *cursor = recorded_;
+    return out;
+  }
+  // Oldest index still resident; anything before it was overwritten.
+  const std::uint64_t oldest = recorded_ - ring_.size();
+  const std::uint64_t begin = std::max(*cursor, oldest);
+  out.reserve(static_cast<std::size_t>(recorded_ - begin));
+  for (std::uint64_t i = begin; i < recorded_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  *cursor = recorded_;
   return out;
 }
 
@@ -179,6 +203,19 @@ bool Tracer::WriteJson(const std::string& path) const {
 Tracer& DefaultTracer() {
   static Tracer* tracer = new Tracer();  // Leaked: outlives all users.
   return *tracer;
+}
+
+const char* InternTraceName(const std::string& name) {
+  constexpr std::size_t kMaxInterned = 4096;
+  static std::mutex* mu = new std::mutex();
+  // Leaked: interned names must stay valid for every TraceEvent that
+  // points at them, i.e. the process lifetime.
+  static auto* pool = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(*mu);
+  const auto it = pool->find(name);
+  if (it != pool->end()) return it->c_str();
+  if (pool->size() >= kMaxInterned) return "<interned-overflow>";
+  return pool->insert(name).first->c_str();
 }
 
 ScopedSpan::ScopedSpan(const char* name, const char* category,

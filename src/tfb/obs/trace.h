@@ -22,7 +22,8 @@
 namespace tfb::obs {
 
 /// One recorded event. `phase` follows the trace_event format: 'X' =
-/// complete (duration) event, 'i' = instant event.
+/// complete (duration) event, 'i' = instant event, 'M' = metadata (e.g.
+/// `process_name`, which names remote-worker pids in the merged trace).
 struct TraceEvent {
   const char* name = "";  ///< Static string (span names are literals).
   const char* category = "";
@@ -60,9 +61,21 @@ class Tracer {
   /// Records an instant ('i') event at now; no-op when disabled.
   void RecordInstant(const char* name, const char* category,
                      std::string args = "");
+  /// Records `event` exactly as given — pid/tid/ts/phase are the caller's.
+  /// This is how the shard coordinator stitches spans shipped from remote
+  /// workers (already timestamped on the worker's clock and re-aligned via
+  /// the per-connection offset) into its own ring. `event.name` and
+  /// `event.category` must outlive the tracer; intern dynamic strings with
+  /// InternTraceName first. No-op when disabled.
+  void RecordForeign(TraceEvent event);
 
   /// Events currently in the ring, oldest first (ring order, not ts order).
   std::vector<TraceEvent> Snapshot() const;
+  /// Incremental drain for telemetry shipping: returns every event recorded
+  /// at global index >= *cursor that is still in the ring (overwritten ones
+  /// are gone — the caller observes the loss as a cursor jump), then
+  /// advances *cursor to the current recorded() count. Start with cursor 0.
+  std::vector<TraceEvent> DrainSince(std::uint64_t* cursor) const;
   /// Events recorded since Enable (>= Snapshot().size(); the difference is
   /// how many the ring overwrote).
   std::uint64_t recorded() const;
@@ -89,6 +102,14 @@ class Tracer {
 
 /// The process-wide tracer all pipeline spans record into.
 Tracer& DefaultTracer();
+
+/// Interns `name` into a process-lifetime string pool and returns a stable
+/// `const char*` usable as TraceEvent::name / ::category. TraceEvent stores
+/// names by pointer (span sites use literals); spans deserialized off the
+/// wire arrive as std::string and must be interned before RecordForeign.
+/// The pool is capped — beyond ~4096 distinct names it returns a shared
+/// "<interned-overflow>" sentinel instead of growing without bound.
+const char* InternTraceName(const std::string& name);
 
 /// RAII span: records one complete event on the default tracer covering its
 /// own lifetime. Decides at construction whether it is active (tracer

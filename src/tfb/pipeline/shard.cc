@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,8 +30,10 @@
 #include "tfb/obs/log.h"
 #include "tfb/obs/metrics.h"
 #include "tfb/obs/progress.h"
+#include "tfb/obs/trace.h"
 #include "tfb/pipeline/journal.h"
 #include "tfb/pipeline/shard_worker.h"
+#include "tfb/pipeline/telemetry.h"
 #include "tfb/pipeline/wire.h"
 
 namespace tfb::pipeline {
@@ -133,6 +136,24 @@ struct Connection {
   bool quit_sent = false;
   bool dead = false;
   std::string segment_path;  // "<base>.seg<epoch>".
+
+  // Fleet telemetry (see telemetry.h): clock-offset probing state and the
+  // coordinator-clock start of the currently granted shard.
+  std::size_t pings_sent = 0;
+  std::vector<PingSample> ping_samples;
+  double clock_offset_us = 0.0;
+  double grant_start_us = 0.0;
+};
+
+// What the coordinator knows about one worker *process* (keyed by pid, so
+// it survives reconnects): the last applied telemetry batch number — the
+// dedup fence that keeps a resent DONE blob from double-counting — and the
+// latest self-reported usage for /status.
+struct WorkerRecord {
+  std::uint64_t last_seq = 0;
+  std::uint64_t tasks_completed = 0;
+  double cpu_seconds = 0.0;
+  double peak_rss_mb = 0.0;
 };
 
 // One fork()ed worker process (socketpair workers and local TCP workers).
@@ -342,7 +363,17 @@ std::vector<ResultRow> ShardCoordinator::Run(
   std::vector<Child> children;
   std::size_t live_children = 0;
   std::uint64_t next_epoch = 1;
-  const std::string options_blob = SerializeWorkerOptions(runner_options_);
+  // With observability on, the WELCOME options blob asks every worker to
+  // collect spans + metric deltas and ship them back (telemetry.h).
+  const std::string options_blob =
+      SerializeWorkerOptions(runner_options_, observed);
+  // One trace identity for the whole run; every dispatch executes under it
+  // and every worker batch echoes it back.
+  const std::uint64_t run_trace_id =
+      (static_cast<std::uint64_t>(getpid()) << 32) ^
+      static_cast<std::uint64_t>(
+          Clock::now().time_since_epoch().count());
+  std::unordered_map<std::uint64_t, WorkerRecord> fleet;
   const std::string connect_host = shard_options_.listen_host == "0.0.0.0"
                                        ? "127.0.0.1"
                                        : shard_options_.listen_host;
@@ -372,6 +403,23 @@ std::vector<ResultRow> ShardCoordinator::Run(
     s.disconnects = stats_.disconnects;
     s.fenced_completions = stats_.fenced_completions;
     s.corrupt_frames = stats_.corrupt_frames;
+    const auto now = Clock::now();
+    for (const auto& cptr : conns) {
+      const Connection& c = *cptr;
+      if (!c.welcomed || c.dead) continue;
+      obs::ShardStats::WorkerStatus w;
+      w.pid = c.pid > 0 ? static_cast<std::uint64_t>(c.pid) : 0;
+      w.heartbeat_age_seconds =
+          std::chrono::duration<double>(now - c.last_seen).count();
+      w.clock_offset_us = c.clock_offset_us;
+      const auto it = fleet.find(w.pid);
+      if (it != fleet.end()) {
+        w.tasks_completed = it->second.tasks_completed;
+        w.cpu_seconds = it->second.cpu_seconds;
+        w.peak_rss_mb = it->second.peak_rss_mb;
+      }
+      s.fleet.push_back(w);
+    }
     tracker.SetShardStats(s);
     if (observed) {
       registry.GetGauge("tfb_shard_workers_live")
@@ -667,6 +715,59 @@ std::vector<ResultRow> ShardCoordinator::Run(
     fence_connection(c, /*from_heartbeat=*/false);
   };
 
+  // Clock-offset probes: a few PING echoes per connection, the first sent
+  // right after WELCOME and the rest as each PONG lands (back-to-back sends
+  // would share one queueing stall and defeat the min-RTT filter). The
+  // token carries the send timestamp, so the coordinator keeps no pending
+  // map: everything needed comes back in the echo.
+  constexpr std::size_t kPingProbes = 3;
+  auto send_ping = [&](Connection& c) {
+    if (!observed || c.dead || c.quit_sent) return;
+    Frame ping;
+    ping.type = FrameType::kPing;
+    char token[64];
+    std::snprintf(token, sizeof(token), "%zu %.3f", c.pings_sent,
+                  obs::TraceNowMicros());
+    ping.payload = token;
+    ++c.pings_sent;
+    if (!c.transport->Send(ping)) {
+      fence_connection(c, /*from_heartbeat=*/false);
+    }
+  };
+
+  // Applies one worker telemetry blob (piggybacked on HEARTBEAT/DONE).
+  // Dedup is per (pid, seq): a DONE resent through a healed partition
+  // carries the batch it was built with, and must not count twice.
+  auto merge_telemetry = [&](Connection& c, std::string_view blob) {
+    if (!observed) return;  // Never requested: stray blob, ignore.
+    WorkerTelemetry t;
+    if (!DeserializeWorkerTelemetry(blob, &t)) {
+      protocol_violation(c, "bad telemetry blob");
+      return;
+    }
+    WorkerRecord& rec = fleet[t.pid];
+    if (t.seq <= rec.last_seq) return;  // Replayed batch; already applied.
+    rec.last_seq = t.seq;
+    rec.tasks_completed = t.tasks_completed;
+    rec.cpu_seconds = t.cpu_seconds;
+    rec.peak_rss_mb = t.peak_rss_mb;
+    const std::string worker = std::to_string(t.pid);
+    MergeWorkerTelemetry(t, worker, c.clock_offset_us, &registry,
+                         &obs::DefaultTracer());
+    registry.GetGauge(SpliceWorkerLabel("tfb_fleet_worker_tasks", worker))
+        .Set(static_cast<double>(t.tasks_completed));
+    registry
+        .GetGauge(SpliceWorkerLabel("tfb_fleet_worker_cpu_seconds", worker))
+        .Set(t.cpu_seconds);
+    registry
+        .GetGauge(SpliceWorkerLabel("tfb_fleet_worker_peak_rss_mb", worker))
+        .Set(t.peak_rss_mb);
+    registry
+        .GetGauge(
+            SpliceWorkerLabel("tfb_fleet_worker_clock_offset_us", worker))
+        .Set(c.clock_offset_us);
+  };
+
   auto welcome = [&](Connection& c, std::uint64_t prev_epoch,
                      std::size_t claimed_pid) {
     if (c.pid < 0) c.pid = static_cast<pid_t>(claimed_pid);
@@ -699,6 +800,19 @@ std::vector<ResultRow> ShardCoordinator::Run(
     frame.payload = std::string(header) + options_blob;
     if (!c.transport->Send(frame)) {
       fence_connection(c, /*from_heartbeat=*/false);
+      return;
+    }
+    if (observed) {
+      // Post-WELCOME only: the worker's handshake rejects frames it is not
+      // expecting, and TCP ordering guarantees WELCOME lands first.
+      Frame ctx;
+      ctx.type = FrameType::kTraceCtx;
+      ctx.payload = SerializeTraceContext(TraceContext{run_trace_id, 0});
+      if (!c.transport->Send(ctx)) {
+        fence_connection(c, /*from_heartbeat=*/false);
+        return;
+      }
+      send_ping(c);
     }
   };
 
@@ -737,6 +851,7 @@ std::vector<ResultRow> ShardCoordinator::Run(
     }
     c.has_shard = true;
     c.shard = std::move(shard);
+    c.grant_start_us = obs::TraceNowMicros();
     ++stats_.shards_dispatched;
     if (observed) {
       registry.GetCounter("tfb_shard_dispatch_total").Increment();
@@ -761,8 +876,35 @@ std::vector<ResultRow> ShardCoordinator::Run(
     }
     c.last_seen = Clock::now();
     switch (frame.type) {
-      case FrameType::kHeartbeat:
-        break;  // last_seen already refreshed.
+      case FrameType::kHeartbeat: {
+        // "<epoch>" optionally followed by "\n<telemetry blob>".
+        const std::size_t nl = frame.payload.find('\n');
+        if (nl != std::string::npos) {
+          merge_telemetry(c, std::string_view(frame.payload).substr(nl + 1));
+        }
+        break;
+      }
+      case FrameType::kPong: {
+        // "<probe> <t_send> <t_remote>" — the first two are our own PING
+        // token echoed back; t_recv is now, on our clock.
+        const double t_recv = obs::TraceNowMicros();
+        unsigned long long probe = 0;
+        double t_send = 0.0;
+        double t_remote = 0.0;
+        if (std::sscanf(frame.payload.c_str(), "%llu %lf %lf", &probe,
+                        &t_send, &t_remote) != 3) {
+          protocol_violation(c, "bad PONG");
+          return;
+        }
+        PingSample sample;
+        sample.t_send_us = t_send;
+        sample.t_recv_us = t_recv;
+        sample.t_remote_us = t_remote;
+        c.ping_samples.push_back(sample);
+        c.clock_offset_us = EstimateClockOffset(c.ping_samples);
+        if (c.pings_sent < kPingProbes) send_ping(c);
+        break;
+      }
       case FrameType::kStart: {
         const auto fields = ParseSizeFields(frame.payload, 2, 2);
         if (!fields) {
@@ -853,10 +995,23 @@ std::vector<ResultRow> ShardCoordinator::Run(
         break;
       }
       case FrameType::kDone: {
-        const auto fields = ParseSizeFields(frame.payload, 2, 2);
+        // "<epoch> <shard>" optionally followed by "\n<telemetry blob>".
+        const std::size_t nl = frame.payload.find('\n');
+        const std::string_view header =
+            std::string_view(frame.payload)
+                .substr(0, nl == std::string::npos ? frame.payload.size()
+                                                   : nl);
+        const auto fields = ParseSizeFields(header, 2, 2);
         if (!fields) {
           protocol_violation(c, "bad DONE");
           return;
+        }
+        if (nl != std::string::npos) {
+          // Telemetry rides even on a fenced DONE — the batch describes the
+          // worker process, not the lease — and the seq fence already
+          // guards replays.
+          merge_telemetry(c, std::string_view(frame.payload).substr(nl + 1));
+          if (c.dead) return;  // The blob was garbage; connection fenced.
         }
         if ((*fields)[0] != c.epoch) break;  // Stale lease; ignore.
         if (c.has_shard && c.shard.id == (*fields)[1]) {
@@ -886,6 +1041,16 @@ std::vector<ResultRow> ShardCoordinator::Run(
             if (observed) {
               registry.GetCounter("tfb_shard_redispatch_total").Increment();
             }
+          }
+          if (obs::DefaultTracer().enabled() && c.grant_start_us > 0.0) {
+            obs::DefaultTracer().RecordComplete(
+                "shard", "pipeline", c.grant_start_us,
+                obs::TraceNowMicros() - c.grant_start_us,
+                obs::ArgsJson(
+                    {{"shard", std::to_string(c.shard.id)},
+                     {"worker", std::to_string(c.pid)},
+                     {"epoch", std::to_string(c.epoch)},
+                     {"trace_id", std::to_string(run_trace_id)}}));
           }
           c.has_shard = false;
           ++shards_completed;

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -11,7 +12,11 @@
 #include <thread>
 #include <unordered_map>
 
+#include "tfb/obs/log.h"
+#include "tfb/obs/metrics.h"
+#include "tfb/obs/trace.h"
 #include "tfb/pipeline/journal.h"
+#include "tfb/pipeline/telemetry.h"
 #include "tfb/pipeline/wire.h"
 
 namespace tfb::pipeline {
@@ -68,14 +73,24 @@ class ShardWorker {
       const auto hb = ParseStrictDouble(header.substr(sp + 1));
       if (!epoch_field || !hb || (*epoch_field)[0] == 0) return Lost();
       RunnerOptions options;
+      bool telemetry = false;
       if (!DeserializeWorkerOptions(
-              std::string_view(welcome.payload).substr(nl + 1), &options)) {
+              std::string_view(welcome.payload).substr(nl + 1), &options,
+              &telemetry)) {
         return Lost();
       }
       epoch_ = (*epoch_field)[0];
       if (*hb > 0.0) heartbeat_seconds = *hb;
       heartbeat_seconds_ = heartbeat_seconds;
       runner_options_ = options;
+      telemetry_ = telemetry;
+      if (telemetry_) {
+        // The coordinator wants this worker's spans and metric deltas.
+        // Enable() only once — re-enabling on a reconnect would drop spans
+        // recorded while the link was down.
+        obs::SetEnabled(true);
+        if (!obs::DefaultTracer().enabled()) obs::DefaultTracer().Enable();
+      }
     }
 
     // Replay the retained ROW frames of a shard interrupted by the previous
@@ -102,6 +117,11 @@ class ShardWorker {
         Frame beat;
         beat.type = FrameType::kHeartbeat;
         beat.payload = std::to_string(hb_epoch);
+        const std::string blob = CollectTelemetryBlob();
+        if (!blob.empty()) {
+          beat.payload += '\n';
+          beat.payload += blob;
+        }
         if (!Send(beat)) break;  // Transport gone; main loop notices too.
         hb_cv.wait_for(lock, period, [&] { return hb_stop; });
       }
@@ -219,6 +239,28 @@ class ShardWorker {
             if (!RunShard(*fields)) return SessionEnd::kLost;
             break;
           }
+          case FrameType::kTraceCtx: {
+            const auto ctx = ParseTraceContext(frame.payload);
+            if (!ctx) return SessionEnd::kLost;
+            {
+              const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+              trace_ctx_ = *ctx;
+            }
+            break;
+          }
+          case FrameType::kPing: {
+            // Clock probe: echo the coordinator's token with our steady
+            // clock appended, so it can estimate the offset (midpoint on
+            // the min-RTT sample). Answered from the main loop — the echo
+            // shares the queueing delay real frames see.
+            Frame pong;
+            pong.type = FrameType::kPong;
+            char now[40];
+            std::snprintf(now, sizeof(now), "%.3f", obs::TraceNowMicros());
+            pong.payload = frame.payload + " " + now;
+            if (!Send(pong)) return SessionEnd::kLost;
+            break;
+          }
           default:
             break;  // Stale/unexpected frames are ignored, not fatal.
         }
@@ -280,9 +322,26 @@ class ShardWorker {
     Frame done;
     done.type = FrameType::kDone;
     done.payload = std::to_string(epoch_) + " " + std::to_string(shard_id);
+    // Ship the shard's telemetry with its completion. A resent DONE carries
+    // the same blob (same seq); the coordinator applies each seq once.
+    const std::string blob = CollectTelemetryBlob();
+    if (!blob.empty()) {
+      done.payload += '\n';
+      done.payload += blob;
+    }
     last_done_ = done;
     last_done_time_ = Clock::now();
     return Send(done);
+  }
+
+  /// Serialized telemetry batch, or "" when the coordinator did not ask for
+  /// telemetry. Called from both the heartbeat thread and the main loop;
+  /// the collector's snapshot/cursor state is guarded here.
+  std::string CollectTelemetryBlob() {
+    if (!telemetry_) return std::string();
+    const std::lock_guard<std::mutex> lock(telemetry_mutex_);
+    return SerializeWorkerTelemetry(
+        collector_.Collect(trace_ctx_.trace_id, tasks_done_));
   }
 
   const WorkerLoopConfig config_;
@@ -299,7 +358,12 @@ class ShardWorker {
   std::vector<Frame> retained_rows_;  // ROW frames of the unfinished shard.
   Frame last_done_;  // Resent while idle; empty payload = nothing to resend.
   Clock::time_point last_done_time_{};
-  std::size_t tasks_done_ = 0;
+  std::atomic<std::size_t> tasks_done_{0};  // Heartbeat thread reads it.
+
+  bool telemetry_ = false;       // Coordinator asked for telemetry shipping.
+  TraceContext trace_ctx_;       // Latest kTraceCtx; zero until one arrives.
+  std::mutex telemetry_mutex_;   // Heartbeat thread vs. main loop.
+  TelemetryCollector collector_;
 };
 
 }  // namespace
@@ -344,11 +408,24 @@ int RunTcpShardWorker(const TcpWorkerOptions& options) {
         if (delay >= backoff_cap) break;
       }
       delay = std::min(delay, backoff_cap);
+      obs::DefaultLogger().Warn(
+          "connect failed; backing off",
+          {{"host", options.host},
+           {"port", std::to_string(options.port)},
+           {"error", error},
+           {"attempt", std::to_string(consecutive_failures)},
+           {"of", std::to_string(options.loop.max_connect_failures)},
+           {"backoff_ms", std::to_string(delay)}});
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(delay));
       continue;
     }
     consecutive_failures = 0;
+    obs::DefaultLogger().Info(
+        "connected to coordinator",
+        {{"host", options.host},
+         {"port", std::to_string(options.port)},
+         {"connection", std::to_string(connection_id)}});
     // A fresh fault schedule per connection: a reconnected worker is a new
     // network path, not a replay of the old one. Partitions fire on each
     // worker's first connection only — a partition re-armed on every
@@ -364,13 +441,24 @@ int RunTcpShardWorker(const TcpWorkerOptions& options) {
         options.loop.spawn_index * 1000003ULL + connection_id);
     ++connection_id;
     if (worker.RunSession(std::move(transport)) == SessionEnd::kQuit) {
+      obs::DefaultLogger().Info("quit received; draining", {});
       return 0;
     }
     // Connection lost: back off briefly, then reconnect with the previous
     // epoch in HELLO so the coordinator can count the reconnect.
+    obs::DefaultLogger().Warn(
+        "connection lost; reconnecting",
+        {{"host", options.host},
+         {"port", std::to_string(options.port)},
+         {"backoff_ms", std::to_string(backoff_base)}});
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(backoff_base));
   }
+  obs::DefaultLogger().Error(
+      "connect budget exhausted; giving up",
+      {{"host", options.host},
+       {"port", std::to_string(options.port)},
+       {"failures", std::to_string(options.loop.max_connect_failures)}});
   return 1;  // Connect budget exhausted; the coordinator fences our lease.
 }
 

@@ -1,0 +1,276 @@
+#include "tfb/pipeline/telemetry.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <set>
+
+#include "tfb/pipeline/wire.h"
+
+namespace tfb::pipeline {
+
+namespace {
+
+// Hard caps on deserialized collection sizes: a corrupt count must not
+// drive a huge allocation (the CRC layer catches line noise; this catches
+// a hostile or buggy peer).
+constexpr std::uint64_t kMaxSpans = 1 << 20;
+constexpr std::uint64_t kMaxInstruments = 1 << 16;
+constexpr std::uint64_t kMaxBuckets = 1 << 12;
+
+}  // namespace
+
+std::string SerializeTraceContext(const TraceContext& ctx) {
+  return std::to_string(ctx.trace_id) + " " + std::to_string(ctx.parent_span);
+}
+
+std::optional<TraceContext> ParseTraceContext(std::string_view payload) {
+  const auto fields = ParseSizeFields(payload, 2, 2);
+  if (!fields) return std::nullopt;
+  TraceContext ctx;
+  ctx.trace_id = static_cast<std::uint64_t>((*fields)[0]);
+  ctx.parent_span = static_cast<std::uint64_t>((*fields)[1]);
+  return ctx;
+}
+
+double EstimateClockOffset(const std::vector<PingSample>& samples) {
+  const PingSample* best = nullptr;
+  double best_rtt = 0.0;
+  for (const PingSample& s : samples) {
+    const double rtt = s.t_recv_us - s.t_send_us;
+    if (rtt < 0.0) continue;  // Clock went backwards: not a usable sample.
+    if (best == nullptr || rtt < best_rtt) {
+      best = &s;
+      best_rtt = rtt;
+    }
+  }
+  if (best == nullptr) return 0.0;
+  return best->t_remote_us - (best->t_send_us + best->t_recv_us) / 2.0;
+}
+
+std::string SerializeWorkerTelemetry(const WorkerTelemetry& telemetry) {
+  WireWriter w;
+  w.U64(kTelemetryBlobVersion);
+  w.U64(telemetry.pid);
+  w.U64(telemetry.seq);
+  w.U64(telemetry.trace_id);
+  w.F64(telemetry.cpu_seconds);
+  w.F64(telemetry.peak_rss_mb);
+  w.U64(telemetry.tasks_completed);
+  w.U64(telemetry.spans.size());
+  for (const WorkerTelemetry::Span& s : telemetry.spans) {
+    w.Str(s.name);
+    w.Str(s.category);
+    w.Str(s.args);
+    w.U8(static_cast<std::uint8_t>(s.phase));
+    w.F64(s.ts_us);
+    w.F64(s.dur_us);
+    w.U64(static_cast<std::uint64_t>(s.tid));
+  }
+  w.U64(telemetry.counter_deltas.size());
+  for (const auto& [name, delta] : telemetry.counter_deltas) {
+    w.Str(name);
+    w.F64(delta);
+  }
+  w.U64(telemetry.gauges.size());
+  for (const auto& [name, value] : telemetry.gauges) {
+    w.Str(name);
+    w.F64(value);
+  }
+  w.U64(telemetry.histograms.size());
+  for (const WorkerTelemetry::HistogramDelta& h : telemetry.histograms) {
+    w.Str(h.name);
+    w.U64(h.bounds.size());
+    for (const double b : h.bounds) w.F64(b);
+    w.U64(h.bucket_deltas.size());
+    for (const std::uint64_t c : h.bucket_deltas) w.U64(c);
+    w.F64(h.sum_delta);
+  }
+  return w.Take();
+}
+
+bool DeserializeWorkerTelemetry(std::string_view payload,
+                                WorkerTelemetry* telemetry) {
+  WireReader r(payload);
+  std::uint64_t version = 0;
+  if (!r.U64(&version) || version != kTelemetryBlobVersion) return false;
+  WorkerTelemetry out;
+  if (!r.U64(&out.pid) || !r.U64(&out.seq) || !r.U64(&out.trace_id) ||
+      !r.F64(&out.cpu_seconds) || !r.F64(&out.peak_rss_mb) ||
+      !r.U64(&out.tasks_completed)) {
+    return false;
+  }
+  std::uint64_t count = 0;
+  if (!r.U64(&count) || count > kMaxSpans) return false;
+  out.spans.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WorkerTelemetry::Span s;
+    std::uint8_t phase = 0;
+    std::uint64_t tid = 0;
+    if (!r.Str(&s.name) || !r.Str(&s.category) || !r.Str(&s.args) ||
+        !r.U8(&phase) || !r.F64(&s.ts_us) || !r.F64(&s.dur_us) ||
+        !r.U64(&tid)) {
+      return false;
+    }
+    s.phase = static_cast<char>(phase);
+    s.tid = static_cast<std::int64_t>(tid);
+    out.spans.push_back(std::move(s));
+  }
+  if (!r.U64(&count) || count > kMaxInstruments) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    double delta = 0.0;
+    if (!r.Str(&name) || !r.F64(&delta)) return false;
+    out.counter_deltas[std::move(name)] = delta;
+  }
+  if (!r.U64(&count) || count > kMaxInstruments) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    double value = 0.0;
+    if (!r.Str(&name) || !r.F64(&value)) return false;
+    out.gauges[std::move(name)] = value;
+  }
+  if (!r.U64(&count) || count > kMaxInstruments) return false;
+  out.histograms.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WorkerTelemetry::HistogramDelta h;
+    std::uint64_t n = 0;
+    if (!r.Str(&h.name) || !r.U64(&n) || n > kMaxBuckets) return false;
+    h.bounds.resize(static_cast<std::size_t>(n));
+    for (double& b : h.bounds) {
+      if (!r.F64(&b)) return false;
+    }
+    if (!r.U64(&n) || n != h.bounds.size() + 1) return false;
+    h.bucket_deltas.resize(static_cast<std::size_t>(n));
+    for (std::uint64_t& c : h.bucket_deltas) {
+      if (!r.U64(&c)) return false;
+    }
+    if (!r.F64(&h.sum_delta)) return false;
+    out.histograms.push_back(std::move(h));
+  }
+  if (!r.AtEnd()) return false;
+  *telemetry = std::move(out);
+  return true;
+}
+
+WorkerTelemetry TelemetryCollector::Collect(std::uint64_t trace_id,
+                                            std::uint64_t tasks_completed) {
+  WorkerTelemetry out;
+  out.pid = static_cast<std::uint64_t>(getpid());
+  out.seq = ++seq_;
+  out.trace_id = trace_id;
+  out.tasks_completed = tasks_completed;
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    out.cpu_seconds =
+        static_cast<double>(usage.ru_utime.tv_sec + usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec + usage.ru_stime.tv_usec) /
+            1e6;
+    out.peak_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+  }
+
+  for (const obs::TraceEvent& e :
+       obs::DefaultTracer().DrainSince(&trace_cursor_)) {
+    WorkerTelemetry::Span s;
+    s.name = e.name;
+    s.category = e.category;
+    s.args = e.args;
+    s.phase = e.phase;
+    s.ts_us = e.ts_us;
+    s.dur_us = e.dur_us;
+    s.tid = e.tid;
+    out.spans.push_back(std::move(s));
+  }
+
+  obs::Registry::Snapshot now = obs::DefaultRegistry().TakeSnapshot();
+  for (const auto& [name, value] : now.counters) {
+    const auto it = last_.counters.find(name);
+    const double delta = value - (it != last_.counters.end() ? it->second : 0);
+    if (delta != 0.0) out.counter_deltas[name] = delta;
+  }
+  out.gauges = now.gauges;
+  for (const auto& [name, state] : now.histograms) {
+    const auto it = last_.histograms.find(name);
+    WorkerTelemetry::HistogramDelta delta;
+    delta.name = name;
+    delta.bounds = state.bounds;
+    delta.bucket_deltas = state.buckets;
+    delta.sum_delta = state.sum;
+    if (it != last_.histograms.end() &&
+        it->second.buckets.size() == state.buckets.size()) {
+      bool any = false;
+      for (std::size_t i = 0; i < state.buckets.size(); ++i) {
+        delta.bucket_deltas[i] -= it->second.buckets[i];
+        if (delta.bucket_deltas[i] != 0) any = true;
+      }
+      delta.sum_delta -= it->second.sum;
+      if (!any) continue;
+    }
+    out.histograms.push_back(std::move(delta));
+  }
+  last_ = std::move(now);
+  return out;
+}
+
+std::string SpliceWorkerLabel(const std::string& name,
+                              const std::string& worker) {
+  const std::string label = "worker=\"" + worker + "\"";
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + "{" + label + "}";
+  return name.substr(0, name.size() - 1) + "," + label + "}";
+}
+
+void MergeWorkerTelemetry(const WorkerTelemetry& telemetry,
+                          const std::string& worker, double clock_offset_us,
+                          obs::Registry* registry, obs::Tracer* tracer) {
+  if (registry != nullptr) {
+    for (const auto& [name, delta] : telemetry.counter_deltas) {
+      registry->GetCounter(SpliceWorkerLabel(name, worker)).Increment(delta);
+    }
+    for (const auto& [name, value] : telemetry.gauges) {
+      registry->GetGauge(SpliceWorkerLabel(name, worker)).Set(value);
+    }
+    for (const WorkerTelemetry::HistogramDelta& h : telemetry.histograms) {
+      registry->GetHistogram(SpliceWorkerLabel(h.name, worker), h.bounds)
+          .MergeBuckets(h.bucket_deltas, h.sum_delta);
+    }
+  }
+
+  if (tracer == nullptr || telemetry.spans.empty()) return;
+  const std::int64_t pid = static_cast<std::int64_t>(telemetry.pid);
+  // Name the worker's track once per pid: chrome://tracing shows the
+  // metadata's "name" instead of a bare pid number.
+  static std::mutex* mu = new std::mutex();
+  static auto* named = new std::set<std::int64_t>();
+  {
+    const std::lock_guard<std::mutex> lock(*mu);
+    if (named->insert(pid).second) {
+      obs::TraceEvent meta;
+      meta.name = "process_name";
+      meta.category = "__metadata";
+      meta.phase = 'M';
+      meta.ts_us = 0.0;
+      meta.pid = pid;
+      meta.tid = 0;
+      meta.args = obs::ArgsJson({{"name", "tfb_worker " + worker}});
+      tracer->RecordForeign(std::move(meta));
+    }
+  }
+  for (const WorkerTelemetry::Span& s : telemetry.spans) {
+    obs::TraceEvent e;
+    e.name = obs::InternTraceName(s.name);
+    e.category = obs::InternTraceName(s.category);
+    e.phase = s.phase;
+    e.ts_us = s.ts_us - clock_offset_us;
+    e.dur_us = s.dur_us;
+    e.pid = pid;
+    e.tid = s.tid;
+    e.args = s.args;
+    tracer->RecordForeign(std::move(e));
+  }
+}
+
+}  // namespace tfb::pipeline

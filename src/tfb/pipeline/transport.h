@@ -38,13 +38,16 @@ namespace tfb::pipeline {
 enum class FrameType : std::uint8_t {
   kHello = 'H',      ///< worker->coord: "<version> <prev_epoch>"
   kWelcome = 'W',    ///< coord->worker: "<epoch> <hb_s>\n<runner options>"
-  kHeartbeat = 'B',  ///< worker->coord: "<epoch>"
+  kHeartbeat = 'B',  ///< worker->coord: "<epoch>[\n<telemetry blob>]"
   kStart = 'S',      ///< worker->coord: "<epoch> <slot>"
   kRow = 'R',        ///< worker->coord: "<epoch> <slot> <ok> <fb> <secs>\n<row>"
-  kDone = 'D',       ///< worker->coord: "<epoch> <shard>"
+  kDone = 'D',       ///< worker->coord: "<epoch> <shard>[\n<telemetry blob>]"
   kGrant = 'G',      ///< coord->worker: "<shard> <slot>..."
   kTask = 'T',       ///< coord->worker: "<slot>\n<marshalled task>"
   kQuit = 'Q',       ///< coord->worker: drain and exit
+  kTraceCtx = 'C',   ///< coord->worker: "<trace_id> <parent_span>"
+  kPing = 'P',       ///< coord->worker: opaque echo token (clock probe)
+  kPong = 'O',       ///< worker->coord: "<echo token> <worker_now_us>"
 };
 
 /// One protocol message. Payloads are bytes, not text: several types carry

@@ -13,7 +13,7 @@ namespace tfb::pipeline {
 namespace {
 
 constexpr std::uint64_t kTaskBlobVersion = 1;
-constexpr std::uint64_t kOptionsBlobVersion = 1;
+constexpr std::uint64_t kOptionsBlobVersion = 2;  // v2: + telemetry flag.
 
 // Strings and series buffers inside a frame can never legitimately exceed
 // the frame payload cap; reject earlier so a corrupt length cannot drive a
@@ -284,7 +284,8 @@ bool DeserializeTask(std::string_view payload, BenchmarkTask* task) {
 // ---------------------------------------------------------------------------
 // Runner-options marshalling (WELCOME frame).
 
-std::string SerializeWorkerOptions(const RunnerOptions& options) {
+std::string SerializeWorkerOptions(const RunnerOptions& options,
+                                   bool telemetry) {
   WireWriter w;
   w.U64(kOptionsBlobVersion);
   w.U64(options.num_threads);
@@ -297,11 +298,12 @@ std::string SerializeWorkerOptions(const RunnerOptions& options) {
   w.U8(static_cast<std::uint8_t>(options.isolation));
   w.U64(options.memory_limit_mb);
   w.F64(options.cpu_limit_seconds);
+  w.U8(telemetry ? 1 : 0);
   return w.Take();
 }
 
-bool DeserializeWorkerOptions(std::string_view payload,
-                              RunnerOptions* options) {
+bool DeserializeWorkerOptions(std::string_view payload, RunnerOptions* options,
+                              bool* telemetry) {
   WireReader r(payload);
   std::uint64_t version = 0;
   if (!r.U64(&version) || version != kOptionsBlobVersion) return false;
@@ -326,6 +328,8 @@ bool DeserializeWorkerOptions(std::string_view payload,
   if (!r.U64(&u)) return false;
   out.memory_limit_mb = static_cast<std::size_t>(u);
   if (!r.F64(&out.cpu_limit_seconds)) return false;
+  if (!r.U8(&b) || b > 1) return false;
+  if (telemetry != nullptr) *telemetry = b != 0;
   if (!r.AtEnd()) return false;
   // Worker-forced defaults: rows go back in ROW frames, not local journals.
   out.journal_path.clear();

@@ -94,13 +94,18 @@ bool DeserializeTask(std::string_view payload, BenchmarkTask* task);
 
 /// Serializes the subset of RunnerOptions a remote worker needs (execution
 /// knobs only — journal/progress/verbosity are coordinator concerns and the
-/// worker forces them off).
-std::string SerializeWorkerOptions(const RunnerOptions& options);
+/// worker forces them off). `telemetry` tells the worker to turn on its own
+/// obs collection (metrics + tracer) and ship deltas back piggybacked on
+/// HEARTBEAT/DONE frames; it never affects task evaluation, so rows stay
+/// byte-identical either way.
+std::string SerializeWorkerOptions(const RunnerOptions& options,
+                                   bool telemetry = false);
 
 /// Inverse of SerializeWorkerOptions; false on malformed input. Leaves
-/// journal_path empty, resume off, progress off on success.
-bool DeserializeWorkerOptions(std::string_view payload,
-                              RunnerOptions* options);
+/// journal_path empty, resume off, progress off on success. `*telemetry`
+/// (when non-null) receives the coordinator's telemetry request.
+bool DeserializeWorkerOptions(std::string_view payload, RunnerOptions* options,
+                              bool* telemetry = nullptr);
 
 }  // namespace tfb::pipeline
 

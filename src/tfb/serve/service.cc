@@ -1,8 +1,11 @@
 #include "tfb/serve/service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <ctime>
 #include <map>
 #include <utility>
 
@@ -94,14 +97,52 @@ base::Status ParseHistory(const JsonValue& history, std::size_t max_points,
   return base::Status::Ok();
 }
 
+/// Stage bounds are finer than the end-to-end latency bounds: queue/linger
+/// stages are often tens of microseconds.
+const std::vector<double>& StageBounds() {
+  static const std::vector<double> bounds = obs::ExponentialBounds(1e-5, 2.0, 20);
+  return bounds;
+}
+
+std::string GenerateRequestId() {
+  // Unique within the process and unlikely to collide across restarts:
+  // a per-process epoch stamp plus a monotonic counter.
+  static const std::uint64_t epoch = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  static std::atomic<std::uint64_t> counter{0};
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "req-%08llx-%llu",
+                static_cast<unsigned long long>(epoch & 0xffffffffu),
+                static_cast<unsigned long long>(
+                    counter.fetch_add(1, std::memory_order_relaxed) + 1));
+  return buf;
+}
+
+double MsSince(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
 }  // namespace
+
+/// Per-request stage breakdown, all in seconds. Stages tile the request's
+/// life inside the service: admission-queue wait, batch-linger window,
+/// model-lease acquisition, forecast compute + render. Their sum tracks
+/// the end-to-end latency (modulo scheduling gaps between stages).
+struct ForecastService::StageTimes {
+  double queue = 0.0;
+  double linger = 0.0;
+  double lease = 0.0;
+  double forecast = 0.0;
+};
 
 struct ForecastService::PendingRequest {
   std::string model;
   std::size_t horizon = 0;  ///< 0 = model default.
   ts::TimeSeries history;
   obs::HttpResponder respond;
+  std::string request_id;
   Clock::time_point enqueued;
+  StageTimes stages;
 };
 
 ForecastService::ForecastService(ModelRegistry* registry,
@@ -118,6 +159,12 @@ void ForecastService::Start() {
     running_ = true;
     accepting_ = true;
     threads = std::max<std::size_t>(options_.dispatch_threads, 1);
+  }
+  if (!options_.access_log_path.empty()) {
+    std::lock_guard<std::mutex> lock(access_log_mutex_);
+    if (access_log_ == nullptr) {
+      access_log_ = std::fopen(options_.access_log_path.c_str(), "a");
+    }
   }
   for (std::size_t i = 0; i < threads; ++i) {
     dispatchers_.emplace_back([this] { DispatchLoop(); });
@@ -148,6 +195,13 @@ void ForecastService::Stop() {
     if (t.joinable()) t.join();
   }
   dispatchers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(access_log_mutex_);
+    if (access_log_ != nullptr) {
+      std::fclose(access_log_);
+      access_log_ = nullptr;
+    }
+  }
 }
 
 void ForecastService::InstallRoutes(obs::HttpExporter* exporter) {
@@ -165,7 +219,8 @@ void ForecastService::InstallRoutes(obs::HttpExporter* exporter) {
 
 void ForecastService::HandleForecast(const obs::HttpRequest& request,
                                      obs::HttpResponder respond) {
-  Submit(request.body, std::move(respond));
+  const std::string* id = obs::FindHeader(request, "X-Request-Id");
+  Submit(request.body, std::move(respond), id != nullptr ? *id : std::string());
 }
 
 void ForecastService::HandleModels(const obs::HttpRequest&,
@@ -186,7 +241,25 @@ void ForecastService::HandleModels(const obs::HttpRequest&,
 }
 
 void ForecastService::Submit(const std::string& body,
-                             obs::HttpResponder respond) {
+                             obs::HttpResponder respond,
+                             std::string request_id) {
+  if (request_id.empty()) request_id = GenerateRequestId();
+  const Clock::time_point arrival = Clock::now();
+  // Every answer — success, shed, or parse error — echoes the request id,
+  // so a client (or a support thread reading its logs) can correlate any
+  // response with the matching access-log line.
+  respond = [inner = std::move(respond),
+             request_id](obs::HttpResponse resp) {
+    resp.headers.emplace_back("X-Request-Id", request_id);
+    inner(std::move(resp));
+  };
+  // Short-circuit paths never reach ExecuteBatch; log them here.
+  const auto answer_early = [&](obs::HttpResponse resp, int code) {
+    LogAccess(request_id, "", code, StageTimes{},
+              std::chrono::duration<double>(Clock::now() - arrival).count());
+    respond(std::move(resp));
+  };
+
   // Gate 1: the machine's coarse-parallelism budget. A benchmark grid (or
   // our own dispatcher crew) holding reservations means forecast work would
   // oversubscribe the box — shed early, before parsing.
@@ -207,20 +280,20 @@ void ForecastService::Submit(const std::string& body,
       ++stats_.shed;
       PublishStatsLocked();
     }
-    respond(std::move(resp));
+    answer_early(std::move(resp), 429);
     return;
   }
 
   JsonValue doc;
   if (const base::Status status = ParseJson(body, &doc); !status.ok()) {
     CountRequest(400);
-    respond(ErrorResponse(400, status.message()));
+    answer_early(ErrorResponse(400, status.message()), 400);
     return;
   }
   const JsonValue* model = doc.Find("model");
   if (model == nullptr || !model->is_string() || model->string.empty()) {
     CountRequest(400);
-    respond(ErrorResponse(400, "\"model\" (string) is required"));
+    answer_early(ErrorResponse(400, "\"model\" (string) is required"), 400);
     return;
   }
   std::size_t horizon = 0;
@@ -228,14 +301,16 @@ void ForecastService::Submit(const std::string& body,
     if (!h->is_number() || h->number < 1 ||
         h->number != std::floor(h->number)) {
       CountRequest(400);
-      respond(ErrorResponse(400, "\"horizon\" must be a positive integer"));
+      answer_early(
+          ErrorResponse(400, "\"horizon\" must be a positive integer"), 400);
       return;
     }
     if (h->number > static_cast<double>(options_.max_horizon)) {
       CountRequest(400);
-      respond(ErrorResponse(
-          400, "\"horizon\" exceeds the limit of " +
-                   std::to_string(options_.max_horizon)));
+      answer_early(ErrorResponse(
+                       400, "\"horizon\" exceeds the limit of " +
+                                std::to_string(options_.max_horizon)),
+                   400);
       return;
     }
     horizon = static_cast<std::size_t>(h->number);
@@ -243,7 +318,7 @@ void ForecastService::Submit(const std::string& body,
   const JsonValue* history = doc.Find("history");
   if (history == nullptr) {
     CountRequest(400);
-    respond(ErrorResponse(400, "\"history\" (array) is required"));
+    answer_early(ErrorResponse(400, "\"history\" (array) is required"), 400);
     return;
   }
   PendingRequest pending;
@@ -252,19 +327,22 @@ void ForecastService::Submit(const std::string& body,
                        &pending.history);
       !status.ok()) {
     CountRequest(400);
-    respond(ErrorResponse(400, status.message()));
+    answer_early(ErrorResponse(400, status.message()), 400);
     return;
   }
   pending.model = model->string;
   pending.horizon = horizon;
   pending.respond = std::move(respond);
-  pending.enqueued = Clock::now();
+  pending.request_id = request_id;
+  pending.enqueued = arrival;
 
   std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!accepting_) {
       CountRequest(503);
+      LogAccess(request_id, pending.model, 503, StageTimes{},
+                std::chrono::duration<double>(Clock::now() - arrival).count());
       pending.respond(ErrorResponse(503, "service is shutting down"));
       return;
     }
@@ -282,6 +360,8 @@ void ForecastService::Submit(const std::string& body,
             .Increment();
       }
       CountRequest(429);
+      LogAccess(request_id, pending.model, 429, StageTimes{},
+                std::chrono::duration<double>(Clock::now() - arrival).count());
       pending.respond(std::move(resp));
       return;
     }
@@ -312,17 +392,31 @@ void ForecastService::DispatchLoop() {
       }
       // Linger briefly so a burst of concurrent arrivals coalesces into one
       // batch instead of N singleton dispatches.
+      const Clock::time_point wake = Clock::now();
       if (options_.batch_linger_ms > 0 && queue_.size() < options_.max_batch) {
         work_cv_.wait_for(
             lock, std::chrono::milliseconds(options_.batch_linger_ms),
             [this] { return queue_.size() >= options_.max_batch || !running_; });
       }
+      const Clock::time_point taken = Clock::now();
       const std::size_t take =
           std::min(queue_.size(), std::max<std::size_t>(options_.max_batch, 1));
       batch.reserve(take);
       for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
+        PendingRequest item = std::move(queue_.front());
         queue_.pop_front();
+        // Stage split: time before this dispatcher woke is queue wait; time
+        // spent holding the batch open afterwards is linger. An item that
+        // arrived mid-linger waited in neither — only its tail counts.
+        const Clock::time_point linger_from =
+            item.enqueued > wake ? item.enqueued : wake;
+        item.stages.queue =
+            item.enqueued < wake
+                ? std::chrono::duration<double>(wake - item.enqueued).count()
+                : 0.0;
+        item.stages.linger =
+            std::chrono::duration<double>(taken - linger_from).count();
+        batch.push_back(std::move(item));
       }
       ++stats_.batches;
       stats_.max_batch_seen = std::max(stats_.max_batch_seen, batch.size());
@@ -354,9 +448,14 @@ void ForecastService::ExecuteBatch(std::vector<PendingRequest>* batch) {
   }
   for (auto& [model, indices] : by_model) {
     ModelRegistry::Lease lease;
+    const Clock::time_point lease_begin = Clock::now();
     const base::Status acquired = registry_->Acquire(model, &lease);
+    const double lease_seconds =
+        std::chrono::duration<double>(Clock::now() - lease_begin).count();
     for (const std::size_t i : indices) {
       PendingRequest& item = (*batch)[i];
+      item.stages.lease = lease_seconds;
+      const Clock::time_point forecast_begin = Clock::now();
       int code = 200;
       obs::HttpResponse resp;
       if (!acquired.ok()) {
@@ -405,16 +504,44 @@ void ForecastService::ExecuteBatch(std::vector<PendingRequest>* batch) {
           resp = JsonResponse(200, std::move(body));
         }
       }
+      const Clock::time_point done = Clock::now();
+      item.stages.forecast =
+          std::chrono::duration<double>(done - forecast_begin).count();
+      const double total_seconds =
+          std::chrono::duration<double>(done - item.enqueued).count();
       CountRequest(code);
       if (obs::Enabled()) {
-        const double seconds =
-            std::chrono::duration<double>(Clock::now() - item.enqueued)
-                .count();
-        obs::DefaultRegistry()
+        obs::Registry& registry = obs::DefaultRegistry();
+        registry
             .GetHistogram("tfb_serve_latency_seconds",
                           obs::ExponentialBounds(1e-4, 2.0, 18))
-            .Observe(seconds);
+            .Observe(total_seconds);
+        const auto observe_stage = [&](const char* stage, double seconds) {
+          registry
+              .GetHistogram(std::string("tfb_serve_stage_seconds{stage=\"") +
+                                stage + "\"}",
+                            StageBounds())
+              .Observe(seconds);
+        };
+        observe_stage("queue", item.stages.queue);
+        observe_stage("linger", item.stages.linger);
+        observe_stage("lease", item.stages.lease);
+        observe_stage("forecast", item.stages.forecast);
       }
+      // Server-Timing (RFC 8673 syntax, durations in milliseconds): the
+      // stage breakdown any HTTP client can read without scraping /metrics.
+      {
+        char timing[160];
+        std::snprintf(timing, sizeof(timing),
+                      "queue;dur=%.3f, linger;dur=%.3f, lease;dur=%.3f, "
+                      "forecast;dur=%.3f, total;dur=%.3f",
+                      item.stages.queue * 1e3, item.stages.linger * 1e3,
+                      item.stages.lease * 1e3, item.stages.forecast * 1e3,
+                      total_seconds * 1e3);
+        resp.headers.emplace_back("Server-Timing", timing);
+      }
+      LogAccess(item.request_id, item.model, code, item.stages,
+                total_seconds);
       {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.completed;
@@ -424,6 +551,44 @@ void ForecastService::ExecuteBatch(std::vector<PendingRequest>* batch) {
       item.respond(std::move(resp));
     }
   }
+}
+
+void ForecastService::LogAccess(const std::string& request_id,
+                                const std::string& model, int code,
+                                const StageTimes& stages,
+                                double total_seconds) {
+  std::lock_guard<std::mutex> lock(access_log_mutex_);
+  if (access_log_ == nullptr) return;
+  // One wide event per answered request: everything needed to understand
+  // this request without joining other logs.
+  std::string line = "{\"ts\":";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f",
+                std::chrono::duration<double>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count());
+  line += buf;
+  line += ",\"request_id\":";
+  AppendJsonString(&line, request_id);
+  line += ",\"model\":";
+  AppendJsonString(&line, model);
+  line += ",\"code\":";
+  line += std::to_string(code);
+  const auto stage = [&](const char* key, double seconds) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+    line += buf;
+  };
+  stage("queue_s", stages.queue);
+  stage("linger_s", stages.linger);
+  stage("lease_s", stages.lease);
+  stage("forecast_s", stages.forecast);
+  stage("total_s", total_seconds);
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), access_log_);
+  std::fflush(access_log_);
 }
 
 void ForecastService::PublishStatsLocked() {
@@ -438,6 +603,15 @@ void ForecastService::PublishStatsLocked() {
   stats.batches = stats_.batches;
   stats.max_batch = stats_.max_batch_seen;
   stats.queue_depth = stats_.queue_depth;
+  if (obs::Enabled() && stats_.completed > 0) {
+    const obs::Histogram& latency = obs::DefaultRegistry().GetHistogram(
+        "tfb_serve_latency_seconds", obs::ExponentialBounds(1e-4, 2.0, 18));
+    if (latency.Count() > 0) {
+      stats.latency_p50 = latency.Quantile(0.5);
+      stats.latency_p95 = latency.Quantile(0.95);
+      stats.latency_p99 = latency.Quantile(0.99);
+    }
+  }
   obs::DefaultProgressTracker().SetServeStats(stats);
 }
 

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <string>
@@ -48,6 +49,11 @@ struct ForecastServiceOptions {
   std::size_t max_horizon = 4096;       ///< Per-request horizon cap.
   std::size_t max_history_points = 1u << 20;  ///< Rows x channels cap.
   int retry_after_seconds = 1;   ///< Advertised on 429 responses.
+  /// When non-empty, every answered request appends one wide-event JSONL
+  /// line here: request id, model, outcome code, per-stage seconds
+  /// (queue / linger / lease / forecast), and total latency. Opened at
+  /// Start(); append-only, flushed per line.
+  std::string access_log_path;
 };
 
 /// Point-in-time counters for /status and tests.
@@ -82,11 +88,15 @@ class ForecastService {
   ForecastServiceStats Stats() const;
 
   /// The admission + parse path, exposed for direct testing: behaves
-  /// exactly like an HTTP arrival carrying `body`.
-  void Submit(const std::string& body, obs::HttpResponder respond);
+  /// exactly like an HTTP arrival carrying `body`. `request_id` is the
+  /// caller-supplied X-Request-Id; empty generates one. Every response —
+  /// success, shed, or parse error — echoes it as an X-Request-Id header.
+  void Submit(const std::string& body, obs::HttpResponder respond,
+              std::string request_id = std::string());
 
  private:
   struct PendingRequest;
+  struct StageTimes;
 
   void HandleForecast(const obs::HttpRequest& request,
                       obs::HttpResponder respond);
@@ -95,6 +105,9 @@ class ForecastService {
   void DispatchLoop();
   void ExecuteBatch(std::vector<PendingRequest>* batch);
   void PublishStatsLocked();
+  /// Appends one wide-event line to the access log (no-op when closed).
+  void LogAccess(const std::string& request_id, const std::string& model,
+                 int code, const StageTimes& stages, double total_seconds);
 
   ModelRegistry* const registry_;
   const ForecastServiceOptions options_;
@@ -106,6 +119,9 @@ class ForecastService {
   bool accepting_ = false;
   ForecastServiceStats stats_;
   std::vector<std::thread> dispatchers_;
+
+  std::mutex access_log_mutex_;
+  std::FILE* access_log_ = nullptr;  // Owned; open between Start and Stop.
 };
 
 }  // namespace tfb::serve

@@ -284,6 +284,23 @@ TEST_F(ObsTest, JsonExportIsValidJson) {
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // A populated histogram renders numeric quantiles, not nulls.
+  EXPECT_EQ(json.find("\"p50\":null"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonExportRendersEmptyHistogramQuantilesAsNull) {
+  // Quantile() itself pins 0.0 on an empty histogram (see
+  // EmptyHistogramQuantilesAreZero), but the JSON export must not present
+  // that 0 as a measured latency — it renders null instead.
+  Registry registry;
+  registry.GetHistogram("tfb_idle_seconds", {0.5, 1.0});
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":null"), std::string::npos);
 }
 
 TEST_F(ObsTest, JsonEscapesControlCharsAndPassesNonAscii) {
@@ -342,6 +359,71 @@ TEST_F(ObsTest, DisabledSpansRecordNothing) {
   }
   DefaultTracer().RecordInstant("noop", "test");
   EXPECT_EQ(DefaultTracer().recorded(), before);
+}
+
+TEST_F(ObsTest, TracerDrainSinceIsIncrementalAndSurvivesWrap) {
+  Tracer& tracer = DefaultTracer();
+  tracer.Enable(4);  // Tiny ring: force overwrites.
+  std::uint64_t cursor = 0;
+  tracer.RecordInstant("a", "test");
+  tracer.RecordInstant("b", "test");
+  std::vector<TraceEvent> drained = tracer.DrainSince(&cursor);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_STREQ(drained[0].name, "a");
+  EXPECT_STREQ(drained[1].name, "b");
+  EXPECT_EQ(cursor, 2u);
+  // Nothing new: empty drain, cursor unchanged.
+  EXPECT_TRUE(tracer.DrainSince(&cursor).empty());
+  EXPECT_EQ(cursor, 2u);
+  // Overflow the ring: 6 more events into capacity 4. The two oldest of
+  // them are overwritten before the drain — the cursor jump is the loss.
+  for (int i = 0; i < 6; ++i) tracer.RecordInstant("c", "test");
+  drained = tracer.DrainSince(&cursor);
+  EXPECT_EQ(drained.size(), 4u);
+  EXPECT_EQ(cursor, 8u);
+  tracer.Disable();
+}
+
+TEST_F(ObsTest, RecordForeignKeepsCallerIdentityAndNamesProcess) {
+  Tracer& tracer = DefaultTracer();
+  tracer.Enable(64);
+  TraceEvent meta;
+  meta.name = "process_name";
+  meta.category = "__metadata";
+  meta.phase = 'M';
+  meta.ts_us = 0.0;
+  meta.pid = 4242;
+  meta.args = ArgsJson({{"name", "tfb_worker 4242"}});
+  tracer.RecordForeign(std::move(meta));
+  TraceEvent span;
+  span.name = InternTraceName(std::string("remote_task"));
+  span.category = InternTraceName(std::string("pipeline"));
+  span.phase = 'X';
+  span.ts_us = 123.0;
+  span.dur_us = 7.0;
+  span.pid = 4242;
+  span.tid = 9;
+  tracer.RecordForeign(std::move(span));
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'M');
+  EXPECT_EQ(events[0].pid, 4242);
+  EXPECT_EQ(events[1].pid, 4242);
+  EXPECT_EQ(events[1].tid, 9);
+  EXPECT_DOUBLE_EQ(events[1].ts_us, 123.0);
+  const std::string json = tracer.ToJson();
+  tracer.Disable();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("tfb_worker 4242"), std::string::npos);
+  EXPECT_NE(json.find("remote_task"), std::string::npos);
+}
+
+TEST_F(ObsTest, InternTraceNameIsStableAndDeduplicated) {
+  const char* a = InternTraceName(std::string("tfb_intern_test_span"));
+  const char* b = InternTraceName(std::string("tfb_intern_test_span"));
+  EXPECT_EQ(a, b);  // Same pool node both times.
+  EXPECT_STREQ(a, "tfb_intern_test_span");
 }
 
 TEST_F(ObsTest, TraceJsonIsValidAndSpansNest) {

@@ -7,9 +7,12 @@
 // the comparison canonicalizes them to zero and then demands byte-identical
 // journal lines.
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +21,7 @@
 
 #include "tfb/obs/http_exporter.h"
 #include "tfb/obs/metrics.h"
+#include "tfb/obs/trace.h"
 #include "tfb/parallel/thread_pool.h"
 #include "tfb/pipeline/journal.h"
 #include "tfb/pipeline/runner.h"
@@ -292,6 +296,87 @@ TEST(Determinism, TcpShardedJournalSurvivesKillChaosAndResume) {
   ExpectIdenticalRows(journal_rows_single, journal_rows_sharded);
   std::remove(journal_single.c_str());
   std::remove(journal_sharded.c_str());
+}
+
+TEST(Determinism, TcpTracePropagationLeavesJournalBytesUnchanged) {
+  // Distributed observability must be a pure observer: the same TCP sharded
+  // run with trace propagation + telemetry shipping fully on (coordinator
+  // tracer enabled, workers shipping span/metric batches on DONE frames)
+  // produces journal rows byte-identical to a telemetry-dark run. And the
+  // observing leg must actually observe: the merged trace carries spans
+  // from at least two distinct pids (coordinator + workers) and the
+  // coordinator registry carries worker-labeled fleet series.
+  const std::vector<BenchmarkTask> tasks = SmallGrid();
+  const std::string journal_off = testing::TempDir() + "trace_off.jsonl";
+  const std::string journal_on = testing::TempDir() + "trace_on.jsonl";
+  std::remove(journal_off.c_str());
+  std::remove(journal_on.c_str());
+  const bool was_enabled = obs::Enabled();
+
+  obs::SetEnabled(false);
+  RunnerOptions off_options;
+  off_options.journal_path = journal_off;
+  ShardOptions tcp;
+  tcp.transport = ShardTransport::kTcp;
+  tcp.num_workers = 4;
+  const auto rows_off = ShardCoordinator(off_options, tcp).Run(tasks);
+
+  obs::SetEnabled(true);
+  obs::DefaultTracer().Enable();
+  RunnerOptions on_options;
+  on_options.journal_path = journal_on;
+  const auto rows_on = ShardCoordinator(on_options, tcp).Run(tasks);
+  const std::vector<obs::TraceEvent> trace = obs::DefaultTracer().Snapshot();
+  const obs::Registry::Snapshot metrics =
+      obs::DefaultRegistry().TakeSnapshot();
+  obs::DefaultTracer().Disable();
+  obs::SetEnabled(was_enabled);
+
+  ExpectIdenticalRows(rows_off, rows_on);
+  const auto journal_rows_off = LoadJournal(journal_off);
+  const auto journal_rows_on = LoadJournal(journal_on);
+  ASSERT_EQ(journal_rows_off.size(), tasks.size());
+  ExpectIdenticalRows(journal_rows_off, journal_rows_on);
+
+  // One merged timeline: coordinator "shard" spans under this process's
+  // pid, worker "task" spans stitched in under theirs.
+  const std::int64_t coordinator_pid = static_cast<std::int64_t>(getpid());
+  std::set<std::int64_t> pids;
+  bool saw_shard_span = false;
+  bool saw_worker_task = false;
+  for (const obs::TraceEvent& e : trace) {
+    if (e.phase != 'X') continue;
+    pids.insert(e.pid);
+    if (std::string(e.name) == "shard" && e.pid == coordinator_pid) {
+      saw_shard_span = true;
+    }
+    if (std::string(e.name) == "task" && e.pid != coordinator_pid) {
+      saw_worker_task = true;
+    }
+  }
+  EXPECT_GE(pids.size(), 2u) << "expected coordinator + worker pids";
+  EXPECT_TRUE(saw_shard_span);
+  EXPECT_TRUE(saw_worker_task);
+
+  // Worker metrics merged under a worker label, fleet gauges published.
+  bool saw_worker_series = false;
+  for (const auto& [name, value] : metrics.gauges) {
+    if (name.rfind("tfb_fleet_worker_tasks{worker=\"", 0) == 0 &&
+        value > 0.0) {
+      saw_worker_series = true;
+    }
+  }
+  EXPECT_TRUE(saw_worker_series) << "no tfb_fleet_worker_tasks gauge";
+  bool saw_worker_counter = false;
+  for (const auto& [name, value] : metrics.counters) {
+    if (name.find("{worker=\"") != std::string::npos && value > 0.0) {
+      saw_worker_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_worker_counter) << "no worker-labeled counter deltas";
+
+  std::remove(journal_off.c_str());
+  std::remove(journal_on.c_str());
 }
 
 TEST(ResourceAccounting, JournalRoundTripsRusageFields) {

@@ -577,6 +577,133 @@ TEST_F(ServeHttpTest, StoppedServiceAnswers503) {
 }
 
 // ---------------------------------------------------------------------------
+// Request-scoped introspection: request IDs, Server-Timing, access log.
+// ---------------------------------------------------------------------------
+
+std::string ForecastRequest(const std::string& body,
+                            const std::string& request_id = std::string()) {
+  std::string request = "POST /forecast HTTP/1.1\r\nHost: x\r\n";
+  if (!request_id.empty()) {
+    request += "X-Request-Id: " + request_id + "\r\n";
+  }
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  return request + body;
+}
+
+/// Value of `name` in a raw response's header block, or "" when absent.
+std::string HeaderValue(const std::string& response, const std::string& name) {
+  const std::size_t pos = response.find("\r\n" + name + ": ");
+  if (pos == std::string::npos) return std::string();
+  const std::size_t begin = pos + name.size() + 4;
+  return response.substr(begin, response.find("\r\n", begin) - begin);
+}
+
+TEST_F(ServeHttpTest, EveryResponseCarriesARequestId) {
+  StartServing();
+  const std::string body = "{\"model\":\"naive-demo\",\"horizon\":4,"
+                           "\"history\":" +
+                           HistoryJson(TinySeries(21)) + "}";
+  // No caller id: the service generates one.
+  const std::string generated =
+      HeaderValue(RawRequest(port_, ForecastRequest(body)), "X-Request-Id");
+  EXPECT_EQ(generated.rfind("req-", 0), 0u) << generated;
+  // A caller-supplied id passes through verbatim.
+  const std::string echoed = HeaderValue(
+      RawRequest(port_, ForecastRequest(body, "trace-abc-7")), "X-Request-Id");
+  EXPECT_EQ(echoed, "trace-abc-7");
+  // Error paths are tagged too: a parse failure still echoes the id.
+  const std::string on_error = RawRequest(
+      port_, ForecastRequest("{not json", "bad-req-1"));
+  EXPECT_NE(on_error.find(" 400 "), std::string::npos) << on_error;
+  EXPECT_EQ(HeaderValue(on_error, "X-Request-Id"), "bad-req-1");
+}
+
+TEST_F(ServeHttpTest, ServerTimingStagesTileTheWallLatency) {
+  StartServing();
+  const std::string body = "{\"model\":\"theta-demo\",\"horizon\":6,"
+                           "\"history\":" +
+                           HistoryJson(TinySeries(21)) + "}";
+  const std::string response = RawRequest(port_, ForecastRequest(body));
+  EXPECT_NE(response.find(" 200 "), std::string::npos) << response;
+  const std::string timing = HeaderValue(response, "Server-Timing");
+  ASSERT_FALSE(timing.empty()) << response;
+  double queue = -1.0, linger = -1.0, lease = -1.0, forecast = -1.0,
+         total = -1.0;
+  ASSERT_EQ(std::sscanf(timing.c_str(),
+                        "queue;dur=%lf, linger;dur=%lf, lease;dur=%lf, "
+                        "forecast;dur=%lf, total;dur=%lf",
+                        &queue, &linger, &lease, &forecast, &total),
+            5)
+      << timing;
+  EXPECT_GE(queue, 0.0);
+  EXPECT_GE(linger, 0.0);
+  EXPECT_GE(lease, 0.0);
+  EXPECT_GE(forecast, 0.0);
+  EXPECT_GT(total, 0.0);
+  // The four stages tile the request's lifetime: their sum accounts for
+  // the wall latency up to scheduling slop (ms units on both sides).
+  const double sum = queue + linger + lease + forecast;
+  EXPECT_LE(sum, total + 1.0) << timing;
+  EXPECT_GE(sum, total * 0.5 - 5.0) << timing;
+
+  // The same stages feed labeled histograms on /metrics.
+  std::string metrics;
+  ASSERT_TRUE(obs::HttpGet(port_, "/metrics", &metrics));
+  for (const char* stage : {"queue", "linger", "lease", "forecast"}) {
+    EXPECT_NE(metrics.find("tfb_serve_stage_seconds_count{stage=\"" +
+                           std::string(stage) + "\"}"),
+              std::string::npos)
+        << stage;
+  }
+}
+
+TEST_F(ServeHttpTest, AccessLogWritesOneWideEventPerRequest) {
+  const std::string log_path = ::testing::TempDir() + "/serve_access.jsonl";
+  std::remove(log_path.c_str());
+  ForecastServiceOptions options;
+  options.access_log_path = log_path;
+  StartServing(options);
+
+  const std::string body = "{\"model\":\"naive-demo\",\"horizon\":4,"
+                           "\"history\":" +
+                           HistoryJson(TinySeries(21)) + "}";
+  RawRequest(port_, ForecastRequest(body, "log-me-1"));
+  RawRequest(port_, ForecastRequest("{not json", "log-me-2"));
+
+  std::FILE* f = std::fopen(log_path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::vector<std::string> lines;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof buffer, f) != nullptr) {
+    lines.emplace_back(buffer);
+  }
+  std::fclose(f);
+  ASSERT_EQ(lines.size(), 2u);
+
+  // Every line is a self-contained JSON object with the full schema.
+  JsonValue ok_event;
+  ASSERT_TRUE(ParseJson(lines[0], &ok_event).ok()) << lines[0];
+  EXPECT_EQ(ok_event.Find("request_id")->string, "log-me-1");
+  EXPECT_EQ(ok_event.Find("model")->string, "naive-demo");
+  EXPECT_EQ(ok_event.Find("code")->number, 200.0);
+  EXPECT_GT(ok_event.Find("ts")->number, 0.0);
+  EXPECT_GT(ok_event.Find("total_s")->number, 0.0);
+  for (const char* field : {"queue_s", "linger_s", "lease_s", "forecast_s"}) {
+    ASSERT_NE(ok_event.Find(field), nullptr) << field;
+    EXPECT_GE(ok_event.Find(field)->number, 0.0) << field;
+  }
+
+  // Shed/parse-failure paths log too, with an empty model.
+  JsonValue bad_event;
+  ASSERT_TRUE(ParseJson(lines[1], &bad_event).ok()) << lines[1];
+  EXPECT_EQ(bad_event.Find("request_id")->string, "log-me-2");
+  EXPECT_EQ(bad_event.Find("model")->string, "");
+  EXPECT_EQ(bad_event.Find("code")->number, 400.0);
+
+  std::remove(log_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Exporter error satellites, observed on the wire.
 // ---------------------------------------------------------------------------
 
