@@ -40,12 +40,20 @@ int main() {
     std::string name;
     characterization::Characteristics c;
   };
-  std::vector<Sample> samples;
+  // Generate every dataset, then profile the whole collection in one
+  // CharacterizeBatch call (parallel across datasets, bit-identical to
+  // serial Characterize).
+  std::vector<std::string> names;
+  std::vector<ts::TimeSeries> generated;
   for (const auto& base : datagen::MultivariateProfiles()) {
-    const auto profile = bench::ScaledProfile(base.name);
-    const ts::TimeSeries series = datagen::GenerateDataset(profile);
-    samples.push_back({base.name,
-                       characterization::Characterize(series, 0, 3)});
+    names.push_back(base.name);
+    generated.push_back(
+        datagen::GenerateDataset(bench::ScaledProfile(base.name)));
+  }
+  const auto profiles = characterization::CharacterizeBatch(generated, 0, 3);
+  std::vector<Sample> samples;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    samples.push_back({names[i], profiles[i]});
   }
 
   struct Dimension {

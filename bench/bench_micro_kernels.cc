@@ -134,11 +134,16 @@ BENCHMARK(BM_LeastSquares)->Arg(16)->Arg(64);
 // ---------------------------------------------------------------------------
 // GEMM kernel tiers → BENCH_kernels.json
 
-linalg::Matrix RandomSquare(std::size_t n, std::uint64_t seed) {
+linalg::Matrix RandomMat(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
   stats::Rng rng(seed);
-  linalg::Matrix m(n, n);
+  linalg::Matrix m(rows, cols);
   for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Gaussian();
   return m;
+}
+
+linalg::Matrix RandomSquare(std::size_t n, std::uint64_t seed) {
+  return RandomMat(n, n, seed);
 }
 
 /// Best-of wall time: repeats `fn` until `min_seconds` total (at least
@@ -245,6 +250,134 @@ void WriteKernelComparisonJson() {
   }
   parallel::ThreadPool::Default().Resize(parallel::HardwareThreads() - 1);
 
+  // Dispatch paths: the same blocked single-thread kernel, driven by each
+  // micro-kernel this host can run. All paths are bit-identical — this
+  // table is purely the speed story of the SIMD dispatch.
+  using linalg::kernel::KernelPath;
+  const KernelPath original_path = linalg::kernel::ActiveKernelPath();
+  struct DispatchRow {
+    KernelPath path;
+    double s256, s1024;
+  };
+  DispatchRow dispatch[3];
+  std::size_t dispatch_count = 0;
+  {
+    const linalg::Matrix a256 = RandomSquare(256, 91);
+    const linalg::Matrix b256 = RandomSquare(256, 92);
+    const linalg::Matrix a1024 = RandomSquare(1024, 93);
+    const linalg::Matrix b1024 = RandomSquare(1024, 94);
+    linalg::Matrix out256(256, 256);
+    linalg::Matrix out1024(1024, 1024);
+    std::printf("\ndispatch paths (blocked single-thread):\n");
+    for (const KernelPath path :
+         {KernelPath::kScalar, KernelPath::kAvx2, KernelPath::kNeon}) {
+      if (!linalg::kernel::KernelPathAvailable(path)) continue;
+      linalg::kernel::SetKernelPath(path);
+      DispatchRow row;
+      row.path = path;
+      row.s256 = BestSeconds(
+          [&] {
+            GemmSingleThread(256, 256, 256, {a256.data(), 256, 1},
+                             {b256.data(), 256, 1}, out256.data());
+          },
+          0.25);
+      row.s1024 = BestSeconds(
+          [&] {
+            GemmSingleThread(1024, 1024, 1024, {a1024.data(), 1024, 1},
+                             {b1024.data(), 1024, 1}, out1024.data());
+          },
+          1.0);
+      dispatch[dispatch_count++] = row;
+      std::printf(
+          "  %-7s n=256 %8.2f ms (%5.2f GF/s) | n=1024 %8.2f ms "
+          "(%5.2f GF/s, %4.2fx vs scalar)\n",
+          linalg::kernel::KernelPathName(path), row.s256 * 1e3,
+          Gflops(256, row.s256), row.s1024 * 1e3, Gflops(1024, row.s1024),
+          dispatch[0].s1024 / row.s1024);
+    }
+    linalg::kernel::SetKernelPath(original_path);
+  }
+
+  // Batched small GEMM: many tiny uniform-shape products — the DL inner
+  // loop (GRU gate steps, attention windows) — looped Gemm vs one
+  // GemmBatch call. The batch amortizes dispatch/metrics/workspace cost
+  // and parallelizes across items; on a 1-core host the parallel leg
+  // timeshares, so the honest win there is the amortization alone.
+  struct BatchRow {
+    std::size_t m, n, k, count;
+    double looped_s, batched_s;
+  };
+  BatchRow batch_rows[2];
+  std::size_t batch_count = 0;
+  const struct {
+    std::size_t m, n, k, count;
+  } batch_shapes[] = {{32, 32, 32, 256}, {16, 64, 16, 256}};
+  std::printf("\nbatched small GEMM (looped Gemm vs GemmBatch):\n");
+  for (const auto& shape : batch_shapes) {
+    std::vector<linalg::Matrix> as, bs;
+    as.reserve(shape.count);
+    bs.reserve(shape.count);
+    for (std::size_t i = 0; i < shape.count; ++i) {
+      as.push_back(RandomMat(shape.m, shape.k, 200 + 2 * i));
+      bs.push_back(RandomMat(shape.k, shape.n, 201 + 2 * i));
+    }
+    std::vector<double> out(shape.count * shape.m * shape.n);
+    std::vector<linalg::kernel::GemmBatchItem> items(shape.count);
+    for (std::size_t i = 0; i < shape.count; ++i) {
+      items[i] = {{as[i].data(), shape.k, 1},
+                  {bs[i].data(), shape.n, 1},
+                  out.data() + i * shape.m * shape.n};
+    }
+    BatchRow row;
+    row.m = shape.m;
+    row.n = shape.n;
+    row.k = shape.k;
+    row.count = shape.count;
+    row.looped_s = BestSeconds(
+        [&] {
+          for (const auto& item : items) {
+            Gemm(shape.m, shape.n, shape.k, item.a, item.b, item.out);
+          }
+        },
+        0.25);
+    row.batched_s = BestSeconds(
+        [&] { linalg::kernel::GemmBatch(shape.m, shape.n, shape.k, items); },
+        0.25);
+    batch_rows[batch_count++] = row;
+    std::printf(
+        "  %zux%zux%zu x%zu  looped %8.3f ms | batched %8.3f ms (%4.2fx)\n",
+        row.m, row.n, row.k, row.count, row.looped_s * 1e3,
+        row.batched_s * 1e3, row.looped_s / row.batched_s);
+  }
+
+  // Fused catch22: the single-pass engine vs the retained per-feature
+  // reference (every feature recomputing its own z-score/ACF/periodogram).
+  struct FusedRow {
+    std::size_t n;
+    double reference_s, fused_s;
+  };
+  FusedRow fused_rows[2];
+  std::size_t fused_count = 0;
+  std::printf("\nfused catch22 (single-pass vs 22-pass reference):\n");
+  for (const std::size_t n : {std::size_t{1000}, std::size_t{10000}}) {
+    const auto x = Signal(n, 9);
+    FusedRow row;
+    row.n = n;
+    row.reference_s = BestSeconds(
+        [&] {
+          benchmark::DoNotOptimize(
+              characterization::Catch22Reference(x)[0]);
+        },
+        0.5);
+    row.fused_s = BestSeconds(
+        [&] { benchmark::DoNotOptimize(characterization::Catch22(x)[0]); },
+        0.25);
+    fused_rows[fused_count++] = row;
+    std::printf("  n=%-6zu reference %8.2f ms | fused %8.2f ms (%4.2fx)\n",
+                n, row.reference_s * 1e3, row.fused_s * 1e3,
+                row.reference_s / row.fused_s);
+  }
+
   std::FILE* f = std::fopen("BENCH_kernels.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_kernels.json\n");
@@ -276,6 +409,39 @@ void WriteKernelComparisonJson() {
                  i == 0 ? "" : ",", r.threads, r.seconds,
                  Gflops(kScalingN, r.seconds),
                  scaling[0].seconds / r.seconds);
+  }
+  std::fprintf(f, "],\n \"active_path\": \"%s\",\n \"dispatch_paths\": [",
+               linalg::kernel::KernelPathName(original_path));
+  for (std::size_t i = 0; i < dispatch_count; ++i) {
+    const DispatchRow& r = dispatch[i];
+    std::fprintf(
+        f,
+        "%s\n  {\"path\": \"%s\",\n"
+        "   \"n256\": {\"seconds\": %.6f, \"gflops\": %.3f},\n"
+        "   \"n1024\": {\"seconds\": %.6f, \"gflops\": %.3f, "
+        "\"speedup_vs_scalar\": %.2f}}",
+        i == 0 ? "" : ",", linalg::kernel::KernelPathName(r.path), r.s256,
+        Gflops(256, r.s256), r.s1024, Gflops(1024, r.s1024),
+        dispatch[0].s1024 / r.s1024);
+  }
+  std::fprintf(f, "],\n \"gemm_batch\": [");
+  for (std::size_t i = 0; i < batch_count; ++i) {
+    const BatchRow& r = batch_rows[i];
+    std::fprintf(f,
+                 "%s\n  {\"m\": %zu, \"n\": %zu, \"k\": %zu, \"count\": %zu,\n"
+                 "   \"looped\": {\"seconds\": %.6f},\n"
+                 "   \"batched\": {\"seconds\": %.6f, \"speedup\": %.2f}}",
+                 i == 0 ? "" : ",", r.m, r.n, r.k, r.count, r.looped_s,
+                 r.batched_s, r.looped_s / r.batched_s);
+  }
+  std::fprintf(f, "],\n \"catch22_fused\": [");
+  for (std::size_t i = 0; i < fused_count; ++i) {
+    const FusedRow& r = fused_rows[i];
+    std::fprintf(f,
+                 "%s\n  {\"n\": %zu, \"reference_seconds\": %.6f, "
+                 "\"fused_seconds\": %.6f, \"speedup\": %.2f}",
+                 i == 0 ? "" : ",", r.n, r.reference_s, r.fused_s,
+                 r.reference_s / r.fused_s);
   }
   std::fprintf(f, "]}\n");
   std::fclose(f);

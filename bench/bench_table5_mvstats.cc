@@ -14,10 +14,18 @@ int main() {
   std::printf("%-12s %-12s %-9s %-8s %-5s %-6s %-7s %-7s %-7s %-7s %-7s %s\n",
               "Dataset", "Domain", "Freq", "Len", "Dim", "Split", "trend",
               "season", "shift", "trans", "corr", "stationary");
-  for (const auto& base : datagen::MultivariateProfiles()) {
-    const auto profile = bench::ScaledProfile(base.name);
-    const ts::TimeSeries series = datagen::GenerateDataset(profile);
-    const auto c = characterization::Characterize(series, 0, 3);
+  // Generate all datasets first, then profile them in one batched call
+  // (parallel across datasets, bit-identical to serial Characterize).
+  const auto bases = datagen::MultivariateProfiles();
+  std::vector<ts::TimeSeries> generated;
+  for (const auto& base : bases) {
+    generated.push_back(
+        datagen::GenerateDataset(bench::ScaledProfile(base.name)));
+  }
+  const auto profiles = characterization::CharacterizeBatch(generated, 0, 3);
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    const auto& base = bases[i];
+    const auto& c = profiles[i];
     const char* split =
         base.split.val > 0.15 ? "6:2:2" : "7:1:2";
     std::printf(

@@ -42,13 +42,24 @@ int main() {
   std::vector<Row> rows;
 
   pipeline::BenchmarkRunner runner;
-  for (const auto& base : datagen::MultivariateProfiles()) {
+  // Generate all 25 datasets first and measure trend strength with one
+  // CharacterizeBatch call (parallel across datasets, bit-identical to
+  // serial Characterize).
+  const auto bases = datagen::MultivariateProfiles();
+  std::vector<ts::TimeSeries> generated;
+  for (const auto& base : bases) {
+    generated.push_back(
+        datagen::GenerateDataset(bench::ScaledProfile(base.name)));
+  }
+  const auto profiles = characterization::CharacterizeBatch(generated, 0, 2);
+  for (std::size_t b = 0; b < bases.size(); ++b) {
+    const auto& base = bases[b];
     const auto profile = bench::ScaledProfile(base.name);
-    const ts::TimeSeries series = datagen::GenerateDataset(profile);
+    const ts::TimeSeries& series = generated[b];
     Row row;
     row.dataset = base.name;
     row.horizon = base.long_horizon ? 24 : 12;
-    row.trend = characterization::Characterize(series, 0, 2).trend;
+    row.trend = profiles[b].trend;
     for (const auto& method : methods) {
       pipeline::BenchmarkTask task;
       task.dataset = base.name;

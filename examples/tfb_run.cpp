@@ -80,6 +80,7 @@
 #include <ctime>
 #include <iostream>
 
+#include "tfb/linalg/gemm.h"
 #include "tfb/pipeline/config.h"
 #include "tfb/pipeline/shard.h"
 #include "tfb/report/ascii_plot.h"
@@ -123,6 +124,7 @@ int main(int argc, char** argv) {
   std::string transport;   // --transport= overrides the config key.
   std::string listen;      // --listen=HOST:PORT overrides the config key.
   std::string chaos_net;   // --chaos-net= overrides the config key.
+  std::string kernel;      // --kernel= overrides the config key.
   bool external_workers = false;
   const char* usage =
       "usage: tfb_run [config] [--resume] [--isolate=process|in_process]\n"
@@ -131,7 +133,8 @@ int main(int argc, char** argv) {
       "               [--external-workers] [--chaos-net=SPEC]\n"
       "               [--trace-out=FILE.json] [--metrics-out=FILE[.json]]\n"
       "               [--serve=PORT] [--progress=auto|bar|plain|off]\n"
-      "               [--log-level=LEVEL] [--log-json=FILE]\n";
+      "               [--log-level=LEVEL] [--log-json=FILE]\n"
+      "               [--kernel=scalar|avx2|neon]\n";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print-default") == 0) {
       config.datasets = {"ETTh2", "ILI"};
@@ -201,6 +204,13 @@ int main(int argc, char** argv) {
       log_level_set = true;
     } else if (std::strncmp(argv[i], "--log-json=", 11) == 0) {
       log_json = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+      kernel = argv[i] + 9;
+      if (kernel != "scalar" && kernel != "avx2" && kernel != "neon") {
+        std::fprintf(stderr, "bad --kernel (scalar|avx2|neon): %s\n",
+                     kernel.c_str());
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "%s", usage);
       return 1;
@@ -230,6 +240,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--resume needs a `journal = <path>` key in the config\n");
     return 1;
+  }
+  // Pin the GEMM dispatch path before any compute runs. A valid name that
+  // this host cannot run falls back to scalar (the portable baseline) —
+  // results are bit-identical on every path, so only speed is affected.
+  if (kernel.empty()) kernel = config.kernel;
+  if (!kernel.empty()) {
+    if (!linalg::kernel::SetKernelPathByName(kernel)) {
+      std::fprintf(stderr,
+                   "kernel path %s unavailable on this host; using scalar\n",
+                   kernel.c_str());
+      linalg::kernel::SetKernelPath(linalg::kernel::KernelPath::kScalar);
+    }
+    std::printf("gemm kernel path: %s\n",
+                linalg::kernel::KernelPathName(
+                    linalg::kernel::ActiveKernelPath()));
   }
   if (trace_out.empty()) trace_out = config.trace_out;
   if (metrics_out.empty()) metrics_out = config.metrics_out;

@@ -2,20 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
 #include "tfb/fft/fft.h"
+#include "tfb/obs/metrics.h"
 #include "tfb/stats/descriptive.h"
+
+// This TU holds both the fused catch22 engine (Catch22) and the
+// per-feature reference (Catch22Reference) and is compiled with
+// -ffp-contract=off (see src/CMakeLists.txt): both implementations run
+// under one FP semantics, so the fused loops below can replicate the
+// reference expressions term for term and stay bit-identical. Helpers
+// that consume a precomputed intermediate (an ACF, a periodogram, a
+// min/max range) are shared verbatim between the two paths — the fused
+// engine differs only in where the intermediate comes from.
 
 namespace tfb::characterization {
 
 namespace {
 
-// Mode of a histogram with `bins` equal-width bins over [min, max].
-double HistogramMode(std::span<const double> z, int bins) {
-  const double lo = stats::Min(z);
-  const double hi = stats::Max(z);
+// Mode of a histogram with `bins` equal-width bins over [lo, hi].
+double HistogramModeCore(std::span<const double> z, int bins, double lo,
+                         double hi) {
   if (hi - lo < 1e-12) return lo;
   std::vector<int> counts(bins, 0);
   for (double v : z) {
@@ -30,8 +40,12 @@ double HistogramMode(std::span<const double> z, int bins) {
   return lo + (best + 0.5) * width;
 }
 
+double HistogramMode(std::span<const double> z, int bins) {
+  return HistogramModeCore(z, bins, stats::Min(z), stats::Max(z));
+}
+
 // First lag where the ACF drops below 1/e.
-double FirstAcBelow1OverE(const std::vector<double>& acf) {
+double FirstAcBelow1OverE(std::span<const double> acf) {
   const double threshold = 1.0 / M_E;
   for (std::size_t k = 1; k < acf.size(); ++k) {
     if (acf[k] < threshold) return static_cast<double>(k);
@@ -40,7 +54,7 @@ double FirstAcBelow1OverE(const std::vector<double>& acf) {
 }
 
 // First local minimum of the ACF.
-double FirstAcMinimum(const std::vector<double>& acf) {
+double FirstAcMinimum(std::span<const double> acf) {
   for (std::size_t k = 1; k + 1 < acf.size(); ++k) {
     if (acf[k] < acf[k - 1] && acf[k] < acf[k + 1]) {
       return static_cast<double>(k);
@@ -49,23 +63,11 @@ double FirstAcMinimum(const std::vector<double>& acf) {
   return static_cast<double>(acf.size());
 }
 
-// Longest run of consecutive `true` values.
-double LongestStretch(const std::vector<bool>& b) {
-  std::size_t best = 0;
-  std::size_t run = 0;
-  for (bool v : b) {
-    run = v ? run + 1 : 0;
-    best = std::max(best, run);
-  }
-  return static_cast<double>(best);
-}
-
 // Histogram-based mutual information between x_t and x_{t+lag} with `bins`
-// equal-width bins (CO_HistogramAMI analogue).
-double HistogramAmi(std::span<const double> z, std::size_t lag, int bins) {
+// equal-width bins over [lo, hi] (CO_HistogramAMI analogue).
+double HistogramAmiCore(std::span<const double> z, std::size_t lag, int bins,
+                        double lo, double hi) {
   if (z.size() <= lag + 1) return 0.0;
-  const double lo = stats::Min(z);
-  const double hi = stats::Max(z);
   if (hi - lo < 1e-12) return 0.0;
   const std::size_t n = z.size() - lag;
   std::vector<std::vector<double>> joint(bins, std::vector<double>(bins, 0.0));
@@ -91,6 +93,10 @@ double HistogramAmi(std::span<const double> z, std::size_t lag, int bins) {
     }
   }
   return mi;
+}
+
+double HistogramAmi(std::span<const double> z, std::size_t lag, int bins) {
+  return HistogramAmiCore(z, lag, bins, stats::Min(z), stats::Max(z));
 }
 
 // Three-symbol quantile coarse-graining (SB_MotifThree / transition-matrix).
@@ -128,11 +134,10 @@ double MotifThreeEntropy(std::span<const double> z) {
 
 // Trace of the covariance of the 3-symbol transition matrix built on the
 // tau-downsampled series (SB_TransitionMatrix_3ac_sumdiagcov). Also the
-// paper's Transition characteristic (Algorithm 2).
-double TransitionMatrixTrace(std::span<const double> z) {
-  if (z.size() < 6) return 0.0;
-  const std::size_t tau =
-      std::max<std::size_t>(1, fft::FirstZeroAutocorrelation(z));
+// paper's Transition characteristic (Algorithm 2). `tau` is the series'
+// first ACF zero crossing, floored at 1.
+double TransitionMatrixTraceWithTau(std::span<const double> z,
+                                    std::size_t tau) {
   std::vector<double> down;
   for (std::size_t i = 0; i < z.size(); i += tau) down.push_back(z[i]);
   if (down.size() < 4) return 0.0;
@@ -152,6 +157,12 @@ double TransitionMatrixTrace(std::span<const double> z) {
     trace += var / 2.0;  // n-1 = 2
   }
   return trace;
+}
+
+double TransitionMatrixTrace(std::span<const double> z) {
+  if (z.size() < 6) return 0.0;
+  return TransitionMatrixTraceWithTau(
+      z, std::max<std::size_t>(1, fft::FirstZeroAutocorrelation(z)));
 }
 
 // Median timing of threshold-exceeding events as the threshold grows
@@ -174,10 +185,55 @@ double OutlierTiming(std::span<const double> z, bool positive) {
   return stats::Median(medians) - 0.5;
 }
 
+// Both OutlierTiming tails in one sweep per threshold step instead of
+// two. Each tail keeps its own early-stop flag, so the per-tail sequence
+// of event-time vectors — and therefore every median — is exactly the one
+// OutlierTiming(z, tail) produces.
+void OutlierTimingBoth(std::span<const double> z, double* out_pos,
+                       double* out_neg) {
+  const std::size_t n = z.size();
+  *out_pos = 0.0;
+  *out_neg = 0.0;
+  if (n < 4) return;
+  std::vector<double> medians_pos;
+  std::vector<double> medians_neg;
+  std::vector<double> times_pos;
+  std::vector<double> times_neg;
+  bool done_pos = false;
+  bool done_neg = false;
+  for (int step = 1; step <= 10 && !(done_pos && done_neg); ++step) {
+    const double threshold = 0.2 * step;
+    times_pos.clear();
+    times_neg.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = z[i];
+      if (!done_pos && v >= threshold)
+        times_pos.push_back(static_cast<double>(i) / n);
+      if (!done_neg && -v >= threshold)
+        times_neg.push_back(static_cast<double>(i) / n);
+    }
+    if (!done_pos) {
+      if (times_pos.size() < 2) {
+        done_pos = true;
+      } else {
+        medians_pos.push_back(stats::Median(times_pos));
+      }
+    }
+    if (!done_neg) {
+      if (times_neg.size() < 2) {
+        done_neg = true;
+      } else {
+        medians_neg.push_back(stats::Median(times_neg));
+      }
+    }
+  }
+  if (!medians_pos.empty()) *out_pos = stats::Median(medians_pos) - 0.5;
+  if (!medians_neg.empty()) *out_neg = stats::Median(medians_neg) - 0.5;
+}
+
 // Power concentrated in the lowest fifth of the spectrum
-// (SP_Summaries_welch_rect_area_5_1 analogue).
-double LowFrequencyPowerFraction(std::span<const double> z) {
-  const std::vector<double> power = fft::Periodogram(z);
+// (SP_Summaries_welch_rect_area_5_1 analogue). `power` is Periodogram(z).
+double LowFrequencyPowerFraction(std::span<const double> power) {
   if (power.size() < 5) return 0.0;
   double total = 0.0;
   for (std::size_t k = 1; k < power.size(); ++k) total += power[k];
@@ -189,9 +245,9 @@ double LowFrequencyPowerFraction(std::span<const double> z) {
   return low / total;
 }
 
-// Spectral centroid (SP_Summaries_welch_rect_centroid analogue).
-double SpectralCentroid(std::span<const double> z) {
-  const std::vector<double> power = fft::Periodogram(z);
+// Spectral centroid (SP_Summaries_welch_rect_centroid analogue). `power`
+// is Periodogram(z).
+double SpectralCentroid(std::span<const double> power) {
   double total = 0.0;
   double weighted = 0.0;
   for (std::size_t k = 1; k < power.size(); ++k) {
@@ -231,7 +287,7 @@ double LocalSimpleTauResRat(std::span<const double> z) {
 
 // First minimum of the Gaussian auto-mutual-information
 // (IN_AutoMutualInfoStats_40_gaussian_fmmi): ami(k) = -0.5*log(1 - acf_k^2).
-double FirstMinGaussianAmi(const std::vector<double>& acf) {
+double FirstMinGaussianAmi(std::span<const double> acf) {
   std::vector<double> ami;
   const std::size_t kmax = std::min<std::size_t>(acf.size(), 41);
   for (std::size_t k = 1; k < kmax; ++k) {
@@ -304,6 +360,88 @@ double FluctuationScaling(std::span<const double> z) {
   return sxx > 1e-12 ? sxy / sxx : 0.0;
 }
 
+// One fused traversal for every successive-difference feature plus the
+// above-mean stretch: trev (cubed differences), pnn40, the two
+// longest-stretch counts, and the residual/difference vector the
+// tauresrat feature needs. Each statistic updates with the exact
+// expression of the standalone loop it replaced.
+void FusedDiffSweep(std::span<const double> z, double* trev, double* pnn40,
+                    double* stretch_above, double* stretch_dec,
+                    std::vector<double>* res) {
+  const std::size_t n = z.size();
+  res->assign(n > 0 ? n - 1 : 0, 0.0);
+  double sum = 0.0;
+  std::size_t count = 0;
+  std::size_t run_above = 0;
+  std::size_t best_above = 0;
+  std::size_t run_dec = 0;
+  std::size_t best_dec = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    run_above = z[i] > 0.0 ? run_above + 1 : 0;
+    best_above = std::max(best_above, run_above);
+    if (i + 1 < n) {
+      const double d = z[i + 1] - z[i];
+      (*res)[i] = d;
+      sum += d * d * d;
+      if (std::fabs(d) > 0.04) ++count;
+      run_dec = z[i + 1] < z[i] ? run_dec + 1 : 0;
+      best_dec = std::max(best_dec, run_dec);
+    }
+  }
+  *trev = n > 1 ? sum / static_cast<double>(n - 1) : 0.0;
+  *pnn40 =
+      n > 1 ? static_cast<double>(count) / static_cast<double>(n - 1) : 0.0;
+  *stretch_above = static_cast<double>(best_above);
+  *stretch_dec = static_cast<double>(best_dec);
+}
+
+// Two histogram modes (5 and 10 bins) over the shared [lo, hi] range in
+// one pass: both bin indices come from the same expression the standalone
+// HistogramModeCore uses.
+void FusedHistogramModes(std::span<const double> z, double lo, double hi,
+                         double* mode5, double* mode10) {
+  if (hi - lo < 1e-12) {
+    *mode5 = lo;
+    *mode10 = lo;
+    return;
+  }
+  int c5[5] = {};
+  int c10[10] = {};
+  for (double v : z) {
+    int b5 = static_cast<int>((v - lo) / (hi - lo) * 5);
+    b5 = std::clamp(b5, 0, 4);
+    ++c5[b5];
+    int b10 = static_cast<int>((v - lo) / (hi - lo) * 10);
+    b10 = std::clamp(b10, 0, 9);
+    ++c10[b10];
+  }
+  const int best5 = static_cast<int>(std::max_element(c5, c5 + 5) - c5);
+  const int best10 = static_cast<int>(std::max_element(c10, c10 + 10) - c10);
+  const double width5 = (hi - lo) / 5;
+  const double width10 = (hi - lo) / 10;
+  *mode5 = lo + (best5 + 0.5) * width5;
+  *mode10 = lo + (best10 + 0.5) * width10;
+}
+
+// Min and max in one sweep. Pure comparisons (std::min/std::max element
+// by element in the same order), so identical to stats::Min + stats::Max,
+// including the NaN-skipping behaviour of both.
+void FusedMinMax(std::span<const double> z, double* lo, double* hi) {
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double v : z) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  *lo = mn;
+  *hi = mx;
+}
+
+void RecordFusedCall() {
+  if (!obs::Enabled()) return;
+  obs::DefaultRegistry().GetCounter("tfb_catch22_fused_calls").Increment();
+}
+
 }  // namespace
 
 const std::array<std::string, kNumCatch22Features>& Catch22FeatureNames() {
@@ -339,55 +477,150 @@ std::array<double, kNumCatch22Features> Catch22(std::span<const double> x) {
   if (x.size() < 8) return f;
   const std::vector<double> z = stats::ZScore(x);
   if (stats::Variance(z) < 1e-15) return f;
-  const std::vector<double> acf = fft::AutocorrelationFft(z);
+  RecordFusedCall();
+  const std::size_t n = z.size();
 
-  f[0] = HistogramMode(z, 5);
-  f[1] = HistogramMode(z, 10);
+  // Shared intermediates — computed once, through the exact routines the
+  // per-feature reference calls on the same inputs:
+  //   min/max          → histogram modes, histogram AMI
+  //   ACF(z)           → f1ecac, first AC minimum, Gaussian AMI, the
+  //                      transition-matrix tau, tauresrat's denominator,
+  //                      and period refinement
+  //   periodogram(z)   → low-frequency power, spectral centroid, period
+  //                      candidate
+  //   diff sweep       → trev, pnn40, stretch counts, the residual series
+  //   ACF(diff)        → tauresrat's numerator
+  double lo = 0.0;
+  double hi = 0.0;
+  FusedMinMax(z, &lo, &hi);
+  const std::vector<double> acf = fft::AutocorrelationFft(z);
+  const std::vector<double> power = fft::Periodogram(z);
+  std::vector<double> res;
+
+  FusedHistogramModes(z, lo, hi, &f[0], &f[1]);
   f[2] = FirstAcBelow1OverE(acf);
   f[3] = FirstAcMinimum(acf);
-  f[4] = HistogramAmi(z, /*lag=*/2, /*bins=*/5);
-  // CO_trev_1_num: mean cubed successive difference (time reversibility).
-  {
-    double sum = 0.0;
-    for (std::size_t i = 0; i + 1 < z.size(); ++i) {
-      const double d = z[i + 1] - z[i];
-      sum += d * d * d;
-    }
-    f[5] = sum / static_cast<double>(z.size() - 1);
-  }
-  // pnn40: fraction of successive differences exceeding 0.04 (z-units).
-  {
-    std::size_t count = 0;
-    for (std::size_t i = 0; i + 1 < z.size(); ++i) {
-      if (std::fabs(z[i + 1] - z[i]) > 0.04) ++count;
-    }
-    f[6] = static_cast<double>(count) / static_cast<double>(z.size() - 1);
-  }
-  // Longest stretch above the mean (mean of z-scored series is 0).
-  {
-    std::vector<bool> above(z.size());
-    for (std::size_t i = 0; i < z.size(); ++i) above[i] = z[i] > 0.0;
-    f[7] = LongestStretch(above);
-  }
-  // Longest stretch of consecutive decreases.
-  {
-    std::vector<bool> dec(z.size() > 0 ? z.size() - 1 : 0);
-    for (std::size_t i = 0; i + 1 < z.size(); ++i) dec[i] = z[i + 1] < z[i];
-    f[8] = LongestStretch(dec);
-  }
+  f[4] = HistogramAmiCore(z, /*lag=*/2, /*bins=*/5, lo, hi);
+  FusedDiffSweep(z, &f[5], &f[6], &f[7], &f[8], &res);
   f[9] = MotifThreeEntropy(z);
-  f[10] = TransitionMatrixTrace(z);
-  f[11] = OutlierTiming(z, /*positive=*/true);
-  f[12] = OutlierTiming(z, /*positive=*/false);
-  f[13] = LowFrequencyPowerFraction(z);
-  f[14] = SpectralCentroid(z);
-  f[15] = LocalSimpleTauResRat(z);
+  f[10] = n < 6 ? 0.0
+                : TransitionMatrixTraceWithTau(
+                      z, std::max<std::size_t>(1, fft::FirstZeroFromAcf(acf)));
+  OutlierTimingBoth(z, &f[11], &f[12]);
+  f[13] = LowFrequencyPowerFraction(power);
+  f[14] = SpectralCentroid(power);
+  // tauresrat: the numerator needs the ACF of the difference series (its
+  // own FFT — the one per-feature transform that cannot be shared); the
+  // denominator reuses the shared ACF.
+  if (n < 4) {
+    f[15] = 1.0;
+  } else {
+    const double tau_res =
+        static_cast<double>(fft::FirstZeroAutocorrelation(res));
+    const double tau = static_cast<double>(fft::FirstZeroFromAcf(acf));
+    f[15] = tau > 0.0 ? tau_res / tau : 1.0;
+  }
   f[16] = LocalSimpleMeanStderr(z, 3);
   f[17] = FirstMinGaussianAmi(acf);
-  f[18] = PeriodicityWang(z);
+  f[18] = static_cast<double>(fft::EstimatePeriodFromSpectrum(n, power, acf));
   f[19] = FluctuationScaling(z);
   f[20] = stats::Skewness(z);
   f[21] = stats::Kurtosis(z);
+  return f;
+}
+
+double Catch22Feature(std::size_t index, std::span<const double> x) {
+  if (index >= kNumCatch22Features) return 0.0;
+  if (x.size() < 8) return 0.0;
+  const std::vector<double> z = stats::ZScore(x);
+  if (stats::Variance(z) < 1e-15) return 0.0;
+  switch (index) {
+    case 0:
+      return HistogramMode(z, 5);
+    case 1:
+      return HistogramMode(z, 10);
+    case 2:
+      return FirstAcBelow1OverE(fft::AutocorrelationFft(z));
+    case 3:
+      return FirstAcMinimum(fft::AutocorrelationFft(z));
+    case 4:
+      return HistogramAmi(z, /*lag=*/2, /*bins=*/5);
+    case 5: {
+      // CO_trev_1_num: mean cubed successive difference (time
+      // reversibility).
+      double sum = 0.0;
+      for (std::size_t i = 0; i + 1 < z.size(); ++i) {
+        const double d = z[i + 1] - z[i];
+        sum += d * d * d;
+      }
+      return sum / static_cast<double>(z.size() - 1);
+    }
+    case 6: {
+      // pnn40: fraction of successive differences exceeding 0.04
+      // (z-units).
+      std::size_t count = 0;
+      for (std::size_t i = 0; i + 1 < z.size(); ++i) {
+        if (std::fabs(z[i + 1] - z[i]) > 0.04) ++count;
+      }
+      return static_cast<double>(count) / static_cast<double>(z.size() - 1);
+    }
+    case 7: {
+      // Longest stretch above the mean (mean of z-scored series is 0).
+      std::size_t best = 0;
+      std::size_t run = 0;
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        run = z[i] > 0.0 ? run + 1 : 0;
+        best = std::max(best, run);
+      }
+      return static_cast<double>(best);
+    }
+    case 8: {
+      // Longest stretch of consecutive decreases.
+      std::size_t best = 0;
+      std::size_t run = 0;
+      for (std::size_t i = 0; i + 1 < z.size(); ++i) {
+        run = z[i + 1] < z[i] ? run + 1 : 0;
+        best = std::max(best, run);
+      }
+      return static_cast<double>(best);
+    }
+    case 9:
+      return MotifThreeEntropy(z);
+    case 10:
+      return TransitionMatrixTrace(z);
+    case 11:
+      return OutlierTiming(z, /*positive=*/true);
+    case 12:
+      return OutlierTiming(z, /*positive=*/false);
+    case 13:
+      return LowFrequencyPowerFraction(fft::Periodogram(z));
+    case 14:
+      return SpectralCentroid(fft::Periodogram(z));
+    case 15:
+      return LocalSimpleTauResRat(z);
+    case 16:
+      return LocalSimpleMeanStderr(z, 3);
+    case 17:
+      return FirstMinGaussianAmi(fft::AutocorrelationFft(z));
+    case 18:
+      return PeriodicityWang(z);
+    case 19:
+      return FluctuationScaling(z);
+    case 20:
+      return stats::Skewness(z);
+    case 21:
+      return stats::Kurtosis(z);
+    default:
+      return 0.0;
+  }
+}
+
+std::array<double, kNumCatch22Features> Catch22Reference(
+    std::span<const double> x) {
+  std::array<double, kNumCatch22Features> f{};
+  for (std::size_t i = 0; i < kNumCatch22Features; ++i) {
+    f[i] = Catch22Feature(i, x);
+  }
   return f;
 }
 

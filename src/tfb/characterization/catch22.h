@@ -22,7 +22,35 @@ const std::array<std::string, kNumCatch22Features>& Catch22FeatureNames();
 /// Computes the 22-feature embedding of a univariate series. The series is
 /// z-scored first (catch22 convention). Short (<8 points) or constant
 /// series yield all-zero vectors.
+///
+/// This is the fused single-pass engine: one min/max sweep, one z-score,
+/// one FFT-backed ACF, one periodogram, and one residual-ACF are computed
+/// once and feed every dependent feature; the successive-difference
+/// features (trev, pnn40, stretch counts), the two histogram modes, and
+/// the two outlier-timing tails each share one fused traversal. Every
+/// feature value is bit-identical to Catch22Reference below: shared
+/// intermediates are produced by calling the exact same stats::/fft::
+/// routines the per-feature reference calls, fused loops replicate the
+/// reference expressions term for term, and this translation unit is
+/// compiled with -ffp-contract=off so both implementations see one FP
+/// semantics. catch22_fused_test pins the equality per feature (NaN
+/// inputs propagate NaN through both — compared as bit-pattern class, not
+/// by value).
 std::array<double, kNumCatch22Features> Catch22(std::span<const double> x);
+
+/// Reference implementation: every feature computed independently from
+/// the raw series — its own z-score, its own ACF/periodogram, its own
+/// traversals, nothing shared (the "22-pass baseline" of
+/// bench_micro_kernels' catch22_fused section, and the golden oracle for
+/// catch22_fused_test). Bit-identical to Catch22().
+std::array<double, kNumCatch22Features> Catch22Reference(
+    std::span<const double> x);
+
+/// One feature of the reference implementation, by Catch22FeatureNames()
+/// index, computed entirely from scratch. Returns 0.0 for out-of-range
+/// indices, short series, and constant series (matching Catch22's
+/// all-zero guard).
+double Catch22Feature(std::size_t index, std::span<const double> x);
 
 }  // namespace tfb::characterization
 

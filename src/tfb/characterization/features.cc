@@ -9,6 +9,8 @@
 #include "tfb/characterization/adf.h"
 #include "tfb/characterization/catch22.h"
 #include "tfb/fft/fft.h"
+#include "tfb/obs/metrics.h"
+#include "tfb/parallel/thread_pool.h"
 #include "tfb/stats/descriptive.h"
 #include "tfb/stl/stl.h"
 
@@ -207,6 +209,31 @@ Characteristics Characterize(const ts::TimeSeries& series, std::size_t period,
   c.stationary = c.stationarity_fraction >= 0.5;
   c.correlation = CorrelationValue(series, max_variables);
   return c;
+}
+
+std::vector<Characteristics> CharacterizeBatch(
+    std::span<const ts::TimeSeries> series, std::size_t period,
+    std::size_t max_variables) {
+  std::vector<Characteristics> out(series.size());
+  if (series.empty()) return out;
+  if (obs::Enabled()) {
+    obs::DefaultRegistry()
+        .GetCounter("tfb_characterize_batch_series_total")
+        .Increment(static_cast<double>(series.size()));
+  }
+  // Grain 1: each series is profiled whole by one thread (series, not
+  // features, are the deterministic unit of work). Nested ParallelFor
+  // calls underneath (GEMM inside ADF solves, etc.) fall back to inline
+  // execution via the pool's busy-CAS, so the math per series is exactly
+  // the serial math.
+  parallel::ThreadPool::Default().ParallelFor(
+      0, series.size(), 1,
+      [&series, &out, period, max_variables](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = Characterize(series[i], period, max_variables);
+        }
+      });
+  return out;
 }
 
 std::string ToString(const Characteristics& c) {

@@ -77,6 +77,16 @@ Characteristics Characterize(const ts::TimeSeries& series,
                              std::size_t period = 0,
                              std::size_t max_variables = 16);
 
+/// Characterize() over a whole collection, parallelized across series on
+/// the process thread pool (characterization is O(series × variables) and
+/// fronts every dataset-scale scenario). Each series is profiled whole by
+/// one thread under the pool's deterministic static partition, so
+/// out[i] is byte-identical to Characterize(series[i], ...) at any thread
+/// count.
+std::vector<Characteristics> CharacterizeBatch(
+    std::span<const ts::TimeSeries> series, std::size_t period = 0,
+    std::size_t max_variables = 16);
+
 /// Pretty one-line summary for logs.
 std::string ToString(const Characteristics& c);
 

@@ -71,12 +71,17 @@ std::vector<double> AutocorrelationFft(std::span<const double> x) {
   return acf;
 }
 
-std::size_t FirstZeroAutocorrelation(std::span<const double> x) {
-  const std::vector<double> acf = AutocorrelationFft(x);
+std::size_t FirstZeroFromAcf(std::span<const double> acf) {
   for (std::size_t k = 1; k < acf.size(); ++k) {
     if (acf[k] <= 0.0) return k;
   }
-  return x.size();
+  return acf.size();
+}
+
+std::size_t FirstZeroAutocorrelation(std::span<const double> x) {
+  // AutocorrelationFft returns x.size() entries, so the no-crossing
+  // fallback below is still x.size().
+  return FirstZeroFromAcf(AutocorrelationFft(x));
 }
 
 std::vector<double> Periodogram(std::span<const double> x) {
@@ -94,18 +99,23 @@ std::vector<double> Periodogram(std::span<const double> x) {
   return power;
 }
 
-std::size_t EstimatePeriod(std::span<const double> x, std::size_t min_period,
-                           std::size_t max_period) {
-  if (x.size() < 2 * min_period) return 1;
-  const std::vector<double> power = Periodogram(x);
-  const std::size_t padded = NextPowerOfTwo(x.size());
+namespace {
+
+/// Stage 1 of period estimation: the strongest admissible periodogram
+/// bin, or 0 when no peak dominates the mean spectral power (so callers
+/// can keep the ACF lazy — it is only needed for refinement).
+std::size_t PeriodCandidateFromPower(std::size_t n,
+                                     std::span<const double> power,
+                                     std::size_t min_period,
+                                     std::size_t max_period) {
+  const std::size_t padded = NextPowerOfTwo(n);
   // Skip the DC bin; find the strongest bin whose implied period is in range.
   double best_power = 0.0;
   std::size_t best_period = 1;
   for (std::size_t k = 1; k < power.size(); ++k) {
     const double period = static_cast<double>(padded) / static_cast<double>(k);
     if (period < static_cast<double>(min_period) ||
-        period > static_cast<double>(std::min(max_period, x.size() / 2))) {
+        period > static_cast<double>(std::min(max_period, n / 2))) {
       continue;
     }
     if (power[k] > best_power) {
@@ -116,10 +126,15 @@ std::size_t EstimatePeriod(std::span<const double> x, std::size_t min_period,
   // Require the peak to dominate the mean spectral power; otherwise the
   // series is treated as non-seasonal.
   const double mean_power = stats::Mean(power);
-  if (best_power < 4.0 * mean_power) return 1;
-  // Refine against the ACF: pick the candidate (or a small neighbourhood)
-  // with maximal autocorrelation, which resists spectral leakage.
-  const std::vector<double> acf = AutocorrelationFft(x);
+  if (best_power < 4.0 * mean_power) return 0;
+  return best_period;
+}
+
+/// Stage 2: refine against the ACF — pick the candidate (or a small
+/// neighbourhood) with maximal autocorrelation, which resists spectral
+/// leakage.
+std::size_t RefinePeriodWithAcf(std::size_t best_period,
+                                std::span<const double> acf) {
   std::size_t refined = best_period;
   double best_acf = -2.0;
   const std::size_t lo = best_period > 2 ? best_period - 2 : 2;
@@ -135,6 +150,31 @@ std::size_t EstimatePeriod(std::span<const double> x, std::size_t min_period,
   // autocorrelation at the candidate period.
   if (best_acf < 0.15) return 1;
   return refined;
+}
+
+}  // namespace
+
+std::size_t EstimatePeriod(std::span<const double> x, std::size_t min_period,
+                           std::size_t max_period) {
+  if (x.size() < 2 * min_period) return 1;
+  const std::vector<double> power = Periodogram(x);
+  const std::size_t candidate =
+      PeriodCandidateFromPower(x.size(), power, min_period, max_period);
+  if (candidate == 0) return 1;
+  const std::vector<double> acf = AutocorrelationFft(x);
+  return RefinePeriodWithAcf(candidate, acf);
+}
+
+std::size_t EstimatePeriodFromSpectrum(std::size_t n,
+                                       std::span<const double> power,
+                                       std::span<const double> acf,
+                                       std::size_t min_period,
+                                       std::size_t max_period) {
+  if (n < 2 * min_period) return 1;
+  const std::size_t candidate =
+      PeriodCandidateFromPower(n, power, min_period, max_period);
+  if (candidate == 0) return 1;
+  return RefinePeriodWithAcf(candidate, acf);
 }
 
 }  // namespace tfb::fft

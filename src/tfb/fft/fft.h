@@ -30,6 +30,12 @@ std::vector<double> AutocorrelationFft(std::span<const double> x);
 /// Returns x.size() when the ACF never crosses zero.
 std::size_t FirstZeroAutocorrelation(std::span<const double> x);
 
+/// FirstZeroAutocorrelation over a precomputed full ACF (as returned by
+/// AutocorrelationFft, so acf.size() == x.size()). Lets callers that
+/// already hold the ACF — the fused catch22 engine — skip the FFT.
+/// Identical result to FirstZeroAutocorrelation on the original series.
+std::size_t FirstZeroFromAcf(std::span<const double> acf);
+
 /// Periodogram power spectrum (mean-removed, Hann-free raw periodogram):
 /// entry k is |X_k|^2 / n for k in [0, n_padded/2].
 std::vector<double> Periodogram(std::span<const double> x);
@@ -39,6 +45,17 @@ std::vector<double> Periodogram(std::span<const double> x);
 /// spectrum is flat (no meaningful seasonality).
 std::size_t EstimatePeriod(std::span<const double> x, std::size_t min_period = 2,
                            std::size_t max_period = 512);
+
+/// EstimatePeriod over precomputed transforms of the same series:
+/// `power` must be Periodogram(x), `acf` must be AutocorrelationFft(x),
+/// and `n` is x.size(). Bit-identical to EstimatePeriod(x, ...); exists
+/// so the fused catch22 engine can reuse its shared spectra instead of
+/// recomputing both FFTs.
+std::size_t EstimatePeriodFromSpectrum(std::size_t n,
+                                       std::span<const double> power,
+                                       std::span<const double> acf,
+                                       std::size_t min_period = 2,
+                                       std::size_t max_period = 512);
 
 }  // namespace tfb::fft
 

@@ -1,9 +1,14 @@
 #include "tfb/linalg/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "tfb/linalg/gemm_kernels.h"
+#include "tfb/obs/log.h"
 #include "tfb/obs/metrics.h"
 #include "tfb/parallel/thread_pool.h"
 
@@ -12,8 +17,11 @@ namespace {
 
 // Register tile: MR×NR accumulators live in vector registers across the
 // whole k loop (NR=8 doubles = one AVX-512 register or two AVX ones).
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kNr = 8;
+// The dimensions are fixed by the micro-kernel contract in
+// gemm_kernels.h — every dispatch path packs and consumes identical
+// panels.
+constexpr std::size_t kMr = detail::kMicroMr;
+constexpr std::size_t kNr = detail::kMicroNr;
 // Cache blocking: a kC×kNr B panel (16 KiB) stays in L1 across one column
 // strip; a kMc×kC A block (128 KiB) stays in L2 across one jc strip.
 constexpr std::size_t kKc = 256;
@@ -26,6 +34,13 @@ constexpr std::size_t kSmallProduct = 64 * 64 * 64;
 // Minimum output rows per thread-pool chunk: enough that per-chunk B
 // packing is amortized.
 constexpr std::size_t kRowGrain = 64;
+// Below this m*n*k volume a single thread wins: waking the pool and
+// re-packing B per chunk costs more than it saves (measured on
+// BENCH_kernels.json, where blocked_parallel lost to blocked at n=256 =
+// 16.8M before this cutoff existed). 48M sits between 256³ (16.8M, now
+// single-threaded) and 1024³ (1.07G, still parallel) with a wide margin
+// on both sides. Path choice never changes bytes, only speed.
+constexpr std::size_t kParallelMinProduct = 48u * 1024u * 1024u;
 
 /// Fast path for small shapes: i-k-j with the accumulator living in the
 /// output row. Per element this is still one accumulator updated in
@@ -43,14 +58,15 @@ void SmallGemm(std::size_t i_begin, std::size_t i_end, std::size_t n,
   }
 }
 
-/// kMr×kNr register-tiled inner kernel over one packed k block. Resumes
-/// the accumulation already in `c` (k blocking splits the sum into
-/// chunks; carrying the running value through the accumulators keeps the
-/// per-element addition order exactly ascending k, so the split never
+/// Scalar kMr×kNr register-tiled inner kernel over one packed k block.
+/// Resumes the accumulation already in `c` (k blocking splits the sum
+/// into chunks; carrying the running value through the accumulators keeps
+/// the per-element addition order exactly ascending k, so the split never
 /// reassociates anything). ap/bp are k-major panels: ap[kk*kMr + r],
-/// bp[kk*kNr + j].
-void MicroKernel(std::size_t kc, const double* ap, const double* bp, double* c,
-                 std::size_t ldc) {
+/// bp[kk*kNr + j]. The AVX2/NEON kernels in gemm_avx2.cc/gemm_neon.cc run
+/// this exact arithmetic with the j loop in vector lanes.
+void MicroKernelScalar(std::size_t kc, const double* ap, const double* bp,
+                       double* c, std::size_t ldc) {
   double acc[kMr][kNr];
   for (std::size_t r = 0; r < kMr; ++r)
     for (std::size_t j = 0; j < kNr; ++j) acc[r][j] = c[r * ldc + j];
@@ -66,31 +82,119 @@ void MicroKernel(std::size_t kc, const double* ap, const double* bp, double* c,
     for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] = acc[r][j];
 }
 
+using detail::MicroKernelFn;
+
 /// Edge tiles (m_r < kMr or n_r < kNr) run the same full-size kernel on a
 /// local tile: real elements are staged in, pad lanes see the zero-filled
 /// pack entries (0 contributions leave their garbage confined to the
 /// local tile), and only real elements are staged back.
-void MicroKernelEdge(std::size_t kc, const double* ap, const double* bp,
-                     double* c, std::size_t ldc, std::size_t m_r,
-                     std::size_t n_r) {
+void MicroKernelEdge(MicroKernelFn fn, std::size_t kc, const double* ap,
+                     const double* bp, double* c, std::size_t ldc,
+                     std::size_t m_r, std::size_t n_r) {
   double tile[kMr * kNr] = {0.0};
   for (std::size_t r = 0; r < m_r; ++r)
     for (std::size_t j = 0; j < n_r; ++j) tile[r * kNr + j] = c[r * ldc + j];
-  MicroKernel(kc, ap, bp, tile, kNr);
+  fn(kc, ap, bp, tile, kNr);
   for (std::size_t r = 0; r < m_r; ++r)
     for (std::size_t j = 0; j < n_r; ++j) c[r * ldc + j] = tile[r * kNr + j];
 }
+
+bool PathCompiledAndSupported(KernelPath path) {
+  switch (path) {
+    case KernelPath::kScalar:
+      return true;
+    case KernelPath::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return detail::Avx2MicroKernel() != nullptr &&
+             __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case KernelPath::kNeon:
+      return detail::NeonMicroKernel() != nullptr;
+  }
+  return false;
+}
+
+MicroKernelFn PathFn(KernelPath path) {
+  switch (path) {
+    case KernelPath::kScalar:
+      return &MicroKernelScalar;
+    case KernelPath::kAvx2:
+      return detail::Avx2MicroKernel();
+    case KernelPath::kNeon:
+      return detail::NeonMicroKernel();
+  }
+  return &MicroKernelScalar;
+}
+
+bool ParseKernelPathName(std::string_view name, KernelPath* out) {
+  if (name == "scalar") {
+    *out = KernelPath::kScalar;
+  } else if (name == "avx2") {
+    *out = KernelPath::kAvx2;
+  } else if (name == "neon") {
+    *out = KernelPath::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+KernelPath BestAvailablePath() {
+  if (PathCompiledAndSupported(KernelPath::kAvx2)) return KernelPath::kAvx2;
+  if (PathCompiledAndSupported(KernelPath::kNeon)) return KernelPath::kNeon;
+  return KernelPath::kScalar;
+}
+
+/// One-time resolution: TFB_KERNEL override if valid and available on
+/// this host, else the best available path. An invalid or unavailable
+/// override falls back to scalar (the portable baseline) rather than
+/// silently picking a different SIMD path than the one asked for.
+KernelPath ResolveInitialPath() {
+  const char* env = std::getenv("TFB_KERNEL");
+  if (env == nullptr || *env == '\0') return BestAvailablePath();
+  KernelPath want;
+  if (!ParseKernelPathName(env, &want)) {
+    obs::DefaultLogger().Warn("unknown TFB_KERNEL value; using scalar",
+                              {{"value", env}});
+    return KernelPath::kScalar;
+  }
+  if (!PathCompiledAndSupported(want)) {
+    obs::DefaultLogger().Warn(
+        "TFB_KERNEL path unavailable on this host; using scalar",
+        {{"value", env}});
+    return KernelPath::kScalar;
+  }
+  return want;
+}
+
+std::atomic<KernelPath>& ActivePath() {
+  static std::atomic<KernelPath> path{ResolveInitialPath()};
+  return path;
+}
+
+/// Per-chunk pack workspaces. GemmBatch reuses one of these across every
+/// item a chunk owns — the amortization that makes batching tiny matrices
+/// worthwhile.
+struct PackBuffers {
+  std::vector<double> a;
+  std::vector<double> b;
+};
 
 /// Blocked/packed GEMM over output rows [i_begin, i_end). `out` must be
 /// zeroed. Each thread-pool chunk runs this whole routine on its own row
 /// range with its own pack buffers; rows never straddle chunks, so the
 /// arithmetic per element is independent of the partition.
 void BlockedGemm(std::size_t i_begin, std::size_t i_end, std::size_t n,
-                 std::size_t k, View a, View b, double* out) {
+                 std::size_t k, View a, View b, double* out, MicroKernelFn fn,
+                 PackBuffers& ws) {
   const std::size_t nc_panels = (std::min(kNc, n) + kNr - 1) / kNr;
   const std::size_t mc_panels = (kMc + kMr - 1) / kMr;
-  std::vector<double> bpack(kKc * nc_panels * kNr);
-  std::vector<double> apack(kKc * mc_panels * kMr);
+  if (ws.b.size() < kKc * nc_panels * kNr) ws.b.resize(kKc * nc_panels * kNr);
+  if (ws.a.size() < kKc * mc_panels * kMr) ws.a.resize(kKc * mc_panels * kMr);
+  std::vector<double>& bpack = ws.b;
+  std::vector<double>& apack = ws.a;
 
   for (std::size_t pc = 0; pc < k; pc += kKc) {
     const std::size_t kc = std::min(kKc, k - pc);
@@ -132,9 +236,9 @@ void BlockedGemm(std::size_t i_begin, std::size_t i_end, std::size_t n,
             const double* bp = bpack.data() + jp * kc * kNr;
             double* c = out + (ic + ip * kMr) * n + jc + jp * kNr;
             if (m_r == kMr && n_r == kNr) {
-              MicroKernel(kc, ap, bp, c, n);
+              fn(kc, ap, bp, c, n);
             } else {
-              MicroKernelEdge(kc, ap, bp, c, n, m_r, n_r);
+              MicroKernelEdge(fn, kc, ap, bp, c, n, m_r, n_r);
             }
           }
         }
@@ -143,13 +247,36 @@ void BlockedGemm(std::size_t i_begin, std::size_t i_end, std::size_t n,
   }
 }
 
-void RecordGemm(std::size_t m, std::size_t n, std::size_t k) {
+/// Per-path dispatch counter names, built once ("small" is the fast path
+/// that bypasses the micro-kernel entirely).
+const std::string& DispatchCounterName(KernelPath path, bool small) {
+  static const std::string kSmall = "tfb_kernel_dispatch{path=\"small\"}";
+  static const std::string kScalar = "tfb_kernel_dispatch{path=\"scalar\"}";
+  static const std::string kAvx2 = "tfb_kernel_dispatch{path=\"avx2\"}";
+  static const std::string kNeon = "tfb_kernel_dispatch{path=\"neon\"}";
+  if (small) return kSmall;
+  switch (path) {
+    case KernelPath::kScalar:
+      return kScalar;
+    case KernelPath::kAvx2:
+      return kAvx2;
+    case KernelPath::kNeon:
+      return kNeon;
+  }
+  return kScalar;
+}
+
+void RecordGemm(std::size_t m, std::size_t n, std::size_t k,
+                std::size_t calls, KernelPath path, bool small) {
   if (!obs::Enabled()) return;
   obs::Registry& registry = obs::DefaultRegistry();
-  registry.GetCounter("tfb_kernel_gemm_calls_total").Increment();
+  registry.GetCounter("tfb_kernel_gemm_calls_total")
+      .Increment(static_cast<double>(calls));
   registry.GetCounter("tfb_kernel_gemm_flops_total")
       .Increment(2.0 * static_cast<double>(m) * static_cast<double>(n) *
-                 static_cast<double>(k));
+                 static_cast<double>(k) * static_cast<double>(calls));
+  registry.GetCounter(DispatchCounterName(path, small))
+      .Increment(static_cast<double>(calls));
 }
 
 bool UseSmallPath(std::size_t m, std::size_t n, std::size_t k) {
@@ -157,6 +284,38 @@ bool UseSmallPath(std::size_t m, std::size_t n, std::size_t k) {
 }
 
 }  // namespace
+
+const char* KernelPathName(KernelPath path) {
+  switch (path) {
+    case KernelPath::kScalar:
+      return "scalar";
+    case KernelPath::kAvx2:
+      return "avx2";
+    case KernelPath::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+bool KernelPathAvailable(KernelPath path) {
+  return PathCompiledAndSupported(path);
+}
+
+KernelPath ActiveKernelPath() {
+  return ActivePath().load(std::memory_order_relaxed);
+}
+
+bool SetKernelPath(KernelPath path) {
+  if (!PathCompiledAndSupported(path)) return false;
+  ActivePath().store(path, std::memory_order_relaxed);
+  return true;
+}
+
+bool SetKernelPathByName(std::string_view name) {
+  KernelPath path;
+  if (!ParseKernelPathName(name, &path)) return false;
+  return SetKernelPath(path);
+}
 
 void GemmReference(std::size_t m, std::size_t n, std::size_t k, View a,
                    View b, double* out) {
@@ -173,26 +332,74 @@ void GemmSingleThread(std::size_t m, std::size_t n, std::size_t k, View a,
                       View b, double* out) {
   if (m == 0 || n == 0) return;
   std::fill(out, out + m * n, 0.0);
-  RecordGemm(m, n, k);
   if (UseSmallPath(m, n, k)) {
+    RecordGemm(m, n, k, 1, KernelPath::kScalar, /*small=*/true);
     SmallGemm(0, m, n, k, a, b, out);
-  } else {
-    BlockedGemm(0, m, n, k, a, b, out);
+    return;
   }
+  const KernelPath path = ActiveKernelPath();
+  RecordGemm(m, n, k, 1, path, /*small=*/false);
+  PackBuffers ws;
+  BlockedGemm(0, m, n, k, a, b, out, PathFn(path), ws);
 }
 
 void Gemm(std::size_t m, std::size_t n, std::size_t k, View a, View b,
           double* out) {
   if (m == 0 || n == 0) return;
   std::fill(out, out + m * n, 0.0);
-  RecordGemm(m, n, k);
   if (UseSmallPath(m, n, k)) {
+    RecordGemm(m, n, k, 1, KernelPath::kScalar, /*small=*/true);
     SmallGemm(0, m, n, k, a, b, out);
     return;
   }
+  const KernelPath path = ActiveKernelPath();
+  const MicroKernelFn fn = PathFn(path);
+  RecordGemm(m, n, k, 1, path, /*small=*/false);
+  if (m * n * k < kParallelMinProduct) {
+    PackBuffers ws;
+    BlockedGemm(0, m, n, k, a, b, out, fn, ws);
+    return;
+  }
   parallel::ThreadPool::Default().ParallelFor(
-      0, m, kRowGrain, [n, k, a, b, out](std::size_t lo, std::size_t hi) {
-        BlockedGemm(lo, hi, n, k, a, b, out);
+      0, m, kRowGrain, [n, k, a, b, out, fn](std::size_t lo, std::size_t hi) {
+        PackBuffers ws;
+        BlockedGemm(lo, hi, n, k, a, b, out, fn, ws);
+      });
+}
+
+void GemmBatch(std::size_t m, std::size_t n, std::size_t k,
+               std::span<const GemmBatchItem> items) {
+  if (items.empty() || m == 0 || n == 0) return;
+  // Unlike the single-call path, batch items skip the kSmallProduct
+  // volume test: that cutoff exists to dodge per-call pack-buffer
+  // allocation, which workspace reuse already removes. Only shapes the
+  // tile genuinely cannot help (narrower than one panel, or nearly no k
+  // depth) stay on the i-k-j fast path. Both paths are bit-identical, so
+  // this is a speed decision only.
+  const bool micro = n >= kNr && k >= 8;
+  const KernelPath path = ActiveKernelPath();
+  const MicroKernelFn fn = PathFn(path);
+  RecordGemm(m, n, k, items.size(), path, /*small=*/!micro);
+  // Deterministic partition: items never straddle chunks (grain floors at
+  // 1 whole item), and each chunk sizes to at least the single-call
+  // parallel cutoff's worth of flops so tiny batches stay on the caller's
+  // thread.
+  const std::size_t volume = std::max<std::size_t>(1, m * n * k);
+  const std::size_t grain =
+      std::max<std::size_t>(1, kParallelMinProduct / volume);
+  parallel::ThreadPool::Default().ParallelFor(
+      0, items.size(), grain,
+      [m, n, k, items, fn, micro](std::size_t lo, std::size_t hi) {
+        PackBuffers ws;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const GemmBatchItem& item = items[i];
+          std::fill(item.out, item.out + m * n, 0.0);
+          if (micro) {
+            BlockedGemm(0, m, n, k, item.a, item.b, item.out, fn, ws);
+          } else {
+            SmallGemm(0, m, n, k, item.a, item.b, item.out);
+          }
+        }
       });
 }
 

@@ -2,6 +2,8 @@
 #define TFB_LINALG_GEMM_H_
 
 #include <cstddef>
+#include <span>
+#include <string_view>
 
 /// \file
 /// Blocked, packed, register-tiled GEMM — the compute kernel behind
@@ -15,13 +17,22 @@
 ///
 /// Bit-determinism contract: every kernel in this layer (the retained
 /// naive reference, the small-matrix fast path, the blocked/packed path,
-/// and the row-parallel path) computes each output element as ONE
-/// accumulator updated in ascending-k order with the same `acc += a * b`
-/// expression shape. Blocking and packing reorder memory traffic, never
-/// arithmetic, and the parallel path partitions output rows (each element
-/// still computed whole by one thread) — so all paths, at any thread
-/// count, produce byte-identical results, and linalg_kernels_test holds
-/// them to exact bit equality against GemmReference.
+/// the row-parallel path, and every SIMD micro-kernel) computes each
+/// output element as ONE accumulator updated in ascending-k order with
+/// the same IEEE multiply-then-add expression shape — no FMA (the hot TUs
+/// are built with -ffp-contract=off), no horizontal reductions. Blocking,
+/// packing, and SIMD vectorization across output columns reorder memory
+/// traffic, never arithmetic, and the parallel path partitions output
+/// rows (each element still computed whole by one thread) — so all paths,
+/// at any thread count and on any dispatch path, produce byte-identical
+/// results. linalg_kernels_test holds every runtime path to exact bit
+/// equality against GemmReference.
+///
+/// Runtime dispatch: the 4x8 micro-kernel is selected once per process
+/// from {scalar, avx2, neon} by a CPU probe, overridable with the
+/// TFB_KERNEL environment variable (or the `kernel` pipeline-config key).
+/// An unavailable or unrecognized override falls back to scalar — the
+/// portable baseline — never silently to a different SIMD path.
 
 namespace tfb::linalg::kernel {
 
@@ -33,6 +44,30 @@ struct View {
 
   double at(std::size_t i, std::size_t j) const { return p[i * rs + j * cs]; }
 };
+
+/// Which 4x8 micro-kernel the blocked path runs. All paths are
+/// bit-identical; the choice affects speed only.
+enum class KernelPath { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Lower-case stable name for metrics/logs: "scalar", "avx2", "neon".
+const char* KernelPathName(KernelPath path);
+
+/// True when `path` was compiled into this binary AND the running CPU
+/// supports it. kScalar is always available.
+bool KernelPathAvailable(KernelPath path);
+
+/// The path the next Gemm/GemmBatch call will use. Resolved once on first
+/// use: TFB_KERNEL override if set and available, else the best available
+/// path for this host.
+KernelPath ActiveKernelPath();
+
+/// Force a dispatch path (tests/benches). Returns false — leaving the
+/// active path unchanged — when the path is unavailable on this host.
+bool SetKernelPath(KernelPath path);
+
+/// SetKernelPath by name ("scalar"|"avx2"|"neon", case-sensitive).
+/// Returns false for an unknown name or an unavailable path.
+bool SetKernelPathByName(std::string_view name);
 
 /// out = A(m×k) · B(k×n), out row-major with leading dimension n.
 /// `out` must not alias A or B. Rows [0, m) are fully overwritten.
@@ -52,6 +87,28 @@ void GemmReference(std::size_t m, std::size_t n, std::size_t k, View a,
 /// bench_micro_kernels). Bit-identical to Gemm.
 void GemmSingleThread(std::size_t m, std::size_t n, std::size_t k, View a,
                       View b, double* out);
+
+/// One member of a uniform-shape GEMM batch: out = a(m×k) · b(k×n).
+/// `out` (m*n doubles, row-major, fully overwritten) must not alias any
+/// batch input.
+struct GemmBatchItem {
+  View a;
+  View b;
+  double* out;
+};
+
+/// Computes every item of a uniform-shape batch, bit-identically to
+/// calling Gemm on each item in isolation. The point is amortization for
+/// the many-tiny-matrix DL workloads (GRU gate steps, attention windows,
+/// per-window Dense layers): pack workspaces are reused across the items
+/// a thread-pool chunk owns instead of reallocated per call, dispatch and
+/// metrics cost is paid once per batch, and the batch — not the rows of
+/// one small matrix — is the unit parallelized across the pool. Each item
+/// is computed whole by one thread with the pool's deterministic static
+/// partition, so results are thread-count-invariant like everything else
+/// in this layer.
+void GemmBatch(std::size_t m, std::size_t n, std::size_t k,
+               std::span<const GemmBatchItem> items);
 
 /// out[i] = Σ_k a(i,k) · v[k] for i in [0, m). Row-partitioned across the
 /// thread pool for large m; per-row scalar accumulation order is fixed, so

@@ -1,0 +1,76 @@
+#include "tfb/linalg/gemm_kernels.h"
+
+// AVX2 4x8 micro-kernel. This TU is compiled with -mavx2 (see
+// src/CMakeLists.txt), so it must contain no code that runs before the
+// runtime CPUID probe in gemm.cc says AVX2 is available — everything here
+// is behind the function pointer returned by Avx2MicroKernel().
+//
+// Bit-equality with the scalar kernel: each of the 4 tile rows keeps its
+// 8 accumulators in two __m256d registers. Per k step we broadcast
+// a[r], multiply by the packed B row, and add — _mm256_mul_pd followed by
+// _mm256_add_pd, never _mm256_fmadd_pd, and the TU is built with
+// -ffp-contract=off so the compiler cannot fuse them back. Lane j of the
+// accumulator therefore performs exactly the scalar sequence
+// acc[r][j] += a[r] * b[j] in ascending-k order: same operations, same
+// order, same IEEE rounding — byte-identical results.
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace tfb::linalg::kernel::detail {
+namespace {
+
+void MicroKernelAvx2(std::size_t kc, const double* ap, const double* bp,
+                     double* c, std::size_t ldc) {
+  __m256d acc0l = _mm256_loadu_pd(c + 0 * ldc);
+  __m256d acc0h = _mm256_loadu_pd(c + 0 * ldc + 4);
+  __m256d acc1l = _mm256_loadu_pd(c + 1 * ldc);
+  __m256d acc1h = _mm256_loadu_pd(c + 1 * ldc + 4);
+  __m256d acc2l = _mm256_loadu_pd(c + 2 * ldc);
+  __m256d acc2h = _mm256_loadu_pd(c + 2 * ldc + 4);
+  __m256d acc3l = _mm256_loadu_pd(c + 3 * ldc);
+  __m256d acc3h = _mm256_loadu_pd(c + 3 * ldc + 4);
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const double* arow = ap + kk * kMicroMr;
+    const double* brow = bp + kk * kMicroNr;
+    const __m256d bl = _mm256_loadu_pd(brow);
+    const __m256d bh = _mm256_loadu_pd(brow + 4);
+    __m256d ar = _mm256_broadcast_sd(arow + 0);
+    acc0l = _mm256_add_pd(acc0l, _mm256_mul_pd(ar, bl));
+    acc0h = _mm256_add_pd(acc0h, _mm256_mul_pd(ar, bh));
+    ar = _mm256_broadcast_sd(arow + 1);
+    acc1l = _mm256_add_pd(acc1l, _mm256_mul_pd(ar, bl));
+    acc1h = _mm256_add_pd(acc1h, _mm256_mul_pd(ar, bh));
+    ar = _mm256_broadcast_sd(arow + 2);
+    acc2l = _mm256_add_pd(acc2l, _mm256_mul_pd(ar, bl));
+    acc2h = _mm256_add_pd(acc2h, _mm256_mul_pd(ar, bh));
+    ar = _mm256_broadcast_sd(arow + 3);
+    acc3l = _mm256_add_pd(acc3l, _mm256_mul_pd(ar, bl));
+    acc3h = _mm256_add_pd(acc3h, _mm256_mul_pd(ar, bh));
+  }
+  _mm256_storeu_pd(c + 0 * ldc, acc0l);
+  _mm256_storeu_pd(c + 0 * ldc + 4, acc0h);
+  _mm256_storeu_pd(c + 1 * ldc, acc1l);
+  _mm256_storeu_pd(c + 1 * ldc + 4, acc1h);
+  _mm256_storeu_pd(c + 2 * ldc, acc2l);
+  _mm256_storeu_pd(c + 2 * ldc + 4, acc2h);
+  _mm256_storeu_pd(c + 3 * ldc, acc3l);
+  _mm256_storeu_pd(c + 3 * ldc + 4, acc3h);
+}
+
+}  // namespace
+
+MicroKernelFn Avx2MicroKernel() { return &MicroKernelAvx2; }
+
+}  // namespace tfb::linalg::kernel::detail
+
+#else  // !defined(__AVX2__)
+
+namespace tfb::linalg::kernel::detail {
+
+MicroKernelFn Avx2MicroKernel() { return nullptr; }
+
+}  // namespace tfb::linalg::kernel::detail
+
+#endif

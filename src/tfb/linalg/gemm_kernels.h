@@ -1,0 +1,44 @@
+#ifndef TFB_LINALG_GEMM_KERNELS_H_
+#define TFB_LINALG_GEMM_KERNELS_H_
+
+#include <cstddef>
+
+/// \file
+/// Internal contract between gemm.cc and the per-ISA micro-kernel TUs
+/// (gemm_avx2.cc, gemm_neon.cc). Not installed; include only from
+/// tfb/linalg sources.
+///
+/// Every micro-kernel implements the same kMicroMr×kMicroNr register tile
+/// over k-major packed panels (ap[kk*kMicroMr + r], bp[kk*kMicroNr + j]),
+/// resumes the partial sums already in `c`, and updates each accumulator
+/// in ascending-k order with an IEEE multiply followed by an IEEE add —
+/// no FMA, no horizontal reduction, no reassociation. The SIMD variants
+/// vectorize ONLY across the kNr output columns (independent
+/// accumulators), so every output element still sees the exact scalar
+/// addition order and all paths are byte-identical. Each ISA TU is built
+/// with -ffp-contract=off so the compiler cannot re-fuse the separate
+/// mul/add intrinsics either.
+
+namespace tfb::linalg::kernel::detail {
+
+// Register tile shared by every path. gemm.cc packs panels to exactly
+// these dimensions.
+inline constexpr std::size_t kMicroMr = 4;
+inline constexpr std::size_t kMicroNr = 8;
+
+/// One k-block of a kMicroMr×kMicroNr tile: c[r*ldc + j] (+)= ap · bp.
+using MicroKernelFn = void (*)(std::size_t kc, const double* ap,
+                               const double* bp, double* c, std::size_t ldc);
+
+/// AVX2 kernel, or nullptr when this binary was not compiled with AVX2
+/// support. The caller must additionally check the CPU at runtime
+/// (__builtin_cpu_supports) before invoking the returned pointer.
+MicroKernelFn Avx2MicroKernel();
+
+/// NEON (aarch64) kernel, or nullptr when not compiled in. NEON is
+/// baseline on aarch64, so a non-null pointer is always safe to call.
+MicroKernelFn NeonMicroKernel();
+
+}  // namespace tfb::linalg::kernel::detail
+
+#endif  // TFB_LINALG_GEMM_KERNELS_H_

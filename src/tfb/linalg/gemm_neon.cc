@@ -1,0 +1,55 @@
+#include "tfb/linalg/gemm_kernels.h"
+
+// NEON (aarch64) 4x8 micro-kernel. float64x2_t is two doubles, so each
+// tile row carries its 8 accumulators in four vector registers — 16 of
+// the 32 NEON registers hold the tile, leaving room for the A broadcast
+// and B row loads.
+//
+// Bit-equality with the scalar kernel: vmulq_f64 + vaddq_f64 (never
+// vfmaq_f64), TU built with -ffp-contract=off, vectorized only across
+// output columns — each lane runs the scalar acc += a*b sequence in
+// ascending-k order. NEON is baseline on aarch64; no runtime probe needed.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace tfb::linalg::kernel::detail {
+namespace {
+
+void MicroKernelNeon(std::size_t kc, const double* ap, const double* bp,
+                     double* c, std::size_t ldc) {
+  float64x2_t acc[kMicroMr][4];
+  for (std::size_t r = 0; r < kMicroMr; ++r)
+    for (std::size_t q = 0; q < 4; ++q)
+      acc[r][q] = vld1q_f64(c + r * ldc + 2 * q);
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const double* arow = ap + kk * kMicroMr;
+    const double* brow = bp + kk * kMicroNr;
+    float64x2_t b[4];
+    for (std::size_t q = 0; q < 4; ++q) b[q] = vld1q_f64(brow + 2 * q);
+    for (std::size_t r = 0; r < kMicroMr; ++r) {
+      const float64x2_t ar = vdupq_n_f64(arow[r]);
+      for (std::size_t q = 0; q < 4; ++q)
+        acc[r][q] = vaddq_f64(acc[r][q], vmulq_f64(ar, b[q]));
+    }
+  }
+  for (std::size_t r = 0; r < kMicroMr; ++r)
+    for (std::size_t q = 0; q < 4; ++q) vst1q_f64(c + r * ldc + 2 * q, acc[r][q]);
+}
+
+}  // namespace
+
+MicroKernelFn NeonMicroKernel() { return &MicroKernelNeon; }
+
+}  // namespace tfb::linalg::kernel::detail
+
+#else  // !defined(__aarch64__)
+
+namespace tfb::linalg::kernel::detail {
+
+MicroKernelFn NeonMicroKernel() { return nullptr; }
+
+}  // namespace tfb::linalg::kernel::detail
+
+#endif

@@ -1,8 +1,10 @@
 #include "tfb/nn/attention.h"
 
 #include <cmath>
+#include <vector>
 
 #include "tfb/base/check.h"
+#include "tfb/linalg/gemm.h"
 
 namespace tfb::nn {
 
@@ -28,6 +30,12 @@ SelfAttention::SelfAttention(std::size_t dim, std::size_t tokens,
       wv_(ScaledInit(dim, dim, rng)),
       wo_(ScaledInit(dim, dim, rng)) {}
 
+// The per-window products below all go through kernel::GemmBatch: every
+// window is a tiny GEMM (tokens×tokens×dim class), so one batched call
+// amortizes packing/dispatch across the whole batch instead of paying it
+// per window. Each output element keeps the exact ascending-k scalar
+// accumulation order of the loops this replaced — bit-identical results.
+
 linalg::Matrix SelfAttention::Forward(const linalg::Matrix& x, bool) {
   TFB_CHECK(x.cols() == dim_);
   TFB_CHECK(x.rows() % tokens_ == 0);
@@ -41,18 +49,23 @@ linalg::Matrix SelfAttention::Forward(const linalg::Matrix& x, bool) {
   attn_cache_ = linalg::Matrix(x.rows(), tokens_);
   context_cache_ = linalg::Matrix(x.rows(), dim_);
 
+  // scores(i, j) = q_i . k_j per window: A = Q_b, B = K_b^T (stride swap).
+  std::vector<linalg::kernel::GemmBatchItem> items(batch);
   for (std::size_t b = 0; b < batch; ++b) {
     const std::size_t base = b * tokens_;
-    // scores(i, j) = q_i . k_j * scale; softmax over j; context = A V.
+    items[b] = {{q_cache_.row(base), dim_, 1},
+                {k_cache_.row(base), 1, dim_},
+                attn_cache_.row(base)};
+  }
+  linalg::kernel::GemmBatch(tokens_, tokens_, dim_, items);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t base = b * tokens_;
     for (std::size_t i = 0; i < tokens_; ++i) {
       double* arow = attn_cache_.row(base + i);
-      const double* qi = q_cache_.row(base + i);
       double max_score = -1e300;
       for (std::size_t j = 0; j < tokens_; ++j) {
-        double s = 0.0;
-        const double* kj = k_cache_.row(base + j);
-        for (std::size_t c = 0; c < dim_; ++c) s += qi[c] * kj[c];
-        s *= scale;
+        const double s = arow[j] * scale;
         arow[j] = s;
         max_score = std::max(max_score, s);
       }
@@ -63,14 +76,18 @@ linalg::Matrix SelfAttention::Forward(const linalg::Matrix& x, bool) {
         denom += e;
       }
       for (std::size_t j = 0; j < tokens_; ++j) arow[j] /= denom;
-      double* ctx = context_cache_.row(base + i);
-      for (std::size_t j = 0; j < tokens_; ++j) {
-        const double a = arow[j];
-        const double* vj = v_cache_.row(base + j);
-        for (std::size_t c = 0; c < dim_; ++c) ctx[c] += a * vj[c];
-      }
     }
   }
+
+  // context = A V per window (k = tokens, ascending j accumulation).
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t base = b * tokens_;
+    items[b] = {{attn_cache_.row(base), tokens_, 1},
+                {v_cache_.row(base), dim_, 1},
+                context_cache_.row(base)};
+  }
+  linalg::kernel::GemmBatch(tokens_, dim_, tokens_, items);
+
   linalg::Matrix out = linalg::MatMul(context_cache_, wo_.value);
   out += x;  // residual
   return out;
@@ -90,43 +107,58 @@ linalg::Matrix SelfAttention::Backward(const linalg::Matrix& grad_output) {
   linalg::Matrix grad_q(x_cache_.rows(), dim_);
   linalg::Matrix grad_k(x_cache_.rows(), dim_);
   linalg::Matrix grad_v(x_cache_.rows(), dim_);
+  linalg::Matrix grad_attn(x_cache_.rows(), tokens_);
 
-  std::vector<double> grad_attn(tokens_);
+  std::vector<linalg::kernel::GemmBatchItem> items(batch);
+
+  // dA(i, j) = dContext_i . v_j per window: dContext_b · V_b^T.
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t base = b * tokens_;
+    items[b] = {{grad_context.row(base), dim_, 1},
+                {v_cache_.row(base), 1, dim_},
+                grad_attn.row(base)};
+  }
+  linalg::kernel::GemmBatch(tokens_, tokens_, dim_, items);
+
+  // dV = A^T · dContext per window (ascending-i accumulation, as the
+  // i-outer scalar loop this replaced).
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t base = b * tokens_;
+    items[b] = {{attn_cache_.row(base), 1, tokens_},
+                {grad_context.row(base), dim_, 1},
+                grad_v.row(base)};
+  }
+  linalg::kernel::GemmBatch(tokens_, dim_, tokens_, items);
+
+  // Softmax backward, in place on dA: gs = a * (dA - dot) * scale.
   for (std::size_t b = 0; b < batch; ++b) {
     const std::size_t base = b * tokens_;
     for (std::size_t i = 0; i < tokens_; ++i) {
-      // dA(i, j) = dContext_i . v_j ; dV_j += A(i,j) * dContext_i.
-      const double* gctx = grad_context.row(base + i);
+      double* grow = grad_attn.row(base + i);
       const double* arow = attn_cache_.row(base + i);
-      for (std::size_t j = 0; j < tokens_; ++j) {
-        const double* vj = v_cache_.row(base + j);
-        double s = 0.0;
-        for (std::size_t c = 0; c < dim_; ++c) s += gctx[c] * vj[c];
-        grad_attn[j] = s;
-        double* gv = grad_v.row(base + j);
-        const double a = arow[j];
-        for (std::size_t c = 0; c < dim_; ++c) gv[c] += a * gctx[c];
-      }
-      // Softmax backward for row i.
       double dot = 0.0;
       for (std::size_t j = 0; j < tokens_; ++j) {
-        dot += grad_attn[j] * arow[j];
+        dot += grow[j] * arow[j];
       }
       for (std::size_t j = 0; j < tokens_; ++j) {
-        const double a = arow[j];
-        const double gs = a * (grad_attn[j] - dot) * scale;
-        // dQ_i += gs * k_j ; dK_j += gs * q_i.
-        double* gq = grad_q.row(base + i);
-        double* gk = grad_k.row(base + j);
-        const double* kj = k_cache_.row(base + j);
-        const double* qi = q_cache_.row(base + i);
-        for (std::size_t c = 0; c < dim_; ++c) {
-          gq[c] += gs * kj[c];
-          gk[c] += gs * qi[c];
-        }
+        grow[j] = arow[j] * (grow[j] - dot) * scale;
       }
     }
   }
+
+  // dQ = GS · K and dK = GS^T · Q share one shape — a single 2*batch
+  // batched call.
+  std::vector<linalg::kernel::GemmBatchItem> qk(2 * batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t base = b * tokens_;
+    qk[2 * b] = {{grad_attn.row(base), tokens_, 1},
+                 {k_cache_.row(base), dim_, 1},
+                 grad_q.row(base)};
+    qk[2 * b + 1] = {{grad_attn.row(base), 1, tokens_},
+                     {q_cache_.row(base), dim_, 1},
+                     grad_k.row(base)};
+  }
+  linalg::kernel::GemmBatch(tokens_, dim_, tokens_, qk);
 
   wq_.grad += linalg::MatTMul(x_cache_, grad_q);
   wk_.grad += linalg::MatTMul(x_cache_, grad_k);

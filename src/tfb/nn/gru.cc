@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tfb/base/check.h"
+#include "tfb/linalg/gemm.h"
 
 namespace tfb::nn {
 
@@ -55,9 +56,14 @@ linalg::Matrix GruLayer::Forward(const linalg::Matrix& x, bool) {
 
   for (std::size_t t = 0; t < seq_len_; ++t) {
     const linalg::Matrix& h_prev = h_cache_[t];
-    // Recurrent contributions.
-    const linalg::Matrix hz = linalg::MatMul(h_prev, uz_.value);
-    const linalg::Matrix hr = linalg::MatMul(h_prev, ur_.value);
+    // Recurrent contributions: both gates consume the same h_prev, so one
+    // batched call packs it once (bit-identical to two MatMul calls).
+    linalg::Matrix hz(batch, hidden_);
+    linalg::Matrix hr(batch, hidden_);
+    const linalg::kernel::GemmBatchItem gate_items[2] = {
+        {{h_prev.data(), hidden_, 1}, {uz_.value.data(), hidden_, 1}, hz.data()},
+        {{h_prev.data(), hidden_, 1}, {ur_.value.data(), hidden_, 1}, hr.data()}};
+    linalg::kernel::GemmBatch(batch, hidden_, hidden_, gate_items);
     // Fused gate pass: z, r, and the reset-gated state in one sweep.
     linalg::Matrix gated(batch, hidden_);
     for (std::size_t b = 0; b < batch; ++b) {
@@ -146,11 +152,26 @@ linalg::Matrix GruLayer::Backward(const linalg::Matrix& grad_output) {
         drrow[j] = dgrow[j] * hprow[j] * rj * (1.0 - rj);
       }
     }
-    // Gate paths through the recurrent weights.
-    uz_.grad += linalg::MatTMul(h_prev, dz_pre);
-    ur_.grad += linalg::MatTMul(h_prev, dr_pre);
-    dh_prev += linalg::MatMulT(dz_pre, uz_.value);
-    dh_prev += linalg::MatMulT(dr_pre, ur_.value);
+    // Gate paths through the recurrent weights: the z/r products share a
+    // shape pairwise, so each pair runs as one batched call into
+    // scratches, then accumulates — same per-element sums and the same
+    // += order as the unbatched MatTMul/MatMulT calls this replaced.
+    linalg::Matrix guz(hidden_, hidden_);
+    linalg::Matrix gur(hidden_, hidden_);
+    const linalg::kernel::GemmBatchItem ugrad_items[2] = {
+        {{h_prev.data(), 1, hidden_}, {dz_pre.data(), hidden_, 1}, guz.data()},
+        {{h_prev.data(), 1, hidden_}, {dr_pre.data(), hidden_, 1}, gur.data()}};
+    linalg::kernel::GemmBatch(hidden_, hidden_, batch, ugrad_items);
+    uz_.grad += guz;
+    ur_.grad += gur;
+    linalg::Matrix dgz(batch, hidden_);
+    linalg::Matrix dgr(batch, hidden_);
+    const linalg::kernel::GemmBatchItem hgrad_items[2] = {
+        {{dz_pre.data(), hidden_, 1}, {uz_.value.data(), 1, hidden_}, dgz.data()},
+        {{dr_pre.data(), hidden_, 1}, {ur_.value.data(), 1, hidden_}, dgr.data()}};
+    linalg::kernel::GemmBatch(batch, hidden_, hidden_, hgrad_items);
+    dh_prev += dgz;
+    dh_prev += dgr;
 
     // Input weights, biases, and the scalar input gradient.
     double* wzg = wz_.grad.data();

@@ -126,6 +126,11 @@ std::optional<BenchmarkConfig> ParseConfig(const std::string& text,
       config.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "num_threads") {
       config.num_threads = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "kernel") {
+      if (value != "scalar" && value != "avx2" && value != "neon") {
+        return fail("kernel must be scalar, avx2, or neon");
+      }
+      config.kernel = value;
     } else if (key == "max_length") {
       config.max_length = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "max_dim") {
@@ -296,6 +301,7 @@ std::string ConfigToString(const BenchmarkConfig& config) {
   os << "train_epochs = " << config.train_epochs << '\n';
   os << "seed = " << config.seed << '\n';
   os << "num_threads = " << config.num_threads << '\n';
+  if (!config.kernel.empty()) os << "kernel = " << config.kernel << '\n';
   os << "max_length = " << config.max_length << '\n';
   os << "max_dim = " << config.max_dim << '\n';
   os << "deadline_seconds = " << config.deadline_seconds << '\n';

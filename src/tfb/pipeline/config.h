@@ -44,6 +44,13 @@ struct BenchmarkConfig {
   int train_epochs = 10;
   std::uint64_t seed = 7;
   std::size_t num_threads = 1;
+  /// GEMM micro-kernel dispatch path ("kernel = scalar|avx2|neon"; CLI
+  /// `--kernel=`). "" = auto: the TFB_KERNEL environment override if set,
+  /// else the best path the CPU probe finds. A requested path that is
+  /// unavailable on the running host falls back to scalar with a warning —
+  /// never silently to a different SIMD path. All paths are bit-identical;
+  /// this knob only pins the speed story (see tfb/linalg/gemm.h).
+  std::string kernel;
   /// CPU scaling caps applied to registry datasets.
   std::size_t max_length = 900;
   std::size_t max_dim = 6;

@@ -1,0 +1,209 @@
+// Golden-value regression suite for the fused catch22 engine: Catch22()
+// (fused single-pass) must match Catch22Reference() (every feature
+// computed independently from the raw series) bit for bit, per feature,
+// across a grid of lengths, degenerate shapes, and non-finite inputs.
+// The contract (documented in catch22.h) is exact bitwise equality, with
+// NaN compared as a class — when the reference produces NaN for a
+// NaN-bearing input, the fused engine must produce NaN too.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "tfb/characterization/catch22.h"
+#include "tfb/characterization/features.h"
+#include "tfb/parallel/thread_pool.h"
+#include "tfb/stats/rng.h"
+#include "tfb/ts/time_series.h"
+
+namespace tfb::characterization {
+namespace {
+
+class PoolGuard {
+ public:
+  PoolGuard() = default;
+  ~PoolGuard() {
+    parallel::ThreadPool::Default().Resize(parallel::HardwareThreads() - 1);
+  }
+};
+
+bool BitEqualOrBothNan(double a, double b) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void ExpectFusedMatchesReference(std::span<const double> x,
+                                 const std::string& label) {
+  const auto fused = Catch22(x);
+  const auto ref = Catch22Reference(x);
+  const auto& names = Catch22FeatureNames();
+  for (std::size_t i = 0; i < kNumCatch22Features; ++i) {
+    EXPECT_TRUE(BitEqualOrBothNan(fused[i], ref[i]))
+        << label << " n=" << x.size() << " feature " << i << " ("
+        << names[i] << "): fused=" << fused[i] << " ref=" << ref[i];
+  }
+}
+
+std::vector<double> SeasonalTrend(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = 3.0 * std::sin(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+           0.01 * static_cast<double>(t) + rng.Gaussian(0.0, 0.5);
+  }
+  return x;
+}
+
+std::vector<double> Ar1(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  double prev = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    prev = 0.8 * prev + rng.Gaussian(0.0, 1.0);
+    x[t] = prev;
+  }
+  return x;
+}
+
+std::vector<double> RandomWalk(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> x(n);
+  double acc = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    acc += rng.Gaussian(0.0, 1.0);
+    x[t] = acc;
+  }
+  return x;
+}
+
+TEST(Catch22Fused, MatchesReferenceAcrossLengthGrid) {
+  // 0/1/2, small odds, primes, powers of two, and long series; every
+  // generator family at every length.
+  const std::size_t lengths[] = {0,  1,  2,   3,   5,   7,   8,    9,
+                                 13, 17, 31,  64,  97,  128, 257,  499,
+                                 512, 1000, 2048, 4999};
+  for (std::size_t n : lengths) {
+    ExpectFusedMatchesReference(SeasonalTrend(n, 1), "seasonal_trend");
+    ExpectFusedMatchesReference(Ar1(n, 2), "ar1");
+    ExpectFusedMatchesReference(RandomWalk(n, 3), "random_walk");
+  }
+}
+
+TEST(Catch22Fused, ShortSeriesYieldZerosOnBothPaths) {
+  const auto x = Ar1(7, 4);
+  const auto fused = Catch22(x);
+  const auto ref = Catch22Reference(x);
+  for (std::size_t i = 0; i < kNumCatch22Features; ++i) {
+    EXPECT_EQ(fused[i], 0.0);
+    EXPECT_EQ(ref[i], 0.0);
+  }
+}
+
+TEST(Catch22Fused, ConstantSeriesYieldZerosOnBothPaths) {
+  for (double v : {0.0, -3.5, 1e12}) {
+    const std::vector<double> x(64, v);
+    const auto fused = Catch22(x);
+    const auto ref = Catch22Reference(x);
+    for (std::size_t i = 0; i < kNumCatch22Features; ++i) {
+      EXPECT_EQ(fused[i], 0.0) << "constant " << v << " feature " << i;
+      EXPECT_EQ(ref[i], 0.0) << "constant " << v << " feature " << i;
+    }
+  }
+}
+
+TEST(Catch22Fused, NearConstantSeries) {
+  // Variance sits around the 1e-15 guard: both paths must take the same
+  // branch and produce identical values.
+  std::vector<double> x(100, 1.0);
+  x[50] = 1.0 + 1e-7;
+  ExpectFusedMatchesReference(x, "near_constant");
+}
+
+TEST(Catch22Fused, NanBearingSeries) {
+  auto x = Ar1(200, 5);
+  x[17] = std::numeric_limits<double>::quiet_NaN();
+  ExpectFusedMatchesReference(x, "one_nan");
+
+  auto y = SeasonalTrend(100, 6);
+  y[0] = std::numeric_limits<double>::quiet_NaN();
+  y[99] = std::numeric_limits<double>::quiet_NaN();
+  ExpectFusedMatchesReference(y, "nan_endpoints");
+
+  const std::vector<double> all_nan(
+      32, std::numeric_limits<double>::quiet_NaN());
+  ExpectFusedMatchesReference(all_nan, "all_nan");
+}
+
+TEST(Catch22Fused, InfinityBearingSeries) {
+  auto x = Ar1(150, 7);
+  x[10] = std::numeric_limits<double>::infinity();
+  ExpectFusedMatchesReference(x, "pos_inf");
+
+  auto y = Ar1(150, 8);
+  y[20] = -std::numeric_limits<double>::infinity();
+  ExpectFusedMatchesReference(y, "neg_inf");
+
+  auto z = Ar1(150, 9);
+  z[30] = std::numeric_limits<double>::infinity();
+  z[40] = -std::numeric_limits<double>::infinity();
+  ExpectFusedMatchesReference(z, "both_inf");
+}
+
+TEST(Catch22Fused, ExtremeScalesMatch) {
+  for (double scale : {1e-12, 1e12}) {
+    auto x = Ar1(300, 10);
+    for (double& v : x) v *= scale;
+    ExpectFusedMatchesReference(x, "scaled");
+  }
+}
+
+bool SameCharacteristics(const Characteristics& a, const Characteristics& b) {
+  return BitEqualOrBothNan(a.trend, b.trend) &&
+         BitEqualOrBothNan(a.seasonality, b.seasonality) &&
+         BitEqualOrBothNan(a.shifting, b.shifting) &&
+         BitEqualOrBothNan(a.transition, b.transition) &&
+         BitEqualOrBothNan(a.correlation, b.correlation) &&
+         BitEqualOrBothNan(a.stationarity_fraction, b.stationarity_fraction) &&
+         a.stationary == b.stationary;
+}
+
+TEST(CharacterizeBatch, MatchesSerialCharacterizeBitwise) {
+  std::vector<ts::TimeSeries> collection;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    collection.push_back(
+        ts::TimeSeries::Univariate(SeasonalTrend(200 + 37 * seed, seed)));
+  }
+  const auto batch = CharacterizeBatch(collection);
+  ASSERT_EQ(batch.size(), collection.size());
+  for (std::size_t i = 0; i < collection.size(); ++i) {
+    const Characteristics serial = Characterize(collection[i]);
+    EXPECT_TRUE(SameCharacteristics(batch[i], serial)) << "series " << i;
+  }
+}
+
+TEST(CharacterizeBatch, ThreadCountDoesNotChangeResults) {
+  PoolGuard guard;
+  std::vector<ts::TimeSeries> collection;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    collection.push_back(
+        ts::TimeSeries::Univariate(Ar1(150 + 11 * seed, seed)));
+  }
+  parallel::ThreadPool::Default().Resize(0);  // 1 lane: inline execution
+  const auto lanes1 = CharacterizeBatch(collection);
+  parallel::ThreadPool::Default().Resize(7);  // 8 lanes
+  const auto lanes8 = CharacterizeBatch(collection);
+  ASSERT_EQ(lanes1.size(), lanes8.size());
+  for (std::size_t i = 0; i < lanes1.size(); ++i) {
+    EXPECT_TRUE(SameCharacteristics(lanes1[i], lanes8[i])) << "series " << i;
+  }
+}
+
+TEST(CharacterizeBatch, EmptyCollection) {
+  EXPECT_TRUE(CharacterizeBatch({}).empty());
+}
+
+}  // namespace
+}  // namespace tfb::characterization

@@ -185,6 +185,218 @@ TEST(GemmKernels, DegenerateShapesAreZeroFilled) {
   }
 }
 
+/// Restores whatever dispatch path was active before a test forced one.
+class KernelPathGuard {
+ public:
+  KernelPathGuard() : saved_(kernel::ActiveKernelPath()) {}
+  ~KernelPathGuard() { kernel::SetKernelPath(saved_); }
+
+ private:
+  kernel::KernelPath saved_;
+};
+
+std::vector<kernel::KernelPath> AvailablePaths() {
+  std::vector<kernel::KernelPath> paths;
+  for (kernel::KernelPath p :
+       {kernel::KernelPath::kScalar, kernel::KernelPath::kAvx2,
+        kernel::KernelPath::kNeon}) {
+    if (kernel::KernelPathAvailable(p)) paths.push_back(p);
+  }
+  return paths;
+}
+
+TEST(GemmDispatch, ScalarPathIsAlwaysAvailable) {
+  EXPECT_TRUE(kernel::KernelPathAvailable(kernel::KernelPath::kScalar));
+  // At most one SIMD family can be live on a given host.
+  EXPECT_FALSE(kernel::KernelPathAvailable(kernel::KernelPath::kAvx2) &&
+               kernel::KernelPathAvailable(kernel::KernelPath::kNeon));
+}
+
+TEST(GemmDispatch, EveryAvailablePathIsBitEqualOnShapeGrid) {
+  // The memcmp shape sweep, repeated on every micro-kernel this host can
+  // run: tile-edge dims exercise the zero-filled packing edges of each
+  // SIMD path, and the larger shapes cross the blocked-path threshold.
+  KernelPathGuard guard;
+  for (kernel::KernelPath path : AvailablePaths()) {
+    ASSERT_TRUE(kernel::SetKernelPath(path));
+    ASSERT_EQ(kernel::ActiveKernelPath(), path);
+    const std::size_t dims[] = {1, 3, 4, 5, 7, 8, 9, 17, 33};
+    std::uint64_t seed = 5000 + 1000 * static_cast<std::uint64_t>(path);
+    for (std::size_t m : dims)
+      for (std::size_t n : dims)
+        for (std::size_t k : dims) CheckShape(m, n, k, seed++);
+    CheckShape(128, 96, 300, seed++);
+    CheckShape(67, 257, 311, seed++);
+    CheckShape(1, 640, 640, seed++);
+  }
+}
+
+TEST(GemmDispatch, AllPathsProduceIdenticalBytes) {
+  // Cross-path equality on a blocked-size product: whatever the probe
+  // picked must equal the scalar baseline byte for byte.
+  KernelPathGuard guard;
+  const std::size_t m = 257, n = 129, k = 167;
+  const Matrix a = RandomMatrix(m, k, 41);
+  const Matrix b = RandomMatrix(k, n, 42);
+  ASSERT_TRUE(kernel::SetKernelPath(kernel::KernelPath::kScalar));
+  const Matrix scalar_out = MatMul(a, b);
+  for (kernel::KernelPath path : AvailablePaths()) {
+    ASSERT_TRUE(kernel::SetKernelPath(path));
+    const Matrix out = MatMul(a, b);
+    EXPECT_TRUE(BitEqual(scalar_out.data(), out.data(), scalar_out.size()))
+        << "path " << kernel::KernelPathName(path)
+        << " diverged from scalar";
+  }
+}
+
+TEST(GemmDispatch, SetKernelPathByNameContract) {
+  KernelPathGuard guard;
+  ASSERT_TRUE(kernel::SetKernelPathByName("scalar"));
+  EXPECT_EQ(kernel::ActiveKernelPath(), kernel::KernelPath::kScalar);
+
+  // Unknown names fail and leave the active path untouched.
+  EXPECT_FALSE(kernel::SetKernelPathByName("bogus"));
+  EXPECT_FALSE(kernel::SetKernelPathByName("AVX2"));  // case-sensitive
+  EXPECT_FALSE(kernel::SetKernelPathByName(""));
+  EXPECT_EQ(kernel::ActiveKernelPath(), kernel::KernelPath::kScalar);
+
+  // Named SIMD paths succeed exactly when the host supports them; an
+  // unavailable path must not change the active path.
+  for (kernel::KernelPath p :
+       {kernel::KernelPath::kAvx2, kernel::KernelPath::kNeon}) {
+    const bool ok = kernel::SetKernelPathByName(kernel::KernelPathName(p));
+    EXPECT_EQ(ok, kernel::KernelPathAvailable(p));
+    EXPECT_EQ(kernel::ActiveKernelPath(),
+              ok ? p : kernel::KernelPath::kScalar);
+    ASSERT_TRUE(kernel::SetKernelPathByName("scalar"));
+  }
+}
+
+TEST(GemmBatch, BitEqualToPerItemGemmAcrossShapesAndPaths) {
+  // Uniform-shape batches must match per-item Gemm (and hence the naive
+  // reference) bitwise on every dispatch path, including shapes that take
+  // the small path (n < kNr or k < 8) and strided (transposed) views.
+  KernelPathGuard guard;
+  const struct {
+    std::size_t m, n, k, count;
+  } cases[] = {
+      {4, 8, 8, 3},    {32, 32, 32, 16}, {7, 5, 9, 4},
+      {16, 16, 4, 6},  {64, 48, 32, 9},  {1, 12, 300, 5},
+      {33, 17, 65, 2}, {8, 8, 8, 1},
+  };
+  for (kernel::KernelPath path : AvailablePaths()) {
+    ASSERT_TRUE(kernel::SetKernelPath(path));
+    std::uint64_t seed = 9000 + 1000 * static_cast<std::uint64_t>(path);
+    for (const auto& c : cases) {
+      std::vector<Matrix> as, bs;
+      as.reserve(c.count);
+      bs.reserve(c.count);
+      for (std::size_t i = 0; i < c.count; ++i) {
+        as.push_back(RandomMatrix(c.m, c.k, seed++));
+        bs.push_back(RandomMatrix(c.k, c.n, seed++));
+      }
+      std::vector<double> batch_out(c.count * c.m * c.n, -1.0);
+      std::vector<kernel::GemmBatchItem> items(c.count);
+      for (std::size_t i = 0; i < c.count; ++i) {
+        items[i] = {{as[i].data(), c.k, 1},
+                    {bs[i].data(), c.n, 1},
+                    batch_out.data() + i * c.m * c.n};
+      }
+      kernel::GemmBatch(c.m, c.n, c.k, items);
+      std::vector<double> want(c.m * c.n);
+      for (std::size_t i = 0; i < c.count; ++i) {
+        kernel::Gemm(c.m, c.n, c.k, items[i].a, items[i].b, want.data());
+        EXPECT_TRUE(BitEqual(batch_out.data() + i * c.m * c.n, want.data(),
+                             want.size()))
+            << "GemmBatch item " << i << " diverged from Gemm at m=" << c.m
+            << " n=" << c.n << " k=" << c.k << " on path "
+            << kernel::KernelPathName(path);
+        kernel::GemmReference(c.m, c.n, c.k, items[i].a, items[i].b,
+                              want.data());
+        EXPECT_TRUE(BitEqual(batch_out.data() + i * c.m * c.n, want.data(),
+                             want.size()))
+            << "GemmBatch item " << i << " diverged from the reference";
+      }
+    }
+  }
+}
+
+TEST(GemmBatch, StridedViewsMatchReference) {
+  // Transposed operands through non-unit strides, as the nn backward
+  // passes submit them.
+  const std::size_t m = 24, n = 16, k = 32, count = 6;
+  std::vector<Matrix> ats, bts;
+  std::uint64_t seed = 12000;
+  for (std::size_t i = 0; i < count; ++i) {
+    ats.push_back(RandomMatrix(k, m, seed++));  // A supplied as k×m
+    bts.push_back(RandomMatrix(n, k, seed++));  // B supplied as n×k
+  }
+  std::vector<double> batch_out(count * m * n);
+  std::vector<kernel::GemmBatchItem> items(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    items[i] = {{ats[i].data(), 1, m},
+                {bts[i].data(), 1, k},
+                batch_out.data() + i * m * n};
+  }
+  kernel::GemmBatch(m, n, k, items);
+  std::vector<double> want(m * n);
+  for (std::size_t i = 0; i < count; ++i) {
+    kernel::GemmReference(m, n, k, items[i].a, items[i].b, want.data());
+    EXPECT_TRUE(
+        BitEqual(batch_out.data() + i * m * n, want.data(), want.size()))
+        << "strided GemmBatch item " << i;
+  }
+}
+
+TEST(GemmBatch, ThreadCountDoesNotChangeBytes) {
+  PoolGuard guard;
+  const std::size_t m = 32, n = 32, k = 32, count = 64;
+  std::vector<Matrix> as, bs;
+  std::uint64_t seed = 13000;
+  for (std::size_t i = 0; i < count; ++i) {
+    as.push_back(RandomMatrix(m, k, seed++));
+    bs.push_back(RandomMatrix(k, n, seed++));
+  }
+  const auto run = [&](std::size_t workers) {
+    parallel::ThreadPool::Default().Resize(workers);
+    std::vector<double> out(count * m * n);
+    std::vector<kernel::GemmBatchItem> items(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      items[i] = {{as[i].data(), k, 1},
+                  {bs[i].data(), n, 1},
+                  out.data() + i * m * n};
+    }
+    kernel::GemmBatch(m, n, k, items);
+    return out;
+  };
+  const std::vector<double> lanes1 = run(0);
+  const std::vector<double> lanes8 = run(7);
+  EXPECT_TRUE(BitEqual(lanes1.data(), lanes8.data(), lanes1.size()));
+}
+
+TEST(GemmBatch, DegenerateBatches) {
+  // Empty batch: no-op, no crash.
+  kernel::GemmBatch(8, 8, 8, {});
+
+  // k == 0: every output is overwritten with +0.0.
+  const std::size_t m = 3, n = 4, count = 2;
+  std::vector<double> out(count * m * n, -1.0);
+  std::vector<kernel::GemmBatchItem> items(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    items[i] = {{nullptr, 0, 1}, {nullptr, n, 1}, out.data() + i * m * n};
+  }
+  kernel::GemmBatch(m, n, 0, items);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], 0.0);
+    EXPECT_FALSE(std::signbit(out[i]));
+  }
+
+  // m == 0: nothing written, nothing read, no crash.
+  const kernel::GemmBatchItem empty_item[] = {
+      {{nullptr, 1, 1}, {nullptr, 1, 1}, nullptr}};
+  kernel::GemmBatch(0, 4, 4, empty_item);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   PoolGuard guard;
   parallel::ThreadPool::Default().Resize(3);

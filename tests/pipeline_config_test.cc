@@ -42,6 +42,27 @@ TEST(Config, ParsesAllKeys) {
   EXPECT_EQ(config->num_threads, 2u);
 }
 
+TEST(Config, ParsesAndRoundTripsKernelKey) {
+  std::string error;
+  const auto config = ParseConfig("kernel = scalar\n", &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->kernel, "scalar");
+  const auto round = ParseConfig(ConfigToString(*config), &error);
+  ASSERT_TRUE(round.has_value()) << error;
+  EXPECT_EQ(round->kernel, "scalar");
+  // Default: no kernel key, no line emitted.
+  const auto plain = ParseConfig("seed = 1\n", &error);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_TRUE(plain->kernel.empty());
+  EXPECT_EQ(ConfigToString(*plain).find("kernel ="), std::string::npos);
+}
+
+TEST(Config, RejectsBadKernelValue) {
+  std::string error;
+  EXPECT_FALSE(ParseConfig("kernel = sse9\n", &error).has_value());
+  EXPECT_NE(error.find("kernel"), std::string::npos);
+}
+
 TEST(Config, RejectsUnknownKey) {
   std::string error;
   EXPECT_FALSE(ParseConfig("bogus_key = 1\n", &error).has_value());

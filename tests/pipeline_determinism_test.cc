@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tfb/linalg/gemm.h"
 #include "tfb/obs/http_exporter.h"
 #include "tfb/obs/metrics.h"
 #include "tfb/obs/trace.h"
@@ -150,6 +151,39 @@ TEST(Determinism, KernelThreadCountDoesNotPerturbResults) {
   ASSERT_FALSE(rows_one.empty());
   ASSERT_TRUE(rows_one.back().ok) << rows_one.back().error;
   ExpectIdenticalRows(rows_one, rows_eight);
+}
+
+TEST(Determinism, KernelDispatchPathDoesNotPerturbResults) {
+  // The SIMD micro-kernel dispatch must be invisible in the science: the
+  // same grid run on the forced-scalar path and on the best path this host
+  // offers (avx2/neon where compiled+supported, otherwise scalar again)
+  // yields byte-identical journal rows. The grid includes a DL method so
+  // GEMM and GemmBatch actually run inside training.
+  std::vector<BenchmarkTask> tasks = SmallGrid();
+  {
+    BenchmarkTask task;
+    task.dataset = "synthetic";
+    task.series = SmallSeasonal(300, 7);
+    task.method = "DLinear";
+    task.horizon = 12;
+    tasks.push_back(std::move(task));
+  }
+  const linalg::kernel::KernelPath original =
+      linalg::kernel::ActiveKernelPath();
+  ASSERT_TRUE(
+      linalg::kernel::SetKernelPath(linalg::kernel::KernelPath::kScalar));
+  const auto rows_scalar = BenchmarkRunner().Run(tasks);
+  linalg::kernel::KernelPath best = linalg::kernel::KernelPath::kScalar;
+  for (linalg::kernel::KernelPath p : {linalg::kernel::KernelPath::kAvx2,
+                                       linalg::kernel::KernelPath::kNeon}) {
+    if (linalg::kernel::KernelPathAvailable(p)) best = p;
+  }
+  ASSERT_TRUE(linalg::kernel::SetKernelPath(best));
+  const auto rows_best = BenchmarkRunner().Run(tasks);
+  linalg::kernel::SetKernelPath(original);
+  ASSERT_FALSE(rows_scalar.empty());
+  ASSERT_TRUE(rows_scalar.back().ok) << rows_scalar.back().error;
+  ExpectIdenticalRows(rows_scalar, rows_best);
 }
 
 TEST(Determinism, ObservabilityDoesNotPerturbResults) {
